@@ -1,0 +1,54 @@
+//! Criterion bench: the Table 3 classifier calibration kernel — label
+//! derivation and the median/average threshold sweep on ISP border data.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mt_bench::harness::{Profile, World};
+use mt_core::classifier;
+use mt_flow::stats::DEFAULT_SIZE_THRESHOLD;
+use mt_types::{Block24Set, Day};
+use mt_traffic::{generate_day, CaptureSet};
+use std::hint::black_box;
+
+fn bench_classifier(c: &mut Criterion) {
+    let world = World::new(Profile::Small, 42);
+    let mut capture = CaptureSet::new(
+        &world.net,
+        Day(0),
+        &world.spoof,
+        DEFAULT_SIZE_THRESHOLD,
+        true,
+    );
+    generate_day(&world.net, &world.traffic, Day(0), &mut capture);
+    let isp = capture.isp.unwrap();
+    let scope: Block24Set = world
+        .net
+        .announcements
+        .iter()
+        .filter(|a| a.as_idx == isp.as_idx)
+        .flat_map(|a| a.prefix.blocks24())
+        .collect();
+
+    let mut group = c.benchmark_group("classifier");
+    group.sample_size(20);
+    group.bench_function("derive_labels", |b| {
+        b.iter(|| black_box(classifier::CalibrationLabels::derive(&isp.stats, &scope, 2_000)))
+    });
+    let labels = classifier::CalibrationLabels::derive(&isp.stats, &scope, 2_000);
+    group.bench_function("table3_sweep", |b| {
+        b.iter(|| black_box(classifier::sweep(&isp.stats, &labels, &[40, 42, 44, 46])))
+    });
+    group.bench_function("single_cell_average_44", |b| {
+        b.iter(|| {
+            black_box(classifier::evaluate(
+                &isp.stats,
+                &labels,
+                classifier::ClassifierFeature::Average,
+                44,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classifier);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Criterion bench: wire codecs — IPFIX-lite encode/decode, pcap
+//! write/read, and IPv4/TCP packet emit/parse with checksums.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mt_types::Ipv4;
+use mt_wire::ipfix::{self, IpfixFlow};
+use mt_wire::{ipv4, pcap, tcp, IpProtocol};
+use std::hint::black_box;
+
+fn sample_flows(n: u32) -> Vec<IpfixFlow> {
+    (0..n)
+        .map(|i| IpfixFlow {
+            src: Ipv4(0x0900_0000 + i),
+            dst: Ipv4(0x1400_0000 + i.rotate_left(8)),
+            src_port: 1024 + (i % 60_000) as u16,
+            dst_port: 23,
+            protocol: 6,
+            tcp_flags: 0x02,
+            packets: 1 + u64::from(i % 7),
+            octets: 40 * (1 + u64::from(i % 7)),
+            start_secs: 86_400 + i,
+        })
+        .collect()
+}
+
+fn bench_ipfix(c: &mut Criterion) {
+    let flows = sample_flows(10_000);
+    let mut group = c.benchmark_group("ipfix");
+    group.throughput(Throughput::Elements(flows.len() as u64));
+    group.sample_size(20);
+    group.bench_function("encode_10k", |b| {
+        b.iter(|| {
+            let mut seq = 0;
+            black_box(ipfix::encode_messages(&flows, 0, 1, &mut seq, 400))
+        })
+    });
+    let mut seq = 0;
+    let messages = ipfix::encode_messages(&flows, 0, 1, &mut seq, 400);
+    group.bench_function("decode_10k", |b| {
+        b.iter(|| {
+            let mut collector = ipfix::Collector::new();
+            let mut out = Vec::with_capacity(flows.len());
+            for m in &messages {
+                collector.decode_message(m, &mut out).unwrap();
+            }
+            black_box(out.len())
+        })
+    });
+    group.finish();
+}
+
+fn craft_syn(i: u32) -> Vec<u8> {
+    let src = Ipv4(0x0900_0000 + i);
+    let dst = Ipv4(0x1400_0000 + i);
+    let t = tcp::Repr::syn(40_000, 23, i);
+    let ip = ipv4::Repr {
+        src,
+        dst,
+        protocol: IpProtocol::Tcp,
+        payload_len: t.buffer_len(),
+        ttl: 64,
+    };
+    let mut buf = vec![0u8; ip.buffer_len()];
+    let mut seg = tcp::Segment::new_unchecked(&mut buf[ipv4::HEADER_LEN..]);
+    t.emit(&mut seg, src, dst);
+    let mut packet = ipv4::Packet::new_unchecked(&mut buf);
+    ip.emit(&mut packet);
+    buf
+}
+
+fn bench_packets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packets");
+    group.sample_size(30);
+    group.bench_function("craft_syn_40b", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(craft_syn(i))
+        })
+    });
+    let packet = craft_syn(7);
+    group.bench_function("parse_and_verify_syn", |b| {
+        b.iter(|| {
+            let p = ipv4::Packet::new_checked(&packet[..]).unwrap();
+            assert!(p.verify_checksum());
+            let seg = tcp::Segment::new_checked(p.payload()).unwrap();
+            black_box(seg.verify_checksum(p.src(), p.dst()))
+        })
+    });
+    group.finish();
+}
+
+fn bench_pcap(c: &mut Criterion) {
+    let packets: Vec<Vec<u8>> = (0..5_000).map(craft_syn).collect();
+    let mut group = c.benchmark_group("pcap");
+    group.throughput(Throughput::Elements(packets.len() as u64));
+    group.sample_size(20);
+    group.bench_function("write_5k", |b| {
+        b.iter(|| {
+            let mut w = pcap::Writer::new(Vec::new(), pcap::LINKTYPE_RAW).unwrap();
+            for (i, p) in packets.iter().enumerate() {
+                w.write_packet(i as u32, 0, p).unwrap();
+            }
+            black_box(w.finish().unwrap().len())
+        })
+    });
+    let mut w = pcap::Writer::new(Vec::new(), pcap::LINKTYPE_RAW).unwrap();
+    for (i, p) in packets.iter().enumerate() {
+        w.write_packet(i as u32, 0, p).unwrap();
+    }
+    let file = w.finish().unwrap();
+    group.bench_function("read_5k", |b| {
+        b.iter(|| {
+            let r = pcap::Reader::new(&file[..]).unwrap();
+            black_box(r.records().count())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ipfix, bench_packets, bench_pcap);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench: the seven-step inference pipeline (Figure 2 kernel)
+//! and its origin-only baseline, on a pre-captured small-profile day.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mt_bench::harness::{Profile, World};
+use mt_core::{baseline, pipeline};
+use mt_flow::stats::DEFAULT_SIZE_THRESHOLD;
+use mt_flow::TrafficStats;
+use mt_traffic::{generate_day, CaptureSet};
+use mt_types::Day;
+use std::hint::black_box;
+
+fn captured_stats(world: &World) -> TrafficStats {
+    let mut capture = CaptureSet::new(
+        &world.net,
+        Day(0),
+        &world.spoof,
+        DEFAULT_SIZE_THRESHOLD,
+        false,
+    );
+    generate_day(&world.net, &world.traffic, Day(0), &mut capture);
+    let mut merged: Option<TrafficStats> = None;
+    for vo in capture.vantages {
+        let s = vo.into_stats();
+        match &mut merged {
+            None => merged = Some(s),
+            Some(m) => m.merge(&s),
+        }
+    }
+    merged.unwrap()
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let world = World::new(Profile::Small, 42);
+    let stats = captured_stats(&world);
+    let rib = world.net.rib(Day(0));
+    let rate = world.sampling_rate();
+    let pc = pipeline::PipelineConfig::default();
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(20);
+    group.bench_function("seven_steps_full_day", |b| {
+        b.iter(|| black_box(pipeline::run(&stats, &rib, rate, 1, &pc)))
+    });
+    group.bench_function("origin_only_baseline", |b| {
+        b.iter(|| black_box(baseline::origin_only(&stats, &rib)))
+    });
+    group.bench_function("stats_merge_self", |b| {
+        b.iter(|| {
+            let mut a = stats.clone();
+            a.merge(&stats);
+            black_box(a.total_flows)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion bench: simulation-side kernels — one full day of traffic
+//! through the capture set (the cost floor of every experiment), traffic
+//! generation alone, and per-/24 stats aggregation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mt_bench::harness::{Profile, World};
+use mt_flow::stats::DEFAULT_SIZE_THRESHOLD;
+use mt_flow::{FlowRecord, TrafficStats};
+use mt_traffic::{generate_day, CaptureSet, EmissionSink, FlowEmission, SpoofFloodEmission};
+use mt_types::{Day, Ipv4, SimTime};
+use std::hint::black_box;
+
+struct NullSink {
+    emissions: u64,
+}
+
+impl EmissionSink for NullSink {
+    fn flow(&mut self, _: &FlowEmission) {
+        self.emissions += 1;
+    }
+    fn spoof_flood(&mut self, _: &SpoofFloodEmission) {
+        self.emissions += 1;
+    }
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let world = World::new(Profile::Small, 42);
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    group.bench_function("generate_day_small", |b| {
+        b.iter(|| {
+            let mut sink = NullSink { emissions: 0 };
+            generate_day(&world.net, &world.traffic, Day(0), &mut sink);
+            black_box(sink.emissions)
+        })
+    });
+    group.bench_function("capture_day_small_all_observers", |b| {
+        b.iter(|| {
+            let mut capture = CaptureSet::new(
+                &world.net,
+                Day(0),
+                &world.spoof,
+                DEFAULT_SIZE_THRESHOLD,
+                true,
+            );
+            generate_day(&world.net, &world.traffic, Day(0), &mut capture);
+            black_box(capture.vantages.iter().map(|v| v.sampled_flows).sum::<u64>())
+        })
+    });
+    group.finish();
+}
+
+fn bench_stats_ingest(c: &mut Criterion) {
+    let records: Vec<FlowRecord> = (0..100_000u32)
+        .map(|i| FlowRecord {
+            start: SimTime(u64::from(i) % 86_400),
+            src: Ipv4(0x0900_0000 | (i % 4_096)),
+            dst: Ipv4(i.wrapping_mul(0x9e37_79b9)),
+            src_port: 1024,
+            dst_port: 23,
+            protocol: if i % 11 == 0 { 17 } else { 6 },
+            tcp_flags: 2,
+            packets: 1 + u64::from(i % 5),
+            octets: 40 * (1 + u64::from(i % 5)),
+        })
+        .collect();
+    let mut group = c.benchmark_group("stats");
+    group.sample_size(20);
+    group.throughput(criterion::Throughput::Elements(records.len() as u64));
+    group.bench_function("ingest_100k_records", |b| {
+        b.iter(|| {
+            let mut s = TrafficStats::new();
+            for r in &records {
+                s.ingest(r);
+            }
+            black_box(s.dst_block_count())
+        })
+    });
+    group.bench_function("ingest_sweep_100k_records", |b| {
+        b.iter(|| {
+            let mut s = TrafficStats::new();
+            for (i, r) in records.iter().enumerate() {
+                s.ingest_sweep(r, i as u64);
+            }
+            black_box(s.dst_block_count())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation, bench_stats_ingest);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Criterion bench: core data structures — LPM trie lookups, /24 set
+//! algebra (the Figures 8/9 combination kernel), Hilbert mapping, and
+//! binomial sampling (the Figure 10 kernel).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mt_bench::harness::{Profile, World};
+use mt_flow::binomial;
+use mt_types::{Block24, Block24Set, HilbertCurve, Ipv4};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_trie(c: &mut Criterion) {
+    let world = World::new(Profile::Paper, 42);
+    let rib = world.net.rib(mt_types::Day(0));
+    let probes: Vec<Ipv4> = (0..10_000u32)
+        .map(|i| Ipv4(i.wrapping_mul(0x9e37_79b9)))
+        .collect();
+    let mut group = c.benchmark_group("trie");
+    group.throughput(Throughput::Elements(probes.len() as u64));
+    group.sample_size(30);
+    group.bench_function("lpm_10k_lookups", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &p in &probes {
+                hits += usize::from(rib.lookup(p).is_some());
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+fn bench_block_sets(c: &mut Criterion) {
+    let world = World::new(Profile::Paper, 42);
+    let a = world.net.dark_truth.clone();
+    let b_set = world.net.active_truth.clone();
+    let mut group = c.benchmark_group("block24set");
+    group.sample_size(30);
+    group.bench_function("union_full_space", |b| {
+        b.iter(|| black_box(a.union(&b_set).len()))
+    });
+    group.bench_function("intersection_len", |b| {
+        b.iter(|| black_box(a.intersection_len(&b_set)))
+    });
+    group.bench_function("iterate_dark_truth", |b| {
+        b.iter(|| black_box(a.iter().map(|blk| u64::from(blk.0)).sum::<u64>()))
+    });
+    let prefix: mt_types::Prefix = "20.0.0.0/8".parse().unwrap();
+    group.bench_function("count_in_prefix_slash8", |b| {
+        b.iter(|| black_box(a.count_in_prefix(prefix)))
+    });
+    group.finish();
+}
+
+fn bench_hilbert(c: &mut Criterion) {
+    let h = HilbertCurve::new(8); // a /8 at /24 granularity
+    let mut group = c.benchmark_group("hilbert");
+    group.throughput(Throughput::Elements(h.cells()));
+    group.sample_size(30);
+    group.bench_function("d2xy_full_slash8", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for d in 0..h.cells() {
+                let (x, y) = h.d2xy(d);
+                acc += u64::from(x ^ y);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling");
+    group.sample_size(30);
+    group.bench_function("binomial_1k_bursts_rate15", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut total = 0u64;
+            for _ in 0..1_000 {
+                total += binomial(&mut rng, 1_400, 1.0 / 15.0);
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("binomial_1k_bursts_rate10000", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut total = 0u64;
+            for _ in 0..1_000 {
+                total += binomial(&mut rng, 1_400_000, 1.0 / 10_000.0);
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+fn bench_set_build(c: &mut Criterion) {
+    let blocks: Vec<Block24> = (0..100_000u32).map(|i| Block24(i * 37 % (1 << 24))).collect();
+    let mut group = c.benchmark_group("block24set_build");
+    group.throughput(Throughput::Elements(blocks.len() as u64));
+    group.sample_size(20);
+    group.bench_function("insert_100k", |b| {
+        b.iter(|| {
+            let mut s = Block24Set::new();
+            for &blk in &blocks {
+                s.insert(blk);
+            }
+            black_box(s.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_trie,
+    bench_block_sets,
+    bench_hilbert,
+    bench_sampling,
+    bench_set_build
+);
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! `repro` — regenerates every table and figure of the paper from the
+//! simulated scenario.
+//!
+//! ```text
+//! repro [--profile small|paper] [--seed N] [--out DIR] [all | <ids>...]
+//!
+//!   ids: table1 table2 table3 fig2 table4 fig3 table5 table6 fig4
+//!        fig5 fig6 table7 fig7 fig8 fig9 fig10 fig11 fig12 baseline
+//! ```
+//!
+//! Results are printed and written under `--out` (default `results/`):
+//! `<id>.txt` per exhibit plus any PPM images, and `summary.json` with
+//! the machine-readable scenario facts.
+
+use mt_bench::experiments::{self, ALL_IDS};
+use mt_bench::harness::{simulate, Needs, Profile, World};
+use std::path::PathBuf;
+
+fn main() {
+    let mut profile = Profile::Small;
+    let mut seed = 42u64;
+    let mut out = PathBuf::from("results");
+    let mut ids: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--profile" => {
+                let v = args.next().expect("--profile needs a value");
+                profile = Profile::parse(&v)
+                    .unwrap_or_else(|| panic!("unknown profile {v:?} (small|paper)"));
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("--seed must be an integer");
+            }
+            "--out" => out = PathBuf::from(args.next().expect("--out needs a value")),
+            "--help" | "-h" => {
+                println!("repro [--profile small|paper] [--seed N] [--out DIR] [all | ids...]");
+                println!("ids: {} baseline monitor", ALL_IDS.join(" "));
+                return;
+            }
+            other => ids.push(other.to_owned()),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = ALL_IDS.iter().map(|s| s.to_string()).collect();
+        ids.push("baseline".to_owned());
+        ids.push("monitor".to_owned());
+    }
+
+    // Derive what the requested exhibits need.
+    let mut needs = Needs {
+        days: 1,
+        vp_day0: true,
+        ..Needs::default()
+    };
+    for id in &ids {
+        match id.as_str() {
+            "table2" | "table5" => {
+                needs.telescopes = true;
+                needs.days = needs.days.max(7);
+            }
+            "table3" => needs.isp_day0 = true,
+            "table4" | "fig9" => {
+                needs.cumulative = true;
+                needs.days = needs.days.max(7);
+            }
+            "fig3" => {
+                needs.cumulative = true;
+                needs.days = needs.days.max(7);
+            }
+            "fig8" => needs.days = needs.days.max(7),
+            "fig10" => needs.records_day0 = true,
+            "fig11" | "fig12" | "table5_meta" => needs.dark_ports_day0 = true,
+            _ => {}
+        }
+    }
+    if ids.iter().any(|i| i == "table5") {
+        needs.dark_ports_day0 = true;
+    }
+
+    eprintln!(
+        "[repro] profile={} seed={seed} days={} exhibits={}",
+        profile.name(),
+        needs.days,
+        ids.join(",")
+    );
+    let t0 = std::time::Instant::now();
+    let world = World::new(profile, seed);
+    eprintln!(
+        "[repro] world: {} ASes, {} announced /24s ({} dark / {} active)",
+        world.net.ases.len(),
+        world.net.announced_blocks(),
+        world.net.dark_truth.len(),
+        world.net.active_truth.len()
+    );
+    let data = simulate(&world, needs);
+    eprintln!("[repro] simulation done in {:?}", t0.elapsed());
+
+    std::fs::create_dir_all(&out).expect("create output directory");
+    let mut summaries = serde_json::Map::new();
+    summaries.insert("profile".into(), profile.name().into());
+    summaries.insert("seed".into(), seed.into());
+    summaries.insert(
+        "announced_blocks".into(),
+        (world.net.announced_blocks() as u64).into(),
+    );
+    summaries.insert("dark_truth".into(), (world.net.dark_truth.len() as u64).into());
+
+    for id in &ids {
+        let report = if id == "baseline" {
+            experiments::baseline_report(&world, &data)
+        } else if id == "monitor" {
+            experiments::monitor_report(&world, &data)
+        } else {
+            match experiments::run(id, &world, &data) {
+                Some(r) => r,
+                None => {
+                    eprintln!("[repro] unknown exhibit {id}, skipping");
+                    continue;
+                }
+            }
+        };
+        println!("================================================================");
+        println!("{} — {}", report.id, report.title);
+        println!("================================================================");
+        println!("{}", report.body);
+        let txt = out.join(format!("{}.txt", report.id));
+        std::fs::write(&txt, format!("{}\n\n{}", report.title, report.body))
+            .expect("write report");
+        for (name, bytes) in &report.files {
+            std::fs::write(out.join(name), bytes).expect("write side file");
+        }
+        summaries.insert(report.id.clone(), report.title.clone().into());
+    }
+    std::fs::write(
+        out.join("summary.json"),
+        serde_json::to_string_pretty(&serde_json::Value::Object(summaries)).unwrap(),
+    )
+    .expect("write summary");
+    eprintln!("[repro] wrote {} (total {:?})", out.display(), t0.elapsed());
+}

@@ -1,0 +1,76 @@
+//! Tiny report-building helpers for the `repro` harness.
+
+/// One regenerated table or figure.
+pub struct Report {
+    /// Experiment id (`table3`, `fig9`, ...).
+    pub id: String,
+    /// Human title echoing the paper's caption.
+    pub title: String,
+    /// Monospace body (tables, series, ASCII art).
+    pub body: String,
+    /// Binary side-files (PPM images), `(file name, bytes)`.
+    pub files: Vec<(String, Vec<u8>)>,
+}
+
+impl Report {
+    /// Creates a report with an empty body.
+    pub fn new(id: &str, title: &str) -> Report {
+        Report {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            body: String::new(),
+            files: Vec::new(),
+        }
+    }
+
+    /// Appends a line to the body.
+    pub fn line(&mut self, s: impl AsRef<str>) {
+        self.body.push_str(s.as_ref());
+        self.body.push('\n');
+    }
+
+    /// Appends an empty line.
+    pub fn blank(&mut self) {
+        self.body.push('\n');
+    }
+}
+
+/// Right-aligns `s` in a `width`-character cell.
+pub fn cell(s: impl ToString, width: usize) -> String {
+    format!("{:>width$}", s.to_string(), width = width)
+}
+
+/// Formats a ratio as a percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Builds one row of right-aligned cells.
+pub fn row(cells: &[String], width: usize) -> String {
+    cells
+        .iter()
+        .map(|c| cell(c, width))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accumulates_lines() {
+        let mut r = Report::new("t", "Title");
+        r.line("a");
+        r.blank();
+        r.line("b");
+        assert_eq!(r.body, "a\n\nb\n");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(cell(42, 5), "   42");
+        assert_eq!(pct(0.1234), "12.34%");
+        assert_eq!(row(&["a".into(), "bb".into()], 3), "  a  bb");
+    }
+}

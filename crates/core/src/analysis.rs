@@ -1,0 +1,396 @@
+//! Measurement analyses over inferred meta-telescope prefixes
+//! (Sections 6 and 8).
+//!
+//! Everything here is a pure aggregation of an inferred [`Block24Set`]
+//! against the Internet's metadata: per-country counts (Figure 4),
+//! per-AS and per-country summaries (Table 6), network-type × continent
+//! breakdowns (Table 7), the prefix-index ECDFs (Figures 7/16/17), and
+//! the port-activity matrices behind the bean plots (Figures 11/12 and
+//! 18–20).
+
+use mt_netmodel::Internet;
+use mt_types::{Block24Set, Continent, Country, NetworkType};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// One row of Table 6: blocks, distinct ASes, distinct countries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InferenceSummary {
+    /// Label (vantage-point code or "All").
+    pub label: String,
+    /// Inferred meta-telescope /24s.
+    pub blocks: u64,
+    /// Distinct origin ASes.
+    pub ases: u64,
+    /// Distinct countries.
+    pub countries: u64,
+}
+
+/// Summarises an inferred set (one Table 6 row).
+pub fn summarize(label: &str, dark: &Block24Set, net: &Internet) -> InferenceSummary {
+    let mut ases = HashSet::new();
+    let mut countries = HashSet::new();
+    for block in dark.iter() {
+        if let Some(info) = net.block_info(block) {
+            ases.insert(info.as_idx);
+            countries.insert(net.ases[info.as_idx as usize].country);
+        }
+    }
+    InferenceSummary {
+        label: label.to_owned(),
+        blocks: dark.len() as u64,
+        ases: ases.len() as u64,
+        countries: countries.len() as u64,
+    }
+}
+
+/// Per-country block counts, descending (Figure 4's world map data).
+pub fn by_country(dark: &Block24Set, net: &Internet) -> Vec<(Country, u64)> {
+    let mut counts: HashMap<Country, u64> = HashMap::new();
+    for block in dark.iter() {
+        if let Some(a) = net.as_of_block(block) {
+            *counts.entry(a.country).or_default() += 1;
+        }
+    }
+    let mut v: Vec<(Country, u64)> = counts.into_iter().collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    v
+}
+
+/// Table 7: counts per continent × network type, with totals.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TypeContinentMatrix {
+    /// `counts[continent_index][type_index]`, indices following
+    /// [`Continent::ALL`] and [`NetworkType::ALL`].
+    pub counts: Vec<Vec<u64>>,
+}
+
+impl TypeContinentMatrix {
+    /// Builds the matrix for an inferred set.
+    pub fn build(dark: &Block24Set, net: &Internet) -> Self {
+        let mut counts = vec![vec![0u64; NetworkType::ALL.len()]; Continent::ALL.len()];
+        for block in dark.iter() {
+            if let Some(a) = net.as_of_block(block) {
+                let ci = Continent::ALL.iter().position(|&c| c == a.continent).unwrap();
+                let ti = NetworkType::ALL.iter().position(|&t| t == a.network_type).unwrap();
+                counts[ci][ti] += 1;
+            }
+        }
+        TypeContinentMatrix { counts }
+    }
+
+    /// Count for one cell.
+    pub fn get(&self, continent: Continent, ty: NetworkType) -> u64 {
+        let ci = Continent::ALL.iter().position(|&c| c == continent).unwrap();
+        let ti = NetworkType::ALL.iter().position(|&t| t == ty).unwrap();
+        self.counts[ci][ti]
+    }
+
+    /// Row total for a continent.
+    pub fn continent_total(&self, continent: Continent) -> u64 {
+        let ci = Continent::ALL.iter().position(|&c| c == continent).unwrap();
+        self.counts[ci].iter().sum()
+    }
+
+    /// Column total for a network type.
+    pub fn type_total(&self, ty: NetworkType) -> u64 {
+        let ti = NetworkType::ALL.iter().position(|&t| t == ty).unwrap();
+        self.counts.iter().map(|row| row[ti]).sum()
+    }
+
+    /// Grand total.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+}
+
+/// The prefix index of Section 6.4: for every announcement of length
+/// `prefix_len`, the share of its /24s inferred dark. Returns the shares
+/// sorted ascending (ready for ECDF plotting).
+pub fn prefix_index(dark: &Block24Set, net: &Internet, prefix_len: u8) -> Vec<f64> {
+    let mut shares = Vec::new();
+    for ann in &net.announcements {
+        if ann.prefix.len() != prefix_len {
+            continue;
+        }
+        let covered = dark.count_in_prefix(ann.prefix);
+        shares.push(covered as f64 / f64::from(ann.prefix.num_blocks24()));
+    }
+    shares.sort_by(f64::total_cmp);
+    shares
+}
+
+/// Per-network-type (Figure 16) or per-continent (Figure 17) dark-share
+/// distributions across announcements.
+pub fn share_by_group<F, K>(dark: &Block24Set, net: &Internet, key: F) -> HashMap<K, Vec<f64>>
+where
+    F: Fn(&mt_netmodel::AsInfo) -> K,
+    K: std::hash::Hash + Eq,
+{
+    let mut out: HashMap<K, Vec<f64>> = HashMap::new();
+    for ann in &net.announcements {
+        let a = &net.ases[ann.as_idx as usize];
+        let covered = dark.count_in_prefix(ann.prefix);
+        let share = covered as f64 / f64::from(ann.prefix.num_blocks24());
+        out.entry(key(a)).or_default().push(share);
+    }
+    for shares in out.values_mut() {
+        shares.sort_by(f64::total_cmp);
+    }
+    out
+}
+
+/// Evaluates an ECDF at `x` given ascending samples.
+pub fn ecdf(samples: &[f64], x: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let n = samples.partition_point(|&s| s <= x);
+    n as f64 / samples.len() as f64
+}
+
+/// Port-activity matrix: packets per destination port, bucketed by
+/// region and by network type (the data behind the bean plots of
+/// Figures 11/12/18–20).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PortMatrix {
+    /// `(port, continent) → packets`.
+    pub by_region: HashMap<(u16, Continent), u64>,
+    /// `(port, network type) → packets`.
+    pub by_type: HashMap<(u16, NetworkType), u64>,
+    /// `(port, continent, network type) → packets` (Figures 19/20 split
+    /// network types within one region).
+    pub by_region_type: HashMap<(u16, Continent, NetworkType), u64>,
+    /// Total packets recorded.
+    pub total: u64,
+}
+
+impl PortMatrix {
+    /// Creates an empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `packets` toward `port` on a block with the given
+    /// attributes.
+    pub fn add(&mut self, port: u16, continent: Continent, ty: NetworkType, packets: u64) {
+        *self.by_region.entry((port, continent)).or_default() += packets;
+        *self.by_type.entry((port, ty)).or_default() += packets;
+        *self
+            .by_region_type
+            .entry((port, continent, ty))
+            .or_default() += packets;
+        self.total += packets;
+    }
+
+    /// Merges another matrix into this one.
+    pub fn merge(&mut self, other: &PortMatrix) {
+        for (&k, &v) in &other.by_region {
+            *self.by_region.entry(k).or_default() += v;
+        }
+        for (&k, &v) in &other.by_type {
+            *self.by_type.entry(k).or_default() += v;
+        }
+        for (&k, &v) in &other.by_region_type {
+            *self.by_region_type.entry(k).or_default() += v;
+        }
+        self.total += other.total;
+    }
+
+    /// The top ports within one region, by packets.
+    pub fn top_ports_in_region(&self, region: Continent, n: usize) -> Vec<(u16, u64)> {
+        let mut v: Vec<(u16, u64)> = self
+            .by_region
+            .iter()
+            .filter(|&(&(_, c), _)| c == region)
+            .map(|(&(p, _), &count)| (p, count))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(n);
+        v
+    }
+
+    /// The union of per-region top-`n` lists, ordered by global packet
+    /// count — the paper's procedure for the Figure 11 port list.
+    pub fn union_top_ports_by_region(&self, n: usize) -> Vec<u16> {
+        let mut union: HashSet<u16> = HashSet::new();
+        for &region in &Continent::ALL {
+            for (p, _) in self.top_ports_in_region(region, n) {
+                union.insert(p);
+            }
+        }
+        let mut global: HashMap<u16, u64> = HashMap::new();
+        for (&(p, _), &c) in &self.by_region {
+            *global.entry(p).or_default() += c;
+        }
+        let mut v: Vec<u16> = union.into_iter().collect();
+        v.sort_by(|a, b| {
+            global
+                .get(b)
+                .unwrap_or(&0)
+                .cmp(global.get(a).unwrap_or(&0))
+                .then(a.cmp(b))
+        });
+        v
+    }
+
+    /// Share of a port's packets within one region's total.
+    pub fn region_share(&self, port: u16, region: Continent) -> f64 {
+        let region_total: u64 = self
+            .by_region
+            .iter()
+            .filter(|&(&(_, c), _)| c == region)
+            .map(|(_, &v)| v)
+            .sum();
+        if region_total == 0 {
+            return 0.0;
+        }
+        *self.by_region.get(&(port, region)).unwrap_or(&0) as f64 / region_total as f64
+    }
+
+    /// Share of a port within one `(region, type)` bucket's total
+    /// (Figures 19/20).
+    pub fn region_type_share(&self, port: u16, region: Continent, ty: NetworkType) -> f64 {
+        let bucket_total: u64 = self
+            .by_region_type
+            .iter()
+            .filter(|&(&(_, c, t), _)| c == region && t == ty)
+            .map(|(_, &v)| v)
+            .sum();
+        if bucket_total == 0 {
+            return 0.0;
+        }
+        *self.by_region_type.get(&(port, region, ty)).unwrap_or(&0) as f64 / bucket_total as f64
+    }
+
+    /// Share of a port's packets relative to ALL recorded traffic
+    /// (Figure 18's global-perspective variant).
+    pub fn global_share(&self, port: u16, region: Continent) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        *self.by_region.get(&(port, region)).unwrap_or(&0) as f64 / self.total as f64
+    }
+
+    /// Share of a port's packets within one network type's total.
+    pub fn type_share(&self, port: u16, ty: NetworkType) -> f64 {
+        let type_total: u64 = self
+            .by_type
+            .iter()
+            .filter(|&(&(_, t), _)| t == ty)
+            .map(|(_, &v)| v)
+            .sum();
+        if type_total == 0 {
+            return 0.0;
+        }
+        *self.by_type.get(&(port, ty)).unwrap_or(&0) as f64 / type_total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mt_netmodel::InternetConfig;
+    use mt_types::Block24;
+
+    fn net() -> Internet {
+        Internet::generate(InternetConfig::small(), 4)
+    }
+
+    #[test]
+    fn summary_counts_distinct_attributes() {
+        let net = net();
+        let dark = net.dark_truth.clone();
+        let s = summarize("truth", &dark, &net);
+        assert_eq!(s.blocks, dark.len() as u64);
+        assert!(s.ases > 1);
+        assert!(s.countries > 1);
+        assert!(s.ases >= s.countries || s.countries <= s.ases + s.blocks);
+    }
+
+    #[test]
+    fn by_country_sums_to_block_count() {
+        let net = net();
+        let counts = by_country(&net.dark_truth, &net);
+        let total: u64 = counts.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, net.dark_truth.len() as u64);
+        // Sorted descending.
+        for w in counts.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn type_continent_matrix_totals_agree() {
+        let net = net();
+        let m = TypeContinentMatrix::build(&net.dark_truth, &net);
+        assert_eq!(m.total(), net.dark_truth.len() as u64);
+        let by_rows: u64 = Continent::ALL.iter().map(|&c| m.continent_total(c)).sum();
+        let by_cols: u64 = NetworkType::ALL.iter().map(|&t| m.type_total(t)).sum();
+        assert_eq!(by_rows, m.total());
+        assert_eq!(by_cols, m.total());
+    }
+
+    #[test]
+    fn prefix_index_is_sorted_unit_interval() {
+        let net = net();
+        for len in [16u8, 18, 20, 22] {
+            let shares = prefix_index(&net.dark_truth, &net, len);
+            for w in shares.windows(2) {
+                assert!(w[0] <= w[1]);
+            }
+            for &s in &shares {
+                assert!((0.0..=1.0).contains(&s));
+            }
+        }
+    }
+
+    #[test]
+    fn ecdf_basics() {
+        let samples = [0.1, 0.2, 0.2, 0.9];
+        assert_eq!(ecdf(&samples, 0.0), 0.0);
+        assert_eq!(ecdf(&samples, 0.2), 0.75);
+        assert_eq!(ecdf(&samples, 1.0), 1.0);
+        assert_eq!(ecdf(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn share_by_group_covers_all_announcements() {
+        let net = net();
+        let by_type = share_by_group(&net.dark_truth, &net, |a| a.network_type);
+        let n: usize = by_type.values().map(Vec::len).sum();
+        assert_eq!(n, net.announcements.len());
+    }
+
+    #[test]
+    fn port_matrix_shares_and_tops() {
+        let mut m = PortMatrix::new();
+        m.add(23, Continent::Africa, NetworkType::Isp, 70);
+        m.add(37215, Continent::Africa, NetworkType::Isp, 30);
+        m.add(23, Continent::Europe, NetworkType::Education, 100);
+        assert_eq!(m.total, 200);
+        assert!((m.region_share(23, Continent::Africa) - 0.7).abs() < 1e-12);
+        assert!((m.region_share(37215, Continent::Africa) - 0.3).abs() < 1e-12);
+        assert_eq!(m.region_share(37215, Continent::Europe), 0.0);
+        assert_eq!(m.top_ports_in_region(Continent::Africa, 1), vec![(23, 70)]);
+        let union = m.union_top_ports_by_region(2);
+        assert_eq!(union[0], 23, "globally heaviest port first");
+        assert!(union.contains(&37215));
+        assert!((m.type_share(23, NetworkType::Education) - 1.0).abs() < 1e-12);
+        assert!((m.region_type_share(23, Continent::Africa, NetworkType::Isp) - 0.7).abs() < 1e-12);
+        assert!((m.global_share(23, Continent::Europe) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn port_matrix_merge() {
+        let mut a = PortMatrix::new();
+        a.add(23, Continent::Asia, NetworkType::Isp, 5);
+        let mut b = PortMatrix::new();
+        b.add(23, Continent::Asia, NetworkType::Isp, 7);
+        b.add(80, Continent::Asia, NetworkType::DataCenter, 1);
+        a.merge(&b);
+        assert_eq!(a.total, 13);
+        assert_eq!(a.by_region[&(23, Continent::Asia)], 12);
+        let _ = Block24(0); // silence unused-import lints in some cfgs
+    }
+}

@@ -1,0 +1,203 @@
+//! Multi-day and multi-vantage-point combination (Sections 6.1, 7.1).
+//!
+//! The paper combines observations two ways: merging several vantage
+//! points for one day (Table 6's "All" row) and extending the window
+//! over consecutive days (Table 4, Figure 9). Both reduce to merging
+//! [`TrafficStats`] — counters add, host sets union — plus a RIB that
+//! covers the window.
+
+use crate::pipeline::{self, PipelineConfig, PipelineResult};
+use mt_flow::TrafficStats;
+use mt_netmodel::Internet;
+use mt_types::{Asn, Day, PrefixTrie};
+use parking_lot::Mutex;
+
+/// Merges any number of stats into one (vantage-point union and/or
+/// day concatenation). Panics if the inputs disagree on the per-host
+/// size threshold.
+pub fn merge_stats<I>(parts: I) -> TrafficStats
+where
+    I: IntoIterator<Item = TrafficStats>,
+{
+    let mut iter = parts.into_iter();
+    let mut acc = iter.next().unwrap_or_default();
+    for s in iter {
+        acc.merge(&s);
+    }
+    acc
+}
+
+/// The union RIB of a multi-day window: a prefix is routed if any day's
+/// snapshot carries it (conservative in the right direction — step 5
+/// must only reject space that was *never* routed during the window).
+pub fn rib_union(net: &Internet, first: Day, days: u32) -> PrefixTrie<Asn> {
+    assert!(days > 0);
+    let mut union = net.rib(first);
+    for day in first.range(days).skip(1) {
+        for (prefix, &asn) in net.rib(day).iter() {
+            union.insert(prefix, asn);
+        }
+    }
+    union
+}
+
+/// Merges stats with a parallel tree reduction (crossbeam scoped
+/// threads). Equivalent to [`merge_stats`]; worthwhile when merging many
+/// large per-vantage-point accumulators on a multi-core box.
+pub fn merge_stats_parallel(mut parts: Vec<TrafficStats>, threads: usize) -> TrafficStats {
+    assert!(threads >= 1);
+    if parts.len() <= 1 || threads == 1 {
+        return merge_stats(parts);
+    }
+    // Tree reduction: each round pairs adjacent accumulators and merges
+    // the pairs concurrently.
+    while parts.len() > 1 {
+        let mut next: Vec<TrafficStats> = Vec::with_capacity(parts.len().div_ceil(2));
+        let mut pairs: Vec<(TrafficStats, TrafficStats)> = Vec::new();
+        let mut iter = parts.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => pairs.push((a, b)),
+                None => next.push(a),
+            }
+        }
+        let merged: Vec<Mutex<Option<TrafficStats>>> =
+            pairs.iter().map(|_| Mutex::new(None)).collect();
+        let chunk_size = pairs.len().div_ceil(threads).max(1);
+        crossbeam::thread::scope(|scope| {
+            for (chunk, slots) in pairs.chunks_mut(chunk_size).zip(merged.chunks(chunk_size)) {
+                scope.spawn(move |_| {
+                    for ((a, b), slot) in chunk.iter_mut().zip(slots) {
+                        a.merge(b);
+                        *slot.lock() = Some(std::mem::take(a));
+                    }
+                });
+            }
+        })
+        .expect("merge worker panicked");
+        next.extend(merged.into_iter().map(|m| m.into_inner().expect("filled")));
+        parts = next;
+    }
+    parts.into_iter().next().unwrap_or_default()
+}
+
+/// Runs the pipeline over several independent stat sets concurrently
+/// (e.g. the 14 per-vantage-point day results of Table 6), preserving
+/// input order.
+pub fn run_pipelines_parallel(
+    inputs: &[&TrafficStats],
+    rib: &PrefixTrie<Asn>,
+    sampling_rate: u32,
+    days: u32,
+    config: &PipelineConfig,
+    threads: usize,
+) -> Vec<PipelineResult> {
+    assert!(threads >= 1);
+    let results: Vec<Mutex<Option<PipelineResult>>> =
+        inputs.iter().map(|_| Mutex::new(None)).collect();
+    let chunk = inputs.len().div_ceil(threads).max(1);
+    crossbeam::thread::scope(|scope| {
+        for (stats_chunk, result_chunk) in inputs.chunks(chunk).zip(results.chunks(chunk)) {
+            scope.spawn(move |_| {
+                for (stats, slot) in stats_chunk.iter().zip(result_chunk) {
+                    *slot.lock() = Some(pipeline::run(stats, rib, sampling_rate, days, config));
+                }
+            });
+        }
+    })
+    .expect("pipeline worker panicked");
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mt_flow::FlowRecord;
+    use mt_netmodel::InternetConfig;
+    use mt_types::{Ipv4, SimTime};
+
+    fn flow(dst: u32, packets: u64) -> FlowRecord {
+        FlowRecord {
+            start: SimTime(0),
+            src: Ipv4::new(9, 9, 9, 9),
+            dst: Ipv4(dst),
+            src_port: 1,
+            dst_port: 23,
+            protocol: 6,
+            tcp_flags: 2,
+            packets,
+            octets: packets * 40,
+        }
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let a = TrafficStats::from_records(&[flow(0x1400_0001, 3)]);
+        let b = TrafficStats::from_records(&[flow(0x1400_0001, 4), flow(0x1500_0001, 1)]);
+        let merged = merge_stats([a, b]);
+        assert_eq!(merged.total_packets, 8);
+        assert_eq!(merged.dst_block_count(), 2);
+    }
+
+    #[test]
+    fn merge_of_nothing_is_empty() {
+        let merged = merge_stats(std::iter::empty::<TrafficStats>());
+        assert_eq!(merged.total_flows, 0);
+    }
+
+    #[test]
+    fn parallel_merge_equals_sequential() {
+        let mut parts = Vec::new();
+        for i in 0..7u32 {
+            let records: Vec<FlowRecord> = (0..50)
+                .map(|j| flow(0x1400_0000 + i * 1000 + j, 1 + u64::from(j % 3)))
+                .collect();
+            parts.push(TrafficStats::from_records(&records));
+        }
+        let sequential = merge_stats(parts.clone());
+        for threads in [1, 2, 4] {
+            let parallel = merge_stats_parallel(parts.clone(), threads);
+            assert_eq!(parallel.total_flows, sequential.total_flows);
+            assert_eq!(parallel.total_packets, sequential.total_packets);
+            assert_eq!(parallel.dst_block_count(), sequential.dst_block_count());
+        }
+    }
+
+    #[test]
+    fn parallel_pipelines_match_sequential_runs() {
+        let sets: Vec<TrafficStats> = (0..5u32)
+            .map(|i| {
+                let records: Vec<FlowRecord> =
+                    (0..40).map(|j| flow(0x1400_0000 + i * 777 + j, 2)).collect();
+                TrafficStats::from_records(&records)
+            })
+            .collect();
+        let refs: Vec<&TrafficStats> = sets.iter().collect();
+        let rib: PrefixTrie<Asn> = [("20.0.0.0/8".parse().unwrap(), Asn(1))]
+            .into_iter()
+            .collect();
+        let pc = PipelineConfig::default();
+        let parallel = run_pipelines_parallel(&refs, &rib, 1, 1, &pc, 3);
+        for (stats, result) in sets.iter().zip(&parallel) {
+            let expected = pipeline::run(stats, &rib, 1, 1, &pc);
+            assert_eq!(result.dark, expected.dark);
+            assert_eq!(result.funnel, expected.funnel);
+        }
+    }
+
+    #[test]
+    fn rib_union_is_superset_of_each_day() {
+        let net = Internet::generate(InternetConfig::small(), 9);
+        let union = rib_union(&net, Day(0), 7);
+        for day in Day(0).range(7) {
+            let daily = net.rib(day);
+            assert!(union.len() >= daily.len());
+            for (prefix, _) in daily.iter() {
+                assert!(union.get(prefix).is_some(), "{prefix} missing from union");
+            }
+        }
+    }
+}

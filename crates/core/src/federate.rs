@@ -1,0 +1,202 @@
+//! Federated meta-telescopes (Section 9, "Federated Meta-telescopes").
+//!
+//! The paper proposes sharing detection among trusted parties "to detect
+//! meta-telescope prefixes with higher accuracy collectively". This
+//! module implements that combination: each operator contributes an
+//! inferred set (optionally weighted by trust), and a block enters the
+//! federated meta-telescope when its accumulated weight reaches a
+//! quorum. A block any operator *disqualified* (observed originating —
+//! the strongest negative signal) can be vetoed regardless of quorum.
+
+use mt_types::{Block24, Block24Set};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One operator's contribution.
+#[derive(Debug, Clone)]
+pub struct Contribution {
+    /// Operator label (diagnostics).
+    pub operator: String,
+    /// Trust weight (1.0 = one full vote).
+    pub weight: f64,
+    /// Blocks the operator inferred dark.
+    pub inferred: Block24Set,
+    /// Blocks the operator positively observed originating traffic
+    /// (veto candidates).
+    pub vetoed: Block24Set,
+}
+
+/// Federation policy.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FederationPolicy {
+    /// Accumulated weight required for acceptance.
+    pub quorum: f64,
+    /// Whether any single veto removes a block.
+    pub veto_enabled: bool,
+}
+
+impl Default for FederationPolicy {
+    fn default() -> Self {
+        FederationPolicy {
+            quorum: 2.0,
+            veto_enabled: true,
+        }
+    }
+}
+
+/// Result of federating several contributions.
+#[derive(Debug, Clone)]
+pub struct FederatedResult {
+    /// The agreed meta-telescope.
+    pub accepted: Block24Set,
+    /// Blocks that met quorum but were vetoed.
+    pub vetoed: Block24Set,
+    /// Per-operator count of accepted blocks they contributed to.
+    pub operator_support: HashMap<String, u64>,
+}
+
+/// Combines contributions under a policy.
+pub fn federate(contributions: &[Contribution], policy: &FederationPolicy) -> FederatedResult {
+    assert!(policy.quorum > 0.0);
+    let mut weights: HashMap<u32, f64> = HashMap::new();
+    for c in contributions {
+        assert!(c.weight >= 0.0, "negative trust weight for {}", c.operator);
+        for block in c.inferred.iter() {
+            *weights.entry(block.0).or_default() += c.weight;
+        }
+    }
+    let mut veto_union = Block24Set::new();
+    if policy.veto_enabled {
+        for c in contributions {
+            veto_union.union_with(&c.vetoed);
+        }
+    }
+    let mut accepted = Block24Set::new();
+    let mut vetoed = Block24Set::new();
+    // Quorum comparison with a tolerance for float accumulation.
+    let threshold = policy.quorum - 1e-9;
+    for (&b, &w) in &weights {
+        if w >= threshold {
+            let block = Block24(b);
+            if policy.veto_enabled && veto_union.contains(block) {
+                vetoed.insert(block);
+            } else {
+                accepted.insert(block);
+            }
+        }
+    }
+    let operator_support = contributions
+        .iter()
+        .map(|c| {
+            (
+                c.operator.clone(),
+                c.inferred.intersection_len(&accepted) as u64,
+            )
+        })
+        .collect();
+    FederatedResult {
+        accepted,
+        vetoed,
+        operator_support,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(blocks: &[u32]) -> Block24Set {
+        blocks.iter().map(|&b| Block24(b)).collect()
+    }
+
+    fn contrib(op: &str, weight: f64, inferred: &[u32], vetoed: &[u32]) -> Contribution {
+        Contribution {
+            operator: op.to_owned(),
+            weight,
+            inferred: set(inferred),
+            vetoed: set(vetoed),
+        }
+    }
+
+    #[test]
+    fn quorum_of_two_requires_agreement() {
+        let result = federate(
+            &[
+                contrib("ixp-a", 1.0, &[1, 2, 3], &[]),
+                contrib("ixp-b", 1.0, &[2, 3, 4], &[]),
+                contrib("isp-c", 1.0, &[3], &[]),
+            ],
+            &FederationPolicy::default(),
+        );
+        assert_eq!(result.accepted, set(&[2, 3]));
+        assert_eq!(result.operator_support["isp-c"], 1);
+        assert_eq!(result.operator_support["ixp-a"], 2);
+    }
+
+    #[test]
+    fn trust_weights_count() {
+        // A highly trusted operator alone meets the quorum.
+        let result = federate(
+            &[
+                contrib("anchor", 2.0, &[10], &[]),
+                contrib("small", 0.5, &[11], &[]),
+            ],
+            &FederationPolicy::default(),
+        );
+        assert_eq!(result.accepted, set(&[10]));
+    }
+
+    #[test]
+    fn veto_overrides_quorum() {
+        let policy = FederationPolicy::default();
+        let result = federate(
+            &[
+                contrib("a", 1.0, &[1, 2], &[]),
+                contrib("b", 1.0, &[1, 2], &[2]),
+            ],
+            &policy,
+        );
+        assert_eq!(result.accepted, set(&[1]));
+        assert_eq!(result.vetoed, set(&[2]));
+    }
+
+    #[test]
+    fn veto_can_be_disabled() {
+        let policy = FederationPolicy {
+            veto_enabled: false,
+            ..FederationPolicy::default()
+        };
+        let result = federate(
+            &[
+                contrib("a", 1.0, &[1, 2], &[]),
+                contrib("b", 1.0, &[1, 2], &[2]),
+            ],
+            &policy,
+        );
+        assert_eq!(result.accepted, set(&[1, 2]));
+        assert!(result.vetoed.is_empty());
+    }
+
+    #[test]
+    fn no_contributions_yield_nothing() {
+        let result = federate(&[], &FederationPolicy::default());
+        assert!(result.accepted.is_empty());
+        assert!(result.operator_support.is_empty());
+    }
+
+    #[test]
+    fn fractional_quorum_accumulates() {
+        let result = federate(
+            &[
+                contrib("a", 0.5, &[7], &[]),
+                contrib("b", 0.5, &[7], &[]),
+                contrib("c", 0.5, &[8], &[]),
+            ],
+            &FederationPolicy {
+                quorum: 1.0,
+                veto_enabled: true,
+            },
+        );
+        assert_eq!(result.accepted, set(&[7]));
+    }
+}

@@ -1,0 +1,43 @@
+//! The meta-telescope inference pipeline — the paper's contribution.
+//!
+//! Given per-/24 aggregates of sampled vantage-point flows
+//! ([`mt_flow::TrafficStats`]), a RIB snapshot, and the special-purpose
+//! registry, [`pipeline::run`] executes the seven filtering/classification
+//! steps of Section 4.2 and returns the inferred **dark** (meta-telescope
+//! prefix), **unclean**, and **gray** /24 sets plus per-step funnel
+//! accounting (Figure 2).
+//!
+//! Around the pipeline:
+//! - [`classifier`] — the packet-size fingerprint calibration of
+//!   Section 4.1 / Table 3 (median vs average feature, threshold sweep,
+//!   confusion matrices);
+//! - [`spoofing`] — the unrouted-space spoofing tolerance of Section 7.2;
+//! - [`combine`] — multi-day and multi-vantage-point combination;
+//! - [`eval`] — evaluation against ground truth and the activity
+//!   datasets (telescope coverage of Table 4, false-positive scrubbing);
+//! - [`analysis`] — the measurement analyses of Sections 6 and 8
+//!   (geography, network types, prefix index, port profiles);
+//! - [`baseline`] — the naive origin-only comparator;
+//! - [`render`] — Hilbert-map rendering for Figures 3/5/6;
+//! - [`stability`] — day-over-day stability tracking (Section 7.1's
+//!   operational recommendation);
+//! - [`federate`] — combining inferences from several operators
+//!   (Section 9's federated meta-telescopes).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod baseline;
+pub mod classifier;
+pub mod combine;
+pub mod eval;
+pub mod federate;
+pub mod pipeline;
+pub mod render;
+pub mod spoofing;
+pub mod stability;
+
+pub use classifier::{ClassifierFeature, ConfusionMatrix};
+pub use pipeline::{Funnel, PipelineConfig, PipelineResult};
+pub use spoofing::SpoofTolerance;

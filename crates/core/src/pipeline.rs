@@ -1,0 +1,398 @@
+//! The seven-step inference pipeline (Section 4.2, Figure 2).
+//!
+//! The pipeline consumes only *observable* inputs: per-/24 aggregates of
+//! sampled flows, a RIB, and the special-purpose registry. Ground truth
+//! never enters here.
+//!
+//! Step semantics (see DESIGN.md for the mapping to the paper's funnel):
+//!
+//! 1. **TCP** — a block with no sampled TCP cannot be fingerprinted;
+//!    dropped.
+//! 2. **Average packet size** — blocks whose block-level average TCP
+//!    size exceeds the threshold are dropped (the Section 4.1
+//!    fingerprint).
+//! 3. **Source address unseen** — hosts seen originating traffic are
+//!    disqualified; a block whose origination exceeds the spoofing
+//!    tolerance *and* retains no clean receiving host is dropped.
+//!    Blocks with both originators and clean receivers stay and are
+//!    later classified gray.
+//! 4. **Private / multicast / reserved** — RFC 6890 space is dropped.
+//! 5. **Globally routed** — blocks outside the day's RIB are dropped.
+//! 6. **Volume** — blocks whose estimated true packet rate exceeds the
+//!    per-day cap are dropped (asymmetric-routing decoys: CDN ACK
+//!    streams look like IBR but are orders of magnitude heavier).
+//! 7. **Classification** — remaining blocks become **dark** (every
+//!    TCP-receiving host is clean and nothing originated), **unclean**
+//!    (no originators, but some host received large TCP), or **gray**
+//!    (some host originated while another stayed clean).
+
+use mt_flow::{HostSet, TrafficStats};
+use mt_types::{Asn, Block24Set, PrefixTrie, SpecialRegistry};
+use serde::{Deserialize, Serialize};
+
+/// Tunable pipeline parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Maximum average TCP packet size (bytes) for a block to remain a
+    /// candidate (the paper picks 44 after the Table 3 sweep).
+    pub avg_size_threshold: f64,
+    /// Maximum estimated *true* packets per /24 per day (the paper's
+    /// 1.7 M, scaled 1:1000 in this workspace).
+    pub volume_threshold_per_day: f64,
+    /// Sampled source packets a block may emit before it counts as
+    /// originating (0 = strict; Section 7.2's spoofing tolerance raises
+    /// it).
+    pub spoof_tolerance_packets: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            avg_size_threshold: 44.0,
+            volume_threshold_per_day: 1_700.0,
+            spoof_tolerance_packets: 0,
+        }
+    }
+}
+
+/// Per-step candidate accounting (the funnel of Figure 2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Funnel {
+    /// /24s with any sampled traffic toward them.
+    pub seen: u64,
+    /// Remaining after step 1 (received TCP).
+    pub after_tcp: u64,
+    /// Remaining after step 2 (average size).
+    pub after_avg: u64,
+    /// Remaining after step 3 (a clean receiving host exists).
+    pub after_origin: u64,
+    /// Remaining after step 4 (not special-purpose).
+    pub after_special: u64,
+    /// Remaining after step 5 (globally routed).
+    pub after_routed: u64,
+    /// Remaining after step 6 (volume cap).
+    pub after_volume: u64,
+}
+
+/// The pipeline's output.
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    /// Inferred meta-telescope prefixes.
+    pub dark: Block24Set,
+    /// Candidates with a clean host but also hosts that failed the
+    /// per-IP size check.
+    pub unclean: Block24Set,
+    /// Candidates where some host originated traffic.
+    pub gray: Block24Set,
+    /// Per-step accounting.
+    pub funnel: Funnel,
+}
+
+impl PipelineResult {
+    /// Total classified candidates (dark + unclean + gray).
+    pub fn classified(&self) -> usize {
+        self.dark.len() + self.unclean.len() + self.gray.len()
+    }
+}
+
+/// Runs the pipeline over aggregated stats.
+///
+/// * `stats` — merged sampled traffic of the observation window (one or
+///   more vantage points, one or more days);
+/// * `rib` — the routed-prefix table for the window;
+/// * `sampling_rate` — the vantage points' packet sampling rate, used to
+///   scale sampled counts back to volume estimates;
+/// * `days` — window length in days (volume normalisation);
+/// * `config` — thresholds.
+pub fn run(
+    stats: &TrafficStats,
+    rib: &PrefixTrie<Asn>,
+    sampling_rate: u32,
+    days: u32,
+    config: &PipelineConfig,
+) -> PipelineResult {
+    assert!(days > 0, "observation window must cover at least one day");
+    let special = SpecialRegistry::new();
+    let mut funnel = Funnel::default();
+    let mut dark = Block24Set::new();
+    let mut unclean = Block24Set::new();
+    let mut gray = Block24Set::new();
+
+    let volume_cap =
+        config.volume_threshold_per_day * f64::from(days) / f64::from(sampling_rate);
+
+    for (block, d) in stats.iter_dst() {
+        funnel.seen += 1;
+        // Step 1: TCP traffic present.
+        if d.tcp_packets == 0 {
+            continue;
+        }
+        funnel.after_tcp += 1;
+        // Step 2: small average TCP size.
+        let avg = d.avg_tcp_size().expect("tcp_packets > 0");
+        if avg > config.avg_size_threshold {
+            continue;
+        }
+        funnel.after_avg += 1;
+        // Step 3: a clean receiving host must exist once originating
+        // hosts (beyond the spoofing tolerance) are disqualified.
+        let origin = stats.src(block);
+        let origin_pkts = origin.map(|s| s.packets).unwrap_or(0);
+        let originating: HostSet = if origin_pkts > config.spoof_tolerance_packets {
+            origin.map(|s| s.originating).unwrap_or(HostSet::EMPTY)
+        } else {
+            HostSet::EMPTY
+        };
+        let clean = d
+            .received_tcp
+            .difference(&d.received_big_tcp)
+            .difference(&originating);
+        if clean.is_empty() {
+            continue;
+        }
+        funnel.after_origin += 1;
+        // Step 4: not special-purpose space.
+        if special.is_special_block(block) {
+            continue;
+        }
+        funnel.after_special += 1;
+        // Step 5: globally routed.
+        if !rib.contains_addr(block.base()) {
+            continue;
+        }
+        funnel.after_routed += 1;
+        // Step 6: volume cap on the estimated true packet rate.
+        if d.total_packets() as f64 > volume_cap {
+            continue;
+        }
+        funnel.after_volume += 1;
+        // Step 7: classification.
+        if !originating.is_empty() {
+            gray.insert(block);
+        } else if !d.received_big_tcp.is_empty() {
+            unclean.insert(block);
+        } else {
+            dark.insert(block);
+        }
+    }
+
+    PipelineResult {
+        dark,
+        unclean,
+        gray,
+        funnel,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mt_flow::FlowRecord;
+    use mt_types::{Block24, Ipv4, Prefix, SimTime};
+
+    /// Builds a record; `size` is per-packet bytes.
+    fn flow(src: &str, dst: &str, proto: u8, packets: u64, size: u64) -> FlowRecord {
+        FlowRecord {
+            start: SimTime(0),
+            src: src.parse().unwrap(),
+            dst: dst.parse().unwrap(),
+            src_port: 40_000,
+            dst_port: 23,
+            protocol: proto,
+            tcp_flags: 2,
+            packets,
+            octets: packets * size,
+        }
+    }
+
+    fn rib_with(prefixes: &[&str]) -> PrefixTrie<Asn> {
+        prefixes
+            .iter()
+            .map(|p| (p.parse::<Prefix>().unwrap(), Asn(65_000)))
+            .collect()
+    }
+
+    fn run_default(records: &[FlowRecord], rib: &PrefixTrie<Asn>) -> PipelineResult {
+        let stats = TrafficStats::from_records(records);
+        run(&stats, rib, 1, 1, &PipelineConfig::default())
+    }
+
+    #[test]
+    fn clean_block_is_dark() {
+        let rib = rib_with(&["20.0.0.0/8"]);
+        let r = run_default(
+            &[
+                flow("9.9.9.9", "20.1.1.1", 6, 10, 40),
+                flow("9.9.9.9", "20.1.1.77", 6, 5, 44),
+            ],
+            &rib,
+        );
+        assert_eq!(r.dark.len(), 1);
+        assert!(r.dark.contains(Block24::containing(Ipv4::new(20, 1, 1, 0))));
+        assert_eq!(r.funnel.seen, 1);
+        assert_eq!(r.funnel.after_volume, 1);
+    }
+
+    #[test]
+    fn udp_only_block_fails_step1() {
+        let rib = rib_with(&["20.0.0.0/8"]);
+        let r = run_default(&[flow("9.9.9.9", "20.1.1.1", 17, 10, 100)], &rib);
+        assert_eq!(r.classified(), 0);
+        assert_eq!(r.funnel.seen, 1);
+        assert_eq!(r.funnel.after_tcp, 0);
+    }
+
+    #[test]
+    fn large_average_fails_step2() {
+        let rib = rib_with(&["20.0.0.0/8"]);
+        let r = run_default(&[flow("9.9.9.9", "20.1.1.1", 6, 10, 1500)], &rib);
+        assert_eq!(r.classified(), 0);
+        assert_eq!(r.funnel.after_tcp, 1);
+        assert_eq!(r.funnel.after_avg, 0);
+    }
+
+    #[test]
+    fn boundary_average_survives_step2() {
+        let rib = rib_with(&["20.0.0.0/8"]);
+        // Exactly 44 bytes average: kept (threshold is ≤).
+        let r = run_default(&[flow("9.9.9.9", "20.1.1.1", 6, 10, 44)], &rib);
+        assert_eq!(r.dark.len(), 1);
+    }
+
+    #[test]
+    fn originating_block_with_clean_host_is_gray() {
+        let rib = rib_with(&["20.0.0.0/8", "9.0.0.0/8"]);
+        let r = run_default(
+            &[
+                flow("9.9.9.9", "20.1.1.1", 6, 10, 40), // scan to host 1
+                flow("20.1.1.50", "9.9.9.9", 6, 3, 40), // host 50 talks back
+            ],
+            &rib,
+        );
+        assert_eq!(r.gray.len(), 1);
+        assert_eq!(r.dark.len(), 0);
+    }
+
+    #[test]
+    fn fully_originating_block_fails_step3() {
+        let rib = rib_with(&["20.0.0.0/8", "9.0.0.0/8"]);
+        // The only scanned host is also the one originating.
+        let r = run_default(
+            &[
+                flow("9.9.9.9", "20.1.1.50", 6, 10, 40),
+                flow("20.1.1.50", "9.9.9.9", 6, 3, 40),
+            ],
+            &rib,
+        );
+        assert_eq!(r.classified(), 0);
+        assert_eq!(r.funnel.after_avg, 2, "both blocks had small TCP");
+        // The scanner's own block (receiving the reply) is fully
+        // originating too, so nothing survives step 3.
+        assert_eq!(r.funnel.after_origin, 0);
+    }
+
+    #[test]
+    fn spoof_tolerance_forgives_light_origination() {
+        let rib = rib_with(&["20.0.0.0/8", "9.0.0.0/8"]);
+        let records = [
+            flow("9.9.9.9", "20.1.1.1", 6, 10, 40),
+            flow("20.1.1.50", "9.9.9.9", 6, 2, 40), // 2 spoofed packets
+        ];
+        let stats = TrafficStats::from_records(&records);
+        let strict = run(&stats, &rib, 1, 1, &PipelineConfig::default());
+        assert!(strict.dark.is_empty());
+        assert_eq!(strict.gray.len(), 1);
+        let tolerant = run(
+            &stats,
+            &rib,
+            1,
+            1,
+            &PipelineConfig {
+                spoof_tolerance_packets: 2,
+                ..PipelineConfig::default()
+            },
+        );
+        assert_eq!(tolerant.dark.len(), 1);
+    }
+
+    #[test]
+    fn special_space_fails_step4() {
+        let rib = rib_with(&["0.0.0.0/0"]);
+        let r = run_default(&[flow("9.9.9.9", "10.1.1.1", 6, 10, 40)], &rib);
+        assert_eq!(r.classified(), 0);
+        assert_eq!(r.funnel.after_origin, 1);
+        assert_eq!(r.funnel.after_special, 0);
+    }
+
+    #[test]
+    fn unrouted_space_fails_step5() {
+        let rib = rib_with(&["20.0.0.0/8"]);
+        let r = run_default(&[flow("9.9.9.9", "21.1.1.1", 6, 10, 40)], &rib);
+        assert_eq!(r.classified(), 0);
+        assert_eq!(r.funnel.after_special, 1);
+        assert_eq!(r.funnel.after_routed, 0);
+    }
+
+    #[test]
+    fn heavy_block_fails_step6() {
+        let rib = rib_with(&["20.0.0.0/8"]);
+        let records = [flow("9.9.9.9", "20.1.1.1", 6, 2_000, 40)];
+        let r = run_default(&records, &rib);
+        assert_eq!(r.classified(), 0);
+        assert_eq!(r.funnel.after_routed, 1);
+        assert_eq!(r.funnel.after_volume, 0);
+    }
+
+    #[test]
+    fn volume_cap_scales_with_sampling_and_days() {
+        let rib = rib_with(&["20.0.0.0/8"]);
+        let records = [flow("9.9.9.9", "20.1.1.1", 6, 2_000, 40)];
+        let stats = TrafficStats::from_records(&records);
+        // 2 000 sampled at rate 10 over 7 days → ≈ 2 857 true/day > 1 700.
+        let week = run(&stats, &rib, 10, 7, &PipelineConfig::default());
+        assert_eq!(week.classified(), 0);
+        // Over 14 days the same count is within the cap.
+        let fortnight = run(&stats, &rib, 10, 14, &PipelineConfig::default());
+        assert_eq!(fortnight.dark.len(), 1);
+    }
+
+    #[test]
+    fn mixed_sizes_become_unclean() {
+        let rib = rib_with(&["20.0.0.0/8"]);
+        // Host 1 gets clean SYNs; host 2 got one large TCP packet, but
+        // the block average stays under 44.
+        let r = run_default(
+            &[
+                flow("9.9.9.9", "20.1.1.1", 6, 100, 40),
+                flow("9.9.9.9", "20.1.1.2", 6, 1, 200),
+            ],
+            &rib,
+        );
+        assert_eq!(r.unclean.len(), 1);
+        assert_eq!(r.dark.len(), 0);
+    }
+
+    #[test]
+    fn funnel_is_monotone() {
+        let rib = rib_with(&["20.0.0.0/8", "9.0.0.0/8"]);
+        let mut records = Vec::new();
+        for i in 0..50u32 {
+            records.push(flow(
+                "9.9.9.9",
+                &format!("20.1.{i}.1"),
+                if i % 5 == 0 { 17 } else { 6 },
+                10 + u64::from(i) * 60,
+                if i % 3 == 0 { 1500 } else { 40 },
+            ));
+        }
+        let r = run_default(&records, &rib);
+        let f = r.funnel;
+        assert!(f.seen >= f.after_tcp);
+        assert!(f.after_tcp >= f.after_avg);
+        assert!(f.after_avg >= f.after_origin);
+        assert!(f.after_origin >= f.after_special);
+        assert!(f.after_special >= f.after_routed);
+        assert!(f.after_routed >= f.after_volume);
+        assert_eq!(r.classified() as u64, f.after_volume);
+    }
+}

@@ -1,0 +1,186 @@
+//! Hilbert-map rendering (Figures 3, 5 and 6).
+//!
+//! Every /24 of a covering prefix maps to one cell of a Hilbert curve;
+//! adjacency in address space is preserved on the plane, so contiguous
+//! dark ranges appear as solid shapes. Two outputs: ASCII art for
+//! terminals/test assertions, and binary PPM (P6) images for reports.
+
+use mt_types::hilbert::order_for_prefix_len;
+use mt_types::{Block24, Block24Set, HilbertCurve, Prefix};
+
+/// A renderable Hilbert map of one covering prefix.
+#[derive(Debug, Clone)]
+pub struct HilbertMap {
+    covering: Prefix,
+    curve: HilbertCurve,
+}
+
+impl HilbertMap {
+    /// Creates a map for a covering prefix (must be /24 or shorter).
+    pub fn new(covering: Prefix) -> Self {
+        assert!(covering.len() <= 24, "need at least one /24 to draw");
+        HilbertMap {
+            covering,
+            curve: HilbertCurve::new(order_for_prefix_len(covering.len())),
+        }
+    }
+
+    /// Grid side length in cells.
+    pub fn side(&self) -> u32 {
+        self.curve.side()
+    }
+
+    /// The cell of a block, or `None` if outside the covering prefix.
+    pub fn cell_of(&self, block: Block24) -> Option<(u32, u32)> {
+        if !self.covering.contains(block.base()) {
+            return None;
+        }
+        let offset = u64::from(block.0 - self.covering.base().block24_index());
+        Some(self.curve.d2xy(offset))
+    }
+
+    /// The block at a cell, if the cell maps inside the covering prefix
+    /// (for non-square prefixes — odd lengths — half the grid is empty).
+    pub fn block_at(&self, x: u32, y: u32) -> Option<Block24> {
+        let d = self.curve.xy2d(x, y);
+        let count = u64::from(self.covering.num_blocks24());
+        (d < count).then(|| Block24(self.covering.base().block24_index() + d as u32))
+    }
+
+    /// Renders ASCII art: `#` for members of `set`, `+` for cells inside
+    /// `boundary` (if given) that are not members, `@` for both, `·` for
+    /// everything else inside the covering prefix, and space for cells
+    /// outside it.
+    pub fn ascii(&self, set: &Block24Set, boundary: Option<&Block24Set>) -> String {
+        let side = self.side();
+        let mut out = String::with_capacity(((side + 1) * side) as usize);
+        for y in 0..side {
+            for x in 0..side {
+                let ch = match self.block_at(x, y) {
+                    None => ' ',
+                    Some(block) => {
+                        let in_set = set.contains(block);
+                        let in_boundary = boundary.is_some_and(|b| b.contains(block));
+                        match (in_set, in_boundary) {
+                            (true, true) => '@',
+                            (true, false) => '#',
+                            (false, true) => '+',
+                            (false, false) => '·',
+                        }
+                    }
+                };
+                out.push(ch);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders a P6 PPM image: members of `set` in blue, `boundary`-only
+    /// cells in gray, other covered cells white, uncovered cells black.
+    pub fn ppm(&self, set: &Block24Set, boundary: Option<&Block24Set>) -> Vec<u8> {
+        let side = self.side();
+        let mut out = format!("P6\n{side} {side}\n255\n").into_bytes();
+        for y in 0..side {
+            for x in 0..side {
+                let rgb: [u8; 3] = match self.block_at(x, y) {
+                    None => [0, 0, 0],
+                    Some(block) => {
+                        let in_set = set.contains(block);
+                        let in_boundary = boundary.is_some_and(|b| b.contains(block));
+                        match (in_set, in_boundary) {
+                            (true, _) => [30, 80, 220],
+                            (false, true) => [150, 150, 150],
+                            (false, false) => [245, 245, 245],
+                        }
+                    }
+                };
+                out.extend_from_slice(&rgb);
+            }
+        }
+        out
+    }
+
+    /// Fraction of covered cells that are members of `set`.
+    pub fn density(&self, set: &Block24Set) -> f64 {
+        let covered = self.covering.num_blocks24();
+        set.count_in_prefix(self.covering) as f64 / f64::from(covered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mt_types::Ipv4;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn cells_are_bijective_within_the_prefix() {
+        let map = HilbertMap::new(p("20.0.0.0/16"));
+        assert_eq!(map.side(), 16);
+        let mut seen = std::collections::HashSet::new();
+        for block in p("20.0.0.0/16").blocks24() {
+            let cell = map.cell_of(block).unwrap();
+            assert!(seen.insert(cell), "cell reused: {cell:?}");
+            assert_eq!(map.block_at(cell.0, cell.1), Some(block));
+        }
+        assert_eq!(seen.len(), 256);
+    }
+
+    #[test]
+    fn outside_blocks_have_no_cell() {
+        let map = HilbertMap::new(p("20.0.0.0/16"));
+        assert_eq!(map.cell_of(Block24::containing(Ipv4::new(21, 0, 0, 0))), None);
+    }
+
+    #[test]
+    fn odd_prefix_lengths_leave_half_the_grid_empty() {
+        let map = HilbertMap::new(p("20.0.0.0/17"));
+        assert_eq!(map.side(), 16); // order 4 grid, 128 of 256 cells used
+        let used = (0..16)
+            .flat_map(|y| (0..16).map(move |x| (x, y)))
+            .filter(|&(x, y)| map.block_at(x, y).is_some())
+            .count();
+        assert_eq!(used, 128);
+        let art = map.ascii(&Block24Set::new(), None);
+        assert_eq!(art.matches(' ').count(), 128);
+    }
+
+    #[test]
+    fn ascii_marks_members_and_boundary() {
+        let covering = p("20.0.0.0/22"); // 4 blocks, 2x2 grid
+        let map = HilbertMap::new(covering);
+        let mut set = Block24Set::new();
+        set.insert(Block24::containing(Ipv4::new(20, 0, 0, 0)));
+        let mut boundary = Block24Set::new();
+        boundary.insert(Block24::containing(Ipv4::new(20, 0, 0, 0)));
+        boundary.insert(Block24::containing(Ipv4::new(20, 0, 1, 0)));
+        let art = map.ascii(&set, Some(&boundary));
+        assert_eq!(art.matches('@').count(), 1);
+        assert_eq!(art.matches('+').count(), 1);
+        assert_eq!(art.matches('·').count(), 2);
+    }
+
+    #[test]
+    fn ppm_has_correct_size_and_header() {
+        let map = HilbertMap::new(p("20.0.0.0/16"));
+        let img = map.ppm(&Block24Set::new(), None);
+        let header = b"P6\n16 16\n255\n";
+        assert!(img.starts_with(header));
+        assert_eq!(img.len(), header.len() + 16 * 16 * 3);
+    }
+
+    #[test]
+    fn density_matches_membership() {
+        let covering = p("20.0.0.0/22");
+        let map = HilbertMap::new(covering);
+        let mut set = Block24Set::new();
+        set.insert(Block24::containing(Ipv4::new(20, 0, 0, 0)));
+        set.insert(Block24::containing(Ipv4::new(20, 0, 3, 0)));
+        set.insert(Block24::containing(Ipv4::new(99, 0, 0, 0))); // outside
+        assert!((map.density(&set) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,142 @@
+//! The spoofing tolerance of Section 7.2.
+//!
+//! Spoofers draw forged sources across routed *and unrouted* space, so
+//! traffic "from" known-unrouted /8s is a clean baseline for how many
+//! spoofed packets an arbitrary /24 should expect to be blamed for. The
+//! paper computes the 99.99th percentile of per-/24 source packet counts
+//! inside two unrouted /8s and allows that many packets before a block
+//! is disqualified as originating.
+
+use mt_flow::TrafficStats;
+use mt_types::Block24;
+use serde::{Deserialize, Serialize};
+
+/// An estimated spoofing tolerance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpoofTolerance {
+    /// Sampled packets a /24 may "originate" before being disqualified.
+    pub packets: u64,
+    /// The percentile used (e.g. 0.9999).
+    pub percentile: f64,
+    /// Number of unrouted /24s the estimate is based on.
+    pub baseline_blocks: u64,
+    /// How many of those were blamed for at least one packet.
+    pub polluted_blocks: u64,
+}
+
+impl SpoofTolerance {
+    /// Estimates the tolerance from the window's stats and the scenario's
+    /// unrouted first octets. `percentile` is typically `0.9999`.
+    ///
+    /// Every /24 of each unrouted /8 participates, including the (vast
+    /// majority of) blocks blamed for zero packets — leaving those out
+    /// would wildly overestimate the tolerance.
+    pub fn estimate(stats: &TrafficStats, unrouted_octets: &[u8], percentile: f64) -> Self {
+        assert!((0.0..=1.0).contains(&percentile));
+        let mut counts: Vec<u64> = Vec::new();
+        let mut polluted = 0u64;
+        for &octet in unrouted_octets {
+            let first = u32::from(octet) << 16;
+            for block in first..first + (1 << 16) {
+                let c = stats
+                    .src(Block24(block))
+                    .map(|s| s.packets)
+                    .unwrap_or(0);
+                if c > 0 {
+                    polluted += 1;
+                }
+                counts.push(c);
+            }
+        }
+        let baseline_blocks = counts.len() as u64;
+        let packets = if counts.is_empty() {
+            0
+        } else {
+            counts.sort_unstable();
+            let rank = ((counts.len() as f64 - 1.0) * percentile).round() as usize;
+            counts[rank.min(counts.len() - 1)]
+        };
+        SpoofTolerance {
+            packets,
+            percentile,
+            baseline_blocks,
+            polluted_blocks: polluted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mt_flow::FlowRecord;
+    use mt_types::{Ipv4, SimTime};
+
+    fn spoofed_from(src: Ipv4, packets: u64) -> FlowRecord {
+        FlowRecord {
+            start: SimTime(0),
+            src,
+            dst: Ipv4::new(8, 8, 8, 8),
+            src_port: 1024,
+            dst_port: 80,
+            protocol: 6,
+            tcp_flags: 2,
+            packets,
+            octets: packets * 40,
+        }
+    }
+
+    #[test]
+    fn no_spoofing_means_zero_tolerance() {
+        let stats = TrafficStats::new();
+        let t = SpoofTolerance::estimate(&stats, &[37, 53], 0.9999);
+        assert_eq!(t.packets, 0);
+        assert_eq!(t.baseline_blocks, 2 * 65_536);
+        assert_eq!(t.polluted_blocks, 0);
+    }
+
+    #[test]
+    fn light_pollution_keeps_tolerance_at_zero() {
+        // 10 polluted blocks out of 131 072: the 99.99th percentile
+        // (rank ≈ 131 059) still sits in the zero mass.
+        let mut stats = TrafficStats::new();
+        for i in 0..10u8 {
+            stats.ingest(&spoofed_from(Ipv4::new(37, i, 0, 1), 1));
+        }
+        let t = SpoofTolerance::estimate(&stats, &[37, 53], 0.9999);
+        assert_eq!(t.packets, 0);
+        assert_eq!(t.polluted_blocks, 10);
+    }
+
+    #[test]
+    fn heavy_pollution_raises_tolerance() {
+        // Pollute ~0.1% of the baseline blocks with 2 packets each: the
+        // 99.99th percentile lands inside the polluted mass.
+        let mut stats = TrafficStats::new();
+        for i in 0..140u32 {
+            let src = Ipv4((37 << 24) | (i << 8) | 1);
+            stats.ingest(&spoofed_from(src, 2));
+        }
+        let t = SpoofTolerance::estimate(&stats, &[37], 0.9999);
+        assert_eq!(t.baseline_blocks, 65_536);
+        assert_eq!(t.polluted_blocks, 140);
+        assert_eq!(t.packets, 2);
+    }
+
+    #[test]
+    fn percentile_one_returns_the_max() {
+        let mut stats = TrafficStats::new();
+        stats.ingest(&spoofed_from(Ipv4::new(53, 1, 2, 3), 7));
+        let t = SpoofTolerance::estimate(&stats, &[53], 1.0);
+        assert_eq!(t.packets, 7);
+    }
+
+    #[test]
+    fn routed_sources_do_not_count() {
+        let mut stats = TrafficStats::new();
+        // Traffic from routed space must not affect the baseline.
+        stats.ingest(&spoofed_from(Ipv4::new(20, 1, 2, 3), 1_000));
+        let t = SpoofTolerance::estimate(&stats, &[37, 53], 0.9999);
+        assert_eq!(t.packets, 0);
+        assert_eq!(t.polluted_blocks, 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Prefix stability across days (Section 7.1).
+//!
+//! The paper recommends checking whether a prefix is inferred on
+//! multiple days before trusting it, and re-running the inference daily
+//! to track routing and allocation churn. [`StabilityTracker`] ingests
+//! one inferred set per day and answers: which blocks were inferred on
+//! at least `k` of the last `n` days, which are new today, which
+//! disappeared — the operational "stable meta-telescope" feed.
+
+use mt_types::{Block24, Block24Set, Day};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Tracks per-day inference results and derives stable sets.
+#[derive(Debug, Clone, Default)]
+pub struct StabilityTracker {
+    days: Vec<(Day, Block24Set)>,
+}
+
+/// Day-over-day churn between two inferred sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Churn {
+    /// Blocks inferred today but not yesterday.
+    pub appeared: u64,
+    /// Blocks inferred yesterday but not today.
+    pub disappeared: u64,
+    /// Blocks inferred on both days.
+    pub retained: u64,
+}
+
+impl StabilityTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the inference result of one day. Days must be recorded in
+    /// increasing order.
+    pub fn record(&mut self, day: Day, inferred: Block24Set) {
+        if let Some((last, _)) = self.days.last() {
+            assert!(day > *last, "days must be recorded in order");
+        }
+        self.days.push((day, inferred));
+    }
+
+    /// Number of recorded days.
+    pub fn len(&self) -> usize {
+        self.days.len()
+    }
+
+    /// Whether nothing was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.days.is_empty()
+    }
+
+    /// Blocks inferred on *every* recorded day.
+    pub fn always_inferred(&self) -> Block24Set {
+        let mut iter = self.days.iter();
+        let Some((_, first)) = iter.next() else {
+            return Block24Set::new();
+        };
+        let mut acc = first.clone();
+        for (_, set) in iter {
+            acc.intersect_with(set);
+        }
+        acc
+    }
+
+    /// Blocks inferred on at least `k` of the recorded days.
+    ///
+    /// `k = 1` is the union; `k = len()` equals
+    /// [`StabilityTracker::always_inferred`].
+    pub fn stable(&self, k: usize) -> Block24Set {
+        assert!(k >= 1, "k must be at least 1");
+        if self.days.is_empty() {
+            return Block24Set::new();
+        }
+        // Count appearances; bounded by the union's size.
+        let mut counts: HashMap<u32, u32> = HashMap::new();
+        for (_, set) in &self.days {
+            for block in set.iter() {
+                *counts.entry(block.0).or_default() += 1;
+            }
+        }
+        counts
+            .into_iter()
+            .filter(|&(_, c)| c as usize >= k)
+            .map(|(b, _)| Block24(b))
+            .collect()
+    }
+
+    /// Churn between the last two recorded days, if both exist.
+    pub fn latest_churn(&self) -> Option<Churn> {
+        let n = self.days.len();
+        if n < 2 {
+            return None;
+        }
+        let (_, yesterday) = &self.days[n - 2];
+        let (_, today) = &self.days[n - 1];
+        let retained = today.intersection_len(yesterday) as u64;
+        Some(Churn {
+            appeared: today.len() as u64 - retained,
+            disappeared: yesterday.len() as u64 - retained,
+            retained,
+        })
+    }
+
+    /// Per-day inferred counts (the Figure 8 series).
+    pub fn daily_counts(&self) -> Vec<(Day, usize)> {
+        self.days.iter().map(|(d, s)| (*d, s.len())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(blocks: &[u32]) -> Block24Set {
+        blocks.iter().map(|&b| Block24(b)).collect()
+    }
+
+    #[test]
+    fn always_inferred_is_the_intersection() {
+        let mut t = StabilityTracker::new();
+        t.record(Day(0), set(&[1, 2, 3]));
+        t.record(Day(1), set(&[2, 3, 4]));
+        t.record(Day(2), set(&[3, 4, 5]));
+        let stable = t.always_inferred();
+        assert_eq!(stable.len(), 1);
+        assert!(stable.contains(Block24(3)));
+    }
+
+    #[test]
+    fn stable_k_interpolates_between_union_and_intersection() {
+        let mut t = StabilityTracker::new();
+        t.record(Day(0), set(&[1, 2, 3]));
+        t.record(Day(1), set(&[2, 3, 4]));
+        t.record(Day(2), set(&[3, 4, 5]));
+        assert_eq!(t.stable(1).len(), 5); // union
+        assert_eq!(t.stable(2), set(&[2, 3, 4]));
+        assert_eq!(t.stable(3), t.always_inferred());
+    }
+
+    #[test]
+    fn churn_reports_deltas() {
+        let mut t = StabilityTracker::new();
+        t.record(Day(0), set(&[1, 2, 3]));
+        assert_eq!(t.latest_churn(), None);
+        t.record(Day(1), set(&[2, 3, 4, 5]));
+        assert_eq!(
+            t.latest_churn(),
+            Some(Churn {
+                appeared: 2,
+                disappeared: 1,
+                retained: 2
+            })
+        );
+    }
+
+    #[test]
+    fn daily_counts_follow_recording() {
+        let mut t = StabilityTracker::new();
+        t.record(Day(3), set(&[1]));
+        t.record(Day(4), set(&[1, 2]));
+        assert_eq!(t.daily_counts(), vec![(Day(3), 1), (Day(4), 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "days must be recorded in order")]
+    fn out_of_order_recording_rejected() {
+        let mut t = StabilityTracker::new();
+        t.record(Day(5), set(&[1]));
+        t.record(Day(4), set(&[1]));
+    }
+
+    #[test]
+    fn empty_tracker_edge_cases() {
+        let t = StabilityTracker::new();
+        assert!(t.is_empty());
+        assert!(t.always_inferred().is_empty());
+        assert!(t.stable(1).is_empty());
+        assert_eq!(t.latest_churn(), None);
+    }
+}

@@ -1,0 +1,34 @@
+//! Flow-level plumbing between the traffic generators, the vantage
+//! points, and the inference pipeline.
+//!
+//! The IXPs in the paper export *sampled* IPFIX flows: the switching
+//! fabric samples 1-in-N packets, aggregates the samples into flow
+//! records, and exports them. This crate models that chain:
+//!
+//! - [`record`] — [`FlowIntent`] (what a traffic source actually sent:
+//!   true packet counts) and [`FlowRecord`] (what the vantage point saw
+//!   after sampling), plus lossless conversion to/from the IPFIX-lite
+//!   wire format;
+//! - [`meter`] — the RFC 7011 metering process: aggregating sampled
+//!   packets into flow records with active/idle timeouts (for
+//!   packet-level inputs such as replayed pcaps);
+//! - [`sampling`] — deterministic 1-in-N packet sampling (binomial
+//!   thinning) and re-thinning of already-sampled data, the operation
+//!   behind the paper's Figure 10 sub-sampling sweep;
+//! - [`stats`] — per-/24 destination and source accumulators: exactly the
+//!   aggregates the seven-step inference pipeline consumes (TCP packet
+//!   counts and sizes per block and per host, originated-traffic counts,
+//!   packet-size distributions for the median/average classifiers).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod meter;
+pub mod record;
+pub mod sampling;
+pub mod stats;
+
+pub use meter::{FlowKey, FlowMeter, MeteredPacket};
+pub use record::{FlowIntent, FlowRecord};
+pub use sampling::{binomial, Sampler};
+pub use stats::{DstBlockStats, HostSet, SrcBlockStats, TrafficStats};

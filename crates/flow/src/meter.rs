@@ -1,0 +1,293 @@
+//! The flow metering process (RFC 7011 §2): aggregating sampled packets
+//! into flow records with active/idle timeouts.
+//!
+//! The generators in this workspace emit pre-aggregated intents, but a
+//! real IXP exporter sees individual sampled *packets* and must build
+//! flow records itself: packets sharing a 5-tuple accumulate into one
+//! record until the flow has been idle for `idle_timeout` or active for
+//! `active_timeout`, at which point the record is expired and exported.
+//! [`FlowMeter`] implements that cache so the workspace can also consume
+//! packet-level inputs (e.g. replayed pcaps) through the same pipeline.
+
+use crate::record::FlowRecord;
+use mt_types::{Ipv4, SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// A flow cache key: the classic 5-tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    /// Source address.
+    pub src: Ipv4,
+    /// Destination address.
+    pub dst: Ipv4,
+    /// Source port (0 for ICMP).
+    pub src_port: u16,
+    /// Destination port (0 for ICMP).
+    pub dst_port: u16,
+    /// IP protocol.
+    pub protocol: u8,
+}
+
+/// One sampled packet, as the metering process sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeteredPacket {
+    /// Observation time.
+    pub time: SimTime,
+    /// The 5-tuple.
+    pub key: FlowKey,
+    /// TCP flags (0 for non-TCP).
+    pub tcp_flags: u8,
+    /// IP total length.
+    pub length: u16,
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    first: SimTime,
+    last: SimTime,
+    packets: u64,
+    octets: u64,
+    tcp_flags: u8,
+}
+
+/// A metering cache with active and idle timeouts.
+///
+/// Call [`FlowMeter::observe`] for each sampled packet (times must be
+/// non-decreasing) and collect expired records from the return value;
+/// call [`FlowMeter::drain`] at the end of the observation window.
+///
+/// ```
+/// use mt_flow::{FlowKey, FlowMeter, MeteredPacket};
+/// use mt_types::{Ipv4, SimDuration, SimTime};
+/// let mut meter = FlowMeter::new(SimDuration::secs(60), SimDuration::secs(15));
+/// let key = FlowKey {
+///     src: Ipv4::new(9, 9, 9, 9), dst: Ipv4::new(20, 0, 0, 1),
+///     src_port: 40_000, dst_port: 23, protocol: 6,
+/// };
+/// for t in 0..3 {
+///     let expired = meter.observe(&MeteredPacket {
+///         time: SimTime(t), key, tcp_flags: 2, length: 40,
+///     });
+///     assert!(expired.is_empty());
+/// }
+/// let records = meter.drain();
+/// assert_eq!(records[0].packets, 3);
+/// ```
+#[derive(Debug)]
+pub struct FlowMeter {
+    active_timeout: SimDuration,
+    idle_timeout: SimDuration,
+    cache: HashMap<FlowKey, CacheEntry>,
+    clock: SimTime,
+    /// Expiry check bookkeeping: scan the cache at most once per second
+    /// of simulated time to keep observe() amortised O(1).
+    next_sweep: SimTime,
+    /// Records expired but not yet collected.
+    expired: Vec<FlowRecord>,
+}
+
+impl FlowMeter {
+    /// Creates a meter. Typical deployments use 60–300 s active and
+    /// 15–60 s idle timeouts.
+    pub fn new(active_timeout: SimDuration, idle_timeout: SimDuration) -> FlowMeter {
+        assert!(active_timeout.as_secs() > 0 && idle_timeout.as_secs() > 0);
+        FlowMeter {
+            active_timeout,
+            idle_timeout,
+            cache: HashMap::new(),
+            clock: SimTime::EPOCH,
+            next_sweep: SimTime::EPOCH,
+            expired: Vec::new(),
+        }
+    }
+
+    /// Number of flows currently in the cache.
+    pub fn cached_flows(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Observes one sampled packet and returns any records that expired
+    /// at this point in time.
+    ///
+    /// Panics if time moves backwards (the exporter's clock is
+    /// monotone).
+    pub fn observe(&mut self, packet: &MeteredPacket) -> Vec<FlowRecord> {
+        assert!(
+            packet.time >= self.clock,
+            "packet time {} precedes meter clock {}",
+            packet.time,
+            self.clock
+        );
+        self.clock = packet.time;
+        if self.clock >= self.next_sweep {
+            self.sweep();
+            self.next_sweep = self.clock + SimDuration::secs(1);
+        }
+        let entry = self
+            .cache
+            .entry(packet.key)
+            .or_insert_with(|| CacheEntry {
+                first: packet.time,
+                last: packet.time,
+                packets: 0,
+                octets: 0,
+                tcp_flags: 0,
+            });
+        // An entry past its active timeout is exported and restarted
+        // even when packets keep arriving.
+        if packet.time - entry.first >= self.active_timeout && entry.packets > 0 {
+            let record = Self::to_record(packet.key, entry);
+            *entry = CacheEntry {
+                first: packet.time,
+                last: packet.time,
+                packets: 0,
+                octets: 0,
+                tcp_flags: 0,
+            };
+            self.expired.push(record);
+        }
+        let entry = self.cache.get_mut(&packet.key).expect("just inserted");
+        entry.last = packet.time;
+        entry.packets += 1;
+        entry.octets += u64::from(packet.length);
+        entry.tcp_flags |= packet.tcp_flags;
+        std::mem::take(&mut self.expired)
+    }
+
+    /// Expires idle entries against the current clock.
+    fn sweep(&mut self) {
+        let clock = self.clock;
+        let idle = self.idle_timeout;
+        let mut out = Vec::new();
+        self.cache.retain(|key, entry| {
+            if entry.packets > 0 && clock - entry.last >= idle {
+                out.push(Self::to_record(*key, entry));
+                false
+            } else {
+                true
+            }
+        });
+        self.expired.append(&mut out);
+    }
+
+    /// Flushes every cached flow (end of the observation window).
+    pub fn drain(&mut self) -> Vec<FlowRecord> {
+        let mut out = std::mem::take(&mut self.expired);
+        for (key, entry) in self.cache.drain() {
+            if entry.packets > 0 {
+                out.push(Self::to_record(key, &entry));
+            }
+        }
+        out
+    }
+
+    fn to_record(key: FlowKey, entry: &CacheEntry) -> FlowRecord {
+        FlowRecord {
+            start: entry.first,
+            src: key.src,
+            dst: key.dst,
+            src_port: key.src_port,
+            dst_port: key.dst_port,
+            protocol: key.protocol,
+            tcp_flags: entry.tcp_flags,
+            packets: entry.packets,
+            octets: entry.octets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u8) -> FlowKey {
+        FlowKey {
+            src: Ipv4::new(9, 9, 9, n),
+            dst: Ipv4::new(20, 0, 0, 1),
+            src_port: 40_000,
+            dst_port: 23,
+            protocol: 6,
+        }
+    }
+
+    fn pkt(t: u64, k: FlowKey, flags: u8) -> MeteredPacket {
+        MeteredPacket {
+            time: SimTime(t),
+            key: k,
+            tcp_flags: flags,
+            length: 40,
+        }
+    }
+
+    fn meter() -> FlowMeter {
+        FlowMeter::new(SimDuration::secs(60), SimDuration::secs(15))
+    }
+
+    #[test]
+    fn packets_aggregate_into_one_flow() {
+        let mut m = meter();
+        assert!(m.observe(&pkt(0, key(1), 2)).is_empty());
+        assert!(m.observe(&pkt(1, key(1), 2)).is_empty());
+        assert!(m.observe(&pkt(2, key(1), 16)).is_empty());
+        let records = m.drain();
+        assert_eq!(records.len(), 1);
+        let r = &records[0];
+        assert_eq!(r.packets, 3);
+        assert_eq!(r.octets, 120);
+        assert_eq!(r.tcp_flags, 2 | 16, "flags are OR-ed");
+        assert_eq!(r.start, SimTime(0));
+    }
+
+    #[test]
+    fn idle_timeout_expires_flows() {
+        let mut m = meter();
+        m.observe(&pkt(0, key(1), 2));
+        // 20 s later, a packet on another flow triggers the sweep.
+        let expired = m.observe(&pkt(20, key(2), 2));
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].src, key(1).src);
+        assert_eq!(m.cached_flows(), 1);
+    }
+
+    #[test]
+    fn active_timeout_splits_long_flows() {
+        let mut m = meter();
+        let mut exported = Vec::new();
+        for t in (0..=120).step_by(5) {
+            exported.extend(m.observe(&pkt(t, key(1), 16)));
+        }
+        exported.extend(m.drain());
+        assert!(
+            exported.len() >= 2,
+            "a 120 s flow splits at the 60 s active timeout: {exported:?}"
+        );
+        let total: u64 = exported.iter().map(|r| r.packets).sum();
+        assert_eq!(total, 25, "no packet is lost across splits");
+    }
+
+    #[test]
+    fn distinct_tuples_stay_distinct() {
+        let mut m = meter();
+        m.observe(&pkt(0, key(1), 2));
+        m.observe(&pkt(0, key(2), 2));
+        let mut other = key(1);
+        other.dst_port = 80;
+        m.observe(&pkt(0, other, 2));
+        assert_eq!(m.cached_flows(), 3);
+        assert_eq!(m.drain().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes meter clock")]
+    fn time_cannot_go_backwards() {
+        let mut m = meter();
+        m.observe(&pkt(10, key(1), 2));
+        m.observe(&pkt(5, key(1), 2));
+    }
+
+    #[test]
+    fn drain_on_empty_meter() {
+        let mut m = meter();
+        assert!(m.drain().is_empty());
+    }
+}

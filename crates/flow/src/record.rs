@@ -1,0 +1,188 @@
+//! Flow intents and sampled flow records.
+
+use mt_types::{Ipv4, SimTime};
+use mt_wire::ipfix::IpfixFlow;
+use mt_wire::IpProtocol;
+
+/// TCP flag bit for SYN (kept as a raw byte to stay close to the wire;
+/// see `mt_wire::tcp::Flags` for the full set).
+pub const TCP_SYN: u8 = 0x02;
+/// TCP flag bit for ACK.
+pub const TCP_ACK: u8 = 0x10;
+/// TCP flag bit for RST.
+pub const TCP_RST: u8 = 0x04;
+
+/// What a traffic source actually put on the wire: a burst of `packets`
+/// identical-shaped packets of `packet_len` bytes (IP total length) for
+/// one 5-tuple.
+///
+/// Intents are the unit the traffic generators emit. They carry *true*
+/// counts; only after [`Sampler`](crate::sampling::Sampler) thinning do
+/// they become observable [`FlowRecord`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowIntent {
+    /// When the burst started.
+    pub start: SimTime,
+    /// Source address (possibly spoofed — the intent does not say).
+    pub src: Ipv4,
+    /// Destination address.
+    pub dst: Ipv4,
+    /// Source transport port (0 for ICMP).
+    pub src_port: u16,
+    /// Destination transport port (0 for ICMP).
+    pub dst_port: u16,
+    /// IP protocol number.
+    pub protocol: u8,
+    /// TCP flags union (0 for non-TCP).
+    pub tcp_flags: u8,
+    /// True number of packets sent.
+    pub packets: u64,
+    /// IP total length of each packet in bytes.
+    pub packet_len: u16,
+}
+
+impl FlowIntent {
+    /// A burst of bare TCP SYNs (40 bytes each) — the canonical scan probe.
+    pub fn tcp_syn(start: SimTime, src: Ipv4, dst: Ipv4, src_port: u16, dst_port: u16, packets: u64) -> Self {
+        FlowIntent {
+            start,
+            src,
+            dst,
+            src_port,
+            dst_port,
+            protocol: IpProtocol::Tcp.into(),
+            tcp_flags: TCP_SYN,
+            packets,
+            packet_len: 40,
+        }
+    }
+
+    /// Total bytes of the burst.
+    pub fn octets(&self) -> u64 {
+        self.packets * u64::from(self.packet_len)
+    }
+}
+
+/// A sampled flow record as exported by a vantage point.
+///
+/// `packets`/`octets` are sampled counts; multiply by the vantage point's
+/// sampling rate for volume estimates (as the pipeline's volume filter
+/// does).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowRecord {
+    /// Flow start time.
+    pub start: SimTime,
+    /// Source address.
+    pub src: Ipv4,
+    /// Destination address.
+    pub dst: Ipv4,
+    /// Source transport port.
+    pub src_port: u16,
+    /// Destination transport port.
+    pub dst_port: u16,
+    /// IP protocol number.
+    pub protocol: u8,
+    /// TCP flags union over the sampled packets.
+    pub tcp_flags: u8,
+    /// Sampled packet count (≥ 1).
+    pub packets: u64,
+    /// Sampled octet count.
+    pub octets: u64,
+}
+
+impl FlowRecord {
+    /// Whether this is a TCP flow.
+    pub fn is_tcp(&self) -> bool {
+        self.protocol == u8::from(IpProtocol::Tcp)
+    }
+
+    /// Whether this is a UDP flow.
+    pub fn is_udp(&self) -> bool {
+        self.protocol == u8::from(IpProtocol::Udp)
+    }
+
+    /// Average sampled packet size in bytes.
+    pub fn avg_packet_len(&self) -> f64 {
+        self.octets as f64 / self.packets as f64
+    }
+
+    /// Converts to the IPFIX-lite wire representation. Sub-second timing
+    /// is truncated to seconds, as the wire format carries
+    /// `flowStartSeconds`.
+    pub fn to_ipfix(&self) -> IpfixFlow {
+        IpfixFlow {
+            src: self.src,
+            dst: self.dst,
+            src_port: self.src_port,
+            dst_port: self.dst_port,
+            protocol: self.protocol,
+            tcp_flags: self.tcp_flags,
+            packets: self.packets,
+            octets: self.octets,
+            start_secs: self.start.0 as u32,
+        }
+    }
+
+    /// Builds a record from the IPFIX-lite wire representation.
+    pub fn from_ipfix(f: &IpfixFlow) -> FlowRecord {
+        FlowRecord {
+            start: SimTime(u64::from(f.start_secs)),
+            src: f.src,
+            dst: f.dst,
+            src_port: f.src_port,
+            dst_port: f.dst_port,
+            protocol: f.protocol,
+            tcp_flags: f.tcp_flags,
+            packets: f.packets,
+            octets: f.octets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> FlowRecord {
+        FlowRecord {
+            start: SimTime(86_400 + 17),
+            src: Ipv4::new(198, 51, 100, 1),
+            dst: Ipv4::new(203, 0, 113, 7),
+            src_port: 54321,
+            dst_port: 23,
+            protocol: 6,
+            tcp_flags: TCP_SYN,
+            packets: 3,
+            octets: 120,
+        }
+    }
+
+    #[test]
+    fn ipfix_conversion_roundtrip() {
+        let r = record();
+        assert_eq!(FlowRecord::from_ipfix(&r.to_ipfix()), r);
+    }
+
+    #[test]
+    fn protocol_helpers() {
+        let r = record();
+        assert!(r.is_tcp());
+        assert!(!r.is_udp());
+        assert_eq!(r.avg_packet_len(), 40.0);
+    }
+
+    #[test]
+    fn syn_intent_shape() {
+        let i = FlowIntent::tcp_syn(
+            SimTime(0),
+            Ipv4::new(9, 9, 9, 9),
+            Ipv4::new(10, 0, 0, 1),
+            40000,
+            2222,
+            5,
+        );
+        assert_eq!(i.packet_len, 40);
+        assert_eq!(i.tcp_flags, TCP_SYN);
+        assert_eq!(i.octets(), 200);
+    }
+}

@@ -1,0 +1,289 @@
+//! Deterministic 1-in-N packet sampling.
+//!
+//! A vantage point samples each transiting packet independently with
+//! probability `1/rate` (random packet sampling, the sFlow/IPFIX model the
+//! paper's IXPs use). For a burst of `n` identical packets the number of
+//! sampled packets is therefore `Binomial(n, 1/rate)`; [`binomial`]
+//! implements that draw with an algorithm whose cost is proportional to
+//! the number of *successes*, so sampling a million-packet burst at
+//! rate 10 000 costs ~100 RNG calls, not a million.
+//!
+//! The same primitive implements the paper's Figure 10 sub-sampling
+//! experiment: thinning already-sampled flow records by a factor `k` is
+//! one more binomial draw with `p = 1/k`.
+
+use crate::record::{FlowIntent, FlowRecord};
+use rand::RngExt;
+
+/// Draws from `Binomial(n, p)`.
+///
+/// Strategy:
+/// - `p == 0` or `n == 0` → 0; `p >= 1` → `n`.
+/// - Small `n` (≤ 64): direct Bernoulli loop.
+/// - Otherwise: geometric skipping — repeatedly draw the gap to the next
+///   success from `Geometric(p)`; expected cost is `n·p` draws. For the
+///   small sampling probabilities of interest (1/1 000 .. 1/100 000) this
+///   is orders of magnitude cheaper than per-trial simulation and exact
+///   (no normal approximation), which keeps the sampler's statistics
+///   faithful at the distribution tails the inference pipeline cares
+///   about (blocks that receive very few samples).
+pub fn binomial<R: RngExt>(rng: &mut R, n: u64, p: f64) -> u64 {
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    if n <= 64 {
+        let mut successes = 0;
+        for _ in 0..n {
+            if rng.random::<f64>() < p {
+                successes += 1;
+            }
+        }
+        return successes;
+    }
+    // Geometric skipping. The gap G to the next success (counting the
+    // success itself) satisfies P(G = g) = (1-p)^(g-1) p; draw it by
+    // inversion: G = ceil(ln(U) / ln(1-p)).
+    let log_q = (1.0 - p).ln(); // negative, finite for p < 1
+    let mut successes = 0u64;
+    let mut position = 0u64;
+    loop {
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let gap = (u.ln() / log_q).ceil();
+        if !gap.is_finite() || gap > (n - position) as f64 {
+            return successes;
+        }
+        position += gap as u64;
+        if position > n {
+            return successes;
+        }
+        successes += 1;
+        if position == n {
+            return successes;
+        }
+    }
+}
+
+/// A deterministic 1-in-`rate` packet sampler.
+#[derive(Debug, Clone)]
+pub struct Sampler<R: RngExt> {
+    rate: u32,
+    rng: R,
+}
+
+impl<R: RngExt> Sampler<R> {
+    /// Creates a sampler. `rate == 1` captures everything (a telescope's
+    /// unsampled view); larger rates model IXP fabric sampling.
+    pub fn new(rate: u32, rng: R) -> Self {
+        assert!(rate >= 1, "sampling rate must be at least 1");
+        Sampler { rate, rng }
+    }
+
+    /// The configured sampling rate.
+    pub fn rate(&self) -> u32 {
+        self.rate
+    }
+
+    /// Samples one intent; `None` if no packet of the burst was sampled.
+    pub fn sample(&mut self, intent: &FlowIntent) -> Option<FlowRecord> {
+        let sampled = if self.rate == 1 {
+            intent.packets
+        } else {
+            binomial(&mut self.rng, intent.packets, 1.0 / f64::from(self.rate))
+        };
+        if sampled == 0 {
+            return None;
+        }
+        Some(FlowRecord {
+            start: intent.start,
+            src: intent.src,
+            dst: intent.dst,
+            src_port: intent.src_port,
+            dst_port: intent.dst_port,
+            protocol: intent.protocol,
+            tcp_flags: intent.tcp_flags,
+            packets: sampled,
+            octets: sampled * u64::from(intent.packet_len),
+        })
+    }
+}
+
+/// Thins already-sampled flow records by `factor`, emulating the paper's
+/// "consider only every k-th packet" sub-sampling (Section 7.3). Each
+/// record's packet count is re-drawn as `Binomial(packets, 1/factor)`;
+/// octets scale proportionally (packets within one record share a size);
+/// records left with zero packets disappear.
+pub fn thin_records<R: RngExt>(records: &[FlowRecord], factor: u32, rng: &mut R) -> Vec<FlowRecord> {
+    assert!(factor >= 1);
+    if factor == 1 {
+        return records.to_vec();
+    }
+    let p = 1.0 / f64::from(factor);
+    records
+        .iter()
+        .filter_map(|r| {
+            let kept = binomial(rng, r.packets, p);
+            (kept > 0).then(|| {
+                let per_pkt = r.octets / r.packets;
+                FlowRecord {
+                    packets: kept,
+                    octets: kept * per_pkt,
+                    ..*r
+                }
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mt_types::{Ipv4, SimTime};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut r = rng();
+        assert_eq!(binomial(&mut r, 0, 0.5), 0);
+        assert_eq!(binomial(&mut r, 100, 0.0), 0);
+        assert_eq!(binomial(&mut r, 100, 1.0), 100);
+        assert_eq!(binomial(&mut r, 100, 1.5), 100);
+    }
+
+    #[test]
+    fn binomial_mean_small_n() {
+        let mut r = rng();
+        let trials = 20_000;
+        let total: u64 = (0..trials).map(|_| binomial(&mut r, 20, 0.3)).sum();
+        let mean = total as f64 / trials as f64;
+        assert!((mean - 6.0).abs() < 0.1, "mean {mean} should be ≈ 6");
+    }
+
+    #[test]
+    fn binomial_mean_geometric_path() {
+        let mut r = rng();
+        let trials = 2_000;
+        let total: u64 = (0..trials).map(|_| binomial(&mut r, 100_000, 0.001)).sum();
+        let mean = total as f64 / trials as f64;
+        assert!((mean - 100.0).abs() < 2.0, "mean {mean} should be ≈ 100");
+    }
+
+    #[test]
+    fn binomial_never_exceeds_n() {
+        let mut r = rng();
+        for _ in 0..1_000 {
+            assert!(binomial(&mut r, 70, 0.9) <= 70);
+            assert!(binomial(&mut r, 1_000, 0.5) <= 1_000);
+        }
+    }
+
+    #[test]
+    fn binomial_variance_geometric_path() {
+        let mut r = rng();
+        let trials = 5_000usize;
+        let draws: Vec<u64> = (0..trials).map(|_| binomial(&mut r, 10_000, 0.01)).collect();
+        let mean = draws.iter().sum::<u64>() as f64 / trials as f64;
+        let var = draws
+            .iter()
+            .map(|&d| (d as f64 - mean).powi(2))
+            .sum::<f64>()
+            / trials as f64;
+        // Binomial(10000, 0.01): mean 100, variance 99.
+        assert!((mean - 100.0).abs() < 1.0, "mean {mean}");
+        assert!((var - 99.0).abs() < 10.0, "variance {var}");
+    }
+
+    fn intent(packets: u64) -> FlowIntent {
+        FlowIntent::tcp_syn(
+            SimTime(0),
+            Ipv4::new(1, 2, 3, 4),
+            Ipv4::new(5, 6, 7, 8),
+            1000,
+            23,
+            packets,
+        )
+    }
+
+    #[test]
+    fn rate_one_is_lossless() {
+        let mut s = Sampler::new(1, rng());
+        let rec = s.sample(&intent(7)).unwrap();
+        assert_eq!(rec.packets, 7);
+        assert_eq!(rec.octets, 280);
+    }
+
+    #[test]
+    fn sampling_preserves_mean_volume() {
+        let mut s = Sampler::new(100, rng());
+        let mut sampled = 0u64;
+        let bursts = 10_000;
+        for _ in 0..bursts {
+            if let Some(rec) = s.sample(&intent(50)) {
+                sampled += rec.packets;
+            }
+        }
+        // 10k bursts × 50 pkts at 1/100 → ≈ 5 000 sampled packets.
+        let expected = 5_000.0;
+        let got = sampled as f64;
+        assert!(
+            (got - expected).abs() < expected * 0.1,
+            "sampled {got}, expected ≈ {expected}"
+        );
+    }
+
+    #[test]
+    fn single_packet_burst_rarely_sampled() {
+        let mut s = Sampler::new(1000, rng());
+        let hits = (0..10_000).filter(|_| s.sample(&intent(1)).is_some()).count();
+        // Expect ≈ 10 hits; allow wide slack.
+        assert!(hits < 50, "got {hits} hits at rate 1000");
+    }
+
+    #[test]
+    fn thinning_factor_one_is_identity() {
+        let records = vec![FlowRecord {
+            start: SimTime(0),
+            src: Ipv4(1),
+            dst: Ipv4(2),
+            src_port: 1,
+            dst_port: 2,
+            protocol: 6,
+            tcp_flags: 0x02,
+            packets: 5,
+            octets: 200,
+        }];
+        assert_eq!(thin_records(&records, 1, &mut rng()), records);
+    }
+
+    #[test]
+    fn thinning_reduces_volume_proportionally() {
+        let records: Vec<FlowRecord> = (0..5_000)
+            .map(|i| FlowRecord {
+                start: SimTime(0),
+                src: Ipv4(i),
+                dst: Ipv4(i + 1),
+                src_port: 1,
+                dst_port: 2,
+                protocol: 6,
+                tcp_flags: 0x02,
+                packets: 10,
+                octets: 400,
+            })
+            .collect();
+        let thinned = thin_records(&records, 10, &mut rng());
+        let kept: u64 = thinned.iter().map(|r| r.packets).sum();
+        // 50 000 packets thinned at 1/10 → ≈ 5 000.
+        assert!((kept as f64 - 5_000.0).abs() < 500.0, "kept {kept}");
+        for r in &thinned {
+            assert!(r.packets >= 1);
+            assert_eq!(r.octets, r.packets * 40);
+        }
+    }
+}

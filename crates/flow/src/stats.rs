@@ -1,0 +1,571 @@
+//! Per-/24 traffic accumulators — the aggregates the inference pipeline
+//! consumes.
+//!
+//! For every destination /24 the pipeline needs: protocol packet counts,
+//! the TCP packet-size distribution (for the average- and median-size
+//! classifiers of Table 3), and per-host receive information (for the
+//! dark/unclean/gray classification of step 7, which is defined per IP).
+//! For every source /24 it needs originated-packet counts, both per block
+//! (step 3, "source address unseen") and per host (graynet detection and
+//! the spoofing-tolerance percentile of Section 7.2).
+//!
+//! Memory matters: a paper-scale day touches millions of /24s across 14
+//! vantage points, so per-host state is kept as fixed 256-bit sets
+//! ([`HostSet`], 32 bytes) rather than per-host counters. The price is
+//! that the "host saw a large TCP packet" bit is thresholded at ingest
+//! time ([`TrafficStats::with_size_threshold`]); the block-level size
+//! *histogram* is exact, so the Table 3 threshold sweep is unaffected.
+//!
+//! All counts are *sampled* counts; the pipeline scales by the vantage
+//! point's sampling rate where absolute volumes matter (the 1.7 M
+//! packets/day filter).
+
+use crate::record::FlowRecord;
+use mt_types::Block24;
+use mt_wire::IpProtocol;
+use std::collections::HashMap;
+
+/// The default per-packet size (bytes) above which a TCP packet marks its
+/// destination host as having seen "large" traffic. Deliberately looser
+/// than the 44-byte *block-average* threshold: SYNs with options (48–60
+/// bytes) are IBR-compatible and must not disqualify a host, while
+/// payload-carrying packets (≥ ~100 bytes) indicate a conversation.
+pub const DEFAULT_SIZE_THRESHOLD: u16 = 60;
+
+/// A set of hosts (last-octet values) within one /24, as a 256-bit map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HostSet([u64; 4]);
+
+impl HostSet {
+    /// The empty set.
+    pub const EMPTY: HostSet = HostSet([0; 4]);
+
+    /// Inserts a host.
+    pub fn insert(&mut self, host: u8) {
+        self.0[(host / 64) as usize] |= 1 << (host % 64);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, host: u8) -> bool {
+        self.0[(host / 64) as usize] & (1 << (host % 64)) != 0
+    }
+
+    /// Number of hosts in the set.
+    pub fn len(&self) -> u32 {
+        self.0.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0 == [0; 4]
+    }
+
+    /// Hosts present in `self` but not in `other`.
+    pub fn difference(&self, other: &HostSet) -> HostSet {
+        HostSet([
+            self.0[0] & !other.0[0],
+            self.0[1] & !other.0[1],
+            self.0[2] & !other.0[2],
+            self.0[3] & !other.0[3],
+        ])
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &HostSet) -> HostSet {
+        HostSet([
+            self.0[0] | other.0[0],
+            self.0[1] | other.0[1],
+            self.0[2] | other.0[2],
+            self.0[3] | other.0[3],
+        ])
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &HostSet) -> HostSet {
+        HostSet([
+            self.0[0] & other.0[0],
+            self.0[1] & other.0[1],
+            self.0[2] & other.0[2],
+            self.0[3] & other.0[3],
+        ])
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &HostSet) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a |= b;
+        }
+    }
+
+    /// Iterates over the hosts in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
+        (0u16..256).filter_map(|h| self.contains(h as u8).then_some(h as u8))
+    }
+}
+
+/// Receive-side statistics for one destination /24.
+#[derive(Debug, Clone, Default)]
+pub struct DstBlockStats {
+    /// Sampled TCP packets.
+    pub tcp_packets: u64,
+    /// Sampled TCP octets.
+    pub tcp_octets: u64,
+    /// Sampled UDP packets.
+    pub udp_packets: u64,
+    /// Sampled ICMP packets.
+    pub icmp_packets: u64,
+    /// Sampled packets of other protocols.
+    pub other_packets: u64,
+    /// Hosts that received any sampled packet.
+    pub received: HostSet,
+    /// Hosts that received sampled TCP.
+    pub received_tcp: HostSet,
+    /// Hosts that received a sampled TCP packet larger than the ingest
+    /// size threshold.
+    pub received_big_tcp: HostSet,
+    /// TCP packet-size histogram: `(size, sampled packets)`, sorted by
+    /// size. IBR has very few distinct sizes, so this stays tiny.
+    tcp_sizes: Vec<(u16, u64)>,
+}
+
+impl DstBlockStats {
+    /// Sampled packets across all protocols.
+    pub fn total_packets(&self) -> u64 {
+        self.tcp_packets + self.udp_packets + self.icmp_packets + self.other_packets
+    }
+
+    /// Average TCP packet size destined to the block.
+    pub fn avg_tcp_size(&self) -> Option<f64> {
+        (self.tcp_packets > 0).then(|| self.tcp_octets as f64 / self.tcp_packets as f64)
+    }
+
+    /// Weighted median TCP packet size destined to the block (lower
+    /// median for even counts).
+    pub fn median_tcp_size(&self) -> Option<u16> {
+        if self.tcp_packets == 0 {
+            return None;
+        }
+        let half = self.tcp_packets.div_ceil(2);
+        let mut seen = 0;
+        for &(size, count) in &self.tcp_sizes {
+            seen += count;
+            if seen >= half {
+                return Some(size);
+            }
+        }
+        unreachable!("histogram counts sum to tcp_packets");
+    }
+
+    /// The TCP size histogram, sorted by size.
+    pub fn tcp_size_histogram(&self) -> &[(u16, u64)] {
+        &self.tcp_sizes
+    }
+
+    fn ingest(&mut self, host: u8, protocol: u8, packets: u64, octets: u64, big_threshold: u16) {
+        self.received.insert(host);
+        match IpProtocol::from_u8(protocol) {
+            Some(IpProtocol::Tcp) => {
+                self.tcp_packets += packets;
+                self.tcp_octets += octets;
+                self.received_tcp.insert(host);
+                let size = (octets / packets) as u16;
+                if size > big_threshold {
+                    self.received_big_tcp.insert(host);
+                }
+                match self.tcp_sizes.binary_search_by_key(&size, |&(s, _)| s) {
+                    Ok(i) => self.tcp_sizes[i].1 += packets,
+                    Err(i) => self.tcp_sizes.insert(i, (size, packets)),
+                }
+            }
+            Some(IpProtocol::Udp) => self.udp_packets += packets,
+            Some(IpProtocol::Icmp) => self.icmp_packets += packets,
+            None => self.other_packets += packets,
+        }
+    }
+
+    fn ingest_sweep(
+        &mut self,
+        protocol: u8,
+        packets: u64,
+        octets: u64,
+        big_threshold: u16,
+        host_seed: u64,
+    ) {
+        // A sweep spreads `packets` one-per-host over pseudo-random hosts
+        // of the block (a scanner probing the whole /24). Counters are
+        // batched; host bits are set individually, capped at 256.
+        let size = (octets / packets) as u16;
+        let is_tcp = protocol == u8::from(IpProtocol::Tcp);
+        for i in 0..packets.min(256) {
+            let host = (mt_types::mix::mix3(host_seed, i, 0x5eed) & 0xff) as u8;
+            self.received.insert(host);
+            if is_tcp {
+                self.received_tcp.insert(host);
+                if size > big_threshold {
+                    self.received_big_tcp.insert(host);
+                }
+            }
+        }
+        match IpProtocol::from_u8(protocol) {
+            Some(IpProtocol::Tcp) => {
+                self.tcp_packets += packets;
+                self.tcp_octets += octets;
+                match self.tcp_sizes.binary_search_by_key(&size, |&(s, _)| s) {
+                    Ok(i) => self.tcp_sizes[i].1 += packets,
+                    Err(i) => self.tcp_sizes.insert(i, (size, packets)),
+                }
+            }
+            Some(IpProtocol::Udp) => self.udp_packets += packets,
+            Some(IpProtocol::Icmp) => self.icmp_packets += packets,
+            None => self.other_packets += packets,
+        }
+    }
+
+    fn merge(&mut self, other: &DstBlockStats) {
+        self.tcp_packets += other.tcp_packets;
+        self.tcp_octets += other.tcp_octets;
+        self.udp_packets += other.udp_packets;
+        self.icmp_packets += other.icmp_packets;
+        self.other_packets += other.other_packets;
+        self.received.union_with(&other.received);
+        self.received_tcp.union_with(&other.received_tcp);
+        self.received_big_tcp.union_with(&other.received_big_tcp);
+        for &(size, count) in &other.tcp_sizes {
+            match self.tcp_sizes.binary_search_by_key(&size, |&(s, _)| s) {
+                Ok(i) => self.tcp_sizes[i].1 += count,
+                Err(i) => self.tcp_sizes.insert(i, (size, count)),
+            }
+        }
+    }
+}
+
+/// Send-side statistics for one source /24.
+#[derive(Debug, Clone, Default)]
+pub struct SrcBlockStats {
+    /// Sampled packets originated by the block.
+    pub packets: u64,
+    /// Hosts seen originating traffic.
+    pub originating: HostSet,
+}
+
+impl SrcBlockStats {
+    /// Number of distinct hosts seen originating traffic.
+    pub fn active_hosts(&self) -> u32 {
+        self.originating.len()
+    }
+
+    fn ingest(&mut self, host: u8, packets: u64) {
+        self.packets += packets;
+        self.originating.insert(host);
+    }
+
+    fn merge(&mut self, other: &SrcBlockStats) {
+        self.packets += other.packets;
+        self.originating.union_with(&other.originating);
+    }
+}
+
+/// Aggregated per-/24 view of a set of sampled flow records.
+#[derive(Debug, Clone)]
+pub struct TrafficStats {
+    per_dst: HashMap<u32, DstBlockStats>,
+    per_src: HashMap<u32, SrcBlockStats>,
+    size_threshold: u16,
+    /// Number of flow records ingested.
+    pub total_flows: u64,
+    /// Sampled packets across all records.
+    pub total_packets: u64,
+    /// Sampled octets across all records.
+    pub total_octets: u64,
+}
+
+impl Default for TrafficStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TrafficStats {
+    /// Creates an empty accumulator with the default 44-byte "large
+    /// packet" host threshold.
+    pub fn new() -> Self {
+        Self::with_size_threshold(DEFAULT_SIZE_THRESHOLD)
+    }
+
+    /// Creates an empty accumulator with a custom per-host size
+    /// threshold (must match the pipeline's classification threshold).
+    pub fn with_size_threshold(size_threshold: u16) -> Self {
+        TrafficStats {
+            per_dst: HashMap::new(),
+            per_src: HashMap::new(),
+            size_threshold,
+            total_flows: 0,
+            total_packets: 0,
+            total_octets: 0,
+        }
+    }
+
+    /// The per-host size threshold this accumulator was built with.
+    pub fn size_threshold(&self) -> u16 {
+        self.size_threshold
+    }
+
+    /// Builds stats from a slice of records.
+    pub fn from_records(records: &[FlowRecord]) -> Self {
+        let mut s = Self::new();
+        for r in records {
+            s.ingest(r);
+        }
+        s
+    }
+
+    /// Ingests one record.
+    pub fn ingest(&mut self, r: &FlowRecord) {
+        debug_assert!(r.packets > 0, "flow records carry at least one packet");
+        self.total_flows += 1;
+        self.total_packets += r.packets;
+        self.total_octets += r.octets;
+        self.per_dst.entry(r.dst.block24_index()).or_default().ingest(
+            r.dst.host_in_block24(),
+            r.protocol,
+            r.packets,
+            r.octets,
+            self.size_threshold,
+        );
+        self.per_src
+            .entry(r.src.block24_index())
+            .or_default()
+            .ingest(r.src.host_in_block24(), r.packets);
+    }
+
+    /// Ingests a host-sweep record: `r.packets` packets of identical size
+    /// spread one-per-host over pseudo-random hosts of the destination
+    /// /24 (derived from `host_seed`). Used for scan traffic, where the
+    /// per-host fan-out matters for classification but materializing one
+    /// record per host would dominate runtime.
+    pub fn ingest_sweep(&mut self, r: &FlowRecord, host_seed: u64) {
+        debug_assert!(r.packets > 0);
+        self.total_flows += 1;
+        self.total_packets += r.packets;
+        self.total_octets += r.octets;
+        self.per_dst
+            .entry(r.dst.block24_index())
+            .or_default()
+            .ingest_sweep(r.protocol, r.packets, r.octets, self.size_threshold, host_seed);
+        self.per_src
+            .entry(r.src.block24_index())
+            .or_default()
+            .ingest(r.src.host_in_block24(), r.packets);
+    }
+
+    /// Stats for traffic destined to `block`.
+    pub fn dst(&self, block: Block24) -> Option<&DstBlockStats> {
+        self.per_dst.get(&block.0)
+    }
+
+    /// Stats for traffic originated by `block`.
+    pub fn src(&self, block: Block24) -> Option<&SrcBlockStats> {
+        self.per_src.get(&block.0)
+    }
+
+    /// Iterates over all destination blocks with sampled traffic.
+    pub fn iter_dst(&self) -> impl Iterator<Item = (Block24, &DstBlockStats)> {
+        self.per_dst.iter().map(|(&b, s)| (Block24(b), s))
+    }
+
+    /// Iterates over all source blocks with sampled traffic.
+    pub fn iter_src(&self) -> impl Iterator<Item = (Block24, &SrcBlockStats)> {
+        self.per_src.iter().map(|(&b, s)| (Block24(b), s))
+    }
+
+    /// Number of distinct destination /24s seen.
+    pub fn dst_block_count(&self) -> usize {
+        self.per_dst.len()
+    }
+
+    /// Number of distinct source /24s seen.
+    pub fn src_block_count(&self) -> usize {
+        self.per_src.len()
+    }
+
+    /// Merges another accumulator into this one (multi-day windows,
+    /// multi-vantage-point unions, parallel shard reduction). Both sides
+    /// must share the same size threshold.
+    pub fn merge(&mut self, other: &TrafficStats) {
+        assert_eq!(
+            self.size_threshold, other.size_threshold,
+            "merging stats with different host-size thresholds"
+        );
+        self.total_flows += other.total_flows;
+        self.total_packets += other.total_packets;
+        self.total_octets += other.total_octets;
+        for (&b, s) in &other.per_dst {
+            self.per_dst.entry(b).or_default().merge(s);
+        }
+        for (&b, s) in &other.per_src {
+            self.per_src.entry(b).or_default().merge(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mt_types::{Ipv4, SimTime};
+
+    fn flow(src: Ipv4, dst: Ipv4, proto: u8, packets: u64, size: u64) -> FlowRecord {
+        FlowRecord {
+            start: SimTime(0),
+            src,
+            dst,
+            src_port: 1000,
+            dst_port: 23,
+            protocol: proto,
+            tcp_flags: if proto == 6 { 0x02 } else { 0 },
+            packets,
+            octets: packets * size,
+        }
+    }
+
+    const SRC: Ipv4 = Ipv4::new(9, 0, 0, 1);
+    const DST_A: Ipv4 = Ipv4::new(10, 0, 0, 5);
+    const DST_B: Ipv4 = Ipv4::new(10, 0, 0, 9);
+
+    #[test]
+    fn hostset_basics() {
+        let mut s = HostSet::default();
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(255);
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(64));
+        assert!(!s.contains(65));
+        assert_eq!(s.iter().collect::<Vec<u8>>(), vec![0, 63, 64, 255]);
+        let mut t = HostSet::default();
+        t.insert(63);
+        t.insert(100);
+        assert_eq!(s.difference(&t).len(), 3);
+        assert_eq!(s.union(&t).len(), 5);
+        assert_eq!(s.intersection(&t).len(), 1);
+    }
+
+    #[test]
+    fn ingest_accumulates_by_protocol() {
+        let mut s = TrafficStats::new();
+        s.ingest(&flow(SRC, DST_A, 6, 3, 40));
+        s.ingest(&flow(SRC, DST_A, 17, 2, 100));
+        s.ingest(&flow(SRC, DST_A, 1, 1, 64));
+        s.ingest(&flow(SRC, DST_A, 47, 1, 80)); // GRE → other
+        let d = s.dst(Block24::containing(DST_A)).unwrap();
+        assert_eq!(d.tcp_packets, 3);
+        assert_eq!(d.udp_packets, 2);
+        assert_eq!(d.icmp_packets, 1);
+        assert_eq!(d.other_packets, 1);
+        assert_eq!(d.total_packets(), 7);
+        assert_eq!(d.avg_tcp_size(), Some(40.0));
+    }
+
+    #[test]
+    fn per_host_bitmaps() {
+        let mut s = TrafficStats::new();
+        s.ingest(&flow(SRC, DST_A, 6, 2, 40)); // small TCP to host 5
+        s.ingest(&flow(SRC, DST_B, 6, 4, 1500)); // big TCP to host 9
+        s.ingest(&flow(SRC, Ipv4::new(10, 0, 0, 11), 17, 1, 100)); // UDP to host 11
+        let d = s.dst(Block24::containing(DST_A)).unwrap();
+        assert_eq!(d.received.len(), 3);
+        assert_eq!(d.received_tcp.iter().collect::<Vec<u8>>(), vec![5, 9]);
+        assert_eq!(d.received_big_tcp.iter().collect::<Vec<u8>>(), vec![9]);
+        assert!(!d.received_big_tcp.contains(5));
+    }
+
+    #[test]
+    fn size_threshold_boundary_is_exclusive() {
+        // A packet of exactly the threshold size is NOT "big".
+        let mut s = TrafficStats::with_size_threshold(44);
+        s.ingest(&flow(SRC, DST_A, 6, 1, 44));
+        s.ingest(&flow(SRC, DST_B, 6, 1, 45));
+        let d = s.dst(Block24::containing(DST_A)).unwrap();
+        assert!(!d.received_big_tcp.contains(5));
+        assert!(d.received_big_tcp.contains(9));
+    }
+
+    #[test]
+    fn median_size_weighted() {
+        let mut s = TrafficStats::new();
+        // 7 packets of 40 bytes, 3 of 1500 → median 40.
+        s.ingest(&flow(SRC, DST_A, 6, 7, 40));
+        s.ingest(&flow(SRC, DST_A, 6, 3, 1500));
+        let d = s.dst(Block24::containing(DST_A)).unwrap();
+        assert_eq!(d.median_tcp_size(), Some(40));
+        assert!((d.avg_tcp_size().unwrap() - 478.0).abs() < 1.0);
+        assert_eq!(d.tcp_size_histogram(), &[(40, 7), (1500, 3)]);
+    }
+
+    #[test]
+    fn median_of_even_split_takes_lower() {
+        let mut s = TrafficStats::new();
+        s.ingest(&flow(SRC, DST_A, 6, 5, 40));
+        s.ingest(&flow(SRC, DST_A, 6, 5, 1500));
+        let d = s.dst(Block24::containing(DST_A)).unwrap();
+        assert_eq!(d.median_tcp_size(), Some(40));
+    }
+
+    #[test]
+    fn source_side_tracking() {
+        let mut s = TrafficStats::new();
+        s.ingest(&flow(SRC, DST_A, 6, 3, 40));
+        s.ingest(&flow(Ipv4::new(9, 0, 0, 2), DST_A, 6, 5, 40));
+        let src = s.src(Block24::containing(SRC)).unwrap();
+        assert_eq!(src.packets, 8);
+        assert_eq!(src.active_hosts(), 2);
+        assert!(src.originating.contains(1));
+        assert!(src.originating.contains(2));
+        assert!(!src.originating.contains(3));
+    }
+
+    #[test]
+    fn merge_equals_combined_ingest() {
+        let flows_a = [flow(SRC, DST_A, 6, 3, 40), flow(SRC, DST_B, 17, 2, 100)];
+        let flows_b = [flow(SRC, DST_A, 6, 4, 48), flow(DST_A, SRC, 6, 1, 1500)];
+        let mut merged = TrafficStats::from_records(&flows_a);
+        merged.merge(&TrafficStats::from_records(&flows_b));
+        let all: Vec<FlowRecord> = flows_a.iter().chain(&flows_b).copied().collect();
+        let combined = TrafficStats::from_records(&all);
+        assert_eq!(merged.total_flows, combined.total_flows);
+        assert_eq!(merged.total_packets, combined.total_packets);
+        let b = Block24::containing(DST_A);
+        assert_eq!(
+            merged.dst(b).unwrap().tcp_packets,
+            combined.dst(b).unwrap().tcp_packets
+        );
+        assert_eq!(
+            merged.dst(b).unwrap().median_tcp_size(),
+            combined.dst(b).unwrap().median_tcp_size()
+        );
+        assert_eq!(merged.dst(b).unwrap().received, combined.dst(b).unwrap().received);
+        assert_eq!(
+            merged.src(b).unwrap().packets,
+            combined.src(b).unwrap().packets
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different host-size thresholds")]
+    fn merge_rejects_mismatched_thresholds() {
+        let mut a = TrafficStats::with_size_threshold(40);
+        let b = TrafficStats::with_size_threshold(44);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn block_counts() {
+        let s = TrafficStats::from_records(&[
+            flow(SRC, DST_A, 6, 1, 40),
+            flow(SRC, Ipv4::new(11, 0, 0, 1), 6, 1, 40),
+        ]);
+        assert_eq!(s.dst_block_count(), 2);
+        assert_eq!(s.src_block_count(), 1);
+    }
+}

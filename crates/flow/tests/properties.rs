@@ -1,0 +1,138 @@
+//! Property-based tests for the flow layer: sampling statistics, record
+//! conversions, accumulator algebra, and metering conservation laws.
+
+use mt_flow::{binomial, FlowKey, FlowMeter, FlowRecord, MeteredPacket, TrafficStats};
+use mt_types::{Ipv4, SimDuration, SimTime};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_record() -> impl Strategy<Value = FlowRecord> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        prop_oneof![Just(1u8), Just(6), Just(17), Just(47)],
+        0u8..=0x3f,
+        1u64..=5_000,
+        20u64..=1_500,
+        0u64..1_000_000,
+    )
+        .prop_map(
+            |(src, dst, sp, dp, proto, flags, packets, size, start)| FlowRecord {
+                start: SimTime(start),
+                src: Ipv4(src),
+                dst: Ipv4(dst),
+                src_port: sp,
+                dst_port: dp,
+                protocol: proto,
+                tcp_flags: flags,
+                packets,
+                octets: packets * size,
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn binomial_stays_in_bounds(n in 0u64..=1_000_000, p in 0.0f64..=1.0, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = binomial(&mut rng, n, p);
+        prop_assert!(k <= n);
+        if p == 0.0 {
+            prop_assert_eq!(k, 0);
+        }
+        if p == 1.0 {
+            prop_assert_eq!(k, n);
+        }
+    }
+
+    #[test]
+    fn ipfix_record_roundtrip(r in arb_record()) {
+        // Sub-day start times fit the u32 wire field.
+        let r = FlowRecord { start: SimTime(r.start.0 % 86_400), ..r };
+        prop_assert_eq!(FlowRecord::from_ipfix(&r.to_ipfix()), r);
+    }
+
+    #[test]
+    fn stats_totals_match_inputs(records in proptest::collection::vec(arb_record(), 0..80)) {
+        let stats = TrafficStats::from_records(&records);
+        prop_assert_eq!(stats.total_flows, records.len() as u64);
+        prop_assert_eq!(stats.total_packets, records.iter().map(|r| r.packets).sum::<u64>());
+        prop_assert_eq!(stats.total_octets, records.iter().map(|r| r.octets).sum::<u64>());
+        // Per-destination TCP totals re-add to the global TCP volume.
+        let tcp_from_blocks: u64 = stats.iter_dst().map(|(_, d)| d.tcp_packets).sum();
+        let tcp_direct: u64 = records.iter().filter(|r| r.protocol == 6).map(|r| r.packets).sum();
+        prop_assert_eq!(tcp_from_blocks, tcp_direct);
+    }
+
+    #[test]
+    fn stats_merge_is_order_insensitive(
+        a in proptest::collection::vec(arb_record(), 0..40),
+        b in proptest::collection::vec(arb_record(), 0..40),
+    ) {
+        let mut ab = TrafficStats::from_records(&a);
+        ab.merge(&TrafficStats::from_records(&b));
+        let mut ba = TrafficStats::from_records(&b);
+        ba.merge(&TrafficStats::from_records(&a));
+        prop_assert_eq!(ab.total_packets, ba.total_packets);
+        prop_assert_eq!(ab.dst_block_count(), ba.dst_block_count());
+        prop_assert_eq!(ab.src_block_count(), ba.src_block_count());
+        for (block, d) in ab.iter_dst() {
+            let other = ba.dst(block).expect("same blocks");
+            prop_assert_eq!(d.tcp_packets, other.tcp_packets);
+            prop_assert_eq!(d.median_tcp_size(), other.median_tcp_size());
+            prop_assert_eq!(d.received, other.received);
+        }
+    }
+
+    #[test]
+    fn meter_conserves_packets_and_octets(
+        // (time delta, flow id, length) streams.
+        steps in proptest::collection::vec((0u64..40, 0u8..6, 20u16..1500), 1..200),
+    ) {
+        let mut meter = FlowMeter::new(SimDuration::secs(60), SimDuration::secs(15));
+        let mut t = 0u64;
+        let mut records = Vec::new();
+        let (mut packets_in, mut octets_in) = (0u64, 0u64);
+        for (dt, flow_id, len) in steps {
+            t += dt;
+            let packet = MeteredPacket {
+                time: SimTime(t),
+                key: FlowKey {
+                    src: Ipv4::new(9, 0, 0, flow_id),
+                    dst: Ipv4::new(20, 0, 0, 1),
+                    src_port: 40_000,
+                    dst_port: 23,
+                    protocol: 6,
+                },
+                tcp_flags: 2,
+                length: len,
+            };
+            packets_in += 1;
+            octets_in += u64::from(len);
+            records.extend(meter.observe(&packet));
+        }
+        records.extend(meter.drain());
+        prop_assert_eq!(records.iter().map(|r| r.packets).sum::<u64>(), packets_in);
+        prop_assert_eq!(records.iter().map(|r| r.octets).sum::<u64>(), octets_in);
+        // Every record respects the active timeout (start-to-start of a
+        // split is at least the timeout, so no record is empty).
+        for r in &records {
+            prop_assert!(r.packets > 0);
+        }
+    }
+
+    #[test]
+    fn thinning_never_grows(records in proptest::collection::vec(arb_record(), 0..60), factor in 1u32..300) {
+        let thinned = mt_flow::sampling::thin_records(&records, factor, &mut StdRng::seed_from_u64(5));
+        prop_assert!(thinned.len() <= records.len());
+        let before: u64 = records.iter().map(|r| r.packets).sum();
+        let after: u64 = thinned.iter().map(|r| r.packets).sum();
+        prop_assert!(after <= before);
+        for r in &thinned {
+            prop_assert!(r.packets >= 1);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Auxiliary activity datasets (Censys / NDT / ISI stand-ins).
+//!
+//! The paper uses three public measurement datasets as *lower bounds* on
+//! which /24s are active, both to quantify false positives (13.9 % of the
+//! initially inferred dark blocks showed activity) and to scrub the final
+//! meta-telescope prefix list. We generate imperfect-coverage samples of
+//! the ground-truth active set: each dataset sees only part of reality,
+//! with biases matching its collection method.
+
+use crate::config::AuxCoverage;
+use crate::internet::{splitmix, Internet};
+use mt_types::{Block24Set, NetworkType};
+
+/// The three activity datasets, each a set of /24s with ≥ 1 observed
+/// active address.
+#[derive(Debug, Clone)]
+pub struct AuxDatasets {
+    /// Censys-style full port scans: best coverage, favours server-heavy
+    /// (data-center / education) space.
+    pub censys: Block24Set,
+    /// NDT speed tests: user-initiated, so only eyeball (ISP) space.
+    pub ndt: Block24Set,
+    /// ISI ICMP echo history: ping-responsive space.
+    pub isi: Block24Set,
+}
+
+impl AuxDatasets {
+    /// Generates the datasets from the Internet's ground truth.
+    ///
+    /// Coverage probabilities come from the scenario config; per-block
+    /// membership is a keyed hash so it is stable across runs and days
+    /// (the real datasets are snapshots, not daily rolls).
+    pub fn generate(net: &Internet) -> AuxDatasets {
+        let AuxCoverage { censys, ndt, isi } = net.config.aux_coverage;
+        let mut out = AuxDatasets {
+            censys: Block24Set::new(),
+            ndt: Block24Set::new(),
+            isi: Block24Set::new(),
+        };
+        for block in net.active_truth.iter() {
+            let Some(info) = net.block_info(block) else { continue };
+            let ty = net.ases[info.as_idx as usize].network_type;
+            // Collection-method bias.
+            let censys_p = match ty {
+                NetworkType::DataCenter => (censys * 1.2).min(1.0),
+                NetworkType::Education => censys,
+                _ => censys * 0.9,
+            };
+            let ndt_p = match ty {
+                NetworkType::Isp => ndt,
+                _ => 0.0,
+            };
+            let isi_p = match ty {
+                NetworkType::DataCenter => isi * 0.8, // ICMP often filtered
+                _ => isi,
+            };
+            let b = u64::from(block.0);
+            if hit(net.seed ^ 0xce, b, censys_p) {
+                out.censys.insert(block);
+            }
+            if hit(net.seed ^ 0x0d7, b, ndt_p) {
+                out.ndt.insert(block);
+            }
+            if hit(net.seed ^ 0x151, b, isi_p) {
+                out.isi.insert(block);
+            }
+        }
+        out
+    }
+
+    /// Union of the three datasets: the "known active" scrub list.
+    pub fn union(&self) -> Block24Set {
+        let mut u = self.censys.clone();
+        u.union_with(&self.ndt);
+        u.union_with(&self.isi);
+        u
+    }
+}
+
+fn hit(salt: u64, block: u64, p: f64) -> bool {
+    p > 0.0 && splitmix(salt, block, 0x4a0d) < (p * u64::MAX as f64) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::InternetConfig;
+
+    fn setup() -> (Internet, AuxDatasets) {
+        let net = Internet::generate(InternetConfig::small(), 5);
+        let aux = AuxDatasets::generate(&net);
+        (net, aux)
+    }
+
+    #[test]
+    fn datasets_are_subsets_of_active_truth() {
+        let (net, aux) = setup();
+        for set in [&aux.censys, &aux.ndt, &aux.isi] {
+            assert_eq!(set.difference(&net.active_truth).len(), 0);
+        }
+    }
+
+    #[test]
+    fn coverage_is_partial_but_substantial() {
+        let (net, aux) = setup();
+        let active = net.active_truth.len();
+        assert!(aux.censys.len() > active / 2, "Censys covers most actives");
+        assert!(aux.censys.len() < active, "but not all");
+        assert!(!aux.isi.is_empty());
+    }
+
+    #[test]
+    fn ndt_only_covers_isp_space() {
+        let (net, aux) = setup();
+        for block in aux.ndt.iter() {
+            let info = net.block_info(block).unwrap();
+            assert_eq!(
+                net.ases[info.as_idx as usize].network_type,
+                NetworkType::Isp
+            );
+        }
+    }
+
+    #[test]
+    fn union_superset_of_each() {
+        let (_, aux) = setup();
+        let u = aux.union();
+        for set in [&aux.censys, &aux.ndt, &aux.isi] {
+            assert_eq!(set.difference(&u).len(), 0);
+        }
+        assert!(u.len() >= aux.censys.len());
+    }
+
+    #[test]
+    fn generation_is_stable() {
+        let net = Internet::generate(InternetConfig::small(), 5);
+        let a = AuxDatasets::generate(&net);
+        let b = AuxDatasets::generate(&net);
+        assert!(a.censys == b.censys && a.ndt == b.ndt && a.isi == b.isi);
+    }
+}

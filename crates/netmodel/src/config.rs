@@ -1,0 +1,355 @@
+//! Scenario configuration for the synthetic Internet.
+//!
+//! A scenario is fully described by an [`InternetConfig`] plus a `u64`
+//! seed; the same pair always generates the same Internet, the same
+//! vantage-point visibility, and (together with the traffic config) the
+//! same flows. Two built-in profiles are provided:
+//!
+//! - [`InternetConfig::small`] — a few thousand /24s, three IXPs, for
+//!   unit/integration tests (runs in milliseconds);
+//! - [`InternetConfig::paper`] — a scaled-down rendition of the paper's
+//!   setting: 14 IXPs in three regions, three operational telescopes, a
+//!   few hundred thousand announced /24s. Counts in the regenerated
+//!   tables carry this scale factor relative to the real Internet.
+
+use mt_types::Continent;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one IXP vantage point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IxpConfig {
+    /// Short code, e.g. `CE1` (paper Table 1 naming).
+    pub code: String,
+    /// Region the IXP operates in.
+    pub region: Continent,
+    /// Approximate number of member networks (drives visibility).
+    pub members: u32,
+    /// Packet sampling rate N (1-in-N) of the flow export.
+    pub sampling_rate: u32,
+    /// Fraction of *same-region* ASes whose inbound traffic transits this
+    /// IXP (destination-side visibility).
+    pub local_visibility: f64,
+    /// Destination-side visibility for ASes in other regions (remote
+    /// peering, hypergiants).
+    pub remote_visibility: f64,
+}
+
+/// Configuration of one operational telescope (paper Table 2).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TelescopeConfig {
+    /// Short code, e.g. `TUS1`.
+    pub code: String,
+    /// Region hosting the telescope.
+    pub region: Continent,
+    /// Number of contiguous /24 blocks.
+    pub num_blocks: u32,
+    /// TCP/UDP destination ports blocked by the ingress router (TEU1
+    /// blocks 23 and 445 in the paper).
+    pub blocked_ports: Vec<u16>,
+    /// Fraction of blocks dynamically allocated to end users on any given
+    /// day (TEU1's churn), i.e. not dark that day.
+    pub dynamic_active_fraction: f64,
+    /// Number of IXPs (taken in config order) at which the hosting AS
+    /// peers directly, guaranteeing destination-side visibility (TEU2
+    /// peers at ten IXPs in the paper).
+    pub direct_peering_ixps: usize,
+}
+
+/// Relative AS-count weights and network-type mix per continent.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ContinentProfile {
+    /// Continent this profile describes.
+    pub continent: Continent,
+    /// Relative share of all ASes located here.
+    pub as_weight: f64,
+    /// Network-type mix `[ISP, Enterprise, Education, DataCenter]`.
+    pub type_mix: [f64; 4],
+    /// Base probability that an announced /24 here is dark (modulated by
+    /// network type and prefix size during generation). Calibrated so EU
+    /// and AF show the least dark share, matching the paper's Figure 17.
+    pub base_dark_fraction: f64,
+}
+
+/// Full scenario configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InternetConfig {
+    /// Total number of ASes to generate (telescope/host ASes included).
+    pub num_ases: u32,
+    /// Per-continent profiles (weights need not sum to 1).
+    pub continents: Vec<ContinentProfile>,
+    /// Fraction of NA education/enterprise ASes holding a legacy /8.
+    pub legacy_slash8_fraction: f64,
+    /// Mean number of announced prefixes per AS.
+    pub mean_prefixes_per_as: f64,
+    /// Distribution of prefix lengths for regular (non-legacy)
+    /// allocations: `(prefix_len, weight)`.
+    pub prefix_len_weights: Vec<(u8, f64)>,
+    /// Mean run length, in /24 blocks, of contiguous dark (or active)
+    /// stretches inside an announcement — gives Hilbert maps their blocky
+    /// look and makes whole-prefix dark ranges possible.
+    pub dark_run_mean: f64,
+    /// First octets of /8 blocks kept entirely unannounced (the spoofing
+    /// baseline of Section 7.2 observes traffic "from" these).
+    pub unrouted_octets: Vec<u8>,
+    /// Per-day probability that an announcement is withdrawn from the RIB
+    /// that day (routing churn; pipeline step 5 sees it).
+    pub rib_churn: f64,
+    /// IXP vantage points.
+    pub ixps: Vec<IxpConfig>,
+    /// Operational telescopes.
+    pub telescopes: Vec<TelescopeConfig>,
+    /// Coverage of the auxiliary activity datasets: the probability that
+    /// a truly active /24 appears in Censys / NDT / ISI respectively
+    /// (they are lower bounds on activity, per the paper's footnote 3).
+    pub aux_coverage: AuxCoverage,
+}
+
+/// Coverage parameters of the three activity datasets.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AuxCoverage {
+    /// Censys: port scans of the whole space — high coverage of
+    /// server-ish blocks.
+    pub censys: f64,
+    /// NDT speed tests — only eyeball (ISP) blocks, modest coverage.
+    pub ndt: f64,
+    /// ISI ICMP history — ping-responsive blocks.
+    pub isi: f64,
+}
+
+impl InternetConfig {
+    /// Default continent profiles shared by both built-in scenarios.
+    fn default_continents() -> Vec<ContinentProfile> {
+        use Continent::*;
+        vec![
+            ContinentProfile {
+                continent: NorthAmerica,
+                as_weight: 0.30,
+                type_mix: [0.30, 0.25, 0.28, 0.17],
+                base_dark_fraction: 0.45,
+            },
+            ContinentProfile {
+                continent: Europe,
+                as_weight: 0.26,
+                type_mix: [0.45, 0.22, 0.18, 0.15],
+                base_dark_fraction: 0.22,
+            },
+            ContinentProfile {
+                continent: Asia,
+                as_weight: 0.24,
+                type_mix: [0.50, 0.17, 0.22, 0.11],
+                base_dark_fraction: 0.40,
+            },
+            ContinentProfile {
+                continent: SouthAmerica,
+                as_weight: 0.08,
+                type_mix: [0.60, 0.20, 0.10, 0.10],
+                base_dark_fraction: 0.35,
+            },
+            ContinentProfile {
+                continent: Africa,
+                as_weight: 0.06,
+                type_mix: [0.60, 0.22, 0.10, 0.08],
+                base_dark_fraction: 0.25,
+            },
+            ContinentProfile {
+                continent: Oceania,
+                as_weight: 0.06,
+                type_mix: [0.50, 0.22, 0.18, 0.10],
+                base_dark_fraction: 0.38,
+            },
+        ]
+    }
+
+    /// The 14 IXPs of the paper's Table 1, with visibility scaled to the
+    /// reported member counts and peak traffic.
+    fn paper_ixps() -> Vec<IxpConfig> {
+        use Continent::*;
+        let ixp = |code: &str, region, members, local, remote| IxpConfig {
+            code: code.to_owned(),
+            region,
+            members,
+            sampling_rate: 15,
+            local_visibility: local,
+            remote_visibility: remote,
+        };
+        vec![
+            ixp("CE1", Europe, 1_000, 0.85, 0.40),
+            ixp("CE2", Europe, 250, 0.25, 0.04),
+            ixp("CE3", Europe, 200, 0.35, 0.08),
+            ixp("CE4", Europe, 200, 0.10, 0.015),
+            ixp("NA1", NorthAmerica, 250, 0.75, 0.30),
+            ixp("NA2", NorthAmerica, 125, 0.22, 0.04),
+            ixp("NA3", NorthAmerica, 20, 0.035, 0.003),
+            ixp("NA4", NorthAmerica, 20, 0.07, 0.008),
+            // The paper groups South-European IXPs separately; they are
+            // European for continent bookkeeping.
+            ixp("SE1", Europe, 200, 0.30, 0.06),
+            ixp("SE2", Europe, 10, 0.25, 0.05),
+            ixp("SE3", Europe, 40, 0.08, 0.01),
+            ixp("SE4", Europe, 40, 0.25, 0.05),
+            ixp("SE5", Europe, 20, 0.06, 0.006),
+            ixp("SE6", Europe, 30, 0.04, 0.004),
+        ]
+    }
+
+    /// The three operational telescopes of the paper's Table 2.
+    fn paper_telescopes() -> Vec<TelescopeConfig> {
+        vec![
+            TelescopeConfig {
+                code: "TUS1".to_owned(),
+                region: Continent::NorthAmerica,
+                num_blocks: 1_856,
+                blocked_ports: vec![],
+                dynamic_active_fraction: 0.0,
+                direct_peering_ixps: 0,
+            },
+            TelescopeConfig {
+                code: "TEU1".to_owned(),
+                region: Continent::Europe,
+                num_blocks: 768,
+                blocked_ports: vec![23, 445],
+                dynamic_active_fraction: 0.65,
+                direct_peering_ixps: 0,
+            },
+            TelescopeConfig {
+                code: "TEU2".to_owned(),
+                region: Continent::Europe,
+                num_blocks: 8,
+                blocked_ports: vec![],
+                dynamic_active_fraction: 0.0,
+                direct_peering_ixps: 10,
+            },
+        ]
+    }
+
+    /// Paper-scale profile (scaled-down Internet, full IXP/telescope
+    /// roster). Intended for `--release` runs of the `repro` harness.
+    pub fn paper() -> Self {
+        InternetConfig {
+            num_ases: 2_500,
+            continents: Self::default_continents(),
+            legacy_slash8_fraction: 0.006,
+            mean_prefixes_per_as: 2.2,
+            prefix_len_weights: vec![
+                (12, 0.01),
+                (14, 0.03),
+                (16, 0.22),
+                (18, 0.14),
+                (19, 0.12),
+                (20, 0.26),
+                (21, 0.08),
+                (22, 0.14),
+            ],
+            dark_run_mean: 24.0,
+            unrouted_octets: vec![37, 53],
+            rib_churn: 0.002,
+            ixps: Self::paper_ixps(),
+            telescopes: Self::paper_telescopes(),
+            aux_coverage: AuxCoverage {
+                censys: 0.80,
+                ndt: 0.30,
+                isi: 0.60,
+            },
+        }
+    }
+
+    /// Small profile for tests: three IXPs, three telescopes, a few
+    /// thousand /24s.
+    pub fn small() -> Self {
+        use Continent::*;
+        let ixp = |code: &str, region, members, local, remote| IxpConfig {
+            code: code.to_owned(),
+            region,
+            members,
+            sampling_rate: 15,
+            local_visibility: local,
+            remote_visibility: remote,
+        };
+        InternetConfig {
+            num_ases: 80,
+            continents: Self::default_continents(),
+            legacy_slash8_fraction: 0.0,
+            mean_prefixes_per_as: 1.6,
+            prefix_len_weights: vec![(16, 0.1), (18, 0.2), (20, 0.4), (22, 0.3)],
+            dark_run_mean: 12.0,
+            unrouted_octets: vec![37, 53],
+            rib_churn: 0.002,
+            ixps: vec![
+                ixp("CE1", Europe, 100, 0.9, 0.6),
+                ixp("NA1", NorthAmerica, 60, 0.8, 0.5),
+                ixp("SE1", Europe, 20, 0.3, 0.1),
+            ],
+            telescopes: vec![
+                TelescopeConfig {
+                    code: "TUS1".to_owned(),
+                    region: NorthAmerica,
+                    num_blocks: 64,
+                    blocked_ports: vec![],
+                    dynamic_active_fraction: 0.0,
+                    direct_peering_ixps: 0,
+                },
+                TelescopeConfig {
+                    code: "TEU1".to_owned(),
+                    region: Europe,
+                    num_blocks: 32,
+                    blocked_ports: vec![23, 445],
+                    dynamic_active_fraction: 0.5,
+                    direct_peering_ixps: 0,
+                },
+                TelescopeConfig {
+                    code: "TEU2".to_owned(),
+                    region: Europe,
+                    num_blocks: 4,
+                    blocked_ports: vec![],
+                    dynamic_active_fraction: 0.0,
+                    direct_peering_ixps: 3,
+                },
+            ],
+            aux_coverage: AuxCoverage {
+                censys: 0.80,
+                ndt: 0.30,
+                isi: 0.60,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_profile_matches_table1_roster() {
+        let c = InternetConfig::paper();
+        assert_eq!(c.ixps.len(), 14);
+        assert_eq!(c.telescopes.len(), 3);
+        assert_eq!(c.telescopes[0].num_blocks, 1_856);
+        assert_eq!(c.telescopes[1].blocked_ports, vec![23, 445]);
+        assert_eq!(c.telescopes[2].direct_peering_ixps, 10);
+    }
+
+    #[test]
+    fn continent_weights_are_positive(){
+        for profile in InternetConfig::paper().continents {
+            assert!(profile.as_weight > 0.0);
+            assert!(profile.type_mix.iter().all(|&w| w >= 0.0));
+            assert!((0.0..=1.0).contains(&profile.base_dark_fraction));
+        }
+    }
+
+    #[test]
+    fn small_profile_is_small() {
+        let c = InternetConfig::small();
+        assert!(c.num_ases <= 100);
+        assert_eq!(c.ixps.len(), 3);
+    }
+
+    #[test]
+    fn config_serde_roundtrip() {
+        let c = InternetConfig::paper();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: InternetConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.num_ases, c.num_ases);
+        assert_eq!(back.ixps.len(), c.ixps.len());
+    }
+}

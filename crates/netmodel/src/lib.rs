@@ -1,0 +1,31 @@
+//! The synthetic Internet the meta-telescope is evaluated against.
+//!
+//! The paper's raw inputs — IXP flow feeds, telescope captures, BGP
+//! tables, activity hitlists — are proprietary. This crate builds a
+//! deterministic stand-in world that exercises the same code paths:
+//!
+//! - [`config`] — scenario parameters ([`InternetConfig::small`] for
+//!   tests, [`InternetConfig::paper`] for the repro harness);
+//! - [`internet`] — AS/prefix/usage generation, telescopes, RIB
+//!   snapshots with churn;
+//! - [`vantage`] — IXP visibility maps (destination- and source-side,
+//!   independently drawn, which yields asymmetric routing);
+//! - [`aux`] — the Censys/NDT/ISI-style activity datasets used for
+//!   false-positive analysis and final scrubbing;
+//! - [`rib_io`] — pfx2as-style text serialization of RIB snapshots.
+//!
+//! Everything is a pure function of `(config, seed)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aux;
+pub mod config;
+pub mod internet;
+pub mod rib_io;
+pub mod vantage;
+
+pub use aux::AuxDatasets;
+pub use config::{AuxCoverage, ContinentProfile, InternetConfig, IxpConfig, TelescopeConfig};
+pub use internet::{Announcement, AsInfo, BlockInfo, Internet, Telescope, Usage};
+pub use vantage::VantagePoint;

@@ -1,0 +1,148 @@
+//! Text serialization of RIB snapshots (pfx2as-style dumps).
+//!
+//! The paper consumes Route Views RIB dumps and CAIDA's daily
+//! prefix-to-AS files. This module reads and writes the equivalent
+//! interchange format — one `prefix <TAB> asn` line per announcement —
+//! so RIB snapshots can be persisted, diffed across days, or replaced by
+//! real pfx2as data when available.
+
+use mt_types::{Asn, Prefix, PrefixTrie};
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Errors from parsing a RIB dump.
+#[derive(Debug)]
+pub enum RibParseError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line that is not `prefix <TAB> asn`, with its 1-based number.
+    Malformed {
+        /// Line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+}
+
+impl fmt::Display for RibParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RibParseError::Io(e) => write!(f, "I/O error: {e}"),
+            RibParseError::Malformed { line, content } => {
+                write!(f, "malformed RIB line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RibParseError {}
+
+impl From<io::Error> for RibParseError {
+    fn from(e: io::Error) -> Self {
+        RibParseError::Io(e)
+    }
+}
+
+/// Writes a RIB as `prefix <TAB> asn` lines, sorted by prefix (the trie
+/// iterates in order, so output is deterministic and diff-friendly).
+pub fn write_rib<W: Write>(rib: &PrefixTrie<Asn>, mut w: W) -> io::Result<()> {
+    for (prefix, asn) in rib.iter() {
+        writeln!(w, "{prefix}\t{}", asn.0)?;
+    }
+    Ok(())
+}
+
+/// Reads a RIB dump. Empty lines and `#` comments are skipped; a
+/// duplicate prefix keeps the last origin (as with repeated RIB entries).
+pub fn read_rib<R: BufRead>(r: R) -> Result<PrefixTrie<Asn>, RibParseError> {
+    let mut trie = PrefixTrie::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let malformed = || RibParseError::Malformed {
+            line: i + 1,
+            content: trimmed.to_owned(),
+        };
+        let mut parts = trimmed.split_whitespace();
+        let prefix: Prefix = parts
+            .next()
+            .ok_or_else(malformed)?
+            .parse()
+            .map_err(|_| malformed())?;
+        let asn: u32 = parts
+            .next()
+            .ok_or_else(malformed)?
+            .parse()
+            .map_err(|_| malformed())?;
+        if parts.next().is_some() {
+            return Err(malformed());
+        }
+        trie.insert(prefix, Asn(asn));
+    }
+    Ok(trie)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Internet, InternetConfig};
+    use mt_types::Day;
+
+    #[test]
+    fn roundtrip_of_a_generated_rib() {
+        let net = Internet::generate(InternetConfig::small(), 8);
+        let rib = net.rib(Day(0));
+        let mut buf = Vec::new();
+        write_rib(&rib, &mut buf).unwrap();
+        let back = read_rib(&buf[..]).unwrap();
+        assert_eq!(back.len(), rib.len());
+        for (prefix, asn) in rib.iter() {
+            assert_eq!(back.get(prefix), Some(asn));
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "# pfx2as snapshot\n\n10.0.0.0/8\t65001\n  \n192.168.0.0/16 65002\n";
+        let rib = read_rib(text.as_bytes()).unwrap();
+        assert_eq!(rib.len(), 2);
+        assert_eq!(
+            rib.get("10.0.0.0/8".parse().unwrap()),
+            Some(&Asn(65_001))
+        );
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_position() {
+        let text = "10.0.0.0/8\t65001\nnot a prefix\n";
+        match read_rib(text.as_bytes()) {
+            Err(RibParseError::Malformed { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        let extra = "10.0.0.0/8 65001 surprise\n";
+        assert!(read_rib(extra.as_bytes()).is_err());
+        let bad_asn = "10.0.0.0/8 not-an-asn\n";
+        assert!(read_rib(bad_asn.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn duplicate_prefix_keeps_last() {
+        let text = "10.0.0.0/8 1\n10.0.0.0/8 2\n";
+        let rib = read_rib(text.as_bytes()).unwrap();
+        assert_eq!(rib.get("10.0.0.0/8".parse().unwrap()), Some(&Asn(2)));
+    }
+
+    #[test]
+    fn output_is_sorted_and_stable() {
+        let net = Internet::generate(InternetConfig::small(), 8);
+        let rib = net.rib(Day(0));
+        let mut a = Vec::new();
+        write_rib(&rib, &mut a).unwrap();
+        let mut b = Vec::new();
+        write_rib(&read_rib(&a[..]).unwrap(), &mut b).unwrap();
+        assert_eq!(a, b, "write∘read∘write is idempotent");
+    }
+}

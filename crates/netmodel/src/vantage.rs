@@ -1,0 +1,203 @@
+//! IXP vantage points and their routing visibility.
+//!
+//! An IXP sees a flow only if the route the flow actually takes crosses
+//! its fabric. We model this with two per-AS booleans for each vantage
+//! point, drawn once per scenario:
+//!
+//! - *destination-side* visibility — traffic toward this AS commonly
+//!   enters through the IXP (the AS or its upstream peers there);
+//! - *source-side* visibility — traffic this AS originates commonly
+//!   transits the IXP.
+//!
+//! A flow from sender AS `s` to destination AS `d` is observable iff
+//! `src_visible[s] && dst_visible[d]`. Crucially the *sender* is the AS
+//! that physically emits the packets; for spoofed traffic this is the
+//! spoofer's network, not the network owning the forged source address —
+//! which is exactly why spoofing pollutes the inference (Section 7.2).
+//!
+//! Drawing both sides independently also yields asymmetric routing for
+//! free: a vantage point can see the forward direction of a conversation
+//! but not the reverse (the CDN-ACK hazard the volume filter of pipeline
+//! step 6 guards against).
+
+use crate::config::InternetConfig;
+use crate::internet::{splitmix, AsInfo, Telescope};
+use mt_types::Continent;
+
+/// One IXP vantage point with its visibility maps.
+#[derive(Debug, Clone)]
+pub struct VantagePoint {
+    /// Short code (paper Table 1 naming, e.g. `CE1`).
+    pub code: String,
+    /// Region the IXP operates in.
+    pub region: Continent,
+    /// Packet sampling rate N (1-in-N).
+    pub sampling_rate: u32,
+    /// Approximate member count (reporting only).
+    pub members: u32,
+    dst_visible: Vec<bool>,
+    src_visible: Vec<bool>,
+}
+
+impl VantagePoint {
+    /// Generates all vantage points for a scenario. Deterministic in
+    /// `(config, ases, seed)`; individual coin flips are keyed hashes so
+    /// they do not depend on iteration order.
+    pub fn generate_all(
+        config: &InternetConfig,
+        ases: &[AsInfo],
+        telescopes: &[Telescope],
+        seed: u64,
+    ) -> Vec<VantagePoint> {
+        let mut vps: Vec<VantagePoint> = config
+            .ixps
+            .iter()
+            .enumerate()
+            .map(|(ixp_idx, ixp)| {
+                let mut dst_visible = Vec::with_capacity(ases.len());
+                let mut src_visible = Vec::with_capacity(ases.len());
+                for (as_idx, a) in ases.iter().enumerate() {
+                    let p = if a.continent == ixp.region {
+                        ixp.local_visibility
+                    } else {
+                        ixp.remote_visibility
+                    };
+                    let threshold = (p * u64::MAX as f64) as u64;
+                    dst_visible.push(
+                        splitmix(seed ^ 0xd57_0001, (ixp_idx as u64) << 32, as_idx as u64)
+                            < threshold,
+                    );
+                    src_visible.push(
+                        splitmix(seed ^ 0x5bc_0002, (ixp_idx as u64) << 32, as_idx as u64)
+                            < threshold,
+                    );
+                }
+                VantagePoint {
+                    code: ixp.code.clone(),
+                    region: ixp.region,
+                    sampling_rate: ixp.sampling_rate,
+                    members: ixp.members,
+                    dst_visible,
+                    src_visible,
+                }
+            })
+            .collect();
+
+        // Direct peering: a telescope host that peers at the first N IXPs
+        // is always visible there, in both directions.
+        for (t_idx, tc) in config.telescopes.iter().enumerate() {
+            let Some(t) = telescopes.get(t_idx) else { continue };
+            for vp in vps.iter_mut().take(tc.direct_peering_ixps) {
+                vp.dst_visible[t.as_idx as usize] = true;
+                vp.src_visible[t.as_idx as usize] = true;
+            }
+        }
+        vps
+    }
+
+    /// Whether traffic toward `as_idx` transits this IXP.
+    pub fn sees_dst_as(&self, as_idx: u32) -> bool {
+        self.dst_visible[as_idx as usize]
+    }
+
+    /// Whether traffic originated by `as_idx` transits this IXP.
+    pub fn sees_src_as(&self, as_idx: u32) -> bool {
+        self.src_visible[as_idx as usize]
+    }
+
+    /// Whether a flow physically emitted by `sender_as` toward `dst_as`
+    /// crosses this IXP.
+    pub fn observes(&self, sender_as: u32, dst_as: u32) -> bool {
+        self.sees_src_as(sender_as) && self.sees_dst_as(dst_as)
+    }
+
+    /// Number of ASes with destination-side visibility.
+    pub fn visible_dst_count(&self) -> usize {
+        self.dst_visible.iter().filter(|&&v| v).count()
+    }
+
+    /// Number of ASes with source-side visibility.
+    pub fn visible_src_count(&self) -> usize {
+        self.src_visible.iter().filter(|&&v| v).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::internet::Internet;
+
+    fn net() -> Internet {
+        Internet::generate(InternetConfig::small(), 11)
+    }
+
+    #[test]
+    fn larger_ixps_see_more() {
+        let net = net();
+        let ce1 = &net.vantage_points[0]; // local 0.9 / remote 0.6
+        let se1 = &net.vantage_points[2]; // local 0.3 / remote 0.1
+        assert!(
+            ce1.visible_dst_count() > se1.visible_dst_count(),
+            "CE1 ({}) should out-see SE1 ({})",
+            ce1.visible_dst_count(),
+            se1.visible_dst_count()
+        );
+    }
+
+    #[test]
+    fn regional_affinity_holds() {
+        let net = net();
+        let ce1 = &net.vantage_points[0];
+        let (mut local_seen, mut local_total) = (0, 0);
+        let (mut remote_seen, mut remote_total) = (0, 0);
+        for (i, a) in net.ases.iter().enumerate() {
+            if a.continent == ce1.region {
+                local_total += 1;
+                local_seen += usize::from(ce1.sees_dst_as(i as u32));
+            } else {
+                remote_total += 1;
+                remote_seen += usize::from(ce1.sees_dst_as(i as u32));
+            }
+        }
+        let local_frac = local_seen as f64 / local_total.max(1) as f64;
+        let remote_frac = remote_seen as f64 / remote_total.max(1) as f64;
+        assert!(
+            local_frac > remote_frac,
+            "local {local_frac:.2} should exceed remote {remote_frac:.2}"
+        );
+    }
+
+    #[test]
+    fn direct_peering_forces_visibility() {
+        let net = net();
+        let teu2 = &net.telescopes[2];
+        // TEU2 peers at the first 3 IXPs in the small profile.
+        for vp in net.vantage_points.iter().take(3) {
+            assert!(vp.sees_dst_as(teu2.as_idx), "{} must see TEU2", vp.code);
+            assert!(vp.sees_src_as(teu2.as_idx));
+        }
+    }
+
+    #[test]
+    fn observes_requires_both_sides() {
+        let net = net();
+        let vp = &net.vantage_points[0];
+        let s = (0..net.ases.len() as u32).find(|&i| vp.sees_src_as(i)).unwrap();
+        let blind_dst = (0..net.ases.len() as u32).find(|&i| !vp.sees_dst_as(i));
+        if let Some(d) = blind_dst {
+            assert!(!vp.observes(s, d));
+        }
+        let visible_dst = (0..net.ases.len() as u32).find(|&i| vp.sees_dst_as(i)).unwrap();
+        assert!(vp.observes(s, visible_dst));
+    }
+
+    #[test]
+    fn visibility_is_deterministic() {
+        let a = net();
+        let b = net();
+        for (x, y) in a.vantage_points.iter().zip(&b.vantage_points) {
+            assert_eq!(x.visible_dst_count(), y.visible_dst_count());
+            assert_eq!(x.visible_src_count(), y.visible_src_count());
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Operational-telescope analysis.
+//!
+//! The capture itself happens in `mt_traffic::observer::TelescopeObserver`
+//! (it has to sit on the emission stream); this crate turns captures into
+//! the paper's reporting artifacts:
+//!
+//! - [`stats`] — per-day and per-week statistics (Table 2: daily packets
+//!   per /24, TCP share, average TCP packet size);
+//! - [`ports`] — top-port extraction and cross-site comparison
+//!   (Table 5);
+//! - [`pcap_analysis`] — re-analysis of exported pcap bytes through the
+//!   real wire parsers, mirroring the paper's "analyzing raw PCAP data
+//!   collected from the three telescopes".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pcap_analysis;
+pub mod ports;
+pub mod stats;
+
+pub use pcap_analysis::PcapSummary;
+pub use ports::{port_overlap, PortRanking};
+pub use stats::{TelescopeDayStats, TelescopeWeekStats};

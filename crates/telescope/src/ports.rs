@@ -1,0 +1,80 @@
+//! Top-port extraction and cross-telescope comparison (Table 5).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A ranked top-port list for one site.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PortRanking {
+    /// Site label (telescope code or "meta-telescope").
+    pub label: String,
+    /// `(port, packets)` in descending packet order.
+    pub ranked: Vec<(u16, u64)>,
+}
+
+impl PortRanking {
+    /// Builds the ranking from a port histogram, keeping the top `n`.
+    /// Ties break toward the lower port number, which keeps output
+    /// stable across runs.
+    pub fn top_n(label: &str, counts: &HashMap<u16, u64>, n: usize) -> Self {
+        let mut ranked: Vec<(u16, u64)> = counts.iter().map(|(&p, &c)| (p, c)).collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(n);
+        PortRanking {
+            label: label.to_owned(),
+            ranked,
+        }
+    }
+
+    /// Just the port numbers, in rank order.
+    pub fn ports(&self) -> Vec<u16> {
+        self.ranked.iter().map(|&(p, _)| p).collect()
+    }
+
+    /// Rank of a port (1-based), if present.
+    pub fn rank_of(&self, port: u16) -> Option<usize> {
+        self.ranked.iter().position(|&(p, _)| p == port).map(|i| i + 1)
+    }
+}
+
+/// Number of ports common to two rankings — the paper's "perfect overlap
+/// for the top ports" check between telescopes and the meta-telescope.
+pub fn port_overlap(a: &PortRanking, b: &PortRanking) -> usize {
+    let set: std::collections::HashSet<u16> = a.ports().into_iter().collect();
+    b.ports().iter().filter(|p| set.contains(p)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(pairs: &[(u16, u64)]) -> HashMap<u16, u64> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn ranking_orders_by_count_then_port() {
+        let r = PortRanking::top_n(
+            "T",
+            &counts(&[(80, 10), (23, 50), (22, 10), (443, 5)]),
+            3,
+        );
+        assert_eq!(r.ports(), vec![23, 22, 80]);
+        assert_eq!(r.rank_of(23), Some(1));
+        assert_eq!(r.rank_of(443), None);
+    }
+
+    #[test]
+    fn overlap_counts_shared_ports() {
+        let a = PortRanking::top_n("A", &counts(&[(23, 9), (22, 8), (80, 7)]), 3);
+        let b = PortRanking::top_n("B", &counts(&[(22, 9), (80, 8), (6379, 7)]), 3);
+        assert_eq!(port_overlap(&a, &b), 2);
+        assert_eq!(port_overlap(&a, &a), 3);
+    }
+
+    #[test]
+    fn top_n_truncates() {
+        let r = PortRanking::top_n("T", &counts(&[(1, 1), (2, 2), (3, 3)]), 2);
+        assert_eq!(r.ranked.len(), 2);
+    }
+}

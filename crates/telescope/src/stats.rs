@@ -1,0 +1,166 @@
+//! Telescope capture statistics (Table 2).
+
+use mt_traffic::TelescopeObserver;
+use mt_types::Day;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One telescope-day of capture statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TelescopeDayStats {
+    /// Telescope code.
+    pub code: String,
+    /// The simulated day.
+    pub day: Day,
+    /// /24 blocks that were dark (capturing) that day.
+    pub dark_blocks: u64,
+    /// Total packets captured.
+    pub total_packets: u64,
+    /// TCP packets captured.
+    pub tcp_packets: u64,
+    /// TCP octets captured.
+    pub tcp_octets: u64,
+    /// UDP packets captured.
+    pub udp_packets: u64,
+    /// TCP destination-port histogram.
+    pub port_counts: HashMap<u16, u64>,
+}
+
+impl TelescopeDayStats {
+    /// Extracts the day's statistics from a finished observer.
+    pub fn from_observer(obs: &TelescopeObserver<'_>, day: Day) -> Self {
+        TelescopeDayStats {
+            code: obs.telescope.code.clone(),
+            day,
+            dark_blocks: obs.per_block_packets.len().max(1) as u64,
+            total_packets: obs.total_packets(),
+            tcp_packets: obs.tcp_packets,
+            tcp_octets: obs.tcp_octets,
+            udp_packets: obs.udp_packets,
+            port_counts: obs.port_counts.clone(),
+        }
+    }
+
+    /// Average packets per dark /24 this day.
+    pub fn pkts_per_block(&self) -> f64 {
+        self.total_packets as f64 / self.dark_blocks.max(1) as f64
+    }
+
+    /// TCP share of the capture.
+    pub fn tcp_share(&self) -> f64 {
+        if self.total_packets == 0 {
+            0.0
+        } else {
+            self.tcp_packets as f64 / self.total_packets as f64
+        }
+    }
+}
+
+/// A week (or any window) of telescope statistics — one Table 2 row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TelescopeWeekStats {
+    /// Telescope code.
+    pub code: String,
+    /// Nominal size of the telescope in /24s.
+    pub size_blocks: u32,
+    /// The aggregated days.
+    pub days: Vec<TelescopeDayStats>,
+}
+
+impl TelescopeWeekStats {
+    /// Builds the window row from per-day stats.
+    pub fn new(code: &str, size_blocks: u32, days: Vec<TelescopeDayStats>) -> Self {
+        assert!(!days.is_empty(), "need at least one day");
+        assert!(days.iter().all(|d| d.code == code));
+        TelescopeWeekStats {
+            code: code.to_owned(),
+            size_blocks,
+            days,
+        }
+    }
+
+    /// Mean daily packets per /24 (Table 2's "Daily /24 pkt count").
+    pub fn daily_pkts_per_block(&self) -> f64 {
+        self.days.iter().map(|d| d.pkts_per_block()).sum::<f64>() / self.days.len() as f64
+    }
+
+    /// TCP share over the window.
+    pub fn tcp_share(&self) -> f64 {
+        let total: u64 = self.days.iter().map(|d| d.total_packets).sum();
+        let tcp: u64 = self.days.iter().map(|d| d.tcp_packets).sum();
+        if total == 0 {
+            0.0
+        } else {
+            tcp as f64 / total as f64
+        }
+    }
+
+    /// Average TCP packet size over the window (Table 2's last column).
+    pub fn avg_tcp_size(&self) -> Option<f64> {
+        let pkts: u64 = self.days.iter().map(|d| d.tcp_packets).sum();
+        let octets: u64 = self.days.iter().map(|d| d.tcp_octets).sum();
+        (pkts > 0).then(|| octets as f64 / pkts as f64)
+    }
+
+    /// Merged TCP port histogram over the window.
+    pub fn port_counts(&self) -> HashMap<u16, u64> {
+        let mut out: HashMap<u16, u64> = HashMap::new();
+        for d in &self.days {
+            for (&p, &c) in &d.port_counts {
+                *out.entry(p).or_default() += c;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn day(code: &str, day_no: u32, total: u64, tcp: u64, tcp_octets: u64) -> TelescopeDayStats {
+        TelescopeDayStats {
+            code: code.to_owned(),
+            day: Day(day_no),
+            dark_blocks: 10,
+            total_packets: total,
+            tcp_packets: tcp,
+            tcp_octets,
+            udp_packets: total - tcp,
+            port_counts: HashMap::from([(23, tcp / 2), (80, tcp / 4)]),
+        }
+    }
+
+    #[test]
+    fn day_rates() {
+        let d = day("T", 0, 1_000, 900, 900 * 41);
+        assert!((d.pkts_per_block() - 100.0).abs() < 1e-12);
+        assert!((d.tcp_share() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn week_aggregates() {
+        let days = vec![
+            day("T", 0, 1_000, 900, 900 * 41),
+            day("T", 1, 2_000, 1_900, 1_900 * 42),
+        ];
+        let w = TelescopeWeekStats::new("T", 10, days);
+        assert!((w.daily_pkts_per_block() - 150.0).abs() < 1e-12);
+        assert!((w.tcp_share() - 2_800.0 / 3_000.0).abs() < 1e-12);
+        let avg = w.avg_tcp_size().unwrap();
+        assert!(avg > 41.0 && avg < 42.0, "weighted avg {avg}");
+        assert_eq!(w.port_counts()[&23], 450 + 950);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one day")]
+    fn empty_week_rejected() {
+        TelescopeWeekStats::new("T", 10, Vec::new());
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_codes_rejected() {
+        TelescopeWeekStats::new("T", 10, vec![day("OTHER", 0, 1, 1, 41)]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Telescope-crate integration: real captures from the simulated world,
+//! consistency between the observer's counters and the pcap re-analysis,
+//! and the Ethernet-framed capture path.
+
+use mt_flow::stats::DEFAULT_SIZE_THRESHOLD;
+use mt_netmodel::{Internet, InternetConfig};
+use mt_telescope::{PcapSummary, PortRanking, TelescopeDayStats, TelescopeWeekStats};
+use mt_traffic::{generate_day, CaptureSet, SpoofSpace, TrafficConfig};
+use mt_types::{Day, Ipv4};
+use mt_wire::{ethernet, ipv4, pcap, tcp, IpProtocol};
+
+#[test]
+fn observer_counters_agree_with_pcap_reanalysis() {
+    let net = Internet::generate(InternetConfig::small(), 42);
+    let cfg = TrafficConfig::test_profile();
+    let spoof = SpoofSpace::new(&net, cfg.spoof_routed_bias);
+    let mut capture = CaptureSet::new(&net, Day(0), &spoof, DEFAULT_SIZE_THRESHOLD, false);
+    // Capture everything: the small TEU2 telescope receives few enough
+    // emissions that the pcap holds one representative packet per
+    // emission.
+    capture.telescopes[2].enable_pcap(u32::MAX);
+    generate_day(&net, &cfg, Day(0), &mut capture);
+    let teu2 = capture.telescopes.swap_remove(2);
+    let day = TelescopeDayStats::from_observer(&teu2, Day(0));
+    let bytes = teu2.pcap_bytes().unwrap();
+    let summary = PcapSummary::parse(&bytes).unwrap();
+    assert_eq!(summary.malformed, 0, "crafted packets must all verify");
+    assert!(summary.packets > 20, "packets {}", summary.packets);
+    // The pcap holds one packet per captured emission, so its port set
+    // is a subset of (and heavily overlaps) the observer's histogram.
+    for port in summary.tcp_ports.keys() {
+        assert!(
+            day.port_counts.contains_key(port),
+            "pcap port {port} missing from observer histogram"
+        );
+    }
+    // Average TCP sizes agree loosely (pcap is per-emission, counters
+    // are per-packet).
+    let pcap_avg = summary.avg_tcp_size().unwrap();
+    assert!(pcap_avg > 40.0 && pcap_avg < 60.0, "pcap avg {pcap_avg}");
+}
+
+#[test]
+fn week_stats_accumulate_across_days() {
+    let net = Internet::generate(InternetConfig::small(), 42);
+    let cfg = TrafficConfig::test_profile();
+    let spoof = SpoofSpace::new(&net, cfg.spoof_routed_bias);
+    let mut days = Vec::new();
+    for day in Day(0).range(3) {
+        let mut capture = CaptureSet::new(&net, day, &spoof, DEFAULT_SIZE_THRESHOLD, false);
+        generate_day(&net, &cfg, day, &mut capture);
+        days.push(TelescopeDayStats::from_observer(&capture.telescopes[0], day));
+    }
+    let week = TelescopeWeekStats::new("TUS1", net.telescopes[0].num_blocks, days.clone());
+    // The weekly mean lies between the daily extremes.
+    let per_day: Vec<f64> = days.iter().map(TelescopeDayStats::pkts_per_block).collect();
+    let mean = week.daily_pkts_per_block();
+    let (min, max) = per_day
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    assert!(mean >= min && mean <= max);
+    // Port histograms merge by addition.
+    let merged = week.port_counts();
+    let telnet_daily: u64 = days
+        .iter()
+        .map(|d| d.port_counts.get(&23).copied().unwrap_or(0))
+        .sum();
+    assert_eq!(merged.get(&23).copied().unwrap_or(0), telnet_daily);
+    // Rankings built from the merged histogram are stable.
+    let ranking = PortRanking::top_n("TUS1", &merged, 10);
+    assert_eq!(ranking.ports()[0], 23);
+}
+
+#[test]
+fn ethernet_framed_captures_parse_too() {
+    // Hand-build an EN10MB pcap: Ethernet II + IPv4 + TCP SYN.
+    let src = Ipv4::new(9, 9, 9, 9);
+    let dst = Ipv4::new(20, 0, 0, 1);
+    let t = tcp::Repr::syn(40_000, 23, 1);
+    let ip = ipv4::Repr {
+        src,
+        dst,
+        protocol: IpProtocol::Tcp,
+        payload_len: t.buffer_len(),
+        ttl: 64,
+    };
+    let mut frame = vec![0u8; ethernet::HEADER_LEN + ip.buffer_len()];
+    {
+        let mut eth = ethernet::Frame::new_unchecked(&mut frame[..]);
+        eth.set_dst(ethernet::MacAddr([2, 0, 0, 0, 0, 1]));
+        eth.set_src(ethernet::MacAddr([2, 0, 0, 0, 0, 2]));
+        eth.set_ethertype(ethernet::ETHERTYPE_IPV4);
+    }
+    {
+        let body = &mut frame[ethernet::HEADER_LEN..];
+        let mut seg = tcp::Segment::new_unchecked(&mut body[ipv4::HEADER_LEN..]);
+        t.emit(&mut seg, src, dst);
+        let mut packet = ipv4::Packet::new_unchecked(body);
+        ip.emit(&mut packet);
+    }
+    let mut file = Vec::new();
+    {
+        let mut w = pcap::Writer::new(&mut file, pcap::LINKTYPE_ETHERNET).unwrap();
+        w.write_packet(1, 0, &frame).unwrap();
+        // A non-IPv4 frame must be counted malformed, not crash.
+        let mut arp = frame.clone();
+        ethernet::Frame::new_unchecked(&mut arp[..]).set_ethertype(0x0806);
+        w.write_packet(2, 0, &arp).unwrap();
+        w.finish().unwrap();
+    }
+    let summary = PcapSummary::parse(&file).unwrap();
+    assert_eq!(summary.packets, 2);
+    assert_eq!(summary.tcp_packets, 1);
+    assert_eq!(summary.malformed, 1);
+    assert_eq!(summary.tcp_ports.get(&23), Some(&1));
+}

@@ -1,0 +1,144 @@
+//! Emissions: what traffic sources put on the wire, annotated with the
+//! routing ground truth the capture path needs.
+//!
+//! The inference pipeline never sees these annotations — it consumes
+//! only the sampled [`mt_flow::FlowRecord`]s the observers produce. The
+//! `sender_as` / `dst_as` fields exist solely so a vantage point can
+//! decide whether the flow's actual path crosses its fabric. For spoofed
+//! traffic the distinction is the whole point: the path depends on the
+//! *spoofer's* network while the flow's source address is forged.
+
+use mt_flow::FlowIntent;
+use mt_types::{Ipv4, SimTime};
+
+/// Sentinel "AS" for destinations outside the modeled AS space (leaked
+/// traffic to private/reserved ranges). Such traffic is observable
+/// wherever its sender is visible.
+pub const NO_AS: u32 = u32::MAX;
+
+/// A regular traffic emission: one flow intent plus routing annotations.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowEmission {
+    /// The flow as sent (true packet counts).
+    pub intent: FlowIntent,
+    /// AS that physically emits the packets (routing truth).
+    pub sender_as: u32,
+    /// AS originating the destination prefix, or [`NO_AS`].
+    pub dst_as: u32,
+    /// When true, the intent's packets probe distinct hosts across the
+    /// destination /24 (scan sweep) rather than one host; observers
+    /// spread sampled packets over pseudo-random hosts.
+    pub host_sweep: bool,
+}
+
+/// A spoofed flood: `packets` packets toward one victim, each carrying a
+/// freshly forged source address. Observers materialize only the sampled
+/// packets, drawing a forged source per sample — processing cost is
+/// proportional to what is *seen*, not what is sent.
+#[derive(Debug, Clone, Copy)]
+pub struct SpoofFloodEmission {
+    /// Flood start time.
+    pub start: SimTime,
+    /// AS of the attacking host (routing truth).
+    pub sender_as: u32,
+    /// The victim address.
+    pub dst: Ipv4,
+    /// AS originating the victim's prefix.
+    pub dst_as: u32,
+    /// Attacked service port.
+    pub dst_port: u16,
+    /// Total spoofed packets in the flood.
+    pub packets: u64,
+    /// IP total length of each packet.
+    pub packet_len: u16,
+}
+
+/// Consumer of a day's emissions. Implemented by the capture layer
+/// (vantage points, telescopes, ISP border) and by ad-hoc analysis
+/// passes in the benchmark harness.
+pub trait EmissionSink {
+    /// A regular flow emission.
+    fn flow(&mut self, e: &FlowEmission);
+    /// A spoofed flood.
+    fn spoof_flood(&mut self, e: &SpoofFloodEmission);
+}
+
+/// Fans one emission stream out to several sinks.
+pub struct FanOut<'a> {
+    sinks: Vec<&'a mut dyn EmissionSink>,
+}
+
+impl<'a> FanOut<'a> {
+    /// Creates a fan-out over the given sinks.
+    pub fn new(sinks: Vec<&'a mut dyn EmissionSink>) -> Self {
+        FanOut { sinks }
+    }
+}
+
+impl EmissionSink for FanOut<'_> {
+    fn flow(&mut self, e: &FlowEmission) {
+        for s in &mut self.sinks {
+            s.flow(e);
+        }
+    }
+
+    fn spoof_flood(&mut self, e: &SpoofFloodEmission) {
+        for s in &mut self.sinks {
+            s.spoof_flood(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Counter {
+        flows: usize,
+        floods: usize,
+    }
+
+    impl EmissionSink for Counter {
+        fn flow(&mut self, _: &FlowEmission) {
+            self.flows += 1;
+        }
+        fn spoof_flood(&mut self, _: &SpoofFloodEmission) {
+            self.floods += 1;
+        }
+    }
+
+    #[test]
+    fn fanout_reaches_all_sinks() {
+        let mut a = Counter::default();
+        let mut b = Counter::default();
+        {
+            let mut fan = FanOut::new(vec![&mut a, &mut b]);
+            let e = FlowEmission {
+                intent: FlowIntent::tcp_syn(
+                    SimTime(0),
+                    Ipv4::new(1, 1, 1, 1),
+                    Ipv4::new(2, 2, 2, 2),
+                    1,
+                    23,
+                    10,
+                ),
+                sender_as: 0,
+                dst_as: 1,
+                host_sweep: true,
+            };
+            fan.flow(&e);
+            fan.spoof_flood(&SpoofFloodEmission {
+                start: SimTime(0),
+                sender_as: 0,
+                dst: Ipv4::new(3, 3, 3, 3),
+                dst_as: 2,
+                dst_port: 80,
+                packets: 1000,
+                packet_len: 40,
+            });
+        }
+        assert_eq!((a.flows, a.floods), (1, 1));
+        assert_eq!((b.flows, b.floods), (1, 1));
+    }
+}

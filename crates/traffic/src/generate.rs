@@ -1,0 +1,718 @@
+//! The day-level traffic generators.
+//!
+//! [`generate_day`] walks every traffic source in a fixed order and
+//! feeds the resulting emissions to a sink. All randomness is keyed
+//! hashing over `(scenario seed, entity, day)`, so the same scenario
+//! always produces the same traffic, and a given block is targeted by
+//! the same campaigns on consecutive days (which is what makes multi-day
+//! windows meaningful).
+//!
+//! Sources, in order:
+//! 1. research scanners — full sweeps of announced space, TCP SYNs in
+//!    the 40/48-byte mix of Section 4.1;
+//! 2. botnet campaigns — partial coverage, regional/type targeting
+//!    (drives the port analyses of Section 8);
+//! 3. a UDP probe sweep (SIP/DNS/NTP chatter; UDP share of Table 2);
+//! 4. DDoS backscatter — victims answering randomly-spoofed floods;
+//! 5. spoofed floods themselves — the graynet pollution of Section 7.2;
+//! 6. misconfiguration chatter — low-rate UDP to random destinations,
+//!    including leaks toward private space (pipeline step 4's diet);
+//! 7. production traffic — active blocks exchanging data with CDNs and
+//!    each other, with weekend quieting and heavy 40-byte ACK streams
+//!    toward CDN blocks (the asymmetric-routing hazard of step 6).
+
+use crate::config::TrafficConfig;
+use crate::emission::{EmissionSink, FlowEmission, SpoofFloodEmission, NO_AS};
+use crate::ports::PortPalette;
+use mt_flow::record::{FlowIntent, TCP_ACK, TCP_RST, TCP_SYN};
+use mt_netmodel::Internet;
+use mt_types::NetworkType;
+use mt_types::mix::{mix3, unit3};
+use mt_types::{Block24, Day, Ipv4, SimTime};
+
+// Salt constants: one per decision family, so streams never collide.
+const S_ATTN: u64 = 0xa77e;
+const S_RESEARCH: u64 = 0x4e5e;
+const S_BOT: u64 = 0xb07;
+const S_UDP: u64 = 0x0dbu64;
+const S_BACK: u64 = 0xbac6;
+const S_SPOOF: u64 = 0x5b00f;
+const S_MISC: u64 = 0x315c;
+const S_PROD: u64 = 0xb40d;
+
+/// Drives one simulated day of traffic into `sink`.
+pub fn generate_day(
+    net: &Internet,
+    cfg: &TrafficConfig,
+    day: Day,
+    sink: &mut dyn EmissionSink,
+) {
+    let w = Workload::new(net, cfg, day);
+    w.research_scanners(sink);
+    w.botnets(sink);
+    w.udp_sweep(sink);
+    w.icmp_sweep(sink);
+    w.backscatter(sink);
+    w.spoof_floods(sink);
+    w.misconfig(sink);
+    w.production(sink);
+}
+
+/// Precomputed per-day context shared by the generators.
+struct Workload<'a> {
+    net: &'a Internet,
+    cfg: &'a TrafficConfig,
+    day: Day,
+    seed: u64,
+    /// Active blocks of the day (indices), including telescope blocks
+    /// dynamically handed to users.
+    active_index: Vec<u32>,
+    /// Active blocks belonging to CDN-designated ASes.
+    cdn_blocks: Vec<u32>,
+    research_palette: PortPalette,
+    udp_palette: PortPalette,
+}
+
+impl<'a> Workload<'a> {
+    fn new(net: &'a Internet, cfg: &'a TrafficConfig, day: Day) -> Self {
+        let active = net.active_on(day);
+        let active_index: Vec<u32> = active.iter().map(|b| b.0).collect();
+        assert!(!active_index.is_empty(), "scenario has no active blocks");
+
+        // CDN designation: the first `cdn_fraction` share of DataCenter
+        // ASes (stable across days).
+        let dc_count = net
+            .ases
+            .iter()
+            .filter(|a| a.network_type == NetworkType::DataCenter)
+            .count();
+        let want = ((dc_count as f64 * cfg.cdn_fraction).ceil() as usize).max(1);
+        let mut is_cdn = vec![false; net.ases.len()];
+        let mut taken = 0;
+        for (i, a) in net.ases.iter().enumerate() {
+            if a.network_type == NetworkType::DataCenter && taken < want {
+                is_cdn[i] = true;
+                taken += 1;
+            }
+        }
+        if taken == 0 {
+            // Degenerate scenario without data centers: promote AS 0.
+            is_cdn[0] = true;
+        }
+        let mut cdn_blocks = Vec::new();
+        for ann in &net.announcements {
+            if is_cdn[ann.as_idx as usize] {
+                for (off, block) in ann.prefix.blocks24().enumerate() {
+                    if !ann.is_dark(off as u32) {
+                        cdn_blocks.push(block.0);
+                    }
+                }
+            }
+        }
+        if cdn_blocks.is_empty() {
+            cdn_blocks.push(active_index[0]);
+        }
+
+        Workload {
+            net,
+            cfg,
+            day,
+            seed: net.seed ^ 0x7aff_1c00,
+            active_index,
+            cdn_blocks,
+            research_palette: PortPalette::research_mix(),
+            udp_palette: PortPalette::udp_noise_mix(),
+        }
+    }
+
+    /// Per-block scan attention: a static hot/cold factor, a day-varying
+    /// component (campaigns come and go — the source of Figure 8's
+    /// day-to-day variability beyond the weekend effect), and the
+    /// configured telescope multipliers.
+    fn attention(&self, block: u32, telescope: Option<u8>) -> f64 {
+        let static_noise = 0.65 + unit3(self.seed ^ S_ATTN, u64::from(block), 0) * 0.7;
+        let daily_noise =
+            0.8 + unit3(self.seed ^ S_ATTN ^ 0xda11, u64::from(block), u64::from(self.day.0)) * 0.4;
+        let tele = telescope
+            .and_then(|t| self.cfg.telescope_attention.get(t as usize))
+            .copied()
+            .unwrap_or(1.0);
+        static_noise * daily_noise * tele
+    }
+
+    /// Static per-block 48-byte share of research-scanner SYNs.
+    /// Combined with the single-size botnet SYNs this puts per-block
+    /// average sizes in the 41.6–42.6 byte window of Section 4.1.
+    fn opt_share(&self, block: u32) -> f64 {
+        self.cfg.syn_opt_share_mean
+            + (unit3(self.seed ^ S_ATTN, u64::from(block), 1) - 0.5)
+                * 2.0
+                * self.cfg.syn_opt_share_spread
+    }
+
+    fn start_time(&self, h: u64) -> SimTime {
+        SimTime(self.day.start().0 + h % 86_400)
+    }
+
+    /// Picks a stable "home" (address + AS) inside the active space.
+    fn active_host(&self, salt: u64, k: u64) -> (Ipv4, u32) {
+        let h = mix3(self.seed ^ salt, k, 0x40e);
+        let block = Block24(self.active_index[(h % self.active_index.len() as u64) as usize]);
+        let host = 1 + (mix3(h, k, 1) % 250) as u8;
+        let as_idx = self
+            .net
+            .block_info(block)
+            .map(|i| i.as_idx)
+            .unwrap_or(NO_AS);
+        (block.addr(host), as_idx)
+    }
+
+    /// Emits a scan sweep toward `block` split into the 40-byte and
+    /// 48-byte SYN sub-flows.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_scan(
+        &self,
+        sink: &mut dyn EmissionSink,
+        src: Ipv4,
+        sender_as: u32,
+        block: u32,
+        dst_as: u32,
+        port: u16,
+        pkts: u64,
+        h: u64,
+        split_sizes: bool,
+    ) {
+        if pkts == 0 {
+            return;
+        }
+        let dst = Block24(block).addr((h & 0xff) as u8);
+        let start = self.start_time(h);
+        let src_port = 1024 + (h % 60_000) as u16;
+        let mut emit = |packets: u64, packet_len: u16| {
+            if packets == 0 {
+                return;
+            }
+            sink.flow(&FlowEmission {
+                intent: FlowIntent {
+                    start,
+                    src,
+                    dst,
+                    src_port,
+                    dst_port: port,
+                    protocol: 6,
+                    tcp_flags: TCP_SYN,
+                    packets,
+                    packet_len,
+                },
+                sender_as,
+                dst_as,
+                host_sweep: true,
+            });
+        };
+        if split_sizes {
+            let with_opts = (pkts as f64 * self.opt_share(block)).round() as u64;
+            emit(pkts - with_opts.min(pkts), 40);
+            emit(with_opts.min(pkts), 48);
+        } else {
+            emit(pkts, 40);
+        }
+    }
+
+    fn research_scanners(&self, sink: &mut dyn EmissionSink) {
+        for s in 0..self.cfg.research_scanners {
+            let (src, sender_as) = self.active_host(S_RESEARCH, u64::from(s));
+            for ann in &self.net.announcements {
+                let first = ann.prefix.base().block24_index();
+                for off in 0..ann.prefix.num_blocks24() {
+                    let block = first + off;
+                    let h = mix3(
+                        self.seed ^ S_RESEARCH,
+                        (u64::from(s) << 32) | u64::from(block),
+                        u64::from(self.day.0),
+                    );
+                    let port = self.research_palette.pick(h);
+                    let pkts = (self.cfg.research_pkts_per_block as f64
+                        * self.attention(block, ann.telescope))
+                        as u64;
+                    self.emit_scan(
+                        sink,
+                        src,
+                        sender_as,
+                        block,
+                        ann.as_idx,
+                        port,
+                        pkts,
+                        h,
+                        true,
+                    );
+                }
+            }
+        }
+    }
+
+    fn botnets(&self, sink: &mut dyn EmissionSink) {
+        for (bi, bot) in self.cfg.botnets.iter().enumerate() {
+            let bi = bi as u64;
+            for ann in &self.net.announcements {
+                let a = &self.net.ases[ann.as_idx as usize];
+                let mut weight = bot
+                    .continent_weights
+                    .iter()
+                    .find(|&&(c, _)| c == a.continent)
+                    .map(|&(_, w)| w)
+                    .unwrap_or(bot.default_weight);
+                if let Some((ty, mult)) = bot.type_bias {
+                    if a.network_type == ty {
+                        weight *= mult;
+                    }
+                }
+                let p_target = (bot.coverage * weight).min(1.0);
+                if p_target <= 0.0 {
+                    continue;
+                }
+                let first = ann.prefix.base().block24_index();
+                for off in 0..ann.prefix.num_blocks24() {
+                    let block = first + off;
+                    // Stable targeting: the campaign probes the same
+                    // blocks every day.
+                    if unit3(self.seed ^ S_BOT, bi, u64::from(block)) >= p_target {
+                        continue;
+                    }
+                    let h = mix3(
+                        self.seed ^ S_BOT,
+                        (bi << 40) | u64::from(block),
+                        u64::from(self.day.0),
+                    );
+                    // Rotate over bot hosts.
+                    let bot_slot = mix3(self.seed ^ S_BOT, bi, h % u64::from(bot.bots));
+                    let (src, sender_as) = self.active_host(S_BOT ^ 0xb1, bot_slot);
+                    let port = bot.ports.pick(h);
+                    let pkts = (bot.pkts_per_target as f64
+                        * self.attention(block, ann.telescope))
+                        as u64;
+                    self.emit_scan(
+                        sink, src, sender_as, block, ann.as_idx, port, pkts, h, false,
+                    );
+                }
+            }
+        }
+    }
+
+    fn udp_sweep(&self, sink: &mut dyn EmissionSink) {
+        let (src, sender_as) = self.active_host(S_UDP, 0);
+        for ann in &self.net.announcements {
+            let first = ann.prefix.base().block24_index();
+            for off in 0..ann.prefix.num_blocks24() {
+                let block = first + off;
+                let h = mix3(self.seed ^ S_UDP, u64::from(block), u64::from(self.day.0));
+                // Per-site UDP attention (TEU2's distinctly higher UDP
+                // share in Table 2) on top of the hot/cold noise.
+                let noise = 0.7 + unit3(self.seed ^ S_ATTN, u64::from(block), 0) * 0.6;
+                let udp_mult = ann
+                    .telescope
+                    .and_then(|t| self.cfg.telescope_udp_attention.get(t as usize))
+                    .copied()
+                    .unwrap_or(1.0);
+                let pkts =
+                    (self.cfg.udp_sweep_pkts_per_block as f64 * noise * udp_mult) as u64;
+                if pkts == 0 {
+                    continue;
+                }
+                sink.flow(&FlowEmission {
+                    intent: FlowIntent {
+                        start: self.start_time(h),
+                        src,
+                        dst: Block24(block).addr((h & 0xff) as u8),
+                        src_port: 1024 + (h % 60_000) as u16,
+                        dst_port: self.udp_palette.pick(h),
+                        protocol: 17,
+                        tcp_flags: 0,
+                        packets: pkts,
+                        packet_len: 120,
+                    },
+                    sender_as,
+                    dst_as: ann.as_idx,
+                    host_sweep: true,
+                });
+            }
+        }
+    }
+
+    /// The ICMP census sweep: one echo request per host, a handful of
+    /// packets per /24 per day, from a single long-running scanner.
+    fn icmp_sweep(&self, sink: &mut dyn EmissionSink) {
+        if self.cfg.icmp_sweep_pkts_per_block == 0 {
+            return;
+        }
+        let (src, sender_as) = self.active_host(S_UDP ^ 0x1c, 1);
+        for ann in &self.net.announcements {
+            let first = ann.prefix.base().block24_index();
+            for off in 0..ann.prefix.num_blocks24() {
+                let block = first + off;
+                let h = mix3(self.seed ^ S_UDP ^ 0x1c, u64::from(block), u64::from(self.day.0));
+                sink.flow(&FlowEmission {
+                    intent: FlowIntent {
+                        start: self.start_time(h),
+                        src,
+                        dst: Block24(block).addr((h & 0xff) as u8),
+                        src_port: 0,
+                        dst_port: 0,
+                        protocol: 1,
+                        tcp_flags: 0,
+                        packets: self.cfg.icmp_sweep_pkts_per_block,
+                        packet_len: 28, // 20 B IPv4 + 8 B ICMP echo
+                    },
+                    sender_as,
+                    dst_as: ann.as_idx,
+                    host_sweep: true,
+                });
+            }
+        }
+    }
+
+    fn backscatter(&self, sink: &mut dyn EmissionSink) {
+        let announced: &[mt_netmodel::Announcement] = &self.net.announcements;
+        if announced.is_empty() {
+            return;
+        }
+        for v in 0..self.cfg.backscatter_victims {
+            let (victim, victim_as) = self.active_host(S_BACK, u64::from(v));
+            let service: u16 = [80u16, 443, 53, 22][(v % 4) as usize];
+            for k in 0..self.cfg.backscatter_spread {
+                let h = mix3(
+                    self.seed ^ S_BACK,
+                    (u64::from(v) << 32) | u64::from(k),
+                    u64::from(self.day.0),
+                );
+                // Reflected toward a random announced /24 (where the
+                // attack's forged sources pretended to live).
+                let ann = &announced[(h % announced.len() as u64) as usize];
+                let off = mix3(h, 1, 2) % u64::from(ann.prefix.num_blocks24());
+                let block = ann.prefix.base().block24_index() + off as u32;
+                let flags = if h & 1 == 0 { TCP_SYN | TCP_ACK } else { TCP_RST };
+                sink.flow(&FlowEmission {
+                    intent: FlowIntent {
+                        start: self.start_time(h),
+                        src: victim,
+                        dst: Block24(block).addr((mix3(h, 3, 4) & 0xff) as u8),
+                        src_port: service,
+                        dst_port: 1024 + (mix3(h, 5, 6) % 60_000) as u16,
+                        protocol: 6,
+                        tcp_flags: flags,
+                        packets: 1 + h % 3,
+                        packet_len: 40,
+                    },
+                    sender_as: victim_as,
+                    dst_as: ann.as_idx,
+                    host_sweep: false,
+                });
+            }
+        }
+    }
+
+    fn spoof_floods(&self, sink: &mut dyn EmissionSink) {
+        for a in 0..self.cfg.spoof_attacks {
+            let (attacker, attacker_as) = self.active_host(S_SPOOF, u64::from(a));
+            let (victim, victim_as) =
+                self.active_host(S_SPOOF ^ 0x1, mix3(u64::from(a), u64::from(self.day.0), 9));
+            let _ = attacker; // the flood hides the attacker's address
+            let h = mix3(self.seed ^ S_SPOOF, u64::from(a), u64::from(self.day.0));
+            let base = self.cfg.spoof_intensity * self.net.announced_blocks() as f64;
+            let volume = (base * (0.6 + unit3(h, 1, 2) * 0.8)) as u64;
+            sink.spoof_flood(&SpoofFloodEmission {
+                start: self.start_time(h),
+                sender_as: attacker_as,
+                dst: victim,
+                dst_as: victim_as,
+                dst_port: if h & 1 == 0 { 80 } else { 443 },
+                packets: volume,
+                packet_len: 40,
+            });
+        }
+    }
+
+    fn misconfig(&self, sink: &mut dyn EmissionSink) {
+        let announced: &[mt_netmodel::Announcement] = &self.net.announcements;
+        for m in 0..self.cfg.misconfig_emissions {
+            let h = mix3(self.seed ^ S_MISC, u64::from(m), u64::from(self.day.0));
+            let (src, sender_as) = self.active_host(S_MISC, u64::from(m) / 4);
+            // 2% of the chatter leaks toward private space (step 4 diet).
+            let (dst, dst_as) = if h % 50 == 0 {
+                let private = Ipv4::new(10, (h >> 8) as u8, (h >> 16) as u8, (h >> 24) as u8);
+                (private, NO_AS)
+            } else {
+                let ann = &announced[(h % announced.len() as u64) as usize];
+                let off = mix3(h, 7, 8) % u64::from(ann.prefix.num_blocks24());
+                let block = ann.prefix.base().block24_index() + off as u32;
+                (Block24(block).addr((mix3(h, 9, 10) & 0xff) as u8), ann.as_idx)
+            };
+            sink.flow(&FlowEmission {
+                intent: FlowIntent {
+                    start: self.start_time(h),
+                    src,
+                    dst,
+                    src_port: 1024 + (h % 60_000) as u16,
+                    dst_port: self.udp_palette.pick(h),
+                    protocol: 17,
+                    tcp_flags: 0,
+                    packets: self.cfg.misconfig_pkts,
+                    packet_len: 90,
+                },
+                sender_as,
+                dst_as,
+                host_sweep: false,
+            });
+        }
+    }
+
+    fn production(&self, sink: &mut dyn EmissionSink) {
+        let weekend = self.day.is_weekend();
+        for &block in &self.active_index {
+            let b = Block24(block);
+            let Some(info) = self.net.block_info(b) else { continue };
+            let a = &self.net.ases[info.as_idx as usize];
+            let ti = TrafficConfig::type_index(a.network_type);
+            let wk = if weekend { self.cfg.weekend_factor[ti] } else { 1.0 };
+            let noise = 0.4 + unit3(self.seed ^ S_PROD, u64::from(block), u64::from(self.day.0)) * 1.6;
+            // Upload-heavy blocks (content sources, backup targets, …)
+            // push data out and receive mostly ACKs: the median-size
+            // classifier's false positives in Table 3.
+            let upload_heavy = unit3(self.seed ^ S_PROD, u64::from(block), 0x0b10ad)
+                < self.cfg.upload_heavy_fraction;
+            let (out_scale, in_scale) = if upload_heavy { (3.0, 0.08) } else { (1.0, 1.0) };
+            let out_data =
+                (self.cfg.production_out[ti] as f64 * wk * noise * out_scale) as u64;
+            let in_data = (self.cfg.production_in[ti] as f64 * wk * noise * in_scale) as u64;
+            if out_data == 0 && in_data == 0 {
+                continue;
+            }
+            let h = mix3(self.seed ^ S_PROD, u64::from(block), 0xc0ffee);
+            let local_host = b.addr(10 + (h % 60) as u8);
+            // This block's content source (sticky CDN assignment).
+            let cdn_block =
+                Block24(self.cdn_blocks[(h % self.cdn_blocks.len() as u64) as usize]);
+            let cdn_host = cdn_block.addr(4 + (mix3(h, 2, 3) % 32) as u8);
+            let cdn_as = self
+                .net
+                .block_info(cdn_block)
+                .map(|i| i.as_idx)
+                .unwrap_or(NO_AS);
+            // Skip self-talk when the active block *is* the CDN block.
+            let talks_to_cdn = cdn_block != b;
+            let start = self.start_time(h);
+            let mut emit = |src: Ipv4,
+                            dst: Ipv4,
+                            sender_as: u32,
+                            dst_as: u32,
+                            sport: u16,
+                            dport: u16,
+                            flags: u8,
+                            pkts: u64,
+                            size: u16| {
+                if pkts == 0 {
+                    return;
+                }
+                sink.flow(&FlowEmission {
+                    intent: FlowIntent {
+                        start,
+                        src,
+                        dst,
+                        src_port: sport,
+                        dst_port: dport,
+                        protocol: 6,
+                        tcp_flags: flags,
+                        packets: pkts,
+                        packet_len: size,
+                    },
+                    sender_as,
+                    dst_as,
+                    host_sweep: false,
+                });
+            };
+            if talks_to_cdn {
+                let eph = 1024 + (h % 50_000) as u16;
+                // Uploads / requests.
+                emit(local_host, cdn_host, info.as_idx, cdn_as, eph, 443, TCP_ACK, out_data, 600);
+                // Pure-ACK return stream for downloads: 40-byte packets
+                // pouring *into* the CDN — the asymmetric-routing decoy.
+                emit(local_host, cdn_host, info.as_idx, cdn_as, eph, 443, TCP_ACK, in_data / 2, 40);
+                // The downloads themselves.
+                emit(cdn_host, local_host, cdn_as, info.as_idx, 443, eph, TCP_ACK, in_data, 1400);
+                // ACKs for this block's uploads, pouring back in at 40
+                // bytes (dominates inbound for upload-heavy blocks).
+                emit(cdn_host, local_host, cdn_as, info.as_idx, 443, eph, TCP_ACK, out_data / 2, 40);
+            }
+            // Peer-to-peer-ish chatter with another active block.
+            let peer_block =
+                Block24(self.active_index[(mix3(h, 4, 5) % self.active_index.len() as u64) as usize]);
+            if peer_block != b {
+                let peer_as = self
+                    .net
+                    .block_info(peer_block)
+                    .map(|i| i.as_idx)
+                    .unwrap_or(NO_AS);
+                let peer_host = peer_block.addr(20 + (mix3(h, 6, 7) % 40) as u8);
+                emit(
+                    peer_host,
+                    local_host,
+                    peer_as,
+                    info.as_idx,
+                    5_000 + (h % 1000) as u16,
+                    1024 + (mix3(h, 8, 9) % 60_000) as u16,
+                    TCP_ACK,
+                    in_data / 10,
+                    200,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emission::EmissionSink;
+    use mt_netmodel::InternetConfig;
+
+    struct Collector {
+        flows: Vec<FlowEmission>,
+        floods: Vec<SpoofFloodEmission>,
+    }
+
+    impl EmissionSink for Collector {
+        fn flow(&mut self, e: &FlowEmission) {
+            self.flows.push(*e);
+        }
+        fn spoof_flood(&mut self, e: &SpoofFloodEmission) {
+            self.floods.push(*e);
+        }
+    }
+
+    fn run_day(day: Day) -> Collector {
+        let net = Internet::generate(InternetConfig::small(), 3);
+        let cfg = TrafficConfig::test_profile();
+        let mut c = Collector { flows: Vec::new(), floods: Vec::new() };
+        generate_day(&net, &cfg, day, &mut c);
+        c
+    }
+
+    #[test]
+    fn a_day_produces_traffic_of_every_kind() {
+        let c = run_day(Day(0));
+        assert!(!c.flows.is_empty());
+        assert_eq!(c.floods.len(), 6);
+        assert!(c.flows.iter().any(|e| e.intent.protocol == 17), "UDP present");
+        assert!(c.flows.iter().any(|e| e.intent.protocol == 1), "ICMP present");
+        assert!(
+            c.flows.iter().any(|e| e.intent.tcp_flags == TCP_SYN),
+            "SYN scans present"
+        );
+        assert!(
+            c.flows.iter().any(|e| e.intent.packet_len >= 1400),
+            "production data present"
+        );
+        assert!(
+            c.flows
+                .iter()
+                .any(|e| e.intent.tcp_flags & (TCP_SYN | TCP_ACK) == TCP_SYN | TCP_ACK
+                    || e.intent.tcp_flags == TCP_RST),
+            "backscatter present"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = run_day(Day(2));
+        let b = run_day(Day(2));
+        assert_eq!(a.flows.len(), b.flows.len());
+        for (x, y) in a.flows.iter().zip(&b.flows).step_by(97) {
+            assert_eq!(x.intent, y.intent);
+            assert_eq!(x.sender_as, y.sender_as);
+        }
+    }
+
+    #[test]
+    fn weekend_reduces_enterprise_origination() {
+        let net = Internet::generate(InternetConfig::small(), 3);
+        let cfg = TrafficConfig::test_profile();
+        let volume_of = |day: Day| {
+            let mut c = Collector { flows: Vec::new(), floods: Vec::new() };
+            generate_day(&net, &cfg, day, &mut c);
+            // Sum production-looking outbound traffic from Enterprise ASes.
+            c.flows
+                .iter()
+                .filter(|e| {
+                    e.sender_as != NO_AS
+                        && net.ases[e.sender_as as usize].network_type == NetworkType::Enterprise
+                        && e.intent.packet_len >= 200
+                })
+                .map(|e| e.intent.packets)
+                .sum::<u64>()
+        };
+        // Day 2 is a Wednesday, day 5 a Saturday.
+        let weekday = volume_of(Day(2));
+        let weekend = volume_of(Day(5));
+        assert!(
+            (weekend as f64) < weekday as f64 * 0.6,
+            "weekend {weekend} vs weekday {weekday}"
+        );
+    }
+
+    #[test]
+    fn scans_cover_dark_space() {
+        let net = Internet::generate(InternetConfig::small(), 3);
+        let cfg = TrafficConfig::test_profile();
+        let mut c = Collector { flows: Vec::new(), floods: Vec::new() };
+        generate_day(&net, &cfg, Day(0), &mut c);
+        let mut scanned = mt_types::Block24Set::new();
+        for e in &c.flows {
+            if e.host_sweep && e.intent.protocol == 6 {
+                scanned.insert(Block24::containing(e.intent.dst));
+            }
+        }
+        // Research scanners sweep everything announced, so every dark
+        // block must receive TCP scan traffic.
+        assert_eq!(net.dark_truth.difference(&scanned).len(), 0);
+    }
+
+    #[test]
+    fn dark_blocks_never_send() {
+        let net = Internet::generate(InternetConfig::small(), 3);
+        let cfg = TrafficConfig::test_profile();
+        let mut c = Collector { flows: Vec::new(), floods: Vec::new() };
+        generate_day(&net, &cfg, Day(0), &mut c);
+        let dark_today = net.dark_on(Day(0));
+        for e in &c.flows {
+            assert!(
+                !dark_today.contains(Block24::containing(e.intent.src)),
+                "dark block {} emitted a flow",
+                Block24::containing(e.intent.src)
+            );
+        }
+    }
+
+    #[test]
+    fn telescope_attention_raises_volume() {
+        let net = Internet::generate(InternetConfig::small(), 3);
+        let mut cfg = TrafficConfig::test_profile();
+        cfg.telescope_attention = vec![1.0, 1.0, 3.0];
+        let mut c = Collector { flows: Vec::new(), floods: Vec::new() };
+        generate_day(&net, &cfg, Day(0), &mut c);
+        let per_block_volume = |blocks: &mut dyn Iterator<Item = Block24>| {
+            let set: std::collections::HashSet<u32> = blocks.map(|b| b.0).collect();
+            let total: u64 = c
+                .flows
+                .iter()
+                .filter(|e| set.contains(&Block24::containing(e.intent.dst).0))
+                .map(|e| e.intent.packets)
+                .sum();
+            total as f64 / set.len() as f64
+        };
+        let teu2 = per_block_volume(&mut net.telescopes[2].blocks());
+        let tus1 = per_block_volume(&mut net.telescopes[0].blocks());
+        assert!(
+            teu2 > tus1 * 2.0,
+            "TEU2 per-block volume {teu2:.0} vs TUS1 {tus1:.0}"
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Traffic generation for the synthetic Internet.
+//!
+//! Produces the traffic mix the paper's inference pipeline lives on:
+//! Internet background radiation (research scanners, botnet campaigns
+//! with regional and network-type targeting, DDoS backscatter, UDP
+//! chatter), spoofed floods whose forged sources pollute the inference
+//! (Section 7.2), and production traffic with weekend quieting and
+//! asymmetric CDN paths (the step-6 hazard).
+//!
+//! - [`config`] — tunable volumes and campaign roster;
+//! - [`ports`] — weighted destination-port palettes;
+//! - [`emission`] — the generator→capture interface;
+//! - [`generate`] — the day-level generators;
+//! - [`observer`] — capture: vantage-point sampling into per-/24 stats,
+//!   telescope capture, ISP border capture, spoofed-source synthesis.
+//!
+//! Everything is deterministic in `(Internet, TrafficConfig, day)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod emission;
+pub mod generate;
+pub mod observer;
+pub mod ports;
+
+pub use config::{BotnetConfig, TrafficConfig};
+pub use emission::{EmissionSink, FanOut, FlowEmission, SpoofFloodEmission, NO_AS};
+pub use generate::generate_day;
+pub use observer::{CaptureSet, IspObserver, SpoofSpace, TelescopeObserver, VantageObserver};
+pub use ports::PortPalette;

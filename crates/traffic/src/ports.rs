@@ -1,0 +1,173 @@
+//! Destination-port palettes for scanners and botnets.
+//!
+//! The paper's port-level findings (Tables 5, Figures 11/12/18–20) hinge
+//! on *where* different port mixes are aimed: telnet everywhere, Huawei
+//! 37215 / Satori 52869 concentrated on Africa, 7001 in North America,
+//! 6001 in Oceania, web and database ports over-represented toward data
+//! centers. A [`PortPalette`] is a weighted port distribution with
+//! deterministic picking (keyed hash in, port out).
+
+use std::fmt;
+
+/// A weighted distribution over destination ports.
+#[derive(Clone)]
+pub struct PortPalette {
+    entries: Vec<(u16, f64)>,
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl PortPalette {
+    /// Builds a palette from `(port, weight)` pairs. Weights need not sum
+    /// to anything in particular; zero-weight entries are dropped.
+    pub fn new(entries: &[(u16, f64)]) -> Self {
+        let entries: Vec<(u16, f64)> = entries
+            .iter()
+            .copied()
+            .filter(|&(_, w)| w > 0.0)
+            .collect();
+        assert!(!entries.is_empty(), "palette needs at least one port");
+        let mut cumulative = Vec::with_capacity(entries.len());
+        let mut acc = 0.0;
+        for &(_, w) in &entries {
+            acc += w;
+            cumulative.push(acc);
+        }
+        PortPalette {
+            entries,
+            cumulative,
+            total: acc,
+        }
+    }
+
+    /// Picks a port from the palette using a hash value as the source of
+    /// randomness (deterministic: same hash, same port).
+    pub fn pick(&self, hash: u64) -> u16 {
+        let x = (hash as f64 / u64::MAX as f64) * self.total;
+        let idx = self
+            .cumulative
+            .partition_point(|&c| c < x)
+            .min(self.entries.len() - 1);
+        self.entries[idx].0
+    }
+
+    /// The ports and weights of the palette.
+    pub fn entries(&self) -> &[(u16, f64)] {
+        &self.entries
+    }
+
+    /// The palette used by broad "research style" scanners: the paper's
+    /// global top-port mix (Table 5 / Figure 11 union list).
+    pub fn research_mix() -> Self {
+        PortPalette::new(&[
+            (23, 0.200),
+            (8080, 0.095),
+            (22, 0.090),
+            (3389, 0.075),
+            (80, 0.075),
+            (8443, 0.055),
+            (443, 0.055),
+            (5555, 0.045),
+            (2222, 0.040),
+            (5038, 0.030),
+            (445, 0.035),
+            (3306, 0.025),
+            (6379, 0.030),
+            (25565, 0.020),
+            (60023, 0.020),
+            (81, 0.018),
+            (8090, 0.015),
+            (2375, 0.012),
+            (7001, 0.015),
+            (6001, 0.010),
+            (37215, 0.008),
+            (52869, 0.006),
+            (25, 0.008),
+            (110, 0.005),
+            (21, 0.008),
+        ])
+    }
+
+    /// UDP chatter ports for the misconfiguration generator.
+    pub fn udp_noise_mix() -> Self {
+        PortPalette::new(&[
+            (53, 0.30),
+            (123, 0.15),
+            (161, 0.10),
+            (1900, 0.15),
+            (5060, 0.10),
+            (11211, 0.05),
+            (137, 0.10),
+            (500, 0.05),
+            (69, 0.05),
+        ])
+    }
+}
+
+impl fmt::Debug for PortPalette {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PortPalette({} ports)", self.entries.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_is_deterministic() {
+        let p = PortPalette::research_mix();
+        for h in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(p.pick(h), p.pick(h));
+        }
+    }
+
+    #[test]
+    fn pick_covers_extremes() {
+        let p = PortPalette::new(&[(1, 1.0), (2, 1.0)]);
+        assert_eq!(p.pick(0), 1);
+        assert_eq!(p.pick(u64::MAX), 2);
+    }
+
+    #[test]
+    fn weights_shape_the_distribution() {
+        let p = PortPalette::new(&[(23, 0.8), (80, 0.2)]);
+        let mut telnet = 0;
+        let n = 10_000u64;
+        for i in 0..n {
+            // Spread hashes uniformly.
+            let h = i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            if p.pick(h) == 23 {
+                telnet += 1;
+            }
+        }
+        let frac = telnet as f64 / n as f64;
+        assert!((frac - 0.8).abs() < 0.05, "telnet fraction {frac}");
+    }
+
+    #[test]
+    fn zero_weights_are_dropped() {
+        let p = PortPalette::new(&[(1, 0.0), (2, 1.0)]);
+        assert_eq!(p.entries().len(), 1);
+        assert_eq!(p.pick(12345), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one port")]
+    fn empty_palette_rejected() {
+        PortPalette::new(&[(1, 0.0)]);
+    }
+
+    #[test]
+    fn research_mix_is_telnet_heavy() {
+        let p = PortPalette::research_mix();
+        let (top_port, top_w) = p
+            .entries()
+            .iter()
+            .copied()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        assert_eq!(top_port, 23);
+        assert!(top_w > 0.15);
+    }
+}

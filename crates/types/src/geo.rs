@@ -1,0 +1,270 @@
+//! Geographic and network-type taxonomies.
+//!
+//! Sections 6 and 8 of the paper break inferred meta-telescope prefixes
+//! down by country, continent ("world region") and network type (the
+//! IPInfo business categories). The synthetic Internet model assigns these
+//! attributes to ASes; this module provides the shared types plus a table
+//! of real ISO 3166 country codes with their continents so generated data
+//! looks like (and prints like) real measurement output.
+
+use std::fmt;
+
+/// World regions as used in the paper's figures (including the
+/// "International" bucket for prefixes that map to several regions).
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub enum Continent {
+    /// North America.
+    NorthAmerica,
+    /// South America.
+    SouthAmerica,
+    /// Europe.
+    Europe,
+    /// Asia.
+    Asia,
+    /// Africa.
+    Africa,
+    /// Oceania.
+    Oceania,
+    /// Prefixes spanning several regions (paper's "INT" row).
+    International,
+}
+
+impl Continent {
+    /// All continents in the display order used by the paper's tables.
+    pub const ALL: [Continent; 7] = [
+        Continent::NorthAmerica,
+        Continent::SouthAmerica,
+        Continent::Europe,
+        Continent::Asia,
+        Continent::Africa,
+        Continent::Oceania,
+        Continent::International,
+    ];
+
+    /// Two-letter abbreviation as used in the paper's figures.
+    pub const fn abbrev(self) -> &'static str {
+        match self {
+            Continent::NorthAmerica => "NA",
+            Continent::SouthAmerica => "SA",
+            Continent::Europe => "EU",
+            Continent::Asia => "AS",
+            Continent::Africa => "AF",
+            Continent::Oceania => "OC",
+            Continent::International => "INT",
+        }
+    }
+}
+
+impl fmt::Display for Continent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// A country, stored as its two-letter ISO 3166-1 alpha-2 code.
+#[derive(
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub struct Country(pub [u8; 2]);
+
+impl Country {
+    /// Builds a country from its two-letter code.
+    ///
+    /// Accepts lowercase; stores uppercase. Panics if the string is not
+    /// exactly two ASCII letters — country codes come from static tables.
+    pub fn new(code: &str) -> Self {
+        let b = code.as_bytes();
+        assert!(
+            b.len() == 2 && b.iter().all(|c| c.is_ascii_alphabetic()),
+            "invalid country code {code:?}"
+        );
+        Country([b[0].to_ascii_uppercase(), b[1].to_ascii_uppercase()])
+    }
+
+    /// The code as a string slice.
+    pub fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.0).expect("country codes are ASCII")
+    }
+}
+
+impl fmt::Display for Country {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Country {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Country({})", self.as_str())
+    }
+}
+
+/// Business category of the AS hosting a prefix (IPInfo's taxonomy as used
+/// in the paper's Table 7 and Figures 12/16/19/20).
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub enum NetworkType {
+    /// Eyeball / access networks.
+    Isp,
+    /// Corporate networks.
+    Enterprise,
+    /// Universities and research networks.
+    Education,
+    /// Hosting and cloud providers.
+    DataCenter,
+}
+
+impl NetworkType {
+    /// All types in the paper's column order.
+    pub const ALL: [NetworkType; 4] = [
+        NetworkType::Isp,
+        NetworkType::Enterprise,
+        NetworkType::Education,
+        NetworkType::DataCenter,
+    ];
+
+    /// Human-readable label matching the paper's tables.
+    pub const fn label(self) -> &'static str {
+        match self {
+            NetworkType::Isp => "ISP",
+            NetworkType::Enterprise => "Enterprise",
+            NetworkType::Education => "Education",
+            NetworkType::DataCenter => "Data Center",
+        }
+    }
+}
+
+impl fmt::Display for NetworkType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Real ISO country codes grouped by continent, used by the synthetic
+/// Internet model to draw plausible country assignments. The counts per
+/// continent roughly track the number of economies with routed address
+/// space in each region.
+pub const COUNTRIES_BY_CONTINENT: &[(Continent, &[&str])] = &[
+    (
+        Continent::NorthAmerica,
+        &["US", "CA", "MX", "GT", "CU", "DO", "HN", "PA", "CR", "JM", "TT", "BS"],
+    ),
+    (
+        Continent::SouthAmerica,
+        &["BR", "AR", "CO", "CL", "PE", "VE", "EC", "BO", "PY", "UY", "GY", "SR"],
+    ),
+    (
+        Continent::Europe,
+        &[
+            "DE", "GB", "FR", "NL", "IT", "ES", "PL", "SE", "CH", "AT", "BE", "CZ", "RO", "PT",
+            "GR", "HU", "DK", "FI", "NO", "IE", "BG", "SK", "HR", "LT", "LV", "EE", "SI", "UA",
+            "RS", "IS",
+        ],
+    ),
+    (
+        Continent::Asia,
+        &[
+            "CN", "JP", "IN", "KR", "ID", "TR", "SA", "TH", "VN", "MY", "SG", "PH", "PK", "BD",
+            "IL", "AE", "HK", "TW", "IR", "IQ", "KZ", "QA", "JO", "LK", "NP", "KH", "MM", "MN",
+        ],
+    ),
+    (
+        Continent::Africa,
+        &[
+            "ZA", "NG", "EG", "KE", "MA", "GH", "TN", "DZ", "TZ", "UG", "CM", "CI", "SN", "ZM",
+            "ZW", "MZ", "AO", "ET", "RW", "MU",
+        ],
+    ),
+    (
+        Continent::Oceania,
+        &["AU", "NZ", "FJ", "PG", "NC", "PF", "WS", "TO"],
+    ),
+];
+
+/// Looks up the continent of a country code from the static table.
+pub fn continent_of(country: Country) -> Option<Continent> {
+    COUNTRIES_BY_CONTINENT.iter().find_map(|(cont, codes)| {
+        codes
+            .iter()
+            .any(|c| Country::new(c) == country)
+            .then_some(*cont)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn country_code_normalisation() {
+        assert_eq!(Country::new("de"), Country::new("DE"));
+        assert_eq!(Country::new("us").to_string(), "US");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid country code")]
+    fn country_rejects_bad_code() {
+        Country::new("USA");
+    }
+
+    #[test]
+    fn continent_lookup() {
+        assert_eq!(continent_of(Country::new("US")), Some(Continent::NorthAmerica));
+        assert_eq!(continent_of(Country::new("CN")), Some(Continent::Asia));
+        assert_eq!(continent_of(Country::new("NG")), Some(Continent::Africa));
+        assert_eq!(continent_of(Country::new("XX")), None);
+    }
+
+    #[test]
+    fn table_has_no_duplicate_codes() {
+        let mut seen = std::collections::HashSet::new();
+        for (_, codes) in COUNTRIES_BY_CONTINENT {
+            for c in *codes {
+                assert!(seen.insert(*c), "duplicate country {c}");
+            }
+        }
+        assert!(seen.len() > 100, "expect a reasonably rich country table");
+    }
+
+    #[test]
+    fn continent_abbrevs_match_paper() {
+        assert_eq!(Continent::NorthAmerica.abbrev(), "NA");
+        assert_eq!(Continent::International.abbrev(), "INT");
+        assert_eq!(Continent::ALL.len(), 7);
+    }
+
+    #[test]
+    fn network_type_labels() {
+        assert_eq!(NetworkType::DataCenter.label(), "Data Center");
+        assert_eq!(NetworkType::ALL.len(), 4);
+    }
+}

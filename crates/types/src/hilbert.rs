@@ -1,0 +1,159 @@
+//! Hilbert-curve mapping of address space to a square grid.
+//!
+//! The paper's Figures 3, 5 and 6 visualise inferred dark space as Hilbert
+//! maps: every pixel is a /24 block and adjacent blocks stay adjacent on
+//! the plane, so contiguous telescopes show up as solid rectangles. This
+//! module implements the classic d↔(x,y) conversion for a curve of
+//! arbitrary order; the `repro` harness renders a covering prefix's blocks
+//! into ASCII art and PPM images with it.
+
+/// A Hilbert curve of order `n`, covering a `2^n × 2^n` grid with
+/// `4^n` cells.
+///
+/// ```
+/// use mt_types::HilbertCurve;
+/// let h = HilbertCurve::new(4); // a /16 at /24 granularity
+/// let (x, y) = h.d2xy(37);
+/// assert_eq!(h.xy2d(x, y), 37);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HilbertCurve {
+    order: u8,
+}
+
+impl HilbertCurve {
+    /// Creates a curve of the given order. Order 0 is a single cell;
+    /// order 16 (4 billion cells) is the practical maximum for `u32`
+    /// distances.
+    pub fn new(order: u8) -> Self {
+        assert!(order <= 16, "order {order} exceeds u32 distance range");
+        HilbertCurve { order }
+    }
+
+    /// Curve order.
+    pub const fn order(self) -> u8 {
+        self.order
+    }
+
+    /// Side length of the grid (`2^order`).
+    pub const fn side(self) -> u32 {
+        1 << self.order
+    }
+
+    /// Total number of cells (`4^order`).
+    pub const fn cells(self) -> u64 {
+        1u64 << (2 * self.order)
+    }
+
+    /// Converts a distance along the curve to grid coordinates.
+    ///
+    /// `d` must be less than [`Self::cells`].
+    pub fn d2xy(self, d: u64) -> (u32, u32) {
+        debug_assert!(d < self.cells());
+        let (mut x, mut y) = (0u32, 0u32);
+        let mut t = d;
+        let mut s = 1u32;
+        while s < self.side() {
+            let rx = ((t / 2) & 1) as u32;
+            let ry = ((t ^ (rx as u64)) & 1) as u32;
+            rotate(s, &mut x, &mut y, rx, ry);
+            x += s * rx;
+            y += s * ry;
+            t /= 4;
+            s *= 2;
+        }
+        (x, y)
+    }
+
+    /// Converts grid coordinates to a distance along the curve.
+    ///
+    /// Both coordinates must be less than [`Self::side`].
+    pub fn xy2d(self, mut x: u32, mut y: u32) -> u64 {
+        debug_assert!(x < self.side() && y < self.side());
+        let mut d = 0u64;
+        let mut s = self.side() / 2;
+        while s > 0 {
+            let rx = u32::from((x & s) > 0);
+            let ry = u32::from((y & s) > 0);
+            d += (s as u64) * (s as u64) * ((3 * rx) ^ ry) as u64;
+            rotate(s, &mut x, &mut y, rx, ry);
+            s /= 2;
+        }
+        d
+    }
+}
+
+/// The standard Hilbert quadrant rotation/reflection step.
+fn rotate(n: u32, x: &mut u32, y: &mut u32, rx: u32, ry: u32) {
+    if ry == 0 {
+        if rx == 1 {
+            *x = n.wrapping_sub(1).wrapping_sub(*x);
+            *y = n.wrapping_sub(1).wrapping_sub(*y);
+        }
+        std::mem::swap(x, y);
+    }
+}
+
+/// Chooses the Hilbert order that maps every /24 of a covering prefix to a
+/// distinct cell: a /p prefix contains `2^(24-p)` blocks, needing order
+/// `(24-p)/2` (rounded up).
+pub fn order_for_prefix_len(prefix_len: u8) -> u8 {
+    assert!(prefix_len <= 24, "only /24-or-shorter prefixes have ≥1 block");
+    (24 - prefix_len).div_ceil(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order1_visits_expected_cells() {
+        let h = HilbertCurve::new(1);
+        // The canonical order-1 curve: (0,0) → (0,1) → (1,1) → (1,0).
+        assert_eq!(h.d2xy(0), (0, 0));
+        assert_eq!(h.d2xy(1), (0, 1));
+        assert_eq!(h.d2xy(2), (1, 1));
+        assert_eq!(h.d2xy(3), (1, 0));
+    }
+
+    #[test]
+    fn roundtrip_small_orders() {
+        for order in 0..=6u8 {
+            let h = HilbertCurve::new(order);
+            for d in 0..h.cells() {
+                let (x, y) = h.d2xy(d);
+                assert!(x < h.side() && y < h.side());
+                assert_eq!(h.xy2d(x, y), d, "order {order} distance {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_distances_are_grid_adjacent() {
+        let h = HilbertCurve::new(5);
+        let mut prev = h.d2xy(0);
+        for d in 1..h.cells() {
+            let cur = h.d2xy(d);
+            let dx = prev.0.abs_diff(cur.0);
+            let dy = prev.1.abs_diff(cur.1);
+            assert_eq!(dx + dy, 1, "cells {d}-1 and {d} must be adjacent");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn order_for_prefixes() {
+        assert_eq!(order_for_prefix_len(24), 0); // 1 block
+        assert_eq!(order_for_prefix_len(22), 1); // 4 blocks → 2x2
+        assert_eq!(order_for_prefix_len(16), 4); // 256 blocks → 16x16
+        assert_eq!(order_for_prefix_len(8), 8); // 65536 blocks → 256x256
+        assert_eq!(order_for_prefix_len(9), 8); // 32768 blocks fit in 256x256
+    }
+
+    #[test]
+    fn cells_and_side() {
+        let h = HilbertCurve::new(8);
+        assert_eq!(h.side(), 256);
+        assert_eq!(h.cells(), 65536);
+    }
+}

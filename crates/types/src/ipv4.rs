@@ -1,0 +1,231 @@
+//! A compact IPv4 address type backed by a `u32`.
+//!
+//! The simulation and pipeline manipulate hundreds of millions of addresses;
+//! we want a type with the exact memory layout of the wire representation,
+//! cheap ordering and arithmetic, and dotted-quad formatting. It converts
+//! losslessly to and from [`std::net::Ipv4Addr`].
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An IPv4 address stored in host byte order.
+///
+/// Ordering is numeric, which matches the natural ordering of address space
+/// (and of dotted-quad strings when zero-padded).
+///
+/// ```
+/// use mt_types::Ipv4;
+/// let a: Ipv4 = "198.51.100.7".parse().unwrap();
+/// assert_eq!(a, Ipv4::new(198, 51, 100, 7));
+/// assert_eq!(a.block24_index(), (198 << 16) | (51 << 8) | 100);
+/// assert_eq!(a.to_string(), "198.51.100.7");
+/// ```
+#[derive(
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+#[serde(transparent)]
+pub struct Ipv4(pub u32);
+
+impl Ipv4 {
+    /// The unspecified address `0.0.0.0`.
+    pub const UNSPECIFIED: Ipv4 = Ipv4(0);
+    /// The limited-broadcast address `255.255.255.255`.
+    pub const BROADCAST: Ipv4 = Ipv4(u32::MAX);
+
+    /// Builds an address from its four dotted-quad octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4(((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | d as u32)
+    }
+
+    /// Returns the four octets in network (big-endian) order.
+    pub const fn octets(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+
+    /// Builds an address from network-order bytes.
+    pub const fn from_octets(o: [u8; 4]) -> Self {
+        Ipv4(u32::from_be_bytes(o))
+    }
+
+    /// The /24 block this address belongs to, as a dense index in `0..2^24`.
+    pub const fn block24_index(self) -> u32 {
+        self.0 >> 8
+    }
+
+    /// The host part within the address's /24 block (`0..=255`).
+    pub const fn host_in_block24(self) -> u8 {
+        (self.0 & 0xff) as u8
+    }
+
+    /// Address obtained by keeping the top `len` bits and zeroing the rest.
+    ///
+    /// `len` must be in `0..=32`; `len == 0` yields `0.0.0.0`.
+    pub const fn mask(self, len: u8) -> Ipv4 {
+        debug_assert!(len <= 32);
+        if len == 0 {
+            Ipv4(0)
+        } else {
+            Ipv4(self.0 & (u32::MAX << (32 - len)))
+        }
+    }
+
+    /// Saturating successor; `255.255.255.255` maps to itself.
+    pub const fn saturating_next(self) -> Ipv4 {
+        Ipv4(self.0.saturating_add(1))
+    }
+
+    /// Checked addition of a host offset.
+    pub const fn checked_add(self, n: u32) -> Option<Ipv4> {
+        match self.0.checked_add(n) {
+            Some(v) => Some(Ipv4(v)),
+            None => None,
+        }
+    }
+}
+
+impl fmt::Display for Ipv4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.octets();
+        write!(f, "{a}.{b}.{c}.{d}")
+    }
+}
+
+impl fmt::Debug for Ipv4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ipv4({self})")
+    }
+}
+
+impl From<std::net::Ipv4Addr> for Ipv4 {
+    fn from(a: std::net::Ipv4Addr) -> Self {
+        Ipv4::from_octets(a.octets())
+    }
+}
+
+impl From<Ipv4> for std::net::Ipv4Addr {
+    fn from(a: Ipv4) -> Self {
+        std::net::Ipv4Addr::from(a.octets())
+    }
+}
+
+/// Error returned when parsing a dotted-quad string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddrParseError(pub(crate) String);
+
+impl fmt::Display for AddrParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid IPv4 address: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for AddrParseError {}
+
+impl FromStr for Ipv4 {
+    type Err = AddrParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut octets = [0u8; 4];
+        let mut parts = s.split('.');
+        for slot in &mut octets {
+            let part = parts.next().ok_or_else(|| AddrParseError(s.to_owned()))?;
+            // Reject empty parts and leading '+' which u8::from_str accepts.
+            if part.is_empty() || part.starts_with('+') {
+                return Err(AddrParseError(s.to_owned()));
+            }
+            *slot = part.parse().map_err(|_| AddrParseError(s.to_owned()))?;
+        }
+        if parts.next().is_some() {
+            return Err(AddrParseError(s.to_owned()));
+        }
+        Ok(Ipv4::from_octets(octets))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_octets_roundtrip() {
+        let a = Ipv4::new(192, 0, 2, 17);
+        assert_eq!(a.octets(), [192, 0, 2, 17]);
+        assert_eq!(Ipv4::from_octets(a.octets()), a);
+        assert_eq!(a.to_string(), "192.0.2.17");
+    }
+
+    #[test]
+    fn block24_index_and_host() {
+        let a = Ipv4::new(10, 1, 2, 3);
+        assert_eq!(a.block24_index(), (10 << 16) | (1 << 8) | 2);
+        assert_eq!(a.host_in_block24(), 3);
+    }
+
+    #[test]
+    fn masking() {
+        let a = Ipv4::new(203, 0, 113, 200);
+        assert_eq!(a.mask(24), Ipv4::new(203, 0, 113, 0));
+        assert_eq!(a.mask(8), Ipv4::new(203, 0, 0, 0));
+        assert_eq!(a.mask(32), a);
+        assert_eq!(a.mask(0), Ipv4::UNSPECIFIED);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Ipv4::new(1, 0, 0, 0) < Ipv4::new(2, 0, 0, 0));
+        assert!(Ipv4::new(10, 0, 0, 255) < Ipv4::new(10, 0, 1, 0));
+    }
+
+    #[test]
+    fn parse_valid() {
+        assert_eq!("0.0.0.0".parse::<Ipv4>().unwrap(), Ipv4::UNSPECIFIED);
+        assert_eq!(
+            "255.255.255.255".parse::<Ipv4>().unwrap(),
+            Ipv4::BROADCAST
+        );
+        assert_eq!(
+            "198.51.100.7".parse::<Ipv4>().unwrap(),
+            Ipv4::new(198, 51, 100, 7)
+        );
+    }
+
+    #[test]
+    fn parse_invalid() {
+        for bad in ["", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1..2.3", "+1.2.3.4"] {
+            assert!(bad.parse::<Ipv4>().is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn std_conversion_roundtrip() {
+        let a = Ipv4::new(172, 16, 254, 1);
+        let std: std::net::Ipv4Addr = a.into();
+        assert_eq!(Ipv4::from(std), a);
+    }
+
+    #[test]
+    fn saturating_next_at_end_of_space() {
+        assert_eq!(Ipv4::BROADCAST.saturating_next(), Ipv4::BROADCAST);
+        assert_eq!(
+            Ipv4::new(1, 2, 3, 255).saturating_next(),
+            Ipv4::new(1, 2, 4, 0)
+        );
+    }
+
+    #[test]
+    fn checked_add_overflow() {
+        assert_eq!(Ipv4::BROADCAST.checked_add(1), None);
+        assert_eq!(
+            Ipv4::new(0, 0, 0, 1).checked_add(255),
+            Some(Ipv4::new(0, 0, 1, 0))
+        );
+    }
+}

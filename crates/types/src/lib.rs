@@ -1,0 +1,93 @@
+//! Core network types shared by every crate in the meta-telescope workspace.
+//!
+//! This crate is deliberately dependency-light and purely computational: it
+//! defines the vocabulary the rest of the system speaks — IPv4 addresses,
+//! /24 blocks (the granularity at which the paper's inference pipeline
+//! operates), CIDR prefixes, a longest-prefix-match trie used for routing
+//! tables and prefix-to-AS mappings, dense sets of /24 blocks, the RFC 6890
+//! special-purpose address registry, Hilbert-curve address-space mapping
+//! (used to render the paper's Figures 3, 5 and 6), and the geographic /
+//! network-type taxonomies used by the analyses in Sections 6 and 8.
+//!
+//! Everything here is `Copy`-friendly, allocation-conscious and fully
+//! deterministic; there is no I/O and no randomness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod geo;
+pub mod hilbert;
+pub mod ipv4;
+pub mod mix;
+pub mod prefix;
+pub mod special;
+pub mod time;
+pub mod trie;
+
+pub use block::{Block24, Block24Set};
+pub use geo::{Continent, Country, NetworkType};
+pub use hilbert::HilbertCurve;
+pub use ipv4::Ipv4;
+pub use prefix::{Prefix, PrefixParseError};
+pub use special::SpecialRegistry;
+pub use time::{Day, SimDuration, SimTime, Weekday};
+pub use trie::PrefixTrie;
+
+/// An Autonomous System Number.
+///
+/// Plain 32-bit ASN as used in BGP; the synthetic Internet model allocates
+/// these densely starting at 1.
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub struct Asn(pub u32);
+
+impl std::fmt::Display for Asn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// Identifier of an organization operating one or more ASes.
+///
+/// Mirrors CAIDA's AS-to-Organization mapping: several ASNs may map to one
+/// `OrgId`.
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub struct OrgId(pub u32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asn_display() {
+        assert_eq!(Asn(64512).to_string(), "AS64512");
+    }
+
+    #[test]
+    fn asn_ordering_follows_number() {
+        assert!(Asn(1) < Asn(2));
+        assert_eq!(Asn(7), Asn(7));
+    }
+}

@@ -1,0 +1,58 @@
+//! Keyed hashing for order-independent deterministic coin flips.
+//!
+//! The simulation needs many per-entity random decisions (is block X
+//! targeted by botnet Y on day Z?) that must not depend on the order in
+//! which code happens to ask. A seeded RNG stream cannot provide that, so
+//! these decisions are driven by a SplitMix64-style keyed hash instead:
+//! same inputs, same 64-bit output, regardless of call order.
+
+/// Mixes three 64-bit values into one well-distributed 64-bit hash.
+pub fn mix3(a: u64, b: u64, c: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(b.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        .wrapping_add(c.wrapping_mul(0x94d0_49bb_1331_11eb));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Maps a hash to the unit interval `[0, 1)`.
+pub fn to_unit(hash: u64) -> f64 {
+    (hash >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Convenience: a uniform `[0, 1)` draw keyed by three values.
+pub fn unit3(a: u64, b: u64, c: u64) -> f64 {
+    to_unit(mix3(a, b, c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(mix3(1, 2, 3), mix3(1, 2, 3));
+        assert_ne!(mix3(1, 2, 3), mix3(3, 2, 1));
+        assert_ne!(mix3(0, 0, 0), mix3(0, 0, 1));
+    }
+
+    #[test]
+    fn unit_range() {
+        for i in 0..1000u64 {
+            let u = unit3(42, i, 7);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn unit_is_roughly_uniform() {
+        let n = 100_000u64;
+        let mean: f64 = (0..n).map(|i| unit3(9, i, 1)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        let below_tenth = (0..n).filter(|&i| unit3(9, i, 1) < 0.1).count();
+        let frac = below_tenth as f64 / n as f64;
+        assert!((frac - 0.1).abs() < 0.01, "P(<0.1) = {frac}");
+    }
+}

@@ -1,0 +1,288 @@
+//! CIDR prefixes.
+//!
+//! Prefixes appear throughout the system: BGP announcements in the RIB,
+//! prefix-to-AS mappings, the special-purpose registry, and the "prefix
+//! index" analysis of Section 6.4 (which asks what fraction of a covering
+//! /8../16 announcement is inferred dark).
+
+use crate::block::Block24;
+use crate::ipv4::Ipv4;
+use std::fmt;
+use std::str::FromStr;
+
+/// An IPv4 CIDR prefix, e.g. `203.0.113.0/24`.
+///
+/// Invariant: all host bits of `base` below `len` are zero, and
+/// `len <= 32`. Construction through [`Prefix::new`] enforces this.
+///
+/// ```
+/// use mt_types::{Ipv4, Prefix};
+/// let p: Prefix = "10.0.0.0/22".parse().unwrap();
+/// assert!(p.contains(Ipv4::new(10, 0, 3, 200)));
+/// assert_eq!(p.num_blocks24(), 4);
+/// assert!(Prefix::new(Ipv4::new(10, 0, 0, 1), 24).is_err(), "host bits set");
+/// ```
+#[derive(
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    Hash,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub struct Prefix {
+    base: Ipv4,
+    len: u8,
+}
+
+impl Prefix {
+    /// The whole IPv4 space, `0.0.0.0/0`.
+    pub const DEFAULT_ROUTE: Prefix = Prefix {
+        base: Ipv4::UNSPECIFIED,
+        len: 0,
+    };
+
+    /// Creates a prefix, validating that `base` has no host bits set.
+    pub fn new(base: Ipv4, len: u8) -> Result<Self, PrefixParseError> {
+        if len > 32 {
+            return Err(PrefixParseError::LengthOutOfRange(len));
+        }
+        if base.mask(len) != base {
+            return Err(PrefixParseError::HostBitsSet { base, len });
+        }
+        Ok(Prefix { base, len })
+    }
+
+    /// Creates the prefix of length `len` that contains `addr`
+    /// (masking off host bits rather than rejecting them).
+    pub fn containing(addr: Ipv4, len: u8) -> Self {
+        assert!(len <= 32, "prefix length {len} out of range");
+        Prefix {
+            base: addr.mask(len),
+            len,
+        }
+    }
+
+    /// The network base address.
+    pub const fn base(self) -> Ipv4 {
+        self.base
+    }
+
+    /// The prefix length in bits.
+    pub const fn len(self) -> u8 {
+        self.len
+    }
+
+    /// Always `false`: a prefix denotes at least one address. Provided to
+    /// satisfy the `len`/`is_empty` API convention.
+    pub const fn is_empty(self) -> bool {
+        false
+    }
+
+    /// The last address covered by the prefix.
+    pub const fn last(self) -> Ipv4 {
+        if self.len == 32 {
+            self.base
+        } else {
+            Ipv4(self.base.0 | (u32::MAX >> self.len))
+        }
+    }
+
+    /// Number of addresses covered (saturates at `u64` precision; a /0
+    /// covers 2^32).
+    pub const fn num_addresses(self) -> u64 {
+        1u64 << (32 - self.len)
+    }
+
+    /// Number of /24 blocks covered. A prefix longer than /24 still
+    /// intersects exactly one block and reports 1.
+    pub const fn num_blocks24(self) -> u32 {
+        if self.len >= 24 {
+            1
+        } else {
+            1u32 << (24 - self.len)
+        }
+    }
+
+    /// Whether `addr` is covered by this prefix.
+    pub const fn contains(self, addr: Ipv4) -> bool {
+        addr.mask(self.len).0 == self.base.0
+    }
+
+    /// Whether every address of `other` is covered by this prefix.
+    pub const fn covers(self, other: Prefix) -> bool {
+        self.len <= other.len && self.contains(other.base)
+    }
+
+    /// Iterates over the /24 blocks intersecting this prefix, in order.
+    pub fn blocks24(self) -> impl Iterator<Item = Block24> {
+        let first = self.base.block24_index();
+        let count = self.num_blocks24();
+        (first..first + count).map(Block24)
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.base, self.len)
+    }
+}
+
+impl fmt::Debug for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Prefix({self})")
+    }
+}
+
+/// Ordered by base address, then by length (shorter first). This matches
+/// RIB dump conventions and makes covering prefixes sort before their
+/// more-specifics.
+impl Ord for Prefix {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.base
+            .cmp(&other.base)
+            .then_with(|| self.len.cmp(&other.len))
+    }
+}
+
+impl PartialOrd for Prefix {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Errors from constructing or parsing a [`Prefix`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrefixParseError {
+    /// Prefix length was greater than 32.
+    LengthOutOfRange(u8),
+    /// The base address had bits set below the prefix length.
+    HostBitsSet {
+        /// Offending base address.
+        base: Ipv4,
+        /// Prefix length it was paired with.
+        len: u8,
+    },
+    /// The string was not of the form `a.b.c.d/len`.
+    Malformed(String),
+}
+
+impl fmt::Display for PrefixParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrefixParseError::LengthOutOfRange(len) => {
+                write!(f, "prefix length {len} out of range 0..=32")
+            }
+            PrefixParseError::HostBitsSet { base, len } => {
+                write!(f, "base {base} has host bits set for /{len}")
+            }
+            PrefixParseError::Malformed(s) => write!(f, "malformed prefix: {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for PrefixParseError {}
+
+impl FromStr for Prefix {
+    type Err = PrefixParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s
+            .split_once('/')
+            .ok_or_else(|| PrefixParseError::Malformed(s.to_owned()))?;
+        let base: Ipv4 = addr
+            .parse()
+            .map_err(|_| PrefixParseError::Malformed(s.to_owned()))?;
+        let len: u8 = len
+            .parse()
+            .map_err(|_| PrefixParseError::Malformed(s.to_owned()))?;
+        Prefix::new(base, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn new_rejects_host_bits() {
+        assert!(Prefix::new(Ipv4::new(10, 0, 0, 1), 24).is_err());
+        assert!(Prefix::new(Ipv4::new(10, 0, 0, 0), 24).is_ok());
+        assert!(Prefix::new(Ipv4::new(10, 0, 0, 0), 33).is_err());
+    }
+
+    #[test]
+    fn containing_masks() {
+        let pre = Prefix::containing(Ipv4::new(10, 1, 2, 3), 16);
+        assert_eq!(pre, p("10.1.0.0/16"));
+    }
+
+    #[test]
+    fn contains_and_covers() {
+        let slash16 = p("192.168.0.0/16");
+        assert!(slash16.contains(Ipv4::new(192, 168, 200, 1)));
+        assert!(!slash16.contains(Ipv4::new(192, 169, 0, 0)));
+        assert!(slash16.covers(p("192.168.4.0/24")));
+        assert!(!slash16.covers(p("192.0.0.0/8")));
+        assert!(Prefix::DEFAULT_ROUTE.covers(slash16));
+    }
+
+    #[test]
+    fn last_address() {
+        assert_eq!(p("10.0.0.0/8").last(), Ipv4::new(10, 255, 255, 255));
+        assert_eq!(p("10.0.0.0/32").last(), Ipv4::new(10, 0, 0, 0));
+        assert_eq!(Prefix::DEFAULT_ROUTE.last(), Ipv4::BROADCAST);
+    }
+
+    #[test]
+    fn block_counts() {
+        assert_eq!(p("10.0.0.0/8").num_blocks24(), 65536);
+        assert_eq!(p("10.0.0.0/24").num_blocks24(), 1);
+        assert_eq!(p("10.0.0.0/25").num_blocks24(), 1);
+        assert_eq!(p("10.0.0.0/22").blocks24().count(), 4);
+    }
+
+    #[test]
+    fn blocks24_iterates_in_order() {
+        let blocks: Vec<Block24> = p("198.51.100.0/23").blocks24().collect();
+        assert_eq!(
+            blocks,
+            vec![
+                Block24::containing(Ipv4::new(198, 51, 100, 0)),
+                Block24::containing(Ipv4::new(198, 51, 101, 0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["0.0.0.0/0", "10.0.0.0/8", "203.0.113.0/24", "1.2.3.4/32"] {
+            assert_eq!(p(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in ["10.0.0.0", "10.0.0.0/", "/8", "10.0.0.0/8/9", "10.0.0.1/24"] {
+            assert!(bad.parse::<Prefix>().is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn ordering_puts_covering_first() {
+        let mut v = vec![p("10.0.0.0/24"), p("10.0.0.0/8"), p("9.0.0.0/8")];
+        v.sort();
+        assert_eq!(v, vec![p("9.0.0.0/8"), p("10.0.0.0/8"), p("10.0.0.0/24")]);
+    }
+
+    #[test]
+    fn num_addresses() {
+        assert_eq!(p("10.0.0.0/24").num_addresses(), 256);
+        assert_eq!(Prefix::DEFAULT_ROUTE.num_addresses(), 1 << 32);
+    }
+}

@@ -1,0 +1,160 @@
+//! The RFC 6890 special-purpose IPv4 address registry.
+//!
+//! Pipeline step 4 ("Private / Multicast / Reserved") removes any /24 block
+//! that falls inside special-purpose space: a telescope prefix must be
+//! reachable from the public Internet. This module hard-codes the registry
+//! and answers containment queries for both addresses and whole /24 blocks.
+
+use crate::block::Block24;
+use crate::ipv4::Ipv4;
+use crate::prefix::Prefix;
+use crate::trie::PrefixTrie;
+
+/// Why a range is special (summarised from RFC 6890 and successors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecialUse {
+    /// "This network" (0.0.0.0/8).
+    ThisNetwork,
+    /// RFC 1918 private space.
+    Private,
+    /// Shared address space for CGN (100.64.0.0/10, RFC 6598).
+    SharedCgn,
+    /// Loopback (127.0.0.0/8).
+    Loopback,
+    /// Link-local (169.254.0.0/16).
+    LinkLocal,
+    /// IETF protocol assignments (192.0.0.0/24).
+    IetfProtocol,
+    /// Documentation ranges (TEST-NET-1/2/3).
+    Documentation,
+    /// Benchmarking (198.18.0.0/15).
+    Benchmarking,
+    /// Multicast (224.0.0.0/4).
+    Multicast,
+    /// Reserved for future use (240.0.0.0/4).
+    Reserved,
+    /// Limited broadcast (255.255.255.255/32).
+    LimitedBroadcast,
+    /// 6to4 relay anycast (192.88.99.0/24).
+    SixToFourRelay,
+}
+
+/// The list of `(prefix, use)` entries making up the registry.
+pub const SPECIAL_RANGES: &[(&str, SpecialUse)] = &[
+    ("0.0.0.0/8", SpecialUse::ThisNetwork),
+    ("10.0.0.0/8", SpecialUse::Private),
+    ("100.64.0.0/10", SpecialUse::SharedCgn),
+    ("127.0.0.0/8", SpecialUse::Loopback),
+    ("169.254.0.0/16", SpecialUse::LinkLocal),
+    ("172.16.0.0/12", SpecialUse::Private),
+    ("192.0.0.0/24", SpecialUse::IetfProtocol),
+    ("192.0.2.0/24", SpecialUse::Documentation),
+    ("192.88.99.0/24", SpecialUse::SixToFourRelay),
+    ("192.168.0.0/16", SpecialUse::Private),
+    ("198.18.0.0/15", SpecialUse::Benchmarking),
+    ("198.51.100.0/24", SpecialUse::Documentation),
+    ("203.0.113.0/24", SpecialUse::Documentation),
+    ("224.0.0.0/4", SpecialUse::Multicast),
+    ("240.0.0.0/4", SpecialUse::Reserved),
+    ("255.255.255.255/32", SpecialUse::LimitedBroadcast),
+];
+
+/// Pre-built lookup structure over [`SPECIAL_RANGES`].
+#[derive(Debug, Clone)]
+pub struct SpecialRegistry {
+    trie: PrefixTrie<SpecialUse>,
+}
+
+impl Default for SpecialRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpecialRegistry {
+    /// Builds the registry from the static table.
+    pub fn new() -> Self {
+        let trie = SPECIAL_RANGES
+            .iter()
+            .map(|&(s, u)| (s.parse::<Prefix>().expect("static table parses"), u))
+            .collect();
+        SpecialRegistry { trie }
+    }
+
+    /// Returns the special use of `addr`, if any.
+    pub fn classify(&self, addr: Ipv4) -> Option<SpecialUse> {
+        self.trie.lookup(addr).map(|(_, &u)| u)
+    }
+
+    /// Whether `addr` is inside any special-purpose range.
+    pub fn is_special(&self, addr: Ipv4) -> bool {
+        self.classify(addr).is_some()
+    }
+
+    /// Whether any address of `block` is inside a special-purpose range.
+    ///
+    /// All registry entries are /24 or shorter except the limited-broadcast
+    /// /32, so checking the block base and last address suffices.
+    pub fn is_special_block(&self, block: Block24) -> bool {
+        self.is_special(block.base()) || self.is_special(block.last())
+    }
+
+    /// The registry entries as parsed prefixes.
+    pub fn prefixes(&self) -> impl Iterator<Item = (Prefix, SpecialUse)> + '_ {
+        self.trie.iter().map(|(p, &u)| (p, u))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> Ipv4 {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn classifies_private_space() {
+        let r = SpecialRegistry::new();
+        assert_eq!(r.classify(a("10.1.2.3")), Some(SpecialUse::Private));
+        assert_eq!(r.classify(a("172.16.0.1")), Some(SpecialUse::Private));
+        assert_eq!(r.classify(a("172.32.0.1")), None);
+        assert_eq!(r.classify(a("192.168.255.255")), Some(SpecialUse::Private));
+    }
+
+    #[test]
+    fn classifies_multicast_and_reserved() {
+        let r = SpecialRegistry::new();
+        assert_eq!(r.classify(a("224.0.0.1")), Some(SpecialUse::Multicast));
+        assert_eq!(r.classify(a("239.255.255.255")), Some(SpecialUse::Multicast));
+        assert_eq!(r.classify(a("240.0.0.1")), Some(SpecialUse::Reserved));
+        assert_eq!(
+            r.classify(Ipv4::BROADCAST),
+            Some(SpecialUse::LimitedBroadcast)
+        );
+    }
+
+    #[test]
+    fn public_space_is_not_special() {
+        let r = SpecialRegistry::new();
+        for s in ["8.8.8.8", "1.1.1.1", "100.0.0.1", "100.128.0.1", "223.255.255.255"] {
+            assert_eq!(r.classify(a(s)), None, "{s} should be public");
+        }
+    }
+
+    #[test]
+    fn block_query_catches_broadcast_tail() {
+        let r = SpecialRegistry::new();
+        // 255.255.255.0/24 contains the /32 limited broadcast at its end.
+        let b = Block24::containing(a("255.255.255.0"));
+        assert!(r.is_special_block(b));
+        let public = Block24::containing(a("8.8.8.0"));
+        assert!(!r.is_special_block(public));
+    }
+
+    #[test]
+    fn registry_has_all_static_entries() {
+        let r = SpecialRegistry::new();
+        assert_eq!(r.prefixes().count(), SPECIAL_RANGES.len());
+    }
+}

@@ -1,0 +1,248 @@
+//! Simulated time.
+//!
+//! Nothing in the workspace reads the wall clock: the simulation advances
+//! an explicit [`SimTime`] (seconds since the simulation epoch) so every
+//! run is exactly reproducible. The epoch is defined to fall on a Monday
+//! at 00:00 so diurnal and weekend effects (Section 7.1 observes more
+//! inferable prefixes on weekends) are easy to reason about.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Seconds in a day.
+pub const SECS_PER_DAY: u64 = 86_400;
+
+/// A point in simulated time: seconds since the simulation epoch
+/// (Monday 00:00).
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time in seconds.
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimDuration(pub u64);
+
+impl SimDuration {
+    /// A duration of `n` seconds.
+    pub const fn secs(n: u64) -> Self {
+        SimDuration(n)
+    }
+
+    /// A duration of `n` hours.
+    pub const fn hours(n: u64) -> Self {
+        SimDuration(n * 3600)
+    }
+
+    /// A duration of `n` days.
+    pub const fn days(n: u64) -> Self {
+        SimDuration(n * SECS_PER_DAY)
+    }
+
+    /// The duration in whole seconds.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+}
+
+impl SimTime {
+    /// The simulation epoch (Monday 00:00).
+    pub const EPOCH: SimTime = SimTime(0);
+
+    /// The day this instant falls in.
+    pub const fn day(self) -> Day {
+        Day((self.0 / SECS_PER_DAY) as u32)
+    }
+
+    /// Seconds elapsed since the start of the day (`0..86400`).
+    pub const fn second_of_day(self) -> u64 {
+        self.0 % SECS_PER_DAY
+    }
+
+    /// Hour of day as a fraction in `[0, 24)`.
+    pub fn hour_of_day(self) -> f64 {
+        self.second_of_day() as f64 / 3600.0
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let day = self.day().0;
+        let s = self.second_of_day();
+        write!(f, "day {} {:02}:{:02}:{:02}", day, s / 3600, (s / 60) % 60, s % 60)
+    }
+}
+
+/// A simulated calendar day, counted from the epoch (day 0 is a Monday).
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+#[serde(transparent)]
+pub struct Day(pub u32);
+
+/// Day of week.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Weekday {
+    /// Monday.
+    Monday,
+    /// Tuesday.
+    Tuesday,
+    /// Wednesday.
+    Wednesday,
+    /// Thursday.
+    Thursday,
+    /// Friday.
+    Friday,
+    /// Saturday.
+    Saturday,
+    /// Sunday.
+    Sunday,
+}
+
+impl Day {
+    /// The instant the day starts.
+    pub const fn start(self) -> SimTime {
+        SimTime(self.0 as u64 * SECS_PER_DAY)
+    }
+
+    /// The instant the day ends (start of the next day).
+    pub const fn end(self) -> SimTime {
+        SimTime((self.0 as u64 + 1) * SECS_PER_DAY)
+    }
+
+    /// The next day.
+    pub const fn next(self) -> Day {
+        Day(self.0 + 1)
+    }
+
+    /// Day of week (day 0 is a Monday).
+    pub const fn weekday(self) -> Weekday {
+        match self.0 % 7 {
+            0 => Weekday::Monday,
+            1 => Weekday::Tuesday,
+            2 => Weekday::Wednesday,
+            3 => Weekday::Thursday,
+            4 => Weekday::Friday,
+            5 => Weekday::Saturday,
+            _ => Weekday::Sunday,
+        }
+    }
+
+    /// Whether this day is Saturday or Sunday.
+    pub const fn is_weekend(self) -> bool {
+        matches!(self.weekday(), Weekday::Saturday | Weekday::Sunday)
+    }
+
+    /// Iterates `count` days starting from this one.
+    pub fn range(self, count: u32) -> impl Iterator<Item = Day> {
+        (self.0..self.0 + count).map(Day)
+    }
+}
+
+impl fmt::Display for Day {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "day {}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn day_boundaries() {
+        let d = Day(3);
+        assert_eq!(d.start(), SimTime(3 * SECS_PER_DAY));
+        assert_eq!(d.end(), Day(4).start());
+        assert_eq!(d.start().day(), d);
+        assert_eq!(SimTime(d.end().0 - 1).day(), d);
+    }
+
+    #[test]
+    fn weekday_cycle() {
+        assert_eq!(Day(0).weekday(), Weekday::Monday);
+        assert_eq!(Day(5).weekday(), Weekday::Saturday);
+        assert_eq!(Day(6).weekday(), Weekday::Sunday);
+        assert_eq!(Day(7).weekday(), Weekday::Monday);
+        assert!(Day(5).is_weekend());
+        assert!(Day(6).is_weekend());
+        assert!(!Day(4).is_weekend());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::EPOCH + SimDuration::hours(25);
+        assert_eq!(t.day(), Day(1));
+        assert_eq!(t.second_of_day(), 3600);
+        assert_eq!(t - SimTime::EPOCH, SimDuration::hours(25));
+        assert!((t.hour_of_day() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_format() {
+        let t = SimTime(SECS_PER_DAY + 3661);
+        assert_eq!(t.to_string(), "day 1 01:01:01");
+    }
+
+    #[test]
+    fn day_range() {
+        let days: Vec<Day> = Day(2).range(3).collect();
+        assert_eq!(days, vec![Day(2), Day(3), Day(4)]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for the foundational types.
+
+use mt_types::{Block24, Block24Set, HilbertCurve, Ipv4, Prefix, PrefixTrie};
+use proptest::prelude::*;
+
+fn arb_addr() -> impl Strategy<Value = Ipv4> {
+    any::<u32>().prop_map(Ipv4)
+}
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(a, len)| Prefix::containing(Ipv4(a), len))
+}
+
+proptest! {
+    #[test]
+    fn addr_display_parse_roundtrip(a in arb_addr()) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<Ipv4>().unwrap(), a);
+    }
+
+    #[test]
+    fn addr_std_roundtrip(a in arb_addr()) {
+        let std: std::net::Ipv4Addr = a.into();
+        prop_assert_eq!(Ipv4::from(std), a);
+    }
+
+    #[test]
+    fn prefix_display_parse_roundtrip(p in arb_prefix()) {
+        let s = p.to_string();
+        prop_assert_eq!(s.parse::<Prefix>().unwrap(), p);
+    }
+
+    #[test]
+    fn prefix_contains_its_bounds(p in arb_prefix()) {
+        prop_assert!(p.contains(p.base()));
+        prop_assert!(p.contains(p.last()));
+        if p.len() > 0 {
+            // One-past-the-end is outside (when it exists).
+            if let Some(next) = p.last().checked_add(1) {
+                prop_assert!(!p.contains(next));
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_covers_is_consistent_with_contains(p in arb_prefix(), q in arb_prefix()) {
+        if p.covers(q) {
+            prop_assert!(p.contains(q.base()));
+            prop_assert!(p.contains(q.last()));
+        }
+    }
+
+    #[test]
+    fn block_of_address_contains_it(a in arb_addr()) {
+        let b = Block24::containing(a);
+        prop_assert!(b.contains(a));
+        prop_assert!(b.prefix().contains(a));
+        prop_assert_eq!(b.addr(a.host_in_block24()), a);
+    }
+
+    #[test]
+    fn hilbert_roundtrip(order in 0u8..=12, d in any::<u64>()) {
+        let h = HilbertCurve::new(order);
+        let d = d % h.cells();
+        let (x, y) = h.d2xy(d);
+        prop_assert!(x < h.side() && y < h.side());
+        prop_assert_eq!(h.xy2d(x, y), d);
+    }
+
+    #[test]
+    fn trie_lpm_matches_linear_scan(
+        prefixes in proptest::collection::vec(arb_prefix(), 1..40),
+        addr in arb_addr(),
+    ) {
+        let trie: PrefixTrie<usize> =
+            prefixes.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+        // Linear-scan reference: the longest prefix containing addr; if
+        // several inserts share a prefix, the later one wins (matching
+        // insert-overwrites semantics).
+        let mut best: Option<(Prefix, usize)> = None;
+        for (i, &p) in prefixes.iter().enumerate() {
+            if p.contains(addr)
+                && best.is_none_or(|(bp, _)| p.len() >= bp.len())
+            {
+                best = Some((p, i));
+            }
+        }
+        let got = trie.lookup(addr).map(|(p, &v)| (p, v));
+        prop_assert_eq!(got, best);
+    }
+
+    #[test]
+    fn blockset_matches_btreeset(
+        blocks in proptest::collection::vec(0u32..(1 << 24), 0..200),
+        others in proptest::collection::vec(0u32..(1 << 24), 0..200),
+    ) {
+        use std::collections::BTreeSet;
+        let a: Block24Set = blocks.iter().map(|&b| Block24(b)).collect();
+        let b: Block24Set = others.iter().map(|&b| Block24(b)).collect();
+        let ra: BTreeSet<u32> = blocks.iter().copied().collect();
+        let rb: BTreeSet<u32> = others.iter().copied().collect();
+
+        prop_assert_eq!(a.len(), ra.len());
+        prop_assert_eq!(a.union(&b).len(), ra.union(&rb).count());
+        prop_assert_eq!(a.intersection(&b).len(), ra.intersection(&rb).count());
+        prop_assert_eq!(a.intersection_len(&b), ra.intersection(&rb).count());
+        prop_assert_eq!(a.difference(&b).len(), ra.difference(&rb).count());
+        let iter_order: Vec<u32> = a.iter().map(|x| x.0).collect();
+        let ref_order: Vec<u32> = ra.iter().copied().collect();
+        prop_assert_eq!(iter_order, ref_order);
+    }
+
+    #[test]
+    fn aggregate_covers_exactly_and_is_canonical(
+        blocks in proptest::collection::vec(0u32..(1 << 16), 0..300),
+    ) {
+        let s: Block24Set = blocks.iter().map(|&b| Block24(b)).collect();
+        let cidrs = s.aggregate();
+        // Exact cover, no overlaps.
+        let mut back = Block24Set::new();
+        for p in &cidrs {
+            for b in p.blocks24() {
+                prop_assert!(back.insert(b), "overlap at {b}");
+            }
+        }
+        prop_assert_eq!(&back, &s);
+        // Canonical: no two siblings that could merge (would imply a
+        // shorter list exists).
+        use std::collections::HashSet;
+        let set: HashSet<Prefix> = cidrs.iter().copied().collect();
+        for p in &cidrs {
+            if p.len() == 0 {
+                continue;
+            }
+            let sibling_base = Ipv4(p.base().0 ^ (1u32 << (32 - p.len())));
+            let sibling = Prefix::new(sibling_base, p.len()).unwrap();
+            prop_assert!(
+                !set.contains(&sibling),
+                "mergeable siblings {p} and {sibling}"
+            );
+        }
+    }
+
+    #[test]
+    fn blockset_count_in_prefix_matches_filter(
+        blocks in proptest::collection::vec(0u32..(1 << 24), 0..200),
+        p in (any::<u32>(), 0u8..=24).prop_map(|(a, len)| Prefix::containing(Ipv4(a), len)),
+    ) {
+        let s: Block24Set = blocks.iter().map(|&b| Block24(b)).collect();
+        let expected = s.iter().filter(|b| p.contains(b.base())).count();
+        prop_assert_eq!(s.count_in_prefix(p), expected);
+    }
+}

@@ -1,0 +1,141 @@
+//! Ethernet II frame view.
+//!
+//! The telescope capture path stores raw IP (pcap linktype RAW), but the
+//! IXP port mirrors the pipeline could consume in a live deployment carry
+//! Ethernet frames, so the frame view is provided for completeness and
+//! used by the pcap reader when a file declares linktype EN10MB.
+
+use crate::{Result, WireError};
+use std::fmt;
+
+mod field {
+    pub const DST: std::ops::Range<usize> = 0..6;
+    pub const SRC: std::ops::Range<usize> = 6..12;
+    pub const ETHERTYPE: std::ops::Range<usize> = 12..14;
+}
+
+/// Length of the Ethernet II header.
+pub const HEADER_LEN: usize = 14;
+
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+
+/// A 48-bit MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            m[0], m[1], m[2], m[3], m[4], m[5]
+        )
+    }
+}
+
+/// A read/write view of an Ethernet II frame.
+#[derive(Debug, Clone)]
+pub struct Frame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Frame<T> {
+    /// Wraps a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Frame<T> {
+        Frame { buffer }
+    }
+
+    /// Wraps and validates (header must fit).
+    pub fn new_checked(buffer: T) -> Result<Frame<T>> {
+        if buffer.as_ref().len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        Ok(Frame { buffer })
+    }
+
+    /// Destination MAC.
+    pub fn dst(&self) -> MacAddr {
+        MacAddr(self.buffer.as_ref()[field::DST].try_into().unwrap())
+    }
+
+    /// Source MAC.
+    pub fn src(&self) -> MacAddr {
+        MacAddr(self.buffer.as_ref()[field::SRC].try_into().unwrap())
+    }
+
+    /// EtherType.
+    pub fn ethertype(&self) -> u16 {
+        u16::from_be_bytes(self.buffer.as_ref()[field::ETHERTYPE].try_into().unwrap())
+    }
+
+    /// The encapsulated payload.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Frame<T> {
+    /// Sets the destination MAC.
+    pub fn set_dst(&mut self, mac: MacAddr) {
+        self.buffer.as_mut()[field::DST].copy_from_slice(&mac.0);
+    }
+
+    /// Sets the source MAC.
+    pub fn set_src(&mut self, mac: MacAddr) {
+        self.buffer.as_mut()[field::SRC].copy_from_slice(&mac.0);
+    }
+
+    /// Sets the EtherType.
+    pub fn set_ethertype(&mut self, ethertype: u16) {
+        self.buffer.as_mut()[field::ETHERTYPE].copy_from_slice(&ethertype.to_be_bytes());
+    }
+
+    /// Mutable access to the payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[HEADER_LEN..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = vec![0u8; HEADER_LEN + 4];
+        let mut f = Frame::new_unchecked(&mut buf);
+        let src = MacAddr([2, 0, 0, 0, 0, 1]);
+        f.set_dst(MacAddr::BROADCAST);
+        f.set_src(src);
+        f.set_ethertype(ETHERTYPE_IPV4);
+        f.payload_mut().copy_from_slice(b"abcd");
+        let f = Frame::new_checked(&buf[..]).unwrap();
+        assert_eq!(f.dst(), MacAddr::BROADCAST);
+        assert_eq!(f.src(), src);
+        assert_eq!(f.ethertype(), ETHERTYPE_IPV4);
+        assert_eq!(f.payload(), b"abcd");
+    }
+
+    #[test]
+    fn mac_display() {
+        assert_eq!(
+            MacAddr([0xde, 0xad, 0xbe, 0xef, 0x00, 0x01]).to_string(),
+            "de:ad:be:ef:00:01"
+        );
+    }
+
+    #[test]
+    fn short_frame_rejected() {
+        assert_eq!(
+            Frame::new_checked(&[0u8; 13][..]).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! ICMPv4 message view (RFC 792) — echo request/reply and destination
+//! unreachable, the message types that appear in IBR (ping scans and
+//! backscatter).
+
+use crate::checksum;
+use crate::{Result, WireError};
+
+mod field {
+    pub const TYPE: usize = 0;
+    pub const CODE: usize = 1;
+    pub const CHECKSUM: std::ops::Range<usize> = 2..4;
+    pub const REST: std::ops::Range<usize> = 4..8;
+}
+
+/// Length of the ICMP header.
+pub const HEADER_LEN: usize = 8;
+
+/// ICMP message types the workspace models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Message {
+    /// Echo reply (type 0).
+    EchoReply,
+    /// Destination unreachable (type 3).
+    DestUnreachable,
+    /// Echo request (type 8).
+    EchoRequest,
+    /// Time exceeded (type 11).
+    TimeExceeded,
+    /// Anything else, kept raw.
+    Other(u8),
+}
+
+impl Message {
+    /// The on-wire type value.
+    pub const fn type_value(self) -> u8 {
+        match self {
+            Message::EchoReply => 0,
+            Message::DestUnreachable => 3,
+            Message::EchoRequest => 8,
+            Message::TimeExceeded => 11,
+            Message::Other(t) => t,
+        }
+    }
+
+    /// Decodes a type value.
+    pub const fn from_type(t: u8) -> Message {
+        match t {
+            0 => Message::EchoReply,
+            3 => Message::DestUnreachable,
+            8 => Message::EchoRequest,
+            11 => Message::TimeExceeded,
+            other => Message::Other(other),
+        }
+    }
+}
+
+/// A read/write view of an ICMPv4 message.
+#[derive(Debug, Clone)]
+pub struct Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Packet<T> {
+    /// Wraps a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Packet<T> {
+        Packet { buffer }
+    }
+
+    /// Wraps and validates the buffer (header must fit).
+    pub fn new_checked(buffer: T) -> Result<Packet<T>> {
+        if buffer.as_ref().len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        Ok(Packet { buffer })
+    }
+
+    /// The message type.
+    pub fn message(&self) -> Message {
+        Message::from_type(self.buffer.as_ref()[field::TYPE])
+    }
+
+    /// The code field.
+    pub fn code(&self) -> u8 {
+        self.buffer.as_ref()[field::CODE]
+    }
+
+    /// Echo identifier (meaningful for echo messages).
+    pub fn echo_ident(&self) -> u16 {
+        u16::from_be_bytes(self.buffer.as_ref()[4..6].try_into().unwrap())
+    }
+
+    /// Echo sequence number (meaningful for echo messages).
+    pub fn echo_seq(&self) -> u16 {
+        u16::from_be_bytes(self.buffer.as_ref()[6..8].try_into().unwrap())
+    }
+
+    /// Payload after the 8-byte header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..]
+    }
+
+    /// Verifies the message checksum (covers the whole buffer).
+    pub fn verify_checksum(&self) -> bool {
+        checksum::verify(self.buffer.as_ref())
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
+    /// Sets the message type.
+    pub fn set_message(&mut self, m: Message) {
+        self.buffer.as_mut()[field::TYPE] = m.type_value();
+    }
+
+    /// Sets the code.
+    pub fn set_code(&mut self, code: u8) {
+        self.buffer.as_mut()[field::CODE] = code;
+    }
+
+    /// Sets the echo identifier and sequence number.
+    pub fn set_echo(&mut self, ident: u16, seq: u16) {
+        self.buffer.as_mut()[4..6].copy_from_slice(&ident.to_be_bytes());
+        self.buffer.as_mut()[6..8].copy_from_slice(&seq.to_be_bytes());
+    }
+
+    /// Zeroes the "rest of header" field (for non-echo messages).
+    pub fn clear_rest(&mut self) {
+        self.buffer.as_mut()[field::REST].fill(0);
+    }
+
+    /// Computes and writes the checksum; call last.
+    pub fn fill_checksum(&mut self) {
+        self.buffer.as_mut()[field::CHECKSUM].fill(0);
+        let sum = checksum::checksum(self.buffer.as_ref());
+        self.buffer.as_mut()[field::CHECKSUM].copy_from_slice(&sum.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_request_roundtrip() {
+        let mut buf = vec![0u8; HEADER_LEN + 8];
+        let mut p = Packet::new_unchecked(&mut buf);
+        p.set_message(Message::EchoRequest);
+        p.set_code(0);
+        p.set_echo(0x1234, 7);
+        p.fill_checksum();
+        let p = Packet::new_checked(&buf[..]).unwrap();
+        assert!(p.verify_checksum());
+        assert_eq!(p.message(), Message::EchoRequest);
+        assert_eq!(p.echo_ident(), 0x1234);
+        assert_eq!(p.echo_seq(), 7);
+    }
+
+    #[test]
+    fn message_type_roundtrip() {
+        for t in 0u8..=255 {
+            assert_eq!(Message::from_type(t).type_value(), t);
+        }
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut buf = vec![0u8; HEADER_LEN];
+        let mut p = Packet::new_unchecked(&mut buf);
+        p.set_message(Message::DestUnreachable);
+        p.set_code(1);
+        p.clear_rest();
+        p.fill_checksum();
+        buf[1] = 3;
+        let p = Packet::new_checked(&buf[..]).unwrap();
+        assert!(!p.verify_checksum());
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        assert_eq!(
+            Packet::new_checked(&[0u8; 4][..]).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+}

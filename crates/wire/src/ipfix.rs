@@ -1,0 +1,536 @@
+//! IPFIX-lite: the RFC 7011 subset the IXP vantage points use to export
+//! sampled flow records.
+//!
+//! Implemented: the 16-byte message header (version 10), template sets
+//! (set id 2) with IANA information elements, and data sets keyed by
+//! template id. Not implemented (not needed by the workspace): options
+//! templates, enterprise-specific elements, variable-length fields,
+//! template withdrawal.
+//!
+//! The exporter emits the template set at the start of every message, as
+//! RFC 7011 permits (UDP transports re-send templates periodically; doing
+//! it per message keeps every message self-describing, which matters for
+//! a file-based interchange). The collector learns templates as they
+//! appear and rejects data sets that reference an unknown template.
+
+use crate::{Result, WireError};
+use bytes::{Buf, BufMut};
+
+/// The IPFIX protocol version.
+pub const VERSION: u16 = 10;
+
+/// Set id of a template set.
+pub const TEMPLATE_SET_ID: u16 = 2;
+
+/// The template id this exporter uses for flow records (data set ids must
+/// be ≥ 256).
+pub const FLOW_TEMPLATE_ID: u16 = 256;
+
+/// IANA information element ids used by the flow template, in record
+/// order, with their encoded lengths.
+pub const FLOW_FIELDS: &[(u16, u16)] = &[
+    (8, 4),   // sourceIPv4Address
+    (12, 4),  // destinationIPv4Address
+    (7, 2),   // sourceTransportPort
+    (11, 2),  // destinationTransportPort
+    (4, 1),   // protocolIdentifier
+    (6, 1),   // tcpControlBits
+    (2, 8),   // packetDeltaCount
+    (1, 8),   // octetDeltaCount
+    (150, 4), // flowStartSeconds
+];
+
+/// Encoded length of one data record under [`FLOW_FIELDS`].
+pub const FLOW_RECORD_LEN: usize = 4 + 4 + 2 + 2 + 1 + 1 + 8 + 8 + 4;
+
+/// One exported flow record, as carried on the wire.
+///
+/// `packets` and `octets` are *sampled* delta counts; the sampling rate is
+/// conveyed out of band (per vantage-point metadata), as is common in IXP
+/// deployments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IpfixFlow {
+    /// Source IPv4 address.
+    pub src: mt_types::Ipv4,
+    /// Destination IPv4 address.
+    pub dst: mt_types::Ipv4,
+    /// Source transport port (0 for ICMP).
+    pub src_port: u16,
+    /// Destination transport port (0 for ICMP).
+    pub dst_port: u16,
+    /// IP protocol number.
+    pub protocol: u8,
+    /// Union of TCP flags seen on the sampled packets.
+    pub tcp_flags: u8,
+    /// Sampled packet count.
+    pub packets: u64,
+    /// Sampled octet count.
+    pub octets: u64,
+    /// Flow start, seconds since the simulation epoch.
+    pub start_secs: u32,
+}
+
+impl IpfixFlow {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u32(self.src.0);
+        buf.put_u32(self.dst.0);
+        buf.put_u16(self.src_port);
+        buf.put_u16(self.dst_port);
+        buf.put_u8(self.protocol);
+        buf.put_u8(self.tcp_flags);
+        buf.put_u64(self.packets);
+        buf.put_u64(self.octets);
+        buf.put_u32(self.start_secs);
+    }
+
+    fn decode<B: Buf>(buf: &mut B) -> IpfixFlow {
+        IpfixFlow {
+            src: mt_types::Ipv4(buf.get_u32()),
+            dst: mt_types::Ipv4(buf.get_u32()),
+            src_port: buf.get_u16(),
+            dst_port: buf.get_u16(),
+            protocol: buf.get_u8(),
+            tcp_flags: buf.get_u8(),
+            packets: buf.get_u64(),
+            octets: buf.get_u64(),
+            start_secs: buf.get_u32(),
+        }
+    }
+}
+
+/// Encodes flow records into one or more IPFIX messages.
+///
+/// Each message carries the template set followed by a data set with up to
+/// `max_records_per_message` records. `sequence` is the exporter's running
+/// data-record counter (RFC 7011 §3.1) and is advanced by this call.
+pub fn encode_messages(
+    flows: &[IpfixFlow],
+    export_time: u32,
+    domain: u32,
+    sequence: &mut u32,
+    max_records_per_message: usize,
+) -> Vec<Vec<u8>> {
+    assert!(max_records_per_message > 0);
+    let mut messages = Vec::new();
+    let chunks: Vec<&[IpfixFlow]> = if flows.is_empty() {
+        vec![&[][..]] // still emit one message so templates propagate
+    } else {
+        flows.chunks(max_records_per_message).collect()
+    };
+    for chunk in chunks {
+        let mut msg = Vec::with_capacity(64 + chunk.len() * FLOW_RECORD_LEN);
+        // Message header; length patched at the end.
+        msg.put_u16(VERSION);
+        msg.put_u16(0);
+        msg.put_u32(export_time);
+        msg.put_u32(*sequence);
+        msg.put_u32(domain);
+        // Template set.
+        let tmpl_len = 4 + 4 + FLOW_FIELDS.len() * 4;
+        msg.put_u16(TEMPLATE_SET_ID);
+        msg.put_u16(tmpl_len as u16);
+        msg.put_u16(FLOW_TEMPLATE_ID);
+        msg.put_u16(FLOW_FIELDS.len() as u16);
+        for &(ie, len) in FLOW_FIELDS {
+            msg.put_u16(ie);
+            msg.put_u16(len);
+        }
+        // Data set.
+        if !chunk.is_empty() {
+            msg.put_u16(FLOW_TEMPLATE_ID);
+            msg.put_u16((4 + chunk.len() * FLOW_RECORD_LEN) as u16);
+            for flow in chunk {
+                flow.encode(&mut msg);
+            }
+        }
+        let total = msg.len() as u16;
+        msg[2..4].copy_from_slice(&total.to_be_bytes());
+        *sequence = sequence.wrapping_add(chunk.len() as u32);
+        messages.push(msg);
+    }
+    messages
+}
+
+/// A collector that consumes IPFIX messages and yields flow records.
+///
+/// Learns template definitions from template sets; a template whose field
+/// layout differs from [`FLOW_FIELDS`] is remembered but its data records
+/// are skipped (we only understand our own layout). Unknown set ids are
+/// skipped per RFC 7011 §8.
+#[derive(Debug, Default)]
+pub struct Collector {
+    /// Template id → record length, for templates matching our layout.
+    known: std::collections::HashMap<u16, usize>,
+    /// Template id → record length, for templates with a foreign layout.
+    foreign: std::collections::HashMap<u16, usize>,
+    /// Count of data records skipped because their template was foreign.
+    pub skipped_records: u64,
+}
+
+impl Collector {
+    /// Creates an empty collector (no templates known yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parses one message, appending decoded flows to `out`.
+    pub fn decode_message(&mut self, mut msg: &[u8], out: &mut Vec<IpfixFlow>) -> Result<()> {
+        if msg.len() < 16 {
+            return Err(WireError::Truncated);
+        }
+        let declared = u16::from_be_bytes([msg[2], msg[3]]) as usize;
+        if u16::from_be_bytes([msg[0], msg[1]]) != VERSION {
+            return Err(WireError::Version);
+        }
+        if declared < 16 || declared > msg.len() {
+            return Err(WireError::Truncated);
+        }
+        msg = &msg[..declared];
+        let mut body = &msg[16..];
+        while body.remaining() >= 4 {
+            let set_id = body.get_u16();
+            let set_len = body.get_u16() as usize;
+            if set_len < 4 || set_len - 4 > body.remaining() {
+                return Err(WireError::Truncated);
+            }
+            let (set_body, rest) = body.split_at(set_len - 4);
+            body = rest;
+            match set_id {
+                TEMPLATE_SET_ID => self.learn_templates(set_body)?,
+                id if id >= 256 => self.decode_data_set(id, set_body, out)?,
+                _ => {} // options templates etc.: skipped
+            }
+        }
+        if !body.is_empty() {
+            return Err(WireError::Malformed);
+        }
+        Ok(())
+    }
+
+    fn learn_templates(&mut self, mut set: &[u8]) -> Result<()> {
+        // A template set may hold several template records; trailing
+        // padding shorter than a record header is permitted.
+        while set.remaining() >= 4 {
+            let template_id = set.get_u16();
+            let field_count = set.get_u16() as usize;
+            if template_id < 256 {
+                return Err(WireError::Malformed);
+            }
+            if set.remaining() < field_count * 4 {
+                return Err(WireError::Truncated);
+            }
+            let mut fields = Vec::with_capacity(field_count);
+            let mut record_len = 0usize;
+            for _ in 0..field_count {
+                let ie = set.get_u16();
+                let len = set.get_u16();
+                if ie & 0x8000 != 0 {
+                    // Enterprise elements are out of scope.
+                    return Err(WireError::Malformed);
+                }
+                record_len += len as usize;
+                fields.push((ie, len));
+            }
+            if fields == FLOW_FIELDS {
+                self.known.insert(template_id, record_len);
+                self.foreign.remove(&template_id);
+            } else {
+                self.foreign.insert(template_id, record_len);
+                self.known.remove(&template_id);
+            }
+        }
+        Ok(())
+    }
+
+    fn decode_data_set(
+        &mut self,
+        template_id: u16,
+        mut set: &[u8],
+        out: &mut Vec<IpfixFlow>,
+    ) -> Result<()> {
+        if let Some(&len) = self.known.get(&template_id) {
+            while set.remaining() >= len {
+                out.push(IpfixFlow::decode(&mut set));
+            }
+            Ok(())
+        } else if let Some(&len) = self.foreign.get(&template_id) {
+            if len > 0 {
+                self.skipped_records += (set.remaining() / len) as u64;
+            }
+            Ok(())
+        } else {
+            Err(WireError::UnknownTemplate(template_id))
+        }
+    }
+}
+
+/// Streaming transport: IPFIX messages concatenated on a byte stream
+/// (the file/TCP transport of RFC 7011 §10.4). Messages are
+/// self-delimiting via the length field in their header, so no extra
+/// framing is needed — the reader peeks the 16-byte header, then reads
+/// the remainder.
+pub mod stream {
+    use super::{Collector, IpfixFlow, Result, WireError};
+    use std::io::{self, Read, Write};
+
+    /// Writes messages to a byte stream.
+    #[derive(Debug)]
+    pub struct MessageWriter<W: Write> {
+        inner: W,
+        sequence: u32,
+        domain: u32,
+        /// Messages written so far.
+        pub messages: u64,
+    }
+
+    impl<W: Write> MessageWriter<W> {
+        /// Creates a writer for one observation domain.
+        pub fn new(inner: W, domain: u32) -> Self {
+            MessageWriter {
+                inner,
+                sequence: 0,
+                domain,
+                messages: 0,
+            }
+        }
+
+        /// Encodes and writes `flows` as one or more messages stamped
+        /// `export_time`.
+        pub fn write_flows(&mut self, flows: &[IpfixFlow], export_time: u32) -> io::Result<()> {
+            for msg in super::encode_messages(flows, export_time, self.domain, &mut self.sequence, 800)
+            {
+                self.inner.write_all(&msg)?;
+                self.messages += 1;
+            }
+            Ok(())
+        }
+
+        /// Flushes and returns the underlying writer.
+        pub fn finish(mut self) -> io::Result<W> {
+            self.inner.flush()?;
+            Ok(self.inner)
+        }
+    }
+
+    /// Reads messages from a byte stream and decodes their flows.
+    #[derive(Debug)]
+    pub struct MessageReader<R: Read> {
+        inner: R,
+        collector: Collector,
+        /// Messages consumed so far.
+        pub messages: u64,
+    }
+
+    impl<R: Read> MessageReader<R> {
+        /// Creates a reader with a fresh template collector.
+        pub fn new(inner: R) -> Self {
+            MessageReader {
+                inner,
+                collector: Collector::new(),
+                messages: 0,
+            }
+        }
+
+        /// Reads the next message, appending its flows to `out`.
+        /// `Ok(false)` at clean end of stream.
+        pub fn read_message(&mut self, out: &mut Vec<IpfixFlow>) -> Result<bool> {
+            let mut header = [0u8; 16];
+            // Clean EOF only if zero bytes remain.
+            let mut filled = 0;
+            while filled < header.len() {
+                match self.inner.read(&mut header[filled..]) {
+                    Ok(0) if filled == 0 => return Ok(false),
+                    Ok(0) => return Err(WireError::Truncated),
+                    Ok(n) => filled += n,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => return Err(WireError::Truncated),
+                }
+            }
+            let length = u16::from_be_bytes([header[2], header[3]]) as usize;
+            if length < 16 {
+                return Err(WireError::Malformed);
+            }
+            let mut msg = vec![0u8; length];
+            msg[..16].copy_from_slice(&header);
+            self.inner
+                .read_exact(&mut msg[16..])
+                .map_err(|_| WireError::Truncated)?;
+            self.collector.decode_message(&msg, out)?;
+            self.messages += 1;
+            Ok(true)
+        }
+
+        /// Reads the whole stream into a flow list.
+        pub fn read_all(&mut self) -> Result<Vec<IpfixFlow>> {
+            let mut out = Vec::new();
+            while self.read_message(&mut out)? {}
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mt_types::Ipv4;
+
+    fn sample_flow(i: u32) -> IpfixFlow {
+        IpfixFlow {
+            src: Ipv4(0x0a000000 + i),
+            dst: Ipv4(0xc0000200 + i),
+            src_port: 40000 + i as u16,
+            dst_port: 23,
+            protocol: 6,
+            tcp_flags: 0x02,
+            packets: 1 + u64::from(i),
+            octets: 40 * (1 + u64::from(i)),
+            start_secs: 1000 + i,
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let flows: Vec<IpfixFlow> = (0..10).map(sample_flow).collect();
+        let mut seq = 0;
+        let msgs = encode_messages(&flows, 42, 7, &mut seq, 4);
+        assert_eq!(msgs.len(), 3, "10 flows at 4/message → 3 messages");
+        assert_eq!(seq, 10);
+        let mut collector = Collector::new();
+        let mut out = Vec::new();
+        for m in &msgs {
+            collector.decode_message(m, &mut out).unwrap();
+        }
+        assert_eq!(out, flows);
+        assert_eq!(collector.skipped_records, 0);
+    }
+
+    #[test]
+    fn empty_flow_list_still_produces_template_message() {
+        let mut seq = 0;
+        let msgs = encode_messages(&[], 1, 1, &mut seq, 100);
+        assert_eq!(msgs.len(), 1);
+        let mut collector = Collector::new();
+        let mut out = Vec::new();
+        collector.decode_message(&msgs[0], &mut out).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn data_before_template_is_unknown() {
+        let flows = vec![sample_flow(0)];
+        let mut seq = 0;
+        let msgs = encode_messages(&flows, 1, 1, &mut seq, 10);
+        // Strip the template set out of the message: keep header, then
+        // re-assemble with only the data set.
+        let msg = &msgs[0];
+        let tmpl_len = 4 + 4 + FLOW_FIELDS.len() * 4;
+        let mut stripped = msg[..16].to_vec();
+        stripped.extend_from_slice(&msg[16 + tmpl_len..]);
+        let total = stripped.len() as u16;
+        stripped[2..4].copy_from_slice(&total.to_be_bytes());
+        let mut collector = Collector::new();
+        let mut out = Vec::new();
+        assert_eq!(
+            collector.decode_message(&stripped, &mut out).unwrap_err(),
+            WireError::UnknownTemplate(FLOW_TEMPLATE_ID)
+        );
+    }
+
+    #[test]
+    fn foreign_template_records_are_skipped() {
+        // Build a message with a foreign template (one 2-byte field) and
+        // a matching data set with 3 records.
+        let mut msg = Vec::new();
+        msg.put_u16(VERSION);
+        msg.put_u16(0);
+        msg.put_u32(0);
+        msg.put_u32(0);
+        msg.put_u32(0);
+        msg.put_u16(TEMPLATE_SET_ID);
+        msg.put_u16(4 + 4 + 4);
+        msg.put_u16(300);
+        msg.put_u16(1);
+        msg.put_u16(7); // sourceTransportPort only
+        msg.put_u16(2);
+        msg.put_u16(300);
+        msg.put_u16(4 + 6);
+        msg.put_slice(&[0u8; 6]);
+        let total = msg.len() as u16;
+        msg[2..4].copy_from_slice(&total.to_be_bytes());
+        let mut collector = Collector::new();
+        let mut out = Vec::new();
+        collector.decode_message(&msg, &mut out).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(collector.skipped_records, 3);
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut seq = 0;
+        let mut msg = encode_messages(&[sample_flow(1)], 1, 1, &mut seq, 10).remove(0);
+        msg[0..2].copy_from_slice(&9u16.to_be_bytes());
+        let mut collector = Collector::new();
+        assert_eq!(
+            collector.decode_message(&msg, &mut Vec::new()).unwrap_err(),
+            WireError::Version
+        );
+    }
+
+    #[test]
+    fn truncated_message_rejected() {
+        let mut seq = 0;
+        let msg = encode_messages(&[sample_flow(1)], 1, 1, &mut seq, 10).remove(0);
+        let mut collector = Collector::new();
+        assert_eq!(
+            collector
+                .decode_message(&msg[..msg.len() - 5], &mut Vec::new())
+                .unwrap_err(),
+            WireError::Truncated
+        );
+    }
+
+    #[test]
+    fn stream_roundtrip_multiple_batches() {
+        let mut buf = Vec::new();
+        {
+            let mut w = stream::MessageWriter::new(&mut buf, 7);
+            w.write_flows(&(0..5).map(sample_flow).collect::<Vec<_>>(), 100).unwrap();
+            w.write_flows(&[], 101).unwrap(); // heartbeat: templates only
+            w.write_flows(&(5..9).map(sample_flow).collect::<Vec<_>>(), 102).unwrap();
+            w.finish().unwrap();
+        }
+        let mut r = stream::MessageReader::new(&buf[..]);
+        let flows = r.read_all().unwrap();
+        assert_eq!(flows, (0..9).map(sample_flow).collect::<Vec<_>>());
+        assert_eq!(r.messages, 3);
+    }
+
+    #[test]
+    fn stream_reader_detects_torn_tail() {
+        let mut buf = Vec::new();
+        {
+            let mut w = stream::MessageWriter::new(&mut buf, 7);
+            w.write_flows(&[sample_flow(0)], 100).unwrap();
+            w.finish().unwrap();
+        }
+        buf.truncate(buf.len() - 3);
+        let mut r = stream::MessageReader::new(&buf[..]);
+        assert_eq!(r.read_all().unwrap_err(), WireError::Truncated);
+        // A tear inside the header is also truncation, not clean EOF.
+        let mut r = stream::MessageReader::new(&buf[..7]);
+        assert_eq!(r.read_all().unwrap_err(), WireError::Truncated);
+    }
+
+    #[test]
+    fn stream_empty_is_clean_eof() {
+        let mut r = stream::MessageReader::new(&[][..]);
+        assert_eq!(r.read_all().unwrap(), Vec::new());
+        assert_eq!(r.messages, 0);
+    }
+
+    #[test]
+    fn record_len_constant_matches_fields() {
+        let sum: usize = FLOW_FIELDS.iter().map(|&(_, l)| l as usize).sum();
+        assert_eq!(sum, FLOW_RECORD_LEN);
+    }
+}

@@ -1,0 +1,334 @@
+//! IPv4 packet view (RFC 791), smoltcp style.
+//!
+//! [`Packet`] wraps any `AsRef<[u8]>` buffer; `new_checked` validates the
+//! version, header length and declared total length against the buffer
+//! before any accessor can be reached, so accessors themselves are
+//! infallible. With an `AsMut<[u8]>` buffer the setters can build packets
+//! in place; [`Repr`] is the parsed high-level representation used when
+//! crafting packets from scratch.
+
+use crate::checksum;
+use crate::{IpProtocol, Result, WireError};
+use mt_types::Ipv4;
+
+mod field {
+    pub const VER_IHL: usize = 0;
+    pub const DSCP_ECN: usize = 1;
+    pub const LENGTH: std::ops::Range<usize> = 2..4;
+    pub const IDENT: std::ops::Range<usize> = 4..6;
+    pub const FLAGS_FRAG: std::ops::Range<usize> = 6..8;
+    pub const TTL: usize = 8;
+    pub const PROTOCOL: usize = 9;
+    pub const CHECKSUM: std::ops::Range<usize> = 10..12;
+    pub const SRC: std::ops::Range<usize> = 12..16;
+    pub const DST: std::ops::Range<usize> = 16..20;
+}
+
+/// Length of an IPv4 header without options.
+pub const HEADER_LEN: usize = 20;
+
+/// A read/write view of an IPv4 packet.
+#[derive(Debug, Clone)]
+pub struct Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Packet<T> {
+    /// Wraps a buffer without validation. Accessors may panic on short
+    /// buffers; use [`Packet::new_checked`] for untrusted input.
+    pub fn new_unchecked(buffer: T) -> Packet<T> {
+        Packet { buffer }
+    }
+
+    /// Wraps and validates a buffer: version must be 4, the header length
+    /// field must be at least 20 bytes and fit the buffer, and the total
+    /// length must cover the header and fit the buffer.
+    pub fn new_checked(buffer: T) -> Result<Packet<T>> {
+        let packet = Packet::new_unchecked(buffer);
+        packet.check()?;
+        Ok(packet)
+    }
+
+    fn check(&self) -> Result<()> {
+        let data = self.buffer.as_ref();
+        if data.len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        if data[field::VER_IHL] >> 4 != 4 {
+            return Err(WireError::Version);
+        }
+        let header_len = self.header_len() as usize;
+        if header_len < HEADER_LEN || header_len > data.len() {
+            return Err(WireError::Malformed);
+        }
+        let total_len = self.total_len() as usize;
+        if total_len < header_len {
+            return Err(WireError::Malformed);
+        }
+        if total_len > data.len() {
+            return Err(WireError::Truncated);
+        }
+        Ok(())
+    }
+
+    /// Consumes the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Header length in bytes (IHL × 4).
+    pub fn header_len(&self) -> u8 {
+        (self.buffer.as_ref()[field::VER_IHL] & 0x0f) * 4
+    }
+
+    /// The total length field: header plus payload, in bytes.
+    pub fn total_len(&self) -> u16 {
+        u16::from_be_bytes(self.buffer.as_ref()[field::LENGTH].try_into().unwrap())
+    }
+
+    /// Time to live.
+    pub fn ttl(&self) -> u8 {
+        self.buffer.as_ref()[field::TTL]
+    }
+
+    /// The protocol field (may be a protocol we do not model).
+    pub fn protocol_raw(&self) -> u8 {
+        self.buffer.as_ref()[field::PROTOCOL]
+    }
+
+    /// The protocol field, decoded.
+    pub fn protocol(&self) -> Option<IpProtocol> {
+        IpProtocol::from_u8(self.protocol_raw())
+    }
+
+    /// Source address.
+    pub fn src(&self) -> Ipv4 {
+        Ipv4::from_octets(self.buffer.as_ref()[field::SRC].try_into().unwrap())
+    }
+
+    /// Destination address.
+    pub fn dst(&self) -> Ipv4 {
+        Ipv4::from_octets(self.buffer.as_ref()[field::DST].try_into().unwrap())
+    }
+
+    /// The header checksum field.
+    pub fn header_checksum(&self) -> u16 {
+        u16::from_be_bytes(self.buffer.as_ref()[field::CHECKSUM].try_into().unwrap())
+    }
+
+    /// Verifies the header checksum.
+    pub fn verify_checksum(&self) -> bool {
+        let header = &self.buffer.as_ref()[..self.header_len() as usize];
+        checksum::verify(header)
+    }
+
+    /// The payload (transport segment), bounded by the total-length field.
+    pub fn payload(&self) -> &[u8] {
+        let header = self.header_len() as usize;
+        let total = self.total_len() as usize;
+        &self.buffer.as_ref()[header..total]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
+    /// Writes version 4 and the header length (must be a multiple of 4,
+    /// 20..=60).
+    pub fn set_header_len(&mut self, len: u8) {
+        debug_assert!(len >= 20 && len <= 60 && len % 4 == 0);
+        self.buffer.as_mut()[field::VER_IHL] = 0x40 | (len / 4);
+    }
+
+    /// Sets the total length field.
+    pub fn set_total_len(&mut self, len: u16) {
+        self.buffer.as_mut()[field::LENGTH].copy_from_slice(&len.to_be_bytes());
+    }
+
+    /// Sets the TTL.
+    pub fn set_ttl(&mut self, ttl: u8) {
+        self.buffer.as_mut()[field::TTL] = ttl;
+    }
+
+    /// Sets the protocol.
+    pub fn set_protocol(&mut self, protocol: IpProtocol) {
+        self.buffer.as_mut()[field::PROTOCOL] = protocol.into();
+    }
+
+    /// Sets the source address.
+    pub fn set_src(&mut self, src: Ipv4) {
+        self.buffer.as_mut()[field::SRC].copy_from_slice(&src.octets());
+    }
+
+    /// Sets the destination address.
+    pub fn set_dst(&mut self, dst: Ipv4) {
+        self.buffer.as_mut()[field::DST].copy_from_slice(&dst.octets());
+    }
+
+    /// Zeroes the identification, flags and fragment-offset fields and the
+    /// DSCP/ECN byte (the generators never emit fragments).
+    pub fn clear_variable_fields(&mut self) {
+        let b = self.buffer.as_mut();
+        b[field::DSCP_ECN] = 0;
+        b[field::IDENT].fill(0);
+        b[field::FLAGS_FRAG].fill(0);
+    }
+
+    /// Computes and writes the header checksum. Call after all other
+    /// header fields are final.
+    pub fn fill_checksum(&mut self) {
+        let header_len = self.header_len() as usize;
+        self.buffer.as_mut()[field::CHECKSUM].fill(0);
+        let sum = checksum::checksum(&self.buffer.as_ref()[..header_len]);
+        self.buffer.as_mut()[field::CHECKSUM].copy_from_slice(&sum.to_be_bytes());
+    }
+
+    /// Mutable access to the payload region.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let header = self.header_len() as usize;
+        let total = self.total_len() as usize;
+        &mut self.buffer.as_mut()[header..total]
+    }
+}
+
+/// High-level representation of an IPv4 header (no options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    /// Source address.
+    pub src: Ipv4,
+    /// Destination address.
+    pub dst: Ipv4,
+    /// Payload protocol.
+    pub protocol: IpProtocol,
+    /// Payload length in bytes.
+    pub payload_len: usize,
+    /// Time to live.
+    pub ttl: u8,
+}
+
+impl Repr {
+    /// Parses and validates a packet into its representation.
+    pub fn parse<T: AsRef<[u8]>>(packet: &Packet<T>) -> Result<Repr> {
+        if !packet.verify_checksum() {
+            return Err(WireError::Checksum);
+        }
+        let protocol = packet.protocol().ok_or(WireError::Malformed)?;
+        Ok(Repr {
+            src: packet.src(),
+            dst: packet.dst(),
+            protocol,
+            payload_len: packet.payload().len(),
+            ttl: packet.ttl(),
+        })
+    }
+
+    /// Buffer length required to emit this header plus payload.
+    pub fn buffer_len(&self) -> usize {
+        HEADER_LEN + self.payload_len
+    }
+
+    /// Emits the header into `packet` (whose buffer must be at least
+    /// [`Repr::buffer_len`] long) and fills the checksum.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, packet: &mut Packet<T>) {
+        packet.set_header_len(HEADER_LEN as u8);
+        packet.clear_variable_fields();
+        packet.set_total_len((HEADER_LEN + self.payload_len) as u16);
+        packet.set_ttl(self.ttl);
+        packet.set_protocol(self.protocol);
+        packet.set_src(self.src);
+        packet.set_dst(self.dst);
+        packet.fill_checksum();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(src: Ipv4, dst: Ipv4, payload: &[u8]) -> Vec<u8> {
+        let repr = Repr {
+            src,
+            dst,
+            protocol: IpProtocol::Tcp,
+            payload_len: payload.len(),
+            ttl: 64,
+        };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        let mut packet = Packet::new_unchecked(&mut buf);
+        repr.emit(&mut packet);
+        packet.payload_mut().copy_from_slice(payload);
+        buf
+    }
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let src = Ipv4::new(192, 0, 2, 1);
+        let dst = Ipv4::new(203, 0, 113, 9);
+        let buf = build(src, dst, b"hello");
+        let packet = Packet::new_checked(&buf[..]).unwrap();
+        assert!(packet.verify_checksum());
+        let repr = Repr::parse(&packet).unwrap();
+        assert_eq!(repr.src, src);
+        assert_eq!(repr.dst, dst);
+        assert_eq!(repr.protocol, IpProtocol::Tcp);
+        assert_eq!(packet.payload(), b"hello");
+        assert_eq!(packet.total_len(), 25);
+    }
+
+    #[test]
+    fn checked_rejects_short_buffer() {
+        assert_eq!(
+            Packet::new_checked(&[0u8; 10][..]).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+
+    #[test]
+    fn checked_rejects_wrong_version() {
+        let mut buf = build(Ipv4::new(1, 1, 1, 1), Ipv4::new(2, 2, 2, 2), b"");
+        buf[0] = 0x65; // version 6
+        assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), WireError::Version);
+    }
+
+    #[test]
+    fn checked_rejects_bad_lengths() {
+        let mut buf = build(Ipv4::new(1, 1, 1, 1), Ipv4::new(2, 2, 2, 2), b"abc");
+        // Claim a total length longer than the buffer.
+        buf[2..4].copy_from_slice(&100u16.to_be_bytes());
+        assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), WireError::Truncated);
+        // Claim an IHL of 4 (16 bytes, below minimum).
+        buf[2..4].copy_from_slice(&23u16.to_be_bytes());
+        buf[0] = 0x44;
+        assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), WireError::Malformed);
+    }
+
+    #[test]
+    fn corrupted_checksum_detected() {
+        let mut buf = build(Ipv4::new(1, 2, 3, 4), Ipv4::new(5, 6, 7, 8), b"");
+        buf[8] ^= 0xff; // flip the TTL
+        let packet = Packet::new_checked(&buf[..]).unwrap();
+        assert!(!packet.verify_checksum());
+        assert_eq!(Repr::parse(&packet).unwrap_err(), WireError::Checksum);
+    }
+
+    #[test]
+    fn payload_is_bounded_by_total_len() {
+        // Buffer has trailing garbage beyond the declared total length.
+        let mut buf = build(Ipv4::new(1, 2, 3, 4), Ipv4::new(5, 6, 7, 8), b"xy");
+        buf.extend_from_slice(b"garbage");
+        let packet = Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(packet.payload(), b"xy");
+    }
+
+    #[test]
+    fn min_syn_packet_is_40_bytes() {
+        // A 20-byte TCP header carried in a 20-byte IPv4 header: the
+        // canonical 40-byte IBR packet of the paper's Section 4.1.
+        let repr = Repr {
+            src: Ipv4::new(9, 9, 9, 9),
+            dst: Ipv4::new(10, 0, 0, 1),
+            protocol: IpProtocol::Tcp,
+            payload_len: 20,
+            ttl: 250,
+        };
+        assert_eq!(repr.buffer_len(), 40);
+    }
+}

@@ -1,0 +1,118 @@
+//! Wire formats for the meta-telescope workspace.
+//!
+//! Follows the smoltcp idiom: a packet type is a thin wrapper over a byte
+//! buffer (`Packet<T: AsRef<[u8]>>`) with checked construction, typed field
+//! accessors, and setters when the buffer is mutable. No implicit
+//! allocation, no surprises; malformed input is rejected with a typed
+//! [`WireError`], never a panic.
+//!
+//! Contents:
+//! - [`ethernet`] — Ethernet II frames;
+//! - [`ipv4`] — IPv4 headers with checksum generation/validation;
+//! - [`tcp`] / [`udp`] / [`icmp`] — transport headers (TCP and UDP
+//!   checksums use the IPv4 pseudo-header);
+//! - [`pcap`] — classic libpcap capture files (reader and writer), the
+//!   format the operational telescopes export;
+//! - [`ipfix`] — an RFC 7011 subset ("IPFIX-lite"): template and data
+//!   sets sufficient to carry the flow records the IXP vantage points
+//!   export;
+//! - [`checksum`] — the Internet one's-complement checksum.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checksum;
+pub mod ethernet;
+pub mod icmp;
+pub mod ipfix;
+pub mod ipv4;
+pub mod pcap;
+pub mod tcp;
+pub mod udp;
+
+use std::fmt;
+
+/// Errors raised when parsing or emitting wire data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is shorter than the header (or declared length) requires.
+    Truncated,
+    /// A field holds a value the format does not allow.
+    Malformed,
+    /// A checksum did not verify.
+    Checksum,
+    /// An IPFIX data record referenced a template that was never seen.
+    UnknownTemplate(u16),
+    /// A version field did not match the expected protocol version.
+    Version,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "buffer truncated"),
+            WireError::Malformed => write!(f, "malformed field"),
+            WireError::Checksum => write!(f, "checksum mismatch"),
+            WireError::UnknownTemplate(id) => write!(f, "unknown IPFIX template {id}"),
+            WireError::Version => write!(f, "unexpected protocol version"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, WireError>;
+
+/// IP protocol numbers used by the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum IpProtocol {
+    /// ICMP (1).
+    Icmp = 1,
+    /// TCP (6).
+    Tcp = 6,
+    /// UDP (17).
+    Udp = 17,
+}
+
+impl IpProtocol {
+    /// Parses a protocol number, returning `None` for protocols the
+    /// workspace does not model.
+    pub const fn from_u8(v: u8) -> Option<IpProtocol> {
+        match v {
+            1 => Some(IpProtocol::Icmp),
+            6 => Some(IpProtocol::Tcp),
+            17 => Some(IpProtocol::Udp),
+            _ => None,
+        }
+    }
+}
+
+impl From<IpProtocol> for u8 {
+    fn from(p: IpProtocol) -> u8 {
+        p as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_roundtrip() {
+        for p in [IpProtocol::Icmp, IpProtocol::Tcp, IpProtocol::Udp] {
+            assert_eq!(IpProtocol::from_u8(u8::from(p)), Some(p));
+        }
+        assert_eq!(IpProtocol::from_u8(99), None);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(WireError::Truncated.to_string(), "buffer truncated");
+        assert_eq!(
+            WireError::UnknownTemplate(300).to_string(),
+            "unknown IPFIX template 300"
+        );
+    }
+}

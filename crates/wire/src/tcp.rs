@@ -1,0 +1,410 @@
+//! TCP segment view (RFC 9293 header layout).
+//!
+//! IBR is dominated by bare 20-byte SYN segments (40 bytes on the wire
+//! with the IPv4 header) and SYNs with a single MSS option (48 bytes) —
+//! the fingerprint the paper's classifier exploits. This module provides
+//! the view plus a [`Repr`] that can emit exactly those shapes.
+
+use crate::checksum;
+use crate::{Result, WireError};
+use mt_types::Ipv4;
+
+mod field {
+    pub const SRC_PORT: std::ops::Range<usize> = 0..2;
+    pub const DST_PORT: std::ops::Range<usize> = 2..4;
+    pub const SEQ: std::ops::Range<usize> = 4..8;
+    pub const ACK: std::ops::Range<usize> = 8..12;
+    pub const DATA_OFF: usize = 12;
+    pub const FLAGS: usize = 13;
+    pub const WINDOW: std::ops::Range<usize> = 14..16;
+    pub const CHECKSUM: std::ops::Range<usize> = 16..18;
+    pub const URGENT: std::ops::Range<usize> = 18..20;
+}
+
+/// Length of a TCP header without options.
+pub const HEADER_LEN: usize = 20;
+
+/// Tiny local stand-in for the `bitflags` crate: declares a transparent
+/// flags newtype with `contains`/`union` and const members.
+macro_rules! bitflags_lite {
+    (
+        $(#[$meta:meta])*
+        pub struct $name:ident : $ty:ty {
+            $( $(#[$fmeta:meta])* const $flag:ident = $value:expr; )*
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+        pub struct $name(pub $ty);
+
+        impl $name {
+            $( $(#[$fmeta])* pub const $flag: $name = $name($value); )*
+
+            /// The empty flag set.
+            pub const fn empty() -> Self { $name(0) }
+
+            /// Whether all bits of `other` are set in `self`.
+            pub const fn contains(self, other: $name) -> bool {
+                self.0 & other.0 == other.0
+            }
+
+            /// Union of two flag sets.
+            pub const fn union(self, other: $name) -> $name {
+                $name(self.0 | other.0)
+            }
+        }
+
+        impl std::ops::BitOr for $name {
+            type Output = $name;
+            fn bitor(self, rhs: $name) -> $name { self.union(rhs) }
+        }
+    };
+}
+
+bitflags_lite! {
+    /// TCP control flags (low 8 bits of byte 13).
+    pub struct Flags: u8 {
+        /// FIN.
+        const FIN = 0x01;
+        /// SYN.
+        const SYN = 0x02;
+        /// RST.
+        const RST = 0x04;
+        /// PSH.
+        const PSH = 0x08;
+        /// ACK.
+        const ACK = 0x10;
+        /// URG.
+        const URG = 0x20;
+    }
+}
+
+/// A read/write view of a TCP segment.
+#[derive(Debug, Clone)]
+pub struct Segment<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Segment<T> {
+    /// Wraps a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Segment<T> {
+        Segment { buffer }
+    }
+
+    /// Wraps and validates: the buffer must hold the fixed header and the
+    /// data offset must be in range and fit the buffer.
+    pub fn new_checked(buffer: T) -> Result<Segment<T>> {
+        let seg = Segment::new_unchecked(buffer);
+        seg.check()?;
+        Ok(seg)
+    }
+
+    fn check(&self) -> Result<()> {
+        let data = self.buffer.as_ref();
+        if data.len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let off = self.header_len() as usize;
+        if off < HEADER_LEN {
+            return Err(WireError::Malformed);
+        }
+        if off > data.len() {
+            return Err(WireError::Truncated);
+        }
+        Ok(())
+    }
+
+    /// Consumes the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        u16::from_be_bytes(self.buffer.as_ref()[field::SRC_PORT].try_into().unwrap())
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        u16::from_be_bytes(self.buffer.as_ref()[field::DST_PORT].try_into().unwrap())
+    }
+
+    /// Sequence number.
+    pub fn seq(&self) -> u32 {
+        u32::from_be_bytes(self.buffer.as_ref()[field::SEQ].try_into().unwrap())
+    }
+
+    /// Acknowledgement number.
+    pub fn ack(&self) -> u32 {
+        u32::from_be_bytes(self.buffer.as_ref()[field::ACK].try_into().unwrap())
+    }
+
+    /// Header length in bytes (data offset × 4).
+    pub fn header_len(&self) -> u8 {
+        (self.buffer.as_ref()[field::DATA_OFF] >> 4) * 4
+    }
+
+    /// Control flags.
+    pub fn flags(&self) -> Flags {
+        Flags(self.buffer.as_ref()[field::FLAGS] & 0x3f)
+    }
+
+    /// Receive window.
+    pub fn window(&self) -> u16 {
+        u16::from_be_bytes(self.buffer.as_ref()[field::WINDOW].try_into().unwrap())
+    }
+
+    /// The options bytes (between the fixed header and the payload).
+    pub fn options(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..self.header_len() as usize]
+    }
+
+    /// The payload following the header and options.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[self.header_len() as usize..]
+    }
+
+    /// Verifies the transport checksum against the pseudo-header.
+    pub fn verify_checksum(&self, src: Ipv4, dst: Ipv4) -> bool {
+        checksum::verify_pseudo(src, dst, 6, self.buffer.as_ref())
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Segment<T> {
+    /// Sets the source port.
+    pub fn set_src_port(&mut self, port: u16) {
+        self.buffer.as_mut()[field::SRC_PORT].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Sets the destination port.
+    pub fn set_dst_port(&mut self, port: u16) {
+        self.buffer.as_mut()[field::DST_PORT].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Sets the sequence number.
+    pub fn set_seq(&mut self, seq: u32) {
+        self.buffer.as_mut()[field::SEQ].copy_from_slice(&seq.to_be_bytes());
+    }
+
+    /// Sets the acknowledgement number.
+    pub fn set_ack(&mut self, ack: u32) {
+        self.buffer.as_mut()[field::ACK].copy_from_slice(&ack.to_be_bytes());
+    }
+
+    /// Sets the header length in bytes (multiple of 4, 20..=60).
+    pub fn set_header_len(&mut self, len: u8) {
+        debug_assert!(len >= 20 && len <= 60 && len % 4 == 0);
+        self.buffer.as_mut()[field::DATA_OFF] = (len / 4) << 4;
+    }
+
+    /// Sets the control flags.
+    pub fn set_flags(&mut self, flags: Flags) {
+        self.buffer.as_mut()[field::FLAGS] = flags.0;
+    }
+
+    /// Sets the receive window.
+    pub fn set_window(&mut self, window: u16) {
+        self.buffer.as_mut()[field::WINDOW].copy_from_slice(&window.to_be_bytes());
+    }
+
+    /// Zeroes the urgent pointer.
+    pub fn clear_urgent(&mut self) {
+        self.buffer.as_mut()[field::URGENT].fill(0);
+    }
+
+    /// Mutable access to the options region.
+    pub fn options_mut(&mut self) -> &mut [u8] {
+        let end = self.header_len() as usize;
+        &mut self.buffer.as_mut()[HEADER_LEN..end]
+    }
+
+    /// Computes and writes the checksum; call last.
+    pub fn fill_checksum(&mut self, src: Ipv4, dst: Ipv4) {
+        self.buffer.as_mut()[field::CHECKSUM].fill(0);
+        let sum = checksum::pseudo_header_checksum(src, dst, 6, self.buffer.as_ref());
+        self.buffer.as_mut()[field::CHECKSUM].copy_from_slice(&sum.to_be_bytes());
+    }
+}
+
+/// The single TCP option shape the generators emit: MSS (kind 2, length 4)
+/// padded with a NOP pair is not needed since MSS alone is 4 bytes.
+pub const MSS_OPTION_LEN: usize = 4;
+
+/// High-level representation of a TCP segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// Control flags.
+    pub flags: Flags,
+    /// Receive window.
+    pub window: u16,
+    /// Maximum segment size option; `Some` adds 4 bytes of options
+    /// (producing the 48-byte on-wire SYN the paper observes).
+    pub mss: Option<u16>,
+    /// Payload length in bytes.
+    pub payload_len: usize,
+}
+
+impl Repr {
+    /// A bare SYN to `dst_port` — the canonical scanning probe.
+    pub fn syn(src_port: u16, dst_port: u16, seq: u32) -> Repr {
+        Repr {
+            src_port,
+            dst_port,
+            seq,
+            ack: 0,
+            flags: Flags::SYN,
+            window: 65535,
+            mss: None,
+            payload_len: 0,
+        }
+    }
+
+    /// Buffer length required for the segment.
+    pub fn buffer_len(&self) -> usize {
+        HEADER_LEN + if self.mss.is_some() { MSS_OPTION_LEN } else { 0 } + self.payload_len
+    }
+
+    /// Parses and validates a segment into its representation.
+    pub fn parse<T: AsRef<[u8]>>(seg: &Segment<T>, src: Ipv4, dst: Ipv4) -> Result<Repr> {
+        if !seg.verify_checksum(src, dst) {
+            return Err(WireError::Checksum);
+        }
+        let mss = match seg.options() {
+            [] => None,
+            [2, 4, hi, lo, ..] => Some(u16::from_be_bytes([*hi, *lo])),
+            _ => None,
+        };
+        Ok(Repr {
+            src_port: seg.src_port(),
+            dst_port: seg.dst_port(),
+            seq: seg.seq(),
+            ack: seg.ack(),
+            flags: seg.flags(),
+            window: seg.window(),
+            mss,
+            payload_len: seg.payload().len(),
+        })
+    }
+
+    /// Emits the header (and MSS option if present) into `seg` and fills
+    /// the checksum. The buffer must be exactly [`Repr::buffer_len`] long
+    /// so the checksum covers the payload the caller wrote beforehand —
+    /// write the payload first, then call `emit`.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, seg: &mut Segment<T>, src: Ipv4, dst: Ipv4) {
+        let header_len = HEADER_LEN + if self.mss.is_some() { MSS_OPTION_LEN } else { 0 };
+        seg.set_src_port(self.src_port);
+        seg.set_dst_port(self.dst_port);
+        seg.set_seq(self.seq);
+        seg.set_ack(self.ack);
+        seg.set_header_len(header_len as u8);
+        seg.set_flags(self.flags);
+        seg.set_window(self.window);
+        seg.clear_urgent();
+        if let Some(mss) = self.mss {
+            let opts = seg.options_mut();
+            opts[0] = 2;
+            opts[1] = 4;
+            opts[2..4].copy_from_slice(&mss.to_be_bytes());
+        }
+        seg.fill_checksum(src, dst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4 = Ipv4::new(192, 0, 2, 1);
+    const DST: Ipv4 = Ipv4::new(198, 51, 100, 2);
+
+    fn emit(repr: Repr) -> Vec<u8> {
+        let mut buf = vec![0u8; repr.buffer_len()];
+        let mut seg = Segment::new_unchecked(&mut buf);
+        repr.emit(&mut seg, SRC, DST);
+        buf
+    }
+
+    #[test]
+    fn bare_syn_is_20_bytes_and_roundtrips() {
+        let repr = Repr::syn(44321, 23, 0xdeadbeef);
+        let buf = emit(repr);
+        assert_eq!(buf.len(), 20);
+        let seg = Segment::new_checked(&buf[..]).unwrap();
+        assert!(seg.verify_checksum(SRC, DST));
+        assert_eq!(Repr::parse(&seg, SRC, DST).unwrap(), repr);
+        assert!(seg.flags().contains(Flags::SYN));
+        assert!(!seg.flags().contains(Flags::ACK));
+    }
+
+    #[test]
+    fn syn_with_mss_is_24_bytes() {
+        let mut repr = Repr::syn(1024, 443, 1);
+        repr.mss = Some(1460);
+        let buf = emit(repr);
+        assert_eq!(buf.len(), 24, "SYN+MSS segment is 24 bytes (48 on wire)");
+        let seg = Segment::new_checked(&buf[..]).unwrap();
+        assert_eq!(seg.options(), &[2, 4, 0x05, 0xb4]);
+        assert_eq!(Repr::parse(&seg, SRC, DST).unwrap().mss, Some(1460));
+    }
+
+    #[test]
+    fn synack_flags() {
+        let repr = Repr {
+            flags: Flags::SYN | Flags::ACK,
+            ..Repr::syn(80, 50000, 7)
+        };
+        let buf = emit(repr);
+        let seg = Segment::new_checked(&buf[..]).unwrap();
+        assert!(seg.flags().contains(Flags::SYN | Flags::ACK));
+        assert!(!seg.flags().contains(Flags::RST));
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let buf = {
+            let mut b = emit(Repr::syn(1, 2, 3));
+            b[14] ^= 0x01; // window
+            b
+        };
+        let seg = Segment::new_checked(&buf[..]).unwrap();
+        assert!(!seg.verify_checksum(SRC, DST));
+        assert_eq!(Repr::parse(&seg, SRC, DST).unwrap_err(), WireError::Checksum);
+    }
+
+    #[test]
+    fn checked_rejects_bad_offsets() {
+        assert_eq!(
+            Segment::new_checked(&[0u8; 10][..]).unwrap_err(),
+            WireError::Truncated
+        );
+        let mut buf = emit(Repr::syn(1, 2, 3));
+        buf[12] = 0x10; // data offset 4 → 16 bytes, below minimum
+        assert_eq!(Segment::new_checked(&buf[..]).unwrap_err(), WireError::Malformed);
+        buf[12] = 0xf0; // data offset 15 → 60 bytes, beyond buffer
+        assert_eq!(Segment::new_checked(&buf[..]).unwrap_err(), WireError::Truncated);
+    }
+
+    #[test]
+    fn payload_checksummed() {
+        let repr = Repr {
+            payload_len: 5,
+            flags: Flags::PSH | Flags::ACK,
+            ..Repr::syn(5000, 80, 9)
+        };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        buf[HEADER_LEN..].copy_from_slice(b"hello");
+        let mut seg = Segment::new_unchecked(&mut buf);
+        repr.emit(&mut seg, SRC, DST);
+        let seg = Segment::new_checked(&buf[..]).unwrap();
+        assert!(seg.verify_checksum(SRC, DST));
+        assert_eq!(seg.payload(), b"hello");
+    }
+}

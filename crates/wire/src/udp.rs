@@ -1,0 +1,199 @@
+//! UDP datagram view (RFC 768).
+
+use crate::checksum;
+use crate::{Result, WireError};
+use mt_types::Ipv4;
+
+mod field {
+    pub const SRC_PORT: std::ops::Range<usize> = 0..2;
+    pub const DST_PORT: std::ops::Range<usize> = 2..4;
+    pub const LENGTH: std::ops::Range<usize> = 4..6;
+    pub const CHECKSUM: std::ops::Range<usize> = 6..8;
+}
+
+/// Length of the UDP header.
+pub const HEADER_LEN: usize = 8;
+
+/// A read/write view of a UDP datagram.
+#[derive(Debug, Clone)]
+pub struct Datagram<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Datagram<T> {
+    /// Wraps a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Datagram<T> {
+        Datagram { buffer }
+    }
+
+    /// Wraps and validates: the header must fit and the length field must
+    /// cover the header and fit the buffer.
+    pub fn new_checked(buffer: T) -> Result<Datagram<T>> {
+        let dg = Datagram::new_unchecked(buffer);
+        dg.check()?;
+        Ok(dg)
+    }
+
+    fn check(&self) -> Result<()> {
+        let data = self.buffer.as_ref();
+        if data.len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let len = self.len_field() as usize;
+        if len < HEADER_LEN {
+            return Err(WireError::Malformed);
+        }
+        if len > data.len() {
+            return Err(WireError::Truncated);
+        }
+        Ok(())
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        u16::from_be_bytes(self.buffer.as_ref()[field::SRC_PORT].try_into().unwrap())
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        u16::from_be_bytes(self.buffer.as_ref()[field::DST_PORT].try_into().unwrap())
+    }
+
+    /// The length field (header plus payload).
+    pub fn len_field(&self) -> u16 {
+        u16::from_be_bytes(self.buffer.as_ref()[field::LENGTH].try_into().unwrap())
+    }
+
+    /// The payload, bounded by the length field.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..self.len_field() as usize]
+    }
+
+    /// Verifies the checksum against the pseudo-header. A zero checksum
+    /// means "not computed" and is accepted, per RFC 768.
+    pub fn verify_checksum(&self, src: Ipv4, dst: Ipv4) -> bool {
+        let data = &self.buffer.as_ref()[..self.len_field() as usize];
+        let stored = u16::from_be_bytes(data[field::CHECKSUM].try_into().unwrap());
+        stored == 0 || checksum::verify_pseudo(src, dst, 17, data)
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Datagram<T> {
+    /// Sets the source port.
+    pub fn set_src_port(&mut self, port: u16) {
+        self.buffer.as_mut()[field::SRC_PORT].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Sets the destination port.
+    pub fn set_dst_port(&mut self, port: u16) {
+        self.buffer.as_mut()[field::DST_PORT].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Sets the length field.
+    pub fn set_len_field(&mut self, len: u16) {
+        self.buffer.as_mut()[field::LENGTH].copy_from_slice(&len.to_be_bytes());
+    }
+
+    /// Computes and writes the checksum over header + payload. If the
+    /// computed sum is zero it is transmitted as `0xffff`, per RFC 768.
+    pub fn fill_checksum(&mut self, src: Ipv4, dst: Ipv4) {
+        let len = self.len_field() as usize;
+        self.buffer.as_mut()[field::CHECKSUM].fill(0);
+        let sum = checksum::pseudo_header_checksum(src, dst, 17, &self.buffer.as_ref()[..len]);
+        let sum = if sum == 0 { 0xffff } else { sum };
+        self.buffer.as_mut()[field::CHECKSUM].copy_from_slice(&sum.to_be_bytes());
+    }
+}
+
+/// High-level representation of a UDP datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Payload length in bytes.
+    pub payload_len: usize,
+}
+
+impl Repr {
+    /// Buffer length required for the datagram.
+    pub fn buffer_len(&self) -> usize {
+        HEADER_LEN + self.payload_len
+    }
+
+    /// Parses and validates a datagram.
+    pub fn parse<T: AsRef<[u8]>>(dg: &Datagram<T>, src: Ipv4, dst: Ipv4) -> Result<Repr> {
+        if !dg.verify_checksum(src, dst) {
+            return Err(WireError::Checksum);
+        }
+        Ok(Repr {
+            src_port: dg.src_port(),
+            dst_port: dg.dst_port(),
+            payload_len: dg.payload().len(),
+        })
+    }
+
+    /// Emits the header into `dg` and fills the checksum. Write the
+    /// payload into the buffer first.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, dg: &mut Datagram<T>, src: Ipv4, dst: Ipv4) {
+        dg.set_src_port(self.src_port);
+        dg.set_dst_port(self.dst_port);
+        dg.set_len_field((HEADER_LEN + self.payload_len) as u16);
+        dg.fill_checksum(src, dst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4 = Ipv4::new(10, 0, 0, 1);
+    const DST: Ipv4 = Ipv4::new(10, 0, 0, 2);
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let repr = Repr {
+            src_port: 53,
+            dst_port: 33000,
+            payload_len: 4,
+        };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        buf[HEADER_LEN..].copy_from_slice(b" abcd"[1..].try_into().unwrap());
+        let mut dg = Datagram::new_unchecked(&mut buf);
+        repr.emit(&mut dg, SRC, DST);
+        let dg = Datagram::new_checked(&buf[..]).unwrap();
+        assert!(dg.verify_checksum(SRC, DST));
+        assert_eq!(Repr::parse(&dg, SRC, DST).unwrap(), repr);
+        assert_eq!(dg.payload(), b"abcd");
+    }
+
+    #[test]
+    fn zero_checksum_is_accepted() {
+        let mut buf = vec![0u8; 8];
+        buf[4..6].copy_from_slice(&8u16.to_be_bytes());
+        let dg = Datagram::new_checked(&buf[..]).unwrap();
+        assert!(dg.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let repr = Repr { src_port: 1, dst_port: 2, payload_len: 0 };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        let mut dg = Datagram::new_unchecked(&mut buf);
+        repr.emit(&mut dg, SRC, DST);
+        buf[0] ^= 0xff;
+        let dg = Datagram::new_checked(&buf[..]).unwrap();
+        assert!(!dg.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn checked_rejects_bad_lengths() {
+        assert_eq!(Datagram::new_checked(&[0u8; 4][..]).unwrap_err(), WireError::Truncated);
+        let mut buf = vec![0u8; 8];
+        buf[4..6].copy_from_slice(&4u16.to_be_bytes()); // below header size
+        assert_eq!(Datagram::new_checked(&buf[..]).unwrap_err(), WireError::Malformed);
+        buf[4..6].copy_from_slice(&20u16.to_be_bytes()); // beyond buffer
+        assert_eq!(Datagram::new_checked(&buf[..]).unwrap_err(), WireError::Truncated);
+    }
+}

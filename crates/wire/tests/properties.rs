@@ -1,0 +1,185 @@
+//! Property-based roundtrip tests for the wire formats.
+
+use mt_types::Ipv4;
+use mt_wire::ipfix::{self, IpfixFlow};
+use mt_wire::pcap;
+use mt_wire::{ipv4, tcp, udp, IpProtocol};
+use proptest::prelude::*;
+
+fn arb_addr() -> impl Strategy<Value = Ipv4> {
+    any::<u32>().prop_map(Ipv4)
+}
+
+fn arb_flow() -> impl Strategy<Value = IpfixFlow> {
+    (
+        arb_addr(),
+        arb_addr(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u8>(),
+        0u8..=0x3f,
+        any::<u64>(),
+        any::<u64>(),
+        any::<u32>(),
+    )
+        .prop_map(
+            |(src, dst, src_port, dst_port, protocol, tcp_flags, packets, octets, start_secs)| {
+                IpfixFlow {
+                    src,
+                    dst,
+                    src_port,
+                    dst_port,
+                    protocol,
+                    tcp_flags,
+                    packets,
+                    octets,
+                    start_secs,
+                }
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn ipv4_emit_parse_roundtrip(
+        src in arb_addr(),
+        dst in arb_addr(),
+        ttl in 1u8..=255,
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let repr = ipv4::Repr {
+            src,
+            dst,
+            protocol: IpProtocol::Udp,
+            payload_len: payload.len(),
+            ttl,
+        };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        let mut packet = ipv4::Packet::new_unchecked(&mut buf);
+        repr.emit(&mut packet);
+        packet.payload_mut().copy_from_slice(&payload);
+        // Payload writes do not disturb the header checksum.
+        let packet = ipv4::Packet::new_checked(&buf[..]).unwrap();
+        prop_assert!(packet.verify_checksum());
+        prop_assert_eq!(ipv4::Repr::parse(&packet).unwrap(), repr);
+        prop_assert_eq!(packet.payload(), &payload[..]);
+    }
+
+    #[test]
+    fn tcp_emit_parse_roundtrip(
+        src in arb_addr(),
+        dst in arb_addr(),
+        src_port in any::<u16>(),
+        dst_port in any::<u16>(),
+        seq in any::<u32>(),
+        ack in any::<u32>(),
+        window in any::<u16>(),
+        flag_bits in 0u8..=0x3f,
+        mss in proptest::option::of(500u16..=9000),
+    ) {
+        let repr = tcp::Repr {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags: tcp::Flags(flag_bits),
+            window,
+            mss,
+            payload_len: 0,
+        };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        let mut seg = tcp::Segment::new_unchecked(&mut buf);
+        repr.emit(&mut seg, src, dst);
+        let seg = tcp::Segment::new_checked(&buf[..]).unwrap();
+        prop_assert!(seg.verify_checksum(src, dst));
+        prop_assert_eq!(tcp::Repr::parse(&seg, src, dst).unwrap(), repr);
+    }
+
+    #[test]
+    fn udp_emit_parse_roundtrip(
+        src in arb_addr(),
+        dst in arb_addr(),
+        src_port in any::<u16>(),
+        dst_port in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let repr = udp::Repr { src_port, dst_port, payload_len: payload.len() };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        buf[udp::HEADER_LEN..].copy_from_slice(&payload);
+        let mut dg = udp::Datagram::new_unchecked(&mut buf);
+        repr.emit(&mut dg, src, dst);
+        let dg = udp::Datagram::new_checked(&buf[..]).unwrap();
+        prop_assert!(dg.verify_checksum(src, dst));
+        prop_assert_eq!(udp::Repr::parse(&dg, src, dst).unwrap(), repr);
+    }
+
+    #[test]
+    fn ipfix_roundtrip_any_chunking(
+        flows in proptest::collection::vec(arb_flow(), 0..50),
+        chunk in 1usize..=16,
+    ) {
+        let mut seq = 0u32;
+        let msgs = ipfix::encode_messages(&flows, 123, 9, &mut seq, chunk);
+        prop_assert_eq!(seq as usize, flows.len());
+        let mut collector = ipfix::Collector::new();
+        let mut out = Vec::new();
+        for m in &msgs {
+            collector.decode_message(m, &mut out).unwrap();
+        }
+        prop_assert_eq!(out, flows);
+    }
+
+    #[test]
+    fn ipfix_decoder_never_panics_on_noise(noise in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let mut collector = ipfix::Collector::new();
+        let _ = collector.decode_message(&noise, &mut Vec::new());
+    }
+
+    #[test]
+    fn pcap_roundtrip(
+        packets in proptest::collection::vec(
+            (any::<u32>(), 0u32..1_000_000, proptest::collection::vec(any::<u8>(), 0..80)),
+            0..20,
+        ),
+    ) {
+        let mut file = Vec::new();
+        {
+            let mut w = pcap::Writer::new(&mut file, pcap::LINKTYPE_RAW).unwrap();
+            for (sec, usec, data) in &packets {
+                w.write_packet(*sec, *usec, data).unwrap();
+            }
+            w.finish().unwrap();
+        }
+        let r = pcap::Reader::new(&file[..]).unwrap();
+        let records: Vec<pcap::Record> = r.records().collect::<Result<_, _>>().unwrap();
+        prop_assert_eq!(records.len(), packets.len());
+        for (rec, (sec, usec, data)) in records.iter().zip(&packets) {
+            prop_assert_eq!(rec.ts_sec, *sec);
+            prop_assert_eq!(rec.ts_usec, *usec);
+            prop_assert_eq!(&rec.data, data);
+        }
+    }
+
+    #[test]
+    fn pcap_reader_never_panics_on_noise(noise in proptest::collection::vec(any::<u8>(), 0..100)) {
+        if let Ok(mut r) = pcap::Reader::new(&noise[..]) {
+            while let Ok(Some(_)) = r.next_record() {}
+        }
+    }
+
+    #[test]
+    fn ipv4_checked_never_panics_on_noise(noise in proptest::collection::vec(any::<u8>(), 0..60)) {
+        if let Ok(p) = ipv4::Packet::new_checked(&noise[..]) {
+            let _ = p.payload();
+            let _ = p.verify_checksum();
+        }
+    }
+
+    #[test]
+    fn tcp_checked_never_panics_on_noise(noise in proptest::collection::vec(any::<u8>(), 0..60)) {
+        if let Ok(s) = tcp::Segment::new_checked(&noise[..]) {
+            let _ = s.payload();
+            let _ = s.options();
+        }
+    }
+}

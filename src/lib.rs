@@ -1,0 +1,26 @@
+//! # metatelescope
+//!
+//! Umbrella crate for the meta-telescope reproduction (IMC '23, *How to
+//! Operate a Meta-Telescope in your Spare Time*). Re-exports the public
+//! API of every subsystem crate so downstream users depend on one crate:
+//!
+//! - [`types`] — addresses, /24 blocks, prefixes, tries, taxonomies;
+//! - [`wire`] — packet views, pcap files, IPFIX-lite flow export;
+//! - [`flow`] — flow records, sampling, per-/24 accumulators;
+//! - [`netmodel`] — the synthetic Internet (ASes, RIBs, vantage points);
+//! - [`traffic`] — IBR and production traffic generators;
+//! - [`telescope`] — operational telescope simulator;
+//! - [`core`] — the inference pipeline and analyses (the paper's
+//!   contribution).
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour: generate an
+//! Internet, run a day of traffic through vantage points, infer
+//! meta-telescope prefixes, and inspect the IBR they attract.
+
+pub use mt_core as core;
+pub use mt_flow as flow;
+pub use mt_netmodel as netmodel;
+pub use mt_telescope as telescope;
+pub use mt_traffic as traffic;
+pub use mt_types as types;
+pub use mt_wire as wire;
