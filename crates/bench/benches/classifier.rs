@@ -5,8 +5,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use mt_bench::harness::{Profile, World};
 use mt_core::classifier;
 use mt_flow::stats::DEFAULT_SIZE_THRESHOLD;
-use mt_types::{Block24Set, Day};
 use mt_traffic::{generate_day, CaptureSet};
+use mt_types::{Block24Set, Day};
 use std::hint::black_box;
 
 fn bench_classifier(c: &mut Criterion) {
@@ -31,7 +31,11 @@ fn bench_classifier(c: &mut Criterion) {
     let mut group = c.benchmark_group("classifier");
     group.sample_size(20);
     group.bench_function("derive_labels", |b| {
-        b.iter(|| black_box(classifier::CalibrationLabels::derive(&isp.stats, &scope, 2_000)))
+        b.iter(|| {
+            black_box(classifier::CalibrationLabels::derive(
+                &isp.stats, &scope, 2_000,
+            ))
+        })
     });
     let labels = classifier::CalibrationLabels::derive(&isp.stats, &scope, 2_000);
     group.bench_function("table3_sweep", |b| {

@@ -1,0 +1,116 @@
+//! Criterion bench: serial vs. sharded traffic aggregation and
+//! pipeline evaluation at 1/2/4/8 worker threads.
+//!
+//! The serial path is the seed architecture: fold every sampled flow
+//! record into one flat [`TrafficStats`], then run the seven-step
+//! pipeline over the whole block map. The sharded path splits both
+//! halves across N workers: `par_ingest` gives each worker a disjoint
+//! set of /24 shards (no locks on the hot path), and `run_sharded`
+//! evaluates each shard as a self-contained pipeline run whose funnels
+//! and block sets fold associatively.
+//!
+//! On a single-core host the sharded numbers will track serial plus a
+//! small coordination overhead; the comparison becomes meaningful at
+//! `threads >= 4` on multi-core hardware, where the sharded path should
+//! win on both phases.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mt_bench::harness::{Profile, World};
+use mt_core::{pipeline, PipelineEngine};
+use mt_flow::stats::DEFAULT_SIZE_THRESHOLD;
+use mt_flow::{FlowRecord, ShardedTrafficStats, TrafficStats};
+use mt_traffic::{generate_day, CaptureSet};
+use mt_types::Day;
+use std::hint::black_box;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+const SHARDS_PER_WORKER: usize = 4;
+
+/// One day of sampled records, pooled across every vantage point.
+fn sampled_records(world: &World) -> Vec<FlowRecord> {
+    let mut capture = CaptureSet::new(
+        &world.net,
+        Day(0),
+        &world.spoof,
+        DEFAULT_SIZE_THRESHOLD,
+        false,
+    );
+    for vo in &mut capture.vantages {
+        vo.retain_records();
+    }
+    generate_day(&world.net, &world.traffic, Day(0), &mut capture);
+    let mut records = Vec::new();
+    for vo in capture.vantages {
+        records.extend(vo.records.unwrap_or_default());
+    }
+    records
+}
+
+fn bench_sharded(c: &mut Criterion) {
+    let world = World::new(Profile::Small, 42);
+    let records = sampled_records(&world);
+    let rib = world.net.rib(Day(0));
+    let rate = world.sampling_rate();
+    let pc = pipeline::PipelineConfig::default();
+    let engine = PipelineEngine::standard();
+
+    // Pre-built inputs for the pipeline-only comparison.
+    let flat = TrafficStats::from_records(&records);
+    let sharded_by_threads: Vec<(usize, ShardedTrafficStats)> = THREADS
+        .iter()
+        .map(|&t| {
+            let mut s = ShardedTrafficStats::new(t * SHARDS_PER_WORKER);
+            s.par_ingest(&records, t);
+            (t, s)
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("sharded");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(records.len() as u64));
+
+    // Phase 1: aggregation only.
+    group.bench_function("ingest/serial", |b| {
+        b.iter(|| black_box(TrafficStats::from_records(&records)))
+    });
+    for &t in &THREADS {
+        group.bench_function(format!("ingest/sharded/{t}thr"), |b| {
+            b.iter(|| {
+                let mut s = ShardedTrafficStats::new(t * SHARDS_PER_WORKER);
+                s.par_ingest(&records, t);
+                black_box(s)
+            })
+        });
+    }
+
+    // Phase 2: pipeline only, over pre-aggregated stats.
+    group.bench_function("pipeline/serial", |b| {
+        b.iter(|| black_box(pipeline::run(&flat, &rib, rate, 1, &pc)))
+    });
+    for (t, stats) in &sharded_by_threads {
+        group.bench_function(format!("pipeline/sharded/{t}thr"), |b| {
+            b.iter(|| black_box(engine.run_sharded(stats, &rib, rate, 1, &pc, *t)))
+        });
+    }
+
+    // End-to-end: records in, classification out.
+    group.bench_function("end_to_end/serial", |b| {
+        b.iter(|| {
+            let stats = TrafficStats::from_records(&records);
+            black_box(pipeline::run(&stats, &rib, rate, 1, &pc))
+        })
+    });
+    for &t in &THREADS {
+        group.bench_function(format!("end_to_end/sharded/{t}thr"), |b| {
+            b.iter(|| {
+                let mut s = ShardedTrafficStats::new(t * SHARDS_PER_WORKER);
+                s.par_ingest(&records, t);
+                black_box(engine.run_sharded(&s, &rib, rate, 1, &pc, t))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded);
+criterion_main!(benches);

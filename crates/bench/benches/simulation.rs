@@ -44,7 +44,13 @@ fn bench_simulation(c: &mut Criterion) {
                 true,
             );
             generate_day(&world.net, &world.traffic, Day(0), &mut capture);
-            black_box(capture.vantages.iter().map(|v| v.sampled_flows).sum::<u64>())
+            black_box(
+                capture
+                    .vantages
+                    .iter()
+                    .map(|v| v.sampled_flows)
+                    .sum::<u64>(),
+            )
         })
     });
     group.finish();

@@ -98,7 +98,9 @@ fn bench_sampling(c: &mut Criterion) {
 }
 
 fn bench_set_build(c: &mut Criterion) {
-    let blocks: Vec<Block24> = (0..100_000u32).map(|i| Block24(i * 37 % (1 << 24))).collect();
+    let blocks: Vec<Block24> = (0..100_000u32)
+        .map(|i| Block24(i * 37 % (1 << 24)))
+        .collect();
     let mut group = c.benchmark_group("block24set_build");
     group.throughput(Throughput::Elements(blocks.len() as u64));
     group.sample_size(20);

@@ -29,7 +29,13 @@ fn main() {
 
     let day = Day(0);
     let t0 = std::time::Instant::now();
-    let mut capture = CaptureSet::new(&net, day, &spoof, mt_flow::stats::DEFAULT_SIZE_THRESHOLD, true);
+    let mut capture = CaptureSet::new(
+        &net,
+        day,
+        &spoof,
+        mt_flow::stats::DEFAULT_SIZE_THRESHOLD,
+        true,
+    );
     generate_day(&net, &cfg, day, &mut capture);
     println!("day simulated in {:?}", t0.elapsed());
 
@@ -76,7 +82,7 @@ fn main() {
     // Pipeline per VP + all.
     let rib = net.rib(day);
     let pc = pipeline::PipelineConfig::default();
-    let mut all_stats: Option<mt_flow::TrafficStats> = None;
+    let mut all_stats: Option<mt_flow::ShardedTrafficStats> = None;
     for vo in &capture.vantages {
         let r = pipeline::run(&vo.stats, &rib, vo.vp.sampling_rate, 1, &pc);
         let gt = eval::GroundTruthReport::evaluate(&r.dark, &net, day, 1);

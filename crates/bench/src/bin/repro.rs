@@ -109,7 +109,10 @@ fn main() {
         "announced_blocks".into(),
         (world.net.announced_blocks() as u64).into(),
     );
-    summaries.insert("dark_truth".into(), (world.net.dark_truth.len() as u64).into());
+    summaries.insert(
+        "dark_truth".into(),
+        (world.net.dark_truth.len() as u64).into(),
+    );
 
     for id in &ids {
         let report = if id == "baseline" {
@@ -130,8 +133,7 @@ fn main() {
         println!("================================================================");
         println!("{}", report.body);
         let txt = out.join(format!("{}.txt", report.id));
-        std::fs::write(&txt, format!("{}\n\n{}", report.title, report.body))
-            .expect("write report");
+        std::fs::write(&txt, format!("{}\n\n{}", report.title, report.body)).expect("write report");
         for (name, bytes) in &report.files {
             std::fs::write(out.join(name), bytes).expect("write side file");
         }

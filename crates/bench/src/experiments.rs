@@ -55,8 +55,14 @@ fn day0_result<'a>(data: &'a SimData, code: &str) -> &'a pipeline::PipelineResul
 fn table1(world: &World, data: &SimData) -> Report {
     let mut r = Report::new("table1", "Table 1: IXPs — basic statistics");
     r.line(row(
-        &["IXP".into(), "Region".into(), "Members".into(), "Rate 1:N".into(),
-          "dstVisASes".into(), "Sampled flows (day 0)".into()],
+        &[
+            "IXP".into(),
+            "Region".into(),
+            "Members".into(),
+            "Rate 1:N".into(),
+            "dstVisASes".into(),
+            "Sampled flows (day 0)".into(),
+        ],
         12,
     ));
     for vp in &world.net.vantage_points {
@@ -66,8 +72,14 @@ fn table1(world: &World, data: &SimData) -> Report {
             .map(|f| f.to_string())
             .unwrap_or_else(|| "-".into());
         r.line(row(
-            &[vp.code.clone(), vp.region.abbrev().into(), vp.members.to_string(),
-              vp.sampling_rate.to_string(), vp.visible_dst_count().to_string(), flows],
+            &[
+                vp.code.clone(),
+                vp.region.abbrev().into(),
+                vp.members.to_string(),
+                vp.sampling_rate.to_string(),
+                vp.visible_dst_count().to_string(),
+                flows,
+            ],
             12,
         ));
     }
@@ -76,19 +88,30 @@ fn table1(world: &World, data: &SimData) -> Report {
 
 /// Table 2 — operational telescope statistics over the window.
 fn table2(world: &World, data: &SimData) -> Report {
-    let mut r = Report::new("table2", "Table 2: Operational telescopes — basic statistics");
+    let mut r = Report::new(
+        "table2",
+        "Table 2: Operational telescopes — basic statistics",
+    );
     r.line(row(
-        &["Code".into(), "Size /24s".into(), "Daily /24 pkts".into(),
-          "TCP share".into(), "Avg TCP size".into()],
+        &[
+            "Code".into(),
+            "Size /24s".into(),
+            "Daily /24 pkts".into(),
+            "TCP share".into(),
+            "Avg TCP size".into(),
+        ],
         14,
     ));
     for (i, t) in world.net.telescopes.iter().enumerate() {
         let week = TelescopeWeekStats::new(&t.code, t.num_blocks, data.telescope_days[i].clone());
         r.line(row(
-            &[t.code.clone(), t.num_blocks.to_string(),
-              format!("{:.0}", week.daily_pkts_per_block()),
-              pct(week.tcp_share()),
-              format!("{:.2} B", week.avg_tcp_size().unwrap_or(0.0))],
+            &[
+                t.code.clone(),
+                t.num_blocks.to_string(),
+                format!("{:.0}", week.daily_pkts_per_block()),
+                pct(week.tcp_share()),
+                format!("{:.2} B", week.avg_tcp_size().unwrap_or(0.0)),
+            ],
             14,
         ));
     }
@@ -121,20 +144,33 @@ fn table3(world: &World, data: &SimData) -> Report {
     ));
     r.blank();
     r.line(row(
-        &["Feature".into(), "Thresh".into(), "FPR".into(), "FNR".into(),
-          "TPR".into(), "TNR".into(), "F1".into()],
+        &[
+            "Feature".into(),
+            "Thresh".into(),
+            "FPR".into(),
+            "FNR".into(),
+            "TPR".into(),
+            "TNR".into(),
+            "F1".into(),
+        ],
         10,
     ));
     let rows = classifier::sweep(stats, &labels, &[40, 42, 44, 46]);
     for sr in &rows {
         let m = sr.matrix;
         r.line(row(
-            &[match sr.feature {
-                classifier::ClassifierFeature::Median => "median".into(),
-                classifier::ClassifierFeature::Average => "average".into(),
-            },
-            format!("{} B", sr.threshold),
-            pct(m.fpr()), pct(m.fnr()), pct(m.tpr()), pct(m.tnr()), pct(m.f1())],
+            &[
+                match sr.feature {
+                    classifier::ClassifierFeature::Median => "median".into(),
+                    classifier::ClassifierFeature::Average => "average".into(),
+                },
+                format!("{} B", sr.threshold),
+                pct(m.fpr()),
+                pct(m.fnr()),
+                pct(m.tpr()),
+                pct(m.tnr()),
+                pct(m.f1()),
+            ],
             10,
         ));
     }
@@ -149,22 +185,29 @@ fn table3(world: &World, data: &SimData) -> Report {
 
 /// Figure 2 — the inference funnel.
 fn fig2(_world: &World, data: &SimData) -> Report {
-    let mut r = Report::new("fig2", "Figure 2: Inference pipeline funnel (all IXPs, day 0)");
+    let mut r = Report::new(
+        "fig2",
+        "Figure 2: Inference pipeline funnel (all IXPs, day 0)",
+    );
     let all = day0_result(data, "All");
-    let f = all.funnel;
+    let f = &all.funnel;
     for (label, v) in [
-        ("destination /24s seen", f.seen),
-        ("after 1. TCP traffic", f.after_tcp),
-        ("after 2. average <= 44 bytes", f.after_avg),
-        ("after 3. clean source remains", f.after_origin),
-        ("after 4. not private/reserved", f.after_special),
-        ("after 5. globally routed", f.after_routed),
-        ("after 6. volume cap", f.after_volume),
+        ("destination /24s seen", f.seen()),
+        ("after 1. TCP traffic", f.after_tcp()),
+        ("after 2. average <= 44 bytes", f.after_avg()),
+        ("after 3. clean source remains", f.after_origin()),
+        ("after 4. not private/reserved", f.after_special()),
+        ("after 5. globally routed", f.after_routed()),
+        ("after 6. volume cap", f.after_volume()),
     ] {
         r.line(format!("{:>32}: {v}", label));
     }
     r.blank();
-    r.line(format!("{:>32}: {}", "darknets (meta-telescope)", all.dark.len()));
+    r.line(format!(
+        "{:>32}: {}",
+        "darknets (meta-telescope)",
+        all.dark.len()
+    ));
     r.line(format!("{:>32}: {}", "unclean darknets", all.unclean.len()));
     r.line(format!("{:>32}: {}", "graynets", all.gray.len()));
     r
@@ -178,8 +221,14 @@ fn table4(world: &World, data: &SimData) -> Report {
     );
     let final_days = data.cumulative.last().map(|p| p.days).unwrap_or(1);
     r.line(row(
-        &["Code".into(), "Size".into(), "1d CE1".into(), "1d All".into(),
-          format!("{final_days}d CE1"), format!("{final_days}d All")],
+        &[
+            "Code".into(),
+            "Size".into(),
+            "1d CE1".into(),
+            "1d All".into(),
+            format!("{final_days}d CE1"),
+            format!("{final_days}d All"),
+        ],
         10,
     ));
     for t in &world.net.telescopes {
@@ -291,8 +340,13 @@ fn table6(world: &World, data: &SimData) -> Report {
         "Table 6: Meta-telescope prefixes per vantage point (day 0, aux-scrubbed)",
     );
     r.line(row(
-        &["IXP".into(), "#prefixes".into(), "#ASes".into(), "#Countries".into(),
-          "FP vs truth".into()],
+        &[
+            "IXP".into(),
+            "#prefixes".into(),
+            "#ASes".into(),
+            "#Countries".into(),
+            "FP vs truth".into(),
+        ],
         12,
     ));
     for (code, result) in &data.day0_results {
@@ -300,8 +354,13 @@ fn table6(world: &World, data: &SimData) -> Report {
         let s = analysis::summarize(code, &scrubbed, &world.net);
         let gt = eval::GroundTruthReport::evaluate(&scrubbed, &world.net, Day(0), 1);
         r.line(row(
-            &[code.clone(), s.blocks.to_string(), s.ases.to_string(),
-              s.countries.to_string(), pct(1.0 - gt.precision())],
+            &[
+                code.clone(),
+                s.blocks.to_string(),
+                s.ases.to_string(),
+                s.countries.to_string(),
+                pct(1.0 - gt.precision()),
+            ],
             12,
         ));
     }
@@ -344,14 +403,18 @@ fn fig5(_world: &World, data: &SimData) -> Report {
     // Pick the /8-aligned space with the most inferred dark blocks.
     let mut best: Option<(Prefix, usize)> = None;
     for octet in 1..=223u8 {
-        let Ok(prefix) = Prefix::new(mt_types::Ipv4::new(octet, 0, 0, 0), 8) else { continue };
+        let Ok(prefix) = Prefix::new(mt_types::Ipv4::new(octet, 0, 0, 0), 8) else {
+            continue;
+        };
         let n = all.count_in_prefix(prefix);
         if best.is_none_or(|(_, b)| n > b) {
             best = Some((prefix, n));
         }
     }
     let (covering, blocks) = best.expect("some /8 has inferred blocks");
-    r.line(format!("selected {covering} with {blocks} inferred /24s (All)"));
+    r.line(format!(
+        "selected {covering} with {blocks} inferred /24s (All)"
+    ));
     let map = HilbertMap::new(covering);
     for code in ["CE1", "NA1", "All"] {
         let dark = &day0_result(data, code).dark;
@@ -406,7 +469,11 @@ fn table7(world: &World, data: &SimData) -> Report {
     header.extend(NetworkType::ALL.iter().map(|t| t.label().to_owned()));
     r.line(row(&header, 12));
     let mut all_cells = vec!["All".to_owned(), m.total().to_string()];
-    all_cells.extend(NetworkType::ALL.iter().map(|&t| m.type_total(t).to_string()));
+    all_cells.extend(
+        NetworkType::ALL
+            .iter()
+            .map(|&t| m.type_total(t).to_string()),
+    );
     r.line(row(&all_cells, 12));
     for &c in &Continent::ALL {
         let mut cells = vec![c.abbrev().to_owned(), m.continent_total(c).to_string()];
@@ -425,8 +492,15 @@ fn fig7(world: &World, data: &SimData) -> Report {
     let all = &day0_result(data, "All").dark;
     r.line("per announced prefix length: share of announcements whose dark share exceeds x");
     r.line(row(
-        &["len".into(), "count".into(), ">5%".into(), ">10%".into(),
-          ">20%".into(), ">40%".into(), "median".into()],
+        &[
+            "len".into(),
+            "count".into(),
+            ">5%".into(),
+            ">10%".into(),
+            ">20%".into(),
+            ">40%".into(),
+            "median".into(),
+        ],
         9,
     ));
     for len in 8..=16u8 {
@@ -437,8 +511,15 @@ fn fig7(world: &World, data: &SimData) -> Report {
         let exceed = |x: f64| pct(1.0 - analysis::ecdf(&shares, x));
         let median = shares[shares.len() / 2];
         r.line(row(
-            &[format!("/{len}"), shares.len().to_string(), exceed(0.05), exceed(0.10),
-              exceed(0.20), exceed(0.40), pct(median)],
+            &[
+                format!("/{len}"),
+                shares.len().to_string(),
+                exceed(0.05),
+                exceed(0.10),
+                exceed(0.20),
+                exceed(0.40),
+                pct(median),
+            ],
             9,
         ));
     }
@@ -447,7 +528,11 @@ fn fig7(world: &World, data: &SimData) -> Report {
     let by_type = analysis::share_by_group(all, &world.net, |a| a.network_type);
     for ty in NetworkType::ALL {
         if let Some(shares) = by_type.get(&ty) {
-            r.line(format!("  {:<12} {}", ty.label(), pct(shares[shares.len() / 2])));
+            r.line(format!(
+                "  {:<12} {}",
+                ty.label(),
+                pct(shares[shares.len() / 2])
+            ));
         }
     }
     r.blank();
@@ -455,7 +540,11 @@ fn fig7(world: &World, data: &SimData) -> Report {
     let by_cont = analysis::share_by_group(all, &world.net, |a| a.continent);
     for c in Continent::ALL {
         if let Some(shares) = by_cont.get(&c) {
-            r.line(format!("  {:<12} {}", c.abbrev(), pct(shares[shares.len() / 2])));
+            r.line(format!(
+                "  {:<12} {}",
+                c.abbrev(),
+                pct(shares[shares.len() / 2])
+            ));
         }
     }
     r
@@ -463,7 +552,10 @@ fn fig7(world: &World, data: &SimData) -> Report {
 
 /// Figure 8 — daily variability of inferred prefixes.
 fn fig8(_world: &World, data: &SimData) -> Report {
-    let mut r = Report::new("fig8", "Figure 8: Daily meta-telescope prefixes (CE1 / NA1 / All)");
+    let mut r = Report::new(
+        "fig8",
+        "Figure 8: Daily meta-telescope prefixes (CE1 / NA1 / All)",
+    );
     let mut header = vec!["day".to_owned(), "weekday".to_owned()];
     header.extend(SERIES.iter().map(|s| s.to_string()));
     r.line(row(&header, 10));
@@ -473,7 +565,13 @@ fn fig8(_world: &World, data: &SimData) -> Report {
             format!("{:?}", point.day.weekday()),
         ];
         for label in SERIES {
-            cells.push(point.dark.get(label).map(|v| v.to_string()).unwrap_or_default());
+            cells.push(
+                point
+                    .dark
+                    .get(label)
+                    .map(|v| v.to_string())
+                    .unwrap_or_default(),
+            );
         }
         r.line(row(&cells, 10));
     }
@@ -518,8 +616,13 @@ fn fig10(world: &World, data: &SimData) -> Report {
     let pc = pipeline::PipelineConfig::default();
     let rate = world.sampling_rate();
     r.line(row(
-        &["factor".into(), "flows".into(), "packets".into(), "#dark".into(),
-          "FP share".into()],
+        &[
+            "factor".into(),
+            "flows".into(),
+            "packets".into(),
+            "#dark".into(),
+            "FP share".into(),
+        ],
         12,
     ));
     for factor in [1u32, 2, 4, 8, 16, 32, 64, 128, 180, 256] {
@@ -529,9 +632,17 @@ fn fig10(world: &World, data: &SimData) -> Report {
         let gt = eval::GroundTruthReport::evaluate(&result.dark, &world.net, Day(0), 1);
         let packets: u64 = thinned.iter().map(|f| f.packets).sum();
         r.line(row(
-            &[factor.to_string(), thinned.len().to_string(), packets.to_string(),
-              result.dark.len().to_string(),
-              if result.dark.is_empty() { "-".into() } else { pct(1.0 - gt.precision()) }],
+            &[
+                factor.to_string(),
+                thinned.len().to_string(),
+                packets.to_string(),
+                result.dark.len().to_string(),
+                if result.dark.is_empty() {
+                    "-".into()
+                } else {
+                    pct(1.0 - gt.precision())
+                },
+            ],
             12,
         ));
     }
@@ -557,7 +668,11 @@ fn fig11(_world: &World, data: &SimData) -> Report {
         let mut cells = vec![port.to_string()];
         for c in Continent::ALL {
             let share = m.region_share(port, c);
-            cells.push(if share > 0.0005 { pct(share) } else { "-".into() });
+            cells.push(if share > 0.0005 {
+                pct(share)
+            } else {
+                "-".into()
+            });
         }
         r.line(row(&cells, 8));
     }
@@ -568,7 +683,11 @@ fn fig11(_world: &World, data: &SimData) -> Report {
         let mut cells = vec![port.to_string()];
         for c in Continent::ALL {
             let share = m.global_share(port, c);
-            cells.push(if share > 0.0005 { pct(share) } else { "-".into() });
+            cells.push(if share > 0.0005 {
+                pct(share)
+            } else {
+                "-".into()
+            });
         }
         r.line(row(&cells, 8));
     }
@@ -598,7 +717,11 @@ fn fig12(_world: &World, data: &SimData) -> Report {
         r.line(format!(
             "network types within {} (Figure {}):",
             region.abbrev(),
-            if region == Continent::NorthAmerica { 20 } else { 19 }
+            if region == Continent::NorthAmerica {
+                20
+            } else {
+                19
+            }
         ));
         r.line(row(&header, 12));
         for &port in ports.iter().take(12) {
@@ -640,8 +763,7 @@ pub fn monitor_report(world: &World, data: &SimData) -> Report {
     for (len, n) in &by_len {
         r.line(format!("  /{len}: {n}"));
     }
-    let monitored_share =
-        scrubbed.len() as f64 / world.net.announced_blocks().max(1) as f64;
+    let monitored_share = scrubbed.len() as f64 / world.net.announced_blocks().max(1) as f64;
     r.line(format!(
         "monitoring {:.1}% of the announced space suffices (paper: ~5%)",
         monitored_share * 100.0
@@ -652,7 +774,8 @@ pub fn monitor_report(world: &World, data: &SimData) -> Report {
         list.push_str(&p.to_string());
         list.push('\n');
     }
-    r.files.push(("monitor_list.cidr".to_owned(), list.into_bytes()));
+    r.files
+        .push(("monitor_list.cidr".to_owned(), list.into_bytes()));
     r
 }
 
@@ -724,7 +847,14 @@ mod tests {
     #[test]
     fn unknown_experiment_is_none() {
         let world = World::new(Profile::Small, 3);
-        let data = simulate(&world, Needs { days: 1, vp_day0: true, ..Needs::default() });
+        let data = simulate(
+            &world,
+            Needs {
+                days: 1,
+                vp_day0: true,
+                ..Needs::default()
+            },
+        );
         assert!(run("table99", &world, &data).is_none());
     }
 }

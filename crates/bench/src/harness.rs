@@ -3,9 +3,9 @@
 //! the paper's tables and figures need, and auxiliary emission sinks.
 
 use mt_core::analysis::PortMatrix;
-use mt_core::{combine, pipeline, SpoofTolerance};
+use mt_core::{combine, pipeline, PipelineEngine, SpoofTolerance};
 use mt_flow::stats::DEFAULT_SIZE_THRESHOLD;
-use mt_flow::{FlowRecord, TrafficStats};
+use mt_flow::{FlowRecord, ShardedTrafficStats, TrafficStats};
 use mt_netmodel::{AuxDatasets, Internet, InternetConfig};
 use mt_telescope::TelescopeDayStats;
 use mt_traffic::{
@@ -151,8 +151,9 @@ pub struct SimData {
     /// Per-VP day-0 pipeline results, in vantage-point order, plus the
     /// merged `All` entry at the end.
     pub day0_results: Vec<(String, pipeline::PipelineResult)>,
-    /// Day-0 merged (All) stats, kept for the tolerance/ablation runs.
-    pub day0_all_stats: Option<TrafficStats>,
+    /// Day-0 merged (All) stats (sharded), kept for the
+    /// tolerance/ablation runs.
+    pub day0_all_stats: Option<ShardedTrafficStats>,
     /// Day-0 sampled-flow counts per vantage point.
     pub day0_flows: HashMap<String, u64>,
     /// Per-day inference counts (Figure 8).
@@ -181,6 +182,8 @@ pub fn simulate(world: &World, needs: Needs) -> SimData {
     let net = &world.net;
     let rate = world.sampling_rate();
     let pc = pipeline::PipelineConfig::default();
+    let engine = PipelineEngine::standard();
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     let mut data = SimData {
         day0_results: Vec::new(),
@@ -195,7 +198,7 @@ pub fn simulate(world: &World, needs: Needs) -> SimData {
         records_day0: None,
         port_matrix: None,
     };
-    let mut cumulative: HashMap<String, TrafficStats> = HashMap::new();
+    let mut cumulative: HashMap<String, ShardedTrafficStats> = HashMap::new();
 
     for d in 0..needs.days {
         let day = Day(d);
@@ -226,7 +229,7 @@ pub fn simulate(world: &World, needs: Needs) -> SimData {
 
         // Per-VP handling: pipeline on day 0, then fold into All.
         let rib_day = net.rib(day);
-        let mut all_day: Option<TrafficStats> = None;
+        let mut all_day: Option<ShardedTrafficStats> = None;
         let mut daily_point = DailyPoint {
             day,
             dark: HashMap::new(),
@@ -252,7 +255,7 @@ pub fn simulate(world: &World, needs: Needs) -> SimData {
                         .or_insert_with(|| vo.stats.clone());
                 }
             }
-            let stats = vo.into_stats();
+            let stats = vo.into_sharded();
             match &mut all_day {
                 None => all_day = Some(stats),
                 Some(m) => m.merge(&stats),
@@ -262,8 +265,10 @@ pub fn simulate(world: &World, needs: Needs) -> SimData {
             data.records_day0 = Some(records);
         }
         let all_day = all_day.expect("scenario has vantage points");
-        let all_result = pipeline::run(&all_day, &rib_day, rate, 1, &pc);
-        daily_point.dark.insert("All".to_owned(), all_result.dark.len());
+        let all_result = engine.run_sharded(&all_day, &rib_day, rate, 1, &pc, threads);
+        daily_point
+            .dark
+            .insert("All".to_owned(), all_result.dark.len());
         if d == 0 && needs.vp_day0 {
             data.day0_results.push(("All".to_owned(), all_result));
         }
@@ -290,9 +295,9 @@ pub fn simulate(world: &World, needs: Needs) -> SimData {
             };
             for label in SERIES {
                 let stats = &cumulative[label];
-                let strict = pipeline::run(stats, &rib, rate, window_days, &pc);
+                let strict = engine.run_sharded(stats, &rib, rate, window_days, &pc, threads);
                 let tol = SpoofTolerance::estimate(stats, net.unrouted_octets(), 0.9999);
-                let tolerant = pipeline::run(
+                let tolerant = engine.run_sharded(
                     stats,
                     &rib,
                     rate,
@@ -301,11 +306,10 @@ pub fn simulate(world: &World, needs: Needs) -> SimData {
                         spoof_tolerance_packets: tol.packets.max(1),
                         ..pc.clone()
                     },
+                    threads,
                 );
                 point.strict.insert(label.to_owned(), strict.dark.len());
-                point
-                    .tolerant
-                    .insert(label.to_owned(), tolerant.dark.len());
+                point.tolerant.insert(label.to_owned(), tolerant.dark.len());
                 point.tolerance.insert(label.to_owned(), tol.packets.max(1));
                 // Keep the dark sets Table 4 / Figures 3, 5, 6 consume.
                 if window_days == 1 || window_days == needs.days {
@@ -366,8 +370,12 @@ impl EmissionSink for DarkPortSink<'_> {
             return;
         }
         if let Some(a) = self.net.as_of_block(block) {
-            self.matrix
-                .add(e.intent.dst_port, a.continent, a.network_type, e.intent.packets);
+            self.matrix.add(
+                e.intent.dst_port,
+                a.continent,
+                a.network_type,
+                e.intent.packets,
+            );
         }
     }
 
@@ -412,9 +420,7 @@ mod tests {
             }
         }
         // Window dark sets stored for 1 day and the final window.
-        assert!(data
-            .window_darks
-            .contains_key(&("All".to_owned(), 1, true)));
+        assert!(data.window_darks.contains_key(&("All".to_owned(), 1, true)));
         assert!(data
             .window_darks
             .contains_key(&("All".to_owned(), 2, false)));

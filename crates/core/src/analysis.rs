@@ -71,8 +71,14 @@ impl TypeContinentMatrix {
         let mut counts = vec![vec![0u64; NetworkType::ALL.len()]; Continent::ALL.len()];
         for block in dark.iter() {
             if let Some(a) = net.as_of_block(block) {
-                let ci = Continent::ALL.iter().position(|&c| c == a.continent).unwrap();
-                let ti = NetworkType::ALL.iter().position(|&t| t == a.network_type).unwrap();
+                let ci = Continent::ALL
+                    .iter()
+                    .position(|&c| c == a.continent)
+                    .unwrap();
+                let ti = NetworkType::ALL
+                    .iter()
+                    .position(|&t| t == a.network_type)
+                    .unwrap();
                 counts[ci][ti] += 1;
             }
         }

@@ -16,13 +16,13 @@
 //!   its false positives grow with the sampling rate.
 
 use crate::pipeline::PipelineConfig;
-use mt_flow::{FlowRecord, TrafficStats};
+use mt_flow::{FlowRecord, TrafficView};
 use mt_types::{Asn, Block24, Block24Set, PrefixTrie, SpecialRegistry};
 use std::collections::HashSet;
 
 /// Runs the origin-only baseline: routed, non-special blocks that
 /// received any traffic and originated none.
-pub fn origin_only(stats: &TrafficStats, rib: &PrefixTrie<Asn>) -> Block24Set {
+pub fn origin_only<V: TrafficView>(stats: &V, rib: &PrefixTrie<Asn>) -> Block24Set {
     let special = SpecialRegistry::new();
     let mut dark = Block24Set::new();
     for (block, d) in stats.iter_dst() {
@@ -88,9 +88,9 @@ pub struct BaselineComparison {
 }
 
 impl BaselineComparison {
-    /// Runs both approaches on the same inputs.
-    pub fn run(
-        stats: &TrafficStats,
+    /// Runs both approaches on the same inputs (flat or sharded).
+    pub fn run<V: TrafficView>(
+        stats: &V,
         rib: &PrefixTrie<Asn>,
         sampling_rate: u32,
         days: u32,
@@ -112,8 +112,8 @@ impl BaselineComparison {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mt_flow::FlowRecord;
-    use mt_types::{Ipv4, Prefix, SimTime};
+    use mt_flow::{FlowRecord, TrafficStats};
+    use mt_types::{Prefix, SimTime};
 
     fn flow(src: &str, dst: &str, packets: u64, size: u64) -> FlowRecord {
         FlowRecord {
@@ -171,9 +171,7 @@ mod tests {
         ];
         let dark = one_way_blocks(&records, &rib());
         assert_eq!(dark.len(), 1);
-        assert!(dark.contains(mt_types::Block24::containing(
-            "20.1.1.1".parse().unwrap()
-        )));
+        assert!(dark.contains(mt_types::Block24::containing("20.1.1.1".parse().unwrap())));
     }
 
     #[test]
@@ -198,13 +196,7 @@ mod tests {
         let dark = one_way_blocks(&records, &rib());
         assert_eq!(dark.len(), 1, "one-way is fooled");
         let stats = TrafficStats::from_records(&records);
-        let full = crate::pipeline::run(
-            &stats,
-            &rib(),
-            1,
-            1,
-            &PipelineConfig::default(),
-        );
+        let full = crate::pipeline::run(&stats, &rib(), 1, 1, &PipelineConfig::default());
         assert!(full.dark.is_empty(), "the fingerprint rejects it");
     }
 
@@ -212,7 +204,7 @@ mod tests {
     fn baseline_still_filters_origination_and_routing() {
         let records = [
             flow("9.9.9.9", "20.1.1.1", 10, 40),
-            flow("20.1.1.5", "9.9.9.9", 1, 40), // originates
+            flow("20.1.1.5", "9.9.9.9", 1, 40),  // originates
             flow("9.9.9.9", "21.1.1.1", 10, 40), // unrouted
             flow("9.9.9.9", "10.0.0.1", 10, 40), // private
         ];

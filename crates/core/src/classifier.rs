@@ -265,8 +265,12 @@ mod tests {
         assert_eq!(labels.receiving, 3);
         assert_eq!(labels.dark.len(), 1);
         assert_eq!(labels.active.len(), 1);
-        assert!(labels.dark.contains(Block24::containing(Ipv4::new(20, 0, 0, 0))));
-        assert!(labels.active.contains(Block24::containing(Ipv4::new(20, 0, 1, 0))));
+        assert!(labels
+            .dark
+            .contains(Block24::containing(Ipv4::new(20, 0, 0, 0))));
+        assert!(labels
+            .active
+            .contains(Block24::containing(Ipv4::new(20, 0, 1, 0))));
     }
 
     #[test]
@@ -281,7 +285,15 @@ mod tests {
         let stats = TrafficStats::from_records(&records);
         let labels = CalibrationLabels::derive(&stats, &scope(), 1_000);
         let m44 = evaluate(&stats, &labels, ClassifierFeature::Average, 44);
-        assert_eq!(m44, ConfusionMatrix { tp: 1, fp: 0, tn: 1, fn_: 0 });
+        assert_eq!(
+            m44,
+            ConfusionMatrix {
+                tp: 1,
+                fp: 0,
+                tn: 1,
+                fn_: 0
+            }
+        );
         // At 40 bytes the dark block's 42-byte average fails: FN.
         let m40 = evaluate(&stats, &labels, ClassifierFeature::Average, 40);
         assert_eq!(m40.fn_, 1);
@@ -293,8 +305,8 @@ mod tests {
         // The active block's inbound is dominated by 40-byte ACKs with a
         // tail of data packets: median 40 (looks dark), average large.
         let records = [
-            flow("9.9.9.9", "20.0.0.1", 100, 42), // truly dark
-            flow("9.9.9.9", "20.0.1.1", 900, 40), // ACK stream
+            flow("9.9.9.9", "20.0.0.1", 100, 42),    // truly dark
+            flow("9.9.9.9", "20.0.1.1", 900, 40),    // ACK stream
             flow("8.8.8.8", "20.0.1.1", 300, 1_400), // data
             flow("20.0.1.1", "9.9.9.9", 5_000, 600),
         ];

@@ -7,14 +7,25 @@
 //! covers the window.
 
 use crate::pipeline::{self, PipelineConfig, PipelineResult};
-use mt_flow::TrafficStats;
+use mt_flow::{ShardedTrafficStats, TrafficStats};
 use mt_netmodel::Internet;
 use mt_types::{Asn, Day, PrefixTrie};
 use parking_lot::Mutex;
 
 /// Merges any number of stats into one (vantage-point union and/or
-/// day concatenation). Panics if the inputs disagree on the per-host
-/// size threshold.
+/// day concatenation).
+///
+/// An **empty** iterator yields `TrafficStats::default()` — zero
+/// counters with the default per-host size threshold
+/// ([`mt_flow::stats::DEFAULT_SIZE_THRESHOLD`]). Callers that need a
+/// non-default threshold on the empty window must construct it
+/// themselves via [`TrafficStats::with_size_threshold`]; the threshold
+/// cannot be inferred from zero parts.
+///
+/// # Panics
+///
+/// Panics if the inputs disagree on the per-host size threshold — the
+/// "big packet" host sets of the parts would not be comparable.
 pub fn merge_stats<I>(parts: I) -> TrafficStats
 where
     I: IntoIterator<Item = TrafficStats>,
@@ -41,44 +52,40 @@ pub fn rib_union(net: &Internet, first: Day, days: u32) -> PrefixTrie<Asn> {
     union
 }
 
-/// Merges stats with a parallel tree reduction (crossbeam scoped
-/// threads). Equivalent to [`merge_stats`]; worthwhile when merging many
-/// large per-vantage-point accumulators on a multi-core box.
-pub fn merge_stats_parallel(mut parts: Vec<TrafficStats>, threads: usize) -> TrafficStats {
+/// Merges per-part stats into a sharded accumulator with a shard-wise
+/// parallel reduction: each worker owns a contiguous range of shards
+/// and, per shard, folds in just the matching blocks of every part.
+///
+/// Equivalent in content to [`merge_stats`] (modulo the sharded
+/// representation); worthwhile when merging many large
+/// per-vantage-point accumulators on a multi-core box, and the natural
+/// input for [`crate::engine::PipelineEngine::run_sharded`].
+pub fn merge_stats_sharded(
+    parts: &[TrafficStats],
+    num_shards: usize,
+    threads: usize,
+) -> ShardedTrafficStats {
+    assert!(threads >= 1);
+    ShardedTrafficStats::from_parts_parallel(parts, num_shards, threads)
+}
+
+/// Merges stats in parallel, returning the flat representation.
+/// Equivalent to [`merge_stats`] (same empty-input and
+/// threshold-mismatch behaviour).
+///
+/// Since the sharded-stats refactor this is a shard-wise reduction
+/// ([`merge_stats_sharded`] + [`ShardedTrafficStats::into_unsharded`])
+/// instead of a tree reduction over pairwise merges: workers own
+/// disjoint shard ranges, so no block is merged more than once and no
+/// intermediate accumulators are cloned.
+pub fn merge_stats_parallel(parts: Vec<TrafficStats>, threads: usize) -> TrafficStats {
     assert!(threads >= 1);
     if parts.len() <= 1 || threads == 1 {
         return merge_stats(parts);
     }
-    // Tree reduction: each round pairs adjacent accumulators and merges
-    // the pairs concurrently.
-    while parts.len() > 1 {
-        let mut next: Vec<TrafficStats> = Vec::with_capacity(parts.len().div_ceil(2));
-        let mut pairs: Vec<(TrafficStats, TrafficStats)> = Vec::new();
-        let mut iter = parts.into_iter();
-        while let Some(a) = iter.next() {
-            match iter.next() {
-                Some(b) => pairs.push((a, b)),
-                None => next.push(a),
-            }
-        }
-        let merged: Vec<Mutex<Option<TrafficStats>>> =
-            pairs.iter().map(|_| Mutex::new(None)).collect();
-        let chunk_size = pairs.len().div_ceil(threads).max(1);
-        crossbeam::thread::scope(|scope| {
-            for (chunk, slots) in pairs.chunks_mut(chunk_size).zip(merged.chunks(chunk_size)) {
-                scope.spawn(move |_| {
-                    for ((a, b), slot) in chunk.iter_mut().zip(slots) {
-                        a.merge(b);
-                        *slot.lock() = Some(std::mem::take(a));
-                    }
-                });
-            }
-        })
-        .expect("merge worker panicked");
-        next.extend(merged.into_iter().map(|m| m.into_inner().expect("filled")));
-        parts = next;
-    }
-    parts.into_iter().next().unwrap_or_default()
+    // 4 shards per worker keeps the per-shard scan cost balanced even
+    // when block keys cluster.
+    merge_stats_sharded(&parts, threads * 4, threads).into_unsharded()
 }
 
 /// Runs the pipeline over several independent stat sets concurrently
@@ -100,7 +107,7 @@ pub fn run_pipelines_parallel(
         for (stats_chunk, result_chunk) in inputs.chunks(chunk).zip(results.chunks(chunk)) {
             scope.spawn(move |_| {
                 for (stats, slot) in stats_chunk.iter().zip(result_chunk) {
-                    *slot.lock() = Some(pipeline::run(stats, rib, sampling_rate, days, config));
+                    *slot.lock() = Some(pipeline::run(*stats, rib, sampling_rate, days, config));
                 }
             });
         }
@@ -143,9 +150,37 @@ mod tests {
     }
 
     #[test]
-    fn merge_of_nothing_is_empty() {
+    fn merge_of_nothing_is_empty_with_default_threshold() {
+        // The empty window is explicitly defined: zero counters, default
+        // size threshold (documented on `merge_stats`).
         let merged = merge_stats(std::iter::empty::<TrafficStats>());
         assert_eq!(merged.total_flows, 0);
+        assert_eq!(merged.total_packets, 0);
+        assert_eq!(merged.dst_block_count(), 0);
+        assert_eq!(
+            merged.size_threshold(),
+            mt_flow::stats::DEFAULT_SIZE_THRESHOLD
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different host-size thresholds")]
+    fn merge_rejects_mismatched_thresholds() {
+        // Parts built against different "big packet" thresholds have
+        // incomparable host sets; merging them must panic, not silently
+        // pick one threshold.
+        let a = TrafficStats::with_size_threshold(44);
+        let b = TrafficStats::with_size_threshold(100);
+        let _ = merge_stats([a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different host-size thresholds")]
+    fn parallel_merge_rejects_mismatched_thresholds() {
+        let a = TrafficStats::with_size_threshold(44);
+        let b = TrafficStats::with_size_threshold(100);
+        let c = TrafficStats::with_size_threshold(44);
+        let _ = merge_stats_parallel(vec![a, b, c], 2);
     }
 
     #[test]
@@ -167,11 +202,36 @@ mod tests {
     }
 
     #[test]
+    fn sharded_merge_matches_flat_merge() {
+        let mut parts = Vec::new();
+        for i in 0..5u32 {
+            let records: Vec<FlowRecord> = (0..60)
+                .map(|j| flow(0x1400_0000 + i * 500 + j * 13, 1 + u64::from(j % 4)))
+                .collect();
+            parts.push(TrafficStats::from_records(&records));
+        }
+        let flat = merge_stats(parts.clone());
+        let sharded = merge_stats_sharded(&parts, 8, 3);
+        assert_eq!(sharded.num_shards(), 8);
+        let reassembled = sharded.into_unsharded();
+        assert_eq!(reassembled.total_flows, flat.total_flows);
+        assert_eq!(reassembled.total_packets, flat.total_packets);
+        assert_eq!(reassembled.total_octets, flat.total_octets);
+        assert_eq!(reassembled.dst_block_count(), flat.dst_block_count());
+        for (block, d) in flat.iter_dst() {
+            let r = reassembled.dst(block).expect("block present");
+            assert_eq!(r.tcp_packets, d.tcp_packets);
+            assert_eq!(r.tcp_octets, d.tcp_octets);
+        }
+    }
+
+    #[test]
     fn parallel_pipelines_match_sequential_runs() {
         let sets: Vec<TrafficStats> = (0..5u32)
             .map(|i| {
-                let records: Vec<FlowRecord> =
-                    (0..40).map(|j| flow(0x1400_0000 + i * 777 + j, 2)).collect();
+                let records: Vec<FlowRecord> = (0..40)
+                    .map(|j| flow(0x1400_0000 + i * 777 + j, 2))
+                    .collect();
                 TrafficStats::from_records(&records)
             })
             .collect();

@@ -1,0 +1,530 @@
+//! The staged pipeline engine: the seven-step loop of Section 4.2
+//! decomposed into composable [`Stage`]s.
+//!
+//! The engine separates three concerns the original hard-coded loop
+//! tangled together:
+//!
+//! - **what a step decides** — each filter is a [`Stage`] returning a
+//!   [`Verdict`] for one destination /24, given the block's aggregates
+//!   ([`BlockCtx`]) and the run-wide environment ([`StageEnv`]);
+//! - **how the funnel is accounted** — the engine counts entered/kept
+//!   per stage into a [`Funnel`](crate::pipeline::Funnel), so drop
+//!   reasons fall out of the stage list instead of hand-maintained
+//!   counters;
+//! - **how blocks are traversed** — [`PipelineEngine::run`] walks any
+//!   [`TrafficView`] serially, while [`PipelineEngine::run_sharded`]
+//!   runs the same stage vector over each shard of a
+//!   [`ShardedTrafficStats`] in parallel and folds the per-shard
+//!   funnels and sets. Because every stage only reads its own block's
+//!   dst/src aggregates — and sharding co-locates both halves of a
+//!   block — per-shard runs partition the work exactly, and the folded
+//!   result is bit-identical to the serial run.
+//!
+//! [`crate::pipeline::run`] remains as a thin compatibility wrapper over
+//! the standard stage vector.
+
+use crate::pipeline::{Funnel, PipelineConfig, PipelineResult};
+use mt_flow::{DstBlockStats, HostSet, ShardedTrafficStats, SrcBlockStats, TrafficView};
+use mt_types::{Asn, Block24, Block24Set, PrefixTrie, SpecialRegistry};
+use parking_lot::Mutex;
+use std::cell::OnceCell;
+
+/// A stage's decision for one candidate block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The block stays a candidate.
+    Keep,
+    /// The block leaves the funnel at this stage.
+    Drop,
+}
+
+/// Run-wide environment shared by all stages.
+pub struct StageEnv<'a> {
+    /// The routed-prefix table for the observation window.
+    pub rib: &'a PrefixTrie<Asn>,
+    /// RFC 6890 special-purpose registry.
+    pub special: &'a SpecialRegistry,
+    /// Pipeline thresholds.
+    pub config: &'a PipelineConfig,
+    /// Step-6 cap on *sampled* packets, already scaled by window length
+    /// and sampling rate.
+    pub volume_cap: f64,
+}
+
+/// One destination /24 under evaluation, with lazily derived host sets.
+///
+/// The source-side lookup and the originating/clean host computations
+/// are memoized so they run at most once per block no matter how many
+/// stages (or the final classification) consult them — and not at all
+/// for blocks dropped before step 3, matching the original loop's cost
+/// profile.
+pub struct BlockCtx<'a> {
+    /// The block under evaluation.
+    pub block: Block24,
+    /// Receive-side aggregates for the block.
+    pub dst: &'a DstBlockStats,
+    src_lookup: &'a dyn Fn(Block24) -> Option<&'a SrcBlockStats>,
+    src: OnceCell<Option<&'a SrcBlockStats>>,
+    originating: OnceCell<HostSet>,
+}
+
+impl<'a> BlockCtx<'a> {
+    /// Builds a context around one block's aggregates.
+    pub fn new(
+        block: Block24,
+        dst: &'a DstBlockStats,
+        src_lookup: &'a dyn Fn(Block24) -> Option<&'a SrcBlockStats>,
+    ) -> Self {
+        BlockCtx {
+            block,
+            dst,
+            src_lookup,
+            src: OnceCell::new(),
+            originating: OnceCell::new(),
+        }
+    }
+
+    /// Send-side aggregates of this block, if it originated anything.
+    pub fn src(&self) -> Option<&'a SrcBlockStats> {
+        *self.src.get_or_init(|| (self.src_lookup)(self.block))
+    }
+
+    /// Hosts disqualified as originators: the block's originating hosts
+    /// if its sampled origination exceeds the spoofing tolerance,
+    /// otherwise none (light origination is forgiven as spoofed blame).
+    pub fn originating(&self, env: &StageEnv) -> &HostSet {
+        self.originating.get_or_init(|| {
+            let origin_pkts = self.src().map(|s| s.packets).unwrap_or(0);
+            if origin_pkts > env.config.spoof_tolerance_packets {
+                self.src().map(|s| s.originating).unwrap_or(HostSet::EMPTY)
+            } else {
+                HostSet::EMPTY
+            }
+        })
+    }
+
+    /// Hosts that received only small TCP and are not disqualified as
+    /// originators — the "clean receiving hosts" of step 3.
+    pub fn clean_hosts(&self, env: &StageEnv) -> HostSet {
+        self.dst
+            .received_tcp
+            .difference(&self.dst.received_big_tcp)
+            .difference(self.originating(env))
+    }
+}
+
+/// One filtering step of the inference funnel.
+pub trait Stage: Send + Sync {
+    /// Stable stage name, used for funnel accounting and reporting.
+    fn name(&self) -> &'static str;
+
+    /// Decides whether `ctx.block` survives this stage.
+    fn apply(&self, ctx: &BlockCtx<'_>, env: &StageEnv<'_>) -> Verdict;
+}
+
+fn verdict(keep: bool) -> Verdict {
+    if keep {
+        Verdict::Keep
+    } else {
+        Verdict::Drop
+    }
+}
+
+/// Step 1: a block with no sampled TCP cannot be fingerprinted.
+pub struct TcpStage;
+
+impl Stage for TcpStage {
+    fn name(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn apply(&self, ctx: &BlockCtx<'_>, _env: &StageEnv<'_>) -> Verdict {
+        verdict(ctx.dst.tcp_packets > 0)
+    }
+}
+
+/// Step 2: the block-level average TCP size must stay at or under the
+/// fingerprint threshold (Section 4.1).
+pub struct AvgSizeStage;
+
+impl Stage for AvgSizeStage {
+    fn name(&self) -> &'static str {
+        "avg_size"
+    }
+
+    fn apply(&self, ctx: &BlockCtx<'_>, env: &StageEnv<'_>) -> Verdict {
+        match ctx.dst.avg_tcp_size() {
+            Some(avg) => verdict(avg <= env.config.avg_size_threshold),
+            None => Verdict::Drop,
+        }
+    }
+}
+
+/// Step 3: after disqualifying originating hosts (beyond the spoofing
+/// tolerance), at least one clean receiving host must remain.
+pub struct CleanOriginStage;
+
+impl Stage for CleanOriginStage {
+    fn name(&self) -> &'static str {
+        "clean_origin"
+    }
+
+    fn apply(&self, ctx: &BlockCtx<'_>, env: &StageEnv<'_>) -> Verdict {
+        verdict(!ctx.clean_hosts(env).is_empty())
+    }
+}
+
+/// Step 4: RFC 6890 special-purpose space is dropped.
+pub struct SpecialStage;
+
+impl Stage for SpecialStage {
+    fn name(&self) -> &'static str {
+        "special"
+    }
+
+    fn apply(&self, ctx: &BlockCtx<'_>, env: &StageEnv<'_>) -> Verdict {
+        verdict(!env.special.is_special_block(ctx.block))
+    }
+}
+
+/// Step 5: the block must be globally routed during the window.
+pub struct RoutedStage;
+
+impl Stage for RoutedStage {
+    fn name(&self) -> &'static str {
+        "routed"
+    }
+
+    fn apply(&self, ctx: &BlockCtx<'_>, env: &StageEnv<'_>) -> Verdict {
+        verdict(env.rib.contains_addr(ctx.block.base()))
+    }
+}
+
+/// Step 6: the estimated true packet rate must stay under the per-day
+/// cap (asymmetric-routing decoys).
+pub struct VolumeStage;
+
+impl Stage for VolumeStage {
+    fn name(&self) -> &'static str {
+        "volume"
+    }
+
+    fn apply(&self, ctx: &BlockCtx<'_>, env: &StageEnv<'_>) -> Verdict {
+        verdict(ctx.dst.total_packets() as f64 <= env.volume_cap)
+    }
+}
+
+/// An ordered stage vector plus the traversal and accounting machinery.
+pub struct PipelineEngine {
+    stages: Vec<Box<dyn Stage>>,
+}
+
+impl Default for PipelineEngine {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+impl PipelineEngine {
+    /// The paper's standard six filter stages, in funnel order.
+    pub fn standard() -> Self {
+        Self::with_stages(vec![
+            Box::new(TcpStage),
+            Box::new(AvgSizeStage),
+            Box::new(CleanOriginStage),
+            Box::new(SpecialStage),
+            Box::new(RoutedStage),
+            Box::new(VolumeStage),
+        ])
+    }
+
+    /// An engine over a custom stage vector (ablations, extra filters).
+    pub fn with_stages(stages: Vec<Box<dyn Stage>>) -> Self {
+        assert!(!stages.is_empty(), "engine needs at least one stage");
+        PipelineEngine { stages }
+    }
+
+    /// The stage names, in order.
+    pub fn stage_names(&self) -> Vec<&'static str> {
+        self.stages.iter().map(|s| s.name()).collect()
+    }
+
+    fn env<'a>(
+        &self,
+        rib: &'a PrefixTrie<Asn>,
+        special: &'a SpecialRegistry,
+        sampling_rate: u32,
+        days: u32,
+        config: &'a PipelineConfig,
+    ) -> StageEnv<'a> {
+        assert!(days > 0, "observation window must cover at least one day");
+        StageEnv {
+            rib,
+            special,
+            config,
+            volume_cap: config.volume_threshold_per_day * f64::from(days)
+                / f64::from(sampling_rate),
+        }
+    }
+
+    /// Runs the stage vector over every destination block of `stats`.
+    ///
+    /// Accepts any [`TrafficView`] — flat or sharded — and walks it on
+    /// the calling thread.
+    pub fn run<V: TrafficView>(
+        &self,
+        stats: &V,
+        rib: &PrefixTrie<Asn>,
+        sampling_rate: u32,
+        days: u32,
+        config: &PipelineConfig,
+    ) -> PipelineResult {
+        let special = SpecialRegistry::new();
+        let env = self.env(rib, &special, sampling_rate, days, config);
+        self.run_view(stats, &env)
+    }
+
+    /// Runs the stage vector over each shard of `stats` with `threads`
+    /// workers, folding the per-shard funnels and block sets.
+    ///
+    /// Shards partition the destination blocks and carry the matching
+    /// source blocks, so per-shard runs see exactly the serial run's
+    /// per-block inputs; the folded funnel counts and dark/unclean/gray
+    /// sets are identical to [`run`](Self::run) on the same data.
+    pub fn run_sharded(
+        &self,
+        stats: &ShardedTrafficStats,
+        rib: &PrefixTrie<Asn>,
+        sampling_rate: u32,
+        days: u32,
+        config: &PipelineConfig,
+        threads: usize,
+    ) -> PipelineResult {
+        assert!(threads >= 1);
+        let special = SpecialRegistry::new();
+        let env = self.env(rib, &special, sampling_rate, days, config);
+        let shards = stats.shards();
+        let slots: Vec<Mutex<Option<ShardRun>>> = shards.iter().map(|_| Mutex::new(None)).collect();
+        let chunk = shards.len().div_ceil(threads).max(1);
+        let env_ref = &env;
+        crossbeam::thread::scope(|scope| {
+            for (shard_chunk, slot_chunk) in shards.chunks(chunk).zip(slots.chunks(chunk)) {
+                scope.spawn(move |_| {
+                    for (shard, slot) in shard_chunk.iter().zip(slot_chunk) {
+                        *slot.lock() = Some(self.run_view_sparse(shard, env_ref));
+                    }
+                });
+            }
+        })
+        .expect("pipeline shard worker panicked");
+
+        // Fold into three dense sets allocated once; the per-shard
+        // results stay sparse so fold cost scales with the population,
+        // not with shards × the 2 MiB Block24Set footprint.
+        let mut folded = PipelineResult {
+            dark: Block24Set::new(),
+            unclean: Block24Set::new(),
+            gray: Block24Set::new(),
+            funnel: Funnel::with_stages(self.stage_names()),
+        };
+        for slot in slots {
+            let part = slot.into_inner().expect("filled");
+            for b in part.dark {
+                folded.dark.insert(b);
+            }
+            for b in part.unclean {
+                folded.unclean.insert(b);
+            }
+            for b in part.gray {
+                folded.gray.insert(b);
+            }
+            folded.funnel.absorb(&part.funnel);
+        }
+        folded
+    }
+
+    fn run_view<V: TrafficView>(&self, stats: &V, env: &StageEnv<'_>) -> PipelineResult {
+        let part = self.run_view_sparse(stats, env);
+        PipelineResult {
+            dark: Block24Set::from_iter(part.dark),
+            unclean: Block24Set::from_iter(part.unclean),
+            gray: Block24Set::from_iter(part.gray),
+            funnel: part.funnel,
+        }
+    }
+
+    /// The traversal core: classified blocks are collected as sparse
+    /// lists so per-shard workers avoid allocating (and the fold avoids
+    /// scanning) dense bitsets per shard.
+    fn run_view_sparse<V: TrafficView>(&self, stats: &V, env: &StageEnv<'_>) -> ShardRun {
+        let mut funnel = Funnel::with_stages(self.stage_names());
+        let mut dark = Vec::new();
+        let mut unclean = Vec::new();
+        let mut gray = Vec::new();
+        let src_lookup = |block: Block24| stats.src(block);
+
+        'blocks: for (block, d) in stats.iter_dst() {
+            funnel.note_seen();
+            let ctx = BlockCtx::new(block, d, &src_lookup);
+            for (i, stage) in self.stages.iter().enumerate() {
+                match stage.apply(&ctx, env) {
+                    Verdict::Keep => funnel.note_kept(i),
+                    Verdict::Drop => {
+                        funnel.note_dropped(i);
+                        continue 'blocks;
+                    }
+                }
+            }
+            // Step 7: classification of the surviving candidate.
+            if !ctx.originating(env).is_empty() {
+                gray.push(block);
+            } else if !d.received_big_tcp.is_empty() {
+                unclean.push(block);
+            } else {
+                dark.push(block);
+            }
+        }
+
+        ShardRun {
+            dark,
+            unclean,
+            gray,
+            funnel,
+        }
+    }
+}
+
+/// One shard's (or one serial traversal's) raw classification output.
+struct ShardRun {
+    dark: Vec<Block24>,
+    unclean: Vec<Block24>,
+    gray: Vec<Block24>,
+    funnel: Funnel,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mt_flow::FlowRecord;
+    use mt_types::{Prefix, SimTime};
+
+    fn flow(src: &str, dst: &str, proto: u8, packets: u64, size: u64) -> FlowRecord {
+        FlowRecord {
+            start: SimTime(0),
+            src: src.parse().unwrap(),
+            dst: dst.parse().unwrap(),
+            src_port: 40_000,
+            dst_port: 23,
+            protocol: proto,
+            tcp_flags: 2,
+            packets,
+            octets: packets * size,
+        }
+    }
+
+    fn rib_with(prefixes: &[&str]) -> PrefixTrie<Asn> {
+        prefixes
+            .iter()
+            .map(|p| (p.parse::<Prefix>().unwrap(), Asn(65_000)))
+            .collect()
+    }
+
+    fn mixed_records() -> Vec<FlowRecord> {
+        let mut records = Vec::new();
+        for i in 0..60u32 {
+            records.push(flow(
+                "9.9.9.9",
+                &format!("20.{}.{}.1", i % 6, i),
+                if i % 5 == 0 { 17 } else { 6 },
+                1 + u64::from(i % 9) * 400,
+                if i % 3 == 0 { 1500 } else { 40 },
+            ));
+        }
+        // Some blocks talk back (gray candidates).
+        records.push(flow("20.0.0.50", "9.9.9.9", 6, 2, 40));
+        records.push(flow("20.1.7.1", "9.9.9.9", 6, 2, 40));
+        records
+    }
+
+    #[test]
+    fn engine_matches_legacy_run_exactly() {
+        let rib = rib_with(&["20.0.0.0/8", "9.0.0.0/8"]);
+        let stats = mt_flow::TrafficStats::from_records(&mixed_records());
+        let config = PipelineConfig::default();
+        let legacy = crate::pipeline::run(&stats, &rib, 2, 3, &config);
+        let engine = PipelineEngine::standard().run(&stats, &rib, 2, 3, &config);
+        assert_eq!(engine.dark, legacy.dark);
+        assert_eq!(engine.unclean, legacy.unclean);
+        assert_eq!(engine.gray, legacy.gray);
+        assert_eq!(engine.funnel, legacy.funnel);
+    }
+
+    #[test]
+    fn sharded_run_is_bit_identical_to_serial() {
+        let rib = rib_with(&["20.0.0.0/8", "9.0.0.0/8"]);
+        let records = mixed_records();
+        let flat = mt_flow::TrafficStats::from_records(&records);
+        let config = PipelineConfig::default();
+        let engine = PipelineEngine::standard();
+        let serial = engine.run(&flat, &rib, 1, 1, &config);
+        for shards in [1, 4, 16] {
+            let sharded = ShardedTrafficStats::from_records(shards, &records);
+            for threads in [1, 2, 4] {
+                let par = engine.run_sharded(&sharded, &rib, 1, 1, &config, threads);
+                assert_eq!(par.dark, serial.dark, "shards={shards} threads={threads}");
+                assert_eq!(par.unclean, serial.unclean);
+                assert_eq!(par.gray, serial.gray);
+                assert_eq!(par.funnel, serial.funnel);
+            }
+        }
+    }
+
+    #[test]
+    fn custom_stage_vector_accounts_its_own_funnel() {
+        // An engine with only the TCP and routed stages: no size or
+        // volume filtering, so heavy TCP blocks survive.
+        let engine = PipelineEngine::with_stages(vec![Box::new(TcpStage), Box::new(RoutedStage)]);
+        let rib = rib_with(&["20.0.0.0/8"]);
+        let stats = mt_flow::TrafficStats::from_records(&[
+            flow("9.9.9.9", "20.1.1.1", 6, 5_000, 1400),
+            flow("9.9.9.9", "21.1.1.1", 17, 10, 40),
+        ]);
+        let r = engine.run(&stats, &rib, 1, 1, &PipelineConfig::default());
+        assert_eq!(r.funnel.stages().len(), 2);
+        assert_eq!(r.funnel.seen(), 2);
+        assert_eq!(r.funnel.kept_after("tcp"), Some(1));
+        assert_eq!(r.funnel.kept_after("routed"), Some(1));
+        assert_eq!(r.funnel.kept_after("volume"), None);
+        assert_eq!(r.unclean.len(), 1, "no avg-size stage to reject it");
+    }
+
+    #[test]
+    fn stage_context_memoizes_src_lookup() {
+        let stats = mt_flow::TrafficStats::from_records(&[
+            flow("20.1.1.9", "9.9.9.9", 6, 3, 40),
+            flow("9.9.9.9", "20.1.1.1", 6, 3, 40),
+        ]);
+        let block: Block24 = mt_types::Block24::containing("20.1.1.1".parse().unwrap());
+        let d = mt_flow::TrafficView::dst(&stats, block).unwrap();
+        let calls = std::cell::Cell::new(0u32);
+        let lookup = |b: Block24| {
+            calls.set(calls.get() + 1);
+            mt_flow::TrafficView::src(&stats, b)
+        };
+        let config = PipelineConfig::default();
+        let rib = rib_with(&["20.0.0.0/8"]);
+        let special = SpecialRegistry::new();
+        let env = StageEnv {
+            rib: &rib,
+            special: &special,
+            config: &config,
+            volume_cap: 1e9,
+        };
+        let ctx = BlockCtx::new(block, d, &lookup);
+        assert_eq!(calls.get(), 0, "lookup is lazy");
+        let _ = ctx.originating(&env);
+        let _ = ctx.clean_hosts(&env);
+        let _ = ctx.src();
+        assert_eq!(calls.get(), 1, "lookup runs at most once per block");
+    }
+}

@@ -193,10 +193,7 @@ mod tests {
         assert_eq!(check.inferred, 25);
         assert!(check.active_in_aux >= from_aux);
         let scrubbed = scrub(&inferred, &aux);
-        assert_eq!(
-            scrubbed.len() as u64,
-            check.inferred - check.active_in_aux
-        );
+        assert_eq!(scrubbed.len() as u64, check.inferred - check.active_in_aux);
         assert_eq!(scrubbed.intersection_len(&aux.union()), 0);
     }
 

@@ -1,13 +1,19 @@
 //! The meta-telescope inference pipeline — the paper's contribution.
 //!
-//! Given per-/24 aggregates of sampled vantage-point flows
-//! ([`mt_flow::TrafficStats`]), a RIB snapshot, and the special-purpose
-//! registry, [`pipeline::run`] executes the seven filtering/classification
-//! steps of Section 4.2 and returns the inferred **dark** (meta-telescope
-//! prefix), **unclean**, and **gray** /24 sets plus per-step funnel
-//! accounting (Figure 2).
+//! Given per-/24 aggregates of sampled vantage-point flows (any
+//! [`mt_flow::TrafficView`]: flat [`mt_flow::TrafficStats`] or sharded
+//! [`mt_flow::ShardedTrafficStats`]), a RIB snapshot, and the
+//! special-purpose registry, the [`engine::PipelineEngine`] executes the
+//! filtering/classification stages of Section 4.2 and returns the
+//! inferred **dark** (meta-telescope prefix), **unclean**, and **gray**
+//! /24 sets plus per-stage funnel accounting (Figure 2). [`pipeline::run`]
+//! is the serial compatibility wrapper over the standard stage vector;
+//! [`engine::PipelineEngine::run_sharded`] evaluates shards in parallel
+//! with bit-identical results.
 //!
 //! Around the pipeline:
+//! - [`engine`] — the [`engine::Stage`] trait, the standard six stage
+//!   implementations, and the serial/sharded traversal machinery;
 //! - [`classifier`] — the packet-size fingerprint calibration of
 //!   Section 4.1 / Table 3 (median vs average feature, threshold sweep,
 //!   confusion matrices);
@@ -31,6 +37,7 @@ pub mod analysis;
 pub mod baseline;
 pub mod classifier;
 pub mod combine;
+pub mod engine;
 pub mod eval;
 pub mod federate;
 pub mod pipeline;
@@ -39,5 +46,6 @@ pub mod spoofing;
 pub mod stability;
 
 pub use classifier::{ClassifierFeature, ConfusionMatrix};
-pub use pipeline::{Funnel, PipelineConfig, PipelineResult};
+pub use engine::{BlockCtx, PipelineEngine, Stage, StageEnv, Verdict};
+pub use pipeline::{Funnel, PipelineConfig, PipelineResult, StageCount};
 pub use spoofing::SpoofTolerance;

@@ -133,7 +133,10 @@ mod tests {
     #[test]
     fn outside_blocks_have_no_cell() {
         let map = HilbertMap::new(p("20.0.0.0/16"));
-        assert_eq!(map.cell_of(Block24::containing(Ipv4::new(21, 0, 0, 0))), None);
+        assert_eq!(
+            map.cell_of(Block24::containing(Ipv4::new(21, 0, 0, 0))),
+            None
+        );
     }
 
     #[test]

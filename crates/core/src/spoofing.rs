@@ -7,7 +7,7 @@
 //! inside two unrouted /8s and allows that many packets before a block
 //! is disqualified as originating.
 
-use mt_flow::TrafficStats;
+use mt_flow::TrafficView;
 use mt_types::Block24;
 use serde::{Deserialize, Serialize};
 
@@ -31,17 +31,14 @@ impl SpoofTolerance {
     /// Every /24 of each unrouted /8 participates, including the (vast
     /// majority of) blocks blamed for zero packets — leaving those out
     /// would wildly overestimate the tolerance.
-    pub fn estimate(stats: &TrafficStats, unrouted_octets: &[u8], percentile: f64) -> Self {
+    pub fn estimate<V: TrafficView>(stats: &V, unrouted_octets: &[u8], percentile: f64) -> Self {
         assert!((0.0..=1.0).contains(&percentile));
         let mut counts: Vec<u64> = Vec::new();
         let mut polluted = 0u64;
         for &octet in unrouted_octets {
             let first = u32::from(octet) << 16;
             for block in first..first + (1 << 16) {
-                let c = stats
-                    .src(Block24(block))
-                    .map(|s| s.packets)
-                    .unwrap_or(0);
+                let c = stats.src(Block24(block)).map(|s| s.packets).unwrap_or(0);
                 if c > 0 {
                     polluted += 1;
                 }
@@ -68,7 +65,7 @@ impl SpoofTolerance {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mt_flow::FlowRecord;
+    use mt_flow::{FlowRecord, TrafficStats};
     use mt_types::{Ipv4, SimTime};
 
     fn spoofed_from(src: Ipv4, packets: u64) -> FlowRecord {

@@ -1,7 +1,7 @@
 //! Property-based tests for the inference pipeline's invariants.
 
-use mt_core::{baseline, pipeline};
-use mt_flow::{FlowRecord, TrafficStats};
+use mt_core::{baseline, pipeline, PipelineEngine};
+use mt_flow::{FlowRecord, ShardedTrafficStats, TrafficStats};
 use mt_types::{Asn, Ipv4, Prefix, PrefixTrie, SimTime};
 use proptest::prelude::*;
 
@@ -9,9 +9,9 @@ use proptest::prelude::*;
 /// and every classification outcome is reachable.
 fn arb_record() -> impl Strategy<Value = FlowRecord> {
     (
-        0u8..4,     // src /16 selector
+        0u8..4,       // src /16 selector
         any::<u16>(), // src low bits
-        0u8..4,     // dst /16 selector
+        0u8..4,       // dst /16 selector
         any::<u16>(), // dst low bits
         prop_oneof![Just(6u8), Just(17)],
         1u64..200,
@@ -50,15 +50,41 @@ proptest! {
         prop_assert_eq!(r.dark.intersection_len(&r.gray), 0);
         prop_assert_eq!(r.unclean.intersection_len(&r.gray), 0);
         // Classes cover exactly the post-volume survivors.
-        prop_assert_eq!(r.classified() as u64, r.funnel.after_volume);
+        prop_assert_eq!(r.classified() as u64, r.funnel.after_volume());
         // Funnel is monotone.
-        let f = r.funnel;
-        prop_assert!(f.seen >= f.after_tcp);
-        prop_assert!(f.after_tcp >= f.after_avg);
-        prop_assert!(f.after_avg >= f.after_origin);
-        prop_assert!(f.after_origin >= f.after_special);
-        prop_assert!(f.after_special >= f.after_routed);
-        prop_assert!(f.after_routed >= f.after_volume);
+        let f = &r.funnel;
+        prop_assert!(f.seen() >= f.after_tcp());
+        prop_assert!(f.after_tcp() >= f.after_avg());
+        prop_assert!(f.after_avg() >= f.after_origin());
+        prop_assert!(f.after_origin() >= f.after_special());
+        prop_assert!(f.after_special() >= f.after_routed());
+        prop_assert!(f.after_routed() >= f.after_volume());
+    }
+
+    #[test]
+    fn sharded_engine_is_equivalent_to_serial_run(
+        records in proptest::collection::vec(arb_record(), 1..150),
+    ) {
+        // The tentpole equivalence: the staged engine over a sharded
+        // accumulator — any shard count, any worker count — reproduces
+        // the serial pipeline bit for bit: same dark/unclean/gray sets,
+        // same funnel counts.
+        let flat = TrafficStats::from_records(&records);
+        let rib = rib();
+        let pc = pipeline::PipelineConfig::default();
+        let serial = pipeline::run(&flat, &rib, 1, 1, &pc);
+        let engine = PipelineEngine::standard();
+        for shards in [1usize, 4, 16] {
+            let mut sharded = ShardedTrafficStats::new(shards);
+            sharded.par_ingest(&records, shards.min(4));
+            for threads in [1usize, 4] {
+                let par = engine.run_sharded(&sharded, &rib, 1, 1, &pc, threads);
+                prop_assert_eq!(&par.dark, &serial.dark, "dark: shards={} threads={}", shards, threads);
+                prop_assert_eq!(&par.unclean, &serial.unclean, "unclean: shards={} threads={}", shards, threads);
+                prop_assert_eq!(&par.gray, &serial.gray, "gray: shards={} threads={}", shards, threads);
+                prop_assert_eq!(&par.funnel, &serial.funnel, "funnel: shards={} threads={}", shards, threads);
+            }
+        }
     }
 
     #[test]
@@ -114,7 +140,7 @@ proptest! {
         });
         let low = run_with(t1);
         let high = run_with(t1 + extra);
-        prop_assert!(high.funnel.after_avg >= low.funnel.after_avg);
+        prop_assert!(high.funnel.after_avg() >= low.funnel.after_avg());
     }
 
     #[test]

@@ -18,7 +18,11 @@
 //! - [`stats`] — per-/24 destination and source accumulators: exactly the
 //!   aggregates the seven-step inference pipeline consumes (TCP packet
 //!   counts and sizes per block and per host, originated-traffic counts,
-//!   packet-size distributions for the median/average classifiers).
+//!   packet-size distributions for the median/average classifiers), plus
+//!   the [`TrafficView`] read abstraction over them;
+//! - [`sharded`] — the same accumulators split over fixed `/24 % N`
+//!   shards for lock-free parallel ingest and per-shard parallel
+//!   pipeline evaluation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,9 +30,11 @@
 pub mod meter;
 pub mod record;
 pub mod sampling;
+pub mod sharded;
 pub mod stats;
 
 pub use meter::{FlowKey, FlowMeter, MeteredPacket};
 pub use record::{FlowIntent, FlowRecord};
 pub use sampling::{binomial, Sampler};
-pub use stats::{DstBlockStats, HostSet, SrcBlockStats, TrafficStats};
+pub use sharded::ShardedTrafficStats;
+pub use stats::{DstBlockStats, HostSet, SrcBlockStats, TrafficStats, TrafficView};

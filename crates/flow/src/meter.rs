@@ -123,16 +123,13 @@ impl FlowMeter {
             self.sweep();
             self.next_sweep = self.clock + SimDuration::secs(1);
         }
-        let entry = self
-            .cache
-            .entry(packet.key)
-            .or_insert_with(|| CacheEntry {
-                first: packet.time,
-                last: packet.time,
-                packets: 0,
-                octets: 0,
-                tcp_flags: 0,
-            });
+        let entry = self.cache.entry(packet.key).or_insert_with(|| CacheEntry {
+            first: packet.time,
+            last: packet.time,
+            packets: 0,
+            octets: 0,
+            tcp_flags: 0,
+        });
         // An entry past its active timeout is exported and restarted
         // even when packets keep arriving.
         if packet.time - entry.first >= self.active_timeout && entry.packets > 0 {

@@ -43,7 +43,14 @@ pub struct FlowIntent {
 
 impl FlowIntent {
     /// A burst of bare TCP SYNs (40 bytes each) — the canonical scan probe.
-    pub fn tcp_syn(start: SimTime, src: Ipv4, dst: Ipv4, src_port: u16, dst_port: u16, packets: u64) -> Self {
+    pub fn tcp_syn(
+        start: SimTime,
+        src: Ipv4,
+        dst: Ipv4,
+        src_port: u16,
+        dst_port: u16,
+        packets: u64,
+    ) -> Self {
         FlowIntent {
             start,
             src,

@@ -115,7 +115,11 @@ impl<R: RngExt> Sampler<R> {
 /// record's packet count is re-drawn as `Binomial(packets, 1/factor)`;
 /// octets scale proportionally (packets within one record share a size);
 /// records left with zero packets disappear.
-pub fn thin_records<R: RngExt>(records: &[FlowRecord], factor: u32, rng: &mut R) -> Vec<FlowRecord> {
+pub fn thin_records<R: RngExt>(
+    records: &[FlowRecord],
+    factor: u32,
+    rng: &mut R,
+) -> Vec<FlowRecord> {
     assert!(factor >= 1);
     if factor == 1 {
         return records.to_vec();
@@ -188,7 +192,9 @@ mod tests {
     fn binomial_variance_geometric_path() {
         let mut r = rng();
         let trials = 5_000usize;
-        let draws: Vec<u64> = (0..trials).map(|_| binomial(&mut r, 10_000, 0.01)).collect();
+        let draws: Vec<u64> = (0..trials)
+            .map(|_| binomial(&mut r, 10_000, 0.01))
+            .collect();
         let mean = draws.iter().sum::<u64>() as f64 / trials as f64;
         let var = draws
             .iter()
@@ -241,7 +247,9 @@ mod tests {
     #[test]
     fn single_packet_burst_rarely_sampled() {
         let mut s = Sampler::new(1000, rng());
-        let hits = (0..10_000).filter(|_| s.sample(&intent(1)).is_some()).count();
+        let hits = (0..10_000)
+            .filter(|_| s.sample(&intent(1)).is_some())
+            .count();
         // Expect ≈ 10 hits; allow wide slack.
         assert!(hits < 50, "got {hits} hits at rate 1000");
     }

@@ -1,0 +1,419 @@
+//! Sharded per-/24 traffic accumulators for parallel ingest and
+//! parallel pipeline evaluation.
+//!
+//! [`ShardedTrafficStats`] splits the /24 key space over `N` fixed
+//! shards with `shard = block_index % N`. Crucially the *same* shard
+//! function is used for destination and source blocks, so everything the
+//! inference pipeline needs about a block — its receive-side stats *and*
+//! its send-side stats (step 3 looks up `src(block)` while walking
+//! destination blocks) — lives in one shard. Each shard is therefore a
+//! self-contained [`TrafficStats`] over its slice of the key space, and
+//! the pipeline can run per shard with no cross-shard reads.
+//!
+//! Parallel ingest ([`ShardedTrafficStats::par_ingest`]) is lock-free
+//! single-writer: each thread owns a contiguous range of shards, scans
+//! the full record slice, and applies only the updates belonging to its
+//! shards (the destination half of a record goes to `shard(dst)`, the
+//! source half to `shard(src)`, record totals ride with the destination
+//! half). Threads never touch each other's shards, so no synchronization
+//! beyond the scoped join is needed, and the result is bit-identical to
+//! serial ingest because per-block accumulation is order-independent.
+//!
+//! [`ShardedTrafficStats::into_unsharded`] reassembles a flat
+//! [`TrafficStats`] for call sites that still want one; since shard key
+//! spaces are disjoint this moves blocks instead of re-merging them.
+
+use crate::record::FlowRecord;
+use crate::stats::{DstBlockStats, SrcBlockStats, TrafficStats, TrafficView};
+use mt_types::Block24;
+
+/// Default shard count: enough slots to spread work over commodity core
+/// counts while keeping per-shard hash maps dense.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Per-/24 traffic aggregates split over fixed shards keyed by
+/// `block_index % num_shards`.
+#[derive(Debug, Clone)]
+pub struct ShardedTrafficStats {
+    shards: Vec<TrafficStats>,
+}
+
+impl Default for ShardedTrafficStats {
+    fn default() -> Self {
+        Self::new(DEFAULT_SHARDS)
+    }
+}
+
+impl ShardedTrafficStats {
+    /// Creates an empty accumulator with `num_shards` shards and the
+    /// default per-host size threshold.
+    pub fn new(num_shards: usize) -> Self {
+        Self::with_size_threshold(num_shards, crate::stats::DEFAULT_SIZE_THRESHOLD)
+    }
+
+    /// Creates an empty accumulator with a custom per-host size
+    /// threshold (must match the pipeline's classification threshold).
+    pub fn with_size_threshold(num_shards: usize, size_threshold: u16) -> Self {
+        assert!(num_shards > 0, "need at least one shard");
+        ShardedTrafficStats {
+            shards: (0..num_shards)
+                .map(|_| TrafficStats::with_size_threshold(size_threshold))
+                .collect(),
+        }
+    }
+
+    /// Number of shards the key space is split over.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `block`.
+    pub fn shard_of(&self, block: Block24) -> usize {
+        block.0 as usize % self.shards.len()
+    }
+
+    /// The per-shard accumulators, in shard order.
+    pub fn shards(&self) -> &[TrafficStats] {
+        &self.shards
+    }
+
+    /// Ingests one record, routing its destination half to the shard
+    /// owning the destination block and its source half to the shard
+    /// owning the source block.
+    pub fn ingest(&mut self, r: &FlowRecord) {
+        self.route(r, None);
+    }
+
+    /// Ingests a host-sweep record (see
+    /// [`TrafficStats::ingest_sweep`]), with the same shard routing as
+    /// [`ingest`](Self::ingest).
+    pub fn ingest_sweep(&mut self, r: &FlowRecord, host_seed: u64) {
+        self.route(r, Some(host_seed));
+    }
+
+    fn route(&mut self, r: &FlowRecord, sweep_seed: Option<u64>) {
+        let n = self.shards.len();
+        let dst_shard = r.dst.block24_index() as usize % n;
+        let src_shard = r.src.block24_index() as usize % n;
+        self.shards[dst_shard].ingest_dst_half(r, sweep_seed);
+        self.shards[src_shard].ingest_src_half(r);
+    }
+
+    /// Builds stats from a slice of records serially.
+    pub fn from_records(num_shards: usize, records: &[FlowRecord]) -> Self {
+        let mut s = Self::new(num_shards);
+        for r in records {
+            s.ingest(r);
+        }
+        s
+    }
+
+    /// Ingests a record slice with `threads` worker threads.
+    ///
+    /// Lock-free single-writer scheme: each thread owns a contiguous
+    /// range of shards and scans the whole slice, applying only the
+    /// updates whose target shard it owns. Every thread reads all
+    /// records, so this trades `threads × scan` read bandwidth for
+    /// zero synchronization on the write side — a good trade while
+    /// hashing and histogram upkeep dominate the scan. The result is
+    /// bit-identical to serial ingest of the same slice.
+    pub fn par_ingest(&mut self, records: &[FlowRecord], threads: usize) {
+        let n = self.shards.len();
+        let threads = threads.clamp(1, n);
+        if threads == 1 {
+            for r in records {
+                self.ingest(r);
+            }
+            return;
+        }
+        let base = n / threads;
+        let extra = n % threads;
+        crossbeam::thread::scope(|scope| {
+            let mut rest: &mut [TrafficStats] = &mut self.shards;
+            let mut start = 0usize;
+            for t in 0..threads {
+                let len = base + usize::from(t < extra);
+                let (chunk, tail) = rest.split_at_mut(len);
+                rest = tail;
+                let lo = start;
+                start += len;
+                scope.spawn(move |_| {
+                    for r in records {
+                        let dst_shard = r.dst.block24_index() as usize % n;
+                        if (lo..lo + len).contains(&dst_shard) {
+                            chunk[dst_shard - lo].ingest_dst_half(r, None);
+                        }
+                        let src_shard = r.src.block24_index() as usize % n;
+                        if (lo..lo + len).contains(&src_shard) {
+                            chunk[src_shard - lo].ingest_src_half(r);
+                        }
+                    }
+                });
+            }
+        })
+        .expect("sharded ingest worker panicked");
+    }
+
+    /// Merges another sharded accumulator shard-by-shard. Both sides
+    /// must have the same shard count (so the shard function matches)
+    /// and size threshold.
+    pub fn merge(&mut self, other: &ShardedTrafficStats) {
+        assert_eq!(
+            self.shards.len(),
+            other.shards.len(),
+            "merging sharded stats with different shard counts"
+        );
+        for (mine, theirs) in self.shards.iter_mut().zip(&other.shards) {
+            mine.merge(theirs);
+        }
+    }
+
+    /// Reduces flat per-part stats (e.g. one [`TrafficStats`] per day or
+    /// per vantage point) into a sharded accumulator, with `threads`
+    /// workers each building its own shards.
+    ///
+    /// Thread `t` owns a range of shards; for each shard it walks every
+    /// part and merges in just the blocks that hash to that shard. Totals
+    /// of each part are attributed to shard 0 so shard sums equal the
+    /// serial merge. Unlike a tree reduction over clones, no block is
+    /// ever copied more than once and no intermediate clones are made.
+    pub fn from_parts_parallel(
+        parts: &[TrafficStats],
+        num_shards: usize,
+        threads: usize,
+    ) -> ShardedTrafficStats {
+        let size_threshold = parts
+            .first()
+            .map_or(crate::stats::DEFAULT_SIZE_THRESHOLD, |p| p.size_threshold());
+        // Fail fast on the calling thread rather than inside a worker,
+        // where the panic message would be masked by the scope join.
+        assert!(
+            parts.iter().all(|p| p.size_threshold() == size_threshold),
+            "merging stats with different host-size thresholds"
+        );
+        let mut out = Self::with_size_threshold(num_shards, size_threshold);
+        let n = num_shards;
+        let threads = threads.clamp(1, n);
+        let base = n / threads;
+        let extra = n % threads;
+        crossbeam::thread::scope(|scope| {
+            let mut rest: &mut [TrafficStats] = &mut out.shards;
+            let mut start = 0usize;
+            for t in 0..threads {
+                let len = base + usize::from(t < extra);
+                let (chunk, tail) = rest.split_at_mut(len);
+                rest = tail;
+                let lo = start;
+                start += len;
+                scope.spawn(move |_| {
+                    for (offset, shard) in chunk.iter_mut().enumerate() {
+                        let s = lo + offset;
+                        for part in parts {
+                            shard.merge_projection(part, |block| block as usize % n == s, s == 0);
+                        }
+                    }
+                });
+            }
+        })
+        .expect("sharded reduce worker panicked");
+        out
+    }
+
+    /// Reassembles a flat [`TrafficStats`] (escape hatch for call sites
+    /// that need the unsharded representation). Shard key spaces are
+    /// disjoint, so blocks are moved, not re-merged.
+    pub fn into_unsharded(self) -> TrafficStats {
+        let mut shards = self.shards.into_iter();
+        let mut out = shards.next().expect("at least one shard");
+        for shard in shards {
+            out.absorb_disjoint(shard);
+        }
+        out
+    }
+}
+
+impl TrafficView for ShardedTrafficStats {
+    fn dst(&self, block: Block24) -> Option<&DstBlockStats> {
+        self.shards[self.shard_of(block)].dst(block)
+    }
+
+    fn src(&self, block: Block24) -> Option<&SrcBlockStats> {
+        self.shards[self.shard_of(block)].src(block)
+    }
+
+    fn iter_dst(&self) -> impl Iterator<Item = (Block24, &DstBlockStats)> {
+        self.shards.iter().flat_map(TrafficStats::iter_dst)
+    }
+
+    fn iter_src(&self) -> impl Iterator<Item = (Block24, &SrcBlockStats)> {
+        self.shards.iter().flat_map(TrafficStats::iter_src)
+    }
+
+    fn dst_block_count(&self) -> usize {
+        self.shards.iter().map(TrafficStats::dst_block_count).sum()
+    }
+
+    fn src_block_count(&self) -> usize {
+        self.shards.iter().map(TrafficStats::src_block_count).sum()
+    }
+
+    fn size_threshold(&self) -> u16 {
+        self.shards[0].size_threshold()
+    }
+
+    fn total_flows(&self) -> u64 {
+        self.shards.iter().map(|s| s.total_flows).sum()
+    }
+
+    fn total_packets(&self) -> u64 {
+        self.shards.iter().map(|s| s.total_packets).sum()
+    }
+
+    fn total_octets(&self) -> u64 {
+        self.shards.iter().map(|s| s.total_octets).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mt_types::{Ipv4, SimTime};
+
+    fn flow(src: u32, dst: u32, proto: u8, packets: u64, size: u64) -> FlowRecord {
+        FlowRecord {
+            start: SimTime(0),
+            src: Ipv4(src),
+            dst: Ipv4(dst),
+            src_port: 1000,
+            dst_port: 23,
+            protocol: proto,
+            tcp_flags: if proto == 6 { 0x02 } else { 0 },
+            packets,
+            octets: packets * size,
+        }
+    }
+
+    fn sample_records() -> Vec<FlowRecord> {
+        // Spread blocks over many shard residues, mixed protocols/sizes.
+        (0u32..500)
+            .map(|i| {
+                flow(
+                    0x0900_0000 + (i % 37) * 256 + (i % 11),
+                    0x0a00_0000 + (i % 53) * 256 + (i % 7),
+                    if i % 3 == 0 { 6 } else { 17 },
+                    1 + u64::from(i % 5),
+                    40 + u64::from(i % 4) * 500,
+                )
+            })
+            .collect()
+    }
+
+    fn assert_equivalent(sharded: &ShardedTrafficStats, flat: &TrafficStats) {
+        assert_eq!(TrafficView::total_flows(sharded), flat.total_flows);
+        assert_eq!(TrafficView::total_packets(sharded), flat.total_packets);
+        assert_eq!(TrafficView::total_octets(sharded), flat.total_octets);
+        assert_eq!(
+            TrafficView::dst_block_count(sharded),
+            flat.dst_block_count()
+        );
+        assert_eq!(
+            TrafficView::src_block_count(sharded),
+            flat.src_block_count()
+        );
+        for (block, d) in flat.iter_dst() {
+            let sd = TrafficView::dst(sharded, block).expect("dst block present");
+            assert_eq!(sd.tcp_packets, d.tcp_packets);
+            assert_eq!(sd.tcp_octets, d.tcp_octets);
+            assert_eq!(sd.received, d.received);
+            assert_eq!(sd.received_tcp, d.received_tcp);
+            assert_eq!(sd.received_big_tcp, d.received_big_tcp);
+            assert_eq!(sd.tcp_size_histogram(), d.tcp_size_histogram());
+        }
+        for (block, s) in flat.iter_src() {
+            let ss = TrafficView::src(sharded, block).expect("src block present");
+            assert_eq!(ss.packets, s.packets);
+            assert_eq!(ss.originating, s.originating);
+        }
+    }
+
+    #[test]
+    fn serial_sharded_ingest_matches_flat() {
+        let records = sample_records();
+        let flat = TrafficStats::from_records(&records);
+        for shards in [1, 3, 16] {
+            let sharded = ShardedTrafficStats::from_records(shards, &records);
+            assert_equivalent(&sharded, &flat);
+        }
+    }
+
+    #[test]
+    fn par_ingest_matches_serial_for_all_thread_counts() {
+        let records = sample_records();
+        let flat = TrafficStats::from_records(&records);
+        for threads in [1, 2, 4, 8] {
+            let mut sharded = ShardedTrafficStats::new(8);
+            sharded.par_ingest(&records, threads);
+            assert_equivalent(&sharded, &flat);
+        }
+    }
+
+    #[test]
+    fn sweeps_route_like_flat_ingest() {
+        let records = sample_records();
+        let mut flat = TrafficStats::new();
+        let mut sharded = ShardedTrafficStats::new(5);
+        for (i, r) in records.iter().enumerate() {
+            if i % 4 == 0 {
+                flat.ingest_sweep(r, i as u64);
+                sharded.ingest_sweep(r, i as u64);
+            } else {
+                flat.ingest(r);
+                sharded.ingest(r);
+            }
+        }
+        assert_equivalent(&sharded, &flat);
+    }
+
+    #[test]
+    fn into_unsharded_roundtrips() {
+        let records = sample_records();
+        let flat = TrafficStats::from_records(&records);
+        let back = ShardedTrafficStats::from_records(7, &records).into_unsharded();
+        assert_eq!(back.total_flows, flat.total_flows);
+        assert_eq!(back.dst_block_count(), flat.dst_block_count());
+        for (block, d) in flat.iter_dst() {
+            assert_eq!(back.dst(block).unwrap().received, d.received);
+        }
+    }
+
+    #[test]
+    fn merge_is_shard_wise() {
+        let records = sample_records();
+        let (a_recs, b_recs) = records.split_at(200);
+        let mut a = ShardedTrafficStats::from_records(4, a_recs);
+        let b = ShardedTrafficStats::from_records(4, b_recs);
+        a.merge(&b);
+        assert_equivalent(&a, &TrafficStats::from_records(&records));
+    }
+
+    #[test]
+    #[should_panic(expected = "different shard counts")]
+    fn merge_rejects_mismatched_shard_counts() {
+        let mut a = ShardedTrafficStats::new(4);
+        a.merge(&ShardedTrafficStats::new(8));
+    }
+
+    #[test]
+    fn from_parts_parallel_matches_serial_merge() {
+        let records = sample_records();
+        let parts: Vec<TrafficStats> = records.chunks(97).map(TrafficStats::from_records).collect();
+        let mut serial = TrafficStats::new();
+        for p in &parts {
+            serial.merge(p);
+        }
+        for threads in [1, 2, 4] {
+            let sharded = ShardedTrafficStats::from_parts_parallel(&parts, 8, threads);
+            assert_equivalent(&sharded, &serial);
+        }
+    }
+}

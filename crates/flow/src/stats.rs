@@ -25,6 +25,49 @@ use mt_types::Block24;
 use mt_wire::IpProtocol;
 use std::collections::HashMap;
 
+/// Read access to per-/24 traffic aggregates, independent of how they are
+/// stored.
+///
+/// Both the flat [`TrafficStats`] and the sharded
+/// [`ShardedTrafficStats`](crate::sharded::ShardedTrafficStats) implement
+/// this, so consumers (the inference pipeline, spoofing-tolerance
+/// estimation, baselines) can run against either representation without
+/// forcing a merge first.
+pub trait TrafficView {
+    /// Stats for traffic destined to `block`.
+    fn dst(&self, block: Block24) -> Option<&DstBlockStats>;
+
+    /// Stats for traffic originated by `block`.
+    fn src(&self, block: Block24) -> Option<&SrcBlockStats>;
+
+    /// Iterates over all destination blocks with sampled traffic, in
+    /// storage order (unordered).
+    fn iter_dst(&self) -> impl Iterator<Item = (Block24, &DstBlockStats)>;
+
+    /// Iterates over all source blocks with sampled traffic, in storage
+    /// order (unordered).
+    fn iter_src(&self) -> impl Iterator<Item = (Block24, &SrcBlockStats)>;
+
+    /// Number of distinct destination /24s seen.
+    fn dst_block_count(&self) -> usize;
+
+    /// Number of distinct source /24s seen.
+    fn src_block_count(&self) -> usize;
+
+    /// The per-host "large packet" size threshold the stats were built
+    /// with.
+    fn size_threshold(&self) -> u16;
+
+    /// Number of flow records ingested.
+    fn total_flows(&self) -> u64;
+
+    /// Sampled packets across all records.
+    fn total_packets(&self) -> u64;
+
+    /// Sampled octets across all records.
+    fn total_octets(&self) -> u64;
+}
+
 /// The default per-packet size (bytes) above which a TCP packet marks its
 /// destination host as having seen "large" traffic. Deliberately looser
 /// than the 44-byte *block-average* threshold: SYNs with options (48–60
@@ -98,8 +141,19 @@ impl HostSet {
     }
 
     /// Iterates over the hosts in ascending order.
+    ///
+    /// Walks the four 64-bit words with `trailing_zeros`, visiting only
+    /// set bits instead of probing all 256 positions — sparse sets (the
+    /// common case: a handful of active hosts per /24) iterate in a few
+    /// steps.
     pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
-        (0u16..256).filter_map(|h| self.contains(h as u8).then_some(h as u8))
+        self.0.iter().enumerate().flat_map(|(w, &word)| {
+            std::iter::successors((word != 0).then_some(word), |&bits| {
+                let rest = bits & (bits - 1);
+                (rest != 0).then_some(rest)
+            })
+            .map(move |bits| (w as u32 * 64 + bits.trailing_zeros()) as u8)
+        })
     }
 }
 
@@ -221,7 +275,7 @@ impl DstBlockStats {
         }
     }
 
-    fn merge(&mut self, other: &DstBlockStats) {
+    pub(crate) fn merge(&mut self, other: &DstBlockStats) {
         self.tcp_packets += other.tcp_packets;
         self.tcp_octets += other.tcp_octets;
         self.udp_packets += other.udp_packets;
@@ -259,7 +313,7 @@ impl SrcBlockStats {
         self.originating.insert(host);
     }
 
-    fn merge(&mut self, other: &SrcBlockStats) {
+    pub(crate) fn merge(&mut self, other: &SrcBlockStats) {
         self.packets += other.packets;
         self.originating.union_with(&other.originating);
     }
@@ -321,21 +375,8 @@ impl TrafficStats {
 
     /// Ingests one record.
     pub fn ingest(&mut self, r: &FlowRecord) {
-        debug_assert!(r.packets > 0, "flow records carry at least one packet");
-        self.total_flows += 1;
-        self.total_packets += r.packets;
-        self.total_octets += r.octets;
-        self.per_dst.entry(r.dst.block24_index()).or_default().ingest(
-            r.dst.host_in_block24(),
-            r.protocol,
-            r.packets,
-            r.octets,
-            self.size_threshold,
-        );
-        self.per_src
-            .entry(r.src.block24_index())
-            .or_default()
-            .ingest(r.src.host_in_block24(), r.packets);
+        self.ingest_dst_half(r, None);
+        self.ingest_src_half(r);
     }
 
     /// Ingests a host-sweep record: `r.packets` packets of identical size
@@ -344,14 +385,37 @@ impl TrafficStats {
     /// per-host fan-out matters for classification but materializing one
     /// record per host would dominate runtime.
     pub fn ingest_sweep(&mut self, r: &FlowRecord, host_seed: u64) {
-        debug_assert!(r.packets > 0);
+        self.ingest_dst_half(r, Some(host_seed));
+        self.ingest_src_half(r);
+    }
+
+    /// The destination-side half of an ingest: record totals plus the
+    /// per-dst-/24 update (a sweep when `sweep_seed` is set). Split from
+    /// [`ingest`](Self::ingest) so a sharded accumulator can route the two
+    /// halves of one record to the shards owning its dst and src blocks.
+    pub(crate) fn ingest_dst_half(&mut self, r: &FlowRecord, sweep_seed: Option<u64>) {
+        debug_assert!(r.packets > 0, "flow records carry at least one packet");
         self.total_flows += 1;
         self.total_packets += r.packets;
         self.total_octets += r.octets;
-        self.per_dst
-            .entry(r.dst.block24_index())
-            .or_default()
-            .ingest_sweep(r.protocol, r.packets, r.octets, self.size_threshold, host_seed);
+        let dst = self.per_dst.entry(r.dst.block24_index()).or_default();
+        match sweep_seed {
+            None => dst.ingest(
+                r.dst.host_in_block24(),
+                r.protocol,
+                r.packets,
+                r.octets,
+                self.size_threshold,
+            ),
+            Some(seed) => {
+                dst.ingest_sweep(r.protocol, r.packets, r.octets, self.size_threshold, seed)
+            }
+        }
+    }
+
+    /// The source-side half of an ingest (no totals; those ride with the
+    /// destination half so shard sums reproduce serial totals exactly).
+    pub(crate) fn ingest_src_half(&mut self, r: &FlowRecord) {
         self.per_src
             .entry(r.src.block24_index())
             .or_default()
@@ -406,6 +470,107 @@ impl TrafficStats {
             self.per_src.entry(b).or_default().merge(s);
         }
     }
+
+    /// Moves all blocks of `other` into `self`, assuming the key spaces
+    /// are disjoint (shard reassembly). Equivalent to
+    /// [`merge`](Self::merge) but consumes `other` and reuses its
+    /// allocations instead of cloning every block.
+    pub(crate) fn absorb_disjoint(&mut self, other: TrafficStats) {
+        assert_eq!(
+            self.size_threshold, other.size_threshold,
+            "merging stats with different host-size thresholds"
+        );
+        self.total_flows += other.total_flows;
+        self.total_packets += other.total_packets;
+        self.total_octets += other.total_octets;
+        if self.per_dst.is_empty() && self.per_src.is_empty() {
+            self.per_dst = other.per_dst;
+            self.per_src = other.per_src;
+            return;
+        }
+        for (b, s) in other.per_dst {
+            debug_assert!(!self.per_dst.contains_key(&b), "shard key spaces overlap");
+            self.per_dst.insert(b, s);
+        }
+        for (b, s) in other.per_src {
+            debug_assert!(!self.per_src.contains_key(&b), "shard key spaces overlap");
+            self.per_src.insert(b, s);
+        }
+    }
+
+    /// Merges only the blocks of `other` whose index satisfies `keep`,
+    /// optionally including `other`'s record totals. Lets a sharded
+    /// reduction project each input onto one shard's key space; exactly
+    /// one shard per input must take the totals so shard sums stay equal
+    /// to the serial merge.
+    pub(crate) fn merge_projection(
+        &mut self,
+        other: &TrafficStats,
+        keep: impl Fn(u32) -> bool,
+        include_totals: bool,
+    ) {
+        assert_eq!(
+            self.size_threshold, other.size_threshold,
+            "merging stats with different host-size thresholds"
+        );
+        if include_totals {
+            self.total_flows += other.total_flows;
+            self.total_packets += other.total_packets;
+            self.total_octets += other.total_octets;
+        }
+        for (&b, s) in &other.per_dst {
+            if keep(b) {
+                self.per_dst.entry(b).or_default().merge(s);
+            }
+        }
+        for (&b, s) in &other.per_src {
+            if keep(b) {
+                self.per_src.entry(b).or_default().merge(s);
+            }
+        }
+    }
+}
+
+impl TrafficView for TrafficStats {
+    fn dst(&self, block: Block24) -> Option<&DstBlockStats> {
+        TrafficStats::dst(self, block)
+    }
+
+    fn src(&self, block: Block24) -> Option<&SrcBlockStats> {
+        TrafficStats::src(self, block)
+    }
+
+    fn iter_dst(&self) -> impl Iterator<Item = (Block24, &DstBlockStats)> {
+        TrafficStats::iter_dst(self)
+    }
+
+    fn iter_src(&self) -> impl Iterator<Item = (Block24, &SrcBlockStats)> {
+        TrafficStats::iter_src(self)
+    }
+
+    fn dst_block_count(&self) -> usize {
+        TrafficStats::dst_block_count(self)
+    }
+
+    fn src_block_count(&self) -> usize {
+        TrafficStats::src_block_count(self)
+    }
+
+    fn size_threshold(&self) -> u16 {
+        TrafficStats::size_threshold(self)
+    }
+
+    fn total_flows(&self) -> u64 {
+        self.total_flows
+    }
+
+    fn total_packets(&self) -> u64 {
+        self.total_packets
+    }
+
+    fn total_octets(&self) -> u64 {
+        self.total_octets
+    }
 }
 
 #[cfg(test)]
@@ -449,6 +614,41 @@ mod tests {
         assert_eq!(s.difference(&t).len(), 3);
         assert_eq!(s.union(&t).len(), 5);
         assert_eq!(s.intersection(&t).len(), 1);
+    }
+
+    #[test]
+    fn hostset_iter_sparse_dense_and_boundaries() {
+        // Sparse: one bit per word, including both word boundaries.
+        let mut sparse = HostSet::default();
+        for h in [0u8, 63, 64, 127, 128, 191, 192, 255] {
+            sparse.insert(h);
+        }
+        assert_eq!(
+            sparse.iter().collect::<Vec<u8>>(),
+            vec![0, 63, 64, 127, 128, 191, 192, 255]
+        );
+
+        // Dense: every host — iteration must cover the full domain in order.
+        let mut dense = HostSet::default();
+        for h in 0..=255u8 {
+            dense.insert(h);
+        }
+        let all: Vec<u8> = dense.iter().collect();
+        assert_eq!(all.len(), 256);
+        assert!(all.iter().copied().eq(0..=255));
+
+        // Empty set yields nothing.
+        assert_eq!(HostSet::EMPTY.iter().count(), 0);
+
+        // Cross-check against a membership probe over the whole domain.
+        let mut mixed = HostSet::default();
+        for h in (0..=255u8).filter(|h| h % 7 == 3) {
+            mixed.insert(h);
+        }
+        let probed: Vec<u8> = (0u16..256)
+            .filter_map(|h| mixed.contains(h as u8).then_some(h as u8))
+            .collect();
+        assert_eq!(mixed.iter().collect::<Vec<u8>>(), probed);
     }
 
     #[test]
@@ -544,7 +744,10 @@ mod tests {
             merged.dst(b).unwrap().median_tcp_size(),
             combined.dst(b).unwrap().median_tcp_size()
         );
-        assert_eq!(merged.dst(b).unwrap().received, combined.dst(b).unwrap().received);
+        assert_eq!(
+            merged.dst(b).unwrap().received,
+            combined.dst(b).unwrap().received
+        );
         assert_eq!(
             merged.src(b).unwrap().packets,
             combined.src(b).unwrap().packets

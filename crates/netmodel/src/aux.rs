@@ -38,7 +38,9 @@ impl AuxDatasets {
             isi: Block24Set::new(),
         };
         for block in net.active_truth.iter() {
-            let Some(info) = net.block_info(block) else { continue };
+            let Some(info) = net.block_info(block) else {
+                continue;
+            };
             let ty = net.ases[info.as_idx as usize].network_type;
             // Collection-method bias.
             let censys_p = match ty {

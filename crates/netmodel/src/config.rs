@@ -329,7 +329,7 @@ mod tests {
     }
 
     #[test]
-    fn continent_weights_are_positive(){
+    fn continent_weights_are_positive() {
         for profile in InternetConfig::paper().continents {
             assert!(profile.as_weight > 0.0);
             assert!(profile.type_mix.iter().all(|&w| w >= 0.0));

@@ -195,9 +195,7 @@ impl Allocator {
     fn new(unrouted: &[u8]) -> Self {
         let mut forbidden = [false; 256];
         forbidden[0] = true; // "this network"
-        for o in 224..=255 {
-            forbidden[o] = true; // multicast + reserved
-        }
+        forbidden[224..].fill(true); // multicast + reserved
         for &o in unrouted {
             forbidden[o as usize] = true;
         }
@@ -307,7 +305,13 @@ impl Internet {
                             telescope: None,
                             dark_bits: vec![0u64; (span as usize).div_ceil(64)],
                         };
-                        Self::assign_dark_runs(&mut ann, span, 0.55, config.dark_run_mean, &mut rng);
+                        Self::assign_dark_runs(
+                            &mut ann,
+                            span,
+                            0.55,
+                            config.dark_run_mean,
+                            &mut rng,
+                        );
                         announcements.push(ann);
                     }
                     remaining = remaining.saturating_sub(span);
@@ -362,7 +366,9 @@ impl Internet {
                 let pick = weighted_pick(&mut rng, &len_weights);
                 let len = config.prefix_len_weights[pick].0;
                 let span = 1u32 << (24 - len);
-                let Some(first) = alloc.alloc(span) else { break };
+                let Some(first) = alloc.alloc(span) else {
+                    break;
+                };
                 let prefix = Prefix::new(first.base(), len).expect("aligned");
                 let mut ann = Announcement {
                     prefix,
@@ -395,8 +401,7 @@ impl Internet {
             }
         }
 
-        let vantage_points =
-            VantagePoint::generate_all(&config, &ases, &telescopes, seed);
+        let vantage_points = VantagePoint::generate_all(&config, &ases, &telescopes, seed);
 
         Internet {
             config,
@@ -542,7 +547,8 @@ impl Internet {
 
     /// The AS info for a block, if announced.
     pub fn as_of_block(&self, block: Block24) -> Option<&AsInfo> {
-        self.block_info(block).map(|b| &self.ases[b.as_idx as usize])
+        self.block_info(block)
+            .map(|b| &self.ases[b.as_idx as usize])
     }
 
     /// Total number of announced /24s.
@@ -603,9 +609,7 @@ impl Internet {
 
     /// Whether an address falls inside configured unrouted space.
     pub fn is_unrouted_space(&self, addr: Ipv4) -> bool {
-        self.config
-            .unrouted_octets
-            .contains(&addr.octets()[0])
+        self.config.unrouted_octets.contains(&addr.octets()[0])
     }
 }
 
@@ -678,7 +682,10 @@ mod tests {
             .sum();
         assert_eq!(net.dark_truth.len() + net.active_truth.len(), total);
         assert!(net.dark_truth.len() > 100, "expect meaningful dark space");
-        assert!(net.active_truth.len() > 100, "expect meaningful active space");
+        assert!(
+            net.active_truth.len() > 100,
+            "expect meaningful active space"
+        );
     }
 
     #[test]

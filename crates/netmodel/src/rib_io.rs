@@ -109,10 +109,7 @@ mod tests {
         let text = "# pfx2as snapshot\n\n10.0.0.0/8\t65001\n  \n192.168.0.0/16 65002\n";
         let rib = read_rib(text.as_bytes()).unwrap();
         assert_eq!(rib.len(), 2);
-        assert_eq!(
-            rib.get("10.0.0.0/8".parse().unwrap()),
-            Some(&Asn(65_001))
-        );
+        assert_eq!(rib.get("10.0.0.0/8".parse().unwrap()), Some(&Asn(65_001)));
     }
 
     #[test]

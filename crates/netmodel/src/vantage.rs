@@ -86,7 +86,9 @@ impl VantagePoint {
         // Direct peering: a telescope host that peers at the first N IXPs
         // is always visible there, in both directions.
         for (t_idx, tc) in config.telescopes.iter().enumerate() {
-            let Some(t) = telescopes.get(t_idx) else { continue };
+            let Some(t) = telescopes.get(t_idx) else {
+                continue;
+            };
             for vp in vps.iter_mut().take(tc.direct_peering_ixps) {
                 vp.dst_visible[t.as_idx as usize] = true;
                 vp.src_visible[t.as_idx as usize] = true;
@@ -182,12 +184,16 @@ mod tests {
     fn observes_requires_both_sides() {
         let net = net();
         let vp = &net.vantage_points[0];
-        let s = (0..net.ases.len() as u32).find(|&i| vp.sees_src_as(i)).unwrap();
+        let s = (0..net.ases.len() as u32)
+            .find(|&i| vp.sees_src_as(i))
+            .unwrap();
         let blind_dst = (0..net.ases.len() as u32).find(|&i| !vp.sees_dst_as(i));
         if let Some(d) = blind_dst {
             assert!(!vp.observes(s, d));
         }
-        let visible_dst = (0..net.ases.len() as u32).find(|&i| vp.sees_dst_as(i)).unwrap();
+        let visible_dst = (0..net.ases.len() as u32)
+            .find(|&i| vp.sees_dst_as(i))
+            .unwrap();
         assert!(vp.observes(s, visible_dst));
     }
 

@@ -48,17 +48,15 @@ impl PcapSummary {
             };
             s.packets += 1;
             let ip_bytes: &[u8] = match linktype {
-                pcap::LINKTYPE_ETHERNET => {
-                    match ethernet::Frame::new_checked(&record.data[..]) {
-                        Ok(f) if f.ethertype() == ethernet::ETHERTYPE_IPV4 => {
-                            &record.data[ethernet::HEADER_LEN..]
-                        }
-                        _ => {
-                            s.malformed += 1;
-                            continue;
-                        }
+                pcap::LINKTYPE_ETHERNET => match ethernet::Frame::new_checked(&record.data[..]) {
+                    Ok(f) if f.ethertype() == ethernet::ETHERTYPE_IPV4 => {
+                        &record.data[ethernet::HEADER_LEN..]
                     }
-                }
+                    _ => {
+                        s.malformed += 1;
+                        continue;
+                    }
+                },
                 _ => &record.data[..],
             };
             let Ok(packet) = ipv4::Packet::new_checked(ip_bytes) else {
@@ -151,7 +149,11 @@ mod tests {
             w.write_packet(100 + i, 0, &buf).unwrap();
         }
         // One UDP packet.
-        let u = udp::Repr { src_port: 53, dst_port: 33_000, payload_len: 4 };
+        let u = udp::Repr {
+            src_port: 53,
+            dst_port: 33_000,
+            payload_len: 4,
+        };
         let ip = ipv4::Repr {
             src,
             dst,

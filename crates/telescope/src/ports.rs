@@ -33,7 +33,10 @@ impl PortRanking {
 
     /// Rank of a port (1-based), if present.
     pub fn rank_of(&self, port: u16) -> Option<usize> {
-        self.ranked.iter().position(|&(p, _)| p == port).map(|i| i + 1)
+        self.ranked
+            .iter()
+            .position(|&(p, _)| p == port)
+            .map(|i| i + 1)
     }
 }
 
@@ -54,11 +57,7 @@ mod tests {
 
     #[test]
     fn ranking_orders_by_count_then_port() {
-        let r = PortRanking::top_n(
-            "T",
-            &counts(&[(80, 10), (23, 50), (22, 10), (443, 5)]),
-            3,
-        );
+        let r = PortRanking::top_n("T", &counts(&[(80, 10), (23, 50), (22, 10), (443, 5)]), 3);
         assert_eq!(r.ports(), vec![23, 22, 80]);
         assert_eq!(r.rank_of(23), Some(1));
         assert_eq!(r.rank_of(443), None);

@@ -49,7 +49,10 @@ fn week_stats_accumulate_across_days() {
     for day in Day(0).range(3) {
         let mut capture = CaptureSet::new(&net, day, &spoof, DEFAULT_SIZE_THRESHOLD, false);
         generate_day(&net, &cfg, day, &mut capture);
-        days.push(TelescopeDayStats::from_observer(&capture.telescopes[0], day));
+        days.push(TelescopeDayStats::from_observer(
+            &capture.telescopes[0],
+            day,
+        ));
     }
     let week = TelescopeWeekStats::new("TUS1", net.telescopes[0].num_blocks, days.clone());
     // The weekly mean lies between the daily extremes.

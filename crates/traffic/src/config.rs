@@ -124,7 +124,15 @@ impl TrafficConfig {
             bots: 200,
         };
         vec![
-            b("mirai-telnet", &[(23, 0.8), (2222, 0.2)], 0.85, 200, &[], 1.0, None),
+            b(
+                "mirai-telnet",
+                &[(23, 0.8), (2222, 0.2)],
+                0.85,
+                200,
+                &[],
+                1.0,
+                None,
+            ),
             b(
                 "mirai-web",
                 &[(8080, 0.5), (80, 0.22), (8443, 0.18), (81, 0.10)],
@@ -285,7 +293,10 @@ mod tests {
         // dark-block averages inside the (40, 44) window the classifier
         // exploits.
         let research_avg = 40.0 + 8.0 * cfg.syn_opt_share_mean;
-        assert!(research_avg > 40.5 && research_avg < 44.0, "avg {research_avg}");
+        assert!(
+            research_avg > 40.5 && research_avg < 44.0,
+            "avg {research_avg}"
+        );
         assert!(cfg.syn_opt_share_mean - cfg.syn_opt_share_spread > 0.0);
         assert!(cfg.syn_opt_share_mean + cfg.syn_opt_share_spread < 1.0);
     }

@@ -26,8 +26,8 @@ use crate::emission::{EmissionSink, FlowEmission, SpoofFloodEmission, NO_AS};
 use crate::ports::PortPalette;
 use mt_flow::record::{FlowIntent, TCP_ACK, TCP_RST, TCP_SYN};
 use mt_netmodel::Internet;
-use mt_types::NetworkType;
 use mt_types::mix::{mix3, unit3};
+use mt_types::NetworkType;
 use mt_types::{Block24, Day, Ipv4, SimTime};
 
 // Salt constants: one per decision family, so streams never collide.
@@ -41,12 +41,7 @@ const S_MISC: u64 = 0x315c;
 const S_PROD: u64 = 0xb40d;
 
 /// Drives one simulated day of traffic into `sink`.
-pub fn generate_day(
-    net: &Internet,
-    cfg: &TrafficConfig,
-    day: Day,
-    sink: &mut dyn EmissionSink,
-) {
+pub fn generate_day(net: &Internet, cfg: &TrafficConfig, day: Day, sink: &mut dyn EmissionSink) {
     let w = Workload::new(net, cfg, day);
     w.research_scanners(sink);
     w.botnets(sink);
@@ -131,8 +126,12 @@ impl<'a> Workload<'a> {
     /// configured telescope multipliers.
     fn attention(&self, block: u32, telescope: Option<u8>) -> f64 {
         let static_noise = 0.65 + unit3(self.seed ^ S_ATTN, u64::from(block), 0) * 0.7;
-        let daily_noise =
-            0.8 + unit3(self.seed ^ S_ATTN ^ 0xda11, u64::from(block), u64::from(self.day.0)) * 0.4;
+        let daily_noise = 0.8
+            + unit3(
+                self.seed ^ S_ATTN ^ 0xda11,
+                u64::from(block),
+                u64::from(self.day.0),
+            ) * 0.4;
         let tele = telescope
             .and_then(|t| self.cfg.telescope_attention.get(t as usize))
             .copied()
@@ -234,17 +233,7 @@ impl<'a> Workload<'a> {
                     let pkts = (self.cfg.research_pkts_per_block as f64
                         * self.attention(block, ann.telescope))
                         as u64;
-                    self.emit_scan(
-                        sink,
-                        src,
-                        sender_as,
-                        block,
-                        ann.as_idx,
-                        port,
-                        pkts,
-                        h,
-                        true,
-                    );
+                    self.emit_scan(sink, src, sender_as, block, ann.as_idx, port, pkts, h, true);
                 }
             }
         }
@@ -287,9 +276,8 @@ impl<'a> Workload<'a> {
                     let bot_slot = mix3(self.seed ^ S_BOT, bi, h % u64::from(bot.bots));
                     let (src, sender_as) = self.active_host(S_BOT ^ 0xb1, bot_slot);
                     let port = bot.ports.pick(h);
-                    let pkts = (bot.pkts_per_target as f64
-                        * self.attention(block, ann.telescope))
-                        as u64;
+                    let pkts =
+                        (bot.pkts_per_target as f64 * self.attention(block, ann.telescope)) as u64;
                     self.emit_scan(
                         sink, src, sender_as, block, ann.as_idx, port, pkts, h, false,
                     );
@@ -313,8 +301,7 @@ impl<'a> Workload<'a> {
                     .and_then(|t| self.cfg.telescope_udp_attention.get(t as usize))
                     .copied()
                     .unwrap_or(1.0);
-                let pkts =
-                    (self.cfg.udp_sweep_pkts_per_block as f64 * noise * udp_mult) as u64;
+                let pkts = (self.cfg.udp_sweep_pkts_per_block as f64 * noise * udp_mult) as u64;
                 if pkts == 0 {
                     continue;
                 }
@@ -349,7 +336,11 @@ impl<'a> Workload<'a> {
             let first = ann.prefix.base().block24_index();
             for off in 0..ann.prefix.num_blocks24() {
                 let block = first + off;
-                let h = mix3(self.seed ^ S_UDP ^ 0x1c, u64::from(block), u64::from(self.day.0));
+                let h = mix3(
+                    self.seed ^ S_UDP ^ 0x1c,
+                    u64::from(block),
+                    u64::from(self.day.0),
+                );
                 sink.flow(&FlowEmission {
                     intent: FlowIntent {
                         start: self.start_time(h),
@@ -389,7 +380,11 @@ impl<'a> Workload<'a> {
                 let ann = &announced[(h % announced.len() as u64) as usize];
                 let off = mix3(h, 1, 2) % u64::from(ann.prefix.num_blocks24());
                 let block = ann.prefix.base().block24_index() + off as u32;
-                let flags = if h & 1 == 0 { TCP_SYN | TCP_ACK } else { TCP_RST };
+                let flags = if h & 1 == 0 {
+                    TCP_SYN | TCP_ACK
+                } else {
+                    TCP_RST
+                };
                 sink.flow(&FlowEmission {
                     intent: FlowIntent {
                         start: self.start_time(h),
@@ -437,14 +432,17 @@ impl<'a> Workload<'a> {
             let h = mix3(self.seed ^ S_MISC, u64::from(m), u64::from(self.day.0));
             let (src, sender_as) = self.active_host(S_MISC, u64::from(m) / 4);
             // 2% of the chatter leaks toward private space (step 4 diet).
-            let (dst, dst_as) = if h % 50 == 0 {
+            let (dst, dst_as) = if h.is_multiple_of(50) {
                 let private = Ipv4::new(10, (h >> 8) as u8, (h >> 16) as u8, (h >> 24) as u8);
                 (private, NO_AS)
             } else {
                 let ann = &announced[(h % announced.len() as u64) as usize];
                 let off = mix3(h, 7, 8) % u64::from(ann.prefix.num_blocks24());
                 let block = ann.prefix.base().block24_index() + off as u32;
-                (Block24(block).addr((mix3(h, 9, 10) & 0xff) as u8), ann.as_idx)
+                (
+                    Block24(block).addr((mix3(h, 9, 10) & 0xff) as u8),
+                    ann.as_idx,
+                )
             };
             sink.flow(&FlowEmission {
                 intent: FlowIntent {
@@ -469,19 +467,29 @@ impl<'a> Workload<'a> {
         let weekend = self.day.is_weekend();
         for &block in &self.active_index {
             let b = Block24(block);
-            let Some(info) = self.net.block_info(b) else { continue };
+            let Some(info) = self.net.block_info(b) else {
+                continue;
+            };
             let a = &self.net.ases[info.as_idx as usize];
             let ti = TrafficConfig::type_index(a.network_type);
-            let wk = if weekend { self.cfg.weekend_factor[ti] } else { 1.0 };
-            let noise = 0.4 + unit3(self.seed ^ S_PROD, u64::from(block), u64::from(self.day.0)) * 1.6;
+            let wk = if weekend {
+                self.cfg.weekend_factor[ti]
+            } else {
+                1.0
+            };
+            let noise =
+                0.4 + unit3(self.seed ^ S_PROD, u64::from(block), u64::from(self.day.0)) * 1.6;
             // Upload-heavy blocks (content sources, backup targets, …)
             // push data out and receive mostly ACKs: the median-size
             // classifier's false positives in Table 3.
             let upload_heavy = unit3(self.seed ^ S_PROD, u64::from(block), 0x0b10ad)
                 < self.cfg.upload_heavy_fraction;
-            let (out_scale, in_scale) = if upload_heavy { (3.0, 0.08) } else { (1.0, 1.0) };
-            let out_data =
-                (self.cfg.production_out[ti] as f64 * wk * noise * out_scale) as u64;
+            let (out_scale, in_scale) = if upload_heavy {
+                (3.0, 0.08)
+            } else {
+                (1.0, 1.0)
+            };
+            let out_data = (self.cfg.production_out[ti] as f64 * wk * noise * out_scale) as u64;
             let in_data = (self.cfg.production_in[ti] as f64 * wk * noise * in_scale) as u64;
             if out_data == 0 && in_data == 0 {
                 continue;
@@ -489,8 +497,7 @@ impl<'a> Workload<'a> {
             let h = mix3(self.seed ^ S_PROD, u64::from(block), 0xc0ffee);
             let local_host = b.addr(10 + (h % 60) as u8);
             // This block's content source (sticky CDN assignment).
-            let cdn_block =
-                Block24(self.cdn_blocks[(h % self.cdn_blocks.len() as u64) as usize]);
+            let cdn_block = Block24(self.cdn_blocks[(h % self.cdn_blocks.len() as u64) as usize]);
             let cdn_host = cdn_block.addr(4 + (mix3(h, 2, 3) % 32) as u8);
             let cdn_as = self
                 .net
@@ -532,19 +539,60 @@ impl<'a> Workload<'a> {
             if talks_to_cdn {
                 let eph = 1024 + (h % 50_000) as u16;
                 // Uploads / requests.
-                emit(local_host, cdn_host, info.as_idx, cdn_as, eph, 443, TCP_ACK, out_data, 600);
+                emit(
+                    local_host,
+                    cdn_host,
+                    info.as_idx,
+                    cdn_as,
+                    eph,
+                    443,
+                    TCP_ACK,
+                    out_data,
+                    600,
+                );
                 // Pure-ACK return stream for downloads: 40-byte packets
                 // pouring *into* the CDN — the asymmetric-routing decoy.
-                emit(local_host, cdn_host, info.as_idx, cdn_as, eph, 443, TCP_ACK, in_data / 2, 40);
+                emit(
+                    local_host,
+                    cdn_host,
+                    info.as_idx,
+                    cdn_as,
+                    eph,
+                    443,
+                    TCP_ACK,
+                    in_data / 2,
+                    40,
+                );
                 // The downloads themselves.
-                emit(cdn_host, local_host, cdn_as, info.as_idx, 443, eph, TCP_ACK, in_data, 1400);
+                emit(
+                    cdn_host,
+                    local_host,
+                    cdn_as,
+                    info.as_idx,
+                    443,
+                    eph,
+                    TCP_ACK,
+                    in_data,
+                    1400,
+                );
                 // ACKs for this block's uploads, pouring back in at 40
                 // bytes (dominates inbound for upload-heavy blocks).
-                emit(cdn_host, local_host, cdn_as, info.as_idx, 443, eph, TCP_ACK, out_data / 2, 40);
+                emit(
+                    cdn_host,
+                    local_host,
+                    cdn_as,
+                    info.as_idx,
+                    443,
+                    eph,
+                    TCP_ACK,
+                    out_data / 2,
+                    40,
+                );
             }
             // Peer-to-peer-ish chatter with another active block.
-            let peer_block =
-                Block24(self.active_index[(mix3(h, 4, 5) % self.active_index.len() as u64) as usize]);
+            let peer_block = Block24(
+                self.active_index[(mix3(h, 4, 5) % self.active_index.len() as u64) as usize],
+            );
             if peer_block != b {
                 let peer_as = self
                     .net
@@ -591,7 +639,10 @@ mod tests {
     fn run_day(day: Day) -> Collector {
         let net = Internet::generate(InternetConfig::small(), 3);
         let cfg = TrafficConfig::test_profile();
-        let mut c = Collector { flows: Vec::new(), floods: Vec::new() };
+        let mut c = Collector {
+            flows: Vec::new(),
+            floods: Vec::new(),
+        };
         generate_day(&net, &cfg, day, &mut c);
         c
     }
@@ -601,8 +652,14 @@ mod tests {
         let c = run_day(Day(0));
         assert!(!c.flows.is_empty());
         assert_eq!(c.floods.len(), 6);
-        assert!(c.flows.iter().any(|e| e.intent.protocol == 17), "UDP present");
-        assert!(c.flows.iter().any(|e| e.intent.protocol == 1), "ICMP present");
+        assert!(
+            c.flows.iter().any(|e| e.intent.protocol == 17),
+            "UDP present"
+        );
+        assert!(
+            c.flows.iter().any(|e| e.intent.protocol == 1),
+            "ICMP present"
+        );
         assert!(
             c.flows.iter().any(|e| e.intent.tcp_flags == TCP_SYN),
             "SYN scans present"
@@ -612,10 +669,10 @@ mod tests {
             "production data present"
         );
         assert!(
-            c.flows
-                .iter()
-                .any(|e| e.intent.tcp_flags & (TCP_SYN | TCP_ACK) == TCP_SYN | TCP_ACK
-                    || e.intent.tcp_flags == TCP_RST),
+            c.flows.iter().any(
+                |e| e.intent.tcp_flags & (TCP_SYN | TCP_ACK) == TCP_SYN | TCP_ACK
+                    || e.intent.tcp_flags == TCP_RST
+            ),
             "backscatter present"
         );
     }
@@ -636,7 +693,10 @@ mod tests {
         let net = Internet::generate(InternetConfig::small(), 3);
         let cfg = TrafficConfig::test_profile();
         let volume_of = |day: Day| {
-            let mut c = Collector { flows: Vec::new(), floods: Vec::new() };
+            let mut c = Collector {
+                flows: Vec::new(),
+                floods: Vec::new(),
+            };
             generate_day(&net, &cfg, day, &mut c);
             // Sum production-looking outbound traffic from Enterprise ASes.
             c.flows
@@ -662,7 +722,10 @@ mod tests {
     fn scans_cover_dark_space() {
         let net = Internet::generate(InternetConfig::small(), 3);
         let cfg = TrafficConfig::test_profile();
-        let mut c = Collector { flows: Vec::new(), floods: Vec::new() };
+        let mut c = Collector {
+            flows: Vec::new(),
+            floods: Vec::new(),
+        };
         generate_day(&net, &cfg, Day(0), &mut c);
         let mut scanned = mt_types::Block24Set::new();
         for e in &c.flows {
@@ -679,7 +742,10 @@ mod tests {
     fn dark_blocks_never_send() {
         let net = Internet::generate(InternetConfig::small(), 3);
         let cfg = TrafficConfig::test_profile();
-        let mut c = Collector { flows: Vec::new(), floods: Vec::new() };
+        let mut c = Collector {
+            flows: Vec::new(),
+            floods: Vec::new(),
+        };
         generate_day(&net, &cfg, Day(0), &mut c);
         let dark_today = net.dark_on(Day(0));
         for e in &c.flows {
@@ -696,7 +762,10 @@ mod tests {
         let net = Internet::generate(InternetConfig::small(), 3);
         let mut cfg = TrafficConfig::test_profile();
         cfg.telescope_attention = vec![1.0, 1.0, 3.0];
-        let mut c = Collector { flows: Vec::new(), floods: Vec::new() };
+        let mut c = Collector {
+            flows: Vec::new(),
+            floods: Vec::new(),
+        };
         generate_day(&net, &cfg, Day(0), &mut c);
         let per_block_volume = |blocks: &mut dyn Iterator<Item = Block24>| {
             let set: std::collections::HashSet<u32> = blocks.map(|b| b.0).collect();

@@ -3,9 +3,11 @@
 //! Three observer kinds mirror the paper's data sources:
 //!
 //! - [`VantageObserver`] — an IXP: checks path visibility, applies 1-in-N
-//!   packet sampling, and aggregates the surviving records into per-/24
-//!   [`TrafficStats`]. Spoofed floods are handled exactly (only *sampled*
-//!   packets materialize, each drawing a fresh forged source).
+//!   packet sampling, and aggregates the surviving records directly into
+//!   sharded per-/24 stats ([`ShardedTrafficStats`]), ready for per-shard
+//!   parallel pipeline evaluation. Spoofed floods are handled exactly
+//!   (only *sampled* packets materialize, each drawing a fresh forged
+//!   source).
 //! - [`TelescopeObserver`] — an operational telescope: unsampled capture
 //!   of everything destined to its dark range (minus ingress-blocked
 //!   ports and blocks dynamically handed to users), with per-block
@@ -15,7 +17,7 @@
 //!   behind the paper's Table 3 classifier tuning.
 
 use crate::emission::{EmissionSink, FlowEmission, SpoofFloodEmission, NO_AS};
-use mt_flow::{binomial, FlowRecord, TrafficStats};
+use mt_flow::{binomial, FlowRecord, ShardedTrafficStats, TrafficStats};
 use mt_netmodel::{Internet, Telescope, VantagePoint};
 use mt_types::mix::mix3;
 use mt_types::{Block24, Block24Set, Day, Ipv4};
@@ -25,10 +27,9 @@ use rand::{RngExt, SeedableRng};
 use std::collections::HashMap;
 
 fn str_hash(s: &str) -> u64 {
-    s.bytes()
-        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
-        })
+    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+    })
 }
 
 /// The address space forged sources are drawn from.
@@ -69,13 +70,15 @@ impl SpoofSpace {
     }
 }
 
-/// An IXP vantage point capturing sampled flows into per-/24 stats.
+/// An IXP vantage point capturing sampled flows into sharded per-/24
+/// stats.
 #[derive(Debug)]
 pub struct VantageObserver<'a> {
     /// The vantage point being observed from.
     pub vp: &'a VantagePoint,
-    /// Aggregated sampled traffic.
-    pub stats: TrafficStats,
+    /// Aggregated sampled traffic, sharded by `/24 % N` so downstream
+    /// consumers can merge and evaluate shards in parallel.
+    pub stats: ShardedTrafficStats,
     /// Number of sampled flow records produced.
     pub sampled_flows: u64,
     /// Raw sampled records, kept only when
@@ -99,7 +102,10 @@ impl<'a> VantageObserver<'a> {
     ) -> Self {
         VantageObserver {
             vp,
-            stats: TrafficStats::with_size_threshold(size_threshold),
+            stats: ShardedTrafficStats::with_size_threshold(
+                mt_flow::sharded::DEFAULT_SHARDS,
+                size_threshold,
+            ),
             sampled_flows: 0,
             records: None,
             spoof,
@@ -126,9 +132,16 @@ impl<'a> VantageObserver<'a> {
         }
     }
 
-    /// Consumes the observer, returning its stats.
-    pub fn into_stats(self) -> TrafficStats {
+    /// Consumes the observer, returning its stats in the sharded
+    /// representation (the cheap path — no reassembly).
+    pub fn into_sharded(self) -> ShardedTrafficStats {
         self.stats
+    }
+
+    /// Consumes the observer, returning flat stats (escape hatch for
+    /// call sites that need the unsharded representation).
+    pub fn into_stats(self) -> TrafficStats {
+        self.stats.into_unsharded()
     }
 }
 
@@ -345,7 +358,9 @@ fn craft_packet(intent: &mt_flow::FlowIntent) -> Vec<u8> {
                 flags: tcp::Flags(intent.tcp_flags),
                 window: 65_535,
                 mss: mss.then_some(1460),
-                payload_len: payload_len - tcp::HEADER_LEN - if mss { tcp::MSS_OPTION_LEN } else { 0 },
+                payload_len: payload_len
+                    - tcp::HEADER_LEN
+                    - if mss { tcp::MSS_OPTION_LEN } else { 0 },
             };
             let mut seg = tcp::Segment::new_unchecked(&mut buf[ipv4::HEADER_LEN..]);
             repr.emit(&mut seg, intent.src, intent.dst);
@@ -476,9 +491,7 @@ impl<'a> CaptureSet<'a> {
                 .iter()
                 .map(|t| TelescopeObserver::new(t, net, day))
                 .collect(),
-            isp: with_isp.then(|| {
-                IspObserver::new(net.telescopes[0].as_idx, size_threshold)
-            }),
+            isp: with_isp.then(|| IspObserver::new(net.telescopes[0].as_idx, size_threshold)),
         }
     }
 
@@ -519,6 +532,7 @@ mod tests {
     use super::*;
     use crate::config::TrafficConfig;
     use crate::generate::generate_day;
+    use mt_flow::TrafficView;
     use mt_netmodel::InternetConfig;
 
     fn scenario() -> Internet {
@@ -528,7 +542,13 @@ mod tests {
     fn captured_day(net: &Internet, day: Day) -> CaptureSet<'_> {
         // SpoofSpace borrows from net; leak it for test simplicity.
         let spoof = Box::leak(Box::new(SpoofSpace::new(net, 0.6)));
-        let mut set = CaptureSet::new(net, day, spoof, mt_flow::stats::DEFAULT_SIZE_THRESHOLD, true);
+        let mut set = CaptureSet::new(
+            net,
+            day,
+            spoof,
+            mt_flow::stats::DEFAULT_SIZE_THRESHOLD,
+            true,
+        );
         set.telescopes[0].enable_pcap(200);
         let cfg = TrafficConfig::test_profile();
         generate_day(net, &cfg, day, &mut set);
@@ -553,10 +573,14 @@ mod tests {
         let set = captured_day(&net, Day(0));
         let t = &set.telescopes[0];
         assert!(t.total_packets() > 0);
-        for (&block, _) in &t.per_block_packets {
+        for &block in t.per_block_packets.keys() {
             assert!(t.telescope.contains(Block24(block)));
         }
-        assert!(t.tcp_share() > 0.7, "IBR is TCP-dominated: {}", t.tcp_share());
+        assert!(
+            t.tcp_share() > 0.7,
+            "IBR is TCP-dominated: {}",
+            t.tcp_share()
+        );
         let avg = t.avg_tcp_size().unwrap();
         assert!(avg > 40.0 && avg < 44.0, "avg TCP size {avg}");
     }
@@ -637,10 +661,20 @@ mod tests {
         let net = scenario();
         let spoof = SpoofSpace::new(&net, 0.5);
         let vp = &net.vantage_points[0];
-        let mut obs = VantageObserver::new(vp, &net, Day(0), &spoof, mt_flow::stats::DEFAULT_SIZE_THRESHOLD);
+        let mut obs = VantageObserver::new(
+            vp,
+            &net,
+            Day(0),
+            &spoof,
+            mt_flow::stats::DEFAULT_SIZE_THRESHOLD,
+        );
         // Find a (sender, dst) pair the VP sees.
-        let sender = (0..net.ases.len() as u32).find(|&i| vp.sees_src_as(i)).unwrap();
-        let dst_as = (0..net.ases.len() as u32).find(|&i| vp.sees_dst_as(i)).unwrap();
+        let sender = (0..net.ases.len() as u32)
+            .find(|&i| vp.sees_src_as(i))
+            .unwrap();
+        let dst_as = (0..net.ases.len() as u32)
+            .find(|&i| vp.sees_dst_as(i))
+            .unwrap();
         let e = FlowEmission {
             intent: mt_flow::FlowIntent::tcp_syn(
                 mt_types::SimTime(0),
@@ -656,7 +690,7 @@ mod tests {
         };
         obs.flow(&e);
         // At the small profile's sampling rate some packets are kept.
-        let kept = obs.stats.total_packets;
+        let kept = obs.stats.total_packets();
         assert!(kept <= 500);
     }
 }

@@ -21,11 +21,7 @@ impl PortPalette {
     /// Builds a palette from `(port, weight)` pairs. Weights need not sum
     /// to anything in particular; zero-weight entries are dropped.
     pub fn new(entries: &[(u16, f64)]) -> Self {
-        let entries: Vec<(u16, f64)> = entries
-            .iter()
-            .copied()
-            .filter(|&(_, w)| w > 0.0)
-            .collect();
+        let entries: Vec<(u16, f64)> = entries.iter().copied().filter(|&(_, w)| w > 0.0).collect();
         assert!(!entries.is_empty(), "palette needs at least one port");
         let mut cumulative = Vec::with_capacity(entries.len());
         let mut acc = 0.0;

@@ -18,15 +18,7 @@ pub const NUM_BLOCKS: u32 = 1 << 24;
 
 /// A /24 IPv4 block, identified by its dense index (`address >> 8`).
 #[derive(
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    serde::Serialize,
-    serde::Deserialize,
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
 )]
 #[serde(transparent)]
 pub struct Block24(pub u32);
@@ -110,15 +102,6 @@ impl Block24Set {
         Block24Set {
             words: vec![0u64; WORDS],
         }
-    }
-
-    /// Creates a set from an iterator of blocks.
-    pub fn from_iter<I: IntoIterator<Item = Block24>>(iter: I) -> Self {
-        let mut s = Self::new();
-        for b in iter {
-            s.insert(b);
-        }
-        s
     }
 
     /// Inserts a block; returns `true` if it was newly inserted.
@@ -230,7 +213,7 @@ impl Block24Set {
         let mut idx = first;
         let end = first + count;
         // Whole-word fast path once aligned.
-        while idx < end && idx % 64 != 0 {
+        while idx < end && !idx.is_multiple_of(64) {
             total += usize::from(self.contains(Block24(idx)));
             idx += 1;
         }
@@ -269,7 +252,11 @@ impl Block24Set {
             let end = last.0;
             while start <= end {
                 // Largest alignment of `start`, capped by remaining span.
-                let align = if start == 0 { 1 << 24 } else { 1u32 << start.trailing_zeros() };
+                let align = if start == 0 {
+                    1 << 24
+                } else {
+                    1u32 << start.trailing_zeros()
+                };
                 let mut size = align.min(1 << 24);
                 let remaining = end - start + 1;
                 while size > remaining {
@@ -304,7 +291,11 @@ impl fmt::Debug for Block24Set {
 
 impl FromIterator<Block24> for Block24Set {
     fn from_iter<I: IntoIterator<Item = Block24>>(iter: I) -> Self {
-        Block24Set::from_iter(iter)
+        let mut s = Self::new();
+        for b in iter {
+            s.insert(b);
+        }
+        s
     }
 }
 
@@ -375,7 +366,13 @@ mod tests {
 
     #[test]
     fn set_iter_is_sorted_and_complete() {
-        let blocks = [Block24(0), Block24(63), Block24(64), Block24(65), Block24(NUM_BLOCKS - 1)];
+        let blocks = [
+            Block24(0),
+            Block24(63),
+            Block24(64),
+            Block24(65),
+            Block24(NUM_BLOCKS - 1),
+        ];
         let s = Block24Set::from_iter(blocks);
         let got: Vec<Block24> = s.iter().collect();
         assert_eq!(got, blocks);
@@ -427,9 +424,7 @@ mod tests {
     #[test]
     fn aggregate_respects_alignment() {
         // Blocks 1..=4 (base 10.0.1.0): misaligned run → /24 + /23 + /24.
-        let s: Block24Set = (1u32..=4)
-            .map(|i| Block24((10 << 16) | i))
-            .collect();
+        let s: Block24Set = (1u32..=4).map(|i| Block24((10 << 16) | i)).collect();
         let cidrs = s.aggregate();
         assert_eq!(
             cidrs,

@@ -12,16 +12,7 @@ use std::fmt;
 /// World regions as used in the paper's figures (including the
 /// "International" bucket for prefixes that map to several regions).
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    serde::Serialize,
-    serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
 )]
 pub enum Continent {
     /// North America.
@@ -74,15 +65,7 @@ impl fmt::Display for Continent {
 
 /// A country, stored as its two-letter ISO 3166-1 alpha-2 code.
 #[derive(
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    serde::Serialize,
-    serde::Deserialize,
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
 )]
 pub struct Country(pub [u8; 2]);
 
@@ -121,16 +104,7 @@ impl fmt::Debug for Country {
 /// Business category of the AS hosting a prefix (IPInfo's taxonomy as used
 /// in the paper's Table 7 and Figures 12/16/19/20).
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    serde::Serialize,
-    serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
 )]
 pub enum NetworkType {
     /// Eyeball / access networks.
@@ -176,11 +150,15 @@ impl fmt::Display for NetworkType {
 pub const COUNTRIES_BY_CONTINENT: &[(Continent, &[&str])] = &[
     (
         Continent::NorthAmerica,
-        &["US", "CA", "MX", "GT", "CU", "DO", "HN", "PA", "CR", "JM", "TT", "BS"],
+        &[
+            "US", "CA", "MX", "GT", "CU", "DO", "HN", "PA", "CR", "JM", "TT", "BS",
+        ],
     ),
     (
         Continent::SouthAmerica,
-        &["BR", "AR", "CO", "CL", "PE", "VE", "EC", "BO", "PY", "UY", "GY", "SR"],
+        &[
+            "BR", "AR", "CO", "CL", "PE", "VE", "EC", "BO", "PY", "UY", "GY", "SR",
+        ],
     ),
     (
         Continent::Europe,
@@ -238,7 +216,10 @@ mod tests {
 
     #[test]
     fn continent_lookup() {
-        assert_eq!(continent_of(Country::new("US")), Some(Continent::NorthAmerica));
+        assert_eq!(
+            continent_of(Country::new("US")),
+            Some(Continent::NorthAmerica)
+        );
         assert_eq!(continent_of(Country::new("CN")), Some(Continent::Asia));
         assert_eq!(continent_of(Country::new("NG")), Some(Continent::Africa));
         assert_eq!(continent_of(Country::new("XX")), None);

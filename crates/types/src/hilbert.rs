@@ -98,7 +98,10 @@ fn rotate(n: u32, x: &mut u32, y: &mut u32, rx: u32, ry: u32) {
 /// distinct cell: a /p prefix contains `2^(24-p)` blocks, needing order
 /// `(24-p)/2` (rounded up).
 pub fn order_for_prefix_len(prefix_len: u8) -> u8 {
-    assert!(prefix_len <= 24, "only /24-or-shorter prefixes have ≥1 block");
+    assert!(
+        prefix_len <= 24,
+        "only /24-or-shorter prefixes have ≥1 block"
+    );
     (24 - prefix_len).div_ceil(2)
 }
 

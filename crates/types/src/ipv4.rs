@@ -21,16 +21,7 @@ use std::str::FromStr;
 /// assert_eq!(a.to_string(), "198.51.100.7");
 /// ```
 #[derive(
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    Default,
-    serde::Serialize,
-    serde::Deserialize,
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
 )]
 #[serde(transparent)]
 pub struct Ipv4(pub u32);
@@ -187,10 +178,7 @@ mod tests {
     #[test]
     fn parse_valid() {
         assert_eq!("0.0.0.0".parse::<Ipv4>().unwrap(), Ipv4::UNSPECIFIED);
-        assert_eq!(
-            "255.255.255.255".parse::<Ipv4>().unwrap(),
-            Ipv4::BROADCAST
-        );
+        assert_eq!("255.255.255.255".parse::<Ipv4>().unwrap(), Ipv4::BROADCAST);
         assert_eq!(
             "198.51.100.7".parse::<Ipv4>().unwrap(),
             Ipv4::new(198, 51, 100, 7)
@@ -199,7 +187,15 @@ mod tests {
 
     #[test]
     fn parse_invalid() {
-        for bad in ["", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1..2.3", "+1.2.3.4"] {
+        for bad in [
+            "",
+            "1.2.3",
+            "1.2.3.4.5",
+            "256.0.0.1",
+            "a.b.c.d",
+            "1..2.3",
+            "+1.2.3.4",
+        ] {
             assert!(bad.parse::<Ipv4>().is_err(), "should reject {bad:?}");
         }
     }

@@ -39,16 +39,7 @@ pub use trie::PrefixTrie;
 /// Plain 32-bit ASN as used in BGP; the synthetic Internet model allocates
 /// these densely starting at 1.
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    serde::Serialize,
-    serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
 )]
 pub struct Asn(pub u32);
 
@@ -63,16 +54,7 @@ impl std::fmt::Display for Asn {
 /// Mirrors CAIDA's AS-to-Organization mapping: several ASNs may map to one
 /// `OrgId`.
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    serde::Serialize,
-    serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
 )]
 pub struct OrgId(pub u32);
 

@@ -22,15 +22,7 @@ use std::str::FromStr;
 /// assert_eq!(p.num_blocks24(), 4);
 /// assert!(Prefix::new(Ipv4::new(10, 0, 0, 1), 24).is_err(), "host bits set");
 /// ```
-#[derive(
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    Hash,
-    serde::Serialize,
-    serde::Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct Prefix {
     base: Ipv4,
     len: u8,

@@ -126,7 +126,10 @@ mod tests {
     fn classifies_multicast_and_reserved() {
         let r = SpecialRegistry::new();
         assert_eq!(r.classify(a("224.0.0.1")), Some(SpecialUse::Multicast));
-        assert_eq!(r.classify(a("239.255.255.255")), Some(SpecialUse::Multicast));
+        assert_eq!(
+            r.classify(a("239.255.255.255")),
+            Some(SpecialUse::Multicast)
+        );
         assert_eq!(r.classify(a("240.0.0.1")), Some(SpecialUse::Reserved));
         assert_eq!(
             r.classify(Ipv4::BROADCAST),
@@ -137,7 +140,13 @@ mod tests {
     #[test]
     fn public_space_is_not_special() {
         let r = SpecialRegistry::new();
-        for s in ["8.8.8.8", "1.1.1.1", "100.0.0.1", "100.128.0.1", "223.255.255.255"] {
+        for s in [
+            "8.8.8.8",
+            "1.1.1.1",
+            "100.0.0.1",
+            "100.128.0.1",
+            "223.255.255.255",
+        ] {
             assert_eq!(r.classify(a(s)), None, "{s} should be public");
         }
     }

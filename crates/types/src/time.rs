@@ -115,7 +115,14 @@ impl fmt::Display for SimTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let day = self.day().0;
         let s = self.second_of_day();
-        write!(f, "day {} {:02}:{:02}:{:02}", day, s / 3600, (s / 60) % 60, s % 60)
+        write!(
+            f,
+            "day {} {:02}:{:02}:{:02}",
+            day,
+            s / 3600,
+            (s / 60) % 60,
+            s % 60
+        )
     }
 }
 

@@ -148,8 +148,8 @@ impl<V> PrefixTrie<V> {
     pub fn covering(&self, addr: Ipv4) -> Vec<(Prefix, &V)> {
         let mut out = Vec::new();
         let mut node = &self.root;
-        if node.value.is_some() {
-            out.push((Prefix::DEFAULT_ROUTE, node.value.as_ref().unwrap()));
+        if let Some(v) = node.value.as_ref() {
+            out.push((Prefix::DEFAULT_ROUTE, v));
         }
         for i in 0..32u8 {
             let b = bit(addr, i);
@@ -231,9 +231,18 @@ mod tests {
         t.insert(p("10.0.0.0/8"), "eight");
         t.insert(p("10.1.0.0/16"), "sixteen");
         t.insert(p("10.1.2.0/24"), "twentyfour");
-        assert_eq!(t.lookup(a("10.1.2.3")).unwrap(), (p("10.1.2.0/24"), &"twentyfour"));
-        assert_eq!(t.lookup(a("10.1.9.9")).unwrap(), (p("10.1.0.0/16"), &"sixteen"));
-        assert_eq!(t.lookup(a("10.200.0.1")).unwrap(), (p("10.0.0.0/8"), &"eight"));
+        assert_eq!(
+            t.lookup(a("10.1.2.3")).unwrap(),
+            (p("10.1.2.0/24"), &"twentyfour")
+        );
+        assert_eq!(
+            t.lookup(a("10.1.9.9")).unwrap(),
+            (p("10.1.0.0/16"), &"sixteen")
+        );
+        assert_eq!(
+            t.lookup(a("10.200.0.1")).unwrap(),
+            (p("10.0.0.0/8"), &"eight")
+        );
         assert_eq!(t.lookup(a("11.0.0.1")), None);
     }
 
@@ -242,7 +251,10 @@ mod tests {
         let mut t = PrefixTrie::new();
         t.insert(Prefix::DEFAULT_ROUTE, 0);
         assert_eq!(t.lookup(a("1.2.3.4")).unwrap().0, Prefix::DEFAULT_ROUTE);
-        assert_eq!(t.lookup(a("255.255.255.255")).unwrap().0, Prefix::DEFAULT_ROUTE);
+        assert_eq!(
+            t.lookup(a("255.255.255.255")).unwrap().0,
+            Prefix::DEFAULT_ROUTE
+        );
     }
 
     #[test]

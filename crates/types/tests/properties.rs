@@ -34,7 +34,7 @@ proptest! {
     fn prefix_contains_its_bounds(p in arb_prefix()) {
         prop_assert!(p.contains(p.base()));
         prop_assert!(p.contains(p.last()));
-        if p.len() > 0 {
+        if p != mt_types::Prefix::DEFAULT_ROUTE {
             // One-past-the-end is outside (when it exists).
             if let Some(next) = p.last().checked_add(1) {
                 prop_assert!(!p.contains(next));
@@ -129,7 +129,7 @@ proptest! {
         use std::collections::HashSet;
         let set: HashSet<Prefix> = cidrs.iter().copied().collect();
         for p in &cidrs {
-            if p.len() == 0 {
+            if *p == mt_types::Prefix::DEFAULT_ROUTE {
                 continue;
             }
             let sibling_base = Ipv4(p.base().0 ^ (1u32 << (32 - p.len())));

@@ -73,7 +73,9 @@ mod tests {
 
     #[test]
     fn verify_of_checksummed_buffer() {
-        let mut data = vec![0x45, 0x00, 0x00, 0x28, 0x00, 0x00, 0x40, 0x00, 0x40, 0x06, 0, 0];
+        let mut data = vec![
+            0x45, 0x00, 0x00, 0x28, 0x00, 0x00, 0x40, 0x00, 0x40, 0x06, 0, 0,
+        ];
         let c = checksum(&data);
         data[10..12].copy_from_slice(&c.to_be_bytes());
         assert!(verify(&data));

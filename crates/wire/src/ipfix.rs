@@ -254,8 +254,8 @@ impl Collector {
             }
             Ok(())
         } else if let Some(&len) = self.foreign.get(&template_id) {
-            if len > 0 {
-                self.skipped_records += (set.remaining() / len) as u64;
+            if let Some(skipped) = set.remaining().checked_div(len) {
+                self.skipped_records += skipped as u64;
             }
             Ok(())
         } else {
@@ -297,7 +297,8 @@ pub mod stream {
         /// Encodes and writes `flows` as one or more messages stamped
         /// `export_time`.
         pub fn write_flows(&mut self, flows: &[IpfixFlow], export_time: u32) -> io::Result<()> {
-            for msg in super::encode_messages(flows, export_time, self.domain, &mut self.sequence, 800)
+            for msg in
+                super::encode_messages(flows, export_time, self.domain, &mut self.sequence, 800)
             {
                 self.inner.write_all(&msg)?;
                 self.messages += 1;
@@ -494,9 +495,11 @@ mod tests {
         let mut buf = Vec::new();
         {
             let mut w = stream::MessageWriter::new(&mut buf, 7);
-            w.write_flows(&(0..5).map(sample_flow).collect::<Vec<_>>(), 100).unwrap();
+            w.write_flows(&(0..5).map(sample_flow).collect::<Vec<_>>(), 100)
+                .unwrap();
             w.write_flows(&[], 101).unwrap(); // heartbeat: templates only
-            w.write_flows(&(5..9).map(sample_flow).collect::<Vec<_>>(), 102).unwrap();
+            w.write_flows(&(5..9).map(sample_flow).collect::<Vec<_>>(), 102)
+                .unwrap();
             w.finish().unwrap();
         }
         let mut r = stream::MessageReader::new(&buf[..]);

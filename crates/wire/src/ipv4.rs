@@ -134,7 +134,7 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
     /// Writes version 4 and the header length (must be a multiple of 4,
     /// 20..=60).
     pub fn set_header_len(&mut self, len: u8) {
-        debug_assert!(len >= 20 && len <= 60 && len % 4 == 0);
+        debug_assert!((20..=60).contains(&len) && len.is_multiple_of(4));
         self.buffer.as_mut()[field::VER_IHL] = 0x40 | (len / 4);
     }
 
@@ -285,7 +285,10 @@ mod tests {
     fn checked_rejects_wrong_version() {
         let mut buf = build(Ipv4::new(1, 1, 1, 1), Ipv4::new(2, 2, 2, 2), b"");
         buf[0] = 0x65; // version 6
-        assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), WireError::Version);
+        assert_eq!(
+            Packet::new_checked(&buf[..]).unwrap_err(),
+            WireError::Version
+        );
     }
 
     #[test]
@@ -293,11 +296,17 @@ mod tests {
         let mut buf = build(Ipv4::new(1, 1, 1, 1), Ipv4::new(2, 2, 2, 2), b"abc");
         // Claim a total length longer than the buffer.
         buf[2..4].copy_from_slice(&100u16.to_be_bytes());
-        assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), WireError::Truncated);
+        assert_eq!(
+            Packet::new_checked(&buf[..]).unwrap_err(),
+            WireError::Truncated
+        );
         // Claim an IHL of 4 (16 bytes, below minimum).
         buf[2..4].copy_from_slice(&23u16.to_be_bytes());
         buf[0] = 0x44;
-        assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), WireError::Malformed);
+        assert_eq!(
+            Packet::new_checked(&buf[..]).unwrap_err(),
+            WireError::Malformed
+        );
     }
 
     #[test]

@@ -50,7 +50,7 @@ impl<W: Write> Writer<W> {
         header[0..4].copy_from_slice(&MAGIC.to_le_bytes());
         header[4..6].copy_from_slice(&2u16.to_le_bytes()); // major
         header[6..8].copy_from_slice(&4u16.to_le_bytes()); // minor
-        // thiszone and sigfigs stay zero.
+                                                           // thiszone and sigfigs stay zero.
         header[16..20].copy_from_slice(&DEFAULT_SNAPLEN.to_le_bytes());
         header[20..24].copy_from_slice(&linktype.to_le_bytes());
         inner.write_all(&header)?;
@@ -92,7 +92,9 @@ impl<R: Read> Reader<R> {
     /// Creates a reader, consuming and validating the global header.
     pub fn new(mut inner: R) -> Result<Reader<R>> {
         let mut header = [0u8; 24];
-        inner.read_exact(&mut header).map_err(|_| WireError::Truncated)?;
+        inner
+            .read_exact(&mut header)
+            .map_err(|_| WireError::Truncated)?;
         let magic_le = u32::from_le_bytes(header[0..4].try_into().unwrap());
         let big_endian = match magic_le {
             MAGIC => false,
@@ -193,7 +195,10 @@ mod tests {
     #[test]
     fn empty_file_yields_no_records() {
         let mut buf = Vec::new();
-        Writer::new(&mut buf, LINKTYPE_ETHERNET).unwrap().finish().unwrap();
+        Writer::new(&mut buf, LINKTYPE_ETHERNET)
+            .unwrap()
+            .finish()
+            .unwrap();
         let r = Reader::new(&buf[..]).unwrap();
         assert_eq!(r.records().count(), 0);
     }
@@ -222,7 +227,7 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        let buf = vec![0u8; 24];
+        let buf = [0u8; 24];
         assert_eq!(Reader::new(&buf[..]).unwrap_err(), WireError::Malformed);
     }
 

@@ -193,7 +193,7 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Segment<T> {
 
     /// Sets the header length in bytes (multiple of 4, 20..=60).
     pub fn set_header_len(&mut self, len: u8) {
-        debug_assert!(len >= 20 && len <= 60 && len % 4 == 0);
+        debug_assert!((20..=60).contains(&len) && len.is_multiple_of(4));
         self.buffer.as_mut()[field::DATA_OFF] = (len / 4) << 4;
     }
 
@@ -269,7 +269,13 @@ impl Repr {
 
     /// Buffer length required for the segment.
     pub fn buffer_len(&self) -> usize {
-        HEADER_LEN + if self.mss.is_some() { MSS_OPTION_LEN } else { 0 } + self.payload_len
+        HEADER_LEN
+            + if self.mss.is_some() {
+                MSS_OPTION_LEN
+            } else {
+                0
+            }
+            + self.payload_len
     }
 
     /// Parses and validates a segment into its representation.
@@ -299,7 +305,12 @@ impl Repr {
     /// so the checksum covers the payload the caller wrote beforehand —
     /// write the payload first, then call `emit`.
     pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, seg: &mut Segment<T>, src: Ipv4, dst: Ipv4) {
-        let header_len = HEADER_LEN + if self.mss.is_some() { MSS_OPTION_LEN } else { 0 };
+        let header_len = HEADER_LEN
+            + if self.mss.is_some() {
+                MSS_OPTION_LEN
+            } else {
+                0
+            };
         seg.set_src_port(self.src_port);
         seg.set_dst_port(self.dst_port);
         seg.set_seq(self.seq);
@@ -376,7 +387,10 @@ mod tests {
         };
         let seg = Segment::new_checked(&buf[..]).unwrap();
         assert!(!seg.verify_checksum(SRC, DST));
-        assert_eq!(Repr::parse(&seg, SRC, DST).unwrap_err(), WireError::Checksum);
+        assert_eq!(
+            Repr::parse(&seg, SRC, DST).unwrap_err(),
+            WireError::Checksum
+        );
     }
 
     #[test]
@@ -387,9 +401,15 @@ mod tests {
         );
         let mut buf = emit(Repr::syn(1, 2, 3));
         buf[12] = 0x10; // data offset 4 → 16 bytes, below minimum
-        assert_eq!(Segment::new_checked(&buf[..]).unwrap_err(), WireError::Malformed);
+        assert_eq!(
+            Segment::new_checked(&buf[..]).unwrap_err(),
+            WireError::Malformed
+        );
         buf[12] = 0xf0; // data offset 15 → 60 bytes, beyond buffer
-        assert_eq!(Segment::new_checked(&buf[..]).unwrap_err(), WireError::Truncated);
+        assert_eq!(
+            Segment::new_checked(&buf[..]).unwrap_err(),
+            WireError::Truncated
+        );
     }
 
     #[test]

@@ -170,7 +170,7 @@ mod tests {
 
     #[test]
     fn zero_checksum_is_accepted() {
-        let mut buf = vec![0u8; 8];
+        let mut buf = [0u8; 8];
         buf[4..6].copy_from_slice(&8u16.to_be_bytes());
         let dg = Datagram::new_checked(&buf[..]).unwrap();
         assert!(dg.verify_checksum(SRC, DST));
@@ -178,7 +178,11 @@ mod tests {
 
     #[test]
     fn corruption_detected() {
-        let repr = Repr { src_port: 1, dst_port: 2, payload_len: 0 };
+        let repr = Repr {
+            src_port: 1,
+            dst_port: 2,
+            payload_len: 0,
+        };
         let mut buf = vec![0u8; repr.buffer_len()];
         let mut dg = Datagram::new_unchecked(&mut buf);
         repr.emit(&mut dg, SRC, DST);
@@ -189,11 +193,20 @@ mod tests {
 
     #[test]
     fn checked_rejects_bad_lengths() {
-        assert_eq!(Datagram::new_checked(&[0u8; 4][..]).unwrap_err(), WireError::Truncated);
-        let mut buf = vec![0u8; 8];
+        assert_eq!(
+            Datagram::new_checked(&[0u8; 4][..]).unwrap_err(),
+            WireError::Truncated
+        );
+        let mut buf = [0u8; 8];
         buf[4..6].copy_from_slice(&4u16.to_be_bytes()); // below header size
-        assert_eq!(Datagram::new_checked(&buf[..]).unwrap_err(), WireError::Malformed);
+        assert_eq!(
+            Datagram::new_checked(&buf[..]).unwrap_err(),
+            WireError::Malformed
+        );
         buf[4..6].copy_from_slice(&20u16.to_be_bytes()); // beyond buffer
-        assert_eq!(Datagram::new_checked(&buf[..]).unwrap_err(), WireError::Truncated);
+        assert_eq!(
+            Datagram::new_checked(&buf[..]).unwrap_err(),
+            WireError::Truncated
+        );
     }
 }

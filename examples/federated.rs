@@ -12,6 +12,7 @@ use metatelescope::core::federate::{federate, Contribution, FederationPolicy};
 use metatelescope::core::stability::StabilityTracker;
 use metatelescope::core::{eval, pipeline};
 use metatelescope::flow::stats::DEFAULT_SIZE_THRESHOLD;
+use metatelescope::flow::TrafficView;
 use metatelescope::netmodel::{Internet, InternetConfig};
 use metatelescope::traffic::{generate_day, CaptureSet, SpoofSpace, TrafficConfig};
 use metatelescope::types::{Block24Set, Day};

@@ -12,7 +12,9 @@ use metatelescope::core::{combine, eval, pipeline, SpoofTolerance};
 use metatelescope::flow::stats::DEFAULT_SIZE_THRESHOLD;
 use metatelescope::flow::TrafficStats;
 use metatelescope::netmodel::{Internet, InternetConfig};
-use metatelescope::telescope::{port_overlap, PcapSummary, PortRanking, TelescopeDayStats, TelescopeWeekStats};
+use metatelescope::telescope::{
+    port_overlap, PcapSummary, PortRanking, TelescopeDayStats, TelescopeWeekStats,
+};
 use metatelescope::traffic::{generate_day, CaptureSet, SpoofSpace, TrafficConfig};
 use metatelescope::types::{Block24, Day};
 use std::collections::HashMap;
@@ -35,7 +37,10 @@ fn main() {
             capture.telescopes[0].enable_pcap(500);
         }
         generate_day(&net, &traffic, day, &mut capture);
-        telescope_days.push(TelescopeDayStats::from_observer(&capture.telescopes[0], day));
+        telescope_days.push(TelescopeDayStats::from_observer(
+            &capture.telescopes[0],
+            day,
+        ));
         if day == Day(0) {
             pcap_bytes = capture.telescopes.swap_remove(0).pcap_bytes();
         }
@@ -114,8 +119,12 @@ fn main() {
                     return;
                 }
                 if let Some(a) = self.net.as_of_block(block) {
-                    self.matrix
-                        .add(e.intent.dst_port, a.continent, a.network_type, e.intent.packets);
+                    self.matrix.add(
+                        e.intent.dst_port,
+                        a.continent,
+                        a.network_type,
+                        e.intent.packets,
+                    );
                 }
             }
             fn spoof_flood(&mut self, _: &SpoofFloodEmission) {}

@@ -50,7 +50,11 @@ fn main() {
                 continue;
             }
         };
-        let ok = if packet.verify_checksum() { "" } else { " [bad ip cksum]" };
+        let ok = if packet.verify_checksum() {
+            ""
+        } else {
+            " [bad ip cksum]"
+        };
         match packet.protocol() {
             Some(IpProtocol::Tcp) => {
                 let seg = tcp::Segment::new_checked(packet.payload()).expect("crafted TCP");
@@ -117,7 +121,7 @@ fn main() {
         summary.avg_tcp_size().unwrap_or(0.0),
     );
     let mut top: Vec<(u16, u64)> = summary.tcp_ports.iter().map(|(&p, &c)| (p, c)).collect();
-    top.sort_by(|a, b| b.1.cmp(&a.1));
+    top.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
     top.truncate(5);
     println!("top TCP ports in this capture: {top:?}");
 }

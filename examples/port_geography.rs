@@ -62,8 +62,12 @@ fn main() {
                 return;
             }
             if let Some(a) = self.net.as_of_block(block) {
-                self.matrix
-                    .add(e.intent.dst_port, a.continent, a.network_type, e.intent.packets);
+                self.matrix.add(
+                    e.intent.dst_port,
+                    a.continent,
+                    a.network_type,
+                    e.intent.packets,
+                );
             }
         }
         fn spoof_flood(&mut self, _: &SpoofFloodEmission) {}

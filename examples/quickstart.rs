@@ -8,6 +8,7 @@
 
 use metatelescope::core::{analysis, eval, pipeline};
 use metatelescope::flow::stats::DEFAULT_SIZE_THRESHOLD;
+use metatelescope::flow::TrafficView;
 use metatelescope::netmodel::{Internet, InternetConfig};
 use metatelescope::traffic::{generate_day, CaptureSet, SpoofSpace, TrafficConfig};
 use metatelescope::types::Day;

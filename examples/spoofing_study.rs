@@ -65,9 +65,7 @@ fn main() {
         );
     }
     println!();
-    println!(
-        "Strict inference decays as spoofed packets disqualify more and more"
-    );
+    println!("Strict inference decays as spoofed packets disqualify more and more");
     println!(
         "candidate blocks; the tolerance derived from the {} unrouted /8s",
         net.unrouted_octets().len()

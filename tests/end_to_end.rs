@@ -57,11 +57,11 @@ fn pipeline_recovers_dark_space_with_high_precision() {
         gt.recall()
     );
     // The funnel is monotone and ends where classification starts.
-    let f = r.funnel;
-    assert!(f.seen >= f.after_tcp && f.after_tcp >= f.after_avg);
-    assert!(f.after_avg >= f.after_origin && f.after_origin >= f.after_special);
-    assert!(f.after_special >= f.after_routed && f.after_routed >= f.after_volume);
-    assert_eq!(r.classified() as u64, f.after_volume);
+    let f = &r.funnel;
+    assert!(f.seen() >= f.after_tcp() && f.after_tcp() >= f.after_avg());
+    assert!(f.after_avg() >= f.after_origin() && f.after_origin() >= f.after_special());
+    assert!(f.after_special() >= f.after_routed() && f.after_routed() >= f.after_volume());
+    assert_eq!(r.classified() as u64, f.after_volume());
 }
 
 #[test]
@@ -98,7 +98,7 @@ fn combining_vantage_points_is_conservative() {
     let rate = w.net.vantage_points[0].sampling_rate;
 
     let mut best_single = 0usize;
-    let mut merged: Option<metatelescope::flow::TrafficStats> = None;
+    let mut merged: Option<metatelescope::flow::ShardedTrafficStats> = None;
     for vo in &capture.vantages {
         let r = pipeline::run(&vo.stats, &rib, vo.vp.sampling_rate, 1, &pc);
         best_single = best_single.max(r.dark.len());
@@ -125,7 +125,11 @@ fn telescope_statistics_match_table2_shape() {
         panic!("three telescopes expected")
     };
     // TCP dominates everywhere; TEU2 has the largest UDP share.
-    assert!(tus1.tcp_share() > 0.88, "TUS1 TCP share {}", tus1.tcp_share());
+    assert!(
+        tus1.tcp_share() > 0.88,
+        "TUS1 TCP share {}",
+        tus1.tcp_share()
+    );
     assert!(teu2.tcp_share() < tus1.tcp_share());
     assert!(teu2.tcp_share() < teu1.tcp_share());
     // Average TCP packet sizes sit in the (40, 44) window.
@@ -210,7 +214,7 @@ fn spoofing_tolerance_recovers_polluted_blocks() {
     let w = World::new();
     let spoof = SpoofSpace::new(&w.net, w.cfg.spoof_routed_bias);
     // Accumulate three days: pollution compounds (Figure 9).
-    let mut merged: Option<metatelescope::flow::TrafficStats> = None;
+    let mut merged: Option<metatelescope::flow::ShardedTrafficStats> = None;
     for day in Day(0).range(3) {
         let capture = w.capture_day(day, &spoof);
         let ce1 = capture.vantage("CE1").unwrap();

@@ -53,8 +53,7 @@ fn sample_records(vp: &VantagePoint, net: &Internet, cfg: &TrafficConfig) -> Vec
             if e.host_sweep || e.sender_as == metatelescope::traffic::NO_AS {
                 return;
             }
-            if e.dst_as != metatelescope::traffic::NO_AS
-                && !self.vp.observes(e.sender_as, e.dst_as)
+            if e.dst_as != metatelescope::traffic::NO_AS && !self.vp.observes(e.sender_as, e.dst_as)
             {
                 return;
             }
@@ -75,7 +74,10 @@ fn sample_records(vp: &VantagePoint, net: &Internet, cfg: &TrafficConfig) -> Vec
         }
         fn spoof_flood(&mut self, _: &SpoofFloodEmission) {}
     }
-    let mut c = Collector { vp, out: Vec::new() };
+    let mut c = Collector {
+        vp,
+        out: Vec::new(),
+    };
     generate_day(net, cfg, Day(0), &mut c);
     c.out
 }
@@ -86,7 +88,11 @@ fn ipfix_roundtrip_preserves_pipeline_output() {
     let cfg = TrafficConfig::test_profile();
     let vp = &net.vantage_points[0];
     let records = sample_records(vp, &net, &cfg);
-    assert!(records.len() > 1_000, "want a meaningful corpus, got {}", records.len());
+    assert!(
+        records.len() > 1_000,
+        "want a meaningful corpus, got {}",
+        records.len()
+    );
 
     // Export: records → IPFIX messages (several, small chunks).
     let flows: Vec<ipfix::IpfixFlow> = records.iter().map(|r| r.to_ipfix()).collect();
@@ -106,8 +112,20 @@ fn ipfix_roundtrip_preserves_pipeline_output() {
     // The pipeline result is identical on both sides of the wire.
     let rib = net.rib(Day(0));
     let pc = pipeline::PipelineConfig::default();
-    let a = pipeline::run(&TrafficStats::from_records(&records), &rib, vp.sampling_rate, 1, &pc);
-    let b = pipeline::run(&TrafficStats::from_records(&back), &rib, vp.sampling_rate, 1, &pc);
+    let a = pipeline::run(
+        &TrafficStats::from_records(&records),
+        &rib,
+        vp.sampling_rate,
+        1,
+        &pc,
+    );
+    let b = pipeline::run(
+        &TrafficStats::from_records(&back),
+        &rib,
+        vp.sampling_rate,
+        1,
+        &pc,
+    );
     assert_eq!(a.dark, b.dark);
     assert_eq!(a.unclean, b.unclean);
     assert_eq!(a.gray, b.gray);
@@ -143,7 +161,10 @@ fn recording_observer_wrapper_compiles_and_delegates() {
         &spoof,
         metatelescope::flow::stats::DEFAULT_SIZE_THRESHOLD,
     );
-    let mut rec = RecordingObserver { inner, records: Vec::new() };
+    let mut rec = RecordingObserver {
+        inner,
+        records: Vec::new(),
+    };
     generate_day(&net, &cfg, Day(0), &mut rec);
     assert!(rec.inner.sampled_flows > 0);
     assert!(rec.records.is_empty(), "wrapper records nothing by design");

@@ -111,7 +111,12 @@ fn multi_day_telescope_coverage_grows() {
             Some(m) => m.merge(&s),
         }
         let tol = SpoofTolerance::estimate(merged.as_ref().unwrap(), net.unrouted_octets(), 0.9999);
-        let dark = dark_of(&net, merged.as_ref().unwrap(), (Day(0), d + 1), tol.packets.max(1));
+        let dark = dark_of(
+            &net,
+            merged.as_ref().unwrap(),
+            (Day(0), d + 1),
+            tol.packets.max(1),
+        );
         let cov = eval::TelescopeCoverage::measure(&dark, tus1, &net, Day(0), d + 1);
         coverage.push(cov.inferred);
     }

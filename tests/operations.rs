@@ -66,10 +66,12 @@ fn metered_packets_drive_the_pipeline_like_records_do() {
     }
     // Totals must match the raw packet stream exactly.
     assert_eq!(direct.total_packets, packets.len() as u64);
-    let rib = [("20.0.0.0/8".parse().unwrap(), metatelescope::types::Asn(1)),
-               ("9.0.0.0/8".parse().unwrap(), metatelescope::types::Asn(2))]
-        .into_iter()
-        .collect();
+    let rib = [
+        ("20.0.0.0/8".parse().unwrap(), metatelescope::types::Asn(1)),
+        ("9.0.0.0/8".parse().unwrap(), metatelescope::types::Asn(2)),
+    ]
+    .into_iter()
+    .collect();
     let result = pipeline::run(&direct, &rib, 1, 1, &pipeline::PipelineConfig::default());
     // 20.0.1.0/24 is clean-dark; 20.0.0.0/24 has the responding host 50
     // → gray; 9.9.9.0/24 is fully originating → dropped.
@@ -153,7 +155,12 @@ fn stability_tracking_and_monitor_list_compile() {
     // The stable set compiles into a strictly smaller CIDR list
     // (contiguous dark runs exist by construction).
     let cidrs = stable.aggregate();
-    assert!(cidrs.len() < stable.len(), "{} vs {}", cidrs.len(), stable.len());
+    assert!(
+        cidrs.len() < stable.len(),
+        "{} vs {}",
+        cidrs.len(),
+        stable.len()
+    );
     let covered: usize = cidrs.iter().map(|p| p.num_blocks24() as usize).sum();
     assert_eq!(covered, stable.len());
     // Stability costs little precision.
@@ -171,7 +178,11 @@ fn parallel_helpers_match_sequential_on_real_capture() {
     let pc = pipeline::PipelineConfig::default();
     let rate = net.vantage_points[0].sampling_rate;
 
-    let stats: Vec<TrafficStats> = capture.vantages.into_iter().map(|v| v.into_stats()).collect();
+    let stats: Vec<TrafficStats> = capture
+        .vantages
+        .into_iter()
+        .map(|v| v.into_stats())
+        .collect();
     let refs: Vec<&TrafficStats> = stats.iter().collect();
     let parallel = combine::run_pipelines_parallel(&refs, &rib, rate, 1, &pc, 2);
     for (s, p) in stats.iter().zip(&parallel) {

@@ -1,0 +1,216 @@
+//! Vendored minimal stand-in for `criterion`.
+//!
+//! Mirrors the subset of the API the workspace benches use
+//! (`benchmark_group`, `sample_size`, `throughput`, `bench_function`,
+//! `Bencher::iter`, `criterion_group!`/`criterion_main!`), with wall-clock
+//! measurement instead of criterion's statistical machinery.
+//!
+//! Bench binaries are built with `harness = false` and also run by
+//! `cargo test`; following real criterion, full measurement only happens
+//! when `--bench` is on the command line (as `cargo bench` passes), and
+//! every other invocation runs each benchmark once as a smoke test.
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration work volume, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measure: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion { measure }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let measure = self.measure;
+        run_benchmark(name, 100, None, measure, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (scales measurement time here).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration work volume for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_benchmark(
+            &full,
+            self.sample_size,
+            self.throughput,
+            self.criterion.measure,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (reporting happens per benchmark; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark; [`Bencher::iter`] runs the measured routine.
+pub struct Bencher {
+    /// How many times `iter`'s routine should run.
+    iters: u64,
+    /// Time spent inside the measured routine.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine`, running it as many times as this pass needs.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    measure: bool,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if !measure {
+        // Smoke-test mode (`cargo test` on a harness = false bench target).
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("test {name} ... ok");
+        return;
+    }
+
+    // Calibration pass: one iteration to estimate per-iter cost.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+
+    // Aim for ~sample_size iterations but cap the wall-clock budget so
+    // slow benchmarks stay responsive.
+    let budget = Duration::from_millis(500);
+    let by_budget = (budget.as_nanos() / per_iter.as_nanos()).max(1);
+    let iters = (sample_size as u128).min(by_budget).max(1) as u64;
+
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mean_ns = b.elapsed.as_nanos() as f64 / iters as f64;
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(" ({:.3e} elem/s)", n as f64 * 1e9 / mean_ns),
+        Throughput::Bytes(n) => format!(" ({:.3e} B/s)", n as f64 * 1e9 / mean_ns),
+    });
+    println!(
+        "bench {name}: {:.1} ns/iter over {iters} iters{}",
+        mean_ns,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_each_benchmark() {
+        let mut c = Criterion { measure: false };
+        let mut runs = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10)
+                .throughput(Throughput::Elements(4))
+                .bench_function("a", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        assert_eq!(runs, 1, "smoke-test mode runs the routine once");
+    }
+
+    #[test]
+    fn measured_mode_iterates() {
+        let mut c = Criterion { measure: true };
+        let mut runs = 0u64;
+        c.bench_function("counted", |b| b.iter(|| runs += 1));
+        assert!(runs >= 2, "calibration plus measurement passes");
+    }
+}

@@ -1,0 +1,76 @@
+//! Vendored minimal stand-in for the `crossbeam` crate.
+//!
+//! Only [`thread::scope`] is provided, implemented over
+//! `std::thread::scope` (stable since Rust 1.63), mirroring crossbeam's
+//! API shape: the spawn closure receives the scope so that workers can
+//! themselves spawn, and `scope` returns a `Result` like crossbeam's.
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope handle mirroring `crossbeam::thread::Scope`.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope, as in
+        /// crossbeam, so nested spawning works.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which spawned threads are joined before
+    /// `scope` returns. Unlike crossbeam, a panicking child propagates
+    /// its panic at join time (std semantics); the `Result` is kept for
+    /// API compatibility and is always `Ok` on normal return.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scoped_threads_join_and_share_borrows() {
+        let total = AtomicU64::new(0);
+        let data: Vec<u64> = (0..100).collect();
+        super::thread::scope(|s| {
+            for chunk in data.chunks(30) {
+                s.spawn(|_| {
+                    let sum: u64 = chunk.iter().sum();
+                    total.fetch_add(sum, Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.into_inner(), (0..100).sum::<u64>());
+    }
+
+    #[test]
+    fn nested_spawn_works() {
+        let hit = AtomicU64::new(0);
+        super::thread::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    hit.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(hit.into_inner(), 1);
+    }
+}

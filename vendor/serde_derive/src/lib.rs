@@ -1,0 +1,340 @@
+//! Vendored derive macros for the vendored `serde` stand-in.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the input
+//! token stream is walked by hand and the impl is emitted as source text
+//! parsed back into a `TokenStream`. Supported shapes — the only ones
+//! this workspace uses:
+//!
+//! - structs with named fields → JSON object keyed by field name;
+//! - single-field tuple structs → transparent newtype (inner value);
+//! - enums whose variants all carry no data → variant-name string.
+//!
+//! `#[serde(...)]` attributes are accepted for source compatibility but
+//! carry no extra behavior (newtypes are transparent by default here).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for the supported shapes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` for the supported shapes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    /// Struct with named fields.
+    Named(Vec<String>),
+    /// Tuple struct with exactly one field.
+    Newtype,
+    /// Enum with unit variants only.
+    UnitEnum(Vec<String>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse(input) {
+        Ok((name, shape)) => generate(&name, &shape, mode)
+            .parse()
+            .expect("serde_derive: generated code failed to parse"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("serde_derive: error emission failed to parse"),
+    }
+}
+
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde_derive: expected `struct` or `enum`".into()),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde_derive: expected type name".into()),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive: generic type `{name}` is not supported by the vendored derive"
+        ));
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::Named(parse_named_fields(g.stream())?)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = count_tuple_fields(g.stream());
+                if fields == 1 {
+                    Ok((name, Shape::Newtype))
+                } else {
+                    Err(format!(
+                        "serde_derive: tuple struct `{name}` must have exactly one field \
+                         ({fields} found)"
+                    ))
+                }
+            }
+            _ => Err(format!(
+                "serde_derive: unit struct `{name}` is not supported"
+            )),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_unit_variants(g.stream(), &name)?;
+                Ok((name, Shape::UnitEnum(variants)))
+            }
+            _ => Err(format!("serde_derive: malformed enum `{name}`")),
+        },
+        other => Err(format!("serde_derive: unsupported item kind `{other}`")),
+    }
+}
+
+/// Advances past any `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' plus the bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Extracts field names from a named-field body, honoring that commas
+/// inside `<...>` generic arguments do not separate fields.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let field = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => {
+                return Err(format!(
+                    "serde_derive: expected field name, found `{other}`"
+                ))
+            }
+        };
+        fields.push(field);
+        i += 1;
+        if !matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+            return Err("serde_derive: expected `:` after field name".into());
+        }
+        i += 1;
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Counts top-level fields of a tuple-struct body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut fields = 1;
+    let mut angle_depth = 0i32;
+    let mut trailing_comma = false;
+    for tok in &tokens {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    fields += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if trailing_comma {
+        fields -= 1;
+    }
+    fields
+}
+
+/// Extracts variant names from an enum body, rejecting data-carrying
+/// variants (out of scope for the vendored derive).
+fn parse_unit_variants(body: TokenStream, enum_name: &str) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let variant = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => {
+                return Err(format!(
+                    "serde_derive: expected variant name in `{enum_name}`, found `{other}`"
+                ))
+            }
+        };
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+            return Err(format!(
+                "serde_derive: variant `{enum_name}::{variant}` carries data, which the \
+                 vendored derive does not support"
+            ));
+        }
+        variants.push(variant);
+        // Skip an optional `= discriminant` and the trailing comma.
+        while let Some(tok) = tokens.get(i) {
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    Ok(variants)
+}
+
+fn generate(name: &str, shape: &Shape, mode: Mode) -> String {
+    match (shape, mode) {
+        (Shape::Named(fields), Mode::Serialize) => {
+            let inserts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "map.insert({f:?}.to_string(), \
+                         ::serde::Serialize::to_value(&self.{f}));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut map = ::serde::Map::new();\n\
+                         {inserts}\
+                         ::serde::Value::Object(map)\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+        (Shape::Named(fields), Mode::Deserialize) => {
+            let reads: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                             map.get({f:?}).unwrap_or(&::serde::Value::Null))\
+                             .map_err(|e| ::serde::Error(\
+                                 format!(\"{name}.{f}: {{}}\", e.0)))?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Object(map) => Ok({name} {{\n\
+                                 {reads}\
+                             }}),\n\
+                             _ => Err(::serde::Error::msg(\
+                                 \"expected object for {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+        (Shape::Newtype, Mode::Serialize) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}\n"
+        ),
+        (Shape::Newtype, Mode::Deserialize) => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) \
+                     -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                     ::serde::Deserialize::from_value(v).map({name})\n\
+                 }}\n\
+             }}\n"
+        ),
+        (Shape::UnitEnum(variants), Mode::Serialize) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::String({v:?}.to_string()),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n\
+                             {arms}\
+                         }}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+        (Shape::UnitEnum(variants), Mode::Deserialize) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::String(s) => match s.as_str() {{\n\
+                                 {arms}\
+                                 other => Err(::serde::Error(format!(\
+                                     \"unknown {name} variant: {{other}}\"))),\n\
+                             }},\n\
+                             _ => Err(::serde::Error::msg(\
+                                 \"expected string for {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Vendored minimal stand-in for `serde_json`.
+//!
+//! A thin facade over the value model and JSON codec that live in the
+//! vendored `serde` crate: [`to_string`] / [`to_string_pretty`] go
+//! through `Serialize::to_value` and print the tree; [`from_str`]
+//! parses into a tree and runs `Deserialize::from_value`.
+
+pub use serde::{Error, Map, Value};
+
+/// Serializes a value to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::json::print_compact(&value.to_value()))
+}
+
+/// Serializes a value to 2-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::json::print_pretty(&value.to_value()))
+}
+
+/// Deserializes a value from a JSON document.
+pub fn from_str<T: serde::Deserialize>(input: &str) -> Result<T, Error> {
+    T::from_value(&serde::json::parse(input)?)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Reconstructs a value from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T, Error> {
+    T::from_value(&value)
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Inner(u32);
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    #[serde(transparent)]
+    struct Transparent(u16);
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Kind {
+        Alpha,
+        Beta,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Outer {
+        name: String,
+        count: u64,
+        ratio: f64,
+        inner: Inner,
+        kind: Kind,
+        tags: Vec<Transparent>,
+        maybe: Option<i32>,
+        pair: std::collections::HashMap<String, u8>,
+        code: [u8; 2],
+    }
+
+    #[test]
+    fn derived_struct_roundtrips() {
+        let mut pair = std::collections::HashMap::new();
+        pair.insert("x".to_string(), 9u8);
+        let outer = Outer {
+            name: "t".into(),
+            count: 7,
+            ratio: 0.5,
+            inner: Inner(3),
+            kind: Kind::Beta,
+            tags: vec![Transparent(1), Transparent(2)],
+            maybe: None,
+            pair,
+            code: [65, 66],
+        };
+        let json = super::to_string(&outer).unwrap();
+        let back: Outer = super::from_str(&json).unwrap();
+        assert_eq!(back, outer);
+        // Newtype fields serialize transparently, enums as variant names.
+        assert!(json.contains("\"inner\":3"), "json: {json}");
+        assert!(json.contains("\"kind\":\"Beta\""), "json: {json}");
+        assert!(json.contains("\"tags\":[1,2]"), "json: {json}");
+    }
+
+    #[test]
+    fn pretty_output_reparses() {
+        let v = super::Value::Array(vec![super::Value::U64(1), super::Value::Null]);
+        let pretty = super::to_string_pretty(&v).unwrap();
+        let back: super::Value = super::from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn unknown_enum_variant_errors() {
+        assert!(super::from_str::<Kind>("\"Gamma\"").is_err());
+    }
+}
