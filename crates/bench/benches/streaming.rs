@@ -1,0 +1,132 @@
+//! Criterion bench: the streaming path (collector → windowed ingest →
+//! per-window pipeline) at 1/2/4/8 ingest threads against the batch
+//! baseline over the same records.
+//!
+//! The streaming iterations do strictly more work than the batch one —
+//! IPFIX framing and decoding, watermark gating, queue hand-off — so on
+//! a single core they measure the overhead of continuous operation; on
+//! multi-core hardware the ingest workers overlap decoding with
+//! aggregation and the gap narrows. Both paths end in the same
+//! `run_sharded` call, and their results are bit-identical (the
+//! integration suite asserts this; the bench only measures).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mt_bench::harness::{Profile, World};
+use mt_core::{pipeline, PipelineEngine};
+use mt_flow::stats::DEFAULT_SIZE_THRESHOLD;
+use mt_flow::ShardedTrafficStats;
+use mt_stream::{OverflowPolicy, StreamConfig, StreamService};
+use mt_traffic::{generate_day, CaptureSet};
+use mt_types::Day;
+use std::hint::black_box;
+
+const INGEST_THREADS: [usize; 4] = [1, 2, 4, 8];
+/// TCP-segment-sized chunks: the collector sees realistic fragmentation.
+const CHUNK: usize = 1460;
+
+/// Per-exporter IPFIX byte streams for one day, plus the record count.
+fn exporter_streams(world: &World) -> (Vec<(String, Vec<u8>)>, u64) {
+    let mut capture = CaptureSet::new(
+        &world.net,
+        Day(0),
+        &world.spoof,
+        DEFAULT_SIZE_THRESHOLD,
+        false,
+    );
+    capture.retain_all_records();
+    generate_day(&world.net, &world.traffic, Day(0), &mut capture);
+    let mut streams = Vec::new();
+    let mut total = 0u64;
+    for vo in &capture.vantages {
+        total += vo.records.as_ref().map_or(0, |r| r.len() as u64);
+        let mut seq = 0;
+        let bytes: Vec<u8> = vo
+            .export_ipfix(0, &mut seq, 64)
+            .expect("records retained")
+            .into_iter()
+            .flatten()
+            .collect();
+        streams.push((vo.vp.code.clone(), bytes));
+    }
+    (streams, total)
+}
+
+fn stream_config(world: &World, ingest_threads: usize) -> StreamConfig {
+    StreamConfig {
+        ingest_threads,
+        sampling_rate: world.sampling_rate(),
+        overflow: OverflowPolicy::Block,
+        ..StreamConfig::default()
+    }
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let world = World::new(Profile::Small, 42);
+    let (streams, records) = exporter_streams(&world);
+    let rib = world.net.rib(Day(0));
+    let rate = world.sampling_rate();
+    let pc = pipeline::PipelineConfig::default();
+    let engine = PipelineEngine::standard();
+    let cfg0 = StreamConfig::default();
+
+    let mut group = c.benchmark_group("streaming");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(records));
+
+    // Batch baseline: decode-free ingest of the same records + pipeline.
+    let batch_records: Vec<_> = {
+        let mut capture = CaptureSet::new(
+            &world.net,
+            Day(0),
+            &world.spoof,
+            DEFAULT_SIZE_THRESHOLD,
+            false,
+        );
+        capture.retain_all_records();
+        generate_day(&world.net, &world.traffic, Day(0), &mut capture);
+        capture
+            .vantages
+            .into_iter()
+            .flat_map(|vo| vo.records.unwrap_or_default())
+            .collect()
+    };
+    group.bench_function("batch", |b| {
+        b.iter(|| {
+            let stats = ShardedTrafficStats::from_records(cfg0.num_shards, &batch_records);
+            black_box(engine.run_sharded(&stats, &rib, rate, 1, &pc, 2))
+        })
+    });
+
+    // Streaming end-to-end: bytes in, window report out.
+    for &t in &INGEST_THREADS {
+        group.bench_function(format!("stream/{t}thr"), |b| {
+            b.iter(|| {
+                let rib = rib.clone();
+                let mut svc = StreamService::start(stream_config(&world, t), move |_| rib.clone());
+                // Round-robin the exporters in transport-sized chunks, the
+                // arrival pattern a live collector sees.
+                let mut cursors: Vec<usize> = vec![0; streams.len()];
+                loop {
+                    let mut progressed = false;
+                    for (i, (name, bytes)) in streams.iter().enumerate() {
+                        let at = cursors[i];
+                        if at < bytes.len() {
+                            let end = (at + CHUNK).min(bytes.len());
+                            svc.push_chunk(name, &bytes[at..end]);
+                            cursors[i] = end;
+                            progressed = true;
+                        }
+                    }
+                    if !progressed {
+                        break;
+                    }
+                }
+                black_box(svc.finish())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming);
+criterion_main!(benches);

@@ -8,7 +8,7 @@
 //!   [`Verdict`] for one destination /24, given the block's aggregates
 //!   ([`BlockCtx`]) and the run-wide environment ([`StageEnv`]);
 //! - **how the funnel is accounted** — the engine counts entered/kept
-//!   per stage into a [`Funnel`](crate::pipeline::Funnel), so drop
+//!   per stage into a [`crate::pipeline::Funnel`], so drop
 //!   reasons fall out of the stage list instead of hand-maintained
 //!   counters;
 //! - **how blocks are traversed** — [`PipelineEngine::run`] walks any

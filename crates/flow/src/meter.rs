@@ -164,10 +164,42 @@ impl FlowMeter {
                 true
             }
         });
+        // HashMap::retain visits entries in storage order; sort each
+        // batch so the expiry stream is independent of hash layout.
+        Self::sort_records(&mut out);
         self.expired.append(&mut out);
     }
 
+    /// Evicts every flow whose last activity precedes `t`, regardless of
+    /// the idle timeout, returning the evicted records in deterministic
+    /// order. This is the window-close hook of the streaming ingest
+    /// layer: when a time window closes, flows that went quiet before
+    /// the cutoff belong to it and must be flushed now, while flows
+    /// still active at `t` stay cached for the next window.
+    ///
+    /// Unlike [`observe`](Self::observe), this does not advance the
+    /// meter clock; `t` may lag the newest packet (a watermark typically
+    /// does).
+    pub fn expire_before(&mut self, t: SimTime) -> Vec<FlowRecord> {
+        let mut out = Vec::new();
+        self.cache.retain(|key, entry| {
+            if entry.packets > 0 && entry.last < t {
+                out.push(Self::to_record(*key, entry));
+                false
+            } else {
+                true
+            }
+        });
+        Self::sort_records(&mut out);
+        out
+    }
+
     /// Flushes every cached flow (end of the observation window).
+    ///
+    /// The returned records are in deterministic order — sorted by
+    /// `(start, src, dst, src_port, dst_port, protocol)` — so a drained
+    /// window serializes identically run to run regardless of the
+    /// cache's internal hash layout.
     pub fn drain(&mut self) -> Vec<FlowRecord> {
         let mut out = std::mem::take(&mut self.expired);
         for (key, entry) in self.cache.drain() {
@@ -175,7 +207,14 @@ impl FlowMeter {
                 out.push(Self::to_record(key, &entry));
             }
         }
+        Self::sort_records(&mut out);
         out
+    }
+
+    /// The deterministic record ordering used by [`drain`](Self::drain)
+    /// and [`expire_before`](Self::expire_before).
+    fn sort_records(records: &mut [FlowRecord]) {
+        records.sort_by_key(|r| (r.start, r.src, r.dst, r.src_port, r.dst_port, r.protocol));
     }
 
     fn to_record(key: FlowKey, entry: &CacheEntry) -> FlowRecord {
@@ -286,5 +325,67 @@ mod tests {
     fn drain_on_empty_meter() {
         let mut m = meter();
         assert!(m.drain().is_empty());
+    }
+
+    #[test]
+    fn expire_before_evicts_only_quiet_flows() {
+        let mut m = meter();
+        m.observe(&pkt(0, key(1), 2));
+        m.observe(&pkt(5, key(2), 2));
+        m.observe(&pkt(9, key(3), 2));
+        // key(1) last seen at t=0, key(2) at t=5: both precede t=6.
+        let evicted = m.expire_before(SimTime(6));
+        assert_eq!(evicted.len(), 2);
+        assert_eq!(evicted[0].src, key(1).src);
+        assert_eq!(evicted[1].src, key(2).src);
+        assert_eq!(m.cached_flows(), 1, "key(3) stays cached");
+        // The clock did not advance: observing at t=9 again is fine.
+        m.observe(&pkt(9, key(3), 2));
+        assert!(m.expire_before(SimTime(6)).is_empty(), "idempotent");
+        let rest = m.drain();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].packets, 2);
+    }
+
+    #[test]
+    fn expire_before_honours_eviction_over_idle_timeout() {
+        let mut m = meter();
+        // Flow active 2 s ago — well inside the 15 s idle timeout, but a
+        // window closing at t=3 must still flush it.
+        m.observe(&pkt(0, key(1), 2));
+        m.observe(&pkt(1, key(1), 2));
+        let evicted = m.expire_before(SimTime(3));
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].packets, 2);
+        assert_eq!(m.cached_flows(), 0);
+    }
+
+    #[test]
+    fn drain_and_expire_ordering_is_deterministic() {
+        // Insert many tuples in a scrambled order; the output must come
+        // back sorted by (start, src, dst, src_port, dst_port, protocol)
+        // no matter how the hash map laid them out.
+        let mut scrambled: Vec<u8> = (0..50).collect();
+        scrambled.reverse();
+        scrambled.swap(3, 40);
+        scrambled.swap(11, 27);
+        let mut m = meter();
+        for (i, n) in scrambled.iter().enumerate() {
+            m.observe(&pkt(i as u64 / 10, key(*n), 2));
+        }
+        let drained = m.drain();
+        assert_eq!(drained.len(), 50);
+        let mut sorted = drained.clone();
+        sorted.sort_by_key(|r| (r.start, r.src, r.dst, r.src_port, r.dst_port, r.protocol));
+        assert_eq!(drained, sorted, "drain() output is pre-sorted");
+
+        let mut m = meter();
+        for n in &scrambled {
+            m.observe(&pkt(0, key(*n), 2));
+        }
+        let evicted = m.expire_before(SimTime(1));
+        let mut sorted = evicted.clone();
+        sorted.sort_by_key(|r| (r.start, r.src, r.dst, r.src_port, r.dst_port, r.protocol));
+        assert_eq!(evicted, sorted, "expire_before() output is pre-sorted");
     }
 }

@@ -1,0 +1,566 @@
+//! The assembled streaming service: IPFIX byte chunks in, per-window
+//! and combined pipeline results out.
+//!
+//! # Threading model
+//!
+//! One *producer* (the caller of [`StreamService::push_chunk`]) and N
+//! *ingest workers*. The producer owns everything whose order matters
+//! for determinism: message framing and decoding, the window gate
+//! (late/dropped decisions against the watermark), and window-close
+//! scheduling. Workers only do the order-*independent* part — folding
+//! records into per-day [`ShardedTrafficStats`] — so the nondeterminism
+//! of which worker picks up which batch cannot affect results: each
+//! worker accumulates its share into its own per-day stats, and at
+//! window close the per-worker parts are merged in worker-index order
+//! (merging is commutative content-wise; the fixed order makes the walk
+//! itself deterministic too).
+//!
+//! Window close uses an epoch barrier: the producer counts records
+//! pushed, workers count records processed, and close waits until the
+//! two agree — at that point every accepted record of the closing day
+//! is in some worker's accumulator, and the merged window stats equal a
+//! batch ingest of exactly the gated record set.
+
+use crate::collector::StreamCollector;
+use crate::queue::{BoundedQueue, OverflowPolicy, QueueStats};
+use crate::scheduler::{CombinedReport, SchedulerConfig, WindowReport, WindowScheduler};
+use crate::window::{Gate, WindowTracker};
+use mt_core::pipeline::PipelineConfig;
+use mt_flow::{FlowRecord, ShardedTrafficStats};
+use mt_types::{Asn, Day, PrefixTrie, SimDuration};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Configuration of the whole streaming stack.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Shards per window accumulator (must match across the run).
+    pub num_shards: usize,
+    /// Per-host size threshold (must match the pipeline's).
+    pub size_threshold: u16,
+    /// Ingest worker threads.
+    pub ingest_threads: usize,
+    /// Worker threads for each window's `run_sharded`.
+    pub pipeline_threads: usize,
+    /// Capacity of the collector→ingest queue, in batches.
+    pub queue_capacity: usize,
+    /// What a full queue does to new batches.
+    pub overflow: OverflowPolicy,
+    /// How far event time may lag the stream maximum before a record's
+    /// window closes without it.
+    pub allowed_lateness: SimDuration,
+    /// The exporters' packet sampling rate.
+    pub sampling_rate: u32,
+    /// Pipeline thresholds.
+    pub pipeline: PipelineConfig,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            num_shards: mt_flow::sharded::DEFAULT_SHARDS,
+            size_threshold: mt_flow::stats::DEFAULT_SIZE_THRESHOLD,
+            ingest_threads: 2,
+            pipeline_threads: 2,
+            queue_capacity: 64,
+            overflow: OverflowPolicy::Block,
+            allowed_lateness: SimDuration::hours(2),
+            sampling_rate: 1,
+            pipeline: PipelineConfig::default(),
+        }
+    }
+}
+
+/// Per-exporter lifetime counters, as reported by [`StreamOutput`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExporterCounters {
+    /// Exporter name.
+    pub name: String,
+    /// Bytes received.
+    pub bytes: u64,
+    /// IPFIX messages decoded.
+    pub messages: u64,
+    /// Flow records decoded.
+    pub flows: u64,
+    /// Decode trouble: framing errors plus skipped sets/records.
+    pub decode_errors: u64,
+    /// Records accepted behind the watermark.
+    pub late: u64,
+    /// Records dropped because their window had closed.
+    pub dropped: u64,
+}
+
+/// Everything a finished streaming run produced.
+#[derive(Debug)]
+pub struct StreamOutput {
+    /// Per-window reports, in close (day) order.
+    pub windows: Vec<WindowReport>,
+    /// The combined report after each window close (last = final).
+    pub combined: Vec<CombinedReport>,
+    /// Per-exporter counters, ordered by exporter name.
+    pub exporters: Vec<ExporterCounters>,
+    /// Collector→ingest queue statistics.
+    pub queue: QueueStats,
+    /// Records accepted at or ahead of the watermark.
+    pub on_time: u64,
+    /// Records accepted behind the watermark (within allowed lateness).
+    pub late: u64,
+    /// Records dropped at the window gate (window already closed).
+    pub dropped_late: u64,
+    /// Records shed by queue backpressure (`DropNewest` only).
+    pub dropped_backpressure: u64,
+}
+
+/// One unit of ingest work: a day's worth of records from one chunk.
+struct Batch {
+    day: Day,
+    records: Vec<FlowRecord>,
+}
+
+#[derive(Default)]
+struct Progress {
+    pushed: u64,
+    processed: u64,
+}
+
+/// State shared with the ingest workers.
+struct Shared {
+    queue: BoundedQueue<Batch>,
+    /// Per-worker per-day accumulators, indexed by worker.
+    workers: Vec<Mutex<HashMap<Day, ShardedTrafficStats>>>,
+    progress: Mutex<Progress>,
+    drained: Condvar,
+    num_shards: usize,
+    size_threshold: u16,
+}
+
+/// The streaming stack: collector sessions, window gate, bounded queue,
+/// ingest workers, and the window scheduler.
+pub struct StreamService<F> {
+    cfg: StreamConfig,
+    collector: StreamCollector,
+    tracker: WindowTracker,
+    scheduler: WindowScheduler<F>,
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    windows: Vec<WindowReport>,
+    combined: Vec<CombinedReport>,
+    /// Records enqueued per open window.
+    window_records: HashMap<Day, u64>,
+    /// Per-exporter window-gate counters: (late, dropped).
+    gate_counts: BTreeMap<String, (u64, u64)>,
+    dropped_backpressure: u64,
+}
+
+impl<F: Fn(Day) -> PrefixTrie<Asn>> StreamService<F> {
+    /// Starts the service: spawns the ingest workers and returns the
+    /// producer-side handle. `rib_of` supplies each day's RIB snapshot
+    /// at window close.
+    pub fn start(cfg: StreamConfig, rib_of: F) -> Self {
+        assert!(cfg.ingest_threads >= 1);
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(cfg.queue_capacity, cfg.overflow),
+            workers: (0..cfg.ingest_threads)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            progress: Mutex::new(Progress::default()),
+            drained: Condvar::new(),
+            num_shards: cfg.num_shards,
+            size_threshold: cfg.size_threshold,
+        });
+        let handles = (0..cfg.ingest_threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || ingest_worker(&shared, i))
+            })
+            .collect();
+        let scheduler = WindowScheduler::new(
+            rib_of,
+            SchedulerConfig {
+                sampling_rate: cfg.sampling_rate,
+                pipeline: cfg.pipeline.clone(),
+                threads: cfg.pipeline_threads,
+            },
+        );
+        StreamService {
+            tracker: WindowTracker::new(cfg.allowed_lateness),
+            cfg,
+            collector: StreamCollector::new(),
+            scheduler,
+            shared,
+            handles,
+            windows: Vec::new(),
+            combined: Vec::new(),
+            window_records: HashMap::new(),
+            gate_counts: BTreeMap::new(),
+            dropped_backpressure: 0,
+        }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
+    }
+
+    /// The per-exporter collector sessions (live counters).
+    pub fn collector(&self) -> &StreamCollector {
+        &self.collector
+    }
+
+    /// The window tracker (watermark, gate counters).
+    pub fn tracker(&self) -> &WindowTracker {
+        &self.tracker
+    }
+
+    /// Windows closed so far.
+    pub fn windows_closed(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Feeds one chunk of `exporter`'s IPFIX byte stream. Complete
+    /// messages are decoded, their records gated against the watermark,
+    /// accepted records handed to the ingest workers, and any windows
+    /// the advancing watermark closed are run to completion.
+    pub fn push_chunk(&mut self, exporter: &str, chunk: &[u8]) {
+        let flows = self.collector.feed(exporter, chunk);
+        if flows.is_empty() {
+            self.close_ready_windows();
+            return;
+        }
+        let gate = self.gate_counts.entry(exporter.to_owned()).or_default();
+        // Group the chunk's accepted records per day so one queue item
+        // is one (day, records) batch.
+        let mut by_day: BTreeMap<Day, Vec<FlowRecord>> = BTreeMap::new();
+        for f in &flows {
+            let r = FlowRecord::from_ipfix(f);
+            match self.tracker.observe(r.start) {
+                Gate::Accept { day, late } => {
+                    if late {
+                        gate.0 += 1;
+                    }
+                    by_day.entry(day).or_default().push(r);
+                }
+                Gate::TooLate { .. } => gate.1 += 1,
+            }
+        }
+        for (day, records) in by_day {
+            let n = records.len() as u64;
+            if self.shared.queue.push(Batch { day, records }) {
+                self.shared
+                    .progress
+                    .lock()
+                    .expect("progress lock poisoned")
+                    .pushed += n;
+                *self.window_records.entry(day).or_default() += n;
+            } else {
+                self.dropped_backpressure += n;
+            }
+        }
+        self.close_ready_windows();
+    }
+
+    /// Closes every window the current watermark allows.
+    fn close_ready_windows(&mut self) {
+        let closable = self.tracker.take_closable();
+        if closable.is_empty() {
+            return;
+        }
+        self.flush();
+        for day in closable {
+            self.close_window(day);
+        }
+    }
+
+    /// Epoch barrier: waits until the workers have ingested every
+    /// record pushed so far.
+    fn flush(&self) {
+        let g = self.shared.progress.lock().expect("progress lock poisoned");
+        let _g = self
+            .shared
+            .drained
+            .wait_while(g, |p| p.processed < p.pushed)
+            .expect("progress lock poisoned");
+    }
+
+    /// Merges the per-worker accumulators of `day` (worker-index order)
+    /// and hands the window to the scheduler. Callers must flush first.
+    fn close_window(&mut self, day: Day) {
+        let mut merged: Option<ShardedTrafficStats> = None;
+        for w in &self.shared.workers {
+            let part = w.lock().expect("worker state poisoned").remove(&day);
+            if let Some(part) = part {
+                match &mut merged {
+                    None => merged = Some(part),
+                    Some(m) => m.merge(&part),
+                }
+            }
+        }
+        let stats = merged.unwrap_or_else(|| {
+            ShardedTrafficStats::with_size_threshold(
+                self.shared.num_shards,
+                self.shared.size_threshold,
+            )
+        });
+        let records = self.window_records.remove(&day).unwrap_or(0);
+        let (window, combined) = self.scheduler.close(day, records, stats);
+        self.windows.push(window);
+        self.combined.push(combined);
+    }
+
+    /// Ends the stream: flushes in-flight records, closes every
+    /// remaining open window in day order, stops the workers, and
+    /// returns the run's full output.
+    pub fn finish(mut self) -> StreamOutput {
+        self.flush();
+        for day in self.tracker.drain_open() {
+            self.close_window(day);
+        }
+        self.shared.queue.close();
+        for h in self.handles.drain(..) {
+            h.join().expect("ingest worker panicked");
+        }
+        let exporters = self
+            .collector
+            .sessions()
+            .map(|(name, s)| {
+                let (late, dropped) = self.gate_counts.get(name).copied().unwrap_or_default();
+                ExporterCounters {
+                    name: name.to_owned(),
+                    bytes: s.bytes,
+                    messages: s.messages,
+                    flows: s.flows,
+                    decode_errors: s.decode_errors(),
+                    late,
+                    dropped,
+                }
+            })
+            .collect();
+        StreamOutput {
+            windows: self.windows,
+            combined: self.combined,
+            exporters,
+            queue: self.shared.queue.stats(),
+            on_time: self.tracker.on_time,
+            late: self.tracker.late,
+            dropped_late: self.tracker.dropped,
+            dropped_backpressure: self.dropped_backpressure,
+        }
+    }
+}
+
+/// Ingest worker loop: pop batches, fold records into this worker's
+/// per-day accumulator, and report progress for the flush barrier.
+fn ingest_worker(shared: &Shared, index: usize) {
+    while let Some(batch) = shared.queue.pop() {
+        let n = batch.records.len() as u64;
+        {
+            let mut days = shared.workers[index].lock().expect("worker state poisoned");
+            let stats = days.entry(batch.day).or_insert_with(|| {
+                ShardedTrafficStats::with_size_threshold(shared.num_shards, shared.size_threshold)
+            });
+            for r in &batch.records {
+                stats.ingest(r);
+            }
+        }
+        let mut p = shared.progress.lock().expect("progress lock poisoned");
+        p.processed += n;
+        drop(p);
+        shared.drained.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mt_core::PipelineEngine;
+    use mt_types::{Ipv4, Prefix};
+    use mt_wire::ipfix;
+
+    fn rib() -> PrefixTrie<Asn> {
+        [("20.0.0.0/8".parse::<Prefix>().unwrap(), Asn(65_000))]
+            .into_iter()
+            .collect()
+    }
+
+    fn record(day: Day, offset: u64, dst: u32, packets: u64) -> FlowRecord {
+        FlowRecord {
+            start: day.start() + SimDuration::secs(offset),
+            src: Ipv4::new(9, 9, 9, 9),
+            dst: Ipv4(dst),
+            src_port: 40_000,
+            dst_port: 23,
+            protocol: 6,
+            tcp_flags: 2,
+            packets,
+            octets: packets * 40,
+        }
+    }
+
+    fn encode(records: &[FlowRecord], seq: &mut u32) -> Vec<u8> {
+        let flows: Vec<ipfix::IpfixFlow> = records.iter().map(FlowRecord::to_ipfix).collect();
+        ipfix::encode_messages(&flows, 0, 1, seq, 50)
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    fn day_records(day: Day) -> Vec<FlowRecord> {
+        (0..40u32)
+            .map(|i| {
+                record(
+                    day,
+                    u64::from(i) * 600,
+                    0x1400_0100 + (i % 13) * 256 + day.0 * 7,
+                    1 + u64::from(i % 4),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streamed_windows_match_batch_per_day() {
+        for threads in [1, 3] {
+            let cfg = StreamConfig {
+                ingest_threads: threads,
+                allowed_lateness: SimDuration::hours(1),
+                ..StreamConfig::default()
+            };
+            let mut svc = StreamService::start(cfg.clone(), |_| rib());
+            let mut seq = 0;
+            let mut all = Vec::new();
+            for d in 0..3 {
+                let recs = day_records(Day(d));
+                let bytes = encode(&recs, &mut seq);
+                // Feed in awkward chunk sizes to exercise framing.
+                for chunk in bytes.chunks(97) {
+                    svc.push_chunk("CE1", chunk);
+                }
+                all.push(recs);
+            }
+            assert_eq!(
+                svc.windows_closed(),
+                2,
+                "days 0 and 1 closed mid-stream at {threads} threads"
+            );
+            let out = svc.finish();
+            assert_eq!(out.windows.len(), 3);
+            assert_eq!(out.dropped_late, 0);
+            assert_eq!(out.dropped_backpressure, 0);
+
+            let engine = PipelineEngine::standard();
+            for (w, recs) in out.windows.iter().zip(&all) {
+                assert_eq!(w.records, recs.len() as u64);
+                let batch_stats = ShardedTrafficStats::from_records(cfg.num_shards, recs);
+                let batch = engine.run_sharded(&batch_stats, &rib(), 1, 1, &cfg.pipeline, 2);
+                assert_eq!(w.result.dark, batch.dark, "day {}", w.day.0);
+                assert_eq!(w.result.unclean, batch.unclean);
+                assert_eq!(w.result.gray, batch.gray);
+                assert_eq!(w.result.funnel, batch.funnel);
+            }
+            // Combined final result equals batch over everything.
+            let flat: Vec<FlowRecord> = all.iter().flatten().cloned().collect();
+            let batch_stats = ShardedTrafficStats::from_records(cfg.num_shards, &flat);
+            let batch = engine.run_sharded(&batch_stats, &rib(), 1, 3, &cfg.pipeline, 2);
+            let fin = out.combined.last().unwrap();
+            assert_eq!(fin.days, 3);
+            assert_eq!(fin.result.dark, batch.dark);
+            assert_eq!(fin.result.funnel, batch.funnel);
+        }
+    }
+
+    #[test]
+    fn too_late_records_are_dropped_and_counted() {
+        let cfg = StreamConfig {
+            allowed_lateness: SimDuration::hours(1),
+            ..StreamConfig::default()
+        };
+        let mut svc = StreamService::start(cfg, |_| rib());
+        let mut seq = 0;
+        svc.push_chunk("X", &encode(&day_records(Day(0)), &mut seq));
+        svc.push_chunk("X", &encode(&day_records(Day(2)), &mut seq));
+        assert_eq!(svc.windows_closed(), 1, "day 0 closed");
+        // A straggler for day 0 after its window closed.
+        svc.push_chunk("X", &encode(&[record(Day(0), 3, 0x1400_0100, 1)], &mut seq));
+        let out = svc.finish();
+        assert_eq!(out.dropped_late, 1);
+        let x = &out.exporters[0];
+        assert_eq!(x.name, "X");
+        assert_eq!(x.dropped, 1);
+        assert_eq!(
+            out.windows[0].records, 40,
+            "the dropped straggler is not in the window"
+        );
+    }
+
+    #[test]
+    fn shuffled_arrival_within_lateness_is_equivalent() {
+        let day = Day(0);
+        let mut recs = day_records(day);
+        let in_order_result = {
+            let mut svc = StreamService::start(StreamConfig::default(), |_| rib());
+            let mut seq = 0;
+            svc.push_chunk("A", &encode(&recs, &mut seq));
+            svc.finish()
+        };
+        // Reverse arrival order entirely — all inside one day, so every
+        // record stays within the lateness bound.
+        recs.reverse();
+        let reversed_result = {
+            let mut svc = StreamService::start(StreamConfig::default(), |_| rib());
+            let mut seq = 0;
+            svc.push_chunk("A", &encode(&recs, &mut seq));
+            svc.finish()
+        };
+        let a = &in_order_result.windows[0].result;
+        let b = &reversed_result.windows[0].result;
+        assert_eq!(a.dark, b.dark);
+        assert_eq!(a.unclean, b.unclean);
+        assert_eq!(a.gray, b.gray);
+        assert_eq!(a.funnel, b.funnel);
+        assert!(reversed_result.late > 0, "reversal produced late records");
+        assert_eq!(reversed_result.dropped_late, 0);
+    }
+
+    #[test]
+    fn drop_newest_backpressure_is_counted() {
+        // A tiny queue with no consumers able to keep up: capacity 1 and
+        // a worker that must contend with a flood of batches. Shedding
+        // must be counted, never silent.
+        let cfg = StreamConfig {
+            queue_capacity: 1,
+            ingest_threads: 1,
+            overflow: OverflowPolicy::DropNewest,
+            ..StreamConfig::default()
+        };
+        let mut svc = StreamService::start(cfg, |_| rib());
+        let mut seq = 0;
+        let mut pushed = 0u64;
+        for i in 0..200u32 {
+            let r = record(Day(0), u64::from(i), 0x1400_0100 + i * 256, 1);
+            svc.push_chunk("A", &encode(&[r], &mut seq));
+            pushed += 1;
+        }
+        let out = svc.finish();
+        let kept = out.windows[0].records;
+        assert_eq!(
+            kept + out.dropped_backpressure,
+            pushed,
+            "every record is either ingested or counted shed"
+        );
+        assert_eq!(out.queue.high_water_mark, 1);
+    }
+
+    #[test]
+    fn garbage_chunks_surface_as_decode_errors() {
+        let mut svc = StreamService::start(StreamConfig::default(), |_| rib());
+        let mut seq = 0;
+        svc.push_chunk("A", &encode(&day_records(Day(0)), &mut seq));
+        svc.push_chunk("A", &[0xff; 64]);
+        svc.push_chunk("A", &encode(&day_records(Day(1)), &mut seq));
+        let out = svc.finish();
+        let a = &out.exporters[0];
+        assert!(a.decode_errors > 0);
+        assert_eq!(a.flows, 80, "both clean chunks decoded fully");
+    }
+}

@@ -21,7 +21,7 @@ use mt_flow::{binomial, FlowRecord, ShardedTrafficStats, TrafficStats};
 use mt_netmodel::{Internet, Telescope, VantagePoint};
 use mt_types::mix::mix3;
 use mt_types::{Block24, Block24Set, Day, Ipv4};
-use mt_wire::{ipv4, pcap, tcp, udp, IpProtocol};
+use mt_wire::{ipfix, ipv4, pcap, tcp, udp, IpProtocol};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::HashMap;
@@ -117,6 +117,31 @@ impl<'a> VantageObserver<'a> {
     /// Keeps every sampled record in memory alongside the aggregates.
     pub fn retain_records(&mut self) {
         self.records = Some(Vec::new());
+    }
+
+    /// Serialises the retained records as RFC 7011 IPFIX messages, ready
+    /// to be concatenated onto this exporter's §10.4 byte stream (the
+    /// `mt-stream` collector's input). The observation domain is derived
+    /// from the vantage point's code so every exporter's stream is
+    /// self-identifying; `sequence` is the exporter's running record
+    /// sequence counter. Returns `None` unless
+    /// [`VantageObserver::retain_records`] was called before capture.
+    pub fn export_ipfix(
+        &self,
+        export_time: u32,
+        sequence: &mut u32,
+        max_records_per_message: usize,
+    ) -> Option<Vec<Vec<u8>>> {
+        let records = self.records.as_ref()?;
+        let flows: Vec<ipfix::IpfixFlow> = records.iter().map(FlowRecord::to_ipfix).collect();
+        let domain = str_hash(&self.vp.code) as u32;
+        Some(ipfix::encode_messages(
+            &flows,
+            export_time,
+            domain,
+            sequence,
+            max_records_per_message,
+        ))
     }
 
     fn sees(&self, sender_as: u32, dst_as: u32) -> bool {
@@ -499,6 +524,14 @@ impl<'a> CaptureSet<'a> {
     pub fn vantage(&self, code: &str) -> Option<&VantageObserver<'a>> {
         self.vantages.iter().find(|v| v.vp.code == code)
     }
+
+    /// Turns on record retention for every vantage observer, so each can
+    /// later [`VantageObserver::export_ipfix`] its day of flows.
+    pub fn retain_all_records(&mut self) {
+        for v in &mut self.vantages {
+            v.retain_records();
+        }
+    }
 }
 
 impl EmissionSink for CaptureSet<'_> {
@@ -565,6 +598,44 @@ mod tests {
         // Larger vantage points see more.
         let se1 = set.vantage("SE1").unwrap();
         assert!(ce1.sampled_flows > se1.sampled_flows);
+    }
+
+    #[test]
+    fn exported_ipfix_roundtrips_the_retained_records() {
+        let net = scenario();
+        let spoof = SpoofSpace::new(&net, 0.6);
+        let mut set = CaptureSet::new(
+            &net,
+            Day(0),
+            &spoof,
+            mt_flow::stats::DEFAULT_SIZE_THRESHOLD,
+            false,
+        );
+        set.retain_all_records();
+        generate_day(&net, &TrafficConfig::test_profile(), Day(0), &mut set);
+
+        let ce1 = set.vantage("CE1").unwrap();
+        assert!(
+            ce1.export_ipfix(0, &mut 0, 100).is_some(),
+            "retained observers export"
+        );
+        let fresh = VantageObserver::new(ce1.vp, &net, Day(0), &spoof, 60);
+        assert!(
+            fresh.export_ipfix(0, &mut 0, 100).is_none(),
+            "no retention, no export"
+        );
+
+        let records = ce1.records.as_ref().unwrap();
+        let mut seq = 0;
+        let messages = ce1.export_ipfix(7, &mut seq, 50).unwrap();
+        assert_eq!(seq, records.len() as u32, "sequence advances per record");
+        let mut collector = ipfix::Collector::new();
+        let mut flows = Vec::new();
+        for m in &messages {
+            collector.decode_message(m, &mut flows).unwrap();
+        }
+        let decoded: Vec<FlowRecord> = flows.iter().map(FlowRecord::from_ipfix).collect();
+        assert_eq!(&decoded, records, "lossless export/decode roundtrip");
     }
 
     #[test]

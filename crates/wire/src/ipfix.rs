@@ -157,6 +157,18 @@ pub fn encode_messages(
 /// layout differs from [`FLOW_FIELDS`] is remembered but its data records
 /// are skipped (we only understand our own layout). Unknown set ids are
 /// skipped per RFC 7011 §8.
+///
+/// A long-running collector must not lose a whole message because one
+/// set inside it is bad (a UDP exporter will never re-send it), so set
+/// level problems are *counted*, not raised: data sets referencing a
+/// template that was never seen bump [`Collector::unknown_sets`], and
+/// structurally broken sets (impossible set length, truncated or
+/// out-of-range template records, trailing garbage) bump
+/// [`Collector::malformed_sets`] — decoding then resumes at the next
+/// set boundary when one exists, or gives up on the rest of the message
+/// when the boundary itself is lost. Hard [`WireError`]s remain only for
+/// unparseable *message headers* (short buffer, wrong version, declared
+/// length out of range), where nothing after the error can be trusted.
 #[derive(Debug, Default)]
 pub struct Collector {
     /// Template id → record length, for templates matching our layout.
@@ -165,6 +177,12 @@ pub struct Collector {
     foreign: std::collections::HashMap<u16, usize>,
     /// Count of data records skipped because their template was foreign.
     pub skipped_records: u64,
+    /// Count of data sets skipped because their template was never seen.
+    pub unknown_sets: u64,
+    /// Count of sets (or set remainders) skipped as structurally
+    /// malformed: a set length under 4 or past the message end, a broken
+    /// template record, or trailing bytes shorter than a set header.
+    pub malformed_sets: u64,
 }
 
 impl Collector {
@@ -173,7 +191,18 @@ impl Collector {
         Self::default()
     }
 
+    /// Total sets skipped for any reason (unknown template or malformed
+    /// structure) — the "decode trouble" signal a streaming session
+    /// surfaces per exporter.
+    pub fn skipped_sets(&self) -> u64 {
+        self.unknown_sets + self.malformed_sets
+    }
+
     /// Parses one message, appending decoded flows to `out`.
+    ///
+    /// Returns `Err` only for unparseable message headers; bad sets
+    /// inside an otherwise well-framed message are skipped and counted
+    /// (see the type-level docs).
     pub fn decode_message(&mut self, mut msg: &[u8], out: &mut Vec<IpfixFlow>) -> Result<()> {
         if msg.len() < 16 {
             return Err(WireError::Truncated);
@@ -191,45 +220,52 @@ impl Collector {
             let set_id = body.get_u16();
             let set_len = body.get_u16() as usize;
             if set_len < 4 || set_len - 4 > body.remaining() {
-                return Err(WireError::Truncated);
+                // The set boundary is lost; nothing after this point in
+                // the message can be framed. Skip the remainder.
+                self.malformed_sets += 1;
+                return Ok(());
             }
             let (set_body, rest) = body.split_at(set_len - 4);
             body = rest;
             match set_id {
-                TEMPLATE_SET_ID => self.learn_templates(set_body)?,
-                id if id >= 256 => self.decode_data_set(id, set_body, out)?,
+                TEMPLATE_SET_ID => self.learn_templates(set_body),
+                id if id >= 256 => self.decode_data_set(id, set_body, out),
                 _ => {} // options templates etc.: skipped
             }
         }
         if !body.is_empty() {
-            return Err(WireError::Malformed);
+            // Trailing bytes shorter than a set header.
+            self.malformed_sets += 1;
         }
         Ok(())
     }
 
-    fn learn_templates(&mut self, mut set: &[u8]) -> Result<()> {
+    fn learn_templates(&mut self, mut set: &[u8]) {
         // A template set may hold several template records; trailing
-        // padding shorter than a record header is permitted.
+        // padding shorter than a record header is permitted. A broken
+        // record loses the in-set framing, so the rest of the set is
+        // skipped (and counted) — but templates already learned stand.
         while set.remaining() >= 4 {
             let template_id = set.get_u16();
             let field_count = set.get_u16() as usize;
-            if template_id < 256 {
-                return Err(WireError::Malformed);
-            }
-            if set.remaining() < field_count * 4 {
-                return Err(WireError::Truncated);
+            if template_id < 256 || set.remaining() < field_count * 4 {
+                self.malformed_sets += 1;
+                return;
             }
             let mut fields = Vec::with_capacity(field_count);
             let mut record_len = 0usize;
+            let mut enterprise = false;
             for _ in 0..field_count {
                 let ie = set.get_u16();
                 let len = set.get_u16();
-                if ie & 0x8000 != 0 {
-                    // Enterprise elements are out of scope.
-                    return Err(WireError::Malformed);
-                }
+                // Enterprise elements are out of scope.
+                enterprise |= ie & 0x8000 != 0;
                 record_len += len as usize;
                 fields.push((ie, len));
+            }
+            if enterprise {
+                self.malformed_sets += 1;
+                return;
             }
             if fields == FLOW_FIELDS {
                 self.known.insert(template_id, record_len);
@@ -239,27 +275,19 @@ impl Collector {
                 self.known.remove(&template_id);
             }
         }
-        Ok(())
     }
 
-    fn decode_data_set(
-        &mut self,
-        template_id: u16,
-        mut set: &[u8],
-        out: &mut Vec<IpfixFlow>,
-    ) -> Result<()> {
+    fn decode_data_set(&mut self, template_id: u16, mut set: &[u8], out: &mut Vec<IpfixFlow>) {
         if let Some(&len) = self.known.get(&template_id) {
             while set.remaining() >= len {
                 out.push(IpfixFlow::decode(&mut set));
             }
-            Ok(())
         } else if let Some(&len) = self.foreign.get(&template_id) {
             if let Some(skipped) = set.remaining().checked_div(len) {
                 self.skipped_records += skipped as u64;
             }
-            Ok(())
         } else {
-            Err(WireError::UnknownTemplate(template_id))
+            self.unknown_sets += 1;
         }
     }
 }
@@ -330,6 +358,11 @@ pub mod stream {
                 collector: Collector::new(),
                 messages: 0,
             }
+        }
+
+        /// The underlying template collector (skip/error counters).
+        pub fn collector(&self) -> &Collector {
+            &self.collector
         }
 
         /// Reads the next message, appending its flows to `out`.
@@ -417,7 +450,7 @@ mod tests {
     }
 
     #[test]
-    fn data_before_template_is_unknown() {
+    fn data_before_template_is_skipped_and_counted() {
         let flows = vec![sample_flow(0)];
         let mut seq = 0;
         let msgs = encode_messages(&flows, 1, 1, &mut seq, 10);
@@ -431,10 +464,82 @@ mod tests {
         stripped[2..4].copy_from_slice(&total.to_be_bytes());
         let mut collector = Collector::new();
         let mut out = Vec::new();
-        assert_eq!(
-            collector.decode_message(&stripped, &mut out).unwrap_err(),
-            WireError::UnknownTemplate(FLOW_TEMPLATE_ID)
-        );
+        // The set is skipped (counted), not a hard error: a later message
+        // carrying the template must still decode on the same session.
+        collector.decode_message(&stripped, &mut out).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(collector.unknown_sets, 1);
+        for m in &msgs {
+            collector.decode_message(m, &mut out).unwrap();
+        }
+        assert_eq!(out, flows);
+    }
+
+    #[test]
+    fn malformed_set_length_skips_rest_of_message_only() {
+        // Message: [good data set][set with impossible length]. The good
+        // set decodes; the bad one is counted and the tail abandoned.
+        let flows = vec![sample_flow(0), sample_flow(1)];
+        let mut seq = 0;
+        let mut msg = encode_messages(&flows, 1, 1, &mut seq, 10).remove(0);
+        let patch_total = |msg: &mut Vec<u8>| {
+            let total = msg.len() as u16;
+            msg[2..4].copy_from_slice(&total.to_be_bytes());
+        };
+        // Append a set whose declared length (3) is under the 4-byte header.
+        msg.put_u16(999);
+        msg.put_u16(3);
+        patch_total(&mut msg);
+        let mut collector = Collector::new();
+        let mut out = Vec::new();
+        collector.decode_message(&msg, &mut out).unwrap();
+        assert_eq!(out, flows, "sets before the bad one still decode");
+        assert_eq!(collector.malformed_sets, 1);
+        // A set length pointing past the message end is likewise counted.
+        let mut msg2 = encode_messages(&flows, 1, 1, &mut seq, 10).remove(0);
+        msg2.put_u16(999);
+        msg2.put_u16(60_000);
+        patch_total(&mut msg2);
+        let mut out2 = Vec::new();
+        collector.decode_message(&msg2, &mut out2).unwrap();
+        assert_eq!(out2, flows);
+        assert_eq!(collector.malformed_sets, 2);
+    }
+
+    #[test]
+    fn broken_template_record_keeps_earlier_templates() {
+        // A template set holding one valid FLOW_FIELDS template followed
+        // by a record with an in-range id but a field count overrunning
+        // the set: the good template is learned, the tail counted.
+        let mut msg = Vec::new();
+        msg.put_u16(VERSION);
+        msg.put_u16(0);
+        msg.put_u32(0);
+        msg.put_u32(0);
+        msg.put_u32(0);
+        let tmpl_body = 4 + FLOW_FIELDS.len() * 4 + 4; // good record + bad header
+        msg.put_u16(TEMPLATE_SET_ID);
+        msg.put_u16((4 + tmpl_body) as u16);
+        msg.put_u16(FLOW_TEMPLATE_ID);
+        msg.put_u16(FLOW_FIELDS.len() as u16);
+        for &(ie, len) in FLOW_FIELDS {
+            msg.put_u16(ie);
+            msg.put_u16(len);
+        }
+        msg.put_u16(300); // second template record ...
+        msg.put_u16(500); // ... claims 500 fields with none present
+                          // Data set for the good template.
+        msg.put_u16(FLOW_TEMPLATE_ID);
+        msg.put_u16((4 + FLOW_RECORD_LEN) as u16);
+        sample_flow(3).encode(&mut msg);
+        let total = msg.len() as u16;
+        msg[2..4].copy_from_slice(&total.to_be_bytes());
+        let mut collector = Collector::new();
+        let mut out = Vec::new();
+        collector.decode_message(&msg, &mut out).unwrap();
+        assert_eq!(out, vec![sample_flow(3)]);
+        assert_eq!(collector.malformed_sets, 1);
+        assert_eq!(collector.skipped_sets(), 1);
     }
 
     #[test]

@@ -136,6 +136,55 @@ proptest! {
     }
 
     #[test]
+    fn ipfix_decoder_never_panics_on_mutated_messages(
+        flows in proptest::collection::vec(arb_flow(), 1..20),
+        mutations in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..12),
+        truncate_by in 0usize..40,
+    ) {
+        // Start from a valid message, flip arbitrary bytes and optionally
+        // tear the tail off. Decoding may fail (header damage) or skip
+        // sets (body damage), but must never panic — and whatever records
+        // do come out must look structurally sane.
+        let mut seq = 0u32;
+        let mut msg = ipfix::encode_messages(&flows, 7, 3, &mut seq, 8).remove(0);
+        for (pos, val) in &mutations {
+            let idx = *pos as usize % msg.len();
+            msg[idx] ^= *val;
+        }
+        let keep = msg.len().saturating_sub(truncate_by).max(1);
+        msg.truncate(keep);
+        let mut collector = ipfix::Collector::new();
+        let mut out = Vec::new();
+        let _ = collector.decode_message(&msg, &mut out);
+        // Counters only ever grow; a second decode of the same bytes must
+        // also be panic-free on the now-warm template session.
+        let _ = collector.decode_message(&msg, &mut Vec::new());
+    }
+
+    #[test]
+    fn ipfix_body_damage_is_not_fatal(
+        flows in proptest::collection::vec(arb_flow(), 1..20),
+        mutations in proptest::collection::vec((any::<u16>(), 1u8..=255), 1..8),
+    ) {
+        // Damage strictly inside the body (past the 16-byte header) with
+        // the declared length left intact: the collector must always
+        // accept the message at the framing level (Ok), whatever it had
+        // to skip inside.
+        let mut seq = 0u32;
+        let mut msg = ipfix::encode_messages(&flows, 7, 3, &mut seq, 8).remove(0);
+        let body_len = msg.len() - 16;
+        for (pos, val) in &mutations {
+            let idx = 16 + *pos as usize % body_len;
+            // Never touch bytes 2..4 (there are none in range; indices
+            // start at 16) so the declared message length stays valid.
+            msg[idx] ^= *val;
+        }
+        let mut collector = ipfix::Collector::new();
+        let mut out = Vec::new();
+        prop_assert!(collector.decode_message(&msg, &mut out).is_ok());
+    }
+
+    #[test]
     fn pcap_roundtrip(
         packets in proptest::collection::vec(
             (any::<u32>(), 0u32..1_000_000, proptest::collection::vec(any::<u8>(), 0..80)),

@@ -11,7 +11,10 @@
 //! - [`traffic`] — IBR and production traffic generators;
 //! - [`telescope`] — operational telescope simulator;
 //! - [`core`] — the inference pipeline and analyses (the paper's
-//!   contribution).
+//!   contribution);
+//! - [`stream`] — continuous streaming collection: per-exporter IPFIX
+//!   sessions, watermark-based day windows, backpressure-bounded ingest,
+//!   and per-window pipeline scheduling.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour: generate an
 //! Internet, run a day of traffic through vantage points, infer
@@ -20,6 +23,7 @@
 pub use mt_core as core;
 pub use mt_flow as flow;
 pub use mt_netmodel as netmodel;
+pub use mt_stream as stream;
 pub use mt_telescope as telescope;
 pub use mt_traffic as traffic;
 pub use mt_types as types;

@@ -33,7 +33,7 @@ pub mod strategy {
             Map { inner: self, f }
         }
 
-        /// Type-erases the strategy (needed by [`prop_oneof!`]).
+        /// Type-erases the strategy (needed by `prop_oneof!`).
         fn boxed(self) -> BoxedStrategy<Self::Value>
         where
             Self: Sized + 'static,
@@ -287,7 +287,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         elem: S,
         size: SizeRange,
