@@ -7,12 +7,21 @@
 //! past-the-lateness straggler are injected on purpose, so the decode
 //! and drop counters have something to show.
 //!
-//! Run with `cargo run --release --bin stream-demo [seed]`.
+//! Run with `cargo run --release --bin stream-demo [seed]`. Optional
+//! flags write the machine-readable health artifacts (see
+//! `DESIGN.md` §"Observability"):
+//!
+//! - `--health-json PATH` — the final [`mt_stream::HealthSnapshot`] as
+//!   JSON, then read back, re-parsed and re-validated from disk (the
+//!   demo exits non-zero if the document fails its own invariants or
+//!   disagrees with the metrics registry).
+//! - `--metrics-text PATH` — the full registry in Prometheus text
+//!   exposition format.
 
 use mt_bench::harness::{Profile, World};
 use mt_flow::stats::DEFAULT_SIZE_THRESHOLD;
 use mt_flow::FlowRecord;
-use mt_stream::{OverflowPolicy, StreamConfig, StreamService};
+use mt_stream::{HealthSnapshot, OverflowPolicy, StreamConfig, StreamOutput, StreamService};
 use mt_traffic::{generate_day, CaptureSet};
 use mt_types::{Day, SimDuration};
 use std::collections::HashMap;
@@ -21,11 +30,68 @@ const DAYS: u32 = 3;
 /// TCP-segment-sized chunks, the fragmentation a live collector sees.
 const CHUNK: usize = 1460;
 
+struct Args {
+    seed: u64,
+    health_json: Option<String>,
+    metrics_text: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 42,
+        health_json: None,
+        metrics_text: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--health-json" => args.health_json = Some(it.next().expect("--health-json PATH")),
+            "--metrics-text" => args.metrics_text = Some(it.next().expect("--metrics-text PATH")),
+            s => args.seed = s.parse().expect("seed must be an integer"),
+        }
+    }
+    args
+}
+
+/// Re-reads the health document from disk and checks that what a
+/// downstream consumer would see is internally consistent and agrees
+/// with the metrics registry. Returns an error string on any mismatch.
+fn validate_health_file(path: &str, out: &StreamOutput) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let parsed: HealthSnapshot =
+        serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e:?}"))?;
+    parsed.check_invariants()?;
+    let original = serde_json::to_string(&out.health).map_err(|e| format!("{e:?}"))?;
+    let reparsed = serde_json::to_string(&parsed).map_err(|e| format!("{e:?}"))?;
+    if original != reparsed {
+        return Err("health document did not round-trip through disk".into());
+    }
+    // The registry's exposition must tell the same story as the
+    // document: spot-check the load-bearing totals.
+    let snap = out.registry.snapshot();
+    let checks: [(&str, u64); 5] = [
+        ("mt_queue_pushed_total", parsed.queue.pushed),
+        ("mt_window_on_time_total", parsed.on_time),
+        ("mt_window_late_total", parsed.late),
+        ("mt_window_dropped_total", parsed.dropped_late),
+        ("mt_window_closed_total", parsed.windows_closed),
+    ];
+    for (name, want) in checks {
+        match snap.scalar(name, &[]) {
+            Some(got) if got == want => {}
+            got => {
+                return Err(format!(
+                    "registry {name} = {got:?}, health document says {want}"
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
 fn main() {
-    let seed = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("seed must be an integer"))
-        .unwrap_or(42);
+    let args = parse_args();
+    let seed = args.seed;
     let world = World::new(Profile::Small, seed);
     let rate = world.sampling_rate();
     let ingest_threads = std::thread::available_parallelism().map_or(2, |n| n.get().min(4));
@@ -155,4 +221,31 @@ fn main() {
         "queue: {} pushed, {} popped, {} dropped, high-water mark {}",
         q.pushed, q.popped, q.dropped, q.high_water_mark
     );
+
+    // The health document's identities hold by construction; failing
+    // here means the accounting itself broke, not the demo.
+    if let Err(e) = out.health.check_invariants() {
+        eprintln!("stream-demo: health invariants violated: {e}");
+        std::process::exit(1);
+    }
+
+    if let Some(path) = &args.metrics_text {
+        let text = mt_obs::render_prometheus_text(&out.registry.snapshot());
+        std::fs::write(path, &text).expect("write metrics text");
+        println!(
+            "wrote Prometheus exposition ({} lines) to {path}",
+            text.lines().count()
+        );
+    }
+    if let Some(path) = &args.health_json {
+        let json = serde_json::to_string(&out.health).expect("health serializes");
+        std::fs::write(path, &json).expect("write health json");
+        match validate_health_file(path, &out) {
+            Ok(()) => println!("wrote health document to {path} (re-validated from disk)"),
+            Err(e) => {
+                eprintln!("stream-demo: health document validation failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

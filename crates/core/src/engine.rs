@@ -25,9 +25,11 @@
 
 use crate::pipeline::{Funnel, PipelineConfig, PipelineResult};
 use mt_flow::{DstBlockStats, HostSet, ShardedTrafficStats, SrcBlockStats, TrafficView};
+use mt_obs::{Counter, Histogram, MetricsRegistry, DEFAULT_TIME_BUCKETS};
 use mt_types::{Asn, Block24, Block24Set, PrefixTrie, SpecialRegistry};
 use parking_lot::Mutex;
 use std::cell::OnceCell;
+use std::time::Instant;
 
 /// A stage's decision for one candidate block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -214,9 +216,77 @@ impl Stage for VolumeStage {
     }
 }
 
+/// Registry handles for one engine: per-stage funnel counters plus run
+/// and per-stage timing histograms. Registered once in
+/// [`PipelineEngine::with_registry`]; updates are single atomics.
+struct EngineMetrics {
+    runs: Counter,
+    seen: Counter,
+    stage_entered: Vec<Counter>,
+    stage_kept: Vec<Counter>,
+    run_time: Histogram,
+    stage_time: Vec<Histogram>,
+}
+
+impl EngineMetrics {
+    fn register(registry: &MetricsRegistry, stage_names: &[&'static str]) -> Self {
+        let mut stage_entered = Vec::with_capacity(stage_names.len());
+        let mut stage_kept = Vec::with_capacity(stage_names.len());
+        let mut stage_time = Vec::with_capacity(stage_names.len());
+        for name in stage_names {
+            let labels = [("stage", *name)];
+            stage_entered.push(registry.counter_with(
+                "mt_pipeline_stage_entered_total",
+                &labels,
+                "Candidate /24s that reached this funnel stage.",
+            ));
+            stage_kept.push(registry.counter_with(
+                "mt_pipeline_stage_kept_total",
+                &labels,
+                "Candidate /24s that survived this funnel stage.",
+            ));
+            stage_time.push(registry.histogram_with(
+                "mt_pipeline_stage_nanoseconds",
+                &labels,
+                &DEFAULT_TIME_BUCKETS,
+                "Wall-clock time spent inside this stage per engine run.",
+            ));
+        }
+        EngineMetrics {
+            runs: registry.counter("mt_pipeline_runs_total", "Completed engine runs."),
+            seen: registry.counter(
+                "mt_pipeline_blocks_seen_total",
+                "Destination /24s entering the funnel, summed over runs.",
+            ),
+            stage_entered,
+            stage_kept,
+            run_time: registry.histogram(
+                "mt_pipeline_run_nanoseconds",
+                &DEFAULT_TIME_BUCKETS,
+                "Wall-clock time of one full engine run.",
+            ),
+            stage_time,
+        }
+    }
+
+    fn publish(&self, funnel: &Funnel, run_nanos: u64, stage_nanos: &[u64]) {
+        self.runs.inc();
+        self.seen.add(funnel.seen());
+        for (i, stage) in funnel.stages().iter().enumerate() {
+            self.stage_entered[i].add(stage.entered);
+            self.stage_kept[i].add(stage.kept);
+        }
+        self.run_time.observe(run_nanos);
+        for (h, nanos) in self.stage_time.iter().zip(stage_nanos) {
+            h.observe(*nanos);
+        }
+    }
+}
+
 /// An ordered stage vector plus the traversal and accounting machinery.
 pub struct PipelineEngine {
     stages: Vec<Box<dyn Stage>>,
+    metrics: Option<EngineMetrics>,
 }
 
 impl Default for PipelineEngine {
@@ -241,7 +311,21 @@ impl PipelineEngine {
     /// An engine over a custom stage vector (ablations, extra filters).
     pub fn with_stages(stages: Vec<Box<dyn Stage>>) -> Self {
         assert!(!stages.is_empty(), "engine needs at least one stage");
-        PipelineEngine { stages }
+        PipelineEngine {
+            stages,
+            metrics: None,
+        }
+    }
+
+    /// Attaches a metrics registry: every subsequent run publishes its
+    /// funnel into `mt_pipeline_*` counters and records run / per-stage
+    /// wall-clock histograms. The legacy [`Funnel`] in the returned
+    /// [`PipelineResult`] is unchanged — the registry is a derived view
+    /// of the same counts. Without a registry attached, runs take no
+    /// timestamps and touch no atomics.
+    pub fn with_registry(mut self, registry: &MetricsRegistry) -> Self {
+        self.metrics = Some(EngineMetrics::register(registry, &self.stage_names()));
+        self
     }
 
     /// The stage names, in order.
@@ -301,17 +385,19 @@ impl PipelineEngine {
         threads: usize,
     ) -> PipelineResult {
         assert!(threads >= 1);
+        let started = self.metrics.as_ref().map(|_| Instant::now());
         let special = SpecialRegistry::new();
         let env = self.env(rib, &special, sampling_rate, days, config);
         let shards = stats.shards();
         let slots: Vec<Mutex<Option<ShardRun>>> = shards.iter().map(|_| Mutex::new(None)).collect();
         let chunk = shards.len().div_ceil(threads).max(1);
         let env_ref = &env;
+        let timed = self.metrics.is_some();
         crossbeam::thread::scope(|scope| {
             for (shard_chunk, slot_chunk) in shards.chunks(chunk).zip(slots.chunks(chunk)) {
                 scope.spawn(move |_| {
                     for (shard, slot) in shard_chunk.iter().zip(slot_chunk) {
-                        *slot.lock() = Some(self.run_view_sparse(shard, env_ref));
+                        *slot.lock() = Some(self.run_view_sparse(shard, env_ref, timed));
                     }
                 });
             }
@@ -327,6 +413,7 @@ impl PipelineEngine {
             gray: Block24Set::new(),
             funnel: Funnel::with_stages(self.stage_names()),
         };
+        let mut stage_nanos = vec![0u64; self.stages.len()];
         for slot in slots {
             let part = slot.into_inner().expect("filled");
             for b in part.dark {
@@ -339,12 +426,24 @@ impl PipelineEngine {
                 folded.gray.insert(b);
             }
             folded.funnel.absorb(&part.funnel);
+            for (total, part) in stage_nanos.iter_mut().zip(&part.stage_nanos) {
+                *total += part;
+            }
+        }
+        if let (Some(metrics), Some(started)) = (&self.metrics, started) {
+            let run_nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            metrics.publish(&folded.funnel, run_nanos, &stage_nanos);
         }
         folded
     }
 
     fn run_view<V: TrafficView>(&self, stats: &V, env: &StageEnv<'_>) -> PipelineResult {
-        let part = self.run_view_sparse(stats, env);
+        let started = self.metrics.as_ref().map(|_| Instant::now());
+        let part = self.run_view_sparse(stats, env, self.metrics.is_some());
+        if let (Some(metrics), Some(started)) = (&self.metrics, started) {
+            let run_nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            metrics.publish(&part.funnel, run_nanos, &part.stage_nanos);
+        }
         PipelineResult {
             dark: Block24Set::from_iter(part.dark),
             unclean: Block24Set::from_iter(part.unclean),
@@ -355,19 +454,35 @@ impl PipelineEngine {
 
     /// The traversal core: classified blocks are collected as sparse
     /// lists so per-shard workers avoid allocating (and the fold avoids
-    /// scanning) dense bitsets per shard.
-    fn run_view_sparse<V: TrafficView>(&self, stats: &V, env: &StageEnv<'_>) -> ShardRun {
+    /// scanning) dense bitsets per shard. With `timed` set (a registry
+    /// is attached), per-stage wall-clock nanoseconds accumulate into
+    /// `stage_nanos`; otherwise no timestamps are taken.
+    fn run_view_sparse<V: TrafficView>(
+        &self,
+        stats: &V,
+        env: &StageEnv<'_>,
+        timed: bool,
+    ) -> ShardRun {
         let mut funnel = Funnel::with_stages(self.stage_names());
         let mut dark = Vec::new();
         let mut unclean = Vec::new();
         let mut gray = Vec::new();
+        let mut stage_nanos = vec![0u64; if timed { self.stages.len() } else { 0 }];
         let src_lookup = |block: Block24| stats.src(block);
 
         'blocks: for (block, d) in stats.iter_dst() {
             funnel.note_seen();
             let ctx = BlockCtx::new(block, d, &src_lookup);
             for (i, stage) in self.stages.iter().enumerate() {
-                match stage.apply(&ctx, env) {
+                let decision = if timed {
+                    let t0 = Instant::now();
+                    let v = stage.apply(&ctx, env);
+                    stage_nanos[i] += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    v
+                } else {
+                    stage.apply(&ctx, env)
+                };
+                match decision {
                     Verdict::Keep => funnel.note_kept(i),
                     Verdict::Drop => {
                         funnel.note_dropped(i);
@@ -390,6 +505,7 @@ impl PipelineEngine {
             unclean,
             gray,
             funnel,
+            stage_nanos,
         }
     }
 }
@@ -400,6 +516,8 @@ struct ShardRun {
     unclean: Vec<Block24>,
     gray: Vec<Block24>,
     funnel: Funnel,
+    /// Per-stage elapsed nanoseconds; empty when the run is untimed.
+    stage_nanos: Vec<u64>,
 }
 
 #[cfg(test)]
@@ -477,6 +595,57 @@ mod tests {
                 assert_eq!(par.funnel, serial.funnel);
             }
         }
+    }
+
+    #[test]
+    fn registry_mirrors_funnel_across_serial_and_sharded_runs() {
+        let rib = rib_with(&["20.0.0.0/8", "9.0.0.0/8"]);
+        let records = mixed_records();
+        let flat = mt_flow::TrafficStats::from_records(&records);
+        let sharded = ShardedTrafficStats::from_records(8, &records);
+        let config = PipelineConfig::default();
+
+        let registry = MetricsRegistry::new();
+        let engine = PipelineEngine::standard().with_registry(&registry);
+        let serial = engine.run(&flat, &rib, 1, 1, &config);
+        let par = engine.run_sharded(&sharded, &rib, 1, 1, &config, 4);
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.scalar("mt_pipeline_runs_total", &[]), Some(2));
+        assert_eq!(
+            snap.scalar("mt_pipeline_blocks_seen_total", &[]),
+            Some(serial.funnel.seen() + par.funnel.seen())
+        );
+        for (s, p) in serial.funnel.stages().iter().zip(par.funnel.stages()) {
+            let labels = [("stage", s.name.as_str())];
+            assert_eq!(
+                snap.scalar("mt_pipeline_stage_entered_total", &labels),
+                Some(s.entered + p.entered),
+                "entered for stage {}",
+                s.name
+            );
+            assert_eq!(
+                snap.scalar("mt_pipeline_stage_kept_total", &labels),
+                Some(s.kept + p.kept),
+                "kept for stage {}",
+                s.name
+            );
+        }
+        // Two runs → two observations in the run-time histogram, and
+        // per-stage timings were recorded for each run.
+        let text = snap.render_prometheus_text();
+        assert!(
+            text.contains("mt_pipeline_run_nanoseconds_count 2\n"),
+            "{text}"
+        );
+        assert!(text.contains("mt_pipeline_stage_nanoseconds_count{stage=\"tcp\"} 2\n"));
+
+        // An instrumented engine still returns bit-identical results.
+        let bare = PipelineEngine::standard().run(&flat, &rib, 1, 1, &config);
+        assert_eq!(serial.dark, bare.dark);
+        assert_eq!(serial.funnel, bare.funnel);
+        assert_eq!(par.dark, bare.dark);
+        assert_eq!(par.funnel, bare.funnel);
     }
 
     #[test]

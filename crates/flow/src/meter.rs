@@ -180,6 +180,14 @@ impl FlowMeter {
     /// Unlike [`observe`](Self::observe), this does not advance the
     /// meter clock; `t` may lag the newest packet (a watermark typically
     /// does).
+    ///
+    /// The cutoff is **exclusive**: a flow last touched exactly at `t`
+    /// does *not* expire (`entry.last < t`, not `<=`). This matches the
+    /// window gate's lateness boundary — a record timestamped exactly at
+    /// the watermark is still on time there, so a flow last active
+    /// exactly at the watermark must still be live here; the two
+    /// boundaries disagreeing by one tick would strand such a flow in a
+    /// window that no longer accepts it.
     pub fn expire_before(&mut self, t: SimTime) -> Vec<FlowRecord> {
         let mut out = Vec::new();
         self.cache.retain(|key, entry| {
@@ -345,6 +353,24 @@ mod tests {
         let rest = m.drain();
         assert_eq!(rest.len(), 1);
         assert_eq!(rest[0].packets, 2);
+    }
+
+    /// Regression pin for the cutoff boundary: `expire_before(t)` is
+    /// exclusive at `t`, matching the window gate (a record exactly at
+    /// the watermark is on time, so a flow last touched exactly at the
+    /// watermark is still live).
+    #[test]
+    fn expire_before_is_exclusive_at_the_cutoff() {
+        let mut m = meter();
+        m.observe(&pkt(10, key(1), 2));
+        assert!(
+            m.expire_before(SimTime(10)).is_empty(),
+            "last == t survives the cutoff"
+        );
+        assert_eq!(m.cached_flows(), 1);
+        let evicted = m.expire_before(SimTime(11));
+        assert_eq!(evicted.len(), 1, "last == t - 1 expires");
+        assert_eq!(m.cached_flows(), 0);
     }
 
     #[test]

@@ -77,6 +77,18 @@ impl ShardedTrafficStats {
         &self.shards
     }
 
+    /// Destination blocks held per shard, in shard order — the load
+    /// signal behind the `mt_flow_shard_blocks` gauges: with `%`-of-
+    /// block-index routing the loads should stay near-uniform, and a
+    /// skewed vector flags a pathological key distribution before it
+    /// shows up as one hot ingest worker.
+    pub fn shard_loads(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(TrafficStats::dst_block_count)
+            .collect()
+    }
+
     /// Ingests one record, routing its destination half to the shard
     /// owning the destination block and its source half to the shard
     /// owning the source block.
@@ -344,6 +356,23 @@ mod tests {
             let sharded = ShardedTrafficStats::from_records(shards, &records);
             assert_equivalent(&sharded, &flat);
         }
+    }
+
+    #[test]
+    fn shard_loads_sum_to_block_count_and_balance() {
+        let records = sample_records();
+        let sharded = ShardedTrafficStats::from_records(8, &records);
+        let loads = sharded.shard_loads();
+        assert_eq!(loads.len(), 8);
+        assert_eq!(
+            loads.iter().sum::<usize>(),
+            TrafficView::dst_block_count(&sharded),
+            "every destination block is counted in exactly one shard"
+        );
+        assert!(
+            loads.iter().all(|&l| l > 0),
+            "sample blocks cover all residues: {loads:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! Snapshot exposition: Prometheus text format and a JSON value tree.
+
+use crate::registry::{Sample, SampleValue, Snapshot};
+use serde::{Map, Value};
+use std::fmt::Write as _;
+
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// `{k1="v1",k2="v2"}`, or `""` when there are no labels.
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label_value(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Renders a snapshot in the Prometheus text exposition format
+/// (version 0.0.4): `# HELP` / `# TYPE` headers once per metric name,
+/// one line per series, histograms expanded to cumulative
+/// `_bucket{le=...}` lines plus `_sum` and `_count`.
+pub fn render_prometheus_text(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_name: Option<&str> = None;
+    for s in &snapshot.samples {
+        if last_name != Some(s.name.as_str()) {
+            if !s.help.is_empty() {
+                let _ = writeln!(out, "# HELP {} {}", s.name, s.help);
+            }
+            let _ = writeln!(out, "# TYPE {} {}", s.name, s.value.kind().as_str());
+            last_name = Some(s.name.as_str());
+        }
+        match &s.value {
+            SampleValue::Counter(v) | SampleValue::Gauge(v) => {
+                let _ = writeln!(out, "{}{} {}", s.name, label_block(&s.labels, None), v);
+            }
+            SampleValue::Histogram(h) => {
+                let mut cumulative = 0u64;
+                for (i, count) in h.buckets.iter().enumerate() {
+                    cumulative += count;
+                    let le = match h.bounds.get(i) {
+                        Some(b) => b.to_string(),
+                        None => "+Inf".to_owned(),
+                    };
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        s.name,
+                        label_block(&s.labels, Some(("le", &le))),
+                        cumulative
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{}_sum{} {}",
+                    s.name,
+                    label_block(&s.labels, None),
+                    h.sum
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_count{} {}",
+                    s.name,
+                    label_block(&s.labels, None),
+                    h.count
+                );
+            }
+        }
+    }
+    out
+}
+
+fn sample_json(s: &Sample) -> Value {
+    let mut obj = Map::new();
+    obj.insert("name".into(), Value::String(s.name.clone()));
+    obj.insert("kind".into(), Value::String(s.value.kind().as_str().into()));
+    let mut labels = Map::new();
+    for (k, v) in &s.labels {
+        labels.insert(k.clone(), Value::String(v.clone()));
+    }
+    obj.insert("labels".into(), Value::Object(labels));
+    match &s.value {
+        SampleValue::Counter(v) | SampleValue::Gauge(v) => {
+            obj.insert("value".into(), Value::U64(*v));
+        }
+        SampleValue::Histogram(h) => {
+            let mut cumulative = 0u64;
+            let buckets: Vec<Value> = h
+                .buckets
+                .iter()
+                .enumerate()
+                .map(|(i, count)| {
+                    cumulative += count;
+                    let mut b = Map::new();
+                    let le = match h.bounds.get(i) {
+                        Some(bound) => bound.to_string(),
+                        None => "+Inf".to_owned(),
+                    };
+                    b.insert("le".into(), Value::String(le));
+                    b.insert("count".into(), Value::U64(cumulative));
+                    Value::Object(b)
+                })
+                .collect();
+            obj.insert("buckets".into(), Value::Array(buckets));
+            obj.insert("sum".into(), Value::U64(h.sum));
+            obj.insert("count".into(), Value::U64(h.count));
+        }
+    }
+    if !s.help.is_empty() {
+        obj.insert("help".into(), Value::String(s.help.clone()));
+    }
+    Value::Object(obj)
+}
+
+/// Renders a snapshot as a JSON value tree:
+/// `{"metrics": [{name, kind, labels, value|buckets+sum+count, help}]}`,
+/// in the snapshot's deterministic `(name, labels)` order.
+pub fn to_json(snapshot: &Snapshot) -> Value {
+    let mut root = Map::new();
+    root.insert(
+        "metrics".into(),
+        Value::Array(snapshot.samples.iter().map(sample_json).collect()),
+    );
+    Value::Object(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn text_format_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("mt_flows_total", &[("exporter", "A")], "flows decoded")
+            .add(7);
+        reg.gauge("mt_queue_depth", "current depth").set(3);
+        let h = reg.histogram("mt_run_nanoseconds", &[10, 100], "run time");
+        h.observe(5);
+        h.observe(500);
+        let text = reg.snapshot().render_prometheus_text();
+        assert!(text.contains("# HELP mt_flows_total flows decoded\n"));
+        assert!(text.contains("# TYPE mt_flows_total counter\n"));
+        assert!(text.contains("mt_flows_total{exporter=\"A\"} 7\n"));
+        assert!(text.contains("# TYPE mt_queue_depth gauge\n"));
+        assert!(text.contains("mt_queue_depth 3\n"));
+        assert!(text.contains("mt_run_nanoseconds_bucket{le=\"10\"} 1\n"));
+        assert!(text.contains("mt_run_nanoseconds_bucket{le=\"100\"} 1\n"));
+        assert!(text.contains("mt_run_nanoseconds_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("mt_run_nanoseconds_sum 505\n"));
+        assert!(text.contains("mt_run_nanoseconds_count 2\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("mt_x_total", &[("name", "a\"b\\c\nd")], "")
+            .inc();
+        let text = reg.snapshot().render_prometheus_text();
+        assert!(text.contains("mt_x_total{name=\"a\\\"b\\\\c\\nd\"} 1\n"));
+    }
+
+    #[test]
+    fn json_round_trips_through_serde_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("mt_flows_total", &[("exporter", "B")], "flows")
+            .add(2);
+        reg.histogram("mt_t_nanoseconds", &[10], "t").observe(4);
+        let json = reg.snapshot().to_json();
+        let text = serde_json::to_string(&json).expect("serializes");
+        let back = serde_json::from_str::<serde::Value>(&text).expect("parses back");
+        assert_eq!(json, back);
+        let serde::Value::Object(root) = &json else {
+            panic!("expected object");
+        };
+        let serde::Value::Array(metrics) = root.get("metrics").unwrap() else {
+            panic!("expected array");
+        };
+        assert_eq!(metrics.len(), 2);
+    }
+}

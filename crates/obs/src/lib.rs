@@ -1,0 +1,51 @@
+//! Unified observability for the meta-telescope stack.
+//!
+//! Every layer of the system keeps drop/decode/keep counters — the
+//! collector's per-exporter decode errors, the bounded queue's
+//! backpressure accounting, the window gate's late/dropped tallies, the
+//! pipeline's per-stage funnel. The paper's §4.2 funnel and §7.2
+//! spoofing-tolerance arguments are *accounting* arguments, and a
+//! long-lived deployment (the Merit darknet retrospective's lesson)
+//! lives or dies on being able to see, per stage, why traffic was kept
+//! or dropped. This crate gives those scattered counters one substrate:
+//!
+//! - [`MetricsRegistry`] — a process-wide (or per-service) registry of
+//!   named metrics. Registration takes a short lock; after that every
+//!   update is a single atomic operation on a shared handle, so the hot
+//!   paths (ingest workers, pipeline shards) never contend on the
+//!   registry itself.
+//! - [`Counter`] — a monotonic `u64`. For counters maintained *inside*
+//!   the registry, use [`Counter::inc`]/[`Counter::add`]; for
+//!   republishing totals that an existing struct (e.g. a
+//!   `QueueStats`) already maintains, [`Counter::set_total`] mirrors
+//!   the external value (call sites must keep it monotone).
+//! - [`Gauge`] — a point-in-time `u64` (queue depth, open windows).
+//! - [`Histogram`] — fixed upper-bound buckets with a total sum and
+//!   count; [`Histogram::start_span`] returns a guard that observes the
+//!   elapsed wall-clock nanoseconds on drop, which is how pipeline
+//!   stage/run timings are recorded.
+//! - [`Snapshot`] — a consistent read of every registered metric,
+//!   rendered either as Prometheus text exposition format
+//!   ([`Snapshot::render_prometheus_text`]) or as a JSON document
+//!   ([`Snapshot::to_json`]) so a run can emit one machine-readable
+//!   health document.
+//!
+//! # Naming scheme
+//!
+//! Metric names follow `mt_<subsystem>_<what>[_<unit>]` with Prometheus
+//! conventions: monotonic counters end in `_total`, timings are
+//! histograms in `_nanoseconds`, and variable dimensions (exporter,
+//! stage, worker, day) are labels, never name fragments. See
+//! `DESIGN.md` §"Observability" for the full catalogue.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod expose;
+mod registry;
+
+pub use expose::{render_prometheus_text, to_json};
+pub use registry::{
+    Counter, Gauge, Histogram, HistogramSample, MetricKind, MetricsRegistry, Sample, SampleValue,
+    Snapshot, SpanGuard, DEFAULT_TIME_BUCKETS,
+};

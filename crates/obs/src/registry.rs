@@ -1,0 +1,594 @@
+//! The metrics registry: registration, handles, and snapshots.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// What kind of metric a registered name is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// A monotonically increasing count.
+    Counter,
+    /// A point-in-time value that may go up or down.
+    Gauge,
+    /// Fixed-bucket distribution with sum and count.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The Prometheus `# TYPE` keyword for this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// A monotonic counter handle. Cloning shares the underlying cell.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Mirrors an externally maintained running total into the counter.
+    ///
+    /// This exists for *republishing*: several subsystems (queue stats,
+    /// collector sessions, the window gate) already keep their own
+    /// monotone totals, and the registry exposes them without making
+    /// those structs depend on it. Callers own the monotonicity
+    /// contract; the store saturates downward (a smaller value than the
+    /// current one is ignored) so a stale republish cannot make a
+    /// counter appear to regress.
+    pub fn set_total(&self, total: u64) {
+        self.0.fetch_max(total, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle. Cloning shares the underlying cell.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Sets the gauge to the maximum of its current value and `v`
+    /// (high-water-mark upkeep).
+    pub fn set_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Default histogram bounds for wall-clock spans, in nanoseconds:
+/// 1 µs … 10 s, one bucket per decade.
+pub const DEFAULT_TIME_BUCKETS: [u64; 8] = [
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+];
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Ascending inclusive upper bounds; one implicit `+Inf` bucket
+    /// follows.
+    bounds: Vec<u64>,
+    /// Per-bucket observation counts (`bounds.len() + 1` cells,
+    /// non-cumulative; the snapshot accumulates).
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A fixed-bucket histogram handle. Cloning shares the underlying cells.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        let core = &self.0;
+        let idx = core.bounds.partition_point(|&b| b < v);
+        core.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        core.sum.fetch_add(v, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Starts a span: the guard observes the elapsed wall-clock
+    /// nanoseconds into this histogram when dropped.
+    pub fn start_span(&self) -> SpanGuard {
+        SpanGuard {
+            histogram: self.clone(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+}
+
+/// Times one span of work; observes elapsed nanoseconds on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    histogram: Histogram,
+    started: Instant,
+}
+
+impl SpanGuard {
+    /// Elapsed time so far, without ending the span.
+    pub fn elapsed_nanos(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.histogram.observe(self.elapsed_nanos());
+    }
+}
+
+#[derive(Debug)]
+enum Slot {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Slot {
+    fn kind(&self) -> MetricKind {
+        match self {
+            Slot::Counter(_) => MetricKind::Counter,
+            Slot::Gauge(_) => MetricKind::Gauge,
+            Slot::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    labels: Vec<(String, String)>,
+    help: String,
+    slot: Slot,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: Vec<Entry>,
+    /// `(name, labels)` → index into `entries`, for idempotent
+    /// registration.
+    index: HashMap<(String, Vec<(String, String)>), usize>,
+}
+
+/// A registry of named metrics.
+///
+/// Registration (`counter`/`gauge`/`histogram` and their `_with`-labels
+/// variants) takes a mutex briefly and is idempotent: asking for the
+/// same `(name, labels)` again returns a handle to the same cell, so
+/// independent subsystems can share series without coordination.
+/// Updates through handles are single atomic operations and never touch
+/// the registry lock. [`MetricsRegistry::snapshot`] reads every series
+/// under the lock in one pass; because the system snapshots at its
+/// quiescent points (window close barriers, end of run), the snapshot
+/// is consistent across metrics there.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self
+            .inner
+            .lock()
+            .expect("registry lock poisoned")
+            .entries
+            .len();
+        write!(f, "MetricsRegistry({n} series)")
+    }
+}
+
+fn assert_valid_name(name: &str) {
+    assert!(
+        !name.is_empty()
+            && name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_')
+            && !name.as_bytes()[0].is_ascii_digit(),
+        "invalid metric name {name:?}: use [a-zA-Z_][a-zA-Z0-9_]*"
+    );
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        make: impl FnOnce() -> Slot,
+    ) -> Slot {
+        assert_valid_name(name);
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect();
+        let mut inner = self.inner.lock().expect("registry lock poisoned");
+        let key = (name.to_owned(), labels.clone());
+        if let Some(&i) = inner.index.get(&key) {
+            let entry = &inner.entries[i];
+            let slot = make();
+            assert_eq!(
+                entry.slot.kind(),
+                slot.kind(),
+                "metric {name:?} re-registered as a different kind"
+            );
+            return match &entry.slot {
+                Slot::Counter(c) => Slot::Counter(c.clone()),
+                Slot::Gauge(g) => Slot::Gauge(g.clone()),
+                Slot::Histogram(h) => Slot::Histogram(h.clone()),
+            };
+        }
+        let slot = make();
+        let handle = match &slot {
+            Slot::Counter(c) => Slot::Counter(c.clone()),
+            Slot::Gauge(g) => Slot::Gauge(g.clone()),
+            Slot::Histogram(h) => Slot::Histogram(h.clone()),
+        };
+        let i = inner.entries.len();
+        inner.entries.push(Entry {
+            name: name.to_owned(),
+            labels,
+            help: help.to_owned(),
+            slot,
+        });
+        inner.index.insert(key, i);
+        handle
+    }
+
+    /// Registers (or retrieves) an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, &[], help)
+    }
+
+    /// Registers (or retrieves) a counter with labels.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Counter {
+        match self.register(name, labels, help, || {
+            Slot::Counter(Counter(Arc::new(AtomicU64::new(0))))
+        }) {
+            Slot::Counter(c) => c,
+            _ => unreachable!("registered as counter"),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, &[], help)
+    }
+
+    /// Registers (or retrieves) a gauge with labels.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Gauge {
+        match self.register(name, labels, help, || {
+            Slot::Gauge(Gauge(Arc::new(AtomicU64::new(0))))
+        }) {
+            Slot::Gauge(g) => g,
+            _ => unreachable!("registered as gauge"),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabelled histogram over the given
+    /// ascending upper bounds (a `+Inf` bucket is implicit).
+    pub fn histogram(&self, name: &str, bounds: &[u64], help: &str) -> Histogram {
+        self.histogram_with(name, &[], bounds, help)
+    }
+
+    /// Registers (or retrieves) a histogram with labels.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[u64],
+        help: &str,
+    ) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        match self.register(name, labels, help, || {
+            Slot::Histogram(Histogram(Arc::new(HistogramCore {
+                bounds: bounds.to_vec(),
+                buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                sum: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+            })))
+        }) {
+            Slot::Histogram(h) => h,
+            _ => unreachable!("registered as histogram"),
+        }
+    }
+
+    /// Reads every registered series into a [`Snapshot`], sorted by
+    /// `(name, labels)` so exposition output is deterministic.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().expect("registry lock poisoned");
+        let mut samples: Vec<Sample> = inner
+            .entries
+            .iter()
+            .map(|e| Sample {
+                name: e.name.clone(),
+                labels: e.labels.clone(),
+                help: e.help.clone(),
+                value: match &e.slot {
+                    Slot::Counter(c) => SampleValue::Counter(c.get()),
+                    Slot::Gauge(g) => SampleValue::Gauge(g.get()),
+                    Slot::Histogram(h) => {
+                        let core = &h.0;
+                        SampleValue::Histogram(HistogramSample {
+                            bounds: core.bounds.clone(),
+                            buckets: core
+                                .buckets
+                                .iter()
+                                .map(|b| b.load(Ordering::Relaxed))
+                                .collect(),
+                            sum: core.sum.load(Ordering::Relaxed),
+                            count: core.count.load(Ordering::Relaxed),
+                        })
+                    }
+                },
+            })
+            .collect();
+        samples.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        Snapshot { samples }
+    }
+}
+
+/// One series' value at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SampleValue {
+    /// A counter's running total.
+    Counter(u64),
+    /// A gauge's current value.
+    Gauge(u64),
+    /// A histogram's buckets, sum, and count.
+    Histogram(HistogramSample),
+}
+
+impl SampleValue {
+    /// The metric kind this value belongs to.
+    pub fn kind(&self) -> MetricKind {
+        match self {
+            SampleValue::Counter(_) => MetricKind::Counter,
+            SampleValue::Gauge(_) => MetricKind::Gauge,
+            SampleValue::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+
+    /// The scalar value of a counter or gauge sample.
+    pub fn as_scalar(&self) -> Option<u64> {
+        match self {
+            SampleValue::Counter(v) | SampleValue::Gauge(v) => Some(*v),
+            SampleValue::Histogram(_) => None,
+        }
+    }
+}
+
+/// A histogram's state at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSample {
+    /// Ascending inclusive upper bounds (the `+Inf` bucket is implicit).
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts, non-cumulative, `bounds.len() + 1` entries.
+    pub buckets: Vec<u64>,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+/// One registered series at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sample {
+    /// The metric name.
+    pub name: String,
+    /// Label pairs, in registration order.
+    pub labels: Vec<(String, String)>,
+    /// The help string.
+    pub help: String,
+    /// The value read at snapshot time.
+    pub value: SampleValue,
+}
+
+/// A consistent, deterministically ordered read of a registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// All series, sorted by `(name, labels)`.
+    pub samples: Vec<Sample>,
+}
+
+impl Snapshot {
+    /// The scalar value of the series with this exact name and labels.
+    pub fn scalar(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.samples
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && s.labels.len() == labels.len()
+                    && s.labels
+                        .iter()
+                        .zip(labels)
+                        .all(|((k, v), (lk, lv))| k == lk && v == lv)
+            })
+            .and_then(|s| s.value.as_scalar())
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format.
+    pub fn render_prometheus_text(&self) -> String {
+        crate::expose::render_prometheus_text(self)
+    }
+
+    /// Renders the snapshot as a JSON value tree.
+    pub fn to_json(&self) -> serde::Value {
+        crate::expose::to_json(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("mt_test_total", "a test counter");
+        a.inc();
+        a.add(4);
+        let b = reg.counter("mt_test_total", "a test counter");
+        b.inc();
+        assert_eq!(a.get(), 6, "handles share one cell");
+        assert_eq!(reg.snapshot().scalar("mt_test_total", &[]), Some(6));
+    }
+
+    #[test]
+    fn set_total_never_regresses() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("mt_mirror_total", "republished");
+        c.set_total(10);
+        c.set_total(7);
+        assert_eq!(c.get(), 10, "stale republish ignored");
+        c.set_total(12);
+        assert_eq!(c.get(), 12);
+    }
+
+    #[test]
+    fn labels_separate_series() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter_with("mt_flows_total", &[("exporter", "A")], "per-exporter");
+        let b = reg.counter_with("mt_flows_total", &[("exporter", "B")], "per-exporter");
+        a.add(3);
+        b.add(5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.scalar("mt_flows_total", &[("exporter", "A")]), Some(3));
+        assert_eq!(snap.scalar("mt_flows_total", &[("exporter", "B")]), Some(5));
+    }
+
+    #[test]
+    fn histogram_buckets_and_span() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("mt_lat_nanoseconds", &[10, 100], "latency");
+        h.observe(5);
+        h.observe(10); // inclusive upper bound
+        h.observe(50);
+        h.observe(1_000); // overflow bucket
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1_065);
+        let snap = reg.snapshot();
+        let SampleValue::Histogram(hs) = &snap.samples[0].value else {
+            panic!("expected histogram");
+        };
+        assert_eq!(hs.buckets, vec![2, 1, 1]);
+
+        drop(h.start_span());
+        assert_eq!(h.count(), 5, "span observed on drop");
+    }
+
+    #[test]
+    fn gauge_set_and_max() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("mt_depth", "queue depth");
+        g.set(4);
+        g.set(2);
+        assert_eq!(g.get(), 2);
+        g.set_max(9);
+        g.set_max(3);
+        assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn snapshot_is_sorted() {
+        let reg = MetricsRegistry::new();
+        reg.counter("mt_b_total", "");
+        reg.counter("mt_a_total", "");
+        reg.counter_with("mt_a_total", &[("x", "2")], "");
+        reg.counter_with("mt_a_total", &[("x", "1")], "");
+        let names: Vec<(String, Vec<(String, String)>)> = reg
+            .snapshot()
+            .samples
+            .into_iter()
+            .map(|s| (s.name, s.labels))
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_is_rejected() {
+        let reg = MetricsRegistry::new();
+        reg.counter("mt_x", "");
+        reg.gauge("mt_x", "");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_name_is_rejected() {
+        MetricsRegistry::new().counter("1bad-name", "");
+    }
+
+    #[test]
+    fn concurrent_updates_survive() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let c = reg.counter("mt_conc_total", "");
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 40_000);
+    }
+}

@@ -31,7 +31,13 @@
 //!   window.
 //! - [`service`] — the assembled [`service::StreamService`]: byte chunks
 //!   in, per-window and combined [`mt_core::pipeline::PipelineResult`]s
-//!   out, with ingest parallelised over worker threads.
+//!   out, with ingest parallelised over worker threads. Every run
+//!   carries an [`mt_obs::MetricsRegistry`]; the collector/queue/gate
+//!   counters republish into it, and [`service::StreamService::health`]
+//!   returns one [`service::HealthSnapshot`] whose accounting
+//!   identities (decoded = on-time + late + dropped, accepted =
+//!   ingested + in-flight + shed + rejected) tie the whole stack
+//!   together.
 //!
 //! # Equivalence with the batch path
 //!
@@ -57,7 +63,7 @@ pub mod service;
 pub mod window;
 
 pub use collector::{ExporterSession, StreamCollector};
-pub use queue::{BoundedQueue, OverflowPolicy, QueueStats};
+pub use queue::{BoundedQueue, OverflowPolicy, PushOutcome, QueueStats};
 pub use scheduler::{CombinedReport, SchedulerConfig, WindowReport, WindowScheduler};
-pub use service::{ExporterCounters, StreamConfig, StreamOutput, StreamService};
+pub use service::{ExporterCounters, HealthSnapshot, StreamConfig, StreamOutput, StreamService};
 pub use window::{Gate, WindowTracker};

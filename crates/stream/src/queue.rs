@@ -14,6 +14,7 @@
 //! `parking_lot` stand-in has no condvar, and none of this is on a
 //! per-record hot path (items are batches).
 
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
@@ -26,8 +27,35 @@ pub enum OverflowPolicy {
     DropNewest,
 }
 
+/// What happened to one pushed item.
+///
+/// Every push resolves to exactly one variant, and each variant is
+/// counted in [`QueueStats`] (`pushed` / `dropped` / `rejected_closed`),
+/// so `pushed + dropped + rejected_closed` always equals the number of
+/// push attempts — no outcome is invisible to the accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "an unchecked push outcome hides shed or rejected items"]
+pub enum PushOutcome {
+    /// The item entered the queue.
+    Accepted,
+    /// The item was shed by [`OverflowPolicy::DropNewest`] on a full
+    /// queue (counted in [`QueueStats::dropped`]).
+    Shed,
+    /// The queue was closed — either before the push, or while a
+    /// [`OverflowPolicy::Block`] push was waiting for room (counted in
+    /// [`QueueStats::rejected_closed`]).
+    Closed,
+}
+
+impl PushOutcome {
+    /// Whether the item entered the queue.
+    pub fn is_accepted(self) -> bool {
+        self == PushOutcome::Accepted
+    }
+}
+
 /// Counter snapshot of a queue's lifetime.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct QueueStats {
     /// Items accepted into the queue.
     pub pushed: u64,
@@ -35,8 +63,22 @@ pub struct QueueStats {
     pub popped: u64,
     /// Items rejected because the queue was full (DropNewest only).
     pub dropped: u64,
+    /// Items rejected because the queue was closed — including a
+    /// `Block`-policy push whose wait for room ended in `close()`.
+    /// Before this counter existed, that path returned `false` without
+    /// touching any stat, so a shutdown could silently lose the items
+    /// producers were still holding.
+    pub rejected_closed: u64,
     /// Maximum queue depth ever reached.
     pub high_water_mark: usize,
+}
+
+impl QueueStats {
+    /// Total push attempts: every push lands in exactly one of
+    /// `pushed`, `dropped`, or `rejected_closed`.
+    pub fn attempts(&self) -> u64 {
+        self.pushed + self.dropped + self.rejected_closed
+    }
 }
 
 struct Inner<T> {
@@ -76,15 +118,17 @@ impl<T> BoundedQueue<T> {
         self.policy
     }
 
-    /// Enqueues one item. Returns `true` if it was accepted; `false` if
-    /// it was shed (`DropNewest` on a full queue) or the queue is
-    /// closed. Under [`OverflowPolicy::Block`] a full queue makes this
-    /// call wait for a consumer.
-    pub fn push(&self, item: T) -> bool {
+    /// Enqueues one item, reporting exactly what happened as a
+    /// [`PushOutcome`]. Under [`OverflowPolicy::Block`] a full queue
+    /// makes this call wait for a consumer; if the queue closes during
+    /// that wait the item is rejected as [`PushOutcome::Closed`] and
+    /// counted in [`QueueStats::rejected_closed`].
+    pub fn push(&self, item: T) -> PushOutcome {
         let mut g = self.inner.lock().expect("queue lock poisoned");
         loop {
             if g.closed {
-                return false;
+                g.stats.rejected_closed += 1;
+                return PushOutcome::Closed;
             }
             if g.items.len() < self.capacity {
                 break;
@@ -95,7 +139,7 @@ impl<T> BoundedQueue<T> {
                 }
                 OverflowPolicy::DropNewest => {
                     g.stats.dropped += 1;
-                    return false;
+                    return PushOutcome::Shed;
                 }
             }
         }
@@ -107,7 +151,7 @@ impl<T> BoundedQueue<T> {
         }
         drop(g);
         self.not_empty.notify_one();
-        true
+        PushOutcome::Accepted
     }
 
     /// Dequeues the next item, waiting while the queue is empty. Returns
@@ -164,7 +208,7 @@ mod tests {
     fn fifo_order_and_counters() {
         let q = BoundedQueue::new(8, OverflowPolicy::Block);
         for i in 0..5 {
-            assert!(q.push(i));
+            assert!(q.push(i).is_accepted());
         }
         let drained: Vec<i32> = (0..5).map(|_| q.pop().unwrap()).collect();
         assert_eq!(drained, [0, 1, 2, 3, 4]);
@@ -172,35 +216,44 @@ mod tests {
         assert_eq!(s.pushed, 5);
         assert_eq!(s.popped, 5);
         assert_eq!(s.dropped, 0);
+        assert_eq!(s.rejected_closed, 0);
         assert_eq!(s.high_water_mark, 5);
+        assert_eq!(s.attempts(), 5);
     }
 
     #[test]
     fn drop_newest_sheds_when_full() {
         let q = BoundedQueue::new(2, OverflowPolicy::DropNewest);
-        assert!(q.push(1));
-        assert!(q.push(2));
-        assert!(!q.push(3), "third item is shed");
+        assert!(q.push(1).is_accepted());
+        assert!(q.push(2).is_accepted());
+        assert_eq!(q.push(3), PushOutcome::Shed, "third item is shed");
         assert_eq!(q.stats().dropped, 1);
         assert_eq!(q.pop(), Some(1));
-        assert!(q.push(4), "room again after a pop");
+        assert!(q.push(4).is_accepted(), "room again after a pop");
         assert_eq!(q.stats().high_water_mark, 2);
+        assert_eq!(q.stats().attempts(), 4);
     }
 
     #[test]
     fn close_rejects_pushes_and_drains_consumers() {
         let q = BoundedQueue::new(4, OverflowPolicy::Block);
-        assert!(q.push(1));
+        assert!(q.push(1).is_accepted());
         q.close();
-        assert!(!q.push(2), "closed queue rejects pushes");
+        assert_eq!(
+            q.push(2),
+            PushOutcome::Closed,
+            "closed queue rejects pushes"
+        );
+        assert_eq!(q.stats().rejected_closed, 1, "rejection is counted");
         assert_eq!(q.pop(), Some(1), "items in flight still drain");
         assert_eq!(q.pop(), None, "then consumers see end of stream");
+        assert_eq!(q.stats().attempts(), 2);
     }
 
     #[test]
     fn blocking_push_waits_for_consumer() {
         let q = Arc::new(BoundedQueue::new(1, OverflowPolicy::Block));
-        assert!(q.push(10));
+        assert!(q.push(10).is_accepted());
         let producer = {
             let q = Arc::clone(&q);
             std::thread::spawn(move || q.push(20))
@@ -209,8 +262,41 @@ mod tests {
         // blocked item eventually lands.
         assert_eq!(q.pop(), Some(10));
         assert_eq!(q.pop(), Some(20));
-        assert!(producer.join().unwrap());
+        assert!(producer.join().unwrap().is_accepted());
         assert_eq!(q.stats().pushed, 2);
+    }
+
+    /// Regression test for the shutdown accounting gap: a `Block`-policy
+    /// push that was waiting for room when `close()` arrived used to
+    /// return `false` without incrementing any counter, so the item
+    /// vanished from `QueueStats` entirely. It must surface as
+    /// `rejected_closed`, keeping `pushed + dropped + rejected_closed`
+    /// equal to the number of attempts.
+    #[test]
+    fn close_during_blocked_push_is_counted() {
+        let q = Arc::new(BoundedQueue::new(1, OverflowPolicy::Block));
+        assert!(q.push(1).is_accepted());
+        let blocked: Vec<_> = (0..3)
+            .map(|i| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.push(10 + i))
+            })
+            .collect();
+        // Give the producers time to park inside `push` (the outcome is
+        // `Closed` either way — parked or not-yet-started — so this
+        // only steers the test toward the interesting interleaving).
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        let outcomes: Vec<PushOutcome> = blocked.into_iter().map(|t| t.join().unwrap()).collect();
+        assert!(
+            outcomes.iter().all(|o| *o == PushOutcome::Closed),
+            "mid-wait close rejects the parked producers: {outcomes:?}"
+        );
+        let s = q.stats();
+        assert_eq!(s.pushed, 1);
+        assert_eq!(s.dropped, 0);
+        assert_eq!(s.rejected_closed, 3, "each parked producer is counted");
+        assert_eq!(s.attempts(), 4, "no push outcome is invisible");
     }
 
     #[test]
@@ -221,7 +307,7 @@ mod tests {
                 let q = Arc::clone(&q);
                 std::thread::spawn(move || {
                     for i in 0..50 {
-                        assert!(q.push(t * 100 + i));
+                        assert!(q.push(t * 100 + i).is_accepted());
                     }
                 })
             })

@@ -90,6 +90,14 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> WindowScheduler<F> {
         &self.cfg
     }
 
+    /// Attaches a metrics registry to the scheduler's pipeline engine:
+    /// every window-close and combined run publishes `mt_pipeline_*`
+    /// funnel counters and timing histograms into it.
+    pub fn with_registry(mut self, registry: &mt_obs::MetricsRegistry) -> Self {
+        self.engine = PipelineEngine::standard().with_registry(registry);
+        self
+    }
+
     /// Closes the window of `day` with its accumulated stats, returning
     /// the per-window report and the refreshed combined report.
     ///

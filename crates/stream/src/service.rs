@@ -22,12 +22,14 @@
 //! batch ingest of exactly the gated record set.
 
 use crate::collector::StreamCollector;
-use crate::queue::{BoundedQueue, OverflowPolicy, QueueStats};
+use crate::queue::{BoundedQueue, OverflowPolicy, PushOutcome, QueueStats};
 use crate::scheduler::{CombinedReport, SchedulerConfig, WindowReport, WindowScheduler};
 use crate::window::{Gate, WindowTracker};
 use mt_core::pipeline::PipelineConfig;
 use mt_flow::{FlowRecord, ShardedTrafficStats};
+use mt_obs::{Counter, MetricsRegistry};
 use mt_types::{Asn, Day, PrefixTrie, SimDuration};
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -73,7 +75,7 @@ impl Default for StreamConfig {
 }
 
 /// Per-exporter lifetime counters, as reported by [`StreamOutput`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExporterCounters {
     /// Exporter name.
     pub name: String,
@@ -89,6 +91,104 @@ pub struct ExporterCounters {
     pub late: u64,
     /// Records dropped because their window had closed.
     pub dropped: u64,
+}
+
+/// One consistent view of the whole streaming stack's health: every
+/// record the collector decoded is accounted for exactly once across
+/// the gate, the queue, and the ingest workers.
+///
+/// The accounting identities ([`HealthSnapshot::check_invariants`]):
+///
+/// - `decoded == on_time + late + dropped_late` — the gate sees every
+///   decoded record and sorts it into exactly one bucket;
+/// - `on_time + late == ingested + in_flight + dropped_backpressure +
+///   rejected_closed` — every accepted record is folded by a worker,
+///   still queued, shed by backpressure, or rejected by a closed queue;
+/// - the per-exporter vectors sum to the global gate counters.
+///
+/// Taken at a quiescent point (after a flush barrier or [`finish`]),
+/// `in_flight` is zero and the identities are exact equalities over
+/// completed work.
+///
+/// [`finish`]: StreamService::finish
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthSnapshot {
+    /// Flow records decoded across all exporters.
+    pub decoded: u64,
+    /// Records accepted at or ahead of the watermark.
+    pub on_time: u64,
+    /// Records accepted behind the watermark (within allowed lateness).
+    pub late: u64,
+    /// Records dropped at the window gate (window already closed).
+    pub dropped_late: u64,
+    /// Records shed by queue backpressure (`DropNewest` only).
+    pub dropped_backpressure: u64,
+    /// Records rejected because the queue was closed (shutdown races).
+    pub rejected_closed: u64,
+    /// Records folded into window accumulators by the ingest workers.
+    pub ingested: u64,
+    /// Records accepted into the queue but not yet folded.
+    pub in_flight: u64,
+    /// Collector→ingest queue counters (batches, not records).
+    pub queue: QueueStats,
+    /// Current queue depth in batches.
+    pub queue_depth: u64,
+    /// Windows still open.
+    pub windows_open: u64,
+    /// Windows closed and run through the pipeline.
+    pub windows_closed: u64,
+    /// Per-exporter counters, ordered by exporter name.
+    pub exporters: Vec<ExporterCounters>,
+}
+
+impl HealthSnapshot {
+    /// Verifies the accounting identities, returning the first
+    /// violation as a message. Exact at quiescent points; mid-stream
+    /// the only slack is `in_flight`, which this snapshot carries
+    /// explicitly, so the identities still hold.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let gate_total = self.on_time + self.late + self.dropped_late;
+        if self.decoded != gate_total {
+            return Err(format!(
+                "decoded ({}) != on_time + late + dropped_late ({gate_total})",
+                self.decoded
+            ));
+        }
+        let accepted = self.on_time + self.late;
+        let accounted =
+            self.ingested + self.in_flight + self.dropped_backpressure + self.rejected_closed;
+        if accepted != accounted {
+            return Err(format!(
+                "accepted ({accepted}) != ingested + in_flight + backpressure + rejected_closed ({accounted})"
+            ));
+        }
+        let attempts = self.queue.attempts();
+        let outcomes = self.queue.pushed + self.queue.dropped + self.queue.rejected_closed;
+        if attempts != outcomes {
+            return Err(format!(
+                "queue attempts ({attempts}) != pushed + dropped + rejected_closed ({outcomes})"
+            ));
+        }
+        let (mut flows, mut late, mut dropped) = (0, 0, 0);
+        for e in &self.exporters {
+            flows += e.flows;
+            late += e.late;
+            dropped += e.dropped;
+        }
+        if flows != self.decoded {
+            return Err(format!(
+                "per-exporter flows ({flows}) != decoded ({})",
+                self.decoded
+            ));
+        }
+        if late != self.late || dropped != self.dropped_late {
+            return Err(format!(
+                "per-exporter late/dropped ({late}/{dropped}) != global ({}/{})",
+                self.late, self.dropped_late
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Everything a finished streaming run produced.
@@ -110,6 +210,11 @@ pub struct StreamOutput {
     pub dropped_late: u64,
     /// Records shed by queue backpressure (`DropNewest` only).
     pub dropped_backpressure: u64,
+    /// The final health document (quiescent: `in_flight` is zero).
+    pub health: HealthSnapshot,
+    /// The run's metrics registry, still holding every counter for
+    /// exposition after the service wound down.
+    pub registry: Arc<MetricsRegistry>,
 }
 
 /// One unit of ingest work: a day's worth of records from one chunk.
@@ -129,6 +234,9 @@ struct Shared {
     queue: BoundedQueue<Batch>,
     /// Per-worker per-day accumulators, indexed by worker.
     workers: Vec<Mutex<HashMap<Day, ShardedTrafficStats>>>,
+    /// Per-worker `mt_ingest_records_total` counters, indexed like
+    /// `workers`; incremented at the event site as batches are folded.
+    ingest_counters: Vec<Counter>,
     progress: Mutex<Progress>,
     drained: Condvar,
     num_shards: usize,
@@ -151,6 +259,10 @@ pub struct StreamService<F> {
     /// Per-exporter window-gate counters: (late, dropped).
     gate_counts: BTreeMap<String, (u64, u64)>,
     dropped_backpressure: u64,
+    /// Records lost to a queue closed mid-push (shutdown races).
+    rejected_closed: u64,
+    registry: Arc<MetricsRegistry>,
+    windows_closed_counter: Counter,
 }
 
 impl<F: Fn(Day) -> PrefixTrie<Asn>> StreamService<F> {
@@ -158,12 +270,33 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> StreamService<F> {
     /// producer-side handle. `rib_of` supplies each day's RIB snapshot
     /// at window close.
     pub fn start(cfg: StreamConfig, rib_of: F) -> Self {
+        Self::start_with_registry(cfg, rib_of, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// Like [`start`](Self::start), but publishing into a
+    /// caller-supplied registry (e.g. one shared with other services).
+    pub fn start_with_registry(
+        cfg: StreamConfig,
+        rib_of: F,
+        registry: Arc<MetricsRegistry>,
+    ) -> Self {
         assert!(cfg.ingest_threads >= 1);
+        let ingest_counters = (0..cfg.ingest_threads)
+            .map(|i| {
+                let worker = i.to_string();
+                registry.counter_with(
+                    "mt_ingest_records_total",
+                    &[("worker", worker.as_str())],
+                    "Records folded into window accumulators by this worker.",
+                )
+            })
+            .collect();
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(cfg.queue_capacity, cfg.overflow),
             workers: (0..cfg.ingest_threads)
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
+            ingest_counters,
             progress: Mutex::new(Progress::default()),
             drained: Condvar::new(),
             num_shards: cfg.num_shards,
@@ -182,6 +315,11 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> StreamService<F> {
                 pipeline: cfg.pipeline.clone(),
                 threads: cfg.pipeline_threads,
             },
+        )
+        .with_registry(&registry);
+        let windows_closed_counter = registry.counter(
+            "mt_window_closed_total",
+            "Windows closed and run through the pipeline.",
         );
         StreamService {
             tracker: WindowTracker::new(cfg.allowed_lateness),
@@ -195,7 +333,16 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> StreamService<F> {
             window_records: HashMap::new(),
             gate_counts: BTreeMap::new(),
             dropped_backpressure: 0,
+            rejected_closed: 0,
+            registry,
+            windows_closed_counter,
         }
+    }
+
+    /// The run's metrics registry. [`health`](Self::health) republishes
+    /// the legacy counters into it before every snapshot.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 
     /// The service configuration.
@@ -246,15 +393,17 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> StreamService<F> {
         }
         for (day, records) in by_day {
             let n = records.len() as u64;
-            if self.shared.queue.push(Batch { day, records }) {
-                self.shared
-                    .progress
-                    .lock()
-                    .expect("progress lock poisoned")
-                    .pushed += n;
-                *self.window_records.entry(day).or_default() += n;
-            } else {
-                self.dropped_backpressure += n;
+            match self.shared.queue.push(Batch { day, records }) {
+                PushOutcome::Accepted => {
+                    self.shared
+                        .progress
+                        .lock()
+                        .expect("progress lock poisoned")
+                        .pushed += n;
+                    *self.window_records.entry(day).or_default() += n;
+                }
+                PushOutcome::Shed => self.dropped_backpressure += n,
+                PushOutcome::Closed => self.rejected_closed += n,
             }
         }
         self.close_ready_windows();
@@ -303,9 +452,146 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> StreamService<F> {
             )
         });
         let records = self.window_records.remove(&day).unwrap_or(0);
+        for (i, load) in stats.shard_loads().into_iter().enumerate() {
+            let shard = i.to_string();
+            self.registry
+                .gauge_with(
+                    "mt_flow_shard_blocks",
+                    &[("shard", shard.as_str())],
+                    "Destination /24s held by this shard at the last window close.",
+                )
+                .set(load as u64);
+        }
         let (window, combined) = self.scheduler.close(day, records, stats);
         self.windows.push(window);
         self.combined.push(combined);
+        self.windows_closed_counter.inc();
+    }
+
+    /// Builds the per-exporter counter vector, ordered by name.
+    fn exporter_counters(&self) -> Vec<ExporterCounters> {
+        self.collector
+            .sessions()
+            .map(|(name, s)| {
+                let (late, dropped) = self.gate_counts.get(name).copied().unwrap_or_default();
+                ExporterCounters {
+                    name: name.to_owned(),
+                    bytes: s.bytes,
+                    messages: s.messages,
+                    flows: s.flows,
+                    decode_errors: s.decode_errors(),
+                    late,
+                    dropped,
+                }
+            })
+            .collect()
+    }
+
+    /// Takes a [`HealthSnapshot`] of the whole stack and republishes
+    /// every legacy counter (queue stats, session counters, gate
+    /// tallies) into the registry, so
+    /// [`Snapshot::render_prometheus_text`](mt_obs::Snapshot) and the
+    /// snapshot's JSON form carry the same values the bespoke structs
+    /// report. Callable mid-stream; exact at quiescent points (the
+    /// `in_flight` field carries the only mid-stream slack).
+    pub fn health(&self) -> HealthSnapshot {
+        let exporters = self.exporter_counters();
+        let queue = self.shared.queue.stats();
+        let ingested: u64 = self.shared.ingest_counters.iter().map(Counter::get).sum();
+        let accepted = self.tracker.on_time + self.tracker.late;
+        let snapshot = HealthSnapshot {
+            decoded: exporters.iter().map(|e| e.flows).sum(),
+            on_time: self.tracker.on_time,
+            late: self.tracker.late,
+            dropped_late: self.tracker.dropped,
+            dropped_backpressure: self.dropped_backpressure,
+            rejected_closed: self.rejected_closed,
+            ingested,
+            in_flight: accepted - ingested - self.dropped_backpressure - self.rejected_closed,
+            queue,
+            queue_depth: self.shared.queue.len() as u64,
+            windows_open: self.tracker.open_days().count() as u64,
+            windows_closed: self.windows.len() as u64,
+            exporters,
+        };
+        self.republish(&snapshot);
+        snapshot
+    }
+
+    /// Mirrors the snapshot's externally maintained totals into the
+    /// registry (see [`Counter::set_total`] for the monotonicity
+    /// contract; every source here is a lifetime counter).
+    fn republish(&self, h: &HealthSnapshot) {
+        let r = &self.registry;
+        for e in &h.exporters {
+            let labels = [("exporter", e.name.as_str())];
+            let mirror = [
+                ("mt_stream_bytes_total", e.bytes, "Bytes received."),
+                (
+                    "mt_stream_messages_total",
+                    e.messages,
+                    "IPFIX messages decoded.",
+                ),
+                ("mt_stream_flows_total", e.flows, "Flow records decoded."),
+                (
+                    "mt_stream_decode_errors_total",
+                    e.decode_errors,
+                    "Framing errors plus skipped sets/records.",
+                ),
+                (
+                    "mt_stream_late_total",
+                    e.late,
+                    "Records accepted behind the watermark.",
+                ),
+                (
+                    "mt_stream_dropped_total",
+                    e.dropped,
+                    "Records dropped at the window gate.",
+                ),
+            ];
+            for (name, value, help) in mirror {
+                r.counter_with(name, &labels, help).set_total(value);
+            }
+        }
+        r.counter("mt_window_on_time_total", "Records accepted on time.")
+            .set_total(h.on_time);
+        r.counter("mt_window_late_total", "Records accepted late.")
+            .set_total(h.late);
+        r.counter("mt_window_dropped_total", "Records dropped at the gate.")
+            .set_total(h.dropped_late);
+        r.counter(
+            "mt_queue_pushed_total",
+            "Batches accepted into the collector→ingest queue.",
+        )
+        .set_total(h.queue.pushed);
+        r.counter("mt_queue_popped_total", "Batches handed to ingest workers.")
+            .set_total(h.queue.popped);
+        r.counter(
+            "mt_queue_shed_total",
+            "Batches shed by DropNewest backpressure.",
+        )
+        .set_total(h.queue.dropped);
+        r.counter(
+            "mt_queue_rejected_closed_total",
+            "Batches rejected because the queue was closed.",
+        )
+        .set_total(h.queue.rejected_closed);
+        r.gauge("mt_queue_depth", "Current queue depth in batches.")
+            .set(h.queue_depth);
+        r.gauge("mt_queue_high_water", "Maximum queue depth ever reached.")
+            .set(h.queue.high_water_mark as u64);
+        r.counter(
+            "mt_stream_backpressure_records_total",
+            "Records shed by queue backpressure.",
+        )
+        .set_total(h.dropped_backpressure);
+        r.counter(
+            "mt_stream_rejected_closed_records_total",
+            "Records lost to a queue closed mid-push.",
+        )
+        .set_total(h.rejected_closed);
+        r.gauge("mt_window_open", "Windows currently open.")
+            .set(h.windows_open);
     }
 
     /// Ends the stream: flushes in-flight records, closes every
@@ -320,31 +606,19 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> StreamService<F> {
         for h in self.handles.drain(..) {
             h.join().expect("ingest worker panicked");
         }
-        let exporters = self
-            .collector
-            .sessions()
-            .map(|(name, s)| {
-                let (late, dropped) = self.gate_counts.get(name).copied().unwrap_or_default();
-                ExporterCounters {
-                    name: name.to_owned(),
-                    bytes: s.bytes,
-                    messages: s.messages,
-                    flows: s.flows,
-                    decode_errors: s.decode_errors(),
-                    late,
-                    dropped,
-                }
-            })
-            .collect();
+        let health = self.health();
+        debug_assert_eq!(health.in_flight, 0, "finish is a quiescent point");
         StreamOutput {
+            exporters: health.exporters.clone(),
+            queue: health.queue,
+            on_time: health.on_time,
+            late: health.late,
+            dropped_late: health.dropped_late,
+            dropped_backpressure: health.dropped_backpressure,
             windows: self.windows,
             combined: self.combined,
-            exporters,
-            queue: self.shared.queue.stats(),
-            on_time: self.tracker.on_time,
-            late: self.tracker.late,
-            dropped_late: self.tracker.dropped,
-            dropped_backpressure: self.dropped_backpressure,
+            health,
+            registry: self.registry,
         }
     }
 }
@@ -363,6 +637,10 @@ fn ingest_worker(shared: &Shared, index: usize) {
                 stats.ingest(r);
             }
         }
+        // Counted before the progress update so the flush barrier
+        // (processed == pushed) also implies the ingest counters are
+        // complete — health snapshots at quiescent points stay exact.
+        shared.ingest_counters[index].add(n);
         let mut p = shared.progress.lock().expect("progress lock poisoned");
         p.processed += n;
         drop(p);
@@ -549,6 +827,95 @@ mod tests {
             "every record is either ingested or counted shed"
         );
         assert_eq!(out.queue.high_water_mark, 1);
+    }
+
+    #[test]
+    fn health_snapshot_holds_invariants_and_mirrors_registry() {
+        let cfg = StreamConfig {
+            ingest_threads: 3,
+            allowed_lateness: SimDuration::hours(1),
+            ..StreamConfig::default()
+        };
+        let mut svc = StreamService::start(cfg, |_| rib());
+        let mut seq = 0;
+        for d in 0..3 {
+            let bytes = encode(&day_records(Day(d)), &mut seq);
+            for chunk in bytes.chunks(113) {
+                svc.push_chunk("CE1", chunk);
+            }
+        }
+        svc.push_chunk("CE2", &[0xde; 40]); // decode garbage
+                                            // A straggler for a closed window.
+        svc.push_chunk(
+            "CE1",
+            &encode(&[record(Day(0), 3, 0x1400_0100, 1)], &mut seq),
+        );
+
+        // Mid-stream snapshot: identities hold (in_flight absorbs any
+        // queued batches).
+        let mid = svc.health();
+        mid.check_invariants().expect("mid-stream invariants");
+
+        let out = svc.finish();
+        let h = &out.health;
+        h.check_invariants().expect("final invariants");
+        assert_eq!(h.in_flight, 0);
+        assert_eq!(h.decoded, 121, "120 day records + 1 straggler");
+        assert_eq!(h.dropped_late, 1);
+        assert_eq!(h.windows_closed, 3);
+        assert_eq!(h.windows_open, 0);
+        assert_eq!(h.ingested, h.on_time + h.late);
+
+        // The registry reports exactly the legacy structs' values.
+        let snap = out.registry.snapshot();
+        assert_eq!(
+            snap.scalar("mt_queue_pushed_total", &[]),
+            Some(out.queue.pushed)
+        );
+        assert_eq!(
+            snap.scalar("mt_queue_high_water", &[]),
+            Some(out.queue.high_water_mark as u64)
+        );
+        assert_eq!(
+            snap.scalar("mt_window_on_time_total", &[]),
+            Some(out.on_time)
+        );
+        assert_eq!(snap.scalar("mt_window_late_total", &[]), Some(out.late));
+        assert_eq!(
+            snap.scalar("mt_window_dropped_total", &[]),
+            Some(out.dropped_late)
+        );
+        assert_eq!(snap.scalar("mt_window_closed_total", &[]), Some(3));
+        for e in &out.exporters {
+            let labels = [("exporter", e.name.as_str())];
+            assert_eq!(snap.scalar("mt_stream_flows_total", &labels), Some(e.flows));
+            assert_eq!(
+                snap.scalar("mt_stream_decode_errors_total", &labels),
+                Some(e.decode_errors)
+            );
+            assert_eq!(
+                snap.scalar("mt_stream_dropped_total", &labels),
+                Some(e.dropped)
+            );
+        }
+        let ingested: u64 = (0..3)
+            .map(|w| {
+                snap.scalar(
+                    "mt_ingest_records_total",
+                    &[("worker", w.to_string().as_str())],
+                )
+                .unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(ingested, h.ingested, "per-worker counters sum to ingested");
+        // The scheduler's engine published pipeline metrics here too:
+        // two runs (window + combined) per close.
+        assert_eq!(snap.scalar("mt_pipeline_runs_total", &[]), Some(6));
+
+        // And the health document round-trips through JSON.
+        let json = serde_json::to_string(h).unwrap();
+        let back: HealthSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(&back, h);
     }
 
     #[test]

@@ -79,9 +79,27 @@ impl WindowTracker {
             .map(|t| SimTime(t.0.saturating_sub(self.allowed_lateness.as_secs())))
     }
 
+    /// The single close predicate, shared by the gate ([`is_closed`],
+    /// which drops records) and the scheduler feed ([`take_closable`],
+    /// which emits windows). Keeping both on one function makes the
+    /// boundary case impossible to skew: `day.end()` is *exclusive*
+    /// (the first instant of the next day), and a window closes exactly
+    /// when the watermark reaches it — `wm == day.end()` closes, `wm ==
+    /// day.end() - 1` does not. A record timestamped exactly at the
+    /// watermark is therefore never droppable (its day cannot satisfy
+    /// `day.end() <= wm` while `t == wm` lies inside the day), matching
+    /// the lateness gate's strict `t < wm` below.
+    ///
+    /// [`is_closed`]: WindowTracker::is_closed
+    /// [`take_closable`]: WindowTracker::take_closable
+    fn closed_under(day: Day, wm: SimTime) -> bool {
+        day.end() <= wm
+    }
+
     /// Whether `day`'s window has closed under the current watermark.
     pub fn is_closed(&self, day: Day) -> bool {
-        self.watermark().is_some_and(|wm| day.end() <= wm)
+        self.watermark()
+            .is_some_and(|wm| Self::closed_under(day, wm))
     }
 
     /// Gates one record by event time, advancing the watermark.
@@ -116,7 +134,7 @@ impl WindowTracker {
             .open
             .iter()
             .copied()
-            .take_while(|d| d.end() <= wm)
+            .take_while(|d| Self::closed_under(*d, wm))
             .collect();
         for d in &closable {
             self.open.remove(d);
@@ -218,6 +236,53 @@ mod tests {
         assert_eq!(w.take_closable(), [Day(0), Day(1), Day(2)]);
         assert_eq!(w.drain_open(), [Day(4)]);
         assert!(w.take_closable().is_empty());
+    }
+
+    /// Boundary sweep at ±1 tick around the two equalities the gate and
+    /// the scheduler share: a record exactly *at* the watermark, and a
+    /// watermark exactly *at* a day's (exclusive) end.
+    #[test]
+    fn lateness_boundary_is_exclusive_at_both_equalities() {
+        // Watermark lands exactly on t(0, 1000): lateness 1 h, max
+        // event at day 0 + 1000 s + 1 h.
+        let mut w = WindowTracker::new(SimDuration::hours(1));
+        w.observe(t(0, 1000 + 3600));
+        assert_eq!(w.watermark(), Some(t(0, 1000)));
+        // Exactly at the watermark → on-time (late is strict `t < wm`).
+        assert_eq!(
+            w.observe(t(0, 1000)),
+            Gate::Accept {
+                day: Day(0),
+                late: false
+            },
+            "t == watermark is on-time"
+        );
+        // One tick behind → late, still accepted.
+        assert_eq!(
+            w.observe(t(0, 999)),
+            Gate::Accept {
+                day: Day(0),
+                late: true
+            },
+            "t == watermark - 1 is late"
+        );
+        assert_eq!((w.on_time, w.late, w.dropped), (2, 1, 0));
+
+        // Close condition: day 0 ends (exclusively) at day 1's start.
+        // One tick short of the end → open; exactly at the end → closed.
+        let mut w = WindowTracker::new(SimDuration::secs(0));
+        w.observe(t(0, 5));
+        w.observe(t(0, 86_399)); // wm = day 0's last second = end - 1
+        assert!(
+            !w.is_closed(Day(0)) && w.take_closable().is_empty(),
+            "wm == day end - 1: still open"
+        );
+        w.observe(Day(1).start());
+        assert!(w.is_closed(Day(0)), "wm == day end: closed");
+        assert_eq!(w.take_closable(), [Day(0)]);
+        // And the gate agrees with the scheduler: the same watermark
+        // that emitted the window also drops a record for it.
+        assert_eq!(w.observe(t(0, 6)), Gate::TooLate { day: Day(0) });
     }
 
     #[test]

@@ -176,6 +176,34 @@ mod tests {
         assert!(dg.verify_checksum(SRC, DST));
     }
 
+    /// RFC 768: a checksum that *computes* to `0x0000` must be
+    /// transmitted as `0xffff`, because `0x0000` on the wire means "no
+    /// checksum". This vector is built so the one's-complement sum is
+    /// exactly `0xffff` (pseudo-header: src 0 + dst 0 + proto 17 +
+    /// len 8; header words: 0xff00 + 0x00de + 0x0008), whose complement
+    /// is zero — the one case where the substitution fires.
+    #[test]
+    fn computed_zero_checksum_is_transmitted_as_ffff() {
+        let src = Ipv4(0);
+        let dst = Ipv4(0);
+        let repr = Repr {
+            src_port: 0xff00,
+            dst_port: 0x00de,
+            payload_len: 0,
+        };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        let mut dg = Datagram::new_unchecked(&mut buf);
+        repr.emit(&mut dg, src, dst);
+        assert_eq!(
+            u16::from_be_bytes([buf[6], buf[7]]),
+            0xffff,
+            "computed 0x0000 must be sent as 0xffff, not as the no-checksum sentinel"
+        );
+        let dg = Datagram::new_checked(&buf[..]).unwrap();
+        assert!(dg.verify_checksum(src, dst));
+        assert_eq!(Repr::parse(&dg, src, dst).unwrap(), repr);
+    }
+
     #[test]
     fn corruption_detected() {
         let repr = Repr {

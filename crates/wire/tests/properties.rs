@@ -113,6 +113,53 @@ proptest! {
         prop_assert_eq!(udp::Repr::parse(&dg, src, dst).unwrap(), repr);
     }
 
+    /// RFC 768: the checksum field value `0x0000` is reserved to mean
+    /// "no checksum computed", so an emitter whose one's-complement sum
+    /// comes out zero must transmit `0xffff` instead. Whatever the
+    /// inputs, the emitted field is never zero — and always verifies.
+    #[test]
+    fn udp_emitted_checksum_is_never_the_no_checksum_sentinel(
+        src in arb_addr(),
+        dst in arb_addr(),
+        src_port in any::<u16>(),
+        dst_port in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let repr = udp::Repr { src_port, dst_port, payload_len: payload.len() };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        buf[udp::HEADER_LEN..].copy_from_slice(&payload);
+        let mut dg = udp::Datagram::new_unchecked(&mut buf);
+        repr.emit(&mut dg, src, dst);
+        let field = u16::from_be_bytes([buf[6], buf[7]]);
+        prop_assert_ne!(field, 0, "0x0000 on the wire would read as 'no checksum'");
+        let dg = udp::Datagram::new_checked(&buf[..]).unwrap();
+        prop_assert!(dg.verify_checksum(src, dst));
+    }
+
+    /// RFC 768's receive-side special case: a stored checksum of
+    /// `0x0000` means the sender computed none, and must be accepted —
+    /// for any ports/addresses, not just all-zero buffers.
+    #[test]
+    fn udp_zero_checksum_means_unchecksummed_and_is_accepted(
+        src in arb_addr(),
+        dst in arb_addr(),
+        src_port in any::<u16>(),
+        dst_port in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let repr = udp::Repr { src_port, dst_port, payload_len: payload.len() };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        buf[udp::HEADER_LEN..].copy_from_slice(&payload);
+        let mut dg = udp::Datagram::new_unchecked(&mut buf);
+        repr.emit(&mut dg, src, dst);
+        // Blank the checksum field: "not computed".
+        buf[6] = 0;
+        buf[7] = 0;
+        let dg = udp::Datagram::new_checked(&buf[..]).unwrap();
+        prop_assert!(dg.verify_checksum(src, dst), "zero checksum is 'none', not 'invalid'");
+        prop_assert_eq!(udp::Repr::parse(&dg, src, dst).unwrap(), repr);
+    }
+
     #[test]
     fn ipfix_roundtrip_any_chunking(
         flows in proptest::collection::vec(arb_flow(), 0..50),

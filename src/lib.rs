@@ -14,7 +14,12 @@
 //!   contribution);
 //! - [`stream`] — continuous streaming collection: per-exporter IPFIX
 //!   sessions, watermark-based day windows, backpressure-bounded ingest,
-//!   and per-window pipeline scheduling.
+//!   and per-window pipeline scheduling;
+//! - [`obs`] — the unified observability layer: a lock-cheap metrics
+//!   registry (counters, gauges, histograms, span timing) shared by the
+//!   engine and the streaming service, with Prometheus-text and JSON
+//!   exposition. See `DESIGN.md` §"Observability" for the metric
+//!   naming scheme.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour: generate an
 //! Internet, run a day of traffic through vantage points, infer
@@ -23,6 +28,7 @@
 pub use mt_core as core;
 pub use mt_flow as flow;
 pub use mt_netmodel as netmodel;
+pub use mt_obs as obs;
 pub use mt_stream as stream;
 pub use mt_telescope as telescope;
 pub use mt_traffic as traffic;

@@ -174,6 +174,52 @@ fn seven_day_stream_matches_batch() {
     assert_eq!(fin.first, Day(0));
     assert_eq!(fin.days, DAYS);
     assert_results_equal(&fin.result, &batch_combined, "7-day combined");
+
+    // The unified health document ties the whole run together. After a
+    // quiescent finish every decoded record is accounted for exactly
+    // once, and nothing is still in flight.
+    out.health.check_invariants().expect("health invariants");
+    assert_eq!(out.health.in_flight, 0, "finish drained the queue");
+    assert_eq!(out.health.ingested, out.health.on_time + out.health.late);
+    assert_eq!(
+        out.health.decoded,
+        out.health.ingested + out.health.dropped_late,
+        "decoded = ingested + dropped (nothing shed or rejected here)"
+    );
+
+    // And the registry mirrors the legacy funnels: summing every run's
+    // funnel (one per window close, one per combined refresh) must give
+    // exactly the mt_pipeline_* counters the engine published.
+    let snap = out.registry.snapshot();
+    let runs = (out.windows.len() + out.combined.len()) as u64;
+    assert_eq!(snap.scalar("mt_pipeline_runs_total", &[]), Some(runs));
+    let mut entered: HashMap<String, u64> = HashMap::new();
+    let mut kept: HashMap<String, u64> = HashMap::new();
+    let funnels = out
+        .windows
+        .iter()
+        .map(|w| &w.result.funnel)
+        .chain(out.combined.iter().map(|c| &c.result.funnel));
+    for funnel in funnels {
+        for s in funnel.stages() {
+            *entered.entry(s.name.clone()).or_insert(0) += s.entered;
+            *kept.entry(s.name.clone()).or_insert(0) += s.kept;
+        }
+    }
+    for (stage, want) in &entered {
+        assert_eq!(
+            snap.scalar("mt_pipeline_stage_entered_total", &[("stage", stage)]),
+            Some(*want),
+            "registry entered counter for stage {stage} matches batch funnels"
+        );
+    }
+    for (stage, want) in &kept {
+        assert_eq!(
+            snap.scalar("mt_pipeline_stage_kept_total", &[("stage", stage)]),
+            Some(*want),
+            "registry kept counter for stage {stage} matches batch funnels"
+        );
+    }
 }
 
 #[test]
@@ -238,6 +284,11 @@ fn straggler_past_lateness_is_dropped_not_misfiled() {
 
     let out = stream(&fx.net, &days, 2);
     assert_eq!(out.dropped_late, 1, "the straggler was dropped");
+    out.health.check_invariants().expect("health invariants");
+    assert_eq!(
+        out.health.dropped_late, 1,
+        "the drop shows in the health document"
+    );
     assert_eq!(
         out.windows[1].records, out_clean.windows[1].records,
         "day 1's window did not absorb the stray day-0 record"
