@@ -17,13 +17,14 @@
 
 use crate::pipeline::PipelineConfig;
 use mt_flow::{FlowRecord, TrafficView};
-use mt_types::{Asn, Block24, Block24Set, PrefixTrie, SpecialRegistry};
+use mt_types::{Asn, Block24, Block24Set, PrefixTrie, RibIndex, SpecialRegistry};
 use std::collections::HashSet;
 
 /// Runs the origin-only baseline: routed, non-special blocks that
 /// received any traffic and originated none.
 pub fn origin_only<V: TrafficView>(stats: &V, rib: &PrefixTrie<Asn>) -> Block24Set {
     let special = SpecialRegistry::new();
+    let rib_index = RibIndex::build(rib);
     let mut dark = Block24Set::new();
     for (block, d) in stats.iter_dst() {
         if d.total_packets() == 0 {
@@ -32,7 +33,7 @@ pub fn origin_only<V: TrafficView>(stats: &V, rib: &PrefixTrie<Asn>) -> Block24S
         if stats.src(block).map(|s| s.packets).unwrap_or(0) > 0 {
             continue;
         }
-        if special.is_special_block(block) || !rib.contains_addr(block.base()) {
+        if special.is_special_block(block) || !rib_index.contains_addr(block.base()) {
             continue;
         }
         dark.insert(block);
@@ -53,6 +54,7 @@ pub fn one_way_blocks(records: &[FlowRecord], rib: &PrefixTrie<Asn>) -> Block24S
         .map(|r| (r.src.0, r.dst.0, r.src_port, r.dst_port, r.protocol))
         .collect();
     let special = SpecialRegistry::new();
+    let rib_index = RibIndex::build(rib);
     let mut received = Block24Set::new();
     let mut answered = Block24Set::new();
     for r in records {
@@ -70,7 +72,7 @@ pub fn one_way_blocks(records: &[FlowRecord], rib: &PrefixTrie<Asn>) -> Block24S
     // Routability and special-purpose checks as in the other methods.
     let doomed: Vec<Block24> = dark
         .iter()
-        .filter(|b| special.is_special_block(*b) || !rib.contains_addr(b.base()))
+        .filter(|b| special.is_special_block(*b) || !rib_index.contains_addr(b.base()))
         .collect();
     for b in doomed {
         dark.remove(b);

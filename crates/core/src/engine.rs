@@ -26,7 +26,7 @@
 use crate::pipeline::{Funnel, PipelineConfig, PipelineResult};
 use mt_flow::{DstBlockStats, HostSet, ShardedTrafficStats, SrcBlockStats, TrafficView};
 use mt_obs::{Counter, Histogram, MetricsRegistry, DEFAULT_TIME_BUCKETS};
-use mt_types::{Asn, Block24, Block24Set, PrefixTrie, SpecialRegistry};
+use mt_types::{Asn, Block24, Block24Set, PrefixTrie, RibIndex, SpecialRegistry};
 use parking_lot::Mutex;
 use std::cell::OnceCell;
 use std::time::Instant;
@@ -44,6 +44,10 @@ pub enum Verdict {
 pub struct StageEnv<'a> {
     /// The routed-prefix table for the observation window.
     pub rib: &'a PrefixTrie<Asn>,
+    /// Flat LPM index compiled from [`rib`](Self::rib) once per run —
+    /// the hot-path view the per-block stages query. Plain arrays, so
+    /// sharing `&StageEnv` across shard workers stays `Sync`.
+    pub rib_index: RibIndex<Asn>,
     /// RFC 6890 special-purpose registry.
     pub special: &'a SpecialRegistry,
     /// Pipeline thresholds.
@@ -198,7 +202,7 @@ impl Stage for RoutedStage {
     }
 
     fn apply(&self, ctx: &BlockCtx<'_>, env: &StageEnv<'_>) -> Verdict {
-        verdict(env.rib.contains_addr(ctx.block.base()))
+        verdict(env.rib_index.contains_addr(ctx.block.base()))
     }
 }
 
@@ -344,6 +348,7 @@ impl PipelineEngine {
         assert!(days > 0, "observation window must cover at least one day");
         StageEnv {
             rib,
+            rib_index: RibIndex::build(rib),
             special,
             config,
             volume_cap: config.volume_threshold_per_day * f64::from(days)
@@ -685,6 +690,7 @@ mod tests {
         let special = SpecialRegistry::new();
         let env = StageEnv {
             rib: &rib,
+            rib_index: RibIndex::build(&rib),
             special: &special,
             config: &config,
             volume_cap: 1e9,

@@ -21,9 +21,8 @@
 //! packets/day filter).
 
 use crate::record::FlowRecord;
-use mt_types::Block24;
+use mt_types::{Block24, FxHashMap};
 use mt_wire::IpProtocol;
-use std::collections::HashMap;
 
 /// Read access to per-/24 traffic aggregates, independent of how they are
 /// stored.
@@ -222,7 +221,9 @@ impl DstBlockStats {
                 self.tcp_packets += packets;
                 self.tcp_octets += octets;
                 self.received_tcp.insert(host);
-                let size = (octets / packets) as u16;
+                // Averages beyond u16 range (jumbo frames) saturate
+                // into the top histogram bin instead of wrapping.
+                let size = u16::try_from(octets / packets).unwrap_or(u16::MAX);
                 if size > big_threshold {
                     self.received_big_tcp.insert(host);
                 }
@@ -248,7 +249,7 @@ impl DstBlockStats {
         // A sweep spreads `packets` one-per-host over pseudo-random hosts
         // of the block (a scanner probing the whole /24). Counters are
         // batched; host bits are set individually, capped at 256.
-        let size = (octets / packets) as u16;
+        let size = u16::try_from(octets / packets).unwrap_or(u16::MAX);
         let is_tcp = protocol == u8::from(IpProtocol::Tcp);
         for i in 0..packets.min(256) {
             let host = (mt_types::mix::mix3(host_seed, i, 0x5eed) & 0xff) as u8;
@@ -322,8 +323,10 @@ impl SrcBlockStats {
 /// Aggregated per-/24 view of a set of sampled flow records.
 #[derive(Debug, Clone)]
 pub struct TrafficStats {
-    per_dst: HashMap<u32, DstBlockStats>,
-    per_src: HashMap<u32, SrcBlockStats>,
+    // /24 indices are well-mixed u32s from our own pipeline, so the
+    // hot maps use the fast deterministic hasher instead of SipHash.
+    per_dst: FxHashMap<u32, DstBlockStats>,
+    per_src: FxHashMap<u32, SrcBlockStats>,
     size_threshold: u16,
     /// Number of flow records ingested.
     pub total_flows: u64,
@@ -350,8 +353,8 @@ impl TrafficStats {
     /// threshold (must match the pipeline's classification threshold).
     pub fn with_size_threshold(size_threshold: u16) -> Self {
         TrafficStats {
-            per_dst: HashMap::new(),
-            per_src: HashMap::new(),
+            per_dst: FxHashMap::default(),
+            per_src: FxHashMap::default(),
             size_threshold,
             total_flows: 0,
             total_packets: 0,
@@ -710,6 +713,21 @@ mod tests {
         s.ingest(&flow(SRC, DST_A, 6, 5, 1500));
         let d = s.dst(Block24::containing(DST_A)).unwrap();
         assert_eq!(d.median_tcp_size(), Some(40));
+    }
+
+    #[test]
+    fn oversized_average_saturates_instead_of_truncating() {
+        // 100 000-byte average packets: `as u16` used to wrap this to
+        // 34 464, filing jumbo traffic under a bogus mid-range size.
+        // It must saturate at u16::MAX and still count as "big" TCP.
+        let mut s = TrafficStats::new();
+        s.ingest(&flow(SRC, DST_A, 6, 1, 100_000));
+        s.ingest_sweep(&flow(SRC, DST_B, 6, 4, 100_000), 0x5eed);
+        let d = s.dst(Block24::containing(DST_A)).unwrap();
+        assert_eq!(d.tcp_size_histogram(), &[(u16::MAX, 5)]);
+        assert_eq!(d.median_tcp_size(), Some(u16::MAX));
+        assert!(d.received_big_tcp.contains(DST_A.host_in_block24()));
+        assert_eq!(d.tcp_octets, 500_000, "octet totals stay exact");
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::config::InternetConfig;
 use crate::vantage::VantagePoint;
 use mt_types::{
     geo, Asn, Block24, Block24Set, Continent, Country, Ipv4, NetworkType, OrgId, Prefix,
-    PrefixTrie, SpecialRegistry,
+    PrefixTrie, RibIndex, SpecialRegistry,
 };
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -147,6 +147,12 @@ pub struct Internet {
     /// Ground truth: active /24s.
     pub active_truth: Block24Set,
     pfx2ann: PrefixTrie<u32>,
+    /// Flat LPM view of `pfx2ann`, compiled once at generation.
+    /// Announcements are all /24 or shorter, so the index stays
+    /// /24-aligned and [`Internet::block_info`] resolves each block with
+    /// a single `lookup24` probe — the hottest query of the traffic
+    /// generator.
+    pfx2ann_index: RibIndex<u32>,
 }
 
 /// Resolved ground truth for one block.
@@ -402,6 +408,8 @@ impl Internet {
         }
 
         let vantage_points = VantagePoint::generate_all(&config, &ases, &telescopes, seed);
+        let pfx2ann_index = RibIndex::build(&pfx2ann);
+        debug_assert!(pfx2ann_index.is_block_aligned(), "announcements are <= /24");
 
         Internet {
             config,
@@ -413,6 +421,7 @@ impl Internet {
             dark_truth,
             active_truth,
             pfx2ann,
+            pfx2ann_index,
         }
     }
 
@@ -529,8 +538,9 @@ impl Internet {
 
     /// Resolves ground truth for a block, if it is announced.
     pub fn block_info(&self, block: Block24) -> Option<BlockInfo> {
-        let (prefix, &ann_idx) = self.pfx2ann.lookup(block.base())?;
+        let (prefix, &ann_idx) = self.pfx2ann_index.lookup24(block)?;
         debug_assert!(prefix.len() <= 24);
+        debug_assert_eq!(Some((prefix, &ann_idx)), self.pfx2ann.lookup(block.base()));
         let ann = &self.announcements[ann_idx as usize];
         let offset = block.0 - ann.prefix.base().block24_index();
         Some(BlockInfo {

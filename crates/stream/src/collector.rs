@@ -131,11 +131,19 @@ impl StreamCollector {
     /// contact, and returns the flows decoded from it.
     pub fn feed(&mut self, exporter: &str, chunk: &[u8]) -> Vec<IpfixFlow> {
         let mut out = Vec::new();
+        self.feed_into(exporter, chunk, &mut out);
+        out
+    }
+
+    /// Like [`feed`](Self::feed), but appending decoded flows to a
+    /// caller-supplied buffer — a long-running producer reuses one
+    /// allocation across chunks instead of building a fresh `Vec` each
+    /// time.
+    pub fn feed_into(&mut self, exporter: &str, chunk: &[u8], out: &mut Vec<IpfixFlow>) {
         self.sessions
             .entry(exporter.to_owned())
             .or_default()
-            .feed(chunk, &mut out);
-        out
+            .feed(chunk, out);
     }
 
     /// The session of one exporter, if it has sent anything.

@@ -56,12 +56,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod collector;
 pub mod queue;
 pub mod scheduler;
 pub mod service;
 pub mod window;
 
+pub use batch::{BatchPool, RecordBatch};
 pub use collector::{ExporterSession, StreamCollector};
 pub use queue::{BoundedQueue, OverflowPolicy, PushOutcome, QueueStats};
 pub use scheduler::{CombinedReport, SchedulerConfig, WindowReport, WindowScheduler};

@@ -21,6 +21,7 @@
 //! is in some worker's accumulator, and the merged window stats equal a
 //! batch ingest of exactly the gated record set.
 
+use crate::batch::{BatchPool, RecordBatch};
 use crate::collector::StreamCollector;
 use crate::queue::{BoundedQueue, OverflowPolicy, PushOutcome, QueueStats};
 use crate::scheduler::{CombinedReport, SchedulerConfig, WindowReport, WindowScheduler};
@@ -29,6 +30,7 @@ use mt_core::pipeline::PipelineConfig;
 use mt_flow::{FlowRecord, ShardedTrafficStats};
 use mt_obs::{Counter, MetricsRegistry};
 use mt_types::{Asn, Day, PrefixTrie, SimDuration};
+use mt_wire::ipfix::IpfixFlow;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Condvar, Mutex};
@@ -217,12 +219,6 @@ pub struct StreamOutput {
     pub registry: Arc<MetricsRegistry>,
 }
 
-/// One unit of ingest work: a day's worth of records from one chunk.
-struct Batch {
-    day: Day,
-    records: Vec<FlowRecord>,
-}
-
 #[derive(Default)]
 struct Progress {
     pushed: u64,
@@ -231,7 +227,10 @@ struct Progress {
 
 /// State shared with the ingest workers.
 struct Shared {
-    queue: BoundedQueue<Batch>,
+    queue: BoundedQueue<RecordBatch>,
+    /// Recycles batch buffers between the producer and the workers so
+    /// steady-state ingest allocates nothing per batch.
+    pool: BatchPool,
     /// Per-worker per-day accumulators, indexed by worker.
     workers: Vec<Mutex<HashMap<Day, ShardedTrafficStats>>>,
     /// Per-worker `mt_ingest_records_total` counters, indexed like
@@ -263,6 +262,8 @@ pub struct StreamService<F> {
     rejected_closed: u64,
     registry: Arc<MetricsRegistry>,
     windows_closed_counter: Counter,
+    /// Reusable decode buffer: one allocation serves every chunk.
+    decode_buf: Vec<IpfixFlow>,
 }
 
 impl<F: Fn(Day) -> PrefixTrie<Asn>> StreamService<F> {
@@ -293,6 +294,10 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> StreamService<F> {
             .collect();
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(cfg.queue_capacity, cfg.overflow),
+            // At most queue_capacity batches wait, one is in each
+            // worker's hands, and the producer holds a few while
+            // grouping — that bounds how many buffers recycling needs.
+            pool: BatchPool::new(cfg.queue_capacity + cfg.ingest_threads + 1),
             workers: (0..cfg.ingest_threads)
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
@@ -336,6 +341,7 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> StreamService<F> {
             rejected_closed: 0,
             registry,
             windows_closed_counter,
+            decode_buf: Vec::new(),
         }
     }
 
@@ -370,30 +376,39 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> StreamService<F> {
     /// accepted records handed to the ingest workers, and any windows
     /// the advancing watermark closed are run to completion.
     pub fn push_chunk(&mut self, exporter: &str, chunk: &[u8]) {
-        let flows = self.collector.feed(exporter, chunk);
-        if flows.is_empty() {
+        let mut decoded = std::mem::take(&mut self.decode_buf);
+        decoded.clear();
+        self.collector.feed_into(exporter, chunk, &mut decoded);
+        if decoded.is_empty() {
+            self.decode_buf = decoded;
             self.close_ready_windows();
             return;
         }
         let gate = self.gate_counts.entry(exporter.to_owned()).or_default();
         // Group the chunk's accepted records per day so one queue item
-        // is one (day, records) batch.
+        // is one (day, records) batch; record buffers come from the
+        // shared pool so the workers' returns are reused here.
+        let shared = Arc::clone(&self.shared);
         let mut by_day: BTreeMap<Day, Vec<FlowRecord>> = BTreeMap::new();
-        for f in &flows {
+        for f in &decoded {
             let r = FlowRecord::from_ipfix(f);
             match self.tracker.observe(r.start) {
                 Gate::Accept { day, late } => {
                     if late {
                         gate.0 += 1;
                     }
-                    by_day.entry(day).or_default().push(r);
+                    by_day
+                        .entry(day)
+                        .or_insert_with(|| shared.pool.take())
+                        .push(r);
                 }
                 Gate::TooLate { .. } => gate.1 += 1,
             }
         }
+        self.decode_buf = decoded;
         for (day, records) in by_day {
             let n = records.len() as u64;
-            match self.shared.queue.push(Batch { day, records }) {
+            match self.shared.queue.push(RecordBatch { day, records }) {
                 PushOutcome::Accepted => {
                     self.shared
                         .progress
@@ -637,6 +652,7 @@ fn ingest_worker(shared: &Shared, index: usize) {
                 stats.ingest(r);
             }
         }
+        shared.pool.put(batch.records);
         // Counted before the progress update so the flush barrier
         // (processed == pushed) also implies the ingest counters are
         // complete — health snapshots at quiescent points stay exact.

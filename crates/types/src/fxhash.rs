@@ -1,0 +1,184 @@
+//! A fast, non-cryptographic hasher for well-mixed integer keys.
+//!
+//! The workspace's hot maps are keyed by `/24` block indices — plain
+//! `u32`s that are already well distributed across the address space.
+//! `std`'s default SipHash buys DoS resistance we do not need (keys come
+//! from our own deterministic pipeline, not an adversary) at several
+//! times the cost per probe. This module hand-rolls the multiply-rotate
+//! scheme popularized by the Rust compiler's `FxHasher`: fold each word
+//! into the state with a rotate, an XOR and a multiplication by a
+//! 64-bit constant derived from the golden ratio.
+//!
+//! No crates.io dependency is involved; the whole implementation is a
+//! few dozen lines and pinned by tests below.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasher, Hasher};
+
+/// Multiplier used to mix each word into the state: `2^64 / φ`, the
+/// same constant `rustc`'s hasher uses.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rotate distance applied before each mix step.
+const ROTATE: u32 = 5;
+
+/// A fast multiply-rotate [`Hasher`] for trusted, well-mixed keys.
+///
+/// Not DoS-resistant — never expose it to attacker-chosen keys. For the
+/// deterministic `/24`-keyed maps in this workspace that trade-off is
+/// free speed.
+#[derive(Debug, Clone, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..tail.len()].copy_from_slice(tail);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        // Fold the length in so prefixes of each other hash differently.
+        self.add_to_hash(bytes.len() as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add_to_hash(n as u64);
+        self.add_to_hash((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// [`BuildHasher`] producing [`FxHasher`]s; plugs into `HashMap`.
+///
+/// Zero-sized and deterministic: the same keys always land in the same
+/// buckets, run to run — which also means iteration order is stable for
+/// a given insertion sequence (though still unspecified; results that
+/// must be ordered are sorted explicitly elsewhere).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+/// A `HashMap` using [`FxBuildHasher`] — the workspace's hot-path map.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxBuildHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash + ?Sized>(v: &T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_hashers() {
+        for key in [0u32, 1, 42, 0xdead_beef, u32::MAX] {
+            assert_eq!(hash_of(&key), hash_of(&key));
+        }
+        assert_eq!(hash_of(&"hello"), hash_of(&"hello"));
+    }
+
+    #[test]
+    fn distinct_keys_rarely_collide() {
+        // 10k sequential u32 keys (the worst case for a weak mixer)
+        // must produce 10k distinct hashes.
+        let hashes: HashSet<u64> = (0u32..10_000).map(|k| hash_of(&k)).collect();
+        assert_eq!(hashes.len(), 10_000);
+    }
+
+    #[test]
+    fn sequential_keys_spread_across_buckets() {
+        // Check the low bits actually vary: map sequential keys into 256
+        // buckets and require every bucket to be hit. A mixer that left
+        // low bits untouched would concentrate them.
+        let mut buckets = [0u32; 256];
+        for k in 0u32..10_000 {
+            buckets[(hash_of(&k) & 0xff) as usize] += 1;
+        }
+        assert!(
+            buckets.iter().all(|&c| c > 0),
+            "some bucket never hit: {buckets:?}"
+        );
+    }
+
+    #[test]
+    fn prefix_inputs_hash_differently() {
+        assert_ne!(hash_of(&[1u8, 2, 3][..]), hash_of(&[1u8, 2, 3, 0][..]));
+        assert_ne!(hash_of(&""), hash_of(&"\0"));
+    }
+
+    #[test]
+    fn hashmap_roundtrip() {
+        let mut m: FxHashMap<u32, u64> = FxHashMap::default();
+        for k in 0u32..1000 {
+            *m.entry(k % 100).or_insert(0) += u64::from(k);
+        }
+        assert_eq!(m.len(), 100);
+        let total: u64 = m.values().sum();
+        assert_eq!(total, (0u64..1000).sum());
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        s.insert(7);
+        assert!(s.contains(&7));
+        assert!(!s.contains(&8));
+    }
+}

@@ -16,23 +16,27 @@
 #![warn(missing_docs)]
 
 pub mod block;
+pub mod fxhash;
 pub mod geo;
 pub mod hilbert;
 pub mod ipv4;
 pub mod mix;
 pub mod prefix;
+pub mod rib_index;
 pub mod special;
 pub mod time;
 pub mod trie;
 
 pub use block::{Block24, Block24Set};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use geo::{Continent, Country, NetworkType};
 pub use hilbert::HilbertCurve;
 pub use ipv4::Ipv4;
 pub use prefix::{Prefix, PrefixParseError};
+pub use rib_index::RibIndex;
 pub use special::SpecialRegistry;
 pub use time::{Day, SimDuration, SimTime, Weekday};
-pub use trie::PrefixTrie;
+pub use trie::{Covering, PrefixTrie};
 
 /// An Autonomous System Number.
 ///

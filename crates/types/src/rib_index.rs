@@ -1,0 +1,422 @@
+//! A flat, immutable longest-prefix-match index compiled from a trie.
+//!
+//! [`PrefixTrie::lookup`] walks up to 32 heap nodes per query — fine for
+//! one-off lookups, but the pipeline asks the same RIB millions of
+//! questions per window. [`RibIndex`] trades a one-time compile for
+//! cache-friendly queries: the trie's (possibly overlapping) prefixes
+//! are resolved into sorted, *disjoint* `(start, end, value)` intervals
+//! where the most specific covering prefix wins on every address, and a
+//! 256-way first-octet bucket table narrows each query to a short
+//! binary search over contiguous arrays.
+//!
+//! The index answers exactly what the trie answers: `lookup(addr)`
+//! returns the same `(Prefix, &V)` as `PrefixTrie::lookup(addr)` for
+//! every address (asserted by proptests in `tests/properties.rs`). For
+//! RIBs whose prefixes are all `/24` or shorter, every resolved
+//! interval is /24-aligned, and [`RibIndex::lookup24`] answers the
+//! pipeline's per-block queries with a single probe.
+//!
+//! The index is a snapshot: it does not track later trie mutations.
+//! RIBs in this workspace are per-day snapshots rebuilt on churn, so
+//! consumers compile once per (window, RIB) and query from there.
+
+use crate::block::Block24;
+use crate::ipv4::Ipv4;
+use crate::prefix::Prefix;
+use crate::trie::PrefixTrie;
+
+/// A flat longest-prefix-match index over disjoint address intervals.
+///
+/// Built from a [`PrefixTrie`] with [`RibIndex::build`]; immutable
+/// afterwards. Plain `Vec`s throughout, so the index is `Send + Sync`
+/// and can be shared by reference across ingest/pipeline threads.
+///
+/// ```
+/// use mt_types::{Ipv4, PrefixTrie, RibIndex};
+/// let mut rib = PrefixTrie::new();
+/// rib.insert("10.0.0.0/8".parse().unwrap(), "coarse");
+/// rib.insert("10.1.0.0/16".parse().unwrap(), "specific");
+/// let idx = RibIndex::build(&rib);
+/// let (prefix, value) = idx.lookup(Ipv4::new(10, 1, 2, 3)).unwrap();
+/// assert_eq!((prefix.to_string().as_str(), *value), ("10.1.0.0/16", "specific"));
+/// assert_eq!(idx.lookup(Ipv4::new(11, 0, 0, 1)), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RibIndex<V> {
+    /// Interval start addresses, sorted ascending, pairwise disjoint
+    /// with `ends` (`starts[i] <= ends[i] < starts[i+1]`).
+    starts: Vec<u32>,
+    /// Inclusive interval end addresses, parallel to `starts`.
+    ends: Vec<u32>,
+    /// The originating (most specific covering) prefix per interval —
+    /// what `PrefixTrie::lookup` reports as the match.
+    prefixes: Vec<Prefix>,
+    /// The value stored under that prefix.
+    values: Vec<V>,
+    /// 257 partition points: `buckets[o]` is the index of the first
+    /// interval whose start is `>= o << 24`, so a query for an address
+    /// in first octet `o` searches `starts[buckets[o]-1 .. buckets[o+1]]`.
+    buckets: Vec<u32>,
+    /// Whether every interval begins and ends on a /24 boundary — true
+    /// whenever the source trie held only prefixes of length <= 24.
+    /// Required by [`RibIndex::lookup24`].
+    block_aligned: bool,
+}
+
+impl<V: Clone> RibIndex<V> {
+    /// Compiles the trie into a flat index.
+    ///
+    /// Runs in `O(n)` over the trie's in-order iteration: a stack of
+    /// currently-covering prefixes is maintained, and every time
+    /// coverage changes (a prefix opens or closes) the most specific
+    /// active prefix is emitted for the address range just passed.
+    pub fn build(trie: &PrefixTrie<V>) -> Self {
+        let mut idx = RibIndex {
+            starts: Vec::new(),
+            ends: Vec::new(),
+            prefixes: Vec::new(),
+            values: Vec::new(),
+            buckets: Vec::new(),
+            block_aligned: true,
+        };
+        // Active covering prefixes, outermost first (iteration order
+        // guarantees each pushed prefix nests inside the one below it).
+        let mut stack: Vec<(Prefix, &V)> = Vec::new();
+        // Next address not yet attributed to an interval (u64 so the
+        // exclusive bound past 255.255.255.255 is representable).
+        let mut cursor: u64 = 0;
+        for (prefix, value) in trie.iter() {
+            let start = u64::from(prefix.base().0);
+            // Close every active prefix that ends before this one opens.
+            while let Some(&(top, top_v)) = stack.last() {
+                let top_end = u64::from(top.last().0);
+                if top_end < start {
+                    idx.emit(cursor, top_end, top, top_v);
+                    cursor = top_end + 1;
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            // The gap between the last emitted range and this prefix
+            // belongs to the enclosing prefix, if any.
+            if let Some(&(top, top_v)) = stack.last() {
+                if cursor < start {
+                    idx.emit(cursor, start - 1, top, top_v);
+                }
+            }
+            cursor = start;
+            stack.push((prefix, value));
+        }
+        // Close out whatever is still covering at the end of the space.
+        while let Some((top, top_v)) = stack.pop() {
+            let top_end = u64::from(top.last().0);
+            idx.emit(cursor, top_end, top, top_v);
+            cursor = top_end + 1;
+        }
+        idx.build_buckets();
+        idx
+    }
+
+    /// Records one resolved interval (no-op for empty ranges, which
+    /// arise when a nested prefix ends exactly where its parent does).
+    fn emit(&mut self, from: u64, to: u64, prefix: Prefix, value: &V) {
+        if from > to {
+            return;
+        }
+        debug_assert!(to <= u64::from(u32::MAX));
+        debug_assert!(self.starts.last().is_none_or(|&s| u64::from(s) < from));
+        if !from.is_multiple_of(256) || !(to + 1).is_multiple_of(256) {
+            self.block_aligned = false;
+        }
+        self.starts.push(from as u32);
+        self.ends.push(to as u32);
+        self.prefixes.push(prefix);
+        self.values.push(value.clone());
+    }
+
+    /// Builds the 257-entry first-octet partition table over `starts`.
+    fn build_buckets(&mut self) {
+        self.buckets = (0..=256u64)
+            .map(|o| self.starts.partition_point(|&s| u64::from(s) < o << 24) as u32)
+            .collect();
+    }
+}
+
+impl<V> RibIndex<V> {
+    /// Longest-prefix match: the most specific prefix of the source
+    /// trie containing `addr`, with its value — identical to
+    /// [`PrefixTrie::lookup`] on the trie this index was built from.
+    #[inline]
+    pub fn lookup(&self, addr: Ipv4) -> Option<(Prefix, &V)> {
+        let o = (addr.0 >> 24) as usize;
+        // An interval that *starts* in an earlier octet may span into
+        // this one; disjointness means at most one can, and it is the
+        // one immediately before the bucket boundary.
+        let lo = (self.buckets[o] as usize).saturating_sub(1);
+        let hi = self.buckets[o + 1] as usize;
+        if lo >= hi {
+            return None;
+        }
+        let n = self.starts[lo..hi].partition_point(|&s| s <= addr.0);
+        if n == 0 {
+            return None;
+        }
+        let i = lo + n - 1;
+        if self.ends[i] >= addr.0 {
+            Some((self.prefixes[i], &self.values[i]))
+        } else {
+            None
+        }
+    }
+
+    /// Whether any prefix of the source trie contains `addr`.
+    #[inline]
+    pub fn contains_addr(&self, addr: Ipv4) -> bool {
+        self.lookup(addr).is_some()
+    }
+
+    /// Longest-prefix match for a whole /24 block in one probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is not [/24-aligned](Self::is_block_aligned)
+    /// — i.e. the source trie held a prefix longer than /24, in which
+    /// case addresses within one block can resolve differently and a
+    /// single per-block answer does not exist. Use [`Self::lookup`] on
+    /// individual addresses for such tries.
+    #[inline]
+    pub fn lookup24(&self, block: Block24) -> Option<(Prefix, &V)> {
+        assert!(
+            self.block_aligned,
+            "lookup24 requires a /24-aligned index (no prefixes longer than /24)"
+        );
+        self.lookup(block.base())
+    }
+
+    /// Whether any prefix of the source trie contains `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same condition as [`Self::lookup24`].
+    #[inline]
+    pub fn contains_block24(&self, block: Block24) -> bool {
+        self.lookup24(block).is_some()
+    }
+
+    /// Whether every resolved interval starts and ends on a /24
+    /// boundary, which makes [`Self::lookup24`] valid. Vacuously true
+    /// for an empty index.
+    pub fn is_block_aligned(&self) -> bool {
+        self.block_aligned
+    }
+
+    /// Number of resolved disjoint intervals (not the number of source
+    /// prefixes: overlaps split, and fully-shadowed ranges merge away).
+    pub fn num_intervals(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Whether the index resolves to no coverage at all.
+    pub fn is_empty(&self) -> bool {
+        self.starts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn a(s: &str) -> Ipv4 {
+        s.parse().unwrap()
+    }
+
+    /// Every address the trie answers, the index must answer
+    /// identically — probed at interval-boundary-heavy points.
+    fn assert_matches_trie(trie: &PrefixTrie<&'static str>, probes: &[Ipv4]) {
+        let idx = RibIndex::build(trie);
+        for &addr in probes {
+            assert_eq!(idx.lookup(addr), trie.lookup(addr), "divergence at {addr}");
+        }
+    }
+
+    /// Boundary probes for a prefix: base, last, and one step outside
+    /// each (saturating at the ends of the space).
+    fn boundary_probes(prefixes: &[Prefix]) -> Vec<Ipv4> {
+        let mut out = Vec::new();
+        for pre in prefixes {
+            let base = pre.base();
+            let last = pre.last();
+            out.push(base);
+            out.push(last);
+            out.push(Ipv4(base.0.saturating_sub(1)));
+            out.push(last.saturating_next());
+        }
+        out
+    }
+
+    #[test]
+    fn empty_trie_empty_index() {
+        let trie: PrefixTrie<&str> = PrefixTrie::new();
+        let idx = RibIndex::build(&trie);
+        assert!(idx.is_empty());
+        assert_eq!(idx.num_intervals(), 0);
+        assert!(idx.is_block_aligned(), "vacuously aligned");
+        assert_eq!(idx.lookup(a("0.0.0.0")), None);
+        assert_eq!(idx.lookup(a("255.255.255.255")), None);
+        assert!(!idx.contains_block24(Block24::containing(a("10.0.0.0"))));
+    }
+
+    #[test]
+    fn lpm_prefers_most_specific() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), "eight");
+        t.insert(p("10.1.0.0/16"), "sixteen");
+        t.insert(p("10.1.2.0/24"), "twentyfour");
+        let idx = RibIndex::build(&t);
+        assert_eq!(
+            idx.lookup(a("10.1.2.3")).unwrap(),
+            (p("10.1.2.0/24"), &"twentyfour")
+        );
+        assert_eq!(
+            idx.lookup(a("10.1.9.9")).unwrap(),
+            (p("10.1.0.0/16"), &"sixteen")
+        );
+        assert_eq!(
+            idx.lookup(a("10.200.0.1")).unwrap(),
+            (p("10.0.0.0/8"), &"eight")
+        );
+        assert_eq!(idx.lookup(a("11.0.0.1")), None);
+        // A /8 split by a /16 split by a /24 resolves into 5 pieces.
+        assert_eq!(idx.num_intervals(), 5);
+        let probes = boundary_probes(&[p("10.0.0.0/8"), p("10.1.0.0/16"), p("10.1.2.0/24")]);
+        assert_matches_trie(&t, &probes);
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut t = PrefixTrie::new();
+        t.insert(Prefix::DEFAULT_ROUTE, "all");
+        t.insert(p("128.0.0.0/8"), "specific");
+        let idx = RibIndex::build(&t);
+        assert_eq!(
+            idx.lookup(a("0.0.0.0")).unwrap(),
+            (Prefix::DEFAULT_ROUTE, &"all")
+        );
+        assert_eq!(
+            idx.lookup(a("255.255.255.255")).unwrap(),
+            (Prefix::DEFAULT_ROUTE, &"all")
+        );
+        assert_eq!(
+            idx.lookup(a("128.5.5.5")).unwrap(),
+            (p("128.0.0.0/8"), &"specific")
+        );
+        assert_eq!(idx.num_intervals(), 3);
+    }
+
+    #[test]
+    fn host_routes_clear_alignment_but_still_match() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("1.2.3.4/32"), "host");
+        t.insert(p("1.2.0.0/16"), "net");
+        let idx = RibIndex::build(&t);
+        assert!(!idx.is_block_aligned());
+        assert_eq!(
+            idx.lookup(a("1.2.3.4")).unwrap(),
+            (p("1.2.3.4/32"), &"host")
+        );
+        assert_eq!(idx.lookup(a("1.2.3.5")).unwrap(), (p("1.2.0.0/16"), &"net"));
+        let probes = boundary_probes(&[p("1.2.3.4/32"), p("1.2.0.0/16")]);
+        assert_matches_trie(&t, &probes);
+    }
+
+    #[test]
+    #[should_panic(expected = "lookup24 requires a /24-aligned index")]
+    fn lookup24_panics_when_unaligned() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("1.2.3.4/32"), "host");
+        let idx = RibIndex::build(&t);
+        let _ = idx.lookup24(Block24::containing(a("1.2.3.0")));
+    }
+
+    #[test]
+    fn lookup24_on_aligned_rib() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), "coarse");
+        t.insert(p("10.1.2.0/24"), "fine");
+        let idx = RibIndex::build(&t);
+        assert!(idx.is_block_aligned());
+        assert_eq!(
+            idx.lookup24(Block24::containing(a("10.1.2.200"))).unwrap(),
+            (p("10.1.2.0/24"), &"fine")
+        );
+        assert_eq!(
+            idx.lookup24(Block24::containing(a("10.9.9.9"))).unwrap(),
+            (p("10.0.0.0/8"), &"coarse")
+        );
+        assert!(!idx.contains_block24(Block24::containing(a("11.0.0.0"))));
+    }
+
+    #[test]
+    fn nested_prefix_ending_at_parent_end() {
+        // The tail half of the /23 is exactly the /24: after the inner
+        // prefix closes, nothing of the parent remains to emit.
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/23"), "parent");
+        t.insert(p("10.0.1.0/24"), "tail");
+        let idx = RibIndex::build(&t);
+        assert_eq!(idx.num_intervals(), 2);
+        let probes = boundary_probes(&[p("10.0.0.0/23"), p("10.0.1.0/24")]);
+        assert_matches_trie(&t, &probes);
+    }
+
+    #[test]
+    fn nested_prefix_sharing_parent_base() {
+        // The inner prefix opens at the same address as its parent: no
+        // gap interval must be emitted before it.
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), "parent");
+        t.insert(p("10.0.0.0/24"), "head");
+        let idx = RibIndex::build(&t);
+        assert_eq!(idx.num_intervals(), 2);
+        let probes = boundary_probes(&[p("10.0.0.0/8"), p("10.0.0.0/24")]);
+        assert_matches_trie(&t, &probes);
+    }
+
+    #[test]
+    fn adjacent_and_far_apart_prefixes() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("9.0.0.0/8"), "nine");
+        t.insert(p("10.0.0.0/8"), "ten");
+        t.insert(p("200.0.0.0/8"), "far");
+        let idx = RibIndex::build(&t);
+        assert_eq!(idx.num_intervals(), 3);
+        let probes = boundary_probes(&[p("9.0.0.0/8"), p("10.0.0.0/8"), p("200.0.0.0/8")]);
+        assert_matches_trie(&t, &probes);
+        assert_eq!(idx.lookup(a("100.0.0.1")), None, "gap between intervals");
+    }
+
+    #[test]
+    fn brute_force_equivalence_over_small_space() {
+        // Exhaustively compare against the trie across a busy /16 —
+        // every address, so no boundary case can hide.
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.1.0.0/16"), "p16");
+        t.insert(p("10.1.0.0/20"), "p20");
+        t.insert(p("10.1.4.0/24"), "p24a");
+        t.insert(p("10.1.128.0/24"), "p24b");
+        t.insert(p("10.1.130.7/32"), "host");
+        let idx = RibIndex::build(&t);
+        for host in 0..=0xffffu32 {
+            let addr = Ipv4(0x0a01_0000 | host);
+            assert_eq!(idx.lookup(addr), t.lookup(addr), "divergence at {addr}");
+        }
+        // And just outside the /16 on both sides.
+        assert_eq!(idx.lookup(a("10.0.255.255")), None);
+        assert_eq!(idx.lookup(a("10.2.0.0")), None);
+    }
+}

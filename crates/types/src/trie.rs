@@ -144,26 +144,16 @@ impl<V> PrefixTrie<V> {
         self.lookup(addr).is_some()
     }
 
-    /// All stored prefixes containing `addr`, from least to most specific.
-    pub fn covering(&self, addr: Ipv4) -> Vec<(Prefix, &V)> {
-        let mut out = Vec::new();
-        let mut node = &self.root;
-        if let Some(v) = node.value.as_ref() {
-            out.push((Prefix::DEFAULT_ROUTE, v));
+    /// All stored prefixes containing `addr`, from least to most
+    /// specific. Lazy: no allocation, and short-circuiting consumers
+    /// (e.g. `.next()` for the least specific covering prefix) stop
+    /// walking the trie early.
+    pub fn covering(&self, addr: Ipv4) -> Covering<'_, V> {
+        Covering {
+            node: Some(&self.root),
+            addr,
+            depth: 0,
         }
-        for i in 0..32u8 {
-            let b = bit(addr, i);
-            match node.children[b].as_deref() {
-                Some(child) => {
-                    node = child;
-                    if let Some(v) = node.value.as_ref() {
-                        out.push((Prefix::containing(addr, i + 1), v));
-                    }
-                }
-                None => break,
-            }
-        }
-        out
     }
 
     /// In-order traversal of all `(prefix, value)` pairs (sorted by base
@@ -185,6 +175,39 @@ impl<V> PrefixTrie<V> {
         for b in 0..2u32 {
             if let Some(child) = node.children[b as usize].as_deref() {
                 Self::walk(child, (acc << 1) | b, depth + 1, out);
+            }
+        }
+    }
+}
+
+/// Iterator over the stored prefixes containing one address, yielded
+/// from least to most specific. Returned by [`PrefixTrie::covering`].
+///
+/// Walks the lookup path of the address one node per step; a value at
+/// depth `d` is the stored prefix of length `d` covering the address
+/// (depth 0 being the default route).
+#[derive(Debug, Clone)]
+pub struct Covering<'a, V> {
+    node: Option<&'a Node<V>>,
+    addr: Ipv4,
+    depth: u8,
+}
+
+impl<'a, V> Iterator for Covering<'a, V> {
+    type Item = (Prefix, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let node = self.node?;
+            let depth = self.depth;
+            self.node = if depth < 32 {
+                node.children[bit(self.addr, depth)].as_deref()
+            } else {
+                None
+            };
+            self.depth = depth + 1;
+            if let Some(v) = node.value.as_ref() {
+                return Some((Prefix::containing(self.addr, depth), v));
             }
         }
     }
@@ -263,9 +286,18 @@ mod tests {
         t.insert(p("0.0.0.0/0"), 0);
         t.insert(p("10.0.0.0/8"), 8);
         t.insert(p("10.1.0.0/16"), 16);
-        let cov = t.covering(a("10.1.5.5"));
+        let cov: Vec<(Prefix, &i32)> = t.covering(a("10.1.5.5")).collect();
         let lens: Vec<u8> = cov.iter().map(|(pre, _)| pre.len()).collect();
         assert_eq!(lens, vec![0, 8, 16]);
+        assert_eq!(cov[0], (Prefix::DEFAULT_ROUTE, &0));
+        assert_eq!(cov[2], (p("10.1.0.0/16"), &16));
+        // Lazy: taking only the least specific match works too.
+        assert_eq!(t.covering(a("10.1.5.5")).next().unwrap().1, &0);
+        assert_eq!(t.covering(a("11.0.0.0")).next().unwrap().1, &0);
+        assert!(PrefixTrie::<i32>::new()
+            .covering(a("1.1.1.1"))
+            .next()
+            .is_none());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Property-based tests for the foundational types.
 
-use mt_types::{Block24, Block24Set, HilbertCurve, Ipv4, Prefix, PrefixTrie};
+use mt_types::{Block24, Block24Set, HilbertCurve, Ipv4, Prefix, PrefixTrie, RibIndex};
 use proptest::prelude::*;
 
 fn arb_addr() -> impl Strategy<Value = Ipv4> {
@@ -87,6 +87,60 @@ proptest! {
         }
         let got = trie.lookup(addr).map(|(p, &v)| (p, v));
         prop_assert_eq!(got, best);
+    }
+
+    #[test]
+    fn rib_index_matches_trie_lookup(
+        prefixes in proptest::collection::vec(arb_prefix(), 0..40),
+        addrs in proptest::collection::vec(arb_addr(), 1..20),
+    ) {
+        let trie: PrefixTrie<usize> =
+            prefixes.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+        let idx = RibIndex::build(&trie);
+        // Random probes plus every interval boundary the prefixes
+        // induce (base, last, and one step outside each) — the places
+        // an off-by-one in the flattening would hide.
+        let mut probes = addrs;
+        for p in &prefixes {
+            probes.push(p.base());
+            probes.push(p.last());
+            probes.push(Ipv4(p.base().0.saturating_sub(1)));
+            probes.push(p.last().saturating_next());
+        }
+        for addr in probes {
+            prop_assert_eq!(idx.lookup(addr), trie.lookup(addr), "at {}", addr);
+            prop_assert_eq!(idx.contains_addr(addr), trie.contains_addr(addr));
+        }
+    }
+
+    #[test]
+    fn rib_index_lookup24_matches_trie_on_aligned_ribs(
+        prefixes in proptest::collection::vec(
+            (any::<u32>(), 0u8..=24).prop_map(|(a, len)| Prefix::containing(Ipv4(a), len)),
+            0..40,
+        ),
+        blocks in proptest::collection::vec(0u32..(1 << 24), 1..20),
+    ) {
+        let trie: PrefixTrie<usize> =
+            prefixes.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+        let idx = RibIndex::build(&trie);
+        prop_assert!(idx.is_block_aligned(), "<=24-bit prefixes compile aligned");
+        for b in blocks.into_iter().map(Block24) {
+            // A /24 never straddles resolved intervals, so the block's
+            // base answers for every host in it.
+            prop_assert_eq!(idx.lookup24(b), trie.lookup(b.base()));
+            prop_assert_eq!(idx.lookup24(b), idx.lookup(b.last()));
+            prop_assert_eq!(idx.contains_block24(b), trie.contains_addr(b.base()));
+        }
+    }
+
+    #[test]
+    fn rib_index_of_empty_trie_misses_everywhere(addr in arb_addr()) {
+        let trie: PrefixTrie<usize> = PrefixTrie::new();
+        let idx = RibIndex::build(&trie);
+        prop_assert!(idx.is_empty());
+        prop_assert_eq!(idx.lookup(addr), None);
+        prop_assert!(!idx.contains_block24(Block24::containing(addr)));
     }
 
     #[test]

@@ -183,6 +183,9 @@ pub struct Collector {
     /// malformed: a set length under 4 or past the message end, a broken
     /// template record, or trailing bytes shorter than a set header.
     pub malformed_sets: u64,
+    /// Reusable field-list buffer for template parsing, so a long-lived
+    /// collector decodes template sets without per-record allocation.
+    scratch_fields: Vec<(u16, u16)>,
 }
 
 impl Collector {
@@ -252,7 +255,7 @@ impl Collector {
                 self.malformed_sets += 1;
                 return;
             }
-            let mut fields = Vec::with_capacity(field_count);
+            self.scratch_fields.clear();
             let mut record_len = 0usize;
             let mut enterprise = false;
             for _ in 0..field_count {
@@ -261,13 +264,13 @@ impl Collector {
                 // Enterprise elements are out of scope.
                 enterprise |= ie & 0x8000 != 0;
                 record_len += len as usize;
-                fields.push((ie, len));
+                self.scratch_fields.push((ie, len));
             }
             if enterprise {
                 self.malformed_sets += 1;
                 return;
             }
-            if fields == FLOW_FIELDS {
+            if self.scratch_fields == FLOW_FIELDS {
                 self.known.insert(template_id, record_len);
                 self.foreign.remove(&template_id);
             } else {
@@ -346,6 +349,9 @@ pub mod stream {
     pub struct MessageReader<R: Read> {
         inner: R,
         collector: Collector,
+        /// Reusable message buffer: one allocation grown to the largest
+        /// message seen, instead of a fresh `Vec` per message.
+        scratch: Vec<u8>,
         /// Messages consumed so far.
         pub messages: u64,
     }
@@ -356,6 +362,7 @@ pub mod stream {
             MessageReader {
                 inner,
                 collector: Collector::new(),
+                scratch: Vec::new(),
                 messages: 0,
             }
         }
@@ -384,12 +391,13 @@ pub mod stream {
             if length < 16 {
                 return Err(WireError::Malformed);
             }
-            let mut msg = vec![0u8; length];
-            msg[..16].copy_from_slice(&header);
+            self.scratch.clear();
+            self.scratch.resize(length, 0);
+            self.scratch[..16].copy_from_slice(&header);
             self.inner
-                .read_exact(&mut msg[16..])
+                .read_exact(&mut self.scratch[16..])
                 .map_err(|_| WireError::Truncated)?;
-            self.collector.decode_message(&msg, out)?;
+            self.collector.decode_message(&self.scratch, out)?;
             self.messages += 1;
             Ok(true)
         }
