@@ -1,0 +1,7 @@
+//! Fixture: an `Ordering` site with no adjacent justification.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bumps the counter (and trips the atomics_ordering rule).
+pub fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}

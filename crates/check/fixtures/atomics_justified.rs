@@ -1,0 +1,8 @@
+//! Fixture: the same site, satisfied by an `// ordering:` comment.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bumps the counter with its ordering argued inline.
+pub fn bump(c: &AtomicU64) {
+    // ordering: Relaxed — fixture counter; single monotone cell, nothing published.
+    c.fetch_add(1, Ordering::Relaxed);
+}

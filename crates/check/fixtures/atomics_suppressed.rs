@@ -1,0 +1,8 @@
+//! Fixture: the same site, suppressed by pragma.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bumps the counter under an explicit suppression.
+pub fn bump(c: &AtomicU64) {
+    // check: allow(atomics_ordering, "fixture: ordering argued in the suite, not inline")
+    c.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,7 @@
+//! Fixture: a wall-clock read inside pipeline code.
+use std::time::Instant;
+
+/// Reads the clock in pipeline code (and trips the determinism rule).
+pub fn stamp() -> Instant {
+    Instant::now()
+}

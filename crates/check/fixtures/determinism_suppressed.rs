@@ -1,0 +1,8 @@
+//! Fixture: a wall-clock read argued to be output-inert.
+use std::time::Instant;
+
+/// Reads the clock under an explicit suppression.
+pub fn stamp() -> Instant {
+    // check: allow(determinism, "fixture: feeds a progress metric only; no output reads it")
+    Instant::now()
+}

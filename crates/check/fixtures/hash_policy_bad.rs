@@ -1,0 +1,7 @@
+//! Fixture: a std `HashMap` in a hot-path crate.
+use std::collections::HashMap;
+
+/// Builds a SipHash map on the hot path (and trips hash_policy).
+pub fn table() -> HashMap<u32, u64> {
+    HashMap::new()
+}

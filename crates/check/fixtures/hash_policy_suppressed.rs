@@ -1,0 +1,10 @@
+//! Fixture: a std `HashMap` allowed where DoS-resistance matters.
+// check: allow(hash_policy, "fixture: keys are attacker-controlled here, SipHash is the point")
+use std::collections::HashMap;
+
+/// Builds a SipHash map deliberately.
+pub fn size() -> usize {
+    // check: allow(hash_policy, "fixture: keys are attacker-controlled here, SipHash is the point")
+    let m: HashMap<u32, u64> = HashMap::new();
+    m.len()
+}

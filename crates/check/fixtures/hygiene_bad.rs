@@ -1,0 +1,6 @@
+//! Fixture: a crate root missing both hygiene attributes.
+
+/// A public item so the file is a plausible crate root.
+pub fn answer() -> u32 {
+    42
+}

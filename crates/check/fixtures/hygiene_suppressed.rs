@@ -1,0 +1,7 @@
+//! Fixture: a crate root opting out of the hygiene attrs by pragma.
+// check: allow(crate_hygiene, "fixture: demo crate intentionally ships without the attrs")
+
+/// A public item so the file is a plausible crate root.
+pub fn answer() -> u32 {
+    42
+}

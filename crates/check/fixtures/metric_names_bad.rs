@@ -1,0 +1,6 @@
+//! Fixture: registers a metric the catalogue does not list.
+
+/// Registers `mt_fixture_unlisted_total` (and trips metric_names).
+pub fn register(reg: &mt_obs::MetricsRegistry) {
+    reg.counter("mt_fixture_unlisted_total", "not in the catalogue");
+}

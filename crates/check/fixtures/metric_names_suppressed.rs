@@ -1,0 +1,7 @@
+//! Fixture: an uncatalogued metric, suppressed at the registration site.
+
+/// Registers an experimental series under an explicit suppression.
+pub fn register(reg: &mt_obs::MetricsRegistry) {
+    // check: allow(metric_names, "fixture: experimental series, not yet part of the documented surface")
+    reg.counter("mt_fixture_unlisted_total", "not in the catalogue");
+}

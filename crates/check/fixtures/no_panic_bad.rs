@@ -1,0 +1,6 @@
+//! Fixture: `.unwrap()` in library code.
+
+/// Unwraps in a library path (and trips the no_panic rule).
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}

@@ -1,0 +1,7 @@
+//! Fixture: a pragma with an empty reason must NOT suppress.
+
+/// Unwraps under a reasonless pragma (still trips the rule).
+pub fn first(v: &[u32]) -> u32 {
+    // check: allow(no_panic, "")
+    *v.first().unwrap()
+}

@@ -1,0 +1,7 @@
+//! Fixture: the same unwrap, suppressed with a stated invariant.
+
+/// Unwraps under an explicit suppression.
+pub fn first(v: &[u32]) -> u32 {
+    // check: allow(no_panic, "fixture: callers guarantee a non-empty slice")
+    *v.first().unwrap()
+}

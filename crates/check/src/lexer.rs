@@ -1,0 +1,449 @@
+//! A hand-rolled Rust lexer that preserves byte offsets.
+//!
+//! mt-check cannot use `syn` (crates.io is unavailable in the build
+//! environment), and it does not need a parse tree: every rule in
+//! [`crate::rules`] works on a flat token stream plus line geometry.
+//! What the rules *do* need, non-negotiably, is for the lexer to know
+//! exactly what is code and what is not — a `// check: allow(...)`
+//! pragma inside a string literal must not suppress anything, and an
+//! `unwrap` inside a doc-comment example must not fire the no-panic
+//! rule. So the lexer's contract is:
+//!
+//! - **total**: any byte sequence lexes; malformed input degrades to
+//!   reasonable tokens (an unterminated string swallows the rest of the
+//!   file as that string) and never panics;
+//! - **lossless**: tokens tile the input exactly — `start..end` ranges
+//!   are contiguous, the first starts at 0, the last ends at
+//!   `src.len()` — so every diagnostic can be mapped back to a precise
+//!   line and column (pinned by a proptest in `tests/lexer_props.rs`);
+//! - **comment-exact**: nested block comments, raw strings with
+//!   arbitrary `#` fences, char literals containing `//`, lifetimes,
+//!   and raw identifiers are all distinguished, because these are
+//!   precisely the cases where a naive regex scanner misclassifies
+//!   code as comment or vice versa.
+
+/// What a lexed span is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Spaces, tabs, newlines, and other whitespace.
+    Whitespace,
+    /// `// ...` to end of line, including `///` and `//!` doc forms.
+    LineComment,
+    /// `/* ... */`, nesting-aware, including `/** */` doc forms.
+    BlockComment,
+    /// An identifier or keyword, including raw identifiers (`r#type`).
+    Ident,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// A character or byte literal: `'x'`, `'\''`, `b'\n'`.
+    CharLit,
+    /// A string or byte-string literal: `"..."`, `b"..."`.
+    StrLit,
+    /// A raw (byte-)string literal: `r"..."`, `br#"..."#`.
+    RawStrLit,
+    /// A numeric literal (integer part only; `1.5` lexes as
+    /// number-punct-number, which is fine for offset-preserving scans).
+    Number,
+    /// Any other single character: punctuation, operators, stray bytes.
+    Punct,
+}
+
+/// One lexed span: `kind` over `src[start..end]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What the span is.
+    pub kind: TokKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset one past the last byte, exclusive.
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text within its source.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    /// Byte offset of the next unconsumed char.
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.src[self.pos..].chars();
+        it.next();
+        it.next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek() {
+            if !pred(c) {
+                break;
+            }
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `src` into a lossless token stream.
+///
+/// Never panics; the returned tokens tile `src` exactly.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor { src, pos: 0 };
+    let mut out = Vec::new();
+    while cur.pos < src.len() {
+        let start = cur.pos;
+        let kind = next_kind(&mut cur);
+        debug_assert!(cur.pos > start, "lexer must always make progress");
+        out.push(Token {
+            kind,
+            start,
+            end: cur.pos,
+        });
+    }
+    out
+}
+
+fn next_kind(cur: &mut Cursor<'_>) -> TokKind {
+    let Some(c) = cur.bump() else {
+        return TokKind::Whitespace; // unreachable: caller checks pos < len
+    };
+    match c {
+        c if c.is_whitespace() => {
+            cur.eat_while(|c| c.is_whitespace());
+            TokKind::Whitespace
+        }
+        '/' => match cur.peek() {
+            Some('/') => {
+                cur.eat_while(|c| c != '\n');
+                TokKind::LineComment
+            }
+            Some('*') => {
+                cur.bump();
+                block_comment(cur);
+                TokKind::BlockComment
+            }
+            _ => TokKind::Punct,
+        },
+        '\'' => char_or_lifetime(cur),
+        '"' => {
+            string_body(cur);
+            TokKind::StrLit
+        }
+        'r' => raw_prefixed(cur, false),
+        'b' => byte_prefixed(cur),
+        c if is_ident_start(c) => {
+            cur.eat_while(is_ident_continue);
+            TokKind::Ident
+        }
+        c if c.is_ascii_digit() => {
+            // Digits plus alphanumeric suffix/base chars (0x1f, 1_000u64,
+            // 1e3). The dot of a float is left to punct — offsets matter
+            // here, numeric values never do.
+            cur.eat_while(|c| c.is_ascii_alphanumeric() || c == '_');
+            TokKind::Number
+        }
+        _ => TokKind::Punct,
+    }
+}
+
+/// After the opening `/*`: consume through the matching `*/`, tracking
+/// nesting. Unterminated comments swallow the rest of the file.
+fn block_comment(cur: &mut Cursor<'_>) {
+    let mut depth = 1usize;
+    while depth > 0 {
+        match cur.bump() {
+            None => return,
+            Some('*') if cur.peek() == Some('/') => {
+                cur.bump();
+                depth -= 1;
+            }
+            Some('/') if cur.peek() == Some('*') => {
+                cur.bump();
+                depth += 1;
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// After an opening `'`: decide between a char literal and a lifetime.
+///
+/// `'a'` is a char, `'a` is a lifetime, `'\''` is a char, `'abc'` (not
+/// valid Rust, but we must not panic) lexes as a char-ish span.
+fn char_or_lifetime(cur: &mut Cursor<'_>) -> TokKind {
+    match cur.peek() {
+        // Escape: definitely a char literal.
+        Some('\\') => {
+            cur.bump();
+            cur.bump(); // the escaped char (may be None at EOF)
+                        // Consume up to the closing quote (handles \u{...}).
+            char_tail(cur);
+            TokKind::CharLit
+        }
+        Some(c) if is_ident_start(c) => {
+            // Could be a lifetime ('a) or a char ('a'). Consume the
+            // ident run, then look for a closing quote.
+            cur.eat_while(is_ident_continue);
+            if cur.peek() == Some('\'') {
+                cur.bump();
+                TokKind::CharLit
+            } else {
+                TokKind::Lifetime
+            }
+        }
+        // `''` or `'.'` or `'/'` etc.: a (possibly empty) char literal.
+        Some(_) => {
+            cur.bump();
+            if cur.peek() == Some('\'') {
+                cur.bump();
+            }
+            TokKind::CharLit
+        }
+        None => TokKind::Punct,
+    }
+}
+
+/// Consumes the remainder of a char literal up to and including the
+/// closing `'`, giving up at end of line or file (malformed input).
+fn char_tail(cur: &mut Cursor<'_>) {
+    while let Some(c) = cur.peek() {
+        if c == '\n' {
+            return;
+        }
+        cur.bump();
+        if c == '\'' {
+            return;
+        }
+        if c == '\\' {
+            cur.bump();
+        }
+    }
+}
+
+/// Consumes a non-raw string body after the opening `"`, honouring
+/// backslash escapes. Unterminated strings swallow the rest of the file.
+fn string_body(cur: &mut Cursor<'_>) {
+    while let Some(c) = cur.bump() {
+        match c {
+            '"' => return,
+            '\\' => {
+                cur.bump();
+            }
+            _ => {}
+        }
+    }
+}
+
+/// After an initial `r` (or the `r` of `br`): raw string, raw
+/// identifier, or a plain identifier starting with `r`.
+fn raw_prefixed(cur: &mut Cursor<'_>, after_b: bool) -> TokKind {
+    match (cur.peek(), cur.peek2()) {
+        (Some('"'), _) => {
+            cur.bump();
+            raw_string_body(cur, 0);
+            TokKind::RawStrLit
+        }
+        (Some('#'), Some('"' | '#')) => {
+            let mut hashes = 0usize;
+            while cur.peek() == Some('#') {
+                cur.bump();
+                hashes += 1;
+            }
+            if cur.peek() == Some('"') {
+                cur.bump();
+                raw_string_body(cur, hashes);
+                TokKind::RawStrLit
+            } else {
+                // `r##foo` — not valid Rust; the hashes already lexed
+                // as part of this span, keep it a punct-ish blob.
+                TokKind::Punct
+            }
+        }
+        (Some('#'), Some(c2)) if !after_b && is_ident_start(c2) => {
+            // Raw identifier r#type.
+            cur.bump();
+            cur.eat_while(is_ident_continue);
+            TokKind::Ident
+        }
+        (Some(c), _) if is_ident_continue(c) => {
+            cur.eat_while(is_ident_continue);
+            TokKind::Ident
+        }
+        _ => TokKind::Ident, // bare `r`
+    }
+}
+
+/// Consumes a raw string body after the opening quote: through `"` plus
+/// `hashes` `#` characters. Unterminated bodies swallow the file.
+fn raw_string_body(cur: &mut Cursor<'_>, hashes: usize) {
+    while let Some(c) = cur.bump() {
+        if c == '"' {
+            let mut seen = 0usize;
+            while seen < hashes && cur.peek() == Some('#') {
+                cur.bump();
+                seen += 1;
+            }
+            if seen == hashes {
+                return;
+            }
+        }
+    }
+}
+
+/// After an initial `b`: byte string, byte char, raw byte string, or a
+/// plain identifier starting with `b`.
+fn byte_prefixed(cur: &mut Cursor<'_>) -> TokKind {
+    match cur.peek() {
+        Some('"') => {
+            cur.bump();
+            string_body(cur);
+            TokKind::StrLit
+        }
+        Some('\'') => {
+            cur.bump();
+            // A byte literal is never a lifetime; reuse the char path
+            // but coerce the result.
+            match char_or_lifetime(cur) {
+                TokKind::Lifetime => TokKind::CharLit,
+                k => k,
+            }
+        }
+        Some('r') if matches!(cur.peek2(), Some('"' | '#')) => {
+            cur.bump();
+            raw_prefixed(cur, true)
+        }
+        Some(c) if is_ident_continue(c) => {
+            cur.eat_while(is_ident_continue);
+            TokKind::Ident
+        }
+        _ => TokKind::Ident, // bare `b`
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    fn tiles(src: &str) {
+        let toks = lex(src);
+        let mut pos = 0usize;
+        for t in &toks {
+            assert_eq!(t.start, pos, "tokens must be contiguous in {src:?}");
+            assert!(t.end > t.start);
+            pos = t.end;
+        }
+        assert_eq!(pos, src.len(), "tokens must cover {src:?}");
+    }
+
+    #[test]
+    fn line_and_block_comments() {
+        let src = "a // line\nb /* block /* nested */ still */ c";
+        tiles(src);
+        let k = kinds(src);
+        assert!(k.contains(&(TokKind::LineComment, "// line")));
+        assert!(k.contains(&(TokKind::BlockComment, "/* block /* nested */ still */")));
+        assert!(k.contains(&(TokKind::Ident, "c")));
+    }
+
+    #[test]
+    fn comment_markers_inside_strings_are_code() {
+        let src = r#"let s = "// not a comment /*";"#;
+        tiles(src);
+        assert!(kinds(src)
+            .iter()
+            .all(|(k, _)| !matches!(k, TokKind::LineComment | TokKind::BlockComment)));
+    }
+
+    #[test]
+    fn char_with_slashes_is_not_a_comment() {
+        let src = "let c = '/'; let d = '/';";
+        tiles(src);
+        assert!(kinds(src).contains(&(TokKind::CharLit, "'/'")));
+        assert!(!kinds(src).iter().any(|(k, _)| *k == TokKind::LineComment));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let src = "fn f<'a>(x: &'a str) { let q = 'q'; let e = '\\''; }";
+        tiles(src);
+        let k = kinds(src);
+        assert!(k.contains(&(TokKind::Lifetime, "'a")));
+        assert!(k.contains(&(TokKind::CharLit, "'q'")));
+        assert!(k.contains(&(TokKind::CharLit, "'\\''")));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = r###"let s = r#"has "quotes" and // slashes"#; done"###;
+        tiles(src);
+        let k = kinds(src);
+        assert!(k.contains(&(
+            TokKind::RawStrLit,
+            r###"r#"has "quotes" and // slashes"#"###
+        )));
+        assert!(k.contains(&(TokKind::Ident, "done")));
+    }
+
+    #[test]
+    fn byte_strings_and_raw_idents() {
+        let src = r##"let a = b"bytes"; let b2 = b'\n'; let c = br#"raw"#; let r#type = 1;"##;
+        tiles(src);
+        let k = kinds(src);
+        assert!(k.contains(&(TokKind::StrLit, "b\"bytes\"")));
+        assert!(k.contains(&(TokKind::CharLit, "b'\\n'")));
+        assert!(k.contains(&(TokKind::RawStrLit, "br#\"raw\"#")));
+        assert!(k.contains(&(TokKind::Ident, "r#type")));
+    }
+
+    #[test]
+    fn unterminated_forms_do_not_panic() {
+        for src in [
+            "\"never closed",
+            "r#\"never closed",
+            "/* never closed",
+            "'",
+            "b'",
+            "r#",
+            "let x = 'a",
+        ] {
+            tiles(src);
+        }
+    }
+
+    #[test]
+    fn empty_and_unicode() {
+        assert!(lex("").is_empty());
+        tiles("let π = \"naïve\"; // ünïcode");
+        tiles("🦀🦀🦀");
+    }
+}

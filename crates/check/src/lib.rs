@@ -1,0 +1,43 @@
+//! mt-check: workspace-native static analysis for the meta-telescope.
+//!
+//! The pipeline's headline guarantee — sharded, streamed, and
+//! instrumented runs stay *bit-identical* to the serial batch — rests
+//! on invariants no stock lint knows about: atomics whose orderings
+//! must be argued, library code that must never panic mid-ingest,
+//! hot-path crates that must not regress to SipHash maps, pipeline
+//! code that must never read a wall clock, and a documented metric
+//! catalogue that must match what the code registers. This crate
+//! enforces all of that offline, with a hand-rolled lexer (crates.io,
+//! and therefore `syn`, is unavailable here) and no I/O beyond reading
+//! the workspace.
+//!
+//! Three enforcement points share this library:
+//!
+//! - the `mt-check` binary (`cargo run -p mt-check`) for humans and CI,
+//!   with `--json PATH` emitting the validated report document;
+//! - the umbrella crate's `tests/static_analysis.rs`, which fails
+//!   `cargo test` on any violation and prints the human report;
+//! - the CI job, which validates `check_report.json` the same way the
+//!   hotpath bench document is validated.
+//!
+//! Violations are suppressed — never silently — with
+//! `// check: allow(<rule>, <reason>)` on the offending line or the
+//! line above; an empty reason does not suppress. See DESIGN.md
+//! §"Static analysis" for each rule's rationale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+pub use report::{Report, RuleSummary, Violation};
+pub use rules::{run_all, RULE_DESCRIPTIONS, RULE_IDS};
+pub use workspace::{SourceFile, Workspace};
+
+/// Checks the workspace rooted at `root` and returns the report.
+pub fn check_root(root: &std::path::Path) -> std::io::Result<Report> {
+    Ok(run_all(&Workspace::from_root(root)?))
+}

@@ -1,0 +1,78 @@
+//! The `mt-check` binary: run the workspace rules from the command line.
+//!
+//! ```text
+//! mt-check [--root DIR] [--json PATH] [--quiet]
+//! ```
+//!
+//! Exits 0 when the workspace is clean, 1 on violations, 2 on usage or
+//! I/O errors. `--json` writes the machine-readable report document
+//! (the one CI validates) in addition to the human output.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json_path: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => match args.next() {
+                Some(v) => json_path = Some(PathBuf::from(v)),
+                None => return usage("--json needs a path"),
+            },
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("usage: mt-check [--root DIR] [--json PATH] [--quiet]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    // Default to the workspace root even when invoked from a crate dir
+    // (cargo run sets the cwd to the invocation dir, not the root).
+    if root.as_os_str() == "." && !root.join("Cargo.toml").exists() {
+        if let Ok(manifest_dir) = std::env::var("CARGO_MANIFEST_DIR") {
+            if let Some(ws) = PathBuf::from(manifest_dir)
+                .parent()
+                .and_then(|p| p.parent())
+            {
+                root = ws.to_path_buf();
+            }
+        }
+    }
+
+    let report = match mt_check::check_root(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mt-check: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, report.render_json()) {
+            eprintln!("mt-check: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if !quiet || !report.is_clean() {
+        print!("{}", report.render_human());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("mt-check: {msg}");
+    eprintln!("usage: mt-check [--root DIR] [--json PATH] [--quiet]");
+    ExitCode::from(2)
+}

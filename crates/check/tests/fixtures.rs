@@ -1,0 +1,243 @@
+//! Proof that every rule is live.
+//!
+//! For each of the six rules, a bad fixture mounted at an in-scope path
+//! must make the rule fire, and its pragma'd twin must suppress it
+//! (counted, never silent). If a rule rots into a no-op — a refactor
+//! drops its token pattern, the catalogue markers change — one of these
+//! tests goes red, not just the workspace scan.
+//!
+//! Fixture sources live in `crates/check/fixtures/`, outside any `src/`
+//! tree, so the real workspace scan never sees them.
+
+use mt_check::{run_all, Report, Workspace};
+
+fn check_one(path: &str, text: &str) -> Report {
+    run_all(&Workspace::in_memory(vec![(path, text.to_owned())], None))
+}
+
+/// A DESIGN.md stand-in whose catalogue lists exactly one metric.
+fn design_with_catalogue(names: &str) -> String {
+    format!(
+        "# Design\n\n<!-- mt-check:metrics-catalogue:begin -->\n\n\
+         | Metric | Kind |\n|---|---|\n| `{names}` | counter |\n\n\
+         <!-- mt-check:metrics-catalogue:end -->\n"
+    )
+}
+
+#[test]
+fn atomics_ordering_fires_and_suppresses() {
+    let bad = check_one(
+        "crates/demo/src/a.rs",
+        include_str!("../fixtures/atomics_bad.rs"),
+    );
+    assert_eq!(bad.count("atomics_ordering"), 1, "{}", bad.render_human());
+
+    let sup = check_one(
+        "crates/demo/src/a.rs",
+        include_str!("../fixtures/atomics_suppressed.rs"),
+    );
+    assert_eq!(sup.count("atomics_ordering"), 0, "{}", sup.render_human());
+    assert_eq!(
+        suppressed(&sup, "atomics_ordering"),
+        1,
+        "counted, not silent"
+    );
+
+    let ok = check_one(
+        "crates/demo/src/a.rs",
+        include_str!("../fixtures/atomics_justified.rs"),
+    );
+    assert_eq!(ok.count("atomics_ordering"), 0, "{}", ok.render_human());
+    assert_eq!(
+        suppressed(&ok, "atomics_ordering"),
+        0,
+        "an `// ordering:` justification satisfies the rule outright"
+    );
+}
+
+#[test]
+fn no_panic_fires_and_suppresses() {
+    let bad = check_one(
+        "crates/demo/src/a.rs",
+        include_str!("../fixtures/no_panic_bad.rs"),
+    );
+    assert_eq!(bad.count("no_panic"), 1, "{}", bad.render_human());
+
+    let sup = check_one(
+        "crates/demo/src/a.rs",
+        include_str!("../fixtures/no_panic_suppressed.rs"),
+    );
+    assert_eq!(sup.count("no_panic"), 0, "{}", sup.render_human());
+    assert_eq!(suppressed(&sup, "no_panic"), 1);
+}
+
+#[test]
+fn empty_reason_does_not_suppress() {
+    let bad = check_one(
+        "crates/demo/src/a.rs",
+        include_str!("../fixtures/no_panic_empty_reason.rs"),
+    );
+    assert_eq!(
+        bad.count("no_panic"),
+        1,
+        "a reasonless pragma must not suppress:\n{}",
+        bad.render_human()
+    );
+}
+
+#[test]
+fn no_panic_ignores_bins_and_tests() {
+    let text = include_str!("../fixtures/no_panic_bad.rs");
+    let bin = check_one("crates/demo/src/bin/tool.rs", text);
+    assert_eq!(bin.count("no_panic"), 0, "bin targets may unwrap");
+
+    let in_test = format!("#[cfg(test)]\nmod tests {{\n{text}\n}}\n");
+    let tst = check_one("crates/demo/src/a.rs", &in_test);
+    assert_eq!(tst.count("no_panic"), 0, "test regions may unwrap");
+}
+
+#[test]
+fn crate_hygiene_fires_and_suppresses() {
+    let text = include_str!("../fixtures/hygiene_bad.rs");
+    let bad = check_one("crates/demo/src/lib.rs", text);
+    assert_eq!(
+        bad.count("crate_hygiene"),
+        2,
+        "both attrs missing:\n{}",
+        bad.render_human()
+    );
+
+    let elsewhere = check_one("crates/demo/src/util.rs", text);
+    assert_eq!(
+        elsewhere.count("crate_hygiene"),
+        0,
+        "only crate roots are held to the attr requirement"
+    );
+
+    let sup = check_one(
+        "crates/demo/src/lib.rs",
+        include_str!("../fixtures/hygiene_suppressed.rs"),
+    );
+    assert_eq!(sup.count("crate_hygiene"), 0, "{}", sup.render_human());
+    assert_eq!(
+        suppressed(&sup, "crate_hygiene"),
+        2,
+        "file-scoped pragma counts"
+    );
+}
+
+#[test]
+fn hash_policy_fires_and_suppresses() {
+    let text = include_str!("../fixtures/hash_policy_bad.rs");
+    let bad = check_one("crates/flow/src/fix.rs", text);
+    assert!(
+        bad.count("hash_policy") >= 1,
+        "std HashMap in a hot-path crate must fire:\n{}",
+        bad.render_human()
+    );
+
+    let cold = check_one("crates/netmodel/src/fix.rs", text);
+    assert_eq!(
+        cold.count("hash_policy"),
+        0,
+        "the policy binds only the hot-path crates"
+    );
+
+    let sup = check_one(
+        "crates/flow/src/fix.rs",
+        include_str!("../fixtures/hash_policy_suppressed.rs"),
+    );
+    assert_eq!(sup.count("hash_policy"), 0, "{}", sup.render_human());
+    assert!(suppressed(&sup, "hash_policy") >= 1);
+}
+
+#[test]
+fn determinism_fires_and_suppresses() {
+    let text = include_str!("../fixtures/determinism_bad.rs");
+    let bad = check_one("crates/core/src/fix.rs", text);
+    assert_eq!(bad.count("determinism"), 1, "{}", bad.render_human());
+
+    let exempt = check_one("crates/obs/src/fix.rs", text);
+    assert_eq!(
+        exempt.count("determinism"),
+        0,
+        "mt-obs owns wall-clock reads"
+    );
+
+    let sup = check_one(
+        "crates/core/src/fix.rs",
+        include_str!("../fixtures/determinism_suppressed.rs"),
+    );
+    assert_eq!(sup.count("determinism"), 0, "{}", sup.render_human());
+    assert_eq!(suppressed(&sup, "determinism"), 1);
+}
+
+#[test]
+fn metric_names_fires_both_directions_and_suppresses() {
+    let code = include_str!("../fixtures/metric_names_bad.rs");
+
+    // Code registers a metric the catalogue does not list.
+    let ws = Workspace::in_memory(
+        vec![("crates/demo/src/a.rs", code.to_owned())],
+        Some(design_with_catalogue("mt_fixture_ghost_total")),
+    );
+    let report = run_all(&ws);
+    assert_eq!(
+        report.count("metric_names"),
+        2,
+        "one uncatalogued registration + one code-less catalogue entry:\n{}",
+        report.render_human()
+    );
+
+    // A matching catalogue is clean.
+    let ws = Workspace::in_memory(
+        vec![("crates/demo/src/a.rs", code.to_owned())],
+        Some(design_with_catalogue("mt_fixture_unlisted_total")),
+    );
+    let report = run_all(&ws);
+    assert_eq!(report.count("metric_names"), 0, "{}", report.render_human());
+
+    // Without catalogue markers the rule stands down rather than guess.
+    let ws = Workspace::in_memory(
+        vec![("crates/demo/src/a.rs", code.to_owned())],
+        Some("# Design\nno catalogue here\n".to_owned()),
+    );
+    let report = run_all(&ws);
+    assert_eq!(report.count("metric_names"), 0);
+
+    // The registration-site violation is pragma-suppressible.
+    let ws = Workspace::in_memory(
+        vec![(
+            "crates/demo/src/a.rs",
+            include_str!("../fixtures/metric_names_suppressed.rs").to_owned(),
+        )],
+        Some(design_with_catalogue("mt_fixture_unlisted_total")),
+    );
+    let report = run_all(&ws);
+    assert_eq!(report.count("metric_names"), 0, "{}", report.render_human());
+}
+
+#[test]
+fn catalogue_brace_expansion_matches_each_name() {
+    let code = r#"
+/// Registers two series.
+pub fn register(reg: &mt_obs::MetricsRegistry) {
+    reg.counter("mt_fx_read_total", "reads");
+    reg.counter("mt_fx_write_total", "writes");
+}
+"#;
+    let ws = Workspace::in_memory(
+        vec![("crates/demo/src/a.rs", code.to_owned())],
+        Some(design_with_catalogue("mt_fx_{read,write}_total")),
+    );
+    let report = run_all(&ws);
+    assert_eq!(report.count("metric_names"), 0, "{}", report.render_human());
+}
+
+fn suppressed(report: &Report, rule: &str) -> usize {
+    report
+        .rules
+        .iter()
+        .find(|r| r.id == rule)
+        .map_or(0, |r| r.suppressed)
+}

@@ -1,0 +1,101 @@
+//! Lexer totality properties.
+//!
+//! The whole tool rests on `lex` being *total* and *lossless*: any byte
+//! soup a source file could contain must come back as a token stream
+//! that tiles the input exactly, with every boundary on a char
+//! boundary. These properties are exercised on random concatenations of
+//! adversarial fragments — unterminated strings, nested block comments,
+//! raw-string fences of varying arity, char literals hiding `//`, and
+//! multibyte text — rather than on well-formed Rust only.
+
+use mt_check::lexer::lex;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Fragments chosen to sit on the lexer's decision boundaries.
+const FRAGMENTS: &[&str] = &[
+    "fn main() {}",
+    "let x = 1;",
+    "\"",
+    "\\\"",
+    "\"a string\"",
+    "\"unterminated",
+    "r\"raw\"",
+    "r#\"fenced\"#",
+    "r##\"double\"##",
+    "r#\"missing fence",
+    "r#ident",
+    "b\"bytes\"",
+    "br#\"raw bytes\"#",
+    "b'q'",
+    "'c'",
+    "'\\''",
+    "'\\\\'",
+    "'lifetime",
+    "'static ",
+    "<'a>",
+    "//",
+    "// line comment\n",
+    "/* block */",
+    "/* nested /* deeper */ still open",
+    "*/",
+    "/*! inner doc */",
+    "/// doc with \"quote\"\n",
+    "'a' // '",
+    "\n",
+    "\t ",
+    "0x1f_u64",
+    "1e9",
+    "Ordering::Relaxed",
+    ".unwrap()",
+    "é",
+    "中文",
+    "🦀",
+    "\u{0}",
+    "#![forbid(unsafe_code)]",
+    "// check: allow(no_panic, \"reason\")",
+    "{",
+    "}",
+];
+
+fn soup(indices: Vec<u8>) -> String {
+    indices
+        .into_iter()
+        .map(|i| FRAGMENTS[i as usize % FRAGMENTS.len()])
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn tokens_tile_arbitrary_fragment_soups(indices in vec(any::<u8>(), 0..64)) {
+        let src = soup(indices);
+        // `lex` must not panic on anything — reaching the assertions at
+        // all is half the property.
+        let tokens = lex(&src);
+
+        let mut pos = 0usize;
+        for t in &tokens {
+            prop_assert_eq!(
+                t.start, pos,
+                "gap or overlap at byte {} of {:?}", pos, src
+            );
+            prop_assert!(t.end > t.start, "empty token at {} of {:?}", pos, src);
+            prop_assert!(
+                src.is_char_boundary(t.start) && src.is_char_boundary(t.end),
+                "token splits a char at {}..{} of {:?}", t.start, t.end, src
+            );
+            // text() slices by the recorded range; it must not panic and
+            // must round-trip the exact bytes.
+            prop_assert_eq!(t.text(&src), &src[t.start..t.end]);
+            pos = t.end;
+        }
+        prop_assert_eq!(pos, src.len(), "tokens must cover {:?} entirely", src);
+        prop_assert_eq!(tokens.is_empty(), src.is_empty());
+    }
+
+    #[test]
+    fn lexing_is_deterministic(indices in vec(any::<u8>(), 0..48)) {
+        let src = soup(indices);
+        prop_assert_eq!(lex(&src), lex(&src));
+    }
+}

@@ -71,14 +71,8 @@ impl TypeContinentMatrix {
         let mut counts = vec![vec![0u64; NetworkType::ALL.len()]; Continent::ALL.len()];
         for block in dark.iter() {
             if let Some(a) = net.as_of_block(block) {
-                let ci = Continent::ALL
-                    .iter()
-                    .position(|&c| c == a.continent)
-                    .unwrap();
-                let ti = NetworkType::ALL
-                    .iter()
-                    .position(|&t| t == a.network_type)
-                    .unwrap();
+                let ci = a.continent.index();
+                let ti = a.network_type.index();
                 counts[ci][ti] += 1;
             }
         }
@@ -87,20 +81,20 @@ impl TypeContinentMatrix {
 
     /// Count for one cell.
     pub fn get(&self, continent: Continent, ty: NetworkType) -> u64 {
-        let ci = Continent::ALL.iter().position(|&c| c == continent).unwrap();
-        let ti = NetworkType::ALL.iter().position(|&t| t == ty).unwrap();
+        let ci = continent.index();
+        let ti = ty.index();
         self.counts[ci][ti]
     }
 
     /// Row total for a continent.
     pub fn continent_total(&self, continent: Continent) -> u64 {
-        let ci = Continent::ALL.iter().position(|&c| c == continent).unwrap();
+        let ci = continent.index();
         self.counts[ci].iter().sum()
     }
 
     /// Column total for a network type.
     pub fn type_total(&self, ty: NetworkType) -> u64 {
-        let ti = NetworkType::ALL.iter().position(|&t| t == ty).unwrap();
+        let ti = ty.index();
         self.counts.iter().map(|row| row[ti]).sum()
     }
 

@@ -112,9 +112,11 @@ pub fn run_pipelines_parallel(
             });
         }
     })
+    // check: allow(no_panic, "scope() errs only if a worker panicked; re-raising on the coordinator is intended")
     .expect("pipeline worker panicked");
     results
         .into_iter()
+        // check: allow(no_panic, "the scope above writes every slot exactly once before joining")
         .map(|m| m.into_inner().expect("filled"))
         .collect()
 }

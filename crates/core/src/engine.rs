@@ -390,6 +390,7 @@ impl PipelineEngine {
         threads: usize,
     ) -> PipelineResult {
         assert!(threads >= 1);
+        // check: allow(determinism, "wall-clock only feeds the metrics histograms; no pipeline decision or output reads it")
         let started = self.metrics.as_ref().map(|_| Instant::now());
         let special = SpecialRegistry::new();
         let env = self.env(rib, &special, sampling_rate, days, config);
@@ -407,6 +408,7 @@ impl PipelineEngine {
                 });
             }
         })
+        // check: allow(no_panic, "scope() errs only if a worker panicked; re-raising on the coordinator is intended")
         .expect("pipeline shard worker panicked");
 
         // Fold into three dense sets allocated once; the per-shard
@@ -420,6 +422,7 @@ impl PipelineEngine {
         };
         let mut stage_nanos = vec![0u64; self.stages.len()];
         for slot in slots {
+            // check: allow(no_panic, "the scope above writes every slot exactly once before joining")
             let part = slot.into_inner().expect("filled");
             for b in part.dark {
                 folded.dark.insert(b);
@@ -443,6 +446,7 @@ impl PipelineEngine {
     }
 
     fn run_view<V: TrafficView>(&self, stats: &V, env: &StageEnv<'_>) -> PipelineResult {
+        // check: allow(determinism, "wall-clock only feeds the metrics histograms; no pipeline decision or output reads it")
         let started = self.metrics.as_ref().map(|_| Instant::now());
         let part = self.run_view_sparse(stats, env, self.metrics.is_some());
         if let (Some(metrics), Some(started)) = (&self.metrics, started) {
@@ -480,6 +484,7 @@ impl PipelineEngine {
             let ctx = BlockCtx::new(block, d, &src_lookup);
             for (i, stage) in self.stages.iter().enumerate() {
                 let decision = if timed {
+                    // check: allow(determinism, "wall-clock only feeds the metrics histograms; no pipeline decision or output reads it")
                     let t0 = Instant::now();
                     let v = stage.apply(&ctx, env);
                     stage_nanos[i] += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);

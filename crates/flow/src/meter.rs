@@ -10,8 +10,7 @@
 //! packet-level inputs (e.g. replayed pcaps) through the same pipeline.
 
 use crate::record::FlowRecord;
-use mt_types::{Ipv4, SimDuration, SimTime};
-use std::collections::HashMap;
+use mt_types::{FxHashMap, Ipv4, SimDuration, SimTime};
 
 /// A flow cache key: the classic 5-tuple.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -77,7 +76,10 @@ struct CacheEntry {
 pub struct FlowMeter {
     active_timeout: SimDuration,
     idle_timeout: SimDuration,
-    cache: HashMap<FlowKey, CacheEntry>,
+    /// The flow cache. Keyed by 5-tuple; FxHashMap per the hot-path
+    /// hash policy (drain order is made deterministic by sorting, never
+    /// by relying on the hasher).
+    cache: FxHashMap<FlowKey, CacheEntry>,
     clock: SimTime,
     /// Expiry check bookkeeping: scan the cache at most once per second
     /// of simulated time to keep observe() amortised O(1).
@@ -94,7 +96,7 @@ impl FlowMeter {
         FlowMeter {
             active_timeout,
             idle_timeout,
-            cache: HashMap::new(),
+            cache: FxHashMap::default(),
             clock: SimTime::EPOCH,
             next_sweep: SimTime::EPOCH,
             expired: Vec::new(),
@@ -143,7 +145,6 @@ impl FlowMeter {
             };
             self.expired.push(record);
         }
-        let entry = self.cache.get_mut(&packet.key).expect("just inserted");
         entry.last = packet.time;
         entry.packets += 1;
         entry.octets += u64::from(packet.length);

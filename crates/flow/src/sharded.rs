@@ -163,6 +163,7 @@ impl ShardedTrafficStats {
                 });
             }
         })
+        // check: allow(no_panic, "scope() errs only if a worker panicked; re-raising on the coordinator is intended")
         .expect("sharded ingest worker panicked");
     }
 
@@ -227,6 +228,7 @@ impl ShardedTrafficStats {
                 });
             }
         })
+        // check: allow(no_panic, "scope() errs only if a worker panicked; re-raising on the coordinator is intended")
         .expect("sharded reduce worker panicked");
         out
     }
@@ -236,6 +238,7 @@ impl ShardedTrafficStats {
     /// disjoint, so blocks are moved, not re-merged.
     pub fn into_unsharded(self) -> TrafficStats {
         let mut shards = self.shards.into_iter();
+        // check: allow(no_panic, "with_size_threshold asserts num_shards > 0, so the iterator is never empty")
         let mut out = shards.next().expect("at least one shard");
         for shard in shards {
             out.absorb_disjoint(shard);

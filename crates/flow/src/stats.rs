@@ -206,7 +206,11 @@ impl DstBlockStats {
                 return Some(size);
             }
         }
-        unreachable!("histogram counts sum to tcp_packets");
+        // The histogram counts sum to tcp_packets, so the loop always
+        // crosses `half`; the largest recorded size is the correct
+        // answer if that invariant ever slipped, and it keeps this
+        // accessor total instead of a panic path.
+        self.tcp_sizes.last().map(|&(size, _)| size)
     }
 
     /// The TCP size histogram, sorted by size.

@@ -269,8 +269,10 @@ impl Internet {
             let span = tc.num_blocks.next_power_of_two();
             let first = alloc
                 .alloc(span)
+                // check: allow(no_panic, "world construction fails fast on an over-subscribed config; a clear panic at setup is the contract")
                 .expect("address space exhausted placing telescope");
             let len = 24 - span.trailing_zeros() as u8;
+            // check: allow(no_panic, "alloc returns spans aligned to their power-of-two size, so the base has no host bits")
             let prefix = Prefix::new(first.base(), len).expect("aligned allocation");
             let mut ann = Announcement {
                 prefix,
@@ -304,6 +306,7 @@ impl Internet {
                     let span = remaining.min(256).next_power_of_two().min(256);
                     if let Some(first) = alloc.alloc(span) {
                         let len = 24 - span.trailing_zeros() as u8;
+                        // check: allow(no_panic, "alloc returns spans aligned to their power-of-two size, so the base has no host bits")
                         let prefix = Prefix::new(first.base(), len).expect("aligned");
                         let mut ann = Announcement {
                             prefix,
@@ -337,6 +340,7 @@ impl Internet {
                     // ×3.3 compensates for conditioning on NA+edu/ent
                     // (~30% of ASes) so the overall fraction matches.
                     if let Some(first) = alloc.alloc(1 << 16) {
+                        // check: allow(no_panic, "alloc returns spans aligned to their power-of-two size, so the base has no host bits")
                         let prefix = Prefix::new(first.base(), 8).expect("aligned /8");
                         let mut ann = Announcement {
                             prefix,
@@ -375,6 +379,7 @@ impl Internet {
                 let Some(first) = alloc.alloc(span) else {
                     break;
                 };
+                // check: allow(no_panic, "alloc returns spans aligned to their power-of-two size, so the base has no host bits")
                 let prefix = Prefix::new(first.base(), len).expect("aligned");
                 let mut ann = Announcement {
                     prefix,
@@ -435,6 +440,7 @@ impl Internet {
                 .iter()
                 .find(|(c, _)| *c == profile.continent)
                 .map(|(_, list)| *list)
+                // check: allow(no_panic, "COUNTRIES_BY_CONTINENT covers every Continent variant; a gap is a static-table bug worth failing fast at setup")
                 .expect("profile continents are in the static table");
             // The first country of each continent list is its largest
             // economy; weight it heavily (US-heavy NA, CN-heavy Asia...).

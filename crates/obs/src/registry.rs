@@ -39,6 +39,10 @@ impl Counter {
 
     /// Adds `n`.
     pub fn add(&self, n: u64) {
+        // ordering: Relaxed — hot-path increment of a single monotone cell;
+        // no other memory is published with it. Cross-metric consistency
+        // comes from snapshotting at quiescent points (under the registry
+        // lock, after the flush barriers), not from per-op ordering.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -50,14 +54,22 @@ impl Counter {
     /// those structs depend on it. Callers own the monotonicity
     /// contract; the store saturates downward (a smaller value than the
     /// current one is ignored) so a stale republish cannot make a
-    /// counter appear to regress.
+    /// counter appear to regress. Republishing is a *publication*: a
+    /// reader that observes the new total (via the `Acquire` load in
+    /// [`Counter::get`]) also observes every write the publisher made
+    /// before calling this.
     pub fn set_total(&self, total: u64) {
-        self.0.fetch_max(total, Ordering::Relaxed);
+        // ordering: AcqRel — the Release half publishes the writes that
+        // produced this total (pairs with the Acquire load in get());
+        // the Acquire half orders chained republishes off the same cell.
+        self.0.fetch_max(total, Ordering::AcqRel);
     }
 
     /// The current count.
     pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        // ordering: Acquire — pairs with the Release in set_total(), so a
+        // reader seeing a republished total also sees the writes behind it.
+        self.0.load(Ordering::Acquire)
     }
 }
 
@@ -68,18 +80,24 @@ pub struct Gauge(Arc<AtomicU64>);
 impl Gauge {
     /// Sets the gauge.
     pub fn set(&self, v: u64) {
-        self.0.store(v, Ordering::Relaxed);
+        // ordering: Release — gauges republish state owned elsewhere
+        // (queue depth, window counts); pairing with the Acquire load in
+        // get() makes the writes behind the published value visible too.
+        self.0.store(v, Ordering::Release);
     }
 
     /// Sets the gauge to the maximum of its current value and `v`
     /// (high-water-mark upkeep).
     pub fn set_max(&self, v: u64) {
-        self.0.fetch_max(v, Ordering::Relaxed);
+        // ordering: AcqRel — Release publishes like set(); Acquire orders
+        // competing high-water-mark updates off the same cell.
+        self.0.fetch_max(v, Ordering::AcqRel);
     }
 
     /// The current value.
     pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        // ordering: Acquire — pairs with the Release in set()/set_max().
+        self.0.load(Ordering::Acquire)
     }
 }
 
@@ -117,9 +135,13 @@ impl Histogram {
     pub fn observe(&self, v: u64) {
         let core = &self.0;
         let idx = core.bounds.partition_point(|&b| b < v);
+        // ordering: Relaxed ×3 — hot-path increments of independent
+        // monotone cells. bucket/sum/count agree with each other only at
+        // quiescent points (see the registry docs); mid-run readers may
+        // see a bucket ahead of the count, which exposition tolerates.
         core.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        core.sum.fetch_add(v, Ordering::Relaxed);
-        core.count.fetch_add(1, Ordering::Relaxed);
+        core.sum.fetch_add(v, Ordering::Relaxed); // ordering: Relaxed — see above
+        core.count.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — see above
     }
 
     /// Starts a span: the guard observes the elapsed wall-clock
@@ -133,11 +155,16 @@ impl Histogram {
 
     /// Total observations.
     pub fn count(&self) -> u64 {
+        // ordering: Relaxed — meaningful reads happen after a quiescent
+        // point (thread join / flush barrier) whose own synchronization
+        // makes all prior observes visible; a mid-run read is a monotone
+        // lower bound, which progress reporting tolerates.
         self.0.count.load(Ordering::Relaxed)
     }
 
     /// Sum of all observed values.
     pub fn sum(&self) -> u64 {
+        // ordering: Relaxed — same quiescent-point argument as count().
         self.0.sum.load(Ordering::Relaxed)
     }
 }
@@ -206,6 +233,17 @@ struct Inner {
 /// under the lock in one pass; because the system snapshots at its
 /// quiescent points (window close barriers, end of run), the snapshot
 /// is consistent across metrics there.
+///
+/// Memory ordering follows a two-tier discipline. Event-site updates
+/// ([`Counter::add`], [`Histogram::observe`]) are `Relaxed`: each is a
+/// single monotone cell, and cross-metric agreement is provided by the
+/// quiescent-point synchronization (joins and flush barriers), not by
+/// the atomics. Republishing ops ([`Counter::set_total`],
+/// [`Gauge::set`], [`Gauge::set_max`]) are `Release` (or `AcqRel`) and
+/// the scalar getters are `Acquire`, so a reader that observes a
+/// republished value also observes every write the publisher made
+/// before republishing — health snapshots taken off a live gauge can
+/// trust what they see even between barriers.
 #[derive(Default)]
 pub struct MetricsRegistry {
     inner: Mutex<Inner>,
@@ -216,6 +254,7 @@ impl std::fmt::Debug for MetricsRegistry {
         let n = self
             .inner
             .lock()
+            // check: allow(no_panic, "poisoning means a registrant panicked mid-registration; re-raising is the only honest report")
             .expect("registry lock poisoned")
             .entries
             .len();
@@ -250,6 +289,7 @@ impl MetricsRegistry {
             .iter()
             .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
             .collect();
+        // check: allow(no_panic, "poisoning means a registrant panicked mid-registration; re-raising is the only honest report")
         let mut inner = self.inner.lock().expect("registry lock poisoned");
         let key = (name.to_owned(), labels.clone());
         if let Some(&i) = inner.index.get(&key) {
@@ -294,6 +334,7 @@ impl MetricsRegistry {
             Slot::Counter(Counter(Arc::new(AtomicU64::new(0))))
         }) {
             Slot::Counter(c) => c,
+            // check: allow(no_panic, "register() returns the slot created by make (or an existing one it kind-checked against make's), so the variant always matches the constructor")
             _ => unreachable!("registered as counter"),
         }
     }
@@ -309,6 +350,7 @@ impl MetricsRegistry {
             Slot::Gauge(Gauge(Arc::new(AtomicU64::new(0))))
         }) {
             Slot::Gauge(g) => g,
+            // check: allow(no_panic, "register() returns the slot created by make (or an existing one it kind-checked against make's), so the variant always matches the constructor")
             _ => unreachable!("registered as gauge"),
         }
     }
@@ -340,6 +382,7 @@ impl MetricsRegistry {
             })))
         }) {
             Slot::Histogram(h) => h,
+            // check: allow(no_panic, "register() returns the slot created by make (or an existing one it kind-checked against make's), so the variant always matches the constructor")
             _ => unreachable!("registered as histogram"),
         }
     }
@@ -347,6 +390,7 @@ impl MetricsRegistry {
     /// Reads every registered series into a [`Snapshot`], sorted by
     /// `(name, labels)` so exposition output is deterministic.
     pub fn snapshot(&self) -> Snapshot {
+        // check: allow(no_panic, "poisoning means a registrant panicked mid-registration; re-raising is the only honest report")
         let inner = self.inner.lock().expect("registry lock poisoned");
         let mut samples: Vec<Sample> = inner
             .entries
@@ -362,13 +406,17 @@ impl MetricsRegistry {
                         let core = &h.0;
                         SampleValue::Histogram(HistogramSample {
                             bounds: core.bounds.clone(),
+                            // ordering: Relaxed ×3 — snapshots are taken at
+                            // quiescent points; the barrier/join that made
+                            // the system quiescent already ordered every
+                            // observe before these loads.
                             buckets: core
                                 .buckets
                                 .iter()
-                                .map(|b| b.load(Ordering::Relaxed))
+                                .map(|b| b.load(Ordering::Relaxed)) // ordering: Relaxed — see above
                                 .collect(),
-                            sum: core.sum.load(Ordering::Relaxed),
-                            count: core.count.load(Ordering::Relaxed),
+                            sum: core.sum.load(Ordering::Relaxed), // ordering: Relaxed — see above
+                            count: core.count.load(Ordering::Relaxed), // ordering: Relaxed — see above
                         })
                     }
                 },
@@ -570,6 +618,41 @@ mod tests {
     #[should_panic(expected = "invalid metric name")]
     fn bad_name_is_rejected() {
         MetricsRegistry::new().counter("1bad-name", "");
+    }
+
+    /// Pins the Release/Acquire publish contract: a reader that
+    /// observes counter `b`'s republished total must also observe the
+    /// `a` republish that happened before it on the publisher thread.
+    /// Under the old all-Relaxed scheme nothing ordered the two cells
+    /// and a snapshot between barriers could see `b` ahead of `a`.
+    #[test]
+    fn republish_order_is_visible() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let a = reg.counter("mt_pub_a_total", "");
+        let b = reg.counter("mt_pub_b_total", "");
+        let stop = Arc::new(AtomicU64::new(0));
+
+        let publisher = {
+            let (a, b, stop) = (a.clone(), b.clone(), stop.clone());
+            std::thread::spawn(move || {
+                for i in 1..=20_000u64 {
+                    a.set_total(i);
+                    b.set_total(i);
+                }
+                stop.store(1, Ordering::Release);
+            })
+        };
+        // b is republished after a, so any observed b-total must be
+        // matched or exceeded by the a-total read *after* it.
+        // ordering: Acquire — test observes the publisher's stop flag.
+        while stop.load(Ordering::Acquire) == 0 {
+            let tb = b.get();
+            let ta = a.get();
+            assert!(ta >= tb, "saw b={tb} published but a={ta} behind it");
+        }
+        publisher.join().unwrap();
+        assert_eq!(a.get(), 20_000);
+        assert_eq!(b.get(), 20_000);
     }
 
     #[test]

@@ -46,11 +46,7 @@ impl BatchPool {
 
     /// Hands out an empty buffer, reusing a pooled one when available.
     pub fn take(&self) -> Vec<FlowRecord> {
-        self.free
-            .lock()
-            .expect("batch pool poisoned")
-            .pop()
-            .unwrap_or_default()
+        crate::sync::lock(&self.free).pop().unwrap_or_default()
     }
 
     /// Returns a buffer to the pool. The contents are cleared; the
@@ -60,7 +56,7 @@ impl BatchPool {
         if buf.capacity() == 0 {
             return;
         }
-        let mut free = self.free.lock().expect("batch pool poisoned");
+        let mut free = crate::sync::lock(&self.free);
         if free.len() < self.max_pooled {
             free.push(buf);
         }
@@ -68,7 +64,7 @@ impl BatchPool {
 
     /// Number of idle buffers currently pooled.
     pub fn pooled(&self) -> usize {
-        self.free.lock().expect("batch pool poisoned").len()
+        crate::sync::lock(&self.free).len()
     }
 }
 

@@ -61,6 +61,7 @@ pub mod collector;
 pub mod queue;
 pub mod scheduler;
 pub mod service;
+mod sync;
 pub mod window;
 
 pub use batch::{BatchPool, RecordBatch};

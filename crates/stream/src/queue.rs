@@ -124,7 +124,7 @@ impl<T> BoundedQueue<T> {
     /// that wait the item is rejected as [`PushOutcome::Closed`] and
     /// counted in [`QueueStats::rejected_closed`].
     pub fn push(&self, item: T) -> PushOutcome {
-        let mut g = self.inner.lock().expect("queue lock poisoned");
+        let mut g = crate::sync::lock(&self.inner);
         loop {
             if g.closed {
                 g.stats.rejected_closed += 1;
@@ -135,7 +135,7 @@ impl<T> BoundedQueue<T> {
             }
             match self.policy {
                 OverflowPolicy::Block => {
-                    g = self.not_full.wait(g).expect("queue lock poisoned");
+                    g = crate::sync::wait(&self.not_full, g);
                 }
                 OverflowPolicy::DropNewest => {
                     g.stats.dropped += 1;
@@ -158,7 +158,7 @@ impl<T> BoundedQueue<T> {
     /// `None` once the queue is closed *and* drained — the consumer's
     /// shutdown signal.
     pub fn pop(&self) -> Option<T> {
-        let mut g = self.inner.lock().expect("queue lock poisoned");
+        let mut g = crate::sync::lock(&self.inner);
         loop {
             if let Some(item) = g.items.pop_front() {
                 g.stats.popped += 1;
@@ -169,14 +169,14 @@ impl<T> BoundedQueue<T> {
             if g.closed {
                 return None;
             }
-            g = self.not_empty.wait(g).expect("queue lock poisoned");
+            g = crate::sync::wait(&self.not_empty, g);
         }
     }
 
     /// Closes the queue: further pushes are rejected, and consumers
     /// drain what remains before seeing `None`.
     pub fn close(&self) {
-        let mut g = self.inner.lock().expect("queue lock poisoned");
+        let mut g = crate::sync::lock(&self.inner);
         g.closed = true;
         drop(g);
         self.not_empty.notify_all();
@@ -185,7 +185,7 @@ impl<T> BoundedQueue<T> {
 
     /// Current queue depth.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue lock poisoned").items.len()
+        crate::sync::lock(&self.inner).items.len()
     }
 
     /// Whether the queue is currently empty.
@@ -195,7 +195,7 @@ impl<T> BoundedQueue<T> {
 
     /// A snapshot of the lifetime counters.
     pub fn stats(&self) -> QueueStats {
-        self.inner.lock().expect("queue lock poisoned").stats
+        crate::sync::lock(&self.inner).stats
     }
 }
 

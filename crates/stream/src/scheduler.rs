@@ -146,13 +146,16 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> WindowScheduler<F> {
             }
             self.next_rib_day = self.next_rib_day.next();
         }
-        match &mut self.cumulative {
-            None => self.cumulative = Some(stats),
-            Some(c) => c.merge(&stats),
-        }
+        let cumulative = match self.cumulative.take() {
+            None => self.cumulative.insert(stats),
+            Some(mut c) => {
+                c.merge(&stats);
+                self.cumulative.insert(c)
+            }
+        };
         let span_days = day.0 - first.0 + 1;
         let combined_result = self.engine.run_sharded(
-            self.cumulative.as_ref().expect("just inserted"),
+            cumulative,
             &self.union_rib,
             self.cfg.sampling_rate,
             span_days,

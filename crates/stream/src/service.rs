@@ -29,10 +29,10 @@ use crate::window::{Gate, WindowTracker};
 use mt_core::pipeline::PipelineConfig;
 use mt_flow::{FlowRecord, ShardedTrafficStats};
 use mt_obs::{Counter, MetricsRegistry};
-use mt_types::{Asn, Day, PrefixTrie, SimDuration};
+use mt_types::{Asn, Day, FxHashMap, PrefixTrie, SimDuration};
 use mt_wire::ipfix::IpfixFlow;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -232,7 +232,7 @@ struct Shared {
     /// steady-state ingest allocates nothing per batch.
     pool: BatchPool,
     /// Per-worker per-day accumulators, indexed by worker.
-    workers: Vec<Mutex<HashMap<Day, ShardedTrafficStats>>>,
+    workers: Vec<Mutex<FxHashMap<Day, ShardedTrafficStats>>>,
     /// Per-worker `mt_ingest_records_total` counters, indexed like
     /// `workers`; incremented at the event site as batches are folded.
     ingest_counters: Vec<Counter>,
@@ -254,7 +254,7 @@ pub struct StreamService<F> {
     windows: Vec<WindowReport>,
     combined: Vec<CombinedReport>,
     /// Records enqueued per open window.
-    window_records: HashMap<Day, u64>,
+    window_records: FxHashMap<Day, u64>,
     /// Per-exporter window-gate counters: (late, dropped).
     gate_counts: BTreeMap<String, (u64, u64)>,
     dropped_backpressure: u64,
@@ -299,7 +299,7 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> StreamService<F> {
             // grouping — that bounds how many buffers recycling needs.
             pool: BatchPool::new(cfg.queue_capacity + cfg.ingest_threads + 1),
             workers: (0..cfg.ingest_threads)
-                .map(|_| Mutex::new(HashMap::new()))
+                .map(|_| Mutex::new(FxHashMap::default()))
                 .collect(),
             ingest_counters,
             progress: Mutex::new(Progress::default()),
@@ -335,7 +335,7 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> StreamService<F> {
             handles,
             windows: Vec::new(),
             combined: Vec::new(),
-            window_records: HashMap::new(),
+            window_records: FxHashMap::default(),
             gate_counts: BTreeMap::new(),
             dropped_backpressure: 0,
             rejected_closed: 0,
@@ -410,11 +410,7 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> StreamService<F> {
             let n = records.len() as u64;
             match self.shared.queue.push(RecordBatch { day, records }) {
                 PushOutcome::Accepted => {
-                    self.shared
-                        .progress
-                        .lock()
-                        .expect("progress lock poisoned")
-                        .pushed += n;
+                    crate::sync::lock(&self.shared.progress).pushed += n;
                     *self.window_records.entry(day).or_default() += n;
                 }
                 PushOutcome::Shed => self.dropped_backpressure += n,
@@ -439,12 +435,8 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> StreamService<F> {
     /// Epoch barrier: waits until the workers have ingested every
     /// record pushed so far.
     fn flush(&self) {
-        let g = self.shared.progress.lock().expect("progress lock poisoned");
-        let _g = self
-            .shared
-            .drained
-            .wait_while(g, |p| p.processed < p.pushed)
-            .expect("progress lock poisoned");
+        let g = crate::sync::lock(&self.shared.progress);
+        let _g = crate::sync::wait_while(&self.shared.drained, g, |p| p.processed < p.pushed);
     }
 
     /// Merges the per-worker accumulators of `day` (worker-index order)
@@ -452,7 +444,7 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> StreamService<F> {
     fn close_window(&mut self, day: Day) {
         let mut merged: Option<ShardedTrafficStats> = None;
         for w in &self.shared.workers {
-            let part = w.lock().expect("worker state poisoned").remove(&day);
+            let part = crate::sync::lock(w).remove(&day);
             if let Some(part) = part {
                 match &mut merged {
                     None => merged = Some(part),
@@ -619,6 +611,7 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> StreamService<F> {
         }
         self.shared.queue.close();
         for h in self.handles.drain(..) {
+            // check: allow(no_panic, "join() errs only if the worker panicked; re-raising on the coordinator is intended")
             h.join().expect("ingest worker panicked");
         }
         let health = self.health();
@@ -644,7 +637,7 @@ fn ingest_worker(shared: &Shared, index: usize) {
     while let Some(batch) = shared.queue.pop() {
         let n = batch.records.len() as u64;
         {
-            let mut days = shared.workers[index].lock().expect("worker state poisoned");
+            let mut days = crate::sync::lock(&shared.workers[index]);
             let stats = days.entry(batch.day).or_insert_with(|| {
                 ShardedTrafficStats::with_size_threshold(shared.num_shards, shared.size_threshold)
             });
@@ -657,7 +650,7 @@ fn ingest_worker(shared: &Shared, index: usize) {
         // (processed == pushed) also implies the ingest counters are
         // complete — health snapshots at quiescent points stay exact.
         shared.ingest_counters[index].add(n);
-        let mut p = shared.progress.lock().expect("progress lock poisoned");
+        let mut p = crate::sync::lock(&shared.progress);
         p.processed += n;
         drop(p);
         shared.drained.notify_all();

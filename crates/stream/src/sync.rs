@@ -1,0 +1,40 @@
+//! Lock helpers that centralise this crate's poisoning policy.
+//!
+//! A `std::sync` mutex is poisoned only when a thread panicked while
+//! holding it. Every lock in this crate guards plain counters or
+//! accumulator maps with no partially-applied invariants, but a panic in
+//! an ingest worker still means the run's numbers can no longer be
+//! trusted — so the policy is to re-raise the panic on whoever touches
+//! the lock next rather than limp on with `into_inner`. These helpers
+//! state (and pragma) that decision once instead of at each of the
+//! crate's lock sites.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Acquires `mutex`, re-raising any panic that poisoned it.
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    // check: allow(no_panic, "poisoning means a holder panicked; re-raising on the next toucher is the crate-wide policy stated at module level")
+    mutex.lock().expect("stream lock poisoned")
+}
+
+/// Blocks on `condvar`, re-raising any panic that poisoned the lock.
+pub(crate) fn wait<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    // check: allow(no_panic, "poisoning means a holder panicked; re-raising on the next toucher is the crate-wide policy stated at module level")
+    condvar.wait(guard).expect("stream lock poisoned")
+}
+
+/// Blocks on `condvar` until `cond` turns false, re-raising any panic
+/// that poisoned the lock.
+pub(crate) fn wait_while<'a, T, F>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+    cond: F,
+) -> MutexGuard<'a, T>
+where
+    F: FnMut(&mut T) -> bool,
+{
+    condvar
+        .wait_while(guard, cond)
+        // check: allow(no_panic, "poisoning means a holder panicked; re-raising on the next toucher is the crate-wide policy stated at module level")
+        .expect("stream lock poisoned")
+}

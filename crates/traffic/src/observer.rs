@@ -282,6 +282,7 @@ impl<'a> TelescopeObserver<'a> {
     /// Enables pcap capture of up to `limit` representative packets.
     pub fn enable_pcap(&mut self, limit: u32) {
         let writer = pcap::Writer::new(Vec::new(), pcap::LINKTYPE_RAW)
+            // check: allow(no_panic, "io::Write on Vec<u8> is infallible; the Writer generic forces the Result")
             .expect("writing to a Vec cannot fail");
         self.pcap = Some(PcapSink {
             writer,
@@ -292,6 +293,7 @@ impl<'a> TelescopeObserver<'a> {
     /// Finishes and returns the pcap bytes, if capture was enabled.
     pub fn pcap_bytes(self) -> Option<Vec<u8>> {
         self.pcap
+            // check: allow(no_panic, "io::Write on Vec<u8> is infallible; the Writer generic forces the Result")
             .map(|p| p.writer.finish().expect("Vec write cannot fail"))
     }
 
@@ -354,6 +356,7 @@ impl<'a> TelescopeObserver<'a> {
                 let bytes = craft_packet(&e.intent);
                 p.writer
                     .write_packet(e.intent.start.0 as u32, 0, &bytes)
+                    // check: allow(no_panic, "io::Write on Vec<u8> is infallible; the Writer generic forces the Result")
                     .expect("Vec write cannot fail");
             }
         }

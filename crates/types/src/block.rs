@@ -51,6 +51,7 @@ impl Block24 {
 
     /// The /24 as a [`Prefix`].
     pub fn prefix(self) -> Prefix {
+        // check: allow(no_panic, "base() is the block index shifted left 8 bits, so the 8 host bits are zero")
         Prefix::new(self.base(), 24).expect("a /24 base has no host bits set")
     }
 }
@@ -245,6 +246,7 @@ impl Block24Set {
             // Extend the contiguous run.
             let mut last = first;
             while iter.peek() == Some(&Block24(last.0 + 1)) {
+                // check: allow(no_panic, "the loop guard just peeked Some for this element")
                 last = iter.next().expect("peeked");
             }
             // Emit aligned power-of-two chunks covering [first, last].
@@ -265,6 +267,7 @@ impl Block24Set {
                 let len = 24 - size.trailing_zeros() as u8;
                 out.push(
                     Prefix::new(Block24(start).base(), len)
+                        // check: allow(no_panic, "size is a power of two dividing start, so start.base() is aligned to the emitted length")
                         .expect("aligned chunk has no host bits"),
                 );
                 start += size;

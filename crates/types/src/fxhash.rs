@@ -12,6 +12,7 @@
 //! No crates.io dependency is involved; the whole implementation is a
 //! few dozen lines and pinned by tests below.
 
+// check: allow(hash_policy, "definition site: the Fx aliases below wrap these std types with the fast hasher")
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasher, Hasher};
 
@@ -114,9 +115,11 @@ impl BuildHasher for FxBuildHasher {
 }
 
 /// A `HashMap` using [`FxBuildHasher`] — the workspace's hot-path map.
+// check: allow(hash_policy, "definition site of the sanctioned alias")
 pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
 
 /// A `HashSet` using [`FxBuildHasher`].
+// check: allow(hash_policy, "definition site of the sanctioned alias")
 pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
 
 #[cfg(test)]

@@ -43,6 +43,13 @@ impl Continent {
         Continent::International,
     ];
 
+    /// This continent's position in [`Continent::ALL`] (the row index
+    /// in the paper's tables). The declaration order matches `ALL`, so
+    /// this is a cast, not a search — pinned by a test below.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
     /// Two-letter abbreviation as used in the paper's figures.
     pub const fn abbrev(self) -> &'static str {
         match self {
@@ -85,6 +92,7 @@ impl Country {
 
     /// The code as a string slice.
     pub fn as_str(&self) -> &str {
+        // check: allow(no_panic, "Country::new rejects anything but two ASCII letters, so the bytes are valid UTF-8")
         std::str::from_utf8(&self.0).expect("country codes are ASCII")
     }
 }
@@ -125,6 +133,13 @@ impl NetworkType {
         NetworkType::Education,
         NetworkType::DataCenter,
     ];
+
+    /// This type's position in [`NetworkType::ALL`] (the column index
+    /// in the paper's tables). The declaration order matches `ALL`, so
+    /// this is a cast, not a search — pinned by a test below.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
 
     /// Human-readable label matching the paper's tables.
     pub const fn label(self) -> &'static str {
@@ -247,5 +262,15 @@ mod tests {
     fn network_type_labels() {
         assert_eq!(NetworkType::DataCenter.label(), "Data Center");
         assert_eq!(NetworkType::ALL.len(), 4);
+    }
+
+    #[test]
+    fn index_agrees_with_all_order() {
+        for (i, c) in Continent::ALL.into_iter().enumerate() {
+            assert_eq!(c.index(), i, "{c:?} out of place in Continent::ALL");
+        }
+        for (i, t) in NetworkType::ALL.into_iter().enumerate() {
+            assert_eq!(t.index(), i, "{t:?} out of place in NetworkType::ALL");
+        }
     }
 }

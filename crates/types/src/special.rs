@@ -76,6 +76,7 @@ impl SpecialRegistry {
     pub fn new() -> Self {
         let trie = SPECIAL_RANGES
             .iter()
+            // check: allow(no_panic, "SPECIAL_RANGES is a static table validated by the tests below; a typo should fail loudly at startup")
             .map(|&(s, u)| (s.parse::<Prefix>().expect("static table parses"), u))
             .collect();
         SpecialRegistry { trie }

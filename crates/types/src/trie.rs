@@ -168,6 +168,7 @@ impl<V> PrefixTrie<V> {
         if let Some(v) = node.value.as_ref() {
             let base = if depth == 0 { 0 } else { acc << (32 - depth) };
             out.push((
+                // check: allow(no_panic, "base is acc shifted left by 32-depth, so bits below the prefix length are zero by construction")
                 Prefix::new(Ipv4(base), depth).expect("trie paths have no host bits"),
                 v,
             ));

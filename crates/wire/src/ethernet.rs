@@ -62,17 +62,17 @@ impl<T: AsRef<[u8]>> Frame<T> {
 
     /// Destination MAC.
     pub fn dst(&self) -> MacAddr {
-        MacAddr(self.buffer.as_ref()[field::DST].try_into().unwrap())
+        MacAddr(crate::bytes::array(self.buffer.as_ref(), field::DST))
     }
 
     /// Source MAC.
     pub fn src(&self) -> MacAddr {
-        MacAddr(self.buffer.as_ref()[field::SRC].try_into().unwrap())
+        MacAddr(crate::bytes::array(self.buffer.as_ref(), field::SRC))
     }
 
     /// EtherType.
     pub fn ethertype(&self) -> u16 {
-        u16::from_be_bytes(self.buffer.as_ref()[field::ETHERTYPE].try_into().unwrap())
+        crate::bytes::be_u16(self.buffer.as_ref(), field::ETHERTYPE)
     }
 
     /// The encapsulated payload.

@@ -86,12 +86,12 @@ impl<T: AsRef<[u8]>> Packet<T> {
 
     /// Echo identifier (meaningful for echo messages).
     pub fn echo_ident(&self) -> u16 {
-        u16::from_be_bytes(self.buffer.as_ref()[4..6].try_into().unwrap())
+        crate::bytes::be_u16(self.buffer.as_ref(), 4..6)
     }
 
     /// Echo sequence number (meaningful for echo messages).
     pub fn echo_seq(&self) -> u16 {
-        u16::from_be_bytes(self.buffer.as_ref()[6..8].try_into().unwrap())
+        crate::bytes::be_u16(self.buffer.as_ref(), 6..8)
     }
 
     /// Payload after the 8-byte header.

@@ -83,7 +83,7 @@ impl<T: AsRef<[u8]>> Packet<T> {
 
     /// The total length field: header plus payload, in bytes.
     pub fn total_len(&self) -> u16 {
-        u16::from_be_bytes(self.buffer.as_ref()[field::LENGTH].try_into().unwrap())
+        crate::bytes::be_u16(self.buffer.as_ref(), field::LENGTH)
     }
 
     /// Time to live.
@@ -103,17 +103,17 @@ impl<T: AsRef<[u8]>> Packet<T> {
 
     /// Source address.
     pub fn src(&self) -> Ipv4 {
-        Ipv4::from_octets(self.buffer.as_ref()[field::SRC].try_into().unwrap())
+        Ipv4::from_octets(crate::bytes::array(self.buffer.as_ref(), field::SRC))
     }
 
     /// Destination address.
     pub fn dst(&self) -> Ipv4 {
-        Ipv4::from_octets(self.buffer.as_ref()[field::DST].try_into().unwrap())
+        Ipv4::from_octets(crate::bytes::array(self.buffer.as_ref(), field::DST))
     }
 
     /// The header checksum field.
     pub fn header_checksum(&self) -> u16 {
-        u16::from_be_bytes(self.buffer.as_ref()[field::CHECKSUM].try_into().unwrap())
+        crate::bytes::be_u16(self.buffer.as_ref(), field::CHECKSUM)
     }
 
     /// Verifies the header checksum.

@@ -21,6 +21,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bytes;
+
 pub mod checksum;
 pub mod ethernet;
 pub mod icmp;

@@ -95,14 +95,14 @@ impl<R: Read> Reader<R> {
         inner
             .read_exact(&mut header)
             .map_err(|_| WireError::Truncated)?;
-        let magic_le = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        let magic_le = u32::from_le_bytes(crate::bytes::array(&header, 0..4));
         let big_endian = match magic_le {
             MAGIC => false,
             m if m.swap_bytes() == MAGIC => true,
             _ => return Err(WireError::Malformed),
         };
         let u32_at = |range: std::ops::Range<usize>| {
-            let bytes: [u8; 4] = header[range].try_into().unwrap();
+            let bytes: [u8; 4] = crate::bytes::array(&header, range);
             if big_endian {
                 u32::from_be_bytes(bytes)
             } else {
@@ -141,7 +141,7 @@ impl<R: Read> Reader<R> {
             Err(_) => return Err(WireError::Truncated),
         }
         let u32_at = |range: std::ops::Range<usize>| {
-            let bytes: [u8; 4] = rec[range].try_into().unwrap();
+            let bytes: [u8; 4] = crate::bytes::array(&rec, range);
             if self.big_endian {
                 u32::from_be_bytes(bytes)
             } else {

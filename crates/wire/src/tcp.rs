@@ -121,22 +121,22 @@ impl<T: AsRef<[u8]>> Segment<T> {
 
     /// Source port.
     pub fn src_port(&self) -> u16 {
-        u16::from_be_bytes(self.buffer.as_ref()[field::SRC_PORT].try_into().unwrap())
+        crate::bytes::be_u16(self.buffer.as_ref(), field::SRC_PORT)
     }
 
     /// Destination port.
     pub fn dst_port(&self) -> u16 {
-        u16::from_be_bytes(self.buffer.as_ref()[field::DST_PORT].try_into().unwrap())
+        crate::bytes::be_u16(self.buffer.as_ref(), field::DST_PORT)
     }
 
     /// Sequence number.
     pub fn seq(&self) -> u32 {
-        u32::from_be_bytes(self.buffer.as_ref()[field::SEQ].try_into().unwrap())
+        crate::bytes::be_u32(self.buffer.as_ref(), field::SEQ)
     }
 
     /// Acknowledgement number.
     pub fn ack(&self) -> u32 {
-        u32::from_be_bytes(self.buffer.as_ref()[field::ACK].try_into().unwrap())
+        crate::bytes::be_u32(self.buffer.as_ref(), field::ACK)
     }
 
     /// Header length in bytes (data offset × 4).
@@ -151,7 +151,7 @@ impl<T: AsRef<[u8]>> Segment<T> {
 
     /// Receive window.
     pub fn window(&self) -> u16 {
-        u16::from_be_bytes(self.buffer.as_ref()[field::WINDOW].try_into().unwrap())
+        crate::bytes::be_u16(self.buffer.as_ref(), field::WINDOW)
     }
 
     /// The options bytes (between the fixed header and the payload).

@@ -51,17 +51,17 @@ impl<T: AsRef<[u8]>> Datagram<T> {
 
     /// Source port.
     pub fn src_port(&self) -> u16 {
-        u16::from_be_bytes(self.buffer.as_ref()[field::SRC_PORT].try_into().unwrap())
+        crate::bytes::be_u16(self.buffer.as_ref(), field::SRC_PORT)
     }
 
     /// Destination port.
     pub fn dst_port(&self) -> u16 {
-        u16::from_be_bytes(self.buffer.as_ref()[field::DST_PORT].try_into().unwrap())
+        crate::bytes::be_u16(self.buffer.as_ref(), field::DST_PORT)
     }
 
     /// The length field (header plus payload).
     pub fn len_field(&self) -> u16 {
-        u16::from_be_bytes(self.buffer.as_ref()[field::LENGTH].try_into().unwrap())
+        crate::bytes::be_u16(self.buffer.as_ref(), field::LENGTH)
     }
 
     /// The payload, bounded by the length field.
@@ -73,7 +73,7 @@ impl<T: AsRef<[u8]>> Datagram<T> {
     /// means "not computed" and is accepted, per RFC 768.
     pub fn verify_checksum(&self, src: Ipv4, dst: Ipv4) -> bool {
         let data = &self.buffer.as_ref()[..self.len_field() as usize];
-        let stored = u16::from_be_bytes(data[field::CHECKSUM].try_into().unwrap());
+        let stored = crate::bytes::be_u16(data, field::CHECKSUM);
         stored == 0 || checksum::verify_pseudo(src, dst, 17, data)
     }
 }

@@ -25,6 +25,9 @@
 //! Internet, run a day of traffic through vantage points, infer
 //! meta-telescope prefixes, and inspect the IBR they attract.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use mt_core as core;
 pub use mt_flow as flow;
 pub use mt_netmodel as netmodel;

@@ -1,0 +1,26 @@
+//! The workspace must stay clean under its own static analysis.
+//!
+//! This is the second of mt-check's three run modes (binary, test, CI):
+//! `cargo test` on the umbrella crate re-runs every rule over the
+//! workspace sources and fails — printing the full human-readable
+//! report — if any rule fires. Suppressions require a
+//! `// check: allow(<rule>, "<reason>")` pragma at the violation site,
+//! so a red run here means either fix the code or argue the invariant
+//! in writing next to it.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_clean_under_mt_check() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = mt_check::check_root(root).expect("workspace sources are readable");
+    assert!(
+        report.files_scanned > 0,
+        "mt-check scanned nothing; workspace layout changed?"
+    );
+    assert!(
+        report.is_clean(),
+        "mt-check found violations:\n\n{}",
+        report.render_human()
+    );
+}
