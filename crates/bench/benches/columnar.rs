@@ -1,0 +1,275 @@
+//! Memory bench: the columnar per-/24 store vs the hashmap backend on
+//! synthetic day windows, measured by *peak RSS* and wall-clock.
+//!
+//! Two fill regimes are measured, because they favor different
+//! backends and a single number would mislead:
+//!
+//! - `sparse_day` — a full-IPv4 announced space (~14.4M slots) where
+//!   only a quarter of the blocks see traffic. Dense columns pay for
+//!   every announced row; the hashmap pays only for touched blocks.
+//! - `dense_day` — background radiation touching ~95% of the
+//!   announced space, the regime real telescopes operate in. Here the
+//!   per-entry hashmap overheads (hashing, table slack, per-block
+//!   allocations) dominate and the columns win.
+//!
+//! Peak RSS (`VmHWM` in `/proc/self/status`) is a per-process
+//! high-water mark that never goes back down, so measuring two
+//! backends in one process would charge the second with the first's
+//! peak. Each backend/group pair therefore runs in a child process
+//! (this binary re-executed with `--child`), which reports its own
+//! numbers as one JSON line on stdout.
+//!
+//! Like `hotpath`, the harness is hand-rolled: it must emit
+//! machine-readable `BENCH_columnar.json` (path overridable via the
+//! `BENCH_COLUMNAR_JSON` env var) so CI can smoke-run it and validate
+//! both backends. With no `--bench` flag (as under `cargo test`) or
+//! with `--smoke` it uses tiny sizes; under `cargo bench` it uses
+//! full-scale slot spaces.
+
+use mt_flow::{FlowRecord, ShardedTrafficStats, StatsLayout, TrafficView};
+use mt_types::mix::mix3;
+use mt_types::{Asn, Ipv4, Prefix, PrefixTrie, RibIndex, SimTime, Slot24Index};
+use serde::{Deserialize, Serialize};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Serialize, Deserialize)]
+struct Variant {
+    name: String,
+    wall_ms: f64,
+    peak_rss_mb: f64,
+    dst_blocks: u64,
+}
+
+#[derive(Serialize)]
+struct Group {
+    group: &'static str,
+    /// Announced /24s in the synthetic RIB (columnar rows).
+    slots: u64,
+    /// Ingested flow records per backend.
+    records: u64,
+    variants: Vec<Variant>,
+    /// Hashmap peak RSS over columnar peak RSS (>1 = columnar smaller).
+    rss_ratio: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    mode: &'static str,
+    groups: Vec<Group>,
+}
+
+#[derive(Clone, Copy)]
+struct Sizes {
+    /// /16s to announce (each contributes 256 slots).
+    slash16s: u32,
+    records: u64,
+    shards: usize,
+}
+
+struct GroupSpec {
+    name: &'static str,
+    smoke: Sizes,
+    full: Sizes,
+}
+
+const GROUPS: [GroupSpec; 2] = [
+    GroupSpec {
+        name: "sparse_day",
+        smoke: Sizes {
+            slash16s: 32,
+            records: 2_000,
+            shards: 4,
+        },
+        // The whole usable unicast space (220 /8s, ~14.4M slots) at a
+        // flow volume touching ~25% of it.
+        full: Sizes {
+            slash16s: 220 * 256,
+            records: 4_000_000,
+            shards: 8,
+        },
+    },
+    GroupSpec {
+        name: "dense_day",
+        smoke: Sizes {
+            slash16s: 4,
+            records: 20_000,
+            shards: 4,
+        },
+        // 64 /8s (~4.2M slots) under enough radiation to touch ~95%
+        // of the announced blocks.
+        full: Sizes {
+            slash16s: 64 * 256,
+            records: 12_000_000,
+            shards: 8,
+        },
+    },
+];
+
+/// A deterministic announced space of `slash16s` /16 prefixes packed
+/// from 1.0.0.0 upward, skipping multicast and above.
+fn slot_index(slash16s: u32) -> Slot24Index {
+    let mut trie = PrefixTrie::new();
+    let mut added = 0u32;
+    let mut idx = 1u32 << 8; // /16 index of 1.0.0.0
+    while added < slash16s && idx < (224u32 << 8) {
+        let base = Ipv4(idx << 16);
+        trie.insert(
+            Prefix::new(base, 16).expect("aligned /16"),
+            Asn(64_512 + added),
+        );
+        added += 1;
+        idx += 1;
+    }
+    Slot24Index::build(&RibIndex::build(&trie))
+}
+
+/// Both destination and source are drawn from the announced space —
+/// the destination uniformly (scanners sweep everything), the source
+/// from routed space like real (or plausibly forged) senders.
+fn record(i: u64, slots: &Slot24Index) -> FlowRecord {
+    let n = u64::from(slots.num_slots());
+    let dst_block = slots.block_of((mix3(0x51, i, 1) % n) as u32);
+    let src_block = slots.block_of((mix3(0x51, i, 2) % n) as u32);
+    FlowRecord {
+        start: SimTime(i),
+        src: src_block.addr((mix3(0x51, i, 5) & 0xff) as u8),
+        dst: dst_block.addr((mix3(0x51, i, 3) & 0x3f) as u8),
+        src_port: 40_000,
+        dst_port: (mix3(0x51, i, 4) % 1024) as u16,
+        protocol: if i.is_multiple_of(5) { 17 } else { 6 },
+        tcp_flags: 2,
+        packets: 1 + i % 4,
+        octets: 40 * (1 + i % 4),
+    }
+}
+
+/// `VmHWM` (peak resident set) of this process, in megabytes.
+fn peak_rss_mb() -> f64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: f64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0.0);
+            return kb / 1024.0;
+        }
+    }
+    0.0
+}
+
+/// Child-process body: ingest the synthetic window into one backend
+/// and print `{name, wall_ms, peak_rss_mb, dst_blocks}` on stdout.
+fn run_child(backend: &str, sizes: &Sizes) {
+    let slots = Arc::new(slot_index(sizes.slash16s));
+    let layout = match backend {
+        "hashmap" => StatsLayout::Map,
+        "columnar" => StatsLayout::Columnar(Arc::clone(&slots)),
+        other => panic!("unknown backend {other:?}"),
+    };
+    let start = Instant::now();
+    let mut stats = ShardedTrafficStats::with_layout(sizes.shards, 100, layout);
+    let records: Vec<FlowRecord> = (0..sizes.records).map(|i| record(i, &slots)).collect();
+    stats.par_ingest(&records, sizes.shards);
+    drop(records);
+    // Touch the read path so lazily-faulted pages are charged.
+    let dst_blocks = stats.iter_dst().count() as u64;
+    black_box(stats.total_packets());
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let v = Variant {
+        name: backend.to_owned(),
+        wall_ms,
+        peak_rss_mb: peak_rss_mb(),
+        dst_blocks,
+    };
+    println!("{}", serde_json::to_string(&v).expect("variant serializes"));
+}
+
+fn spawn_child(backend: &str, group: &str, mode: &str) -> Variant {
+    let exe = std::env::current_exe().expect("own path");
+    let out = std::process::Command::new(exe)
+        .args(["--child", backend, group, mode])
+        .output()
+        .expect("spawn child bench");
+    assert!(
+        out.status.success(),
+        "child {backend}/{group} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("child output is utf-8");
+    let line = stdout
+        .lines()
+        .last()
+        .expect("child printed one JSON line")
+        .to_owned();
+    serde_json::from_str(&line).expect("child line parses")
+}
+
+fn sizes_for(spec: &GroupSpec, mode: &str) -> Sizes {
+    if mode == "full" {
+        spec.full
+    } else {
+        spec.smoke
+    }
+}
+
+fn run_group(spec: &GroupSpec, mode: &'static str) -> Group {
+    let sizes = sizes_for(spec, mode);
+    let hashmap = spawn_child("hashmap", spec.name, mode);
+    let columnar = spawn_child("columnar", spec.name, mode);
+    assert_eq!(
+        hashmap.dst_blocks, columnar.dst_blocks,
+        "backends must agree on the touched block set"
+    );
+    for v in [&hashmap, &columnar] {
+        println!(
+            "{}/{}: {:.0} ms, peak RSS {:.1} MB, {} dst /24s",
+            spec.name, v.name, v.wall_ms, v.peak_rss_mb, v.dst_blocks
+        );
+    }
+    let rss_ratio = hashmap.peak_rss_mb / columnar.peak_rss_mb.max(0.001);
+    println!(
+        "{}: rss ratio (hashmap / columnar) {rss_ratio:.2}x",
+        spec.name
+    );
+    Group {
+        group: spec.name,
+        slots: u64::from(sizes.slash16s) * 256,
+        records: sizes.records,
+        variants: vec![hashmap, columnar],
+        rss_ratio,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--child") {
+        let (backend, group, mode) = (&args[i + 1], &args[i + 2], &args[i + 3]);
+        let spec = GROUPS
+            .iter()
+            .find(|s| s.name == group)
+            .expect("known group name");
+        run_child(backend, &sizes_for(spec, mode));
+        return;
+    }
+    let smoke = !args.iter().any(|a| a == "--bench")
+        || args.iter().any(|a| a == "--smoke" || a == "--test");
+    let mode = if smoke { "smoke" } else { "full" };
+    println!("columnar memory bench ({mode} mode)");
+
+    let report = Report {
+        bench: "columnar",
+        mode,
+        groups: GROUPS.iter().map(|s| run_group(s, mode)).collect(),
+    };
+    let path =
+        std::env::var("BENCH_COLUMNAR_JSON").unwrap_or_else(|_| "BENCH_columnar.json".into());
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&path, json).expect("write bench json");
+    println!("wrote {path}");
+}

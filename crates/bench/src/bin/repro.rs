@@ -2,7 +2,7 @@
 //! simulated scenario.
 //!
 //! ```text
-//! repro [--profile small|paper] [--seed N] [--out DIR] [all | <ids>...]
+//! repro [--profile small|paper|full] [--seed N] [--out DIR] [all | <ids>...]
 //!
 //!   ids: table1 table2 table3 fig2 table4 fig3 table5 table6 fig4
 //!        fig5 fig6 table7 fig7 fig8 fig9 fig10 fig11 fig12 baseline
@@ -28,7 +28,7 @@ fn main() {
             "--profile" => {
                 let v = args.next().expect("--profile needs a value");
                 profile = Profile::parse(&v)
-                    .unwrap_or_else(|| panic!("unknown profile {v:?} (small|paper)"));
+                    .unwrap_or_else(|| panic!("unknown profile {v:?} (small|paper|full)"));
             }
             "--seed" => {
                 seed = args
@@ -39,7 +39,9 @@ fn main() {
             }
             "--out" => out = PathBuf::from(args.next().expect("--out needs a value")),
             "--help" | "-h" => {
-                println!("repro [--profile small|paper] [--seed N] [--out DIR] [all | ids...]");
+                println!(
+                    "repro [--profile small|paper|full] [--seed N] [--out DIR] [all | ids...]"
+                );
                 println!("ids: {} baseline monitor", ALL_IDS.join(" "));
                 return;
             }
@@ -107,7 +109,7 @@ fn main() {
     summaries.insert("seed".into(), seed.into());
     summaries.insert(
         "announced_blocks".into(),
-        (world.net.announced_blocks() as u64).into(),
+        world.net.announced_blocks().into(),
     );
     summaries.insert(
         "dark_truth".into(),

@@ -22,14 +22,18 @@ pub enum Profile {
     Small,
     /// Paper-scale world (minutes; run in `--release`).
     Paper,
+    /// Full-IPv4 world: ~14M announced /24s. Pair with the columnar
+    /// stats layout (`--release` only; a day window needs a few GB).
+    Full,
 }
 
 impl Profile {
-    /// Parses `small` / `paper`.
+    /// Parses `small` / `paper` / `full`.
     pub fn parse(s: &str) -> Option<Profile> {
         match s {
             "small" => Some(Profile::Small),
             "paper" => Some(Profile::Paper),
+            "full" => Some(Profile::Full),
             _ => None,
         }
     }
@@ -39,6 +43,7 @@ impl Profile {
         match self {
             Profile::Small => InternetConfig::small(),
             Profile::Paper => InternetConfig::paper(),
+            Profile::Full => InternetConfig::full(),
         }
     }
 
@@ -47,6 +52,7 @@ impl Profile {
         match self {
             Profile::Small => "small",
             Profile::Paper => "paper",
+            Profile::Full => "full",
         }
     }
 }

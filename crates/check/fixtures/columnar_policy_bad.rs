@@ -1,0 +1,8 @@
+//! Fixture: a per-/24 keyed map creeping back into mt-flow.
+use mt_types::FxHashMap;
+
+/// Accumulates per-block counters in a hashmap (and trips
+/// columnar_policy: this state belongs in the columnar store).
+pub fn per_block_counters() -> FxHashMap<u32, u64> {
+    FxHashMap::default()
+}

@@ -1,0 +1,9 @@
+//! Fixture: a deliberate sparse per-/24 map with a pragma.
+use mt_types::FxHashMap;
+
+/// Builds a sparse side table deliberately.
+pub fn sparse_side_table() -> usize {
+    // check: allow(columnar_policy, "fixture: a genuinely sparse side table, dense rows would waste the whole column")
+    let m: FxHashMap<u32, u64> = FxHashMap::default();
+    m.len()
+}

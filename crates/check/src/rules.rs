@@ -1,4 +1,4 @@
-//! The six project-specific rules.
+//! The seven project-specific rules.
 //!
 //! Each rule exists because this codebase's headline guarantee —
 //! exactness under concurrency — has already been threatened by the
@@ -13,23 +13,25 @@ use crate::report::{Report, RuleSummary};
 use crate::workspace::{Role, SourceFile, Workspace};
 
 /// Stable rule identifiers, as used in pragmas and the JSON report.
-pub const RULE_IDS: [&str; 6] = [
+pub const RULE_IDS: [&str; 7] = [
     "atomics_ordering",
     "no_panic",
     "crate_hygiene",
     "hash_policy",
     "determinism",
     "metric_names",
+    "columnar_policy",
 ];
 
 /// One-line description per rule, in [`RULE_IDS`] order.
-pub const RULE_DESCRIPTIONS: [&str; 6] = [
+pub const RULE_DESCRIPTIONS: [&str; 7] = [
     "every std::sync::atomic Ordering use site carries an adjacent `// ordering:` justification",
     "no unwrap/expect/panic!/unreachable!/todo!/unimplemented! in non-test, non-bench library code",
     "every crate root declares #![forbid(unsafe_code)] and #![warn(missing_docs)]",
     "std HashMap/HashSet are forbidden in mt-flow/mt-types/mt-stream library code; use FxHashMap",
     "SystemTime::now/Instant::now are forbidden outside mt-obs and bench code (bit-identical replay)",
     "metric names registered in code and DESIGN.md's catalogue must match exactly, both directions",
+    "u32-keyed FxHashMaps in mt-flow library code need a pragma; the columnar store is the default",
 ];
 
 /// Crates whose library code must use `FxHashMap` on hot paths.
@@ -52,13 +54,14 @@ pub fn run_all(ws: &Workspace) -> Report {
         crate_hygiene(file, &mut report);
         hash_policy(file, &mut report);
         determinism(file, &mut report);
+        columnar_policy(file, &mut report);
     }
     metric_names(ws, &mut report);
     report.finish();
     report
 }
 
-/// Returns the summaries for all six rules with zero counts — the
+/// Returns the summaries for all seven rules with zero counts — the
 /// schema skeleton the report starts from.
 pub fn rule_summaries() -> Vec<RuleSummary> {
     RULE_IDS
@@ -284,6 +287,42 @@ fn determinism(file: &SourceFile, report: &mut Report) {
             line,
             col,
             format!("`{base}::now` in pipeline code breaks bit-identical replay; use SimTime, or pragma if the value never reaches pipeline output"),
+        );
+    }
+}
+
+/// Rule 7: per-/24 keyed hashmaps in mt-flow library code must be
+/// deliberate.
+///
+/// Since the columnar refactor, the scalable representation of
+/// per-block aggregates is the slot-indexed `ColumnarStats` store;
+/// `FxHashMap<u32, ...>` is kept only as the proptest oracle and for
+/// genuinely sparse side tables. A new block-keyed map quietly
+/// reintroduces per-entry overheads the refactor removed, so each one
+/// must carry a pragma stating why a map is the right shape.
+fn columnar_policy(file: &SourceFile, report: &mut Report) {
+    if file.role != Role::Lib || file.crate_name != "flow" {
+        return;
+    }
+    let code: Vec<_> = file.code_tokens().collect();
+    for w in code.windows(3) {
+        let [a, b, c] = w else { continue };
+        if a.text(&file.text) != "FxHashMap"
+            || b.text(&file.text) != "<"
+            || c.text(&file.text) != "u32"
+        {
+            continue;
+        }
+        if file.in_test_region(a.start) {
+            continue;
+        }
+        let (line, col) = file.line_col(a.start);
+        report.record(
+            file,
+            "columnar_policy",
+            line,
+            col,
+            "u32-keyed FxHashMap in mt-flow library code; per-/24 state belongs in ColumnarStats — pragma the site if a sparse map is deliberate".to_owned(),
         );
     }
 }

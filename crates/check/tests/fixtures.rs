@@ -152,6 +152,39 @@ fn hash_policy_fires_and_suppresses() {
 }
 
 #[test]
+fn columnar_policy_fires_and_suppresses() {
+    let text = include_str!("../fixtures/columnar_policy_bad.rs");
+    let bad = check_one("crates/flow/src/fix.rs", text);
+    assert_eq!(
+        bad.count("columnar_policy"),
+        1,
+        "a u32-keyed FxHashMap in mt-flow lib code must fire:\n{}",
+        bad.render_human()
+    );
+
+    let elsewhere = check_one("crates/stream/src/fix.rs", text);
+    assert_eq!(
+        elsewhere.count("columnar_policy"),
+        0,
+        "the policy binds only mt-flow"
+    );
+
+    let bin = check_one("crates/flow/src/bin/tool.rs", text);
+    assert_eq!(
+        bin.count("columnar_policy"),
+        0,
+        "binaries and tests are out of scope"
+    );
+
+    let sup = check_one(
+        "crates/flow/src/fix.rs",
+        include_str!("../fixtures/columnar_policy_suppressed.rs"),
+    );
+    assert_eq!(sup.count("columnar_policy"), 0, "{}", sup.render_human());
+    assert_eq!(suppressed(&sup, "columnar_policy"), 1);
+}
+
+#[test]
 fn determinism_fires_and_suppresses() {
     let text = include_str!("../fixtures/determinism_bad.rs");
     let bad = check_one("crates/core/src/fix.rs", text);

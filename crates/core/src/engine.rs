@@ -24,7 +24,7 @@
 //! the standard stage vector.
 
 use crate::pipeline::{Funnel, PipelineConfig, PipelineResult};
-use mt_flow::{DstBlockStats, HostSet, ShardedTrafficStats, SrcBlockStats, TrafficView};
+use mt_flow::{DstRef, HostSet, ShardedTrafficStats, SrcRef, TrafficView};
 use mt_obs::{Counter, Histogram, MetricsRegistry, DEFAULT_TIME_BUCKETS};
 use mt_types::{Asn, Block24, Block24Set, PrefixTrie, RibIndex, SpecialRegistry};
 use parking_lot::Mutex;
@@ -67,10 +67,11 @@ pub struct StageEnv<'a> {
 pub struct BlockCtx<'a> {
     /// The block under evaluation.
     pub block: Block24,
-    /// Receive-side aggregates for the block.
-    pub dst: &'a DstBlockStats,
-    src_lookup: &'a dyn Fn(Block24) -> Option<&'a SrcBlockStats>,
-    src: OnceCell<Option<&'a SrcBlockStats>>,
+    /// Receive-side aggregates for the block (a cheap by-value view —
+    /// the columnar backend has no materialized struct to borrow).
+    pub dst: DstRef<'a>,
+    src_lookup: &'a dyn Fn(Block24) -> Option<SrcRef>,
+    src: OnceCell<Option<SrcRef>>,
     originating: OnceCell<HostSet>,
 }
 
@@ -78,8 +79,8 @@ impl<'a> BlockCtx<'a> {
     /// Builds a context around one block's aggregates.
     pub fn new(
         block: Block24,
-        dst: &'a DstBlockStats,
-        src_lookup: &'a dyn Fn(Block24) -> Option<&'a SrcBlockStats>,
+        dst: DstRef<'a>,
+        src_lookup: &'a dyn Fn(Block24) -> Option<SrcRef>,
     ) -> Self {
         BlockCtx {
             block,
@@ -91,7 +92,7 @@ impl<'a> BlockCtx<'a> {
     }
 
     /// Send-side aggregates of this block, if it originated anything.
-    pub fn src(&self) -> Option<&'a SrcBlockStats> {
+    pub fn src(&self) -> Option<SrcRef> {
         *self.src.get_or_init(|| (self.src_lookup)(self.block))
     }
 

@@ -20,21 +20,28 @@
 //!   counts and sizes per block and per host, originated-traffic counts,
 //!   packet-size distributions for the median/average classifiers), plus
 //!   the [`TrafficView`] read abstraction over them;
-//! - [`sharded`] — the same accumulators split over fixed `/24 % N`
-//!   shards for lock-free parallel ingest and per-shard parallel
-//!   pipeline evaluation.
+//! - [`columnar`] — the same aggregates stored struct-of-arrays with
+//!   one dense row per *announced* /24 (row = `Slot24Index` slot),
+//!   sized for full-IPv4 windows where hashmap-per-block overheads
+//!   dominate;
+//! - [`sharded`] — both representations split over fixed shards
+//!   (`/24 % N` for the map layout, contiguous slot ranges for the
+//!   columnar layout) for lock-free parallel ingest and per-shard
+//!   parallel pipeline evaluation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod columnar;
 pub mod meter;
 pub mod record;
 pub mod sampling;
 pub mod sharded;
 pub mod stats;
 
+pub use columnar::ColumnarStats;
 pub use meter::{FlowKey, FlowMeter, MeteredPacket};
 pub use record::{FlowIntent, FlowRecord};
 pub use sampling::{binomial, Sampler};
-pub use sharded::ShardedTrafficStats;
-pub use stats::{DstBlockStats, HostSet, SrcBlockStats, TrafficStats, TrafficView};
+pub use sharded::{ShardedTrafficStats, StatsLayout, StatsShard};
+pub use stats::{DstBlockStats, DstRef, HostSet, SrcBlockStats, SrcRef, TrafficStats, TrafficView};

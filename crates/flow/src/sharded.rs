@@ -2,12 +2,22 @@
 //! parallel pipeline evaluation.
 //!
 //! [`ShardedTrafficStats`] splits the /24 key space over `N` fixed
-//! shards with `shard = block_index % N`. Crucially the *same* shard
-//! function is used for destination and source blocks, so everything the
-//! inference pipeline needs about a block — its receive-side stats *and*
-//! its send-side stats (step 3 looks up `src(block)` while walking
-//! destination blocks) — lives in one shard. Each shard is therefore a
-//! self-contained [`TrafficStats`] over its slice of the key space, and
+//! shards. Two layouts exist ([`StatsLayout`]):
+//!
+//! - **Map** (the default): each shard is a hashmap-backed
+//!   [`TrafficStats`] owning the blocks with `block_index % N == shard`.
+//! - **Columnar**: each shard is a [`ColumnarStats`] owning a
+//!   *contiguous slot range* of a shared [`Slot24Index`] — shard
+//!   `slot / ceil(num_slots / N)`. Blocks outside the announced space
+//!   (no slot) route by `block_index % N` into that shard's map-backed
+//!   overflow store.
+//!
+//! Crucially, in both layouts the *same* shard function is used for
+//! destination and source blocks, so everything the inference pipeline
+//! needs about a block — its receive-side stats *and* its send-side
+//! stats (step 3 looks up `src(block)` while walking destination
+//! blocks) — lives in one shard. Each shard is therefore a
+//! self-contained [`TrafficView`] over its slice of the key space, and
 //! the pipeline can run per shard with no cross-shard reads.
 //!
 //! Parallel ingest ([`ShardedTrafficStats::par_ingest`]) is lock-free
@@ -21,21 +31,153 @@
 //!
 //! [`ShardedTrafficStats::into_unsharded`] reassembles a flat
 //! [`TrafficStats`] for call sites that still want one; since shard key
-//! spaces are disjoint this moves blocks instead of re-merging them.
+//! spaces are disjoint this moves (map layout) or materializes
+//! (columnar layout) blocks instead of re-merging them.
 
+use std::sync::Arc;
+
+use crate::columnar::ColumnarStats;
 use crate::record::FlowRecord;
-use crate::stats::{DstBlockStats, SrcBlockStats, TrafficStats, TrafficView};
-use mt_types::Block24;
+use crate::stats::{DstRef, SrcRef, TrafficStats, TrafficView};
+use mt_types::{Block24, Slot24Index};
 
 /// Default shard count: enough slots to spread work over commodity core
-/// counts while keeping per-shard hash maps dense.
+/// counts while keeping per-shard state dense.
 pub const DEFAULT_SHARDS: usize = 16;
 
-/// Per-/24 traffic aggregates split over fixed shards keyed by
-/// `block_index % num_shards`.
+/// How a [`ShardedTrafficStats`] stores and routes its per-/24 state.
+#[derive(Debug, Clone, Default)]
+pub enum StatsLayout {
+    /// Hashmap-backed shards keyed by `block_index % N`.
+    #[default]
+    Map,
+    /// Columnar shards, each owning a contiguous slot range of the
+    /// given index; slotless blocks fall back to `block_index % N`.
+    Columnar(Arc<Slot24Index>),
+}
+
+/// One shard of a [`ShardedTrafficStats`]: either layout's accumulator,
+/// viewed uniformly through [`TrafficView`].
+#[derive(Debug, Clone)]
+// Shards live in one short Vec (one element per shard, never per
+// record), so the per-variant size gap has no memory impact and boxing
+// would only add a pointer chase to every ingest dispatch.
+#[allow(clippy::large_enum_variant)]
+pub enum StatsShard {
+    /// A hashmap-backed shard (map layout).
+    Map(TrafficStats),
+    /// A slot-range columnar shard (columnar layout).
+    Columnar(ColumnarStats),
+}
+
+impl StatsShard {
+    fn ingest_dst_half(&mut self, r: &FlowRecord, sweep_seed: Option<u64>) {
+        match self {
+            StatsShard::Map(s) => s.ingest_dst_half(r, sweep_seed),
+            StatsShard::Columnar(c) => c.ingest_dst_half(r, sweep_seed),
+        }
+    }
+
+    fn ingest_src_half(&mut self, r: &FlowRecord) {
+        match self {
+            StatsShard::Map(s) => s.ingest_src_half(r),
+            StatsShard::Columnar(c) => c.ingest_src_half(r),
+        }
+    }
+
+    fn merge(&mut self, other: &StatsShard) {
+        match (self, other) {
+            (StatsShard::Map(a), StatsShard::Map(b)) => a.merge(b),
+            (StatsShard::Columnar(a), StatsShard::Columnar(b)) => a.merge(b),
+            // check: allow(no_panic, "merge() asserts layout equality before zipping shards, so mixed pairs cannot occur")
+            _ => unreachable!("shard layout mismatch"),
+        }
+    }
+}
+
+impl TrafficView for StatsShard {
+    fn dst(&self, block: Block24) -> Option<DstRef<'_>> {
+        match self {
+            StatsShard::Map(s) => TrafficView::dst(s, block),
+            StatsShard::Columnar(c) => TrafficView::dst(c, block),
+        }
+    }
+
+    fn src(&self, block: Block24) -> Option<SrcRef> {
+        match self {
+            StatsShard::Map(s) => TrafficView::src(s, block),
+            StatsShard::Columnar(c) => TrafficView::src(c, block),
+        }
+    }
+
+    fn iter_dst(&self) -> impl Iterator<Item = (Block24, DstRef<'_>)> {
+        match self {
+            StatsShard::Map(s) => {
+                Box::new(TrafficView::iter_dst(s)) as Box<dyn Iterator<Item = _> + '_>
+            }
+            StatsShard::Columnar(c) => Box::new(TrafficView::iter_dst(c)),
+        }
+    }
+
+    fn iter_src(&self) -> impl Iterator<Item = (Block24, SrcRef)> {
+        match self {
+            StatsShard::Map(s) => {
+                Box::new(TrafficView::iter_src(s)) as Box<dyn Iterator<Item = _> + '_>
+            }
+            StatsShard::Columnar(c) => Box::new(TrafficView::iter_src(c)),
+        }
+    }
+
+    fn dst_block_count(&self) -> usize {
+        match self {
+            StatsShard::Map(s) => s.dst_block_count(),
+            StatsShard::Columnar(c) => TrafficView::dst_block_count(c),
+        }
+    }
+
+    fn src_block_count(&self) -> usize {
+        match self {
+            StatsShard::Map(s) => s.src_block_count(),
+            StatsShard::Columnar(c) => TrafficView::src_block_count(c),
+        }
+    }
+
+    fn size_threshold(&self) -> u16 {
+        match self {
+            StatsShard::Map(s) => s.size_threshold(),
+            StatsShard::Columnar(c) => TrafficView::size_threshold(c),
+        }
+    }
+
+    fn total_flows(&self) -> u64 {
+        match self {
+            StatsShard::Map(s) => s.total_flows,
+            StatsShard::Columnar(c) => TrafficView::total_flows(c),
+        }
+    }
+
+    fn total_packets(&self) -> u64 {
+        match self {
+            StatsShard::Map(s) => s.total_packets,
+            StatsShard::Columnar(c) => TrafficView::total_packets(c),
+        }
+    }
+
+    fn total_octets(&self) -> u64 {
+        match self {
+            StatsShard::Map(s) => s.total_octets,
+            StatsShard::Columnar(c) => TrafficView::total_octets(c),
+        }
+    }
+}
+
+/// Per-/24 traffic aggregates split over fixed shards.
 #[derive(Debug, Clone)]
 pub struct ShardedTrafficStats {
-    shards: Vec<TrafficStats>,
+    shards: Vec<StatsShard>,
+    layout: StatsLayout,
+    /// Slots per columnar shard (0 under the map layout).
+    rows_per_shard: u32,
 }
 
 impl Default for ShardedTrafficStats {
@@ -44,21 +186,70 @@ impl Default for ShardedTrafficStats {
     }
 }
 
+/// The shard owning `block` — a free function so `par_ingest` workers
+/// can route without borrowing the whole accumulator.
+fn shard_of_block(
+    layout: &StatsLayout,
+    rows_per_shard: u32,
+    num_shards: usize,
+    block: Block24,
+) -> usize {
+    match layout {
+        StatsLayout::Map => block.0 as usize % num_shards,
+        StatsLayout::Columnar(slots) => match slots.slot_of(block) {
+            Some(slot) => ((slot / rows_per_shard) as usize).min(num_shards - 1),
+            None => block.0 as usize % num_shards,
+        },
+    }
+}
+
 impl ShardedTrafficStats {
-    /// Creates an empty accumulator with `num_shards` shards and the
-    /// default per-host size threshold.
+    /// Creates an empty map-layout accumulator with `num_shards` shards
+    /// and the default per-host size threshold.
     pub fn new(num_shards: usize) -> Self {
         Self::with_size_threshold(num_shards, crate::stats::DEFAULT_SIZE_THRESHOLD)
     }
 
-    /// Creates an empty accumulator with a custom per-host size
-    /// threshold (must match the pipeline's classification threshold).
+    /// Creates an empty map-layout accumulator with a custom per-host
+    /// size threshold (must match the pipeline's classification
+    /// threshold).
     pub fn with_size_threshold(num_shards: usize, size_threshold: u16) -> Self {
+        Self::with_layout(num_shards, size_threshold, StatsLayout::Map)
+    }
+
+    /// Creates an empty accumulator with an explicit storage layout.
+    pub fn with_layout(num_shards: usize, size_threshold: u16, layout: StatsLayout) -> Self {
         assert!(num_shards > 0, "need at least one shard");
+        let (shards, rows_per_shard) = match &layout {
+            StatsLayout::Map => (
+                (0..num_shards)
+                    .map(|_| StatsShard::Map(TrafficStats::with_size_threshold(size_threshold)))
+                    .collect(),
+                0,
+            ),
+            StatsLayout::Columnar(slots) => {
+                // At least 1 so `slot / rows_per_shard` is defined even
+                // for an empty index (every slot range is then empty).
+                let rows_per_shard = slots.num_slots().div_ceil(num_shards as u32).max(1);
+                let shards = (0..num_shards as u32)
+                    .map(|i| {
+                        let row_base = (i * rows_per_shard).min(slots.num_slots());
+                        let rows = rows_per_shard.min(slots.num_slots() - row_base);
+                        StatsShard::Columnar(ColumnarStats::slice(
+                            Arc::clone(slots),
+                            size_threshold,
+                            row_base,
+                            rows,
+                        ))
+                    })
+                    .collect();
+                (shards, rows_per_shard)
+            }
+        };
         ShardedTrafficStats {
-            shards: (0..num_shards)
-                .map(|_| TrafficStats::with_size_threshold(size_threshold))
-                .collect(),
+            shards,
+            layout,
+            rows_per_shard,
         }
     }
 
@@ -67,25 +258,29 @@ impl ShardedTrafficStats {
         self.shards.len()
     }
 
+    /// The storage layout this accumulator was built with.
+    pub fn layout(&self) -> &StatsLayout {
+        &self.layout
+    }
+
     /// The shard owning `block`.
     pub fn shard_of(&self, block: Block24) -> usize {
-        block.0 as usize % self.shards.len()
+        shard_of_block(&self.layout, self.rows_per_shard, self.shards.len(), block)
     }
 
     /// The per-shard accumulators, in shard order.
-    pub fn shards(&self) -> &[TrafficStats] {
+    pub fn shards(&self) -> &[StatsShard] {
         &self.shards
     }
 
     /// Destination blocks held per shard, in shard order — the load
-    /// signal behind the `mt_flow_shard_blocks` gauges: with `%`-of-
-    /// block-index routing the loads should stay near-uniform, and a
-    /// skewed vector flags a pathological key distribution before it
-    /// shows up as one hot ingest worker.
+    /// signal behind the `mt_flow_shard_blocks` gauges: a skewed vector
+    /// flags a pathological key (map layout) or announcement (columnar
+    /// layout) distribution before it shows up as one hot ingest worker.
     pub fn shard_loads(&self) -> Vec<usize> {
         self.shards
             .iter()
-            .map(TrafficStats::dst_block_count)
+            .map(TrafficView::dst_block_count)
             .collect()
     }
 
@@ -104,14 +299,13 @@ impl ShardedTrafficStats {
     }
 
     fn route(&mut self, r: &FlowRecord, sweep_seed: Option<u64>) {
-        let n = self.shards.len();
-        let dst_shard = r.dst.block24_index() as usize % n;
-        let src_shard = r.src.block24_index() as usize % n;
+        let dst_shard = self.shard_of(Block24(r.dst.block24_index()));
+        let src_shard = self.shard_of(Block24(r.src.block24_index()));
         self.shards[dst_shard].ingest_dst_half(r, sweep_seed);
         self.shards[src_shard].ingest_src_half(r);
     }
 
-    /// Builds stats from a slice of records serially.
+    /// Builds map-layout stats from a slice of records serially.
     pub fn from_records(num_shards: usize, records: &[FlowRecord]) -> Self {
         let mut s = Self::new(num_shards);
         for r in records {
@@ -128,7 +322,8 @@ impl ShardedTrafficStats {
     /// records, so this trades `threads × scan` read bandwidth for
     /// zero synchronization on the write side — a good trade while
     /// hashing and histogram upkeep dominate the scan. The result is
-    /// bit-identical to serial ingest of the same slice.
+    /// bit-identical to serial ingest of the same slice, under either
+    /// layout.
     pub fn par_ingest(&mut self, records: &[FlowRecord], threads: usize) {
         let n = self.shards.len();
         let threads = threads.clamp(1, n);
@@ -138,10 +333,13 @@ impl ShardedTrafficStats {
             }
             return;
         }
+        let layout = self.layout.clone();
+        let rows_per_shard = self.rows_per_shard;
         let base = n / threads;
         let extra = n % threads;
         crossbeam::thread::scope(|scope| {
-            let mut rest: &mut [TrafficStats] = &mut self.shards;
+            let layout = &layout;
+            let mut rest: &mut [StatsShard] = &mut self.shards;
             let mut start = 0usize;
             for t in 0..threads {
                 let len = base + usize::from(t < extra);
@@ -151,11 +349,13 @@ impl ShardedTrafficStats {
                 start += len;
                 scope.spawn(move |_| {
                     for r in records {
-                        let dst_shard = r.dst.block24_index() as usize % n;
+                        let dst = Block24(r.dst.block24_index());
+                        let dst_shard = shard_of_block(layout, rows_per_shard, n, dst);
                         if (lo..lo + len).contains(&dst_shard) {
                             chunk[dst_shard - lo].ingest_dst_half(r, None);
                         }
-                        let src_shard = r.src.block24_index() as usize % n;
+                        let src = Block24(r.src.block24_index());
+                        let src_shard = shard_of_block(layout, rows_per_shard, n, src);
                         if (lo..lo + len).contains(&src_shard) {
                             chunk[src_shard - lo].ingest_src_half(r);
                         }
@@ -168,22 +368,34 @@ impl ShardedTrafficStats {
     }
 
     /// Merges another sharded accumulator shard-by-shard. Both sides
-    /// must have the same shard count (so the shard function matches)
-    /// and size threshold.
+    /// must have the same shard count and the same layout (same shard
+    /// function; for columnar layouts, the same slot-index fingerprint).
     pub fn merge(&mut self, other: &ShardedTrafficStats) {
         assert_eq!(
             self.shards.len(),
             other.shards.len(),
             "merging sharded stats with different shard counts"
         );
+        match (&self.layout, &other.layout) {
+            (StatsLayout::Map, StatsLayout::Map) => {}
+            (StatsLayout::Columnar(a), StatsLayout::Columnar(b)) => {
+                assert_eq!(
+                    a.fingerprint(),
+                    b.fingerprint(),
+                    "merging columnar sharded stats built over different slot indexes"
+                );
+            }
+            // check: allow(no_panic, "rejecting a map ↔ columnar merge is this method's contract, mirroring the shard-count assert")
+            _ => panic!("merging sharded stats with different layouts"),
+        }
         for (mine, theirs) in self.shards.iter_mut().zip(&other.shards) {
             mine.merge(theirs);
         }
     }
 
     /// Reduces flat per-part stats (e.g. one [`TrafficStats`] per day or
-    /// per vantage point) into a sharded accumulator, with `threads`
-    /// workers each building its own shards.
+    /// per vantage point) into a map-layout sharded accumulator, with
+    /// `threads` workers each building its own shards.
     ///
     /// Thread `t` owns a range of shards; for each shard it walks every
     /// part and merges in just the blocks that hash to that shard. Totals
@@ -210,7 +422,7 @@ impl ShardedTrafficStats {
         let base = n / threads;
         let extra = n % threads;
         crossbeam::thread::scope(|scope| {
-            let mut rest: &mut [TrafficStats] = &mut out.shards;
+            let mut rest: &mut [StatsShard] = &mut out.shards;
             let mut start = 0usize;
             for t in 0..threads {
                 let len = base + usize::from(t < extra);
@@ -221,6 +433,10 @@ impl ShardedTrafficStats {
                 scope.spawn(move |_| {
                     for (offset, shard) in chunk.iter_mut().enumerate() {
                         let s = lo + offset;
+                        let StatsShard::Map(shard) = shard else {
+                            // check: allow(no_panic, "with_size_threshold above always builds the map layout")
+                            unreachable!("from_parts_parallel builds map-layout shards");
+                        };
                         for part in parts {
                             shard.merge_projection(part, |block| block as usize % n == s, s == 0);
                         }
@@ -235,10 +451,14 @@ impl ShardedTrafficStats {
 
     /// Reassembles a flat [`TrafficStats`] (escape hatch for call sites
     /// that need the unsharded representation). Shard key spaces are
-    /// disjoint, so blocks are moved, not re-merged.
+    /// disjoint, so map-layout blocks are moved, not re-merged;
+    /// columnar shards are materialized row by row.
     pub fn into_unsharded(self) -> TrafficStats {
-        let mut shards = self.shards.into_iter();
-        // check: allow(no_panic, "with_size_threshold asserts num_shards > 0, so the iterator is never empty")
+        let mut shards = self.shards.into_iter().map(|shard| match shard {
+            StatsShard::Map(s) => s,
+            StatsShard::Columnar(c) => TrafficStats::from_view(&c),
+        });
+        // check: allow(no_panic, "with_layout asserts num_shards > 0, so the iterator is never empty")
         let mut out = shards.next().expect("at least one shard");
         for shard in shards {
             out.absorb_disjoint(shard);
@@ -248,51 +468,51 @@ impl ShardedTrafficStats {
 }
 
 impl TrafficView for ShardedTrafficStats {
-    fn dst(&self, block: Block24) -> Option<&DstBlockStats> {
-        self.shards[self.shard_of(block)].dst(block)
+    fn dst(&self, block: Block24) -> Option<DstRef<'_>> {
+        TrafficView::dst(&self.shards[self.shard_of(block)], block)
     }
 
-    fn src(&self, block: Block24) -> Option<&SrcBlockStats> {
-        self.shards[self.shard_of(block)].src(block)
+    fn src(&self, block: Block24) -> Option<SrcRef> {
+        TrafficView::src(&self.shards[self.shard_of(block)], block)
     }
 
-    fn iter_dst(&self) -> impl Iterator<Item = (Block24, &DstBlockStats)> {
-        self.shards.iter().flat_map(TrafficStats::iter_dst)
+    fn iter_dst(&self) -> impl Iterator<Item = (Block24, DstRef<'_>)> {
+        self.shards.iter().flat_map(TrafficView::iter_dst)
     }
 
-    fn iter_src(&self) -> impl Iterator<Item = (Block24, &SrcBlockStats)> {
-        self.shards.iter().flat_map(TrafficStats::iter_src)
+    fn iter_src(&self) -> impl Iterator<Item = (Block24, SrcRef)> {
+        self.shards.iter().flat_map(TrafficView::iter_src)
     }
 
     fn dst_block_count(&self) -> usize {
-        self.shards.iter().map(TrafficStats::dst_block_count).sum()
+        self.shards.iter().map(TrafficView::dst_block_count).sum()
     }
 
     fn src_block_count(&self) -> usize {
-        self.shards.iter().map(TrafficStats::src_block_count).sum()
+        self.shards.iter().map(TrafficView::src_block_count).sum()
     }
 
     fn size_threshold(&self) -> u16 {
-        self.shards[0].size_threshold()
+        TrafficView::size_threshold(&self.shards[0])
     }
 
     fn total_flows(&self) -> u64 {
-        self.shards.iter().map(|s| s.total_flows).sum()
+        self.shards.iter().map(TrafficView::total_flows).sum()
     }
 
     fn total_packets(&self) -> u64 {
-        self.shards.iter().map(|s| s.total_packets).sum()
+        self.shards.iter().map(TrafficView::total_packets).sum()
     }
 
     fn total_octets(&self) -> u64 {
-        self.shards.iter().map(|s| s.total_octets).sum()
+        self.shards.iter().map(TrafficView::total_octets).sum()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mt_types::{Ipv4, SimTime};
+    use mt_types::{Ipv4, Prefix, PrefixTrie, RibIndex, SimTime};
 
     fn flow(src: u32, dst: u32, proto: u8, packets: u64, size: u64) -> FlowRecord {
         FlowRecord {
@@ -321,6 +541,17 @@ mod tests {
                 )
             })
             .collect()
+    }
+
+    /// A slot index over the sample traffic's source space and *part* of
+    /// its destination space, so columnar tests exercise both slot rows
+    /// and the slotless overflow path.
+    fn sample_layout() -> StatsLayout {
+        let trie: PrefixTrie<()> = ["9.0.0.0/16", "10.0.0.0/19"]
+            .iter()
+            .map(|p| (p.parse::<Prefix>().unwrap(), ()))
+            .collect();
+        StatsLayout::Columnar(Arc::new(Slot24Index::build(&RibIndex::build(&trie))))
     }
 
     fn assert_equivalent(sharded: &ShardedTrafficStats, flat: &TrafficStats) {
@@ -362,6 +593,23 @@ mod tests {
     }
 
     #[test]
+    fn columnar_layout_matches_flat_for_all_shard_counts() {
+        let records = sample_records();
+        let flat = TrafficStats::from_records(&records);
+        for shards in [1, 3, 16, 64] {
+            let mut sharded = ShardedTrafficStats::with_layout(
+                shards,
+                crate::stats::DEFAULT_SIZE_THRESHOLD,
+                sample_layout(),
+            );
+            for r in &records {
+                sharded.ingest(r);
+            }
+            assert_equivalent(&sharded, &flat);
+        }
+    }
+
+    #[test]
     fn shard_loads_sum_to_block_count_and_balance() {
         let records = sample_records();
         let sharded = ShardedTrafficStats::from_records(8, &records);
@@ -390,20 +638,43 @@ mod tests {
     }
 
     #[test]
+    fn columnar_par_ingest_matches_serial_for_all_thread_counts() {
+        let records = sample_records();
+        let flat = TrafficStats::from_records(&records);
+        for threads in [1, 2, 4, 8] {
+            let mut sharded = ShardedTrafficStats::with_layout(
+                8,
+                crate::stats::DEFAULT_SIZE_THRESHOLD,
+                sample_layout(),
+            );
+            sharded.par_ingest(&records, threads);
+            assert_equivalent(&sharded, &flat);
+        }
+    }
+
+    #[test]
     fn sweeps_route_like_flat_ingest() {
         let records = sample_records();
         let mut flat = TrafficStats::new();
         let mut sharded = ShardedTrafficStats::new(5);
+        let mut columnar = ShardedTrafficStats::with_layout(
+            5,
+            crate::stats::DEFAULT_SIZE_THRESHOLD,
+            sample_layout(),
+        );
         for (i, r) in records.iter().enumerate() {
             if i % 4 == 0 {
                 flat.ingest_sweep(r, i as u64);
                 sharded.ingest_sweep(r, i as u64);
+                columnar.ingest_sweep(r, i as u64);
             } else {
                 flat.ingest(r);
                 sharded.ingest(r);
+                columnar.ingest(r);
             }
         }
         assert_equivalent(&sharded, &flat);
+        assert_equivalent(&columnar, &flat);
     }
 
     #[test]
@@ -419,6 +690,30 @@ mod tests {
     }
 
     #[test]
+    fn columnar_into_unsharded_roundtrips() {
+        let records = sample_records();
+        let flat = TrafficStats::from_records(&records);
+        let mut sharded = ShardedTrafficStats::with_layout(
+            7,
+            crate::stats::DEFAULT_SIZE_THRESHOLD,
+            sample_layout(),
+        );
+        for r in &records {
+            sharded.ingest(r);
+        }
+        let back = sharded.into_unsharded();
+        assert_eq!(back.total_flows, flat.total_flows);
+        assert_eq!(back.dst_block_count(), flat.dst_block_count());
+        for (block, d) in flat.iter_dst() {
+            assert_eq!(back.dst(block).unwrap().received, d.received);
+            assert_eq!(
+                back.dst(block).unwrap().tcp_size_histogram(),
+                d.tcp_size_histogram()
+            );
+        }
+    }
+
+    #[test]
     fn merge_is_shard_wise() {
         let records = sample_records();
         let (a_recs, b_recs) = records.split_at(200);
@@ -429,10 +724,39 @@ mod tests {
     }
 
     #[test]
+    fn columnar_merge_is_shard_wise() {
+        let records = sample_records();
+        let (a_recs, b_recs) = records.split_at(200);
+        let threshold = crate::stats::DEFAULT_SIZE_THRESHOLD;
+        let mut a = ShardedTrafficStats::with_layout(4, threshold, sample_layout());
+        let mut b = ShardedTrafficStats::with_layout(4, threshold, sample_layout());
+        for r in a_recs {
+            a.ingest(r);
+        }
+        for r in b_recs {
+            b.ingest(r);
+        }
+        a.merge(&b);
+        assert_equivalent(&a, &TrafficStats::from_records(&records));
+    }
+
+    #[test]
     #[should_panic(expected = "different shard counts")]
     fn merge_rejects_mismatched_shard_counts() {
         let mut a = ShardedTrafficStats::new(4);
         a.merge(&ShardedTrafficStats::new(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "different layouts")]
+    fn merge_rejects_mismatched_layouts() {
+        let mut a = ShardedTrafficStats::new(4);
+        let b = ShardedTrafficStats::with_layout(
+            4,
+            crate::stats::DEFAULT_SIZE_THRESHOLD,
+            sample_layout(),
+        );
+        a.merge(&b);
     }
 
     #[test]

@@ -27,25 +27,32 @@ use mt_wire::IpProtocol;
 /// Read access to per-/24 traffic aggregates, independent of how they are
 /// stored.
 ///
-/// Both the flat [`TrafficStats`] and the sharded
+/// The flat [`TrafficStats`], the columnar
+/// [`ColumnarStats`](crate::columnar::ColumnarStats), and the sharded
 /// [`ShardedTrafficStats`](crate::sharded::ShardedTrafficStats) implement
 /// this, so consumers (the inference pipeline, spoofing-tolerance
-/// estimation, baselines) can run against either representation without
+/// estimation, baselines) can run against any representation without
 /// forcing a merge first.
+///
+/// Accessors hand out by-value view structs ([`DstRef`], [`SrcRef`])
+/// rather than `&DstBlockStats`: a struct-of-arrays backend has no
+/// materialized `DstBlockStats` to lend out, and the views are cheap
+/// `Copy` aggregates (counters and 32-byte host sets by value, the size
+/// histogram by slice reference).
 pub trait TrafficView {
     /// Stats for traffic destined to `block`.
-    fn dst(&self, block: Block24) -> Option<&DstBlockStats>;
+    fn dst(&self, block: Block24) -> Option<DstRef<'_>>;
 
     /// Stats for traffic originated by `block`.
-    fn src(&self, block: Block24) -> Option<&SrcBlockStats>;
+    fn src(&self, block: Block24) -> Option<SrcRef>;
 
     /// Iterates over all destination blocks with sampled traffic, in
     /// storage order (unordered).
-    fn iter_dst(&self) -> impl Iterator<Item = (Block24, &DstBlockStats)>;
+    fn iter_dst(&self) -> impl Iterator<Item = (Block24, DstRef<'_>)>;
 
     /// Iterates over all source blocks with sampled traffic, in storage
     /// order (unordered).
-    fn iter_src(&self) -> impl Iterator<Item = (Block24, &SrcBlockStats)>;
+    fn iter_src(&self) -> impl Iterator<Item = (Block24, SrcRef)>;
 
     /// Number of distinct destination /24s seen.
     fn dst_block_count(&self) -> usize;
@@ -154,6 +161,99 @@ impl HostSet {
             .map(move |bits| (w as u32 * 64 + bits.trailing_zeros()) as u8)
         })
     }
+
+    /// Rebuilds a set from its raw 256-bit representation — how the
+    /// columnar store lays the set out as four flat u64 column words.
+    pub(crate) fn from_words(words: [u64; 4]) -> HostSet {
+        HostSet(words)
+    }
+}
+
+/// A by-value read view of one destination /24's aggregates.
+///
+/// What [`TrafficView`] hands out instead of `&DstBlockStats`: counters
+/// and host sets are copied (40 + 96 bytes), the TCP size histogram is
+/// borrowed from the backing store. Map-backed stats produce it via
+/// [`DstBlockStats::as_ref`]; the columnar store assembles it straight
+/// from its columns.
+#[derive(Debug, Clone, Copy)]
+pub struct DstRef<'a> {
+    /// Sampled TCP packets.
+    pub tcp_packets: u64,
+    /// Sampled TCP octets.
+    pub tcp_octets: u64,
+    /// Sampled UDP packets.
+    pub udp_packets: u64,
+    /// Sampled ICMP packets.
+    pub icmp_packets: u64,
+    /// Sampled packets of other protocols.
+    pub other_packets: u64,
+    /// Hosts that received any sampled packet.
+    pub received: HostSet,
+    /// Hosts that received sampled TCP.
+    pub received_tcp: HostSet,
+    /// Hosts that received a sampled TCP packet larger than the ingest
+    /// size threshold.
+    pub received_big_tcp: HostSet,
+    /// TCP packet-size histogram, sorted by size.
+    pub(crate) tcp_sizes: &'a [(u16, u64)],
+}
+
+impl<'a> DstRef<'a> {
+    /// Sampled packets across all protocols.
+    pub fn total_packets(&self) -> u64 {
+        self.tcp_packets + self.udp_packets + self.icmp_packets + self.other_packets
+    }
+
+    /// Average TCP packet size destined to the block.
+    pub fn avg_tcp_size(&self) -> Option<f64> {
+        (self.tcp_packets > 0).then(|| self.tcp_octets as f64 / self.tcp_packets as f64)
+    }
+
+    /// Weighted median TCP packet size destined to the block (lower
+    /// median for even counts).
+    pub fn median_tcp_size(&self) -> Option<u16> {
+        if self.tcp_packets == 0 {
+            return None;
+        }
+        let half = self.tcp_packets.div_ceil(2);
+        let mut seen = 0;
+        for &(size, count) in self.tcp_sizes {
+            seen += count;
+            if seen >= half {
+                return Some(size);
+            }
+        }
+        // The histogram counts sum to tcp_packets, so the loop always
+        // crosses `half`; the largest recorded size is the correct
+        // answer if that invariant ever slipped, and it keeps this
+        // accessor total instead of a panic path.
+        self.tcp_sizes.last().map(|&(size, _)| size)
+    }
+
+    /// The TCP size histogram, sorted by size.
+    pub fn tcp_size_histogram(&self) -> &'a [(u16, u64)] {
+        self.tcp_sizes
+    }
+}
+
+/// A by-value read view of one source /24's aggregates.
+///
+/// Fully owned (`Copy`, no borrow): a packet counter plus the 32-byte
+/// originating-host set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SrcRef {
+    /// Sampled packets originated by the block.
+    pub packets: u64,
+    /// Hosts seen originating traffic.
+    pub originating: HostSet,
+}
+
+impl SrcRef {
+    /// Number of distinct hosts seen originating traffic.
+    pub fn active_hosts(&self) -> u32 {
+        self.originating.len()
+    }
 }
 
 /// Receive-side statistics for one destination /24.
@@ -182,35 +282,35 @@ pub struct DstBlockStats {
 }
 
 impl DstBlockStats {
+    /// The by-value [`TrafficView`] view of these aggregates.
+    pub fn as_ref(&self) -> DstRef<'_> {
+        DstRef {
+            tcp_packets: self.tcp_packets,
+            tcp_octets: self.tcp_octets,
+            udp_packets: self.udp_packets,
+            icmp_packets: self.icmp_packets,
+            other_packets: self.other_packets,
+            received: self.received,
+            received_tcp: self.received_tcp,
+            received_big_tcp: self.received_big_tcp,
+            tcp_sizes: &self.tcp_sizes,
+        }
+    }
+
     /// Sampled packets across all protocols.
     pub fn total_packets(&self) -> u64 {
-        self.tcp_packets + self.udp_packets + self.icmp_packets + self.other_packets
+        self.as_ref().total_packets()
     }
 
     /// Average TCP packet size destined to the block.
     pub fn avg_tcp_size(&self) -> Option<f64> {
-        (self.tcp_packets > 0).then(|| self.tcp_octets as f64 / self.tcp_packets as f64)
+        self.as_ref().avg_tcp_size()
     }
 
     /// Weighted median TCP packet size destined to the block (lower
     /// median for even counts).
     pub fn median_tcp_size(&self) -> Option<u16> {
-        if self.tcp_packets == 0 {
-            return None;
-        }
-        let half = self.tcp_packets.div_ceil(2);
-        let mut seen = 0;
-        for &(size, count) in &self.tcp_sizes {
-            seen += count;
-            if seen >= half {
-                return Some(size);
-            }
-        }
-        // The histogram counts sum to tcp_packets, so the loop always
-        // crosses `half`; the largest recorded size is the correct
-        // answer if that invariant ever slipped, and it keeps this
-        // accessor total instead of a panic path.
-        self.tcp_sizes.last().map(|&(size, _)| size)
+        self.as_ref().median_tcp_size()
     }
 
     /// The TCP size histogram, sorted by size.
@@ -218,7 +318,14 @@ impl DstBlockStats {
         &self.tcp_sizes
     }
 
-    fn ingest(&mut self, host: u8, protocol: u8, packets: u64, octets: u64, big_threshold: u16) {
+    pub(crate) fn ingest(
+        &mut self,
+        host: u8,
+        protocol: u8,
+        packets: u64,
+        octets: u64,
+        big_threshold: u16,
+    ) {
         self.received.insert(host);
         match IpProtocol::from_u8(protocol) {
             Some(IpProtocol::Tcp) => {
@@ -242,7 +349,7 @@ impl DstBlockStats {
         }
     }
 
-    fn ingest_sweep(
+    pub(crate) fn ingest_sweep(
         &mut self,
         protocol: u8,
         packets: u64,
@@ -281,6 +388,12 @@ impl DstBlockStats {
     }
 
     pub(crate) fn merge(&mut self, other: &DstBlockStats) {
+        self.merge_ref(other.as_ref());
+    }
+
+    /// Merges a by-value view into this accumulator — the bridge the
+    /// columnar ↔ map conversions use in both directions.
+    pub(crate) fn merge_ref(&mut self, other: DstRef<'_>) {
         self.tcp_packets += other.tcp_packets;
         self.tcp_octets += other.tcp_octets;
         self.udp_packets += other.udp_packets;
@@ -289,7 +402,7 @@ impl DstBlockStats {
         self.received.union_with(&other.received);
         self.received_tcp.union_with(&other.received_tcp);
         self.received_big_tcp.union_with(&other.received_big_tcp);
-        for &(size, count) in &other.tcp_sizes {
+        for &(size, count) in other.tcp_sizes {
             match self.tcp_sizes.binary_search_by_key(&size, |&(s, _)| s) {
                 Ok(i) => self.tcp_sizes[i].1 += count,
                 Err(i) => self.tcp_sizes.insert(i, (size, count)),
@@ -308,17 +421,30 @@ pub struct SrcBlockStats {
 }
 
 impl SrcBlockStats {
+    /// The by-value [`TrafficView`] view of these aggregates.
+    pub fn as_ref(&self) -> SrcRef {
+        SrcRef {
+            packets: self.packets,
+            originating: self.originating,
+        }
+    }
+
     /// Number of distinct hosts seen originating traffic.
     pub fn active_hosts(&self) -> u32 {
         self.originating.len()
     }
 
-    fn ingest(&mut self, host: u8, packets: u64) {
+    pub(crate) fn ingest(&mut self, host: u8, packets: u64) {
         self.packets += packets;
         self.originating.insert(host);
     }
 
     pub(crate) fn merge(&mut self, other: &SrcBlockStats) {
+        self.merge_ref(other.as_ref());
+    }
+
+    /// Merges a by-value view into this accumulator.
+    pub(crate) fn merge_ref(&mut self, other: SrcRef) {
         self.packets += other.packets;
         self.originating.union_with(&other.originating);
     }
@@ -329,7 +455,9 @@ impl SrcBlockStats {
 pub struct TrafficStats {
     // /24 indices are well-mixed u32s from our own pipeline, so the
     // hot maps use the fast deterministic hasher instead of SipHash.
+    // check: allow(columnar_policy, "the map backend is the proptest oracle the columnar store is verified against")
     per_dst: FxHashMap<u32, DstBlockStats>,
+    // check: allow(columnar_policy, "the map backend is the proptest oracle the columnar store is verified against")
     per_src: FxHashMap<u32, SrcBlockStats>,
     size_threshold: u16,
     /// Number of flow records ingested.
@@ -505,6 +633,23 @@ impl TrafficStats {
         }
     }
 
+    /// Materializes any [`TrafficView`] into a flat map-backed
+    /// accumulator — the escape hatch the columnar store uses when a
+    /// call site insists on the unsharded hashmap representation.
+    pub fn from_view<V: TrafficView>(v: &V) -> TrafficStats {
+        let mut out = TrafficStats::with_size_threshold(v.size_threshold());
+        out.total_flows = v.total_flows();
+        out.total_packets = v.total_packets();
+        out.total_octets = v.total_octets();
+        for (b, d) in v.iter_dst() {
+            out.per_dst.entry(b.0).or_default().merge_ref(d);
+        }
+        for (b, s) in v.iter_src() {
+            out.per_src.entry(b.0).or_default().merge_ref(s);
+        }
+        out
+    }
+
     /// Merges only the blocks of `other` whose index satisfies `keep`,
     /// optionally including `other`'s record totals. Lets a sharded
     /// reduction project each input onto one shard's key space; exactly
@@ -539,20 +684,20 @@ impl TrafficStats {
 }
 
 impl TrafficView for TrafficStats {
-    fn dst(&self, block: Block24) -> Option<&DstBlockStats> {
-        TrafficStats::dst(self, block)
+    fn dst(&self, block: Block24) -> Option<DstRef<'_>> {
+        TrafficStats::dst(self, block).map(DstBlockStats::as_ref)
     }
 
-    fn src(&self, block: Block24) -> Option<&SrcBlockStats> {
-        TrafficStats::src(self, block)
+    fn src(&self, block: Block24) -> Option<SrcRef> {
+        TrafficStats::src(self, block).map(SrcBlockStats::as_ref)
     }
 
-    fn iter_dst(&self) -> impl Iterator<Item = (Block24, &DstBlockStats)> {
-        TrafficStats::iter_dst(self)
+    fn iter_dst(&self) -> impl Iterator<Item = (Block24, DstRef<'_>)> {
+        TrafficStats::iter_dst(self).map(|(b, d)| (b, d.as_ref()))
     }
 
-    fn iter_src(&self) -> impl Iterator<Item = (Block24, &SrcBlockStats)> {
-        TrafficStats::iter_src(self)
+    fn iter_src(&self) -> impl Iterator<Item = (Block24, SrcRef)> {
+        TrafficStats::iter_src(self).map(|(b, s)| (b, s.as_ref()))
     }
 
     fn dst_block_count(&self) -> usize {

@@ -88,6 +88,11 @@ pub struct InternetConfig {
     /// stretches inside an announcement — gives Hilbert maps their blocky
     /// look and makes whole-prefix dark ranges possible.
     pub dark_run_mean: f64,
+    /// Probability that an unannounced gap is left after a regular
+    /// allocation. Each gap costs up to a full alignment span of
+    /// address space; the full-IPv4 profile keeps this near zero so
+    /// the announced space approaches the usable 2^24 /24s.
+    pub gap_probability: f64,
     /// First octets of /8 blocks kept entirely unannounced (the spoofing
     /// baseline of Section 7.2 observes traffic "from" these).
     pub unrouted_octets: Vec<u8>,
@@ -241,6 +246,46 @@ impl InternetConfig {
                 (22, 0.14),
             ],
             dark_run_mean: 24.0,
+            gap_probability: 0.15,
+            unrouted_octets: vec![37, 53],
+            rib_churn: 0.002,
+            ixps: Self::paper_ixps(),
+            telescopes: Self::paper_telescopes(),
+            aux_coverage: AuxCoverage {
+                censys: 0.80,
+                ndt: 0.30,
+                isi: 0.60,
+            },
+        }
+    }
+
+    /// Full-IPv4 profile: the whole usable unicast space announced.
+    ///
+    /// Nominally the 16.8M (2^24) /24s of IPv4; what is actually
+    /// announceable is the ~221 usable first octets left after removing
+    /// 0/8, 224/4 and above, special-purpose blocks, and the two
+    /// never-announced /8s (octets 37 and 53) — about 14.5M /24s, of
+    /// which the legacy-style /8-heavy allocation below covers the vast
+    /// majority (occasional unannounced gaps are left by design, like
+    /// the other profiles). Same IXP/telescope roster as
+    /// [`InternetConfig::paper`]; intended for the columnar stats
+    /// layout, where a full day window fits in a few GB.
+    pub fn full() -> Self {
+        InternetConfig {
+            num_ases: 2_500,
+            continents: Self::default_continents(),
+            // Legacy /8s are drawn from the /8-heavy regular weights
+            // below instead of the separate legacy path.
+            legacy_slash8_fraction: 0.0,
+            mean_prefixes_per_as: 2.4,
+            // Whole /8s only: mixing in longer prefixes costs up to a
+            // /8 of alignment waste at every size transition, which at
+            // this scale forfeits megablocks of coverage.
+            prefix_len_weights: vec![(8, 1.0)],
+            // Long dark runs keep per-announcement run counts (and thus
+            // generation time) modest at /8 spans.
+            dark_run_mean: 96.0,
+            gap_probability: 0.02,
             unrouted_octets: vec![37, 53],
             rib_churn: 0.002,
             ixps: Self::paper_ixps(),
@@ -272,6 +317,7 @@ impl InternetConfig {
             mean_prefixes_per_as: 1.6,
             prefix_len_weights: vec![(16, 0.1), (18, 0.2), (20, 0.4), (22, 0.3)],
             dark_run_mean: 12.0,
+            gap_probability: 0.15,
             unrouted_octets: vec![37, 53],
             rib_churn: 0.002,
             ixps: vec![

@@ -16,7 +16,7 @@ use crate::config::InternetConfig;
 use crate::vantage::VantagePoint;
 use mt_types::{
     geo, Asn, Block24, Block24Set, Continent, Country, Ipv4, NetworkType, OrgId, Prefix,
-    PrefixTrie, RibIndex, SpecialRegistry,
+    PrefixTrie, RibIndex, Slot24Index, SpecialRegistry, NUM_BLOCKS,
 };
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -92,14 +92,23 @@ pub struct Telescope {
 }
 
 impl Telescope {
+    /// One past the last block index, clamped to the top of the address
+    /// space. `first_block + num_blocks` is computed in `u64` and capped
+    /// at [`NUM_BLOCKS`] so a range placed at the very top of IPv4 can
+    /// never wrap into low /24 indexes.
+    fn end_block(&self) -> u32 {
+        (u64::from(self.first_block.0) + u64::from(self.num_blocks)).min(u64::from(NUM_BLOCKS))
+            as u32
+    }
+
     /// Iterates over the telescope's blocks.
     pub fn blocks(&self) -> impl Iterator<Item = Block24> {
-        (self.first_block.0..self.first_block.0 + self.num_blocks).map(Block24)
+        (self.first_block.0..self.end_block()).map(Block24)
     }
 
     /// Whether `block` belongs to the telescope.
     pub fn contains(&self, block: Block24) -> bool {
-        (self.first_block.0..self.first_block.0 + self.num_blocks).contains(&block.0)
+        (self.first_block.0..self.end_block()).contains(&block.0)
     }
 
     /// Blocks handed out to end users on `day` (and therefore *not* dark
@@ -266,6 +275,15 @@ impl Internet {
                 _ => NetworkType::Isp,
             };
             let as_idx = Self::pick_as(&ases, tc.region, host_type, &mut rng);
+            // A telescope is one announcement of at most a /8; larger
+            // values would overflow the allocator's span contract (and,
+            // far before `u32::MAX`, `next_power_of_two` itself).
+            assert!(
+                tc.num_blocks >= 1 && tc.num_blocks <= 1 << 16,
+                "telescope {} must cover between 1 and 65536 /24s, got {}",
+                tc.code,
+                tc.num_blocks
+            );
             let span = tc.num_blocks.next_power_of_two();
             let first = alloc
                 .alloc(span)
@@ -391,7 +409,7 @@ impl Internet {
                 Self::assign_dark_runs(&mut ann, span, dark_p, config.dark_run_mean, &mut rng);
                 announcements.push(ann);
                 // Occasional unannounced gap after an allocation.
-                if rng.random::<f64>() < 0.15 {
+                if rng.random::<f64>() < config.gap_probability {
                     alloc.skip(rng.random_range(1..span.max(2)));
                 }
             }
@@ -568,8 +586,23 @@ impl Internet {
     }
 
     /// Total number of announced /24s.
-    pub fn announced_blocks(&self) -> usize {
-        self.dark_truth.len() + self.active_truth.len()
+    ///
+    /// Returned as `u64`: the full-IPv4 profile announces on the order
+    /// of 2^24 blocks, and downstream accounting multiplies this count
+    /// (flows per block, octets per flow) where 32-bit intermediate
+    /// products would overflow.
+    pub fn announced_blocks(&self) -> u64 {
+        self.dark_truth.len() as u64 + self.active_truth.len() as u64
+    }
+
+    /// Compiles the block ↔ slot mapping of the announced space, the
+    /// index behind the columnar stats layout (`StatsLayout::Columnar`).
+    ///
+    /// Built from the *full* announcement set, not a day RIB: daily
+    /// churn only withdraws announcements, so every day's routed space
+    /// is a subset of these slots and one index serves a whole run.
+    pub fn slot_index(&self) -> Slot24Index {
+        Slot24Index::build(&self.pfx2ann_index)
     }
 
     /// The RIB snapshot for `day`: announcements minus churn. Withdrawal
@@ -776,6 +809,84 @@ mod tests {
         for a in &net.ases {
             assert_eq!(mt_types::geo::continent_of(a.country), Some(a.continent));
         }
+    }
+
+    #[test]
+    fn telescope_range_is_clamped_at_the_top_of_the_address_space() {
+        let t = Telescope {
+            code: "TTOP".to_owned(),
+            as_idx: 0,
+            first_block: Block24(NUM_BLOCKS - 4),
+            num_blocks: 16,
+            blocked_ports: vec![],
+            dynamic_active_fraction: 0.0,
+        };
+        let blocks: Vec<Block24> = t.blocks().collect();
+        assert_eq!(blocks.len(), 4, "range must stop at the last /24");
+        assert!(blocks.iter().all(|b| b.0 < NUM_BLOCKS));
+        assert!(t.contains(Block24(NUM_BLOCKS - 1)));
+        assert!(!t.contains(Block24(0)), "the range must not wrap");
+        assert!(!t.contains(Block24(NUM_BLOCKS - 5)));
+
+        // A first block beyond the /24 space yields an empty range, and
+        // first_block + num_blocks near u32::MAX must not wrap either.
+        let t2 = Telescope {
+            first_block: Block24(u32::MAX - 2),
+            num_blocks: 1 << 16,
+            ..t.clone()
+        };
+        assert_eq!(t2.blocks().count(), 0);
+        assert!(!t2.contains(Block24(0)));
+        assert!(t2.dark_on(Day(0), 1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover between 1 and 65536 /24s")]
+    fn oversized_telescope_config_is_rejected() {
+        let mut config = InternetConfig::small();
+        config.telescopes[0].num_blocks = (1 << 16) + 1;
+        Internet::generate(config, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover between 1 and 65536 /24s")]
+    fn empty_telescope_config_is_rejected() {
+        let mut config = InternetConfig::small();
+        config.telescopes[1].num_blocks = 0;
+        Internet::generate(config, 7);
+    }
+
+    #[test]
+    fn slot_index_covers_exactly_the_announced_space() {
+        let net = small();
+        let slots = net.slot_index();
+        assert_eq!(u64::from(slots.num_slots()), net.announced_blocks());
+        for block in net.dark_truth.iter().take(100) {
+            assert!(slots.slot_of(block).is_some());
+        }
+        for block in net.active_truth.iter().take(100) {
+            assert!(slots.slot_of(block).is_some());
+        }
+        assert_eq!(slots.slot_of(Block24(37 << 16)), None, "unrouted /8");
+    }
+
+    #[test]
+    fn full_profile_generates_at_ipv4_scale() {
+        let net = Internet::generate(InternetConfig::full(), 3);
+        let announced = net.announced_blocks();
+        assert!(
+            announced > 13_000_000,
+            "full profile should announce most of the ~14.5M usable /24s, got {announced}"
+        );
+        assert!(u64::from(net.dark_truth.len() as u32) < announced);
+        let slots = net.slot_index();
+        assert_eq!(u64::from(slots.num_slots()), announced);
+        // The never-announced /8s and reserved space stay unannounced.
+        for &o in net.unrouted_octets() {
+            assert_eq!(net.block_info(Block24((u32::from(o)) << 16)), None);
+        }
+        assert_eq!(net.block_info(Block24(0)), None);
+        assert_eq!(net.block_info(Block24(NUM_BLOCKS - 1)), None);
     }
 
     #[test]

@@ -27,7 +27,7 @@ use crate::queue::{BoundedQueue, OverflowPolicy, PushOutcome, QueueStats};
 use crate::scheduler::{CombinedReport, SchedulerConfig, WindowReport, WindowScheduler};
 use crate::window::{Gate, WindowTracker};
 use mt_core::pipeline::PipelineConfig;
-use mt_flow::{FlowRecord, ShardedTrafficStats};
+use mt_flow::{FlowRecord, ShardedTrafficStats, StatsLayout};
 use mt_obs::{Counter, MetricsRegistry};
 use mt_types::{Asn, Day, FxHashMap, PrefixTrie, SimDuration};
 use mt_wire::ipfix::IpfixFlow;
@@ -43,6 +43,12 @@ pub struct StreamConfig {
     pub num_shards: usize,
     /// Per-host size threshold (must match the pipeline's).
     pub size_threshold: u16,
+    /// Storage layout of the window accumulators: hashmap-backed shards
+    /// (the default) or columnar slot-range shards over a fixed
+    /// announced-space index. With the columnar layout the slot index
+    /// must cover every day's announced space (window close asserts
+    /// matching fingerprints when merging worker accumulators).
+    pub layout: StatsLayout,
     /// Ingest worker threads.
     pub ingest_threads: usize,
     /// Worker threads for each window's `run_sharded`.
@@ -65,6 +71,7 @@ impl Default for StreamConfig {
         StreamConfig {
             num_shards: mt_flow::sharded::DEFAULT_SHARDS,
             size_threshold: mt_flow::stats::DEFAULT_SIZE_THRESHOLD,
+            layout: StatsLayout::Map,
             ingest_threads: 2,
             pipeline_threads: 2,
             queue_capacity: 64,
@@ -240,6 +247,14 @@ struct Shared {
     drained: Condvar,
     num_shards: usize,
     size_threshold: u16,
+    layout: StatsLayout,
+}
+
+impl Shared {
+    /// An empty window accumulator with the configured shape.
+    fn empty_stats(&self) -> ShardedTrafficStats {
+        ShardedTrafficStats::with_layout(self.num_shards, self.size_threshold, self.layout.clone())
+    }
 }
 
 /// The streaming stack: collector sessions, window gate, bounded queue,
@@ -306,6 +321,7 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> StreamService<F> {
             drained: Condvar::new(),
             num_shards: cfg.num_shards,
             size_threshold: cfg.size_threshold,
+            layout: cfg.layout.clone(),
         });
         let handles = (0..cfg.ingest_threads)
             .map(|i| {
@@ -452,12 +468,7 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> StreamService<F> {
                 }
             }
         }
-        let stats = merged.unwrap_or_else(|| {
-            ShardedTrafficStats::with_size_threshold(
-                self.shared.num_shards,
-                self.shared.size_threshold,
-            )
-        });
+        let stats = merged.unwrap_or_else(|| self.shared.empty_stats());
         let records = self.window_records.remove(&day).unwrap_or(0);
         for (i, load) in stats.shard_loads().into_iter().enumerate() {
             let shard = i.to_string();
@@ -638,9 +649,9 @@ fn ingest_worker(shared: &Shared, index: usize) {
         let n = batch.records.len() as u64;
         {
             let mut days = crate::sync::lock(&shared.workers[index]);
-            let stats = days.entry(batch.day).or_insert_with(|| {
-                ShardedTrafficStats::with_size_threshold(shared.num_shards, shared.size_threshold)
-            });
+            let stats = days
+                .entry(batch.day)
+                .or_insert_with(|| shared.empty_stats());
             for r in &batch.records {
                 stats.ingest(r);
             }
@@ -753,6 +764,50 @@ mod tests {
             assert_eq!(fin.days, 3);
             assert_eq!(fin.result.dark, batch.dark);
             assert_eq!(fin.result.funnel, batch.funnel);
+        }
+    }
+
+    #[test]
+    fn columnar_layout_streams_bit_identical_to_map_layout() {
+        // Slot index over the destination space only: the 9.9.9.9
+        // sources have no slot and exercise the overflow path.
+        let slot_trie: PrefixTrie<()> = [("20.0.0.0/8".parse::<Prefix>().unwrap(), ())]
+            .into_iter()
+            .collect();
+        let slots = Arc::new(mt_types::Slot24Index::build(&mt_types::RibIndex::build(
+            &slot_trie,
+        )));
+        let run = |layout: StatsLayout| {
+            let cfg = StreamConfig {
+                ingest_threads: 3,
+                allowed_lateness: SimDuration::hours(1),
+                layout,
+                ..StreamConfig::default()
+            };
+            let mut svc = StreamService::start(cfg, |_| rib());
+            let mut seq = 0;
+            for d in 0..3 {
+                svc.push_chunk("CE1", &encode(&day_records(Day(d)), &mut seq));
+            }
+            svc.finish()
+        };
+        let map = run(StatsLayout::Map);
+        let columnar = run(StatsLayout::Columnar(slots));
+        assert_eq!(map.windows.len(), columnar.windows.len());
+        for (m, c) in map.windows.iter().zip(&columnar.windows) {
+            assert_eq!(m.records, c.records, "day {}", m.day.0);
+            assert_eq!(m.result.dark, c.result.dark, "day {}", m.day.0);
+            assert_eq!(m.result.unclean, c.result.unclean);
+            assert_eq!(m.result.gray, c.result.gray);
+            assert_eq!(m.result.funnel, c.result.funnel);
+        }
+        for (m, c) in map.combined.iter().zip(&columnar.combined) {
+            assert_eq!(
+                m.result.dark, c.result.dark,
+                "combined after {} days",
+                m.days
+            );
+            assert_eq!(m.result.funnel, c.result.funnel);
         }
     }
 

@@ -41,28 +41,43 @@ fn str_hash(s: &str) -> u64 {
 /// tolerance baseline of Section 7.2.
 #[derive(Debug, Clone)]
 pub struct SpoofSpace {
-    announced_blocks: Vec<u32>,
+    /// One entry per announcement: first covered /24 and the number of
+    /// announced /24s *before* it (prefix sum in announcement order).
+    /// Draws map a uniform index over all announced blocks back to its
+    /// announcement by binary search, so the table stays O(prefixes)
+    /// where a flat block list would be O(blocks) — 64 MB of indexes at
+    /// the full-IPv4 scale.
+    intervals: Vec<(u32, u64)>,
+    total_blocks: u64,
     routed_bias: f64,
 }
 
 impl SpoofSpace {
     /// Builds the forged-source space for a scenario.
     pub fn new(net: &Internet, routed_bias: f64) -> Self {
-        let mut announced_blocks = Vec::new();
+        let mut intervals = Vec::with_capacity(net.announcements.len());
+        let mut total_blocks = 0u64;
         for ann in &net.announcements {
             let first = ann.prefix.base().block24_index();
-            announced_blocks.extend(first..first + ann.prefix.num_blocks24());
+            intervals.push((first, total_blocks));
+            total_blocks += u64::from(ann.prefix.num_blocks24());
         }
         SpoofSpace {
-            announced_blocks,
+            intervals,
+            total_blocks,
             routed_bias,
         }
     }
 
     /// Draws one forged source address.
     pub fn forge<R: RngExt>(&self, rng: &mut R) -> Ipv4 {
-        if !self.announced_blocks.is_empty() && rng.random::<f64>() < self.routed_bias {
-            let block = self.announced_blocks[rng.random_range(0..self.announced_blocks.len())];
+        if self.total_blocks > 0 && rng.random::<f64>() < self.routed_bias {
+            // The x-th announced /24 in announcement order — the same
+            // block the old flat list indexed at position x.
+            let x = rng.random_range(0..self.total_blocks);
+            let i = self.intervals.partition_point(|&(_, before)| before <= x) - 1;
+            let (first, before) = self.intervals[i];
+            let block = first + (x - before) as u32;
             Block24(block).addr(rng.random::<u8>())
         } else {
             Ipv4(rng.random::<u32>())

@@ -23,17 +23,19 @@ pub mod ipv4;
 pub mod mix;
 pub mod prefix;
 pub mod rib_index;
+pub mod slots;
 pub mod special;
 pub mod time;
 pub mod trie;
 
-pub use block::{Block24, Block24Set};
+pub use block::{Block24, Block24Set, NUM_BLOCKS};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use geo::{Continent, Country, NetworkType};
 pub use hilbert::HilbertCurve;
 pub use ipv4::Ipv4;
 pub use prefix::{Prefix, PrefixParseError};
 pub use rib_index::RibIndex;
+pub use slots::Slot24Index;
 pub use special::SpecialRegistry;
 pub use time::{Day, SimDuration, SimTime, Weekday};
 pub use trie::{Covering, PrefixTrie};

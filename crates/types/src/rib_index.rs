@@ -221,6 +221,18 @@ impl<V> RibIndex<V> {
     pub fn is_empty(&self) -> bool {
         self.starts.is_empty()
     }
+
+    /// The resolved disjoint intervals as `(start, inclusive end)`
+    /// address pairs, in ascending address order.
+    ///
+    /// This is the stable build order [`crate::Slot24Index`] assigns
+    /// row ids from: same RIB → same intervals → same slot numbering.
+    pub fn intervals(&self) -> impl Iterator<Item = (Ipv4, Ipv4)> + '_ {
+        self.starts
+            .iter()
+            .zip(&self.ends)
+            .map(|(&s, &e)| (Ipv4(s), Ipv4(e)))
+    }
 }
 
 #[cfg(test)]
