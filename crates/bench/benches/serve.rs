@@ -1,0 +1,303 @@
+//! Serve bench: the daemon under fleet load on real loopback sockets.
+//!
+//! Two phases, each against a fresh daemon:
+//!
+//! - `tcp_fleet` — 128 concurrent TCP exporters blast one day of flows
+//!   through the event loop; backpressure paces them end to end, so the
+//!   measured rate is the daemon's sustained lossless ingest throughput.
+//!   p50/p99 per-push ingest latency comes from the daemon's own
+//!   `mt_serve_ingest_nanoseconds` histogram.
+//! - `udp_path` — a smaller UDP fleet with deliberately torn datagrams
+//!   mixed in; UDP has no backpressure, so the bench waits for
+//!   quiescence and reports delivery and rejection honestly.
+//!
+//! Emits machine-readable `BENCH_serve.json` (path overridable via the
+//! `BENCH_SERVE_JSON` env var) for CI validation. Run with no `--bench`
+//! flag (as `cargo test` does) or with `--smoke` it uses small flow
+//! counts; under `cargo bench` it uses full sizes.
+
+use mt_serve::replay::{self, Workload};
+use mt_serve::{Daemon, ServeConfig, ShutdownHandle};
+use mt_stream::{HealthSnapshot, OverflowPolicy, StreamConfig};
+use mt_types::{Day, SimDuration};
+use serde::Serialize;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, UdpSocket};
+use std::time::{Duration, Instant};
+
+#[derive(Serialize)]
+struct TcpFleet {
+    exporters: usize,
+    flows: u64,
+    seconds: f64,
+    flows_per_second: f64,
+    p50_ingest_ns: u64,
+    p99_ingest_ns: u64,
+}
+
+#[derive(Serialize)]
+struct UdpPath {
+    exporters: usize,
+    datagrams_sent: u64,
+    datagrams_received: u64,
+    datagrams_rejected: u64,
+    flows_sent: u64,
+    flows_decoded: u64,
+    delivery_rate: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    mode: &'static str,
+    tcp: TcpFleet,
+    udp: UdpPath,
+}
+
+struct Sizes {
+    tcp_exporters: usize,
+    tcp_flows_per_exporter: usize,
+    udp_exporters: usize,
+    udp_flows_per_exporter: usize,
+}
+
+const SMOKE: Sizes = Sizes {
+    tcp_exporters: 128,
+    tcp_flows_per_exporter: 500,
+    udp_exporters: 16,
+    udp_flows_per_exporter: 500,
+};
+
+const FULL: Sizes = Sizes {
+    tcp_exporters: 128,
+    tcp_flows_per_exporter: 20_000,
+    udp_exporters: 32,
+    udp_flows_per_exporter: 5_000,
+};
+
+type RibFn = fn(Day) -> mt_types::PrefixTrie<mt_types::Asn>;
+
+fn daemon() -> (Daemon<RibFn>, ShutdownHandle) {
+    let d = Daemon::bind(
+        ServeConfig {
+            stream: StreamConfig {
+                ingest_threads: std::thread::available_parallelism().map_or(2, |n| n.get().min(4)),
+                overflow: OverflowPolicy::Block,
+                allowed_lateness: SimDuration::hours(2),
+                ..StreamConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+        (|_| replay::default_rib()) as RibFn,
+    )
+    .expect("bind daemon");
+    let h = d.shutdown_handle().expect("shutdown handle");
+    (d, h)
+}
+
+fn health(http: SocketAddr) -> HealthSnapshot {
+    let mut sock = TcpStream::connect(http).expect("connect http");
+    sock.write_all(b"GET /health HTTP/1.1\r\nHost: b\r\n\r\n")
+        .expect("send request");
+    let mut response = Vec::new();
+    sock.read_to_end(&mut response).expect("read response");
+    let text = String::from_utf8(response).expect("utf8");
+    let body = &text[text.find("\r\n\r\n").expect("head end") + 4..];
+    serde_json::from_str(body).expect("health json")
+}
+
+/// Per-push ingest latency quantile from the daemon's own histogram.
+fn ingest_quantile(out: &mt_serve::ServeOutput, q: f64) -> u64 {
+    let snap = out.stream.registry.snapshot();
+    let sample = snap
+        .samples
+        .iter()
+        .find(|s| s.name == "mt_serve_ingest_nanoseconds")
+        .expect("ingest histogram registered");
+    match &sample.value {
+        mt_obs::SampleValue::Histogram(h) => {
+            h.quantile_upper_bound(q).expect("histogram not empty")
+        }
+        other => panic!("not a histogram: {other:?}"),
+    }
+}
+
+/// 128 concurrent TCP exporters, one day each, backpressure-paced.
+fn tcp_fleet(sizes: &Sizes) -> TcpFleet {
+    let w = Workload {
+        exporters: sizes.tcp_exporters,
+        days: 1,
+        flows_per_exporter_day: sizes.tcp_flows_per_exporter,
+        seed: 0xF1EE7,
+    };
+    let (daemon, handle) = daemon();
+    let tcp_to = daemon.tcp_addr().expect("tcp on");
+    let http = daemon.http_addr().expect("http on");
+    let runner = std::thread::spawn(move || daemon.run());
+
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for e in 0..w.exporters {
+            s.spawn(move || {
+                let mut seq = 0;
+                let messages = w.encode_day(e, Day(0), &mut seq, 64);
+                let mut sock = TcpStream::connect(tcp_to).expect("connect exporter");
+                for msg in &messages {
+                    sock.write_all(msg).expect("send stream");
+                }
+                sock.shutdown(std::net::Shutdown::Write)
+                    .expect("close write");
+            });
+        }
+    });
+    // Senders are done; wait until every flow has cleared decode.
+    while health(http).decoded < w.total_flows() {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let seconds = t0.elapsed().as_secs_f64();
+
+    handle.shutdown();
+    let out = runner.join().expect("join").expect("run");
+    assert_eq!(out.stream.health.decoded, w.total_flows(), "lossless TCP");
+    assert_eq!(out.tcp_connections, w.exporters as u64);
+    out.stream.health.check_invariants().expect("ledger");
+
+    let fleet = TcpFleet {
+        exporters: w.exporters,
+        flows: w.total_flows(),
+        seconds,
+        flows_per_second: w.total_flows() as f64 / seconds,
+        p50_ingest_ns: ingest_quantile(&out, 0.5),
+        p99_ingest_ns: ingest_quantile(&out, 0.99),
+    };
+    println!(
+        "tcp_fleet: {} exporters, {} flows in {:.3}s = {:.0} flows/s (ingest p50 <= {} ns, p99 <= {} ns)",
+        fleet.exporters,
+        fleet.flows,
+        fleet.seconds,
+        fleet.flows_per_second,
+        fleet.p50_ingest_ns,
+        fleet.p99_ingest_ns
+    );
+    fleet
+}
+
+/// A UDP fleet with torn datagrams mixed in; waits for quiescence and
+/// reports delivery honestly (UDP may shed at the kernel buffer).
+fn udp_path(sizes: &Sizes) -> UdpPath {
+    let w = Workload {
+        exporters: sizes.udp_exporters,
+        days: 1,
+        flows_per_exporter_day: sizes.udp_flows_per_exporter,
+        seed: 0x0DD5,
+    };
+    let (daemon, handle) = daemon();
+    let udp_to = daemon.udp_addr().expect("udp on");
+    let http = daemon.http_addr().expect("http on");
+    let runner = std::thread::spawn(move || daemon.run());
+
+    let mut torn_sent = 0u64;
+    let datagrams_sent: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..w.exporters)
+            .map(|e| {
+                s.spawn(move || {
+                    let sock = UdpSocket::bind(("127.0.0.1", 0)).expect("bind exporter");
+                    let mut seq = 0;
+                    let mut sent = 0u64;
+                    for (i, msg) in w.encode_day(e, Day(0), &mut seq, 64).iter().enumerate() {
+                        // Every 8th datagram goes out torn mid-record.
+                        let payload = if i % 8 == 7 {
+                            &msg[..msg.len() - 5]
+                        } else {
+                            &msg[..]
+                        };
+                        sock.send_to(payload, udp_to).expect("send datagram");
+                        sent += 1;
+                    }
+                    sent
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("exporter"))
+            .sum()
+    });
+    for e in 0..w.exporters {
+        let msgs = w.encode_day(e, Day(0), &mut 0, 64);
+        torn_sent += (msgs.len() as u64) / 8;
+    }
+
+    // Quiescence: decoded stable across 25 consecutive 4ms polls.
+    let mut last = 0;
+    let mut stable = 0;
+    while stable < 25 {
+        std::thread::sleep(Duration::from_millis(4));
+        let now = health(http).decoded;
+        if now == last {
+            stable += 1;
+        } else {
+            stable = 0;
+            last = now;
+        }
+    }
+
+    handle.shutdown();
+    let out = runner.join().expect("join").expect("run");
+    out.stream.health.check_invariants().expect("ledger");
+    assert!(
+        out.datagrams_rejected <= torn_sent,
+        "only torn datagrams get rejected"
+    );
+    if out.datagrams == datagrams_sent {
+        assert_eq!(
+            out.datagrams_rejected, torn_sent,
+            "lossless delivery: every torn datagram was rejected"
+        );
+    }
+
+    let path = UdpPath {
+        exporters: w.exporters,
+        datagrams_sent,
+        datagrams_received: out.datagrams,
+        datagrams_rejected: out.datagrams_rejected,
+        flows_sent: w.total_flows(),
+        flows_decoded: out.stream.health.decoded,
+        delivery_rate: out.datagrams as f64 / datagrams_sent as f64,
+    };
+    println!(
+        "udp_path: {} exporters, {}/{} datagrams delivered ({:.1}%), {} rejected (torn), {}/{} flows decoded",
+        path.exporters,
+        path.datagrams_received,
+        path.datagrams_sent,
+        100.0 * path.delivery_rate,
+        path.datagrams_rejected,
+        path.flows_decoded,
+        path.flows_sent
+    );
+    path
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = !args.iter().any(|a| a == "--bench")
+        || args.iter().any(|a| a == "--smoke" || a == "--test");
+    let (mode, sizes) = if smoke {
+        ("smoke", SMOKE)
+    } else {
+        ("full", FULL)
+    };
+    println!("serve bench ({mode} mode)");
+
+    let report = Report {
+        bench: "serve",
+        mode,
+        tcp: tcp_fleet(&sizes),
+        udp: udp_path(&sizes),
+    };
+
+    let path = std::env::var("BENCH_SERVE_JSON").unwrap_or_else(|_| "BENCH_serve.json".into());
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&path, json).expect("write bench json");
+    println!("wrote {path}");
+}

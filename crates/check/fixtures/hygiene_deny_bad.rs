@@ -1,0 +1,8 @@
+//! Fixture: a crate root taking the deny-level escape hatch silently.
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A public item so the file is a plausible crate root.
+pub fn answer() -> u32 {
+    42
+}

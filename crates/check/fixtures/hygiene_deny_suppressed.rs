@@ -1,0 +1,9 @@
+//! Fixture: the deny-level escape hatch, taken with a stated reason.
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+// check: allow(crate_hygiene, "fixture: one audited sys module needs scoped unsafe for FFI")
+
+/// A public item so the file is a plausible crate root.
+pub fn answer() -> u32 {
+    42
+}

@@ -1,0 +1,6 @@
+//! Fixture: an `unsafe` block with no safety argument.
+
+/// Reads the first byte of a raw pointer.
+pub fn first_byte(p: *const u8) -> u8 {
+    unsafe { *p }
+}

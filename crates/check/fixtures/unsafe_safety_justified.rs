@@ -1,0 +1,7 @@
+//! Fixture: an `unsafe` block carrying its safety argument.
+
+/// Reads the first byte of a raw pointer.
+pub fn first_byte(p: *const u8) -> u8 {
+    // safety: the caller guarantees `p` is valid for reads of one byte.
+    unsafe { *p }
+}

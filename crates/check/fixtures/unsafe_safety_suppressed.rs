@@ -1,0 +1,7 @@
+//! Fixture: an unjustified `unsafe` block silenced by pragma.
+
+/// Reads the first byte of a raw pointer.
+pub fn first_byte(p: *const u8) -> u8 {
+    // check: allow(crate_hygiene, "fixture: suppression path under test")
+    unsafe { *p }
+}

@@ -27,7 +27,7 @@ pub const RULE_IDS: [&str; 7] = [
 pub const RULE_DESCRIPTIONS: [&str; 7] = [
     "every std::sync::atomic Ordering use site carries an adjacent `// ordering:` justification",
     "no unwrap/expect/panic!/unreachable!/todo!/unimplemented! in non-test, non-bench library code",
-    "every crate root declares #![forbid(unsafe_code)] and #![warn(missing_docs)]",
+    "crate roots declare #![warn(missing_docs)] and forbid unsafe code (or deny it with a pragma); every `unsafe` token needs an adjacent `// safety:` comment",
     "std HashMap/HashSet are forbidden in mt-flow/mt-types/mt-stream library code; use FxHashMap",
     "SystemTime::now/Instant::now are forbidden outside mt-obs and bench code (bit-identical replay)",
     "metric names registered in code and DESIGN.md's catalogue must match exactly, both directions",
@@ -193,18 +193,25 @@ fn no_panic(file: &SourceFile, report: &mut Report) {
 
 /// Rule 3: crate roots must forbid unsafe code and warn on missing
 /// docs, so the guarantees hold workspace-wide by construction.
+///
+/// One escape hatch exists for code that genuinely needs FFI (mt-serve's
+/// `sys` module wraps epoll): a crate root may downgrade to
+/// `#![deny(unsafe_code)]` — which, unlike `forbid`, an inner module can
+/// override with `#[allow(unsafe_code)]` — but only with a file-scoped
+/// pragma stating why, and then every `unsafe` token in the workspace's
+/// library code must carry an adjacent `// safety:` comment arguing the
+/// invariant that makes it sound.
 fn crate_hygiene(file: &SourceFile, report: &mut Report) {
+    unsafe_safety_audit(file, report);
     let is_crate_root = file.rel_path == "src/lib.rs"
         || (file.rel_path.starts_with("crates/") && file.rel_path.ends_with("/src/lib.rs"));
     if !is_crate_root {
         return;
     }
-    for needle in ["#![forbid(unsafe_code)]", "#![warn(missing_docs)]"] {
-        if !crate_root_has_attr(file, needle) {
-            if file.suppressed_anywhere("crate_hygiene") {
-                report.suppress("crate_hygiene");
-                continue;
-            }
+    let mut missing_attr = |needle: &str| {
+        if file.suppressed_anywhere("crate_hygiene") {
+            report.suppress("crate_hygiene");
+        } else {
             report.record_unsuppressable(
                 file,
                 "crate_hygiene",
@@ -213,6 +220,57 @@ fn crate_hygiene(file: &SourceFile, report: &mut Report) {
                 format!("crate root is missing `{needle}`"),
             );
         }
+    };
+    if !crate_root_has_attr(file, "#![warn(missing_docs)]") {
+        missing_attr("#![warn(missing_docs)]");
+    }
+    if !crate_root_has_attr(file, "#![forbid(unsafe_code)]") {
+        if !crate_root_has_attr(file, "#![deny(unsafe_code)]") {
+            missing_attr("#![forbid(unsafe_code)]");
+        } else if file.suppressed_anywhere("crate_hygiene") {
+            // The deny-level escape hatch is deliberate and reasoned.
+            report.suppress("crate_hygiene");
+        } else {
+            report.record_unsuppressable(
+                file,
+                "crate_hygiene",
+                1,
+                1,
+                "crate root downgrades to `#![deny(unsafe_code)]` without a pragma stating why"
+                    .to_owned(),
+            );
+        }
+    }
+}
+
+/// The `unsafe`-audit half of rule 3: every `unsafe` token in non-test
+/// library code needs a `// safety:` justification on its line or in
+/// the comment block directly above — the argument for why the compiler
+/// can't check this one is part of the code, reviewable where it bites.
+fn unsafe_safety_audit(file: &SourceFile, report: &mut Report) {
+    if file.role != Role::Lib {
+        return;
+    }
+    let mut flagged_lines = Vec::new();
+    for t in file.code_tokens() {
+        if t.text(&file.text) != "unsafe" || file.in_test_region(t.start) {
+            continue;
+        }
+        let (line, col) = file.line_col(t.start);
+        if flagged_lines.contains(&line) {
+            continue; // one justification covers the whole line
+        }
+        flagged_lines.push(line);
+        if has_adjacent_comment(file, line, "safety:") {
+            continue;
+        }
+        report.record(
+            file,
+            "crate_hygiene",
+            line,
+            col,
+            "`unsafe` without an adjacent `// safety:` justification comment".to_owned(),
+        );
     }
 }
 

@@ -127,6 +127,68 @@ fn crate_hygiene_fires_and_suppresses() {
 }
 
 #[test]
+fn crate_hygiene_deny_needs_a_pragma() {
+    let bad = check_one(
+        "crates/demo/src/lib.rs",
+        include_str!("../fixtures/hygiene_deny_bad.rs"),
+    );
+    assert_eq!(
+        bad.count("crate_hygiene"),
+        1,
+        "a silent downgrade to deny(unsafe_code) must fire:\n{}",
+        bad.render_human()
+    );
+
+    let sup = check_one(
+        "crates/demo/src/lib.rs",
+        include_str!("../fixtures/hygiene_deny_suppressed.rs"),
+    );
+    assert_eq!(sup.count("crate_hygiene"), 0, "{}", sup.render_human());
+    assert_eq!(
+        suppressed(&sup, "crate_hygiene"),
+        1,
+        "the reasoned escape hatch is counted, not silent"
+    );
+}
+
+#[test]
+fn unsafe_without_safety_comment_fires() {
+    let text = include_str!("../fixtures/unsafe_safety_bad.rs");
+    let bad = check_one("crates/demo/src/util.rs", text);
+    assert_eq!(
+        bad.count("crate_hygiene"),
+        1,
+        "a bare `unsafe` must fire in any lib file:\n{}",
+        bad.render_human()
+    );
+
+    let bin = check_one("crates/demo/src/bin/tool.rs", text);
+    assert_eq!(bin.count("crate_hygiene"), 0, "bins are out of audit scope");
+
+    let in_test = format!("#[cfg(test)]\nmod tests {{\n{text}\n}}\n");
+    let tst = check_one("crates/demo/src/util.rs", &in_test);
+    assert_eq!(tst.count("crate_hygiene"), 0, "test regions are exempt");
+
+    let ok = check_one(
+        "crates/demo/src/util.rs",
+        include_str!("../fixtures/unsafe_safety_justified.rs"),
+    );
+    assert_eq!(ok.count("crate_hygiene"), 0, "{}", ok.render_human());
+    assert_eq!(
+        suppressed(&ok, "crate_hygiene"),
+        0,
+        "a `// safety:` comment satisfies the audit outright"
+    );
+
+    let sup = check_one(
+        "crates/demo/src/util.rs",
+        include_str!("../fixtures/unsafe_safety_suppressed.rs"),
+    );
+    assert_eq!(sup.count("crate_hygiene"), 0, "{}", sup.render_human());
+    assert_eq!(suppressed(&sup, "crate_hygiene"), 1);
+}
+
+#[test]
 fn hash_policy_fires_and_suppresses() {
     let text = include_str!("../fixtures/hash_policy_bad.rs");
     let bad = check_one("crates/flow/src/fix.rs", text);

@@ -17,6 +17,20 @@ fn escape_label_value(v: &str) -> String {
     out
 }
 
+/// HELP text escaping per the text exposition format: only backslash
+/// and newline are escaped (quotes are legal in HELP, unlike labels).
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 /// `{k1="v1",k2="v2"}`, or `""` when there are no labels.
 fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
     let mut parts: Vec<String> = labels
@@ -43,7 +57,7 @@ pub fn render_prometheus_text(snapshot: &Snapshot) -> String {
     for s in &snapshot.samples {
         if last_name != Some(s.name.as_str()) {
             if !s.help.is_empty() {
-                let _ = writeln!(out, "# HELP {} {}", s.name, s.help);
+                let _ = writeln!(out, "# HELP {} {}", s.name, escape_help(&s.help));
             }
             let _ = writeln!(out, "# TYPE {} {}", s.name, s.value.kind().as_str());
             last_name = Some(s.name.as_str());

@@ -470,6 +470,32 @@ pub struct HistogramSample {
     pub count: u64,
 }
 
+impl HistogramSample {
+    /// The upper bound of the bucket containing quantile `q` (0..=1) —
+    /// the standard bucketed-quantile estimate. Returns `None` for an
+    /// empty histogram, and the largest finite bound when the quantile
+    /// lands in the `+Inf` bucket.
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // +Inf bucket: fall back to the largest finite bound,
+                // as Prometheus's histogram_quantile does.
+                return match self.bounds.get(i) {
+                    Some(&b) => Some(b),
+                    None => self.bounds.last().copied(),
+                };
+            }
+        }
+        self.bounds.last().copied()
+    }
+}
+
 /// One registered series at snapshot time.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Sample {
@@ -673,5 +699,37 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(c.get(), 40_000);
+    }
+
+    #[test]
+    fn histogram_quantile_upper_bounds() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("mt_q_test", &[10, 100, 1000], "");
+        assert_eq!(histo_sample(&reg).quantile_upper_bound(0.5), None);
+        for v in [5, 5, 5, 50, 50, 50, 50, 500, 500, 5000] {
+            h.observe(v);
+        }
+        let s = histo_sample(&reg);
+        assert_eq!(s.quantile_upper_bound(0.0), Some(10));
+        assert_eq!(s.quantile_upper_bound(0.3), Some(10));
+        assert_eq!(s.quantile_upper_bound(0.5), Some(100));
+        assert_eq!(s.quantile_upper_bound(0.9), Some(1000));
+        // The 10th observation sits in +Inf: report the top finite bound.
+        assert_eq!(s.quantile_upper_bound(0.99), Some(1000));
+        assert_eq!(s.quantile_upper_bound(1.0), Some(1000));
+    }
+
+    fn histo_sample(reg: &MetricsRegistry) -> HistogramSample {
+        match &reg
+            .snapshot()
+            .samples
+            .iter()
+            .find(|s| s.name == "mt_q_test")
+            .expect("registered")
+            .value
+        {
+            SampleValue::Histogram(h) => h.clone(),
+            other => panic!("not a histogram: {other:?}"),
+        }
     }
 }

@@ -1,0 +1,227 @@
+//! Prometheus text-exposition conformance for the registry's renderer.
+//!
+//! `/metrics` is scraped by software, not read by people, so the output
+//! must satisfy the text format (version 0.0.4) structurally: `# HELP`
+//! then `# TYPE` exactly once per metric name and before its samples,
+//! escaped HELP text and label values, cumulative non-decreasing
+//! histogram buckets ending at `+Inf`, `_count` equal to the `+Inf`
+//! bucket, every line well-formed, and a final trailing newline. These
+//! tests walk the rendered document line by line instead of substring
+//! probing, so a malformed line anywhere fails loudly.
+
+use mt_obs::MetricsRegistry;
+
+/// A registry exercising every sample shape the workspace produces.
+fn busy_registry() -> MetricsRegistry {
+    let reg = MetricsRegistry::new();
+    reg.counter("mt_plain_total", "a plain counter").add(3);
+    reg.counter_with(
+        "mt_labeled_total",
+        &[("exporter", "udp:127.0.0.1:9000"), ("transport", "udp")],
+        "a labeled counter",
+    )
+    .add(7);
+    reg.counter_with(
+        "mt_labeled_total",
+        &[("exporter", "b"), ("transport", "tcp")],
+        "dup help",
+    )
+    .inc();
+    reg.gauge("mt_depth", "a gauge").set(5);
+    reg.gauge("mt_helpless", "").set(1); // no HELP line, TYPE still present
+    let h = reg.histogram("mt_lat_nanoseconds", &[10, 100, 1000], "a histogram");
+    for v in [5, 50, 500, 5000] {
+        h.observe(v);
+    }
+    reg
+}
+
+fn render(reg: &MetricsRegistry) -> String {
+    reg.snapshot().render_prometheus_text()
+}
+
+/// Splits a sample line into (series, value) the way a scraper's lexer
+/// does: the separator is the first space *outside* any quoted label
+/// value, honouring backslash escapes — label values may legally
+/// contain spaces, braces, and escaped quotes.
+fn split_sample(line: &str) -> (String, u64) {
+    let mut in_quotes = false;
+    let mut escaped = false;
+    let mut split_at = None;
+    for (i, b) in line.bytes().enumerate() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match b {
+            b'\\' if in_quotes => escaped = true,
+            b'"' => in_quotes = !in_quotes,
+            b' ' if !in_quotes => {
+                split_at = Some(i);
+                break;
+            }
+            _ => {}
+        }
+    }
+    assert!(!in_quotes, "unterminated label value in {line:?}");
+    let space = split_at.unwrap_or_else(|| panic!("no value separator in {line:?}"));
+    let value = line[space + 1..]
+        .parse()
+        .unwrap_or_else(|e| panic!("bad value in {line:?}: {e}"));
+    (line[..space].to_owned(), value)
+}
+
+/// The metric name a series line belongs to, with histogram suffixes
+/// and label blocks stripped.
+fn base_name(series: &str) -> String {
+    let name = series.split('{').next().unwrap_or(series);
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stripped) = name.strip_suffix(suffix) {
+            return stripped.to_owned();
+        }
+    }
+    name.to_owned()
+}
+
+#[test]
+fn document_structure_is_scrape_clean() {
+    let text = render(&busy_registry());
+    assert!(text.ends_with('\n'), "final newline required");
+    assert!(!text.contains("\n\n"), "no blank lines");
+
+    let mut seen_help: Vec<String> = Vec::new();
+    let mut seen_type: Vec<String> = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().expect("HELP carries a name");
+            assert!(
+                !seen_help.contains(&name.to_owned()),
+                "HELP repeated for {name}"
+            );
+            assert!(
+                !seen_type.contains(&name.to_owned()),
+                "HELP must precede TYPE for {name}"
+            );
+            seen_help.push(name.to_owned());
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let name = parts.next().expect("TYPE carries a name");
+            let kind = parts.next().expect("TYPE carries a kind");
+            assert!(parts.next().is_none(), "extra tokens on TYPE line: {line}");
+            assert!(
+                ["counter", "gauge", "histogram"].contains(&kind),
+                "unknown kind {kind}"
+            );
+            assert!(
+                !seen_type.contains(&name.to_owned()),
+                "TYPE repeated for {name}"
+            );
+            seen_type.push(name.to_owned());
+        } else {
+            assert!(!line.starts_with('#'), "unknown comment line: {line}");
+            let (series, _) = split_sample(line);
+            let base = base_name(&series);
+            assert!(
+                seen_type.contains(&base),
+                "sample {series} before its TYPE line"
+            );
+        }
+    }
+    // Every registered family got a TYPE header; HELP only where help
+    // text was provided.
+    for name in [
+        "mt_plain_total",
+        "mt_labeled_total",
+        "mt_depth",
+        "mt_helpless",
+        "mt_lat_nanoseconds",
+    ] {
+        assert!(seen_type.contains(&name.to_owned()), "TYPE missing: {name}");
+    }
+    assert!(!seen_help.contains(&"mt_helpless".to_owned()));
+}
+
+#[test]
+fn histogram_buckets_are_cumulative_and_end_at_inf() {
+    let text = render(&busy_registry());
+    let buckets: Vec<(String, u64)> = text
+        .lines()
+        .filter(|l| l.starts_with("mt_lat_nanoseconds_bucket"))
+        .map(split_sample)
+        .collect();
+    assert_eq!(buckets.len(), 4, "3 bounds + +Inf");
+    let les: Vec<&str> = buckets
+        .iter()
+        .map(|(s, _)| {
+            s.split("le=\"")
+                .nth(1)
+                .and_then(|r| r.split('"').next())
+                .expect("le label present")
+        })
+        .collect();
+    assert_eq!(les, ["10", "100", "1000", "+Inf"]);
+    let counts: Vec<u64> = buckets.iter().map(|&(_, v)| v).collect();
+    assert!(counts.windows(2).all(|w| w[0] <= w[1]), "cumulative");
+    let (_, total) = split_sample(
+        text.lines()
+            .find(|l| l.starts_with("mt_lat_nanoseconds_count"))
+            .expect("_count line"),
+    );
+    assert_eq!(counts.last(), Some(&total), "+Inf bucket == _count");
+    let (_, sum) = split_sample(
+        text.lines()
+            .find(|l| l.starts_with("mt_lat_nanoseconds_sum"))
+            .expect("_sum line"),
+    );
+    assert_eq!(sum, 5 + 50 + 500 + 5000);
+}
+
+#[test]
+fn label_and_help_escaping() {
+    let reg = MetricsRegistry::new();
+    reg.counter_with(
+        "mt_esc_total",
+        &[("path", "a\\b"), ("msg", "line1\nline2\"q\"")],
+        "helps with \\ and\nnewlines",
+    )
+    .inc();
+    let text = render(&reg);
+    assert!(
+        text.contains("# HELP mt_esc_total helps with \\\\ and\\nnewlines\n"),
+        "HELP escapes backslash and newline: {text}"
+    );
+    assert!(
+        text.contains("path=\"a\\\\b\""),
+        "label backslash escaped: {text}"
+    );
+    assert!(
+        text.contains("msg=\"line1\\nline2\\\"q\\\"\""),
+        "label newline and quotes escaped: {text}"
+    );
+    // The escaped document stays one-sample-per-line.
+    assert_eq!(text.lines().filter(|l| !l.starts_with('#')).count(), 1);
+}
+
+#[test]
+fn every_line_is_parseable_even_with_hostile_labels() {
+    let reg = busy_registry();
+    reg.counter_with("mt_hostile_total", &[("v", "}\" {=,\\")], "h")
+        .inc();
+    let text = render(&reg);
+    for line in text.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let (series, _) = split_sample(line);
+        // A series is NAME or NAME{...} closing at the series end.
+        if series.contains('{') {
+            assert!(series.ends_with('}'), "unclosed label block in {series}");
+        }
+        let name = series.split('{').next().expect("name");
+        assert!(
+            name.bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b':'),
+            "illegal metric name {name}"
+        );
+    }
+}

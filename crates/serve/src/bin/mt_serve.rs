@@ -1,0 +1,165 @@
+//! `mt-serve`: the socket-facing collection daemon.
+//!
+//! Binds IPFIX/UDP, IPFIX/TCP, and HTTP endpoints, runs the epoll event
+//! loop until SIGTERM (or until `--max-seconds` for demos), then drains
+//! and prints the final windows and ledger.
+//!
+//! ```text
+//! cargo run --release --bin mt-serve -- \
+//!     --udp 127.0.0.1:4739 --tcp 127.0.0.1:4740 --http 127.0.0.1:9178
+//! ```
+//!
+//! Optional artifacts mirror `stream-demo`: `--health-json PATH` and
+//! `--metrics-text PATH` write the final health document and Prometheus
+//! exposition after the drain.
+
+use mt_serve::{replay, Daemon, ServeConfig};
+use mt_stream::{OverflowPolicy, StreamConfig};
+use mt_types::SimDuration;
+use std::net::SocketAddr;
+
+struct Args {
+    udp: Option<SocketAddr>,
+    tcp: Option<SocketAddr>,
+    http: Option<SocketAddr>,
+    lateness_hours: u64,
+    ingest_threads: usize,
+    max_seconds: Option<u64>,
+    health_json: Option<String>,
+    metrics_text: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        udp: Some("127.0.0.1:4739".parse().expect("default udp addr")),
+        tcp: Some("127.0.0.1:4740".parse().expect("default tcp addr")),
+        http: Some("127.0.0.1:9178".parse().expect("default http addr")),
+        lateness_hours: 2,
+        ingest_threads: std::thread::available_parallelism().map_or(2, |n| n.get().min(4)),
+        max_seconds: None,
+        health_json: None,
+        metrics_text: None,
+    };
+    let mut it = std::env::args().skip(1);
+    let addr = |v: Option<String>, what: &str| -> Option<SocketAddr> {
+        let v = v.unwrap_or_else(|| panic!("{what} needs ADDR|off"));
+        if v == "off" {
+            None
+        } else {
+            Some(v.parse().unwrap_or_else(|e| panic!("{what} {v}: {e}")))
+        }
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--udp" => args.udp = addr(it.next(), "--udp"),
+            "--tcp" => args.tcp = addr(it.next(), "--tcp"),
+            "--http" => args.http = addr(it.next(), "--http"),
+            "--lateness-hours" => {
+                args.lateness_hours = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--lateness-hours N");
+            }
+            "--ingest-threads" => {
+                args.ingest_threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--ingest-threads N");
+            }
+            "--max-seconds" => {
+                args.max_seconds = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--max-seconds N"),
+                );
+            }
+            "--health-json" => args.health_json = Some(it.next().expect("--health-json PATH")),
+            "--metrics-text" => args.metrics_text = Some(it.next().expect("--metrics-text PATH")),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = ServeConfig {
+        udp: args.udp,
+        tcp: args.tcp,
+        http: args.http,
+        catch_sigterm: true,
+        stream: StreamConfig {
+            ingest_threads: args.ingest_threads,
+            overflow: OverflowPolicy::Block,
+            allowed_lateness: SimDuration::hours(args.lateness_hours),
+            ..StreamConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    // The demo RIB: 20.0.0.0/8 announced by one AS. A deployment would
+    // plug per-day RIBs in through the library API instead.
+    let daemon = Daemon::bind(cfg, |_| replay::default_rib()).expect("bind daemon");
+    for (what, bound) in [
+        ("ipfix/udp", daemon.udp_addr()),
+        ("ipfix/tcp", daemon.tcp_addr()),
+        ("http", daemon.http_addr()),
+    ] {
+        match bound {
+            Some(a) => println!("mt-serve: {what} on {a}"),
+            None => println!("mt-serve: {what} off"),
+        }
+    }
+    println!("mt-serve: SIGTERM drains and exits");
+
+    if let Some(secs) = args.max_seconds {
+        let handle = daemon.shutdown_handle().expect("shutdown handle");
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_secs(secs));
+            handle.shutdown();
+        });
+    }
+
+    let out = daemon.run().expect("event loop");
+
+    println!(
+        "\nmt-serve: {} datagrams ({} rejected), {} tcp connections, {} http requests",
+        out.datagrams, out.datagrams_rejected, out.tcp_connections, out.http_requests
+    );
+    println!("per-exporter sessions:");
+    for e in &out.stream.exporters {
+        println!(
+            "  {:<24} {:>10} bytes {:>8} flows {:>4} errors",
+            e.name, e.bytes, e.flows, e.decode_errors
+        );
+    }
+    println!("windows:");
+    for w in &out.stream.windows {
+        println!(
+            "  {}: {} records -> dark {} unclean {} gray {}",
+            w.day,
+            w.records,
+            w.result.dark.len(),
+            w.result.unclean.len(),
+            w.result.gray.len()
+        );
+    }
+    let h = &out.stream.health;
+    println!(
+        "ledger: {} decoded = {} on-time + {} late + {} dropped-late; {} in flight after drain",
+        h.decoded, h.on_time, h.late, h.dropped_late, h.in_flight
+    );
+    if let Err(e) = h.check_invariants() {
+        eprintln!("mt-serve: health invariants violated: {e}");
+        std::process::exit(1);
+    }
+    if let Some(path) = &args.health_json {
+        let json = serde_json::to_string(h).expect("health serializes");
+        std::fs::write(path, &json).expect("write health json");
+        println!("wrote health document to {path}");
+    }
+    if let Some(path) = &args.metrics_text {
+        let text = out.stream.registry.snapshot().render_prometheus_text();
+        std::fs::write(path, &text).expect("write metrics text");
+        println!("wrote Prometheus exposition to {path}");
+    }
+}

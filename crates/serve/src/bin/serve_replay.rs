@@ -1,0 +1,151 @@
+//! `serve-replay`: the synthetic exporter fleet.
+//!
+//! Replays a deterministic [`Workload`] against a running `mt-serve`
+//! daemon — one OS thread per exporter, even exporters over UDP (one
+//! datagram per message), odd exporters over TCP — and reports the
+//! achieved send rate.
+//!
+//! ```text
+//! cargo run --release --bin serve-replay -- \
+//!     --udp 127.0.0.1:4739 --tcp 127.0.0.1:4740 \
+//!     --exporters 128 --days 1 --flows 10000
+//! ```
+//!
+//! With only `--udp` or only `--tcp`, every exporter uses that
+//! transport.
+
+use mt_serve::replay::Workload;
+use mt_types::Day;
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream, UdpSocket};
+
+struct Args {
+    udp: Option<SocketAddr>,
+    tcp: Option<SocketAddr>,
+    exporters: usize,
+    days: u32,
+    flows: usize,
+    seed: u64,
+    records_per_message: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        udp: None,
+        tcp: None,
+        exporters: 8,
+        days: 1,
+        flows: 5_000,
+        seed: 42,
+        records_per_message: 50,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut num = |what: &str| -> u64 {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{what} needs a number"))
+        };
+        match a.as_str() {
+            "--udp" => {
+                args.udp = Some(it.next().and_then(|v| v.parse().ok()).expect("--udp ADDR"));
+            }
+            "--tcp" => {
+                args.tcp = Some(it.next().and_then(|v| v.parse().ok()).expect("--tcp ADDR"));
+            }
+            "--exporters" => args.exporters = num("--exporters") as usize,
+            "--days" => args.days = num("--days") as u32,
+            "--flows" => args.flows = num("--flows") as usize,
+            "--seed" => args.seed = num("--seed"),
+            "--records-per-message" => {
+                args.records_per_message = num("--records-per-message") as usize;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    assert!(
+        args.udp.is_some() || args.tcp.is_some(),
+        "need --udp and/or --tcp target"
+    );
+    args
+}
+
+/// One exporter's whole send, on its own socket. Returns datagrams sent
+/// (0 for TCP).
+fn run_exporter(
+    w: Workload,
+    e: usize,
+    udp: Option<SocketAddr>,
+    tcp: Option<SocketAddr>,
+    records_per_message: usize,
+) -> u64 {
+    let use_udp = match (udp, tcp) {
+        (Some(_), Some(_)) => e.is_multiple_of(2),
+        (Some(_), None) => true,
+        _ => false,
+    };
+    let mut seq = 0;
+    if use_udp {
+        let to = udp.expect("udp target");
+        let sock = UdpSocket::bind(("127.0.0.1", 0)).expect("bind exporter socket");
+        let mut sent = 0;
+        for d in 0..w.days {
+            for msg in w.encode_day(e, Day(d), &mut seq, records_per_message) {
+                sock.send_to(&msg, to).expect("send datagram");
+                sent += 1;
+            }
+        }
+        sent
+    } else {
+        let to = tcp.expect("tcp target");
+        let mut sock = TcpStream::connect(to).expect("connect exporter");
+        for d in 0..w.days {
+            for msg in w.encode_day(e, Day(d), &mut seq, records_per_message) {
+                sock.write_all(&msg).expect("send stream");
+            }
+        }
+        sock.shutdown(std::net::Shutdown::Write)
+            .expect("close write half");
+        0
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let w = Workload {
+        exporters: args.exporters,
+        days: args.days,
+        flows_per_exporter_day: args.flows,
+        seed: args.seed,
+    };
+    println!(
+        "serve-replay: {} exporters x {} days x {} flows = {} flows",
+        w.exporters,
+        w.days,
+        w.flows_per_exporter_day,
+        w.total_flows()
+    );
+
+    // check: allow(determinism, "load-client wall clock; measures the daemon, never enters pipeline output")
+    let t0 = std::time::Instant::now();
+    let datagrams: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..w.exporters)
+            .map(|e| {
+                s.spawn(move || run_exporter(w, e, args.udp, args.tcp, args.records_per_message))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("exporter"))
+            .sum()
+    });
+    let elapsed = t0.elapsed();
+
+    let rate = w.total_flows() as f64 / elapsed.as_secs_f64();
+    println!(
+        "serve-replay: sent {} flows ({datagrams} datagrams) in {:.3}s = {:.0} flows/s",
+        w.total_flows(),
+        elapsed.as_secs_f64(),
+        rate
+    );
+}

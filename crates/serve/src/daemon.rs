@@ -1,0 +1,738 @@
+//! The collection daemon: one epoll event loop feeding the streaming
+//! service.
+//!
+//! ## Architecture
+//!
+//! A single thread owns the event loop *and* is the
+//! [`StreamService`] producer — exactly the single-producer discipline
+//! the service requires, so socket delivery changes nothing about
+//! ordering or determinism. Ingest workers and per-window pipeline
+//! threads live inside the service as before. Sockets are nonblocking
+//! and level-triggered; the loop drains each readable fd to
+//! `WouldBlock` before returning to `epoll_wait`.
+//!
+//! Backpressure is end to end: the queue's `Block` policy stalls the
+//! producer (this loop), which stops reading sockets, which fills
+//! kernel receive buffers, which stalls TCP senders. UDP exporters see
+//! datagram loss at the kernel buffer instead — the transport's
+//! documented trade-off.
+//!
+//! ## Session lifecycle
+//!
+//! Every peer gets its own exporter session named
+//! `udp:<addr>` / `tcp:<addr>`, so templates and decode-trouble
+//! counters never leak across peers (RFC 7011 §10 keeps transport
+//! sessions separate). A TCP connection's session outlives the
+//! connection — counters keep accumulating if the peer reconnects from
+//! the same address.
+//!
+//! ## Shutdown protocol
+//!
+//! A [`ShutdownHandle`] trigger or SIGTERM (when
+//! [`ServeConfig::catch_sigterm`] is set) wakes the loop via a
+//! self-pipe. The daemon then (1) stops accepting: listeners are
+//! deregistered and closed; (2) drains: bounded `epoll_wait` sweeps
+//! keep reading open TCP connections and the UDP socket until a full
+//! sweep makes no progress ([`ServeConfig::drain_quiet_sweeps`] times
+//! in a row); (3) finishes: [`StreamService::finish`] flushes the
+//! queue, folds the tail, closes every open window, and returns the
+//! quiescent [`mt_stream::StreamOutput`] whose ledger identities hold exactly.
+
+use crate::http;
+use crate::sys::{self, Interest, Poller};
+use mt_obs::{Counter, Gauge, Histogram};
+use mt_stream::{StreamConfig, StreamService};
+use mt_types::{Asn, Day, FxHashMap, PrefixTrie};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Histogram bounds for per-push ingest latency, in nanoseconds: fine
+/// enough around the sub-100µs hot path for meaningful p50/p99, topping
+/// out at 1s for queue-blocked pushes.
+pub const INGEST_LATENCY_BUCKETS: [u64; 16] = [
+    250,
+    500,
+    1_000,
+    2_500,
+    5_000,
+    10_000,
+    25_000,
+    50_000,
+    100_000,
+    250_000,
+    500_000,
+    1_000_000,
+    5_000_000,
+    25_000_000,
+    100_000_000,
+    1_000_000_000,
+];
+
+/// Event-loop registration tokens for the daemon's own fds;
+/// connections start at [`FIRST_CONN_TOKEN`].
+const TOK_WAKE: u64 = 0;
+const TOK_UDP: u64 = 1;
+const TOK_TCP: u64 = 2;
+const TOK_HTTP: u64 = 3;
+const TOK_SIGTERM: u64 = 4;
+const FIRST_CONN_TOKEN: u64 = 16;
+
+/// Daemon configuration. `Default` binds every transport on loopback
+/// with OS-assigned ports — query the actual addresses after
+/// [`Daemon::bind`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// IPFIX-over-UDP bind address, or `None` to disable the transport.
+    pub udp: Option<SocketAddr>,
+    /// IPFIX-over-TCP bind address, or `None` to disable the transport.
+    pub tcp: Option<SocketAddr>,
+    /// HTTP (`/health`, `/metrics`) bind address, or `None` to disable.
+    pub http: Option<SocketAddr>,
+    /// Requested kernel receive-buffer size for the UDP socket, in
+    /// bytes (0 = leave the kernel default). Best-effort: the kernel
+    /// clamps to `net.core.rmem_max`.
+    pub udp_recv_buf: usize,
+    /// The streaming service under the loop.
+    pub stream: StreamConfig,
+    /// Whether to install the SIGTERM self-pipe and shut down
+    /// gracefully on the signal. Off by default: tests and embedders
+    /// usually prefer a [`ShutdownHandle`].
+    pub catch_sigterm: bool,
+    /// Per-sweep `epoll_wait` timeout during the drain phase, in ms.
+    pub drain_wait_ms: i32,
+    /// Consecutive no-progress drain sweeps before the daemon declares
+    /// the sockets quiescent and finishes.
+    pub drain_quiet_sweeps: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let loopback: SocketAddr = (std::net::Ipv4Addr::LOCALHOST, 0).into();
+        ServeConfig {
+            udp: Some(loopback),
+            tcp: Some(loopback),
+            http: Some(loopback),
+            udp_recv_buf: 4 << 20,
+            stream: StreamConfig::default(),
+            catch_sigterm: false,
+            drain_wait_ms: 50,
+            drain_quiet_sweeps: 2,
+        }
+    }
+}
+
+/// Everything a finished daemon run produced.
+#[derive(Debug)]
+pub struct ServeOutput {
+    /// The streaming service's full output (windows, combined reports,
+    /// quiescent health snapshot, metrics registry).
+    pub stream: mt_stream::StreamOutput,
+    /// UDP datagrams received.
+    pub datagrams: u64,
+    /// UDP datagrams rejected whole (torn / trailing garbage / bad
+    /// header).
+    pub datagrams_rejected: u64,
+    /// TCP exporter connections accepted over the daemon's life.
+    pub tcp_connections: u64,
+    /// HTTP requests answered.
+    pub http_requests: u64,
+}
+
+/// A clonable-by-`try_clone` trigger that asks a running daemon to
+/// drain and exit; safe to fire from any thread.
+#[derive(Debug)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+    wake_tx: UnixStream,
+}
+
+impl ShutdownHandle {
+    /// Requests shutdown and wakes the event loop.
+    pub fn shutdown(&self) {
+        // ordering: Release pairs with the loop's Acquire load; the
+        // flag is a latch that only ever goes false→true.
+        self.flag.store(true, Ordering::Release);
+        let _ = (&self.wake_tx).write(b"S");
+    }
+
+    /// A second independent handle to the same daemon.
+    pub fn try_clone(&self) -> io::Result<ShutdownHandle> {
+        Ok(ShutdownHandle {
+            flag: Arc::clone(&self.flag),
+            wake_tx: self.wake_tx.try_clone()?,
+        })
+    }
+}
+
+/// One live connection's state.
+enum Conn {
+    /// An IPFIX-over-TCP exporter stream.
+    Ipfix {
+        sock: TcpStream,
+        /// Session name, `tcp:<peer addr>`.
+        peer: String,
+    },
+    /// An HTTP probe connection: request bytes in, response bytes out.
+    Http {
+        sock: TcpStream,
+        req: Vec<u8>,
+        out: Vec<u8>,
+        sent: usize,
+        /// Whether the response has been built (request fully parsed).
+        responding: bool,
+    },
+}
+
+/// The collection daemon. Bind with [`Daemon::bind`], then [`run`] on
+/// a dedicated thread; `run` returns when a shutdown trigger arrives
+/// and the drain completes.
+///
+/// [`run`]: Daemon::run
+pub struct Daemon<F: Fn(Day) -> PrefixTrie<Asn>> {
+    cfg: ServeConfig,
+    poller: Poller,
+    wake_rx: UnixStream,
+    wake_tx: UnixStream,
+    sigterm_rx: Option<UnixStream>,
+    shutdown: Arc<AtomicBool>,
+    udp: Option<UdpSocket>,
+    udp_addr: Option<SocketAddr>,
+    tcp: Option<TcpListener>,
+    tcp_addr: Option<SocketAddr>,
+    http: Option<TcpListener>,
+    http_addr: Option<SocketAddr>,
+    service: StreamService<F>,
+    conns: FxHashMap<u64, Conn>,
+    next_token: u64,
+    read_buf: Vec<u8>,
+    datagrams: Counter,
+    datagrams_rejected: Counter,
+    tcp_conns: Counter,
+    http_conns: Counter,
+    open_conns: Gauge,
+    http_health: Counter,
+    http_metrics: Counter,
+    http_other: Counter,
+    ingest_latency: Histogram,
+}
+
+impl<F: Fn(Day) -> PrefixTrie<Asn>> Daemon<F> {
+    /// Binds every configured socket and starts the streaming service
+    /// (ingest workers spawn here). The loop itself does not run until
+    /// [`run`](Self::run).
+    pub fn bind(cfg: ServeConfig, rib_of: F) -> io::Result<Daemon<F>> {
+        let service = StreamService::start(cfg.stream.clone(), rib_of);
+        let poller = Poller::new()?;
+        let (wake_rx, wake_tx) = UnixStream::pair()?;
+        wake_rx.set_nonblocking(true)?;
+        wake_tx.set_nonblocking(true)?;
+        poller.add(wake_rx.as_raw_fd(), TOK_WAKE, Interest::READ)?;
+
+        let mut udp_addr = None;
+        let udp = match cfg.udp {
+            Some(addr) => {
+                let sock = UdpSocket::bind(addr)?;
+                sock.set_nonblocking(true)?;
+                if cfg.udp_recv_buf > 0 {
+                    // Best-effort; a clamped buffer only costs UDP loss
+                    // headroom, never correctness.
+                    let _ = sys::set_recv_buffer(sock.as_raw_fd(), cfg.udp_recv_buf);
+                }
+                poller.add(sock.as_raw_fd(), TOK_UDP, Interest::READ)?;
+                udp_addr = Some(sock.local_addr()?);
+                Some(sock)
+            }
+            None => None,
+        };
+        let mut tcp_addr = None;
+        let tcp = match cfg.tcp {
+            Some(addr) => {
+                let listener = TcpListener::bind(addr)?;
+                listener.set_nonblocking(true)?;
+                poller.add(listener.as_raw_fd(), TOK_TCP, Interest::READ)?;
+                tcp_addr = Some(listener.local_addr()?);
+                Some(listener)
+            }
+            None => None,
+        };
+        let mut http_addr = None;
+        let http = match cfg.http {
+            Some(addr) => {
+                let listener = TcpListener::bind(addr)?;
+                listener.set_nonblocking(true)?;
+                poller.add(listener.as_raw_fd(), TOK_HTTP, Interest::READ)?;
+                http_addr = Some(listener.local_addr()?);
+                Some(listener)
+            }
+            None => None,
+        };
+        let sigterm_rx = if cfg.catch_sigterm {
+            let rx = sys::install_sigterm_pipe()?;
+            poller.add(rx.as_raw_fd(), TOK_SIGTERM, Interest::READ)?;
+            Some(rx)
+        } else {
+            None
+        };
+
+        let reg = service.registry();
+        let datagrams = reg.counter("mt_serve_datagrams_total", "UDP datagrams received.");
+        let datagrams_rejected = reg.counter(
+            "mt_serve_datagrams_rejected_total",
+            "UDP datagrams rejected whole: torn, trailing garbage, or a bad message header.",
+        );
+        let tcp_conns = reg.counter_with(
+            "mt_serve_connections_total",
+            &[("transport", "tcp")],
+            "Connections accepted, by transport.",
+        );
+        let http_conns = reg.counter_with(
+            "mt_serve_connections_total",
+            &[("transport", "http")],
+            "Connections accepted, by transport.",
+        );
+        let open_conns = reg.gauge(
+            "mt_serve_open_connections",
+            "Currently open TCP and HTTP connections.",
+        );
+        let http_health = reg.counter_with(
+            "mt_serve_http_requests_total",
+            &[("endpoint", "health")],
+            "HTTP requests answered, by endpoint.",
+        );
+        let http_metrics = reg.counter_with(
+            "mt_serve_http_requests_total",
+            &[("endpoint", "metrics")],
+            "HTTP requests answered, by endpoint.",
+        );
+        let http_other = reg.counter_with(
+            "mt_serve_http_requests_total",
+            &[("endpoint", "other")],
+            "HTTP requests answered, by endpoint.",
+        );
+        let ingest_latency = reg.histogram(
+            "mt_serve_ingest_nanoseconds",
+            &INGEST_LATENCY_BUCKETS,
+            "Wall time to push one socket read (datagram or stream chunk) into the service.",
+        );
+
+        Ok(Daemon {
+            cfg,
+            poller,
+            wake_rx,
+            wake_tx,
+            sigterm_rx,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            udp,
+            udp_addr,
+            tcp,
+            tcp_addr,
+            http,
+            http_addr,
+            service,
+            conns: FxHashMap::default(),
+            next_token: FIRST_CONN_TOKEN,
+            read_buf: vec![0u8; 64 * 1024],
+            datagrams,
+            datagrams_rejected,
+            tcp_conns,
+            http_conns,
+            open_conns,
+            http_health,
+            http_metrics,
+            http_other,
+            ingest_latency,
+        })
+    }
+
+    /// The UDP socket's actual bound address, if the transport is on.
+    pub fn udp_addr(&self) -> Option<SocketAddr> {
+        self.udp_addr
+    }
+
+    /// The TCP listener's actual bound address, if the transport is on.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The HTTP listener's actual bound address, if enabled.
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http_addr
+    }
+
+    /// A trigger other threads can use to stop the daemon.
+    pub fn shutdown_handle(&self) -> io::Result<ShutdownHandle> {
+        Ok(ShutdownHandle {
+            flag: Arc::clone(&self.shutdown),
+            wake_tx: self.wake_tx.try_clone()?,
+        })
+    }
+
+    /// The live streaming service (health snapshots mid-run).
+    pub fn service(&self) -> &StreamService<F> {
+        &self.service
+    }
+
+    /// Runs the event loop until shutdown, then drains and finishes.
+    pub fn run(mut self) -> io::Result<ServeOutput> {
+        let mut events = Vec::with_capacity(256);
+        'main: loop {
+            events.clear();
+            self.poller.wait(&mut events, -1)?;
+            for ev in &events {
+                match ev.token {
+                    TOK_WAKE | TOK_SIGTERM => {
+                        self.drain_wake_pipes();
+                        break 'main;
+                    }
+                    TOK_UDP => {
+                        self.drain_udp();
+                    }
+                    TOK_TCP => self.accept_loop(false)?,
+                    TOK_HTTP => self.accept_loop(true)?,
+                    tok => {
+                        self.conn_event(tok, ev.writable);
+                    }
+                }
+            }
+            // ordering: Acquire pairs with ShutdownHandle's Release; a
+            // racing trigger between wait() and here is still caught.
+            if self.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+        }
+        self.drain_and_finish()
+    }
+
+    /// Empties the wake and SIGTERM pipes so later sweeps see only new
+    /// wakeups.
+    fn drain_wake_pipes(&mut self) {
+        let mut sink = [0u8; 64];
+        while matches!((&self.wake_rx).read(&mut sink), Ok(n) if n > 0) {}
+        if let Some(rx) = &mut self.sigterm_rx {
+            while matches!(rx.read(&mut sink), Ok(n) if n > 0) {}
+        }
+    }
+
+    /// Reads every queued datagram; returns how many were ingested.
+    fn drain_udp(&mut self) -> u64 {
+        let mut count = 0;
+        loop {
+            let Some(sock) = &self.udp else { return count };
+            match sock.recv_from(&mut self.read_buf) {
+                Ok((n, peer)) => {
+                    count += 1;
+                    self.datagrams.inc();
+                    let name = format!("udp:{peer}");
+                    let span = self.ingest_latency.start_span();
+                    let accepted = self.service.push_datagram(&name, &self.read_buf[..n]);
+                    drop(span);
+                    if !accepted {
+                        self.datagrams_rejected.inc();
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return count,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return count,
+            }
+        }
+    }
+
+    /// Accepts every pending connection on the TCP (`http == false`)
+    /// or HTTP (`http == true`) listener.
+    fn accept_loop(&mut self, http: bool) -> io::Result<()> {
+        loop {
+            let listener = if http { &self.http } else { &self.tcp };
+            let Some(listener) = listener else {
+                return Ok(());
+            };
+            match listener.accept() {
+                Ok((sock, peer)) => {
+                    sock.set_nonblocking(true)?;
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    self.poller.add(sock.as_raw_fd(), token, Interest::READ)?;
+                    let conn = if http {
+                        self.http_conns.inc();
+                        Conn::Http {
+                            sock,
+                            req: Vec::new(),
+                            out: Vec::new(),
+                            sent: 0,
+                            responding: false,
+                        }
+                    } else {
+                        self.tcp_conns.inc();
+                        Conn::Ipfix {
+                            sock,
+                            peer: format!("tcp:{peer}"),
+                        }
+                    };
+                    self.conns.insert(token, conn);
+                    self.open_conns.set(self.conns.len() as u64);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return Ok(()),
+            }
+        }
+    }
+
+    /// Handles one readiness event on a connection token. Returns
+    /// whether the event made ingest progress (used by the drain
+    /// phase's quiescence test).
+    fn conn_event(&mut self, token: u64, writable: bool) -> bool {
+        let Some(conn) = self.conns.remove(&token) else {
+            return false;
+        };
+        let (keep, progressed, conn) = match conn {
+            Conn::Ipfix { sock, peer } => {
+                let (keep, progressed) = self.read_ipfix(&sock, &peer);
+                (keep, progressed, Conn::Ipfix { sock, peer })
+            }
+            Conn::Http {
+                sock,
+                req,
+                out,
+                sent,
+                responding,
+            } => self.step_http(token, sock, req, out, sent, responding, writable),
+        };
+        if keep {
+            self.conns.insert(token, conn);
+        } else {
+            let fd = match &conn {
+                Conn::Ipfix { sock, .. } => sock.as_raw_fd(),
+                Conn::Http { sock, .. } => sock.as_raw_fd(),
+            };
+            let _ = self.poller.delete(fd);
+        }
+        self.open_conns.set(self.conns.len() as u64);
+        progressed
+    }
+
+    /// Reads an IPFIX stream to `WouldBlock`/EOF, pushing each chunk.
+    /// Returns `(keep_connection, made_progress)`.
+    fn read_ipfix(&mut self, sock: &TcpStream, peer: &str) -> (bool, bool) {
+        let mut progressed = false;
+        loop {
+            let mut sock = sock;
+            match sock.read(&mut self.read_buf) {
+                Ok(0) => return (false, progressed),
+                Ok(n) => {
+                    progressed = true;
+                    let span = self.ingest_latency.start_span();
+                    self.service.push_chunk(peer, &self.read_buf[..n]);
+                    drop(span);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return (true, progressed),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return (false, progressed),
+            }
+        }
+    }
+
+    /// Advances one HTTP connection: read until the head completes,
+    /// build the response, write as far as the socket allows.
+    #[allow(clippy::too_many_arguments)]
+    fn step_http(
+        &mut self,
+        token: u64,
+        sock: TcpStream,
+        mut req: Vec<u8>,
+        mut out: Vec<u8>,
+        mut sent: usize,
+        mut responding: bool,
+        writable: bool,
+    ) -> (bool, bool, Conn) {
+        if !responding {
+            let mut eof = false;
+            loop {
+                let mut r = &sock;
+                let mut buf = [0u8; 4096];
+                match r.read(&mut buf) {
+                    Ok(0) => {
+                        eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        req.extend_from_slice(&buf[..n]);
+                        if req.len() > 16 * 1024 {
+                            break; // oversized head: answer 400 below
+                        }
+                        if http::parse_request(&req).is_some() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        eof = true;
+                        break;
+                    }
+                }
+            }
+            match http::parse_request(&req) {
+                Some(Ok(r)) => {
+                    out = self.respond(&r);
+                    responding = true;
+                }
+                Some(Err(())) => {
+                    self.http_other.inc();
+                    out = http::bad_request();
+                    responding = true;
+                }
+                None if req.len() > 16 * 1024 => {
+                    self.http_other.inc();
+                    out = http::bad_request();
+                    responding = true;
+                }
+                None => {
+                    if eof {
+                        return (
+                            false,
+                            false,
+                            Conn::Http {
+                                sock,
+                                req,
+                                out,
+                                sent,
+                                responding,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        if responding {
+            let done = loop {
+                if sent >= out.len() {
+                    break true;
+                }
+                let mut w = &sock;
+                match w.write(&out[sent..]) {
+                    Ok(0) => break true, // peer gone; nothing more to do
+                    Ok(n) => sent += n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break false,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => break true,
+                }
+            };
+            if done {
+                return (
+                    false,
+                    false,
+                    Conn::Http {
+                        sock,
+                        req,
+                        out,
+                        sent,
+                        responding,
+                    },
+                );
+            }
+            if !writable {
+                // Partial write: also wake on writability from now on.
+                let _ = self
+                    .poller
+                    .modify(sock.as_raw_fd(), token, Interest::READ_WRITE);
+            }
+        }
+        (
+            true,
+            false,
+            Conn::Http {
+                sock,
+                req,
+                out,
+                sent,
+                responding,
+            },
+        )
+    }
+
+    /// Builds the response for a parsed request and counts it.
+    fn respond(&mut self, req: &http::Request) -> Vec<u8> {
+        if req.method != "GET" {
+            self.http_other.inc();
+            return http::method_not_allowed();
+        }
+        match req.path.as_str() {
+            "/health" => {
+                self.http_health.inc();
+                let health = self.service.health();
+                let body = serde_json::to_string(&health).unwrap_or_else(|_| "{}".to_owned());
+                http::response("200 OK", "application/json", body.as_bytes())
+            }
+            "/metrics" => {
+                self.http_metrics.inc();
+                // health() republishes every legacy counter into the
+                // registry so the exposition is current.
+                let _ = self.service.health();
+                let text = self.service.registry().snapshot().render_prometheus_text();
+                http::response(
+                    "200 OK",
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    text.as_bytes(),
+                )
+            }
+            _ => {
+                self.http_other.inc();
+                http::not_found()
+            }
+        }
+    }
+
+    /// The shutdown tail: stop accepting, drain to quiescence, finish
+    /// the service, and assemble the output.
+    fn drain_and_finish(mut self) -> io::Result<ServeOutput> {
+        if let Some(listener) = self.tcp.take() {
+            let _ = self.poller.delete(listener.as_raw_fd());
+        }
+        if let Some(listener) = self.http.take() {
+            let _ = self.poller.delete(listener.as_raw_fd());
+        }
+        let mut events = Vec::with_capacity(256);
+        let mut quiet = 0;
+        while quiet < self.cfg.drain_quiet_sweeps {
+            events.clear();
+            self.poller.wait(&mut events, self.cfg.drain_wait_ms)?;
+            let mut progressed = false;
+            for ev in &events {
+                match ev.token {
+                    TOK_WAKE | TOK_SIGTERM => self.drain_wake_pipes(),
+                    TOK_UDP => progressed |= self.drain_udp() > 0,
+                    TOK_TCP | TOK_HTTP => {}
+                    tok => progressed |= self.conn_event(tok, ev.writable),
+                }
+            }
+            if progressed {
+                quiet = 0;
+            } else {
+                quiet += 1;
+            }
+        }
+        // Anything still open is an idle peer; close our side.
+        for (_, conn) in self.conns.drain() {
+            let fd = match &conn {
+                Conn::Ipfix { sock, .. } => sock.as_raw_fd(),
+                Conn::Http { sock, .. } => sock.as_raw_fd(),
+            };
+            let _ = self.poller.delete(fd);
+        }
+        if let Some(sock) = self.udp.take() {
+            let _ = self.poller.delete(sock.as_raw_fd());
+        }
+        let stream = self.service.finish();
+        Ok(ServeOutput {
+            datagrams: self.datagrams.get(),
+            datagrams_rejected: self.datagrams_rejected.get(),
+            tcp_connections: self.tcp_conns.get(),
+            http_requests: self.http_health.get() + self.http_metrics.get() + self.http_other.get(),
+            stream,
+        })
+    }
+}

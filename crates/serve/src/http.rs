@@ -1,0 +1,126 @@
+//! A minimal HTTP/1.1 responder for the two operational endpoints.
+//!
+//! The daemon is not a web server: it answers `GET /health` and
+//! `GET /metrics` for scrapers and probes, one request per connection
+//! (`Connection: close`), no keep-alive, no chunked encoding, no body
+//! parsing. Request parsing is a byte-level scan for the request line
+//! and the end of the header block — deliberately total (never panics)
+//! and tolerant of anything a probe might send.
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The HTTP method, uppercased as received.
+    pub method: String,
+    /// The request target, e.g. `/health`.
+    pub path: String,
+}
+
+/// Scans a receive buffer for a complete request head (terminated by a
+/// blank line). Returns `None` until the head has fully arrived;
+/// `Some(Err(()))` for a malformed request line.
+pub fn parse_request(buf: &[u8]) -> Option<Result<Request, ()>> {
+    let head_end = find_head_end(buf)?;
+    let head = &buf[..head_end];
+    let line_end = head
+        .windows(2)
+        .position(|w| w == b"\r\n")
+        .unwrap_or(head.len());
+    let Ok(line) = std::str::from_utf8(&head[..line_end]) else {
+        return Some(Err(()));
+    };
+    let mut parts = line.split(' ');
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Some(Err(()));
+    };
+    if method.is_empty() || path.is_empty() {
+        return Some(Err(()));
+    }
+    Some(Ok(Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+    }))
+}
+
+/// Index just past the `\r\n\r\n` (or lone `\n\n`) ending the header
+/// block, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    if let Some(i) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+        return Some(i + 4);
+    }
+    buf.windows(2).position(|w| w == b"\n\n").map(|i| i + 2)
+}
+
+/// Builds a complete response with the given status line tail
+/// (e.g. `200 OK`), content type, and body.
+pub fn response(status: &str, content_type: &str, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128 + body.len());
+    out.extend_from_slice(b"HTTP/1.1 ");
+    out.extend_from_slice(status.as_bytes());
+    out.extend_from_slice(b"\r\nContent-Type: ");
+    out.extend_from_slice(content_type.as_bytes());
+    out.extend_from_slice(b"\r\nContent-Length: ");
+    out.extend_from_slice(body.len().to_string().as_bytes());
+    out.extend_from_slice(b"\r\nConnection: close\r\n\r\n");
+    out.extend_from_slice(body);
+    out
+}
+
+/// The canned 404 for unknown paths.
+pub fn not_found() -> Vec<u8> {
+    response("404 Not Found", "text/plain", b"not found\n")
+}
+
+/// The canned 405 for non-GET methods on known paths.
+pub fn method_not_allowed() -> Vec<u8> {
+    response("405 Method Not Allowed", "text/plain", b"GET only\n")
+}
+
+/// The canned 400 for request lines we cannot parse.
+pub fn bad_request() -> Vec<u8> {
+    response("400 Bad Request", "text/plain", b"bad request\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_plain_get() {
+        let buf = b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n";
+        let req = parse_request(buf).unwrap().unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/health");
+    }
+
+    #[test]
+    fn waits_for_the_full_head() {
+        assert!(parse_request(b"GET /health HTT").is_none());
+        assert!(parse_request(b"GET /health HTTP/1.1\r\nHost: x\r\n").is_none());
+    }
+
+    #[test]
+    fn lf_only_requests_are_accepted() {
+        let req = parse_request(b"GET /metrics HTTP/1.0\n\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.path, "/metrics");
+    }
+
+    #[test]
+    fn garbage_is_a_parse_error_not_a_panic() {
+        assert_eq!(parse_request(b"\xff\xfe\r\n\r\n"), Some(Err(())));
+        assert_eq!(parse_request(b" \r\n\r\n"), Some(Err(())));
+        assert_eq!(parse_request(b"\r\n\r\n"), Some(Err(())));
+    }
+
+    #[test]
+    fn response_has_content_length_and_close() {
+        let r = response("200 OK", "application/json", b"{}");
+        let text = String::from_utf8(r).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,45 @@
+//! mt-serve: the socket-facing collection daemon.
+//!
+//! The rest of the workspace ingests flows through in-process function
+//! calls; a deployed telescope is fed by independently-operated
+//! exporters over the network. This crate closes that gap with a
+//! long-running daemon built on a hand-rolled nonblocking epoll event
+//! loop (no async runtime, no external crates):
+//!
+//! - **UDP** (RFC 7011 §10.3): one datagram carries whole IPFIX
+//!   message(s); torn or garbage datagrams are counted and dropped
+//!   without desyncing the peer's session ([`mt_stream`]'s datagram
+//!   path).
+//! - **TCP** (RFC 7011 §10.4): messages framed back to back on the
+//!   stream, any chunking, via the existing per-peer
+//!   [`StreamCollector`](mt_stream::StreamCollector) sessions.
+//! - **HTTP/1.1**: `GET /health` (the accounting-identity snapshot as
+//!   JSON) and `GET /metrics` (Prometheus text exposition), served by a
+//!   minimal responder on the same event loop.
+//! - **Graceful shutdown**: on SIGTERM or a [`ShutdownHandle`] trigger
+//!   the daemon stops accepting, drains kernel buffers and the ingest
+//!   queue, closes the final windows, and returns a quiescent
+//!   [`StreamOutput`](mt_stream::StreamOutput) whose ledger identities
+//!   hold exactly.
+//!
+//! Records delivered over sockets produce window verdicts bit-identical
+//! to an in-process batch run — the event loop is just another producer
+//! for [`StreamService`](mt_stream::StreamService), and all gating
+//! stays watermark-driven (simulated time), never wall-clock-driven.
+//!
+//! All `unsafe` lives in [`sys`], a small audited wrapper over the
+//! epoll/signal syscalls; the crate root denies rather than forbids
+//! unsafe so that one module can opt in explicitly.
+
+// check: allow(crate_hygiene, "sys is the one audited unsafe module: epoll/signalfd have no std equivalent and the container vendors no libc crate")
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod daemon;
+pub mod http;
+pub mod replay;
+#[allow(unsafe_code)]
+pub mod sys;
+
+pub use daemon::{Daemon, ServeConfig, ServeOutput, ShutdownHandle};
+pub use replay::Workload;

@@ -1,0 +1,343 @@
+//! Audited syscall layer: epoll, the SIGTERM self-pipe, and one socket
+//! option — everything the event loop needs that `std` does not expose.
+//!
+//! The container vendors no `libc` crate, so the handful of symbols are
+//! declared here directly; they resolve against the C library `std`
+//! already links. Every `unsafe` block carries a `// safety:` argument
+//! (enforced workspace-wide by mt-check's `crate_hygiene` rule), and
+//! nothing unsafe leaks out of this module: the public surface is
+//! [`Poller`]/[`Event`], [`set_recv_buffer`], and the signal helpers,
+//! all safe.
+
+use std::io;
+use std::os::raw::{c_int, c_void};
+use std::os::unix::io::RawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicI32, Ordering};
+
+// Linux ABI constants (asm-generic values, correct on x86_64/aarch64).
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const SIGTERM: c_int = 15;
+const SOL_SOCKET: c_int = 1;
+const SO_RCVBUF: c_int = 8;
+
+/// `struct epoll_event`. Packed on x86_64 (the kernel ABI packs it
+/// there so 32- and 64-bit layouts agree); natural alignment elsewhere.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+/// The signal handler's signature, as the C library expects it.
+type SigHandler = extern "C" fn(c_int);
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn signal(signum: c_int, handler: SigHandler) -> usize;
+    fn raise(sig: c_int) -> c_int;
+    fn setsockopt(
+        fd: c_int,
+        level: c_int,
+        optname: c_int,
+        optval: *const c_void,
+        optlen: u32,
+    ) -> c_int;
+}
+
+/// What a registration wants to be woken for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable.
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest — the common case for listeners and ingest.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Read + write interest — HTTP connections mid-response.
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+
+    fn mask(self) -> u32 {
+        let mut m = 0;
+        if self.readable {
+            m |= EPOLLIN;
+        }
+        if self.writable {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+}
+
+/// One readiness event, translated out of the kernel struct.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// Readable (or a peer hangup, which reads as EOF).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+    /// Error condition on the fd.
+    pub error: bool,
+}
+
+/// A level-triggered epoll instance. The file descriptor is owned:
+/// dropping the poller closes it.
+#[derive(Debug)]
+pub struct Poller {
+    epfd: RawFd,
+}
+
+impl Poller {
+    /// Creates a new epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Poller> {
+        // safety: epoll_create1 touches no caller memory; the flag is a
+        // valid constant and the returned fd (or -1) is checked below.
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Poller { epfd })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, mut ev: EpollEvent) -> io::Result<()> {
+        // safety: `ev` is a live, properly-laid-out EpollEvent for the
+        // duration of the call; epfd and fd are open descriptors owned
+        // by the caller; the kernel only reads the struct.
+        let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` under `token`.
+    pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(
+            EPOLL_CTL_ADD,
+            fd,
+            EpollEvent {
+                events: interest.mask(),
+                data: token,
+            },
+        )
+    }
+
+    /// Changes the interest set of a registered `fd`.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(
+            EPOLL_CTL_MOD,
+            fd,
+            EpollEvent {
+                events: interest.mask(),
+                data: token,
+            },
+        )
+    }
+
+    /// Removes `fd` from the interest list.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, EpollEvent { events: 0, data: 0 })
+    }
+
+    /// Waits up to `timeout_ms` (-1 = forever) and appends readiness
+    /// events to `out`. An interrupted wait (EINTR) returns cleanly
+    /// with no events so the caller's loop can re-check its state.
+    pub fn wait(&self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+        const MAX_EVENTS: usize = 128;
+        let mut buf = [EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+        // safety: `buf` is a properly-aligned array of MAX_EVENTS
+        // EpollEvents living across the call; the kernel writes at most
+        // `maxevents` entries, and we read back only the first `n`.
+        let n = unsafe { epoll_wait(self.epfd, buf.as_mut_ptr(), MAX_EVENTS as c_int, timeout_ms) };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(());
+            }
+            return Err(err);
+        }
+        for ev in buf.iter().take(n as usize) {
+            // A packed struct's fields are moved out before use so no
+            // unaligned reference is ever formed.
+            let events = ev.events;
+            let data = ev.data;
+            out.push(Event {
+                token: data,
+                readable: events & (EPOLLIN | EPOLLHUP) != 0,
+                writable: events & EPOLLOUT != 0,
+                error: events & EPOLLERR != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        // safety: epfd was returned by epoll_create1 and is closed
+        // exactly once, here; close touches no caller memory.
+        unsafe { close(self.epfd) };
+    }
+}
+
+/// Asks the kernel for a receive-buffer size on `fd` (the kernel may
+/// clamp to `net.core.rmem_max`; this is best-effort by design).
+pub fn set_recv_buffer(fd: RawFd, bytes: usize) -> io::Result<()> {
+    let val: c_int = c_int::try_from(bytes).unwrap_or(c_int::MAX);
+    // safety: optval points at a live c_int of exactly optlen bytes for
+    // the duration of the call; the kernel only reads it.
+    let rc = unsafe {
+        setsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_RCVBUF,
+            (&val as *const c_int).cast::<c_void>(),
+            std::mem::size_of::<c_int>() as u32,
+        )
+    };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// Write end of the SIGTERM self-pipe, published for the handler.
+/// -1 until [`install_sigterm_pipe`] runs.
+static SIGNAL_PIPE_WR: AtomicI32 = AtomicI32::new(-1);
+
+extern "C" fn sigterm_handler(_sig: c_int) {
+    // ordering: Relaxed — the fd is written once before the handler can
+    // ever run (signal() is called after the store) and never changes;
+    // there is no data behind it to synchronize.
+    let fd = SIGNAL_PIPE_WR.load(Ordering::Relaxed);
+    if fd >= 0 {
+        // safety: write(2) is async-signal-safe (POSIX); the buffer is
+        // a live one-byte static; the fd is a pipe end kept open for
+        // the process lifetime by install_sigterm_pipe.
+        let _ = unsafe { write(fd, b"T".as_ptr().cast::<c_void>(), 1) };
+    }
+}
+
+/// Installs a SIGTERM handler that writes one byte to a self-pipe and
+/// returns the read end, for registration on the event loop. The write
+/// end is intentionally leaked — the handler may fire at any point for
+/// the rest of the process's life.
+///
+/// Installing twice returns a fresh pipe and repoints the handler at
+/// it; the previous write end stays open (leaked) so a concurrently
+/// delivered signal can never hit a closed fd.
+pub fn install_sigterm_pipe() -> io::Result<UnixStream> {
+    let (rx, tx) = UnixStream::pair()?;
+    rx.set_nonblocking(true)?;
+    tx.set_nonblocking(true)?;
+    {
+        use std::os::unix::io::IntoRawFd;
+        // ordering: Relaxed — published before signal() installs the
+        // handler below, and the handler only reads the value.
+        SIGNAL_PIPE_WR.store(tx.into_raw_fd(), Ordering::Relaxed);
+    }
+    // safety: installing a handler that is itself async-signal-safe
+    // (one write(2) on a static fd); SIGTERM is a valid signal number;
+    // glibc's signal() has BSD semantics (handler persists).
+    let prev = unsafe { signal(SIGTERM, sigterm_handler) };
+    if prev == usize::MAX {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(rx)
+}
+
+/// Delivers SIGTERM to the current process — test hook for the
+/// graceful-shutdown path.
+pub fn raise_sigterm() {
+    // safety: raise(2) with a valid signal number; no memory involved.
+    let _ = unsafe { raise(SIGTERM) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::net::UdpSocket;
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn poller_sees_udp_readability() {
+        let poller = Poller::new().unwrap();
+        let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        sock.set_nonblocking(true).unwrap();
+        poller.add(sock.as_raw_fd(), 7, Interest::READ).unwrap();
+
+        let mut events = Vec::new();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty(), "nothing sent yet");
+
+        let tx = UdpSocket::bind("127.0.0.1:0").unwrap();
+        tx.send_to(b"ping", sock.local_addr().unwrap()).unwrap();
+        poller.wait(&mut events, 2000).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+
+        // Level-triggered: still readable until drained.
+        events.clear();
+        poller.wait(&mut events, 0).unwrap();
+        assert_eq!(events.len(), 1);
+        let mut buf = [0u8; 16];
+        sock.recv_from(&mut buf).unwrap();
+        events.clear();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty(), "drained");
+
+        poller.delete(sock.as_raw_fd()).unwrap();
+        tx.send_to(b"ping", sock.local_addr().unwrap()).unwrap();
+        events.clear();
+        poller.wait(&mut events, 50).unwrap();
+        assert!(events.is_empty(), "deregistered fd no longer reported");
+    }
+
+    #[test]
+    fn recv_buffer_request_is_accepted() {
+        let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        set_recv_buffer(sock.as_raw_fd(), 1 << 20).unwrap();
+    }
+
+    #[test]
+    fn sigterm_pipe_wakes() {
+        let mut rx = install_sigterm_pipe().unwrap();
+        raise_sigterm();
+        // The byte may take a scheduling quantum to land; poll briefly.
+        let poller = Poller::new().unwrap();
+        poller.add(rx.as_raw_fd(), 1, Interest::READ).unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, 5000).unwrap();
+        assert!(!events.is_empty(), "SIGTERM self-pipe byte arrived");
+        let mut buf = [0u8; 8];
+        let n = rx.read(&mut buf).unwrap();
+        assert!(n >= 1);
+        assert_eq!(buf[0], b'T');
+    }
+}

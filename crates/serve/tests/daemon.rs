@@ -1,0 +1,279 @@
+//! Daemon integration: real sockets on loopback, UDP + TCP ingest, the
+//! HTTP endpoints, and the graceful-drain accounting identities.
+
+use mt_serve::replay::{self, Workload};
+use mt_serve::{Daemon, ServeConfig};
+use mt_stream::{HealthSnapshot, StreamConfig};
+use mt_types::{Day, SimDuration};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, UdpSocket};
+use std::time::Duration;
+
+fn serve_config(lateness: SimDuration) -> ServeConfig {
+    ServeConfig {
+        stream: StreamConfig {
+            ingest_threads: 2,
+            allowed_lateness: lateness,
+            ..StreamConfig::default()
+        },
+        ..ServeConfig::default()
+    }
+}
+
+/// One blocking HTTP/1.1 GET; returns (status line, body).
+fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+    http_request(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+}
+
+fn http_request(addr: SocketAddr, raw: &str) -> (String, String) {
+    let mut sock = TcpStream::connect(addr).expect("connect http");
+    sock.write_all(raw.as_bytes()).expect("send request");
+    let mut response = Vec::new();
+    sock.read_to_end(&mut response).expect("read response");
+    let text = String::from_utf8(response).expect("utf8 response");
+    let status = text.lines().next().unwrap_or_default().to_owned();
+    let body = match text.find("\r\n\r\n") {
+        Some(i) => text[i + 4..].to_owned(),
+        None => String::new(),
+    };
+    (status, body)
+}
+
+/// Polls `/health` until `decoded` reaches `want` (or panics after ~10s).
+fn await_decoded(http: SocketAddr, want: u64) -> HealthSnapshot {
+    for _ in 0..1000 {
+        let (status, body) = http_get(http, "/health");
+        assert!(status.contains("200"), "health status: {status}");
+        let health: HealthSnapshot = serde_json::from_str(&body).expect("health json");
+        if health.decoded >= want {
+            return health;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("daemon never decoded {want} records");
+}
+
+#[test]
+fn udp_and_tcp_ingest_match_and_drain_cleanly() {
+    let w = Workload::small(0xC0FFEE);
+    let daemon = Daemon::bind(serve_config(SimDuration::hours(2)), |_| {
+        replay::default_rib()
+    })
+    .expect("bind");
+    let udp_to = daemon.udp_addr().expect("udp on");
+    let tcp_to = daemon.tcp_addr().expect("tcp on");
+    let http = daemon.http_addr().expect("http on");
+    let handle = daemon.shutdown_handle().expect("handle");
+    let runner = std::thread::spawn(move || daemon.run());
+
+    // Even exporters speak UDP (one stable source socket each, so each
+    // keeps one session); odd exporters hold one TCP stream open for
+    // the whole run. Days go out day-major, like a real fleet: every
+    // exporter finishes day `d` before anyone starts day `d+1`, so the
+    // 2h-lateness watermark never guillotines a slower peer.
+    let udp_socks: Vec<UdpSocket> = (0..w.exporters / 2)
+        .map(|_| UdpSocket::bind(("127.0.0.1", 0)).expect("bind sender"))
+        .collect();
+    let mut tcp_socks: Vec<TcpStream> = (0..w.exporters / 2)
+        .map(|_| TcpStream::connect(tcp_to).expect("connect exporter"))
+        .collect();
+    let mut seqs = vec![0u32; w.exporters];
+    let mut datagrams_sent = 0u64;
+    let per_day = w.total_flows() / u64::from(w.days);
+    for d in 0..w.days {
+        for e in 0..w.exporters {
+            let msgs = w.encode_day(e, Day(d), &mut seqs[e], 25);
+            if e % 2 == 0 {
+                for msg in &msgs {
+                    udp_socks[e / 2]
+                        .send_to(msg, udp_to)
+                        .expect("send datagram");
+                    datagrams_sent += 1;
+                }
+            } else {
+                for msg in &msgs {
+                    tcp_socks[e / 2].write_all(msg).expect("send stream");
+                }
+            }
+        }
+        // Let the day fully land before the fleet moves on — otherwise
+        // a fast TCP stream's day d+1 can advance the watermark past a
+        // UDP peer's still-queued day-d datagrams.
+        await_decoded(http, per_day * u64::from(d + 1));
+    }
+    for sock in &mut tcp_socks {
+        sock.shutdown(std::net::Shutdown::Write)
+            .expect("close write half");
+    }
+
+    let live = await_decoded(http, w.total_flows());
+    live.check_invariants().expect("live health invariants");
+
+    // The exposition endpoint is scrape-clean and carries both the
+    // daemon's own metrics and the stream layer's.
+    let (status, body) = http_get(http, "/metrics");
+    assert!(status.contains("200 OK"), "metrics status: {status}");
+    assert!(body.ends_with('\n'), "exposition ends with a newline");
+    assert!(body.contains("# TYPE mt_serve_datagrams_total counter"));
+    assert!(body.contains("# TYPE mt_serve_ingest_nanoseconds histogram"));
+    assert!(body.contains("mt_serve_connections_total{transport=\"tcp\"}"));
+    assert!(body.contains("mt_stream_flows_total"));
+
+    handle.shutdown();
+    let out = runner.join().expect("join").expect("run");
+
+    // Everything sent arrived, nothing was rejected, and the post-drain
+    // ledger balances exactly.
+    assert_eq!(out.datagrams, datagrams_sent);
+    assert_eq!(out.datagrams_rejected, 0);
+    assert_eq!(out.tcp_connections, (w.exporters / 2) as u64);
+    assert!(out.http_requests >= 2);
+    assert_eq!(out.stream.health.decoded, w.total_flows());
+    assert_eq!(out.stream.health.in_flight, 0, "drain left nothing queued");
+    assert_eq!(out.stream.dropped_late, 0);
+    assert_eq!(out.stream.dropped_backpressure, 0);
+    out.stream.health.check_invariants().expect("final ledger");
+
+    // Both transports fed the same sessions path: every exporter shows
+    // up, named by transport, with clean decodes.
+    assert_eq!(out.stream.exporters.len(), w.exporters);
+    for e in &out.stream.exporters {
+        assert!(
+            e.name.starts_with("udp:") || e.name.starts_with("tcp:"),
+            "session named by transport: {}",
+            e.name
+        );
+        assert_eq!(e.decode_errors, 0, "clean stream for {}", e.name);
+        assert_eq!(e.flows, w.total_flows() / w.exporters as u64);
+    }
+
+    // All days closed, all records windowed.
+    assert_eq!(out.stream.windows.len(), w.days as usize);
+    let windowed: u64 = out.stream.windows.iter().map(|w| w.records).sum();
+    assert_eq!(windowed, w.total_flows());
+}
+
+#[test]
+fn torn_datagrams_are_rejected_without_desync() {
+    let w = Workload {
+        exporters: 1,
+        days: 1,
+        flows_per_exporter_day: 60,
+        seed: 9,
+    };
+    let daemon = Daemon::bind(serve_config(SimDuration::hours(2)), |_| {
+        replay::default_rib()
+    })
+    .expect("bind");
+    let udp_to = daemon.udp_addr().expect("udp on");
+    let http = daemon.http_addr().expect("http on");
+    let handle = daemon.shutdown_handle().expect("handle");
+    let runner = std::thread::spawn(move || daemon.run());
+
+    let mut seq = 0;
+    let msgs = w.encode_day(0, Day(0), &mut seq, 20);
+    assert_eq!(msgs.len(), 3);
+    let sock = UdpSocket::bind(("127.0.0.1", 0)).expect("bind sender");
+    // Good, torn (truncated mid-record), garbage-tailed, then good again
+    // from the same peer: the two bad datagrams must drop whole while
+    // the session keeps decoding.
+    sock.send_to(&msgs[0], udp_to).expect("send");
+    sock.send_to(&msgs[1][..msgs[1].len() - 7], udp_to)
+        .expect("send");
+    let mut tailed = msgs[1].clone();
+    tailed.extend_from_slice(b"junk");
+    sock.send_to(&tailed, udp_to).expect("send");
+    sock.send_to(&msgs[2], udp_to).expect("send");
+
+    let live = await_decoded(http, 40);
+    assert_eq!(live.decoded, 40, "only the two clean datagrams count");
+
+    handle.shutdown();
+    let out = runner.join().expect("join").expect("run");
+    assert_eq!(out.datagrams, 4);
+    assert_eq!(out.datagrams_rejected, 2);
+    assert_eq!(out.stream.exporters.len(), 1);
+    assert_eq!(out.stream.exporters[0].flows, 40);
+    assert_eq!(out.stream.exporters[0].decode_errors, 2);
+    out.stream.health.check_invariants().expect("final ledger");
+}
+
+#[test]
+fn http_endpoints_reject_what_they_should() {
+    let daemon = Daemon::bind(serve_config(SimDuration::hours(2)), |_| {
+        replay::default_rib()
+    })
+    .expect("bind");
+    let http = daemon.http_addr().expect("http on");
+    let handle = daemon.shutdown_handle().expect("handle");
+    let runner = std::thread::spawn(move || daemon.run());
+
+    let (status, _) = http_get(http, "/nope");
+    assert!(status.contains("404"), "unknown path: {status}");
+    let (status, _) = http_request(http, "POST /health HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(status.contains("405"), "non-GET: {status}");
+    let (status, _) = http_request(http, " \r\n\r\n");
+    assert!(status.contains("400"), "garbage request line: {status}");
+    let (status, body) = http_get(http, "/health");
+    assert!(status.contains("200"), "health: {status}");
+    let health: HealthSnapshot = serde_json::from_str(&body).expect("health json");
+    assert_eq!(health.decoded, 0);
+
+    handle.shutdown();
+    let out = runner.join().expect("join").expect("run");
+    assert_eq!(out.http_requests, 4);
+    assert_eq!(out.stream.windows.len(), 0, "no data, no windows");
+}
+
+#[test]
+fn shutdown_races_with_inflight_sends_and_still_balances() {
+    // Trigger shutdown immediately after the last send returns, with no
+    // settling wait: the drain phase must still pull everything out of
+    // the kernel buffers before finishing.
+    // Exporters send exporter-major here, so day-10 lateness keeps the
+    // watermark from closing day 0 while later exporters are mid-send.
+    let w = Workload::small(0xD1A6);
+    let daemon = Daemon::bind(serve_config(SimDuration::days(10)), |_| {
+        replay::default_rib()
+    })
+    .expect("bind");
+    let udp_to = daemon.udp_addr().expect("udp on");
+    let tcp_to = daemon.tcp_addr().expect("tcp on");
+    let handle = daemon.shutdown_handle().expect("handle");
+    let runner = std::thread::spawn(move || daemon.run());
+
+    // TCP first: the connections get accepted while the loop is still
+    // live (UDP sends buy them time), so the drain phase only has to
+    // finish streams it already knows about.
+    for e in 0..w.exporters {
+        let mut seq = 0;
+        let messages: Vec<Vec<u8>> = (0..w.days)
+            .flat_map(|d| w.encode_day(e, Day(d), &mut seq, 25))
+            .collect();
+        if e % 2 == 1 {
+            replay::send_tcp(tcp_to, &messages).expect("send stream");
+        }
+    }
+    for e in 0..w.exporters {
+        let mut seq = 0;
+        let messages: Vec<Vec<u8>> = (0..w.days)
+            .flat_map(|d| w.encode_day(e, Day(d), &mut seq, 25))
+            .collect();
+        if e % 2 == 0 {
+            replay::send_udp(udp_to, &messages).expect("send datagrams");
+        }
+    }
+    std::thread::sleep(Duration::from_millis(50)); // let accepts land
+    handle.shutdown();
+    let out = runner.join().expect("join").expect("run");
+
+    out.stream.health.check_invariants().expect("final ledger");
+    assert_eq!(out.stream.health.in_flight, 0, "drain left nothing queued");
+    assert_eq!(
+        out.stream.health.decoded,
+        w.total_flows(),
+        "drain swept the buffers"
+    );
+    let windowed: u64 = out.stream.windows.iter().map(|w| w.records).sum();
+    assert_eq!(windowed, w.total_flows());
+}

@@ -32,6 +32,11 @@ pub struct ExporterSession {
     /// Framing-level failures: headers with a wrong version or an
     /// impossible declared length, each followed by a resync scan.
     pub framing_errors: u64,
+    /// Datagrams rejected whole by [`feed_datagram`](Self::feed_datagram)
+    /// — truncated messages, trailing garbage, or empty payloads. The
+    /// datagram transport has no resync (the next datagram starts clean),
+    /// so these are counted and dropped rather than scanned past.
+    pub bad_datagrams: u64,
 }
 
 impl ExporterSession {
@@ -48,7 +53,10 @@ impl ExporterSession {
     /// Total decode trouble observed on this session: framing errors
     /// plus sets and records the collector had to skip.
     pub fn decode_errors(&self) -> u64 {
-        self.framing_errors + self.collector.skipped_sets() + self.collector.skipped_records
+        self.framing_errors
+            + self.bad_datagrams
+            + self.collector.skipped_sets()
+            + self.collector.skipped_records
     }
 
     /// Bytes currently buffered waiting for the rest of a message.
@@ -104,6 +112,32 @@ impl ExporterSession {
         }
         self.buffer.drain(..pos);
     }
+
+    /// Feeds one UDP datagram, which must carry whole IPFIX message(s)
+    /// (RFC 7011 §10.3 — datagram transports never split a message).
+    ///
+    /// Returns `true` if the datagram decoded; a rejected datagram
+    /// (truncated message, trailing garbage, empty payload, bad header)
+    /// bumps [`bad_datagrams`](Self::bad_datagrams), appends nothing to
+    /// `out`, and leaves the session's templates intact — the next
+    /// datagram starts at a fresh message boundary, so nothing desyncs.
+    /// The stream buffer is untouched: one session may serve a peer that
+    /// speaks both transports without the two interfering.
+    pub fn feed_datagram(&mut self, datagram: &[u8], out: &mut Vec<IpfixFlow>) -> bool {
+        self.bytes += datagram.len() as u64;
+        let before = out.len();
+        match self.collector.decode_datagram(datagram, out) {
+            Ok(msgs) => {
+                self.messages += msgs;
+                self.flows += (out.len() - before) as u64;
+                true
+            }
+            Err(_) => {
+                self.bad_datagrams += 1;
+                false
+            }
+        }
+    }
 }
 
 /// Index of the next plausible message header start (version bytes
@@ -144,6 +178,21 @@ impl StreamCollector {
             .entry(exporter.to_owned())
             .or_default()
             .feed(chunk, out);
+    }
+
+    /// Feeds one UDP datagram from `exporter` (whole messages only),
+    /// creating its session on first contact; appends decoded flows to
+    /// `out` and returns whether the datagram was accepted.
+    pub fn feed_datagram_into(
+        &mut self,
+        exporter: &str,
+        datagram: &[u8],
+        out: &mut Vec<IpfixFlow>,
+    ) -> bool {
+        self.sessions
+            .entry(exporter.to_owned())
+            .or_default()
+            .feed_datagram(datagram, out)
     }
 
     /// The session of one exporter, if it has sent anything.
@@ -304,6 +353,64 @@ mod tests {
         assert_eq!(c.total_flows(), 14);
         let names: Vec<&str> = c.sessions().map(|(n, _)| n).collect();
         assert_eq!(names, ["A", "B"], "deterministic session order");
+    }
+
+    #[test]
+    fn datagram_feed_counts_and_recovers() {
+        let input = flows(6);
+        let mut seq = 0;
+        let msgs = ipfix::encode_messages(&input, 1, 7, &mut seq, 3);
+        let mut s = ExporterSession::new();
+        let mut out = Vec::new();
+        // Datagram 1: both messages, whole.
+        let dg1: Vec<u8> = msgs.iter().flatten().copied().collect();
+        assert!(s.feed_datagram(&dg1, &mut out));
+        assert_eq!(out, input);
+        assert_eq!(s.messages, 2);
+        // Datagram 2: torn tail → counted, dropped, nothing appended.
+        let torn = &dg1[..dg1.len() - 3];
+        assert!(!s.feed_datagram(torn, &mut out));
+        assert_eq!(out, input, "rejected datagram appends nothing");
+        assert_eq!(s.bad_datagrams, 1);
+        assert_eq!(s.decode_errors(), 1);
+        // Datagram 3: clean again — no desync.
+        assert!(s.feed_datagram(&dg1, &mut out));
+        assert_eq!(s.flows, 12);
+        assert_eq!(s.bytes, (dg1.len() * 2 + torn.len()) as u64);
+    }
+
+    #[test]
+    fn datagram_and_stream_feeds_do_not_interfere() {
+        // A half message left buffered by the stream path must not bleed
+        // into datagram decoding, and vice versa.
+        let input = flows(4);
+        let stream = messages(&input, 7);
+        let mut s = ExporterSession::new();
+        let mut out = Vec::new();
+        let half = stream.len() / 2;
+        s.feed(&stream[..half], &mut out);
+        assert!(s.buffered() > 0);
+        // Whole datagram between the two stream halves.
+        assert!(s.feed_datagram(&stream, &mut out));
+        // Then the rest of the stream.
+        s.feed(&stream[half..], &mut out);
+        let mut expect = input.clone();
+        expect.extend_from_slice(&input);
+        assert_eq!(out, expect);
+        assert_eq!(s.decode_errors(), 0);
+    }
+
+    #[test]
+    fn collector_feed_datagram_into_keys_sessions() {
+        let input = flows(3);
+        let dg = messages(&input, 1);
+        let mut c = StreamCollector::new();
+        let mut out = Vec::new();
+        assert!(c.feed_datagram_into("udp:peer", &dg, &mut out));
+        assert_eq!(out, input);
+        assert!(!c.feed_datagram_into("udp:peer", &[0xff; 3], &mut out));
+        assert_eq!(c.session("udp:peer").unwrap().bad_datagrams, 1);
+        assert_eq!(c.total_decode_errors(), 1);
     }
 
     #[test]

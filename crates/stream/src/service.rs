@@ -395,6 +395,29 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> StreamService<F> {
         let mut decoded = std::mem::take(&mut self.decode_buf);
         decoded.clear();
         self.collector.feed_into(exporter, chunk, &mut decoded);
+        self.ingest_decoded(exporter, decoded);
+    }
+
+    /// Feeds one UDP datagram from `exporter`, which must carry whole
+    /// IPFIX message(s). Rejected datagrams (returning `false`) are
+    /// counted on the exporter's session and contribute no records; the
+    /// session's templates and the stream-framing buffer are untouched,
+    /// so neither transport desyncs the other.
+    pub fn push_datagram(&mut self, exporter: &str, datagram: &[u8]) -> bool {
+        let mut decoded = std::mem::take(&mut self.decode_buf);
+        decoded.clear();
+        let accepted = self
+            .collector
+            .feed_datagram_into(exporter, datagram, &mut decoded);
+        self.ingest_decoded(exporter, decoded);
+        accepted
+    }
+
+    /// Gates decoded records against the watermark, batches them per
+    /// day, pushes to the worker queue, and closes any ready windows —
+    /// the shared back half of both transports' push paths. Takes and
+    /// returns the reusable decode buffer.
+    fn ingest_decoded(&mut self, exporter: &str, decoded: Vec<IpfixFlow>) {
         if decoded.is_empty() {
             self.decode_buf = decoded;
             self.close_ready_windows();
@@ -765,6 +788,68 @@ mod tests {
             assert_eq!(fin.result.dark, batch.dark);
             assert_eq!(fin.result.funnel, batch.funnel);
         }
+    }
+
+    #[test]
+    fn datagram_transport_matches_stream_transport() {
+        let run = |datagrams: bool| {
+            let cfg = StreamConfig {
+                ingest_threads: 2,
+                allowed_lateness: SimDuration::hours(1),
+                ..StreamConfig::default()
+            };
+            let mut svc = StreamService::start(cfg, |_| rib());
+            let mut seq = 0;
+            for d in 0..3 {
+                let recs = day_records(Day(d));
+                let flows: Vec<ipfix::IpfixFlow> = recs.iter().map(FlowRecord::to_ipfix).collect();
+                // One datagram per message, vs the same bytes as a stream.
+                for msg in ipfix::encode_messages(&flows, 0, 1, &mut seq, 7) {
+                    if datagrams {
+                        assert!(svc.push_datagram("CE1", &msg));
+                    } else {
+                        svc.push_chunk("CE1", &msg);
+                    }
+                }
+            }
+            svc.finish()
+        };
+        let via_stream = run(false);
+        let via_datagram = run(true);
+        assert_eq!(via_stream.windows.len(), via_datagram.windows.len());
+        for (s, d) in via_stream.windows.iter().zip(&via_datagram.windows) {
+            assert_eq!(s.records, d.records, "day {}", s.day.0);
+            assert_eq!(s.result.dark, d.result.dark);
+            assert_eq!(s.result.funnel, d.result.funnel);
+        }
+        via_datagram.health.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn rejected_datagram_is_counted_and_contributes_nothing() {
+        let cfg = StreamConfig {
+            ingest_threads: 1,
+            allowed_lateness: SimDuration::hours(1),
+            ..StreamConfig::default()
+        };
+        let mut svc = StreamService::start(cfg, |_| rib());
+        let mut seq = 0;
+        let good = encode(&day_records(Day(0)), &mut seq);
+        assert!(svc.push_datagram("U", &good));
+        let mut torn = encode(&day_records(Day(1)), &mut seq);
+        torn.truncate(torn.len() - 9);
+        assert!(!svc.push_datagram("U", &torn), "torn datagram rejected");
+        let out = svc.finish();
+        assert_eq!(out.windows.len(), 1, "only day 0 produced records");
+        let health = &out.health;
+        health.check_invariants().unwrap();
+        let u = health
+            .exporters
+            .iter()
+            .find(|e| e.name == "U")
+            .expect("session exists");
+        assert_eq!(u.flows, 40);
+        assert_eq!(u.decode_errors, 1, "the torn datagram was counted");
     }
 
     #[test]

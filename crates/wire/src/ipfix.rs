@@ -243,6 +243,45 @@ impl Collector {
         Ok(())
     }
 
+    /// Parses one UDP datagram carrying whole IPFIX message(s) — the
+    /// RFC 7011 §10.3 datagram transport, where message boundaries never
+    /// straddle datagrams. Returns the number of messages decoded.
+    ///
+    /// Datagrams are all-or-nothing: a bad message header, a declared
+    /// length overrunning the datagram, trailing bytes shorter than a
+    /// header, or an empty datagram rejects the *whole* datagram — `out`
+    /// is rolled back to its entry length so a partially-decoded
+    /// datagram never leaks records. Templates learned from earlier
+    /// messages in a rejected datagram stand (template learning is
+    /// monotone per session, so keeping them cannot desync anything),
+    /// and set-level trouble inside well-framed messages stays counted,
+    /// not fatal, exactly as in [`decode_message`](Self::decode_message).
+    pub fn decode_datagram(&mut self, datagram: &[u8], out: &mut Vec<IpfixFlow>) -> Result<u64> {
+        let entry = out.len();
+        let mut pos = 0usize;
+        let mut messages = 0u64;
+        while datagram.len() - pos >= 16 {
+            let declared = u16::from_be_bytes([datagram[pos + 2], datagram[pos + 3]]) as usize;
+            if declared < 16 || declared > datagram.len() - pos {
+                out.truncate(entry);
+                return Err(WireError::Truncated);
+            }
+            if let Err(e) = self.decode_message(&datagram[pos..pos + declared], out) {
+                out.truncate(entry);
+                return Err(e);
+            }
+            pos += declared;
+            messages += 1;
+        }
+        if pos != datagram.len() || messages == 0 {
+            // Trailing bytes shorter than a message header, or an empty
+            // datagram: nothing an exporter would ever legitimately send.
+            out.truncate(entry);
+            return Err(WireError::Malformed);
+        }
+        Ok(messages)
+    }
+
     fn learn_templates(&mut self, mut set: &[u8]) {
         // A template set may hold several template records; trailing
         // padding shorter than a record header is permitted. A broken
@@ -601,6 +640,108 @@ mod tests {
                 .unwrap_err(),
             WireError::Truncated
         );
+    }
+
+    #[test]
+    fn datagram_with_multiple_whole_messages_decodes() {
+        let flows: Vec<IpfixFlow> = (0..10).map(sample_flow).collect();
+        let mut seq = 0;
+        let datagram: Vec<u8> = encode_messages(&flows, 42, 7, &mut seq, 4)
+            .into_iter()
+            .flatten()
+            .collect();
+        let mut collector = Collector::new();
+        let mut out = Vec::new();
+        assert_eq!(collector.decode_datagram(&datagram, &mut out).unwrap(), 3);
+        assert_eq!(out, flows);
+    }
+
+    #[test]
+    fn datagram_truncated_tail_rejects_whole_datagram() {
+        let flows: Vec<IpfixFlow> = (0..8).map(sample_flow).collect();
+        let mut seq = 0;
+        let mut datagram: Vec<u8> = encode_messages(&flows, 42, 7, &mut seq, 4)
+            .into_iter()
+            .flatten()
+            .collect();
+        datagram.truncate(datagram.len() - 5); // tear the second message
+        let mut collector = Collector::new();
+        let mut out = vec![sample_flow(99)];
+        assert!(collector.decode_datagram(&datagram, &mut out).is_err());
+        assert_eq!(
+            out,
+            vec![sample_flow(99)],
+            "a rejected datagram leaks no records, even from its good first message"
+        );
+    }
+
+    #[test]
+    fn datagram_trailing_garbage_rejects_whole_datagram() {
+        let mut seq = 0;
+        let mut datagram = encode_messages(&[sample_flow(0)], 1, 1, &mut seq, 10).remove(0);
+        datagram.extend_from_slice(&[0xde, 0xad, 0xbe]); // < header size
+        let mut collector = Collector::new();
+        let mut out = Vec::new();
+        assert_eq!(
+            collector.decode_datagram(&datagram, &mut out).unwrap_err(),
+            WireError::Malformed
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn empty_datagram_rejected() {
+        let mut collector = Collector::new();
+        assert_eq!(
+            collector.decode_datagram(&[], &mut Vec::new()).unwrap_err(),
+            WireError::Malformed
+        );
+    }
+
+    #[test]
+    fn datagram_wrong_version_rejected_without_desync() {
+        // Datagram 1: [good message][wrong-version message] → rejected,
+        // but the template from the good message is retained (monotone),
+        // so datagram 2 — data set only — still decodes on this session.
+        let mut seq = 0;
+        let good = encode_messages(&[sample_flow(0)], 1, 1, &mut seq, 10).remove(0);
+        let mut bad = good.clone();
+        bad[0..2].copy_from_slice(&9u16.to_be_bytes());
+        let mut datagram = good.clone();
+        datagram.extend_from_slice(&bad);
+        let mut collector = Collector::new();
+        let mut out = Vec::new();
+        assert_eq!(
+            collector.decode_datagram(&datagram, &mut out).unwrap_err(),
+            WireError::Version
+        );
+        assert!(out.is_empty());
+
+        // Data-only message referencing the (now learned) template.
+        let mut data_only = Vec::new();
+        data_only.put_u16(VERSION);
+        data_only.put_u16(0);
+        data_only.put_u32(0);
+        data_only.put_u32(1);
+        data_only.put_u32(1);
+        data_only.put_u16(FLOW_TEMPLATE_ID);
+        data_only.put_u16((4 + FLOW_RECORD_LEN) as u16);
+        sample_flow(5).encode(&mut data_only);
+        let total = data_only.len() as u16;
+        data_only[2..4].copy_from_slice(&total.to_be_bytes());
+        assert_eq!(collector.decode_datagram(&data_only, &mut out).unwrap(), 1);
+        assert_eq!(out, vec![sample_flow(5)], "session not desynced");
+    }
+
+    #[test]
+    fn datagram_heartbeat_is_one_message() {
+        // A template-only message (no flows) is a legitimate datagram.
+        let mut seq = 0;
+        let datagram = encode_messages(&[], 1, 1, &mut seq, 10).remove(0);
+        let mut collector = Collector::new();
+        let mut out = Vec::new();
+        assert_eq!(collector.decode_datagram(&datagram, &mut out).unwrap(), 1);
+        assert!(out.is_empty());
     }
 
     #[test]

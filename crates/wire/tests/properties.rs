@@ -39,6 +39,21 @@ fn arb_flow() -> impl Strategy<Value = IpfixFlow> {
         )
 }
 
+/// A fixed marker record used to prove entry contents survive rollbacks.
+fn arb_sentinel() -> IpfixFlow {
+    IpfixFlow {
+        src: Ipv4(0xdead_beef),
+        dst: Ipv4(0xfeed_f00d),
+        src_port: 1,
+        dst_port: 2,
+        protocol: 6,
+        tcp_flags: 0x12,
+        packets: 7,
+        octets: 700,
+        start_secs: 9,
+    }
+}
+
 proptest! {
     #[test]
     fn ipv4_emit_parse_roundtrip(
@@ -180,6 +195,65 @@ proptest! {
     fn ipfix_decoder_never_panics_on_noise(noise in proptest::collection::vec(any::<u8>(), 0..200)) {
         let mut collector = ipfix::Collector::new();
         let _ = collector.decode_message(&noise, &mut Vec::new());
+    }
+
+    #[test]
+    fn ipfix_datagram_roundtrip_any_packing(
+        flows in proptest::collection::vec(arb_flow(), 0..50),
+        chunk in 1usize..=16,
+    ) {
+        // A datagram holding all the messages of an export batch decodes
+        // to exactly the input, whatever the per-message record packing.
+        let mut seq = 0u32;
+        let msgs = ipfix::encode_messages(&flows, 123, 9, &mut seq, chunk);
+        let expect_msgs = msgs.len() as u64;
+        let datagram: Vec<u8> = msgs.into_iter().flatten().collect();
+        let mut collector = ipfix::Collector::new();
+        let mut out = Vec::new();
+        prop_assert_eq!(collector.decode_datagram(&datagram, &mut out).unwrap(), expect_msgs);
+        prop_assert_eq!(out, flows);
+    }
+
+    #[test]
+    fn ipfix_datagram_all_or_nothing_under_mutation(
+        flows in proptest::collection::vec(arb_flow(), 1..20),
+        mutations in proptest::collection::vec((any::<u16>(), any::<u8>()), 0..12),
+        truncate_by in 0usize..40,
+        extend_by in 0usize..20,
+    ) {
+        // Start from a valid multi-message datagram; flip bytes, tear the
+        // tail, append garbage. Whatever happens, decode_datagram must
+        // not panic, and on Err the output buffer must be exactly what it
+        // was on entry — no partial datagram ever leaks records.
+        let mut seq = 0u32;
+        let mut datagram: Vec<u8> = ipfix::encode_messages(&flows, 7, 3, &mut seq, 4)
+            .into_iter()
+            .flatten()
+            .collect();
+        for (pos, val) in &mutations {
+            let idx = *pos as usize % datagram.len();
+            datagram[idx] ^= *val;
+        }
+        let keep = datagram.len().saturating_sub(truncate_by);
+        datagram.truncate(keep);
+        datagram.extend(std::iter::repeat_n(0xAAu8, extend_by));
+        let mut collector = ipfix::Collector::new();
+        let sentinel = arb_sentinel();
+        let mut out = vec![sentinel];
+        if collector.decode_datagram(&datagram, &mut out).is_err() {
+            prop_assert_eq!(out, vec![sentinel], "Err must roll the buffer back");
+        } else {
+            prop_assert_eq!(out[0], sentinel, "entry records are never touched");
+        }
+        // The session survives: a clean datagram decodes afterwards.
+        let mut seq2 = 0u32;
+        let clean: Vec<u8> = ipfix::encode_messages(&flows, 8, 3, &mut seq2, 4)
+            .into_iter()
+            .flatten()
+            .collect();
+        let mut out2 = Vec::new();
+        prop_assert!(collector.decode_datagram(&clean, &mut out2).is_ok());
+        prop_assert_eq!(out2, flows);
     }
 
     #[test]

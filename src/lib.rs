@@ -19,7 +19,12 @@
 //!   registry (counters, gauges, histograms, span timing) shared by the
 //!   engine and the streaming service, with Prometheus-text and JSON
 //!   exposition. See `DESIGN.md` §"Observability" for the metric
-//!   naming scheme.
+//!   naming scheme;
+//! - [`serve`] — the socket-facing collection daemon: a hand-rolled
+//!   nonblocking epoll event loop accepting IPFIX over UDP and TCP into
+//!   the streaming service, `GET /health` + `GET /metrics` over a
+//!   minimal HTTP/1.1 responder, and graceful drain on shutdown. See
+//!   `DESIGN.md` §"Serving".
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour: generate an
 //! Internet, run a day of traffic through vantage points, infer
@@ -32,6 +37,7 @@ pub use mt_core as core;
 pub use mt_flow as flow;
 pub use mt_netmodel as netmodel;
 pub use mt_obs as obs;
+pub use mt_serve as serve;
 pub use mt_stream as stream;
 pub use mt_telescope as telescope;
 pub use mt_traffic as traffic;
