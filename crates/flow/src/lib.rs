@@ -24,6 +24,9 @@
 //!   one dense row per *announced* /24 (row = `Slot24Index` slot),
 //!   sized for full-IPv4 windows where hashmap-per-block overheads
 //!   dominate;
+//! - [`export`] — owned, slot-ordered column slices: the interchange
+//!   snapshot the results store (mt-store) persists and reloads, with
+//!   rebuild back to map-layout stats that merge bit-identically;
 //! - [`sharded`] — both representations split over fixed shards
 //!   (`/24 % N` for the map layout, contiguous slot ranges for the
 //!   columnar layout) for lock-free parallel ingest and per-shard
@@ -33,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod columnar;
+pub mod export;
 pub mod meter;
 pub mod record;
 pub mod sampling;
@@ -40,6 +44,7 @@ pub mod sharded;
 pub mod stats;
 
 pub use columnar::ColumnarStats;
+pub use export::{ColumnSlices, DstRowExport, SrcRowExport};
 pub use meter::{FlowKey, FlowMeter, MeteredPacket};
 pub use record::{FlowIntent, FlowRecord};
 pub use sampling::{binomial, Sampler};

@@ -163,9 +163,16 @@ impl HostSet {
     }
 
     /// Rebuilds a set from its raw 256-bit representation — how the
-    /// columnar store lays the set out as four flat u64 column words.
-    pub(crate) fn from_words(words: [u64; 4]) -> HostSet {
+    /// columnar store and the results-store codec lay the set out as
+    /// four flat u64 column words.
+    pub fn from_words(words: [u64; 4]) -> HostSet {
         HostSet(words)
+    }
+
+    /// The raw 256-bit representation: four u64 column words, the
+    /// interchange form of [`from_words`](Self::from_words).
+    pub fn to_words(self) -> [u64; 4] {
+        self.0
     }
 }
 
@@ -648,6 +655,18 @@ impl TrafficStats {
             out.per_src.entry(b.0).or_default().merge_ref(s);
         }
         out
+    }
+
+    /// Merges one destination row view into the accumulator — the
+    /// import half of the column-slice interchange (`crate::export`).
+    pub(crate) fn merge_dst_view(&mut self, block: Block24, d: DstRef<'_>) {
+        self.per_dst.entry(block.0).or_default().merge_ref(d);
+    }
+
+    /// Merges one source row view into the accumulator — the import
+    /// half of the column-slice interchange (`crate::export`).
+    pub(crate) fn merge_src_view(&mut self, block: Block24, s: SrcRef) {
+        self.per_src.entry(block.0).or_default().merge_ref(s);
     }
 
     /// Merges only the blocks of `other` whose index satisfies `keep`,

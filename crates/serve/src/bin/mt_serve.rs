@@ -11,12 +11,17 @@
 //!
 //! Optional artifacts mirror `stream-demo`: `--health-json PATH` and
 //! `--metrics-text PATH` write the final health document and Prometheus
-//! exposition after the drain.
+//! exposition after the drain. `--store-dir PATH` persists every closed
+//! window (plus the merged summary) to a results store there and serves
+//! `GET /v1/block/...` and `GET /v1/windows/...` from it — windows
+//! written by a previous run answer queries immediately on restart.
 
 use mt_serve::{replay, Daemon, ServeConfig};
+use mt_store::StoreConfig;
 use mt_stream::{OverflowPolicy, StreamConfig};
-use mt_types::SimDuration;
+use mt_types::{RibIndex, SimDuration, Slot24Index};
 use std::net::SocketAddr;
+use std::sync::Arc;
 
 struct Args {
     udp: Option<SocketAddr>,
@@ -27,6 +32,7 @@ struct Args {
     max_seconds: Option<u64>,
     health_json: Option<String>,
     metrics_text: Option<String>,
+    store_dir: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -39,6 +45,7 @@ fn parse_args() -> Args {
         max_seconds: None,
         health_json: None,
         metrics_text: None,
+        store_dir: None,
     };
     let mut it = std::env::args().skip(1);
     let addr = |v: Option<String>, what: &str| -> Option<SocketAddr> {
@@ -75,6 +82,7 @@ fn parse_args() -> Args {
             }
             "--health-json" => args.health_json = Some(it.next().expect("--health-json PATH")),
             "--metrics-text" => args.metrics_text = Some(it.next().expect("--metrics-text PATH")),
+            "--store-dir" => args.store_dir = Some(it.next().expect("--store-dir PATH")),
             other => panic!("unknown argument {other}"),
         }
     }
@@ -83,6 +91,12 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    // The store's slot index must match the RIB the daemon ingests
+    // under (reads are fingerprint-gated) — both come from the demo RIB.
+    let store = args.store_dir.as_ref().map(|dir| StoreConfig {
+        dir: dir.into(),
+        slots: Arc::new(Slot24Index::build(&RibIndex::build(&replay::default_rib()))),
+    });
     let cfg = ServeConfig {
         udp: args.udp,
         tcp: args.tcp,
@@ -94,6 +108,7 @@ fn main() {
             allowed_lateness: SimDuration::hours(args.lateness_hours),
             ..StreamConfig::default()
         },
+        store,
         ..ServeConfig::default()
     };
     // The demo RIB: 20.0.0.0/8 announced by one AS. A deployment would

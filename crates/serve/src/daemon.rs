@@ -41,14 +41,16 @@
 use crate::http;
 use crate::sys::{self, Interest, Poller};
 use mt_obs::{Counter, Gauge, Histogram};
+use mt_store::{QueryIndex, ResultsStore, StoreConfig, Verdicts, WindowData};
 use mt_stream::{StreamConfig, StreamService};
-use mt_types::{Asn, Day, FxHashMap, PrefixTrie};
+use mt_types::{Asn, Block24, Day, FxHashMap, Ipv4, PrefixTrie};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
 use std::os::unix::io::AsRawFd;
 use std::os::unix::net::UnixStream;
+use std::str::FromStr;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Histogram bounds for per-push ingest latency, in nanoseconds: fine
 /// enough around the sub-100µs hot path for meaningful p50/p99, topping
@@ -98,6 +100,9 @@ pub struct ServeConfig {
     pub udp_recv_buf: usize,
     /// The streaming service under the loop.
     pub stream: StreamConfig,
+    /// Results store to persist closed windows into and serve `/v1/...`
+    /// read queries from, or `None` to run without persistence.
+    pub store: Option<StoreConfig>,
     /// Whether to install the SIGTERM self-pipe and shut down
     /// gracefully on the signal. Off by default: tests and embedders
     /// usually prefer a [`ShutdownHandle`].
@@ -118,6 +123,7 @@ impl Default for ServeConfig {
             http: Some(loopback),
             udp_recv_buf: 4 << 20,
             stream: StreamConfig::default(),
+            store: None,
             catch_sigterm: false,
             drain_wait_ms: 50,
             drain_quiet_sweeps: 2,
@@ -168,6 +174,25 @@ impl ShutdownHandle {
     }
 }
 
+/// The daemon's handle on a configured results store: the shared query
+/// cache (the window sink updates it from inside the service, the HTTP
+/// path reads it) and the query-side metrics.
+struct StoreRuntime {
+    index: Arc<Mutex<QueryIndex>>,
+    point_queries: Counter,
+    range_queries: Counter,
+    query_latency: Histogram,
+}
+
+/// Locks a mutex, recovering the data from a poisoned lock: the store
+/// cache stays serviceable even if a panic unwound mid-update.
+fn lock_index(m: &Mutex<QueryIndex>) -> std::sync::MutexGuard<'_, QueryIndex> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
 /// One live connection's state.
 enum Conn {
     /// An IPFIX-over-TCP exporter stream.
@@ -206,6 +231,7 @@ pub struct Daemon<F: Fn(Day) -> PrefixTrie<Asn>> {
     http: Option<TcpListener>,
     http_addr: Option<SocketAddr>,
     service: StreamService<F>,
+    store: Option<StoreRuntime>,
     conns: FxHashMap<u64, Conn>,
     next_token: u64,
     read_buf: Vec<u8>,
@@ -216,6 +242,7 @@ pub struct Daemon<F: Fn(Day) -> PrefixTrie<Asn>> {
     open_conns: Gauge,
     http_health: Counter,
     http_metrics: Counter,
+    http_store: Counter,
     http_other: Counter,
     ingest_latency: Histogram,
 }
@@ -225,7 +252,7 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> Daemon<F> {
     /// (ingest workers spawn here). The loop itself does not run until
     /// [`run`](Self::run).
     pub fn bind(cfg: ServeConfig, rib_of: F) -> io::Result<Daemon<F>> {
-        let service = StreamService::start(cfg.stream.clone(), rib_of);
+        let mut service = StreamService::start(cfg.stream.clone(), rib_of);
         let poller = Poller::new()?;
         let (wake_rx, wake_tx) = UnixStream::pair()?;
         wake_rx.set_nonblocking(true)?;
@@ -278,7 +305,7 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> Daemon<F> {
             None
         };
 
-        let reg = service.registry();
+        let reg = Arc::clone(service.registry());
         let datagrams = reg.counter("mt_serve_datagrams_total", "UDP datagrams received.");
         let datagrams_rejected = reg.counter(
             "mt_serve_datagrams_rejected_total",
@@ -308,6 +335,11 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> Daemon<F> {
             &[("endpoint", "metrics")],
             "HTTP requests answered, by endpoint.",
         );
+        let http_store = reg.counter_with(
+            "mt_serve_http_requests_total",
+            &[("endpoint", "store")],
+            "HTTP requests answered, by endpoint.",
+        );
         let http_other = reg.counter_with(
             "mt_serve_http_requests_total",
             &[("endpoint", "other")],
@@ -318,6 +350,78 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> Daemon<F> {
             &INGEST_LATENCY_BUCKETS,
             "Wall time to push one socket read (datagram or stream chunk) into the service.",
         );
+
+        // A configured results store brings up the persistence sink and
+        // the query cache: cold-load whatever earlier runs persisted,
+        // then persist every window the scheduler closes from here on.
+        let store = match cfg.store.clone() {
+            Some(store_cfg) => {
+                let to_io = |e: mt_store::StoreError| {
+                    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+                };
+                let slots = Arc::clone(&store_cfg.slots);
+                let results = ResultsStore::open(store_cfg).map_err(to_io)?;
+                let (index, _cold) = QueryIndex::cold_load(&results).map_err(to_io)?;
+                let index = Arc::new(Mutex::new(index));
+                let windows_persisted = reg.counter(
+                    "mt_store_windows_persisted_total",
+                    "Closed windows persisted to the results store.",
+                );
+                let bytes_written = reg.counter(
+                    "mt_store_bytes_written_total",
+                    "Bytes written to the results store (window and summary files).",
+                );
+                let persist_errors = reg.counter(
+                    "mt_store_persist_errors_total",
+                    "Window persists that failed; the store keeps serving its last good state.",
+                );
+                let point_queries = reg.counter_with(
+                    "mt_store_queries_total",
+                    &[("kind", "point")],
+                    "Store queries answered, by kind.",
+                );
+                let range_queries = reg.counter_with(
+                    "mt_store_queries_total",
+                    &[("kind", "range")],
+                    "Store queries answered, by kind.",
+                );
+                let query_latency = reg.histogram(
+                    "mt_store_query_nanoseconds",
+                    &INGEST_LATENCY_BUCKETS,
+                    "Wall time to answer one store query from the in-memory cache.",
+                );
+                let sink_index = Arc::clone(&index);
+                service.set_window_sink(Box::new(move |w| {
+                    let verdicts = Verdicts::from_result(w.window, &slots);
+                    let wd =
+                        WindowData::build(w.day, w.records, w.stats, verdicts, w.ports, &slots);
+                    let outcome = (|| {
+                        let mut n = results.write_window(&wd)?;
+                        let mut idx = lock_index(&sink_index);
+                        idx.apply_window(&wd, w.combined)?;
+                        n += results.write_summary(idx.summary())?;
+                        Ok::<u64, mt_store::StoreError>(n)
+                    })();
+                    // A failed persist must never take down the
+                    // collection path; it is counted and the store
+                    // keeps serving its last good state.
+                    match outcome {
+                        Ok(n) => {
+                            windows_persisted.inc();
+                            bytes_written.add(n);
+                        }
+                        Err(_) => persist_errors.inc(),
+                    }
+                }));
+                Some(StoreRuntime {
+                    index,
+                    point_queries,
+                    range_queries,
+                    query_latency,
+                })
+            }
+            None => None,
+        };
 
         Ok(Daemon {
             cfg,
@@ -333,6 +437,7 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> Daemon<F> {
             http,
             http_addr,
             service,
+            store,
             conns: FxHashMap::default(),
             next_token: FIRST_CONN_TOKEN,
             read_buf: vec![0u8; 64 * 1024],
@@ -343,6 +448,7 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> Daemon<F> {
             open_conns,
             http_health,
             http_metrics,
+            http_store,
             http_other,
             ingest_latency,
         })
@@ -560,10 +666,11 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> Daemon<F> {
                     }
                     Ok(n) => {
                         req.extend_from_slice(&buf[..n]);
-                        if req.len() > 16 * 1024 {
-                            break; // oversized head: answer 400 below
-                        }
-                        if http::parse_request(&req).is_some() {
+                        // Keep reading only while the head is genuinely
+                        // incomplete; the parser's bounds make that
+                        // state unreachable past the fixed limits, so
+                        // the buffer cannot grow without end.
+                        if !matches!(http::parse_request(&req), http::Parse::Incomplete) {
                             break;
                         }
                     }
@@ -576,21 +683,21 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> Daemon<F> {
                 }
             }
             match http::parse_request(&req) {
-                Some(Ok(r)) => {
+                http::Parse::Complete(r) => {
                     out = self.respond(&r);
                     responding = true;
                 }
-                Some(Err(())) => {
+                http::Parse::Malformed => {
                     self.http_other.inc();
                     out = http::bad_request();
                     responding = true;
                 }
-                None if req.len() > 16 * 1024 => {
+                http::Parse::TooLarge => {
                     self.http_other.inc();
-                    out = http::bad_request();
+                    out = http::header_too_large();
                     responding = true;
                 }
-                None => {
+                http::Parse::Incomplete => {
                     if eof {
                         return (
                             false,
@@ -660,7 +767,17 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> Daemon<F> {
             self.http_other.inc();
             return http::method_not_allowed();
         }
-        match req.path.as_str() {
+        let (path, query) = http::split_query(&req.path);
+        if let Some(addr) = path.strip_prefix("/v1/block/") {
+            return self.respond_point(addr);
+        }
+        if let Some(day) = path
+            .strip_prefix("/v1/windows/")
+            .and_then(|rest| rest.strip_suffix("/verdicts"))
+        {
+            return self.respond_range(day, query);
+        }
+        match path {
             "/health" => {
                 self.http_health.inc();
                 let health = self.service.health();
@@ -683,6 +800,59 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> Daemon<F> {
                 self.http_other.inc();
                 http::not_found()
             }
+        }
+    }
+
+    /// `GET /v1/block/{a.b.c.0}` — point lookup against the summary:
+    /// verdict, since-when, traffic profile, top ports.
+    fn respond_point(&mut self, addr: &str) -> Vec<u8> {
+        self.http_store.inc();
+        let Some(store) = &self.store else {
+            return http::not_found();
+        };
+        let Ok(addr) = Ipv4::from_str(addr) else {
+            return http::bad_request();
+        };
+        store.point_queries.inc();
+        let span = store.query_latency.start_span();
+        let report = lock_index(&store.index).point(addr);
+        drop(span);
+        let body = serde_json::to_string(&report).unwrap_or_else(|_| "{}".to_owned());
+        http::response("200 OK", "application/json", body.as_bytes())
+    }
+
+    /// `GET /v1/windows/{day}/verdicts?from=a.b.c.0&to=x.y.z.0` —
+    /// range scan over one persisted window's verdicts.
+    fn respond_range(&mut self, day: &str, query: &str) -> Vec<u8> {
+        self.http_store.inc();
+        let Some(store) = &self.store else {
+            return http::not_found();
+        };
+        let Ok(day) = day.parse::<u32>() else {
+            return http::bad_request();
+        };
+        let parse_block = |v: Option<&str>, default: Block24| match v {
+            None => Some(default),
+            Some(s) => Ipv4::from_str(s).ok().map(Block24::containing),
+        };
+        let from = parse_block(http::query_param(query, "from"), Block24(0));
+        let to = parse_block(http::query_param(query, "to"), Block24(0x00ff_ffff));
+        let (Some(from), Some(to)) = (from, to) else {
+            return http::bad_request();
+        };
+        if from > to {
+            return http::bad_request();
+        }
+        store.range_queries.inc();
+        let span = store.query_latency.start_span();
+        let report = lock_index(&store.index).range(Day(day), from, to);
+        drop(span);
+        match report {
+            Some(report) => {
+                let body = serde_json::to_string(&report).unwrap_or_else(|_| "{}".to_owned());
+                http::response("200 OK", "application/json", body.as_bytes())
+            }
+            None => http::not_found(),
         }
     }
 
@@ -731,7 +901,10 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> Daemon<F> {
             datagrams: self.datagrams.get(),
             datagrams_rejected: self.datagrams_rejected.get(),
             tcp_connections: self.tcp_conns.get(),
-            http_requests: self.http_health.get() + self.http_metrics.get() + self.http_other.get(),
+            http_requests: self.http_health.get()
+                + self.http_metrics.get()
+                + self.http_store.get()
+                + self.http_other.get(),
             stream,
         })
     }

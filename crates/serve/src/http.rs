@@ -1,45 +1,93 @@
-//! A minimal HTTP/1.1 responder for the two operational endpoints.
+//! A minimal HTTP/1.1 responder for the operational endpoints.
 //!
-//! The daemon is not a web server: it answers `GET /health` and
-//! `GET /metrics` for scrapers and probes, one request per connection
-//! (`Connection: close`), no keep-alive, no chunked encoding, no body
-//! parsing. Request parsing is a byte-level scan for the request line
-//! and the end of the header block — deliberately total (never panics)
-//! and tolerant of anything a probe might send.
+//! The daemon is not a web server: it answers `GET /health`,
+//! `GET /metrics`, and the store's `/v1/...` read queries, one request
+//! per connection (`Connection: close`), no keep-alive, no chunked
+//! encoding, no body parsing. Request parsing is a byte-level scan for
+//! the request line and the end of the header block — deliberately
+//! total (never panics), tolerant of anything a probe might send, and
+//! *bounded*: a head that is merely split across TCP reads is
+//! [`Parse::Incomplete`] (never parsed from a partial buffer), while a
+//! request line or head that exceeds the fixed limits is
+//! [`Parse::TooLarge`] (answered `431`) instead of buffering forever.
+
+/// Hard cap on the buffered request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Hard cap on the request line alone. A buffer this long with no line
+/// break yet can never become a valid request, so the connection is
+/// rejected without waiting for the head terminator.
+pub const MAX_REQUEST_LINE_BYTES: usize = 4 * 1024;
 
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// The HTTP method, uppercased as received.
     pub method: String,
-    /// The request target, e.g. `/health`.
+    /// The request target, e.g. `/health` or `/v1/block/20.0.1.0?x=1`.
     pub path: String,
 }
 
+/// The outcome of scanning a receive buffer for a request head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Parse {
+    /// The head has not fully arrived; read more and rescan. Nothing
+    /// has been parsed — a request line split across TCP reads stays
+    /// unparsed until its terminator arrives.
+    Incomplete,
+    /// The request line or head exceeds the fixed bounds; answer `431`
+    /// and close. Terminal: more bytes can never fix it.
+    TooLarge,
+    /// A complete head arrived but the request line is not parseable;
+    /// answer `400` and close.
+    Malformed,
+    /// A complete, parseable request line.
+    Complete(Request),
+}
+
 /// Scans a receive buffer for a complete request head (terminated by a
-/// blank line). Returns `None` until the head has fully arrived;
-/// `Some(Err(()))` for a malformed request line.
-pub fn parse_request(buf: &[u8]) -> Option<Result<Request, ()>> {
-    let head_end = find_head_end(buf)?;
+/// blank line) without ever parsing a partial line, enforcing
+/// [`MAX_HEAD_BYTES`] and [`MAX_REQUEST_LINE_BYTES`].
+pub fn parse_request(buf: &[u8]) -> Parse {
+    let Some(head_end) = find_head_end(buf) else {
+        // No head terminator yet. Either the peer is slowly streaming a
+        // legitimate request (keep waiting) or it is growing without
+        // bound (reject now, terminally).
+        if buf.len() > MAX_HEAD_BYTES {
+            return Parse::TooLarge;
+        }
+        let line_done = buf.iter().take(MAX_REQUEST_LINE_BYTES).any(|&b| b == b'\n');
+        if buf.len() >= MAX_REQUEST_LINE_BYTES && !line_done {
+            return Parse::TooLarge;
+        }
+        return Parse::Incomplete;
+    };
     let head = &buf[..head_end];
-    let line_end = head
-        .windows(2)
-        .position(|w| w == b"\r\n")
-        .unwrap_or(head.len());
+    if head.len() > MAX_HEAD_BYTES {
+        return Parse::TooLarge;
+    }
+    let line_end = match head.iter().position(|&b| b == b'\n') {
+        Some(i) if i > 0 && head[i - 1] == b'\r' => i - 1,
+        Some(i) => i,
+        None => head.len(),
+    };
+    if line_end > MAX_REQUEST_LINE_BYTES {
+        return Parse::TooLarge;
+    }
     let Ok(line) = std::str::from_utf8(&head[..line_end]) else {
-        return Some(Err(()));
+        return Parse::Malformed;
     };
     let mut parts = line.split(' ');
     let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
-        return Some(Err(()));
+        return Parse::Malformed;
     };
     if method.is_empty() || path.is_empty() {
-        return Some(Err(()));
+        return Parse::Malformed;
     }
-    Some(Ok(Request {
+    Parse::Complete(Request {
         method: method.to_owned(),
         path: path.to_owned(),
-    }))
+    })
 }
 
 /// Index just past the `\r\n\r\n` (or lone `\n\n`) ending the header
@@ -49,6 +97,24 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
         return Some(i + 4);
     }
     buf.windows(2).position(|w| w == b"\n\n").map(|i| i + 2)
+}
+
+/// Splits a request target into `(path, query)`; the query is empty
+/// when there is no `?`.
+pub fn split_query(target: &str) -> (&str, &str) {
+    match target.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (target, ""),
+    }
+}
+
+/// The value of `key` in an `a=1&b=2` query string, if present.
+pub fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .find(|&(k, _)| k == key)
+        .map(|(_, v)| v)
 }
 
 /// Builds a complete response with the given status line tail
@@ -81,6 +147,15 @@ pub fn bad_request() -> Vec<u8> {
     response("400 Bad Request", "text/plain", b"bad request\n")
 }
 
+/// The canned 431 for request lines or heads beyond the fixed bounds.
+pub fn header_too_large() -> Vec<u8> {
+    response(
+        "431 Request Header Fields Too Large",
+        "text/plain",
+        b"request head too large\n",
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,30 +163,87 @@ mod tests {
     #[test]
     fn parses_a_plain_get() {
         let buf = b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n";
-        let req = parse_request(buf).unwrap().unwrap();
+        let Parse::Complete(req) = parse_request(buf) else {
+            panic!("expected complete request");
+        };
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/health");
     }
 
     #[test]
-    fn waits_for_the_full_head() {
-        assert!(parse_request(b"GET /health HTT").is_none());
-        assert!(parse_request(b"GET /health HTTP/1.1\r\nHost: x\r\n").is_none());
+    fn waits_for_the_full_head_at_every_split_point() {
+        // Regression: a request line arriving one byte at a time must
+        // stay Incomplete at *every* prefix until the blank line lands,
+        // never be parsed from a partial buffer.
+        let full = b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n";
+        for cut in 1..full.len() {
+            assert_eq!(
+                parse_request(&full[..cut]),
+                Parse::Incomplete,
+                "prefix of {cut} bytes must not parse"
+            );
+        }
+        assert!(matches!(parse_request(full), Parse::Complete(_)));
     }
 
     #[test]
     fn lf_only_requests_are_accepted() {
-        let req = parse_request(b"GET /metrics HTTP/1.0\n\n")
-            .unwrap()
-            .unwrap();
+        let Parse::Complete(req) = parse_request(b"GET /metrics HTTP/1.0\n\n") else {
+            panic!("expected complete request");
+        };
         assert_eq!(req.path, "/metrics");
     }
 
     #[test]
     fn garbage_is_a_parse_error_not_a_panic() {
-        assert_eq!(parse_request(b"\xff\xfe\r\n\r\n"), Some(Err(())));
-        assert_eq!(parse_request(b" \r\n\r\n"), Some(Err(())));
-        assert_eq!(parse_request(b"\r\n\r\n"), Some(Err(())));
+        assert_eq!(parse_request(b"\xff\xfe\r\n\r\n"), Parse::Malformed);
+        assert_eq!(parse_request(b" \r\n\r\n"), Parse::Malformed);
+        assert_eq!(parse_request(b"\r\n\r\n"), Parse::Malformed);
+    }
+
+    #[test]
+    fn unbounded_request_line_is_too_large_not_buffered_forever() {
+        // Regression: a request line that never ends must become
+        // TooLarge the moment it exceeds the line bound — not sit in
+        // Incomplete growing the buffer.
+        let line = vec![b'A'; MAX_REQUEST_LINE_BYTES];
+        assert_eq!(parse_request(&line), Parse::TooLarge);
+        // Just under the bound with no newline: still waiting.
+        assert_eq!(
+            parse_request(&line[..MAX_REQUEST_LINE_BYTES - 1]),
+            Parse::Incomplete
+        );
+    }
+
+    #[test]
+    fn oversized_head_is_too_large() {
+        // Endless headers after a fine request line.
+        let mut buf = b"GET /health HTTP/1.1\r\n".to_vec();
+        while buf.len() <= MAX_HEAD_BYTES {
+            buf.extend_from_slice(b"X-Padding: aaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+        }
+        assert_eq!(parse_request(&buf), Parse::TooLarge);
+        // A complete head over the bound is also rejected, even with
+        // its terminator present.
+        buf.extend_from_slice(b"\r\n");
+        assert_eq!(parse_request(&buf), Parse::TooLarge);
+    }
+
+    #[test]
+    fn oversized_request_line_with_terminator_is_too_large() {
+        let mut buf = b"GET /".to_vec();
+        buf.extend(std::iter::repeat_n(b'a', MAX_REQUEST_LINE_BYTES));
+        buf.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        assert_eq!(parse_request(&buf), Parse::TooLarge);
+    }
+
+    #[test]
+    fn split_query_and_params() {
+        assert_eq!(split_query("/v1/x?a=1&b=2"), ("/v1/x", "a=1&b=2"));
+        assert_eq!(split_query("/v1/x"), ("/v1/x", ""));
+        assert_eq!(query_param("a=1&b=2", "b"), Some("2"));
+        assert_eq!(query_param("a=1&b=2", "c"), None);
+        assert_eq!(query_param("", "a"), None);
     }
 
     #[test]
@@ -122,5 +254,11 @@ mod tests {
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn status_431_is_canned() {
+        let text = String::from_utf8(header_too_large()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 431 "));
     }
 }

@@ -3,10 +3,12 @@
 
 use mt_serve::replay::{self, Workload};
 use mt_serve::{Daemon, ServeConfig};
+use mt_store::StoreConfig;
 use mt_stream::{HealthSnapshot, StreamConfig};
-use mt_types::{Day, SimDuration};
+use mt_types::{Day, RibIndex, SimDuration, Slot24Index};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream, UdpSocket};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn serve_config(lateness: SimDuration) -> ServeConfig {
@@ -223,6 +225,224 @@ fn http_endpoints_reject_what_they_should() {
     let out = runner.join().expect("join").expect("run");
     assert_eq!(out.http_requests, 4);
     assert_eq!(out.stream.windows.len(), 0, "no data, no windows");
+}
+
+#[test]
+fn a_request_trickled_byte_by_byte_still_parses() {
+    // Regression for the partial-buffer parse bug: a request line split
+    // across many TCP reads must never be parsed from a partial buffer
+    // (which used to yield a spurious 400) — the daemon waits for the
+    // full head and then answers normally.
+    let daemon = Daemon::bind(serve_config(SimDuration::hours(2)), |_| {
+        replay::default_rib()
+    })
+    .expect("bind");
+    let http = daemon.http_addr().expect("http on");
+    let handle = daemon.shutdown_handle().expect("handle");
+    let runner = std::thread::spawn(move || daemon.run());
+
+    let raw = b"GET /health HTTP/1.1\r\nHost: t\r\n\r\n";
+    let mut sock = TcpStream::connect(http).expect("connect http");
+    for chunk in raw.chunks(1) {
+        sock.write_all(chunk).expect("trickle byte");
+        sock.flush().expect("flush");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let mut response = Vec::new();
+    sock.read_to_end(&mut response).expect("read response");
+    let text = String::from_utf8(response).expect("utf8 response");
+    assert!(
+        text.starts_with("HTTP/1.1 200 OK"),
+        "trickled request must parse whole: {}",
+        text.lines().next().unwrap_or_default()
+    );
+    let body = &text[text.find("\r\n\r\n").expect("header end") + 4..];
+    let health: HealthSnapshot = serde_json::from_str(body).expect("health json");
+    assert_eq!(health.decoded, 0);
+
+    handle.shutdown();
+    let out = runner.join().expect("join").expect("run");
+    assert_eq!(out.http_requests, 1);
+}
+
+#[test]
+fn an_endless_request_line_is_rejected_with_431() {
+    // Regression for the unbounded-buffer bug: a request line that
+    // never ends must be answered 431 and closed once it crosses the
+    // line bound, not buffered forever.
+    let daemon = Daemon::bind(serve_config(SimDuration::hours(2)), |_| {
+        replay::default_rib()
+    })
+    .expect("bind");
+    let http = daemon.http_addr().expect("http on");
+    let handle = daemon.shutdown_handle().expect("handle");
+    let runner = std::thread::spawn(move || daemon.run());
+
+    let mut sock = TcpStream::connect(http).expect("connect http");
+    // Exactly the bound: the daemon consumes every byte sent (so the
+    // close is a clean FIN, not a reset) and rejects the instant the
+    // buffered line hits the limit with no terminator in sight.
+    let line = vec![b'A'; mt_serve::http::MAX_REQUEST_LINE_BYTES];
+    sock.write_all(&line).expect("send endless line");
+    sock.shutdown(std::net::Shutdown::Write)
+        .expect("half close");
+    let mut response = Vec::new();
+    sock.read_to_end(&mut response).expect("read response");
+    let text = String::from_utf8(response).expect("utf8 response");
+    assert!(
+        text.starts_with("HTTP/1.1 431 "),
+        "endless line must be 431: {}",
+        text.lines().next().unwrap_or_default()
+    );
+
+    handle.shutdown();
+    runner.join().expect("join").expect("run");
+}
+
+fn temp_store_dir(tag: &str) -> std::path::PathBuf {
+    static SEQ: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let n = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "mt-serve-store-{}-{}-{}",
+        std::process::id(),
+        tag,
+        n
+    ))
+}
+
+/// The slot index matching [`replay::default_rib`] (20.0.0.0/8).
+fn default_slots() -> Arc<Slot24Index> {
+    Arc::new(Slot24Index::build(&RibIndex::build(&replay::default_rib())))
+}
+
+#[test]
+fn v1_endpoints_without_a_store_are_not_found() {
+    let daemon = Daemon::bind(serve_config(SimDuration::hours(2)), |_| {
+        replay::default_rib()
+    })
+    .expect("bind");
+    let http = daemon.http_addr().expect("http on");
+    let handle = daemon.shutdown_handle().expect("handle");
+    let runner = std::thread::spawn(move || daemon.run());
+
+    let (status, _) = http_get(http, "/v1/block/20.0.0.0");
+    assert!(status.contains("404"), "no store, no block API: {status}");
+    let (status, _) = http_get(http, "/v1/windows/0/verdicts");
+    assert!(status.contains("404"), "no store, no window API: {status}");
+
+    handle.shutdown();
+    runner.join().expect("join").expect("run");
+}
+
+#[test]
+fn store_endpoints_serve_persisted_windows_across_a_restart() {
+    let dir = temp_store_dir("e2e");
+    let w = Workload {
+        exporters: 2,
+        days: 3,
+        flows_per_exporter_day: 300,
+        seed: 0x5709,
+    };
+
+    // First run: ingest the whole fleet, then drain. Every closed
+    // window lands in the store via the scheduler sink.
+    let mut cfg = serve_config(SimDuration::days(10));
+    cfg.store = Some(StoreConfig {
+        dir: dir.clone(),
+        slots: default_slots(),
+    });
+    let daemon = Daemon::bind(cfg, |_| replay::default_rib()).expect("bind");
+    let tcp_to = daemon.tcp_addr().expect("tcp on");
+    let http = daemon.http_addr().expect("http on");
+    let handle = daemon.shutdown_handle().expect("handle");
+    let runner = std::thread::spawn(move || daemon.run());
+
+    for e in 0..w.exporters {
+        let mut seq = 0;
+        let messages: Vec<Vec<u8>> = (0..w.days)
+            .flat_map(|d| w.encode_day(e, Day(d), &mut seq, 25))
+            .collect();
+        replay::send_tcp(tcp_to, &messages).expect("send stream");
+    }
+    await_decoded(http, w.total_flows());
+    handle.shutdown();
+    let out = runner.join().expect("join").expect("run");
+    assert_eq!(out.stream.windows.len(), w.days as usize);
+
+    // The store holds one file per closed day plus the summary.
+    assert!(dir.join("summary.mts").exists(), "summary persisted");
+    for d in 0..w.days {
+        assert!(
+            dir.join(format!("window-{d:05}.mtw")).exists(),
+            "window file for day {d}"
+        );
+    }
+
+    // Second run over the same directory: the query cache cold-loads
+    // the persisted state and serves it before any new ingest.
+    let mut cfg = serve_config(SimDuration::days(10));
+    cfg.store = Some(StoreConfig {
+        dir: dir.clone(),
+        slots: default_slots(),
+    });
+    let daemon = Daemon::bind(cfg, |_| replay::default_rib()).expect("rebind");
+    let http = daemon.http_addr().expect("http on");
+    let handle = daemon.shutdown_handle().expect("handle");
+    let runner = std::thread::spawn(move || daemon.run());
+
+    // Point lookup inside announced space: answered from the summary
+    // built across all three days.
+    let (status, body) = http_get(http, "/v1/block/20.0.0.0");
+    assert!(status.contains("200"), "point query: {status}");
+    assert!(body.contains("\"block\":\"20.0.0.0\""), "body: {body}");
+    assert!(body.contains("\"routed\":true"), "body: {body}");
+    assert!(
+        body.contains(&format!("\"windows\":{}", w.days)),
+        "body: {body}"
+    );
+    assert!(
+        body.contains(&format!("\"span_days\":{}", w.days)),
+        "body: {body}"
+    );
+
+    // Outside announced space: still an answer, not an error.
+    let (status, body) = http_get(http, "/v1/block/1.2.3.4");
+    assert!(status.contains("200"), "unrouted point query: {status}");
+    assert!(body.contains("\"routed\":false"), "body: {body}");
+
+    // Bad address: 400.
+    let (status, _) = http_get(http, "/v1/block/not-an-ip");
+    assert!(status.contains("400"), "bad address: {status}");
+
+    // Range scan over a persisted window, full and bounded.
+    let (status, body) = http_get(http, "/v1/windows/0/verdicts");
+    assert!(status.contains("200"), "range query: {status}");
+    assert!(body.contains("\"day\":0"), "body: {body}");
+    let (status, _) = http_get(http, "/v1/windows/1/verdicts?from=20.0.0.0&to=20.0.255.0");
+    assert!(status.contains("200"), "bounded range query: {status}");
+
+    // Unknown day is a 404; bad bounds are 400s.
+    let (status, _) = http_get(http, "/v1/windows/99/verdicts");
+    assert!(status.contains("404"), "unknown day: {status}");
+    let (status, _) = http_get(http, "/v1/windows/0/verdicts?from=zz");
+    assert!(status.contains("400"), "bad bound: {status}");
+    let (status, _) = http_get(http, "/v1/windows/0/verdicts?from=20.0.1.0&to=20.0.0.0");
+    assert!(status.contains("400"), "inverted bounds: {status}");
+
+    // The store metrics are registered and the query counters moved.
+    let (status, body) = http_get(http, "/metrics");
+    assert!(status.contains("200"), "metrics: {status}");
+    assert!(body.contains("mt_store_windows_persisted_total"));
+    // Rejected requests (bad address, bad bounds) never reach the
+    // query path: two valid points, three well-formed range scans
+    // (the unknown day is a well-formed query with a 404 answer).
+    assert!(body.contains("mt_store_queries_total{kind=\"point\"} 2"));
+    assert!(body.contains("mt_store_queries_total{kind=\"range\"} 3"));
+
+    handle.shutdown();
+    let out = runner.join().expect("join").expect("run");
+    assert_eq!(out.http_requests, 9, "every query counted");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

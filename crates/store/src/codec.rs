@@ -1,0 +1,253 @@
+//! Byte-level primitives for the store format: little-endian scalars,
+//! LEB128 varints, delta-coded ascending id lists, and the FNV-1a
+//! checksum. Every decode path is total — malformed input comes back
+//! as a [`StoreError`], never a panic or a silent misread.
+
+use crate::error::StoreError;
+
+/// Appends a little-endian u16.
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian u32.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian u64.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a LEB128 varint.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends a strictly-ascending u32 list as count + first + deltas,
+/// all varint. Deltas between consecutive ids are `id[i] - id[i-1]`,
+/// which for dense slot lists makes most entries one byte.
+pub fn put_delta_list(out: &mut Vec<u8>, ids: &[u32]) {
+    put_varint(out, ids.len() as u64);
+    let mut prev = 0u32;
+    for (i, &id) in ids.iter().enumerate() {
+        let delta = if i == 0 { id } else { id - prev };
+        put_varint(out, u64::from(delta));
+        prev = id;
+    }
+}
+
+/// FNV-1a over a byte slice: the store's integrity checksum. Not
+/// cryptographic — it guards against truncation and bit rot, not
+/// adversaries.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A bounds-checked cursor over an encoded buffer.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True once every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(StoreError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads a little-endian u16.
+    pub fn u16(&mut self) -> Result<u16, StoreError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian u32.
+    pub fn u32(&mut self) -> Result<u32, StoreError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn u64(&mut self) -> Result<u64, StoreError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a LEB128 varint, rejecting encodings that overflow u64.
+    pub fn varint(&mut self) -> Result<u64, StoreError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.take(1)?[0];
+            let low = u64::from(byte & 0x7f);
+            if shift >= 63 && low > 1 {
+                return Err(StoreError::Corrupt("varint overflows u64"));
+            }
+            v |= low << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(StoreError::Corrupt("varint longer than 10 bytes"));
+            }
+        }
+    }
+
+    /// Reads a varint that must fit a u32.
+    pub fn varint_u32(&mut self) -> Result<u32, StoreError> {
+        let v = self.varint()?;
+        u32::try_from(v).map_err(|_| StoreError::Corrupt("value exceeds u32"))
+    }
+
+    /// Reads a varint that must fit a u16.
+    pub fn varint_u16(&mut self) -> Result<u16, StoreError> {
+        let v = self.varint()?;
+        u16::try_from(v).map_err(|_| StoreError::Corrupt("value exceeds u16"))
+    }
+
+    /// Reads a length prefix that claims at most one element per
+    /// remaining byte — a cheap cap that stops a corrupt count from
+    /// driving a huge allocation before the inevitable `Truncated`.
+    pub fn bounded_len(&mut self) -> Result<usize, StoreError> {
+        let n = self.varint()?;
+        let cap = self.remaining() as u64;
+        if n > cap {
+            return Err(StoreError::Truncated {
+                needed: n as usize,
+                available: self.remaining(),
+            });
+        }
+        Ok(n as usize)
+    }
+
+    /// Reads a strictly-ascending delta-coded u32 list written by
+    /// [`put_delta_list`].
+    pub fn delta_list(&mut self) -> Result<Vec<u32>, StoreError> {
+        let n = self.bounded_len()?;
+        let mut out = Vec::with_capacity(n);
+        let mut prev = 0u32;
+        for i in 0..n {
+            let delta = self.varint_u32()?;
+            let id = if i == 0 {
+                delta
+            } else {
+                if delta == 0 {
+                    return Err(StoreError::Corrupt("delta list not strictly ascending"));
+                }
+                prev.checked_add(delta)
+                    .ok_or(StoreError::Corrupt("delta list overflows u32"))?
+            };
+            out.push(id);
+            prev = id;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips_edge_values() {
+        for v in [0u64, 1, 127, 128, 300, u64::from(u32::MAX), u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.varint().unwrap(), v);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_overflow_is_rejected() {
+        // 11 continuation bytes: longer than any valid u64 varint.
+        let buf = [0xffu8; 11];
+        assert!(matches!(
+            Reader::new(&buf).varint(),
+            Err(StoreError::Corrupt(_))
+        ));
+        // 10 bytes whose top bits overflow the 64th bit.
+        let buf = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f];
+        assert!(matches!(
+            Reader::new(&buf).varint(),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn delta_list_round_trips() {
+        for ids in [vec![], vec![0], vec![5], vec![0, 1, 2, 900, u32::MAX]] {
+            let mut buf = Vec::new();
+            put_delta_list(&mut buf, &ids);
+            assert_eq!(Reader::new(&buf).delta_list().unwrap(), ids);
+        }
+    }
+
+    #[test]
+    fn delta_list_rejects_repeats_and_mad_counts() {
+        let mut buf = Vec::new();
+        put_delta_list(&mut buf, &[3, 3]);
+        // Encoding a repeat produces delta 0, which decode rejects.
+        assert!(matches!(
+            Reader::new(&buf).delta_list(),
+            Err(StoreError::Corrupt(_))
+        ));
+        // A count far beyond the remaining bytes is Truncated, cheaply.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1 << 40);
+        assert!(matches!(
+            Reader::new(&buf).delta_list(),
+            Err(StoreError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_truncated_not_panic() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 77);
+        let mut r = Reader::new(&buf[..5]);
+        assert!(matches!(r.u64(), Err(StoreError::Truncated { .. })));
+    }
+}

@@ -1,0 +1,763 @@
+//! The on-disk format: self-describing header plus delta/bitmap-coded
+//! columnar payload.
+//!
+//! Every file starts with a fixed 64-byte header:
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic          b"MTSTOR01"
+//!      8     4  version        u32 LE, currently 1
+//!     12     1  kind           1 = window, 2 = summary
+//!     13     3  (padding, zero)
+//!     16     4  day            u32 LE (window day / summary first day)
+//!     20     4  span_days      u32 LE
+//!     24     8  fingerprint    u64 LE, Slot24Index::fingerprint()
+//!     32     4  num_slots      u32 LE
+//!     36     2  size_threshold u16 LE
+//!     38     2  (padding, zero)
+//!     40     8  payload_len    u64 LE
+//!     48     8  payload_fnv    FNV-1a over the payload bytes
+//!     56     8  header_fnv     FNV-1a over header bytes 0..56
+//! ```
+//!
+//! Readers check, in order: length, magic, header checksum, version,
+//! kind, payload length, payload checksum — and only then decode. A
+//! mismatched RIB fingerprint or size threshold is surfaced as a typed
+//! [`StoreError`] by the merge/load paths rather than misaligning rows.
+//!
+//! Payload columns are laid out struct-of-arrays: ascending row ids as
+//! varint delta lists, one varint array per counter column, host sets
+//! as raw 256-bit bitmaps (four u64 words), TCP size histograms as a
+//! sparse per-row section. Dense ascending slot ids make the deltas
+//! mostly one byte each.
+
+use crate::codec::{self, Reader};
+use crate::error::StoreError;
+use mt_core::PipelineResult;
+use mt_flow::{ColumnSlices, DstRowExport, SrcRowExport, TrafficStats, TrafficView};
+use mt_types::{Block24, Block24Set, Day, Slot24Index};
+
+/// File magic: "MTSTOR" plus the two-digit major layout generation.
+pub const MAGIC: [u8; 8] = *b"MTSTOR01";
+/// Current format version.
+pub const VERSION: u32 = 1;
+/// Header kind byte for a single-window file.
+pub const KIND_WINDOW: u8 = 1;
+/// Header kind byte for a running-summary file.
+pub const KIND_SUMMARY: u8 = 2;
+/// Fixed header length in bytes.
+pub const HEADER_LEN: usize = 64;
+
+/// Per-/24 verdict id lists for one pipeline result, split into
+/// in-index slots and out-of-index raw blocks. All six lists are
+/// strictly ascending.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Verdicts {
+    /// Dark /24s inside the slot index, by slot id.
+    pub dark_slots: Vec<u32>,
+    /// Unclean /24s inside the slot index, by slot id.
+    pub unclean_slots: Vec<u32>,
+    /// Gray /24s inside the slot index, by slot id.
+    pub gray_slots: Vec<u32>,
+    /// Dark /24s outside the slot index, by raw `Block24` id.
+    pub dark_blocks: Vec<u32>,
+    /// Unclean /24s outside the slot index, by raw `Block24` id.
+    pub unclean_blocks: Vec<u32>,
+    /// Gray /24s outside the slot index, by raw `Block24` id.
+    pub gray_blocks: Vec<u32>,
+}
+
+impl Verdicts {
+    /// Splits a pipeline result's block sets into slot/overflow lists.
+    pub fn from_result(result: &PipelineResult, slots: &Slot24Index) -> Verdicts {
+        let mut v = Verdicts::default();
+        split_set(&result.dark, slots, &mut v.dark_slots, &mut v.dark_blocks);
+        split_set(
+            &result.unclean,
+            slots,
+            &mut v.unclean_slots,
+            &mut v.unclean_blocks,
+        );
+        split_set(&result.gray, slots, &mut v.gray_slots, &mut v.gray_blocks);
+        v
+    }
+
+    /// Rebuilds the `(dark, unclean, gray)` block sets.
+    pub fn to_sets(&self, slots: &Slot24Index) -> (Block24Set, Block24Set, Block24Set) {
+        (
+            join_set(&self.dark_slots, &self.dark_blocks, slots),
+            join_set(&self.unclean_slots, &self.unclean_blocks, slots),
+            join_set(&self.gray_slots, &self.gray_blocks, slots),
+        )
+    }
+
+    /// Total /24s across all six lists.
+    pub fn len(&self) -> usize {
+        self.dark_slots.len()
+            + self.unclean_slots.len()
+            + self.gray_slots.len()
+            + self.dark_blocks.len()
+            + self.unclean_blocks.len()
+            + self.gray_blocks.len()
+    }
+
+    /// True when no /24 carries any verdict.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        codec::put_delta_list(out, &self.dark_slots);
+        codec::put_delta_list(out, &self.unclean_slots);
+        codec::put_delta_list(out, &self.gray_slots);
+        codec::put_delta_list(out, &self.dark_blocks);
+        codec::put_delta_list(out, &self.unclean_blocks);
+        codec::put_delta_list(out, &self.gray_blocks);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Verdicts, StoreError> {
+        Ok(Verdicts {
+            dark_slots: r.delta_list()?,
+            unclean_slots: r.delta_list()?,
+            gray_slots: r.delta_list()?,
+            dark_blocks: r.delta_list()?,
+            unclean_blocks: r.delta_list()?,
+            gray_blocks: r.delta_list()?,
+        })
+    }
+}
+
+fn split_set(
+    set: &Block24Set,
+    slots: &Slot24Index,
+    into_slots: &mut Vec<u32>,
+    into_blocks: &mut Vec<u32>,
+) {
+    for block in set.iter() {
+        match slots.slot_of(block) {
+            Some(slot) => into_slots.push(slot),
+            None => into_blocks.push(block.0),
+        }
+    }
+    // Block24Set iterates in address order and slot ids are monotone in
+    // address, so both lists arrive sorted; keep that a guarantee.
+    into_slots.sort_unstable();
+    into_blocks.sort_unstable();
+}
+
+fn join_set(slot_ids: &[u32], block_ids: &[u32], slots: &Slot24Index) -> Block24Set {
+    let mut set = Block24Set::new();
+    for &slot in slot_ids {
+        set.insert(slots.block_of(slot));
+    }
+    for &id in block_ids {
+        set.insert(Block24(id));
+    }
+    set
+}
+
+/// One closed day window, ready to persist or just decoded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowData {
+    /// The day this window covers.
+    pub day: Day,
+    /// Flow records ingested into the window.
+    pub records: u64,
+    /// Fingerprint of the `Slot24Index` the columns are keyed by.
+    pub fingerprint: u64,
+    /// Slot count of that index (row-space sanity bound).
+    pub num_slots: u32,
+    /// The traffic aggregates, slot-ordered.
+    pub columns: ColumnSlices,
+    /// The window's pipeline verdicts.
+    pub verdicts: Verdicts,
+    /// Destination-port histogram over the window's sampled flows,
+    /// sorted by port.
+    pub ports: Vec<(u16, u64)>,
+}
+
+impl WindowData {
+    /// Snapshots a closed window from live state.
+    pub fn build<V: TrafficView>(
+        day: Day,
+        records: u64,
+        stats: &V,
+        verdicts: Verdicts,
+        ports: &[(u16, u64)],
+        slots: &Slot24Index,
+    ) -> WindowData {
+        WindowData {
+            day,
+            records,
+            fingerprint: slots.fingerprint(),
+            num_slots: slots.num_slots(),
+            columns: ColumnSlices::export(stats, slots),
+            verdicts,
+            ports: ports.to_vec(),
+        }
+    }
+
+    /// Rebuilds a map-layout accumulator from the persisted columns.
+    pub fn to_stats(&self, slots: &Slot24Index) -> TrafficStats {
+        self.columns.to_stats(slots)
+    }
+
+    /// Serialises the window: header plus payload, checksummed.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(64 + 64 * self.columns.rows());
+        codec::put_varint(&mut payload, self.records);
+        encode_columns(&mut payload, &self.columns);
+        self.verdicts.encode(&mut payload);
+        encode_ports(&mut payload, &self.ports);
+        seal(
+            KIND_WINDOW,
+            self.day.0,
+            1,
+            self.fingerprint,
+            self.num_slots,
+            self.columns.size_threshold,
+            payload,
+        )
+    }
+
+    /// Decodes and fully validates a window file.
+    pub fn decode(bytes: &[u8]) -> Result<WindowData, StoreError> {
+        let h = Header::decode(bytes, KIND_WINDOW)?;
+        let mut r = Reader::new(h.payload(bytes));
+        let records = r.varint()?;
+        let columns = decode_columns(&mut r, h.size_threshold, h.num_slots)?;
+        let verdicts = Verdicts::decode(&mut r)?;
+        let ports = decode_ports(&mut r)?;
+        if !r.is_empty() {
+            return Err(StoreError::Corrupt("trailing bytes after window payload"));
+        }
+        Ok(WindowData {
+            day: Day(h.day),
+            records,
+            fingerprint: h.fingerprint,
+            num_slots: h.num_slots,
+            columns,
+            verdicts,
+            ports,
+        })
+    }
+}
+
+/// The running multi-day combination, maintained by incremental merge
+/// of each closed window — the store's replacement for re-merging all
+/// windows from scratch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryData {
+    /// First merged day, `None` until the first window lands.
+    pub first_day: Option<Day>,
+    /// Last merged day.
+    pub last_day: Option<Day>,
+    /// Days spanned, inclusive (`last - first + 1`); 0 when empty.
+    pub span_days: u32,
+    /// Windows merged in.
+    pub windows: u32,
+    /// Flow records across all merged windows.
+    pub records: u64,
+    /// Fingerprint of the `Slot24Index` all windows must share.
+    pub fingerprint: u64,
+    /// Slot count of that index.
+    pub num_slots: u32,
+    /// Merged traffic aggregates.
+    pub columns: ColumnSlices,
+    /// Combined pipeline verdicts over the merged span (set via
+    /// [`set_verdicts`](Self::set_verdicts); the store cannot run the
+    /// pipeline itself).
+    pub verdicts: Verdicts,
+    /// First day each in-index /24 was seen dark: `(slot id, day)`,
+    /// ascending by slot id.
+    pub first_dark_slots: Vec<(u32, u32)>,
+    /// First day each out-of-index /24 was seen dark: `(block id, day)`.
+    pub first_dark_blocks: Vec<(u32, u32)>,
+    /// Merged destination-port histogram, sorted by port.
+    pub ports: Vec<(u16, u64)>,
+}
+
+impl SummaryData {
+    /// A summary with nothing merged yet. The first merged window
+    /// stamps the fingerprint, slot count, and size threshold.
+    pub fn empty() -> SummaryData {
+        SummaryData {
+            first_day: None,
+            last_day: None,
+            span_days: 0,
+            windows: 0,
+            records: 0,
+            fingerprint: 0,
+            num_slots: 0,
+            columns: ColumnSlices::empty(0),
+            verdicts: Verdicts::default(),
+            first_dark_slots: Vec::new(),
+            first_dark_blocks: Vec::new(),
+            ports: Vec::new(),
+        }
+    }
+
+    /// Folds one closed window into the running summary.
+    ///
+    /// The first window adopts the summary's identity (fingerprint,
+    /// slot count, size threshold). Every later window is gated: a
+    /// disagreeing fingerprint (stale RIB vs. persisted window),
+    /// disagreeing size threshold, or out-of-order day is a typed
+    /// error and leaves the summary untouched — never a panic, never
+    /// silently misaligned rows.
+    pub fn merge_window(&mut self, w: &WindowData) -> Result<(), StoreError> {
+        if self.windows == 0 {
+            self.fingerprint = w.fingerprint;
+            self.num_slots = w.num_slots;
+            self.first_day = Some(w.day);
+            self.columns = ColumnSlices::empty(w.columns.size_threshold);
+        } else {
+            if w.fingerprint != self.fingerprint {
+                return Err(StoreError::FingerprintMismatch {
+                    expected: self.fingerprint,
+                    found: w.fingerprint,
+                });
+            }
+            if w.columns.size_threshold != self.columns.size_threshold {
+                return Err(StoreError::ThresholdMismatch {
+                    expected: self.columns.size_threshold,
+                    found: w.columns.size_threshold,
+                });
+            }
+            if let Some(last) = self.last_day {
+                if w.day <= last {
+                    return Err(StoreError::WindowOrder {
+                        last: last.0,
+                        offered: w.day.0,
+                    });
+                }
+            }
+        }
+        self.columns.merge(&w.columns);
+        self.records += w.records;
+        merge_ports(&mut self.ports, &w.ports);
+        for &slot in &w.verdicts.dark_slots {
+            if let Err(i) = self
+                .first_dark_slots
+                .binary_search_by_key(&slot, |&(s, _)| s)
+            {
+                self.first_dark_slots.insert(i, (slot, w.day.0));
+            }
+        }
+        for &id in &w.verdicts.dark_blocks {
+            if let Err(i) = self
+                .first_dark_blocks
+                .binary_search_by_key(&id, |&(b, _)| b)
+            {
+                self.first_dark_blocks.insert(i, (id, w.day.0));
+            }
+        }
+        self.last_day = Some(w.day);
+        self.windows += 1;
+        self.span_days = match (self.first_day, self.last_day) {
+            (Some(f), Some(l)) => l.0 - f.0 + 1,
+            _ => 0,
+        };
+        Ok(())
+    }
+
+    /// Replaces the combined verdicts — called after each merge with
+    /// the pipeline's multi-day result, which the store itself cannot
+    /// compute.
+    pub fn set_verdicts(&mut self, verdicts: Verdicts) {
+        self.verdicts = verdicts;
+    }
+
+    /// Rebuilds a map-layout accumulator from the merged columns.
+    pub fn to_stats(&self, slots: &Slot24Index) -> TrafficStats {
+        self.columns.to_stats(slots)
+    }
+
+    /// Serialises the summary: header plus payload, checksummed.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(64 + 64 * self.columns.rows());
+        codec::put_varint(&mut payload, u64::from(self.windows));
+        codec::put_varint(&mut payload, self.records);
+        codec::put_u32(&mut payload, self.last_day.map_or(0, |d| d.0));
+        encode_columns(&mut payload, &self.columns);
+        self.verdicts.encode(&mut payload);
+        encode_dated_list(&mut payload, &self.first_dark_slots);
+        encode_dated_list(&mut payload, &self.first_dark_blocks);
+        encode_ports(&mut payload, &self.ports);
+        seal(
+            KIND_SUMMARY,
+            self.first_day.map_or(0, |d| d.0),
+            self.span_days,
+            self.fingerprint,
+            self.num_slots,
+            self.columns.size_threshold,
+            payload,
+        )
+    }
+
+    /// Decodes and fully validates a summary file.
+    pub fn decode(bytes: &[u8]) -> Result<SummaryData, StoreError> {
+        let h = Header::decode(bytes, KIND_SUMMARY)?;
+        let mut r = Reader::new(h.payload(bytes));
+        let windows = r.varint_u32()?;
+        let records = r.varint()?;
+        let last_day = r.u32()?;
+        let columns = decode_columns(&mut r, h.size_threshold, h.num_slots)?;
+        let verdicts = Verdicts::decode(&mut r)?;
+        let first_dark_slots = decode_dated_list(&mut r)?;
+        let first_dark_blocks = decode_dated_list(&mut r)?;
+        let ports = decode_ports(&mut r)?;
+        if !r.is_empty() {
+            return Err(StoreError::Corrupt("trailing bytes after summary payload"));
+        }
+        Ok(SummaryData {
+            first_day: (windows > 0).then_some(Day(h.day)),
+            last_day: (windows > 0).then_some(Day(last_day)),
+            span_days: h.span_days,
+            windows,
+            records,
+            fingerprint: h.fingerprint,
+            num_slots: h.num_slots,
+            columns,
+            verdicts,
+            first_dark_slots,
+            first_dark_blocks,
+            ports,
+        })
+    }
+}
+
+/// Decoded header fields.
+struct Header {
+    day: u32,
+    span_days: u32,
+    fingerprint: u64,
+    num_slots: u32,
+    size_threshold: u16,
+    payload_len: u64,
+}
+
+impl Header {
+    fn payload<'a>(&self, bytes: &'a [u8]) -> &'a [u8] {
+        &bytes[HEADER_LEN..HEADER_LEN + self.payload_len as usize]
+    }
+
+    /// Validates length, magic, header checksum, version, kind,
+    /// payload length, and payload checksum — in that order.
+    fn decode(bytes: &[u8], expected_kind: u8) -> Result<Header, StoreError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(StoreError::Truncated {
+                needed: HEADER_LEN,
+                available: bytes.len(),
+            });
+        }
+        if bytes[0..8] != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let mut r = Reader::new(&bytes[8..HEADER_LEN]);
+        // Reads from a 56-byte slice cannot fail, but stay total.
+        let version = r.u32()?;
+        let kind = r.u16()? & 0xff; // kind byte + first pad byte
+        let _pad = r.u16()?;
+        let day = r.u32()?;
+        let span_days = r.u32()?;
+        let fingerprint = r.u64()?;
+        let num_slots = r.u32()?;
+        let size_threshold = r.u16()?;
+        let _pad2 = r.u16()?;
+        let payload_len = r.u64()?;
+        let payload_fnv = r.u64()?;
+        let header_fnv = r.u64()?;
+        if codec::fnv1a64(&bytes[..56]) != header_fnv {
+            return Err(StoreError::ChecksumMismatch {
+                expected: header_fnv,
+                found: codec::fnv1a64(&bytes[..56]),
+            });
+        }
+        if version != VERSION {
+            return Err(StoreError::UnsupportedVersion { found: version });
+        }
+        let kind = kind as u8;
+        if kind != expected_kind {
+            return Err(StoreError::WrongKind {
+                expected: expected_kind,
+                found: kind,
+            });
+        }
+        let total = (HEADER_LEN as u64).saturating_add(payload_len);
+        if (bytes.len() as u64) < total {
+            return Err(StoreError::Truncated {
+                needed: total as usize,
+                available: bytes.len(),
+            });
+        }
+        let payload = &bytes[HEADER_LEN..HEADER_LEN + payload_len as usize];
+        let found = codec::fnv1a64(payload);
+        if found != payload_fnv {
+            return Err(StoreError::ChecksumMismatch {
+                expected: payload_fnv,
+                found,
+            });
+        }
+        Ok(Header {
+            day,
+            span_days,
+            fingerprint,
+            num_slots,
+            size_threshold,
+            payload_len,
+        })
+    }
+}
+
+/// Assembles header + payload and stamps both checksums.
+fn seal(
+    kind: u8,
+    day: u32,
+    span_days: u32,
+    fingerprint: u64,
+    num_slots: u32,
+    size_threshold: u16,
+    payload: Vec<u8>,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    codec::put_u32(&mut out, VERSION);
+    out.push(kind);
+    out.extend_from_slice(&[0, 0, 0]);
+    codec::put_u32(&mut out, day);
+    codec::put_u32(&mut out, span_days);
+    codec::put_u64(&mut out, fingerprint);
+    codec::put_u32(&mut out, num_slots);
+    codec::put_u16(&mut out, size_threshold);
+    codec::put_u16(&mut out, 0);
+    codec::put_u64(&mut out, payload.len() as u64);
+    codec::put_u64(&mut out, codec::fnv1a64(&payload));
+    let header_fnv = codec::fnv1a64(&out[..56]);
+    codec::put_u64(&mut out, header_fnv);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Recomputes both checksums over a (possibly edited) encoded file.
+/// Test tooling for corruption vectors: flip payload bytes, reseal the
+/// header, and the payload checksum stays honest while the content is
+/// wrong — proving decode catches structural damage, not just fnv.
+pub fn reseal(bytes: &mut [u8]) {
+    if bytes.len() < HEADER_LEN {
+        return;
+    }
+    let payload_fnv = codec::fnv1a64(&bytes[HEADER_LEN..]);
+    bytes[48..56].copy_from_slice(&payload_fnv.to_le_bytes());
+    let header_fnv = codec::fnv1a64(&bytes[..56]);
+    bytes[56..64].copy_from_slice(&header_fnv.to_le_bytes());
+}
+
+fn encode_ports(out: &mut Vec<u8>, ports: &[(u16, u64)]) {
+    let ids: Vec<u32> = ports.iter().map(|&(p, _)| u32::from(p)).collect();
+    codec::put_delta_list(out, &ids);
+    for &(_, count) in ports {
+        codec::put_varint(out, count);
+    }
+}
+
+fn decode_ports(r: &mut Reader<'_>) -> Result<Vec<(u16, u64)>, StoreError> {
+    let ids = r.delta_list()?;
+    let mut out = Vec::with_capacity(ids.len());
+    for id in ids {
+        let port = u16::try_from(id).map_err(|_| StoreError::Corrupt("port exceeds u16"))?;
+        out.push((port, r.varint()?));
+    }
+    Ok(out)
+}
+
+fn encode_dated_list(out: &mut Vec<u8>, entries: &[(u32, u32)]) {
+    let ids: Vec<u32> = entries.iter().map(|&(id, _)| id).collect();
+    codec::put_delta_list(out, &ids);
+    for &(_, day) in entries {
+        codec::put_varint(out, u64::from(day));
+    }
+}
+
+fn decode_dated_list(r: &mut Reader<'_>) -> Result<Vec<(u32, u32)>, StoreError> {
+    let ids = r.delta_list()?;
+    let mut out = Vec::with_capacity(ids.len());
+    for id in ids {
+        out.push((id, r.varint_u32()?));
+    }
+    Ok(out)
+}
+
+/// Merges a sorted `(port, count)` histogram into another.
+fn merge_ports(into: &mut Vec<(u16, u64)>, from: &[(u16, u64)]) {
+    for &(port, count) in from {
+        match into.binary_search_by_key(&port, |&(p, _)| p) {
+            Ok(i) => into[i].1 += count,
+            Err(i) => into.insert(i, (port, count)),
+        }
+    }
+}
+
+fn encode_columns(out: &mut Vec<u8>, c: &ColumnSlices) {
+    codec::put_varint(out, c.total_flows);
+    codec::put_varint(out, c.total_packets);
+    codec::put_varint(out, c.total_octets);
+    encode_dst_section(out, &c.dst);
+    encode_src_section(out, &c.src);
+    encode_dst_section(out, &c.ovf_dst);
+    encode_src_section(out, &c.ovf_src);
+}
+
+fn decode_columns(
+    r: &mut Reader<'_>,
+    size_threshold: u16,
+    num_slots: u32,
+) -> Result<ColumnSlices, StoreError> {
+    let mut c = ColumnSlices::empty(size_threshold);
+    c.total_flows = r.varint()?;
+    c.total_packets = r.varint()?;
+    c.total_octets = r.varint()?;
+    c.dst = decode_dst_section(r)?;
+    c.src = decode_src_section(r)?;
+    c.ovf_dst = decode_dst_section(r)?;
+    c.ovf_src = decode_src_section(r)?;
+    if let Some(&(id, _)) = c.dst.last() {
+        if id >= num_slots {
+            return Err(StoreError::Corrupt("dst slot id beyond index"));
+        }
+    }
+    if let Some(&(id, _)) = c.src.last() {
+        if id >= num_slots {
+            return Err(StoreError::Corrupt("src slot id beyond index"));
+        }
+    }
+    Ok(c)
+}
+
+fn encode_dst_section(out: &mut Vec<u8>, rows: &[(u32, DstRowExport)]) {
+    let ids: Vec<u32> = rows.iter().map(|&(id, _)| id).collect();
+    codec::put_delta_list(out, &ids);
+    for (_, row) in rows {
+        codec::put_varint(out, row.tcp_packets);
+    }
+    for (_, row) in rows {
+        codec::put_varint(out, row.tcp_octets);
+    }
+    for (_, row) in rows {
+        codec::put_varint(out, row.udp_packets);
+    }
+    for (_, row) in rows {
+        codec::put_varint(out, row.icmp_packets);
+    }
+    for (_, row) in rows {
+        codec::put_varint(out, row.other_packets);
+    }
+    for (_, row) in rows {
+        put_words(out, &row.received);
+    }
+    for (_, row) in rows {
+        put_words(out, &row.received_tcp);
+    }
+    for (_, row) in rows {
+        put_words(out, &row.received_big_tcp);
+    }
+    // Sparse size histograms: most /24s see a handful of sizes, many
+    // see none; store only rows that have one.
+    let with_sizes: Vec<u32> = rows
+        .iter()
+        .enumerate()
+        .filter(|(_, (_, row))| !row.tcp_sizes.is_empty())
+        .map(|(i, _)| i as u32)
+        .collect();
+    codec::put_delta_list(out, &with_sizes);
+    for &i in &with_sizes {
+        let sizes = &rows[i as usize].1.tcp_sizes;
+        let size_ids: Vec<u32> = sizes.iter().map(|&(s, _)| u32::from(s)).collect();
+        codec::put_delta_list(out, &size_ids);
+        for &(_, count) in sizes {
+            codec::put_varint(out, count);
+        }
+    }
+}
+
+fn decode_dst_section(r: &mut Reader<'_>) -> Result<Vec<(u32, DstRowExport)>, StoreError> {
+    let ids = r.delta_list()?;
+    let mut rows: Vec<(u32, DstRowExport)> = ids
+        .into_iter()
+        .map(|id| (id, DstRowExport::default()))
+        .collect();
+    for row in rows.iter_mut() {
+        row.1.tcp_packets = r.varint()?;
+    }
+    for row in rows.iter_mut() {
+        row.1.tcp_octets = r.varint()?;
+    }
+    for row in rows.iter_mut() {
+        row.1.udp_packets = r.varint()?;
+    }
+    for row in rows.iter_mut() {
+        row.1.icmp_packets = r.varint()?;
+    }
+    for row in rows.iter_mut() {
+        row.1.other_packets = r.varint()?;
+    }
+    for row in rows.iter_mut() {
+        row.1.received = get_words(r)?;
+    }
+    for row in rows.iter_mut() {
+        row.1.received_tcp = get_words(r)?;
+    }
+    for row in rows.iter_mut() {
+        row.1.received_big_tcp = get_words(r)?;
+    }
+    let with_sizes = r.delta_list()?;
+    for i in with_sizes {
+        let row = rows
+            .get_mut(i as usize)
+            .ok_or(StoreError::Corrupt("size histogram for nonexistent row"))?;
+        let size_ids = r.delta_list()?;
+        let mut sizes = Vec::with_capacity(size_ids.len());
+        for sid in size_ids {
+            let size = u16::try_from(sid).map_err(|_| StoreError::Corrupt("size exceeds u16"))?;
+            sizes.push((size, r.varint()?));
+        }
+        row.1.tcp_sizes = sizes;
+    }
+    Ok(rows)
+}
+
+fn encode_src_section(out: &mut Vec<u8>, rows: &[(u32, SrcRowExport)]) {
+    let ids: Vec<u32> = rows.iter().map(|&(id, _)| id).collect();
+    codec::put_delta_list(out, &ids);
+    for &(_, row) in rows {
+        codec::put_varint(out, row.packets);
+    }
+    for &(_, row) in rows {
+        put_words(out, &row.originating);
+    }
+}
+
+fn decode_src_section(r: &mut Reader<'_>) -> Result<Vec<(u32, SrcRowExport)>, StoreError> {
+    let ids = r.delta_list()?;
+    let mut rows: Vec<(u32, SrcRowExport)> = ids
+        .into_iter()
+        .map(|id| (id, SrcRowExport::default()))
+        .collect();
+    for row in rows.iter_mut() {
+        row.1.packets = r.varint()?;
+    }
+    for row in rows.iter_mut() {
+        row.1.originating = get_words(r)?;
+    }
+    Ok(rows)
+}
+
+fn put_words(out: &mut Vec<u8>, words: &[u64; 4]) {
+    for &w in words {
+        codec::put_u64(out, w);
+    }
+}
+
+fn get_words(r: &mut Reader<'_>) -> Result<[u64; 4], StoreError> {
+    Ok([r.u64()?, r.u64()?, r.u64()?, r.u64()?])
+}

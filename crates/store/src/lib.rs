@@ -1,0 +1,42 @@
+//! mt-store: the persistent, queryable results store for closed
+//! telescope windows.
+//!
+//! The streaming scheduler closes one day window at a time; this crate
+//! turns each closed window into a compact on-disk artifact and keeps
+//! the multi-day combination as a *mergeable running summary* instead
+//! of re-merging every window from scratch:
+//!
+//! - [`codec`] — byte primitives: varints, delta-coded ascending id
+//!   lists, bitmap words, FNV-1a checksums, a total bounds-checked
+//!   reader;
+//! - [`mod@format`] — the self-describing file format (magic, version,
+//!   kind, RIB fingerprint, checksums) and the [`WindowData`] /
+//!   [`SummaryData`] payloads with their incremental
+//!   [`SummaryData::merge_window`];
+//! - [`store`] — directory layout and atomic window/summary
+//!   persistence, fingerprint-gated reads;
+//! - [`query`] — the in-memory slot-indexed [`QueryIndex`] behind
+//!   mt-serve's `GET /v1/block/{a.b.c.0}` point lookups and
+//!   `GET /v1/windows/{day}/verdicts` range scans, with
+//!   [`QueryIndex::cold_load`] from disk;
+//! - [`error`] — typed [`StoreError`]s: corrupt or truncated files,
+//!   stale-RIB fingerprint mismatches, out-of-order merges.
+//!
+//! The load-bearing invariant (pinned by `tests/store_equivalence.rs`
+//! at the workspace root): a summary reconstructed by loading and
+//! merging persisted windows is bit-identical to the in-process
+//! multi-day combination.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod error;
+pub mod format;
+pub mod query;
+pub mod store;
+
+pub use error::StoreError;
+pub use format::{reseal, SummaryData, Verdicts, WindowData};
+pub use query::{BlockProfile, BlockReport, ColdLoad, QueryIndex, RangeReport};
+pub use store::{ResultsStore, StoreConfig};

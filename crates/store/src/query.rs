@@ -1,0 +1,317 @@
+//! The in-memory query side: a slot-indexed cache answering point
+//! lookups and per-window range scans, cold-loadable from disk.
+//!
+//! The serve daemon keeps one [`QueryIndex`] per store: the running
+//! summary (merged columns + combined verdicts + first-dark days)
+//! plus each persisted window's verdict lists keyed by day. Point
+//! queries binary-search the summary's sorted id lists; range scans
+//! walk one window's verdict lists. Both are allocation-light and
+//! total — unknown days and unroutable blocks are answers, not errors.
+
+use crate::error::StoreError;
+use crate::format::{SummaryData, Verdicts, WindowData};
+use crate::store::ResultsStore;
+use mt_core::PipelineResult;
+use mt_types::{Block24, Day, Ipv4, Slot24Index};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// What cold-loading a store cost.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ColdLoad {
+    /// Window files loaded.
+    pub windows: usize,
+    /// Total bytes read and validated.
+    pub bytes: u64,
+}
+
+/// The answer to a point lookup.
+#[derive(Debug, Clone, Serialize)]
+pub struct BlockReport {
+    /// The /24 asked about, e.g. `20.1.2.0`.
+    pub block: String,
+    /// Whether the block is inside announced (slot-indexed) space.
+    pub routed: bool,
+    /// `dark`, `unclean`, `gray`, `active` (traffic but no verdict),
+    /// or `unseen`.
+    pub verdict: &'static str,
+    /// First day the block was classified dark, if it ever was.
+    pub since_day: Option<u32>,
+    /// Windows merged into the summary answering this.
+    pub windows: u32,
+    /// Days spanned by the summary.
+    pub span_days: u32,
+    /// Traffic profile, when the block received anything.
+    pub profile: Option<BlockProfile>,
+    /// Top destination ports across the summary span (global, the
+    /// store keeps port histograms per window, not per /24).
+    pub top_ports: Vec<PortCount>,
+}
+
+/// Per-block traffic profile from the merged columns.
+#[derive(Debug, Clone, Serialize)]
+pub struct BlockProfile {
+    /// Sampled TCP packets destined to the block.
+    pub tcp_packets: u64,
+    /// Sampled TCP octets.
+    pub tcp_octets: u64,
+    /// Sampled UDP packets.
+    pub udp_packets: u64,
+    /// Sampled ICMP packets.
+    pub icmp_packets: u64,
+    /// Sampled packets of other protocols.
+    pub other_packets: u64,
+    /// Distinct hosts that received any sampled packet.
+    pub hosts: u32,
+    /// Top TCP packet sizes by sampled count, at most five.
+    pub top_sizes: Vec<SizeCount>,
+}
+
+/// One `(port, packets)` histogram entry.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct PortCount {
+    /// Destination port.
+    pub port: u16,
+    /// Sampled packets to that port.
+    pub count: u64,
+}
+
+/// One `(size, packets)` histogram entry.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct SizeCount {
+    /// TCP packet size in octets.
+    pub size: u16,
+    /// Sampled packets of that size.
+    pub count: u64,
+}
+
+/// One row of a range scan.
+#[derive(Debug, Clone, Serialize)]
+pub struct RangeEntry {
+    /// The /24, e.g. `20.1.2.0`.
+    pub block: String,
+    /// `dark`, `unclean`, or `gray`.
+    pub verdict: &'static str,
+}
+
+/// The answer to a per-window range scan.
+#[derive(Debug, Clone, Serialize)]
+pub struct RangeReport {
+    /// The window day scanned.
+    pub day: u32,
+    /// First block of the requested range.
+    pub from: String,
+    /// Last block of the requested range.
+    pub to: String,
+    /// Verdicts in range before truncation.
+    pub total: usize,
+    /// True when the entry list was capped.
+    pub truncated: bool,
+    /// The verdicts, ascending by block.
+    pub verdicts: Vec<RangeEntry>,
+}
+
+/// Range scans cap their entry list here and set `truncated` instead
+/// of streaming unbounded JSON.
+pub const RANGE_SCAN_CAP: usize = 4096;
+
+/// The in-memory, slot-indexed cache the serve daemon queries.
+#[derive(Debug)]
+pub struct QueryIndex {
+    slots: Arc<Slot24Index>,
+    summary: SummaryData,
+    windows: BTreeMap<Day, Verdicts>,
+}
+
+impl QueryIndex {
+    /// An empty index over the given slot index.
+    pub fn new(slots: Arc<Slot24Index>) -> QueryIndex {
+        QueryIndex {
+            slots,
+            summary: SummaryData::empty(),
+            windows: BTreeMap::new(),
+        }
+    }
+
+    /// Loads everything the store has persisted: the summary plus each
+    /// window's verdict lists. Every file is checksum-validated and
+    /// fingerprint-gated on the way in.
+    pub fn cold_load(store: &ResultsStore) -> Result<(QueryIndex, ColdLoad), StoreError> {
+        let mut index = QueryIndex::new(Arc::clone(store.slots()));
+        let mut bytes = 0u64;
+        if let Some(summary) = store.read_summary()? {
+            bytes += std::fs::metadata(store.summary_path()).map_or(0, |m| m.len());
+            index.summary = summary;
+        }
+        let days = store.window_days()?;
+        let windows = days.len();
+        for day in days {
+            let w = store.read_window(day)?;
+            bytes += std::fs::metadata(store.window_path(day)).map_or(0, |m| m.len());
+            index.windows.insert(day, w.verdicts);
+        }
+        Ok((index, ColdLoad { windows, bytes }))
+    }
+
+    /// Folds a freshly closed window into the cache: merges it into
+    /// the running summary (typed errors on fingerprint/threshold/
+    /// order mismatch), installs the combined verdicts, and records
+    /// the window's own verdicts for range scans.
+    pub fn apply_window(
+        &mut self,
+        w: &WindowData,
+        combined: &PipelineResult,
+    ) -> Result<(), StoreError> {
+        self.summary.merge_window(w)?;
+        self.summary
+            .set_verdicts(Verdicts::from_result(combined, &self.slots));
+        self.windows.insert(w.day, w.verdicts.clone());
+        Ok(())
+    }
+
+    /// The running summary.
+    pub fn summary(&self) -> &SummaryData {
+        &self.summary
+    }
+
+    /// Days with a cached window, ascending.
+    pub fn window_days(&self) -> impl Iterator<Item = Day> + '_ {
+        self.windows.keys().copied()
+    }
+
+    /// Answers a point lookup for the /24 containing `addr`.
+    pub fn point(&self, addr: Ipv4) -> BlockReport {
+        let block = Block24::containing(addr);
+        let slot = self.slots.slot_of(block);
+        let v = &self.summary.verdicts;
+        let (verdict_lists, since_list, key): (_, &[(u32, u32)], u32) = match slot {
+            Some(s) => (
+                [&v.dark_slots, &v.unclean_slots, &v.gray_slots],
+                &self.summary.first_dark_slots,
+                s,
+            ),
+            None => (
+                [&v.dark_blocks, &v.unclean_blocks, &v.gray_blocks],
+                &self.summary.first_dark_blocks,
+                block.0,
+            ),
+        };
+        let profile = self.profile_of(slot, block);
+        let verdict = if verdict_lists[0].binary_search(&key).is_ok() {
+            "dark"
+        } else if verdict_lists[1].binary_search(&key).is_ok() {
+            "unclean"
+        } else if verdict_lists[2].binary_search(&key).is_ok() {
+            "gray"
+        } else if profile.is_some() {
+            "active"
+        } else {
+            "unseen"
+        };
+        let since_day = since_list
+            .binary_search_by_key(&key, |&(id, _)| id)
+            .ok()
+            .map(|i| since_list[i].1);
+        BlockReport {
+            block: block.base().to_string(),
+            routed: slot.is_some(),
+            verdict,
+            since_day,
+            windows: self.summary.windows,
+            span_days: self.summary.span_days,
+            profile,
+            top_ports: top_ports(&self.summary.ports, 10),
+        }
+    }
+
+    /// Scans one window's verdicts over `[from, to]`. `None` means the
+    /// day has no persisted window (a 404, not an error).
+    pub fn range(&self, day: Day, from: Block24, to: Block24) -> Option<RangeReport> {
+        let v = self.windows.get(&day)?;
+        let mut entries: Vec<(u32, &'static str)> = Vec::new();
+        let mut collect_slots = |ids: &[u32], verdict: &'static str| {
+            for &slot in ids {
+                let b = self.slots.block_of(slot);
+                if b >= from && b <= to {
+                    entries.push((b.0, verdict));
+                }
+            }
+        };
+        collect_slots(&v.dark_slots, "dark");
+        collect_slots(&v.unclean_slots, "unclean");
+        collect_slots(&v.gray_slots, "gray");
+        let mut collect_blocks = |ids: &[u32], verdict: &'static str| {
+            for &id in ids {
+                if id >= from.0 && id <= to.0 {
+                    entries.push((id, verdict));
+                }
+            }
+        };
+        collect_blocks(&v.dark_blocks, "dark");
+        collect_blocks(&v.unclean_blocks, "unclean");
+        collect_blocks(&v.gray_blocks, "gray");
+        entries.sort_unstable_by_key(|&(id, _)| id);
+        let total = entries.len();
+        let truncated = total > RANGE_SCAN_CAP;
+        entries.truncate(RANGE_SCAN_CAP);
+        Some(RangeReport {
+            day: day.0,
+            from: from.base().to_string(),
+            to: to.base().to_string(),
+            total,
+            truncated,
+            verdicts: entries
+                .into_iter()
+                .map(|(id, verdict)| RangeEntry {
+                    block: Block24(id).base().to_string(),
+                    verdict,
+                })
+                .collect(),
+        })
+    }
+
+    fn profile_of(&self, slot: Option<u32>, block: Block24) -> Option<BlockProfile> {
+        let c = &self.summary.columns;
+        let row = match slot {
+            Some(s) => c
+                .dst
+                .binary_search_by_key(&s, |&(id, _)| id)
+                .ok()
+                .map(|i| &c.dst[i].1),
+            None => c
+                .ovf_dst
+                .binary_search_by_key(&block.0, |&(id, _)| id)
+                .ok()
+                .map(|i| &c.ovf_dst[i].1),
+        }?;
+        let view = row.as_view();
+        let mut sizes: Vec<SizeCount> = row
+            .tcp_sizes
+            .iter()
+            .map(|&(size, count)| SizeCount { size, count })
+            .collect();
+        sizes.sort_unstable_by(|a, b| b.count.cmp(&a.count).then(a.size.cmp(&b.size)));
+        sizes.truncate(5);
+        Some(BlockProfile {
+            tcp_packets: row.tcp_packets,
+            tcp_octets: row.tcp_octets,
+            udp_packets: row.udp_packets,
+            icmp_packets: row.icmp_packets,
+            other_packets: row.other_packets,
+            hosts: view.received.len(),
+            top_sizes: sizes,
+        })
+    }
+}
+
+/// Top `n` ports by count (count descending, port ascending on ties).
+fn top_ports(ports: &[(u16, u64)], n: usize) -> Vec<PortCount> {
+    let mut out: Vec<PortCount> = ports
+        .iter()
+        .map(|&(port, count)| PortCount { port, count })
+        .collect();
+    out.sort_unstable_by(|a, b| b.count.cmp(&a.count).then(a.port.cmp(&b.port)));
+    out.truncate(n);
+    out
+}

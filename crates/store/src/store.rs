@@ -1,0 +1,132 @@
+//! Filesystem layout and atomic persistence for window and summary
+//! files.
+//!
+//! One directory per telescope: `window-<day>.mtw` per closed day plus
+//! a single `summary.mts` holding the running multi-day combination.
+//! Writes go through a temp file and rename, so a crashed writer never
+//! leaves a half-written file under a valid name. Reads re-validate
+//! everything: checksums via decode, and the slot-index fingerprint
+//! against the live index, so a store written under an old RIB is a
+//! typed error instead of silently misaligned rows.
+
+use crate::error::StoreError;
+use crate::format::{SummaryData, WindowData};
+use mt_types::{Day, Slot24Index};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Where a store lives and which slot index its files must match.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Directory holding the window and summary files.
+    pub dir: PathBuf,
+    /// The live slot index; persisted files must carry its
+    /// fingerprint.
+    pub slots: Arc<Slot24Index>,
+}
+
+/// A results store rooted at one directory.
+#[derive(Debug)]
+pub struct ResultsStore {
+    cfg: StoreConfig,
+}
+
+impl ResultsStore {
+    /// Opens (creating if needed) the store directory.
+    pub fn open(cfg: StoreConfig) -> Result<ResultsStore, StoreError> {
+        std::fs::create_dir_all(&cfg.dir)?;
+        Ok(ResultsStore { cfg })
+    }
+
+    /// The live slot index this store validates files against.
+    pub fn slots(&self) -> &Arc<Slot24Index> {
+        &self.cfg.slots
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.cfg.dir
+    }
+
+    /// Path of one day's window file.
+    pub fn window_path(&self, day: Day) -> PathBuf {
+        self.cfg.dir.join(format!("window-{:05}.mtw", day.0))
+    }
+
+    /// Path of the running summary file.
+    pub fn summary_path(&self) -> PathBuf {
+        self.cfg.dir.join("summary.mts")
+    }
+
+    /// Persists one closed window atomically. Returns bytes written.
+    pub fn write_window(&self, w: &WindowData) -> Result<u64, StoreError> {
+        self.write_atomic(&self.window_path(w.day), &w.encode())
+    }
+
+    /// Persists the running summary atomically. Returns bytes written.
+    pub fn write_summary(&self, s: &SummaryData) -> Result<u64, StoreError> {
+        self.write_atomic(&self.summary_path(), &s.encode())
+    }
+
+    /// Loads and validates one day's window, gating on the live
+    /// slot-index fingerprint.
+    pub fn read_window(&self, day: Day) -> Result<WindowData, StoreError> {
+        let bytes = std::fs::read(self.window_path(day))?;
+        let w = WindowData::decode(&bytes)?;
+        let expected = self.cfg.slots.fingerprint();
+        if w.fingerprint != expected {
+            return Err(StoreError::FingerprintMismatch {
+                expected,
+                found: w.fingerprint,
+            });
+        }
+        Ok(w)
+    }
+
+    /// Loads the summary if one has been written, gating on the live
+    /// slot-index fingerprint.
+    pub fn read_summary(&self) -> Result<Option<SummaryData>, StoreError> {
+        let path = self.summary_path();
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(StoreError::Io(e)),
+        };
+        let s = SummaryData::decode(&bytes)?;
+        let expected = self.cfg.slots.fingerprint();
+        if s.windows > 0 && s.fingerprint != expected {
+            return Err(StoreError::FingerprintMismatch {
+                expected,
+                found: s.fingerprint,
+            });
+        }
+        Ok(Some(s))
+    }
+
+    /// Days with a persisted window file, ascending.
+    pub fn window_days(&self) -> Result<Vec<Day>, StoreError> {
+        let mut days = Vec::new();
+        for entry in std::fs::read_dir(&self.cfg.dir)? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(stem) = name.strip_prefix("window-") else {
+                continue;
+            };
+            let Some(stem) = stem.strip_suffix(".mtw") else {
+                continue;
+            };
+            if let Ok(day) = stem.parse::<u32>() {
+                days.push(Day(day));
+            }
+        }
+        days.sort_unstable();
+        Ok(days)
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> Result<u64, StoreError> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(bytes.len() as u64)
+    }
+}

@@ -1,0 +1,621 @@
+//! Store codec round-trip and rejection vectors.
+//!
+//! Property tests drive random columnar windows — announced-slot rows,
+//! overflow-block rows, sparse size histograms, verdict lists, port
+//! histograms — through encode → decode and require the result to be
+//! bit-identical (and the re-encoding byte-identical, so the format is
+//! canonical). Rejection vectors then damage encoded files every way a
+//! disk or a stale writer can: truncation at every length, bit flips
+//! with and without resealed checksums, wrong magic/kind/version — and
+//! require a typed [`StoreError`], never a panic, never silently wrong
+//! data. The merge gates (fingerprint, threshold, window order) get the
+//! same treatment: typed errors that leave the summary untouched.
+
+use mt_flow::{ColumnSlices, DstRowExport, SrcRowExport};
+use mt_store::{reseal, ResultsStore, StoreConfig, StoreError, SummaryData, Verdicts, WindowData};
+use mt_types::{Asn, Day, Ipv4, Prefix, PrefixTrie, RibIndex, Slot24Index};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------- strategies
+
+/// splitmix64: expands one seed into well-mixed word patterns so host
+/// bitmaps exercise arbitrary bits without 12 extra strategy slots.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn words(seed: u64) -> [u64; 4] {
+    [mix(seed), mix(seed ^ 1), mix(seed ^ 2), mix(seed ^ 3)]
+}
+
+#[derive(Debug, Clone)]
+struct DstSpec {
+    id: u32,
+    counters: (u64, u64, u64, u64, u64),
+    wseed: u64,
+    sizes: Vec<(u16, u64)>,
+}
+
+fn arb_dst() -> impl Strategy<Value = DstSpec> {
+    (
+        any::<u32>(),
+        (
+            0u64..=1_000_000,
+            0u64..=1_000_000_000,
+            0u64..=1_000_000,
+            0u64..=10_000,
+            0u64..=10_000,
+        ),
+        any::<u64>(),
+        proptest::collection::vec((any::<u16>(), 1u64..=100_000), 0..6),
+    )
+        .prop_map(|(id, counters, wseed, sizes)| DstSpec {
+            id,
+            counters,
+            wseed,
+            sizes,
+        })
+}
+
+fn arb_src() -> impl Strategy<Value = (u32, u64, u64)> {
+    (any::<u32>(), 0u64..=1_000_000_000, any::<u64>())
+}
+
+type VerdictPicks = (Vec<u32>, Vec<u32>, Vec<u32>, Vec<u32>, Vec<u32>, Vec<u32>);
+
+#[derive(Debug, Clone)]
+struct WindowSpec {
+    day: u32,
+    records: u64,
+    fingerprint: u64,
+    num_slots: u32,
+    dst: Vec<DstSpec>,
+    src: Vec<(u32, u64, u64)>,
+    ovf_dst: Vec<DstSpec>,
+    ovf_src: Vec<(u32, u64, u64)>,
+    verdicts: VerdictPicks,
+    ports: Vec<(u16, u64)>,
+    totals: (u64, u64, u64),
+    size_threshold: u16,
+}
+
+fn arb_window() -> impl Strategy<Value = WindowSpec> {
+    (
+        1u32..=30_000,
+        0u64..=1_000_000_000_000,
+        any::<u64>(),
+        1u32..=4096,
+        proptest::collection::vec(arb_dst(), 0..24),
+        proptest::collection::vec(arb_src(), 0..24),
+        proptest::collection::vec(arb_dst(), 0..6),
+        proptest::collection::vec(arb_src(), 0..6),
+        (
+            proptest::collection::vec(any::<u32>(), 0..16),
+            proptest::collection::vec(any::<u32>(), 0..16),
+            proptest::collection::vec(any::<u32>(), 0..16),
+            proptest::collection::vec(any::<u32>(), 0..8),
+            proptest::collection::vec(any::<u32>(), 0..8),
+            proptest::collection::vec(any::<u32>(), 0..8),
+        ),
+        proptest::collection::vec((any::<u16>(), 1u64..=u64::from(u32::MAX)), 0..10),
+        (
+            0u64..=1_000_000_000_000,
+            0u64..=1_000_000_000_000,
+            0u64..=1_000_000_000_000,
+        ),
+        any::<u16>(),
+    )
+        .prop_map(
+            |(
+                day,
+                records,
+                fingerprint,
+                num_slots,
+                dst,
+                src,
+                ovf_dst,
+                ovf_src,
+                verdicts,
+                ports,
+                totals,
+                size_threshold,
+            )| WindowSpec {
+                day,
+                records,
+                fingerprint,
+                num_slots,
+                dst,
+                src,
+                ovf_dst,
+                ovf_src,
+                verdicts,
+                ports,
+                totals,
+                size_threshold,
+            },
+        )
+}
+
+// ------------------------------------------------------------- construction
+
+/// Raw picks → strictly ascending unique ids below `bound`, the shape
+/// every delta-coded list requires.
+fn ascending(picks: &[u32], bound: u32) -> Vec<u32> {
+    let mut v: Vec<u32> = picks.iter().map(|&x| x % bound).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+fn dst_row(s: &DstSpec) -> DstRowExport {
+    let mut sizes = s.sizes.clone();
+    sizes.sort_unstable_by_key(|&(sz, _)| sz);
+    sizes.dedup_by_key(|pair| pair.0);
+    DstRowExport {
+        tcp_packets: s.counters.0,
+        tcp_octets: s.counters.1,
+        udp_packets: s.counters.2,
+        icmp_packets: s.counters.3,
+        other_packets: s.counters.4,
+        received: words(s.wseed),
+        received_tcp: words(s.wseed ^ 0x5555),
+        received_big_tcp: words(s.wseed ^ 0xaaaa),
+        tcp_sizes: sizes,
+    }
+}
+
+fn dst_rows(specs: &[DstSpec], bound: u32) -> Vec<(u32, DstRowExport)> {
+    let mut rows: Vec<(u32, DstRowExport)> =
+        specs.iter().map(|s| (s.id % bound, dst_row(s))).collect();
+    rows.sort_unstable_by_key(|&(id, _)| id);
+    rows.dedup_by_key(|row| row.0);
+    rows
+}
+
+fn src_rows(specs: &[(u32, u64, u64)], bound: u32) -> Vec<(u32, SrcRowExport)> {
+    let mut rows: Vec<(u32, SrcRowExport)> = specs
+        .iter()
+        .map(|&(id, packets, wseed)| {
+            (
+                id % bound,
+                SrcRowExport {
+                    packets,
+                    originating: words(wseed),
+                },
+            )
+        })
+        .collect();
+    rows.sort_unstable_by_key(|&(id, _)| id);
+    rows.dedup_by_key(|row| row.0);
+    rows
+}
+
+const BLOCK_SPACE: u32 = 1 << 24;
+
+fn build_window(spec: &WindowSpec) -> WindowData {
+    let mut columns = ColumnSlices::empty(spec.size_threshold);
+    columns.dst = dst_rows(&spec.dst, spec.num_slots);
+    columns.src = src_rows(&spec.src, spec.num_slots);
+    columns.ovf_dst = dst_rows(&spec.ovf_dst, BLOCK_SPACE);
+    columns.ovf_src = src_rows(&spec.ovf_src, BLOCK_SPACE);
+    columns.total_flows = spec.totals.0;
+    columns.total_packets = spec.totals.1;
+    columns.total_octets = spec.totals.2;
+    let mut ports = spec.ports.clone();
+    ports.sort_unstable_by_key(|&(p, _)| p);
+    ports.dedup_by_key(|pair| pair.0);
+    let v = &spec.verdicts;
+    WindowData {
+        day: Day(spec.day),
+        records: spec.records,
+        fingerprint: spec.fingerprint,
+        num_slots: spec.num_slots,
+        columns,
+        verdicts: Verdicts {
+            dark_slots: ascending(&v.0, spec.num_slots),
+            unclean_slots: ascending(&v.1, spec.num_slots),
+            gray_slots: ascending(&v.2, spec.num_slots),
+            dark_blocks: ascending(&v.3, BLOCK_SPACE),
+            unclean_blocks: ascending(&v.4, BLOCK_SPACE),
+            gray_blocks: ascending(&v.5, BLOCK_SPACE),
+        },
+        ports,
+    }
+}
+
+// ------------------------------------------------------------- round trips
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn window_roundtrip_is_bit_identical(spec in arb_window()) {
+        let w = build_window(&spec);
+        let bytes = w.encode();
+        let decoded = WindowData::decode(&bytes).expect("valid file decodes");
+        prop_assert_eq!(&decoded, &w);
+        // Canonical encoding: re-encoding the decoded window reproduces
+        // the exact same bytes.
+        prop_assert_eq!(decoded.encode(), bytes);
+    }
+
+    #[test]
+    fn summary_roundtrip_is_bit_identical(spec in arb_window()) {
+        let w1 = build_window(&spec);
+        let mut w2 = w1.clone();
+        w2.day = Day(w1.day.0 + 1);
+        let mut summary = SummaryData::empty();
+        summary.merge_window(&w1).expect("first merge");
+        summary.merge_window(&w2).expect("second merge");
+        summary.set_verdicts(w1.verdicts.clone());
+        let bytes = summary.encode();
+        let decoded = SummaryData::decode(&bytes).expect("valid summary decodes");
+        prop_assert_eq!(&decoded, &summary);
+        prop_assert_eq!(decoded.encode(), bytes);
+    }
+
+    #[test]
+    fn truncation_is_always_a_typed_error(spec in arb_window()) {
+        let w = build_window(&spec);
+        let bytes = w.encode();
+        // Sample truncation points densely near the header and the
+        // tail, sparsely in between — every one must be Truncated.
+        let mut cuts: Vec<usize> = (0..70.min(bytes.len())).collect();
+        cuts.extend((70..bytes.len()).step_by(17));
+        cuts.push(bytes.len() - 1);
+        for cut in cuts {
+            match WindowData::decode(&bytes[..cut]) {
+                Err(StoreError::Truncated { .. }) => {}
+                other => prop_assert!(false, "cut at {} gave {:?}", cut, other),
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_yield_wrong_data(spec in arb_window()) {
+        let w = build_window(&spec);
+        let bytes = w.encode();
+        // Unresealed flips must fail the checksum (or the magic/version
+        // gates in front of it). Resealed *payload* flips may decode,
+        // but never to the original window — every payload byte is
+        // load-bearing, so corruption is either caught or visibly
+        // different, never silent. (Header semantics — magic, kind,
+        // version — have their own dedicated vectors below; padding
+        // and the span field are not part of a window's identity.)
+        for pos in (0..bytes.len()).step_by(23) {
+            let mut dirty = bytes.clone();
+            dirty[pos] ^= 0x10;
+            match WindowData::decode(&dirty) {
+                Err(_) => {}
+                Ok(got) => prop_assert!(false, "flip at {} decoded as {:?}", pos, got.day),
+            }
+            if pos >= 64 {
+                reseal(&mut dirty);
+                if let Ok(got) = WindowData::decode(&dirty) {
+                    prop_assert!(got != w, "resealed flip at {} decoded silently equal", pos);
+                }
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------- rejection vectors
+
+fn sample_window() -> WindowData {
+    let mut columns = ColumnSlices::empty(64);
+    columns.dst = vec![
+        (
+            3,
+            DstRowExport {
+                tcp_packets: 10,
+                tcp_octets: 4000,
+                udp_packets: 2,
+                icmp_packets: 1,
+                other_packets: 0,
+                received: [0b1011, 0, 0, 0],
+                received_tcp: [0b0011, 0, 0, 0],
+                received_big_tcp: [0b0001, 0, 0, 0],
+                tcp_sizes: vec![(40, 8), (1500, 2)],
+            },
+        ),
+        (7, DstRowExport::default()),
+    ];
+    columns.src = vec![(
+        3,
+        SrcRowExport {
+            packets: 5,
+            originating: [1, 0, 0, 0],
+        },
+    )];
+    columns.ovf_dst = vec![(
+        0x00c0_0002,
+        DstRowExport {
+            udp_packets: 9,
+            ..DstRowExport::default()
+        },
+    )];
+    columns.total_flows = 17;
+    columns.total_packets = 27;
+    columns.total_octets = 4000;
+    WindowData {
+        day: Day(42),
+        records: 17,
+        fingerprint: 0xdead_beef_cafe_f00d,
+        num_slots: 16,
+        columns,
+        verdicts: Verdicts {
+            dark_slots: vec![1, 7],
+            unclean_slots: vec![3],
+            gray_slots: vec![],
+            dark_blocks: vec![0x00c0_0002],
+            unclean_blocks: vec![],
+            gray_blocks: vec![],
+        },
+        ports: vec![(23, 12), (445, 5)],
+    }
+}
+
+#[test]
+fn bad_magic_is_rejected_before_anything_else() {
+    let mut bytes = sample_window().encode();
+    bytes[0] ^= 0xff;
+    assert!(matches!(
+        WindowData::decode(&bytes),
+        Err(StoreError::BadMagic)
+    ));
+}
+
+#[test]
+fn wrong_kind_is_a_typed_error_both_ways() {
+    let w = sample_window();
+    let bytes = w.encode();
+    // A window file fed to the summary decoder, and vice versa.
+    assert!(matches!(
+        SummaryData::decode(&bytes),
+        Err(StoreError::WrongKind {
+            expected: 2,
+            found: 1
+        })
+    ));
+    let mut summary = SummaryData::empty();
+    summary.merge_window(&w).expect("merge");
+    assert!(matches!(
+        WindowData::decode(&summary.encode()),
+        Err(StoreError::WrongKind {
+            expected: 1,
+            found: 2
+        })
+    ));
+}
+
+#[test]
+fn future_version_is_rejected_even_with_valid_checksums() {
+    let mut bytes = sample_window().encode();
+    bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
+    reseal(&mut bytes);
+    assert!(matches!(
+        WindowData::decode(&bytes),
+        Err(StoreError::UnsupportedVersion { found: 2 })
+    ));
+}
+
+#[test]
+fn payload_corruption_without_reseal_fails_the_checksum() {
+    let mut bytes = sample_window().encode();
+    let pos = bytes.len() - 3;
+    bytes[pos] ^= 0x01;
+    assert!(matches!(
+        WindowData::decode(&bytes),
+        Err(StoreError::ChecksumMismatch { .. })
+    ));
+}
+
+#[test]
+fn trailing_garbage_behind_a_valid_payload_is_checksum_gated() {
+    // Extra bytes past payload_len are outside the checksummed region;
+    // the decoder must simply ignore them (a reader that read a file
+    // mid-append sees a valid prefix).
+    let w = sample_window();
+    let mut bytes = w.encode();
+    bytes.extend_from_slice(b"junk");
+    let decoded = WindowData::decode(&bytes).expect("valid prefix decodes");
+    assert_eq!(decoded, w);
+}
+
+#[test]
+fn empty_summary_round_trips() {
+    let s = SummaryData::empty();
+    let decoded = SummaryData::decode(&s.encode()).expect("empty summary decodes");
+    assert_eq!(decoded, s);
+    assert_eq!(decoded.first_day, None);
+    assert_eq!(decoded.windows, 0);
+}
+
+// ------------------------------------------------------------- merge gates
+
+#[test]
+fn first_merge_into_an_empty_summary_adopts_the_window_identity() {
+    let w = sample_window();
+    let mut s = SummaryData::empty();
+    s.merge_window(&w).expect("first merge always succeeds");
+    assert_eq!(s.fingerprint, w.fingerprint);
+    assert_eq!(s.num_slots, w.num_slots);
+    assert_eq!(s.columns.size_threshold, w.columns.size_threshold);
+    assert_eq!(s.first_day, Some(w.day));
+    assert_eq!(s.last_day, Some(w.day));
+    assert_eq!(s.span_days, 1);
+    assert_eq!(s.windows, 1);
+    assert_eq!(s.records, w.records);
+    // First-dark tracking starts at the first window's day.
+    assert_eq!(s.first_dark_slots, vec![(1, 42), (7, 42)]);
+}
+
+#[test]
+fn fingerprint_mismatch_is_a_typed_error_and_leaves_the_summary_untouched() {
+    let w1 = sample_window();
+    let mut w2 = w1.clone();
+    w2.day = Day(43);
+    w2.fingerprint ^= 1;
+    let mut s = SummaryData::empty();
+    s.merge_window(&w1).expect("first merge");
+    let before = s.clone();
+    let err = s
+        .merge_window(&w2)
+        .expect_err("stale fingerprint must fail");
+    assert!(matches!(err, StoreError::FingerprintMismatch { .. }));
+    assert_eq!(s, before, "failed merge must not mutate the summary");
+}
+
+#[test]
+fn threshold_mismatch_is_a_typed_error() {
+    let w1 = sample_window();
+    let mut w2 = w1.clone();
+    w2.day = Day(43);
+    w2.columns.size_threshold = 128;
+    let mut s = SummaryData::empty();
+    s.merge_window(&w1).expect("first merge");
+    let before = s.clone();
+    assert!(matches!(
+        s.merge_window(&w2),
+        Err(StoreError::ThresholdMismatch {
+            expected: 64,
+            found: 128
+        })
+    ));
+    assert_eq!(s, before);
+}
+
+#[test]
+fn out_of_order_and_duplicate_days_are_rejected() {
+    let w1 = sample_window();
+    let mut s = SummaryData::empty();
+    s.merge_window(&w1).expect("first merge");
+    // Same day again.
+    assert!(matches!(
+        s.merge_window(&w1),
+        Err(StoreError::WindowOrder {
+            last: 42,
+            offered: 42
+        })
+    ));
+    // Earlier day.
+    let mut w0 = w1.clone();
+    w0.day = Day(41);
+    assert!(matches!(
+        s.merge_window(&w0),
+        Err(StoreError::WindowOrder {
+            last: 42,
+            offered: 41
+        })
+    ));
+}
+
+#[test]
+fn merge_accumulates_counts_and_keeps_first_dark_days() {
+    let w1 = sample_window();
+    let mut w2 = w1.clone();
+    w2.day = Day(43);
+    w2.verdicts.dark_slots = vec![2, 7]; // 7 already dark on day 42
+    let mut s = SummaryData::empty();
+    s.merge_window(&w1).expect("merge 1");
+    s.merge_window(&w2).expect("merge 2");
+    assert_eq!(s.windows, 2);
+    assert_eq!(s.records, 34);
+    assert_eq!(s.span_days, 2);
+    // Slot 7's first-dark day stays 42; slot 2 enters at 43.
+    assert_eq!(s.first_dark_slots, vec![(1, 42), (2, 43), (7, 42)]);
+    // Ports add across windows.
+    assert_eq!(s.ports, vec![(23, 24), (445, 10)]);
+    // Counters doubled in the merged dst row.
+    let row = &s.columns.dst[0];
+    assert_eq!(row.0, 3);
+    assert_eq!(row.1.tcp_packets, 20);
+    assert_eq!(row.1.tcp_sizes, vec![(40, 16), (1500, 4)]);
+}
+
+// ------------------------------------------------------------- store gating
+
+/// A tiny announced space: `n` aligned /20s from block 0 upward.
+fn slot_index(n: u16) -> Arc<Slot24Index> {
+    let mut trie = PrefixTrie::new();
+    for id in 0..n {
+        let base = Ipv4((u32::from(id) * 16) << 8);
+        trie.insert(Prefix::new(base, 20).expect("aligned /20"), Asn(64_512));
+    }
+    Arc::new(Slot24Index::build(&RibIndex::build(&trie)))
+}
+
+fn temp_store_dir(tag: &str) -> std::path::PathBuf {
+    static SEQ: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let n = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "mt-store-roundtrip-{}-{}-{}",
+        std::process::id(),
+        tag,
+        n
+    ))
+}
+
+#[test]
+fn a_store_written_under_an_old_rib_is_rejected_on_read() {
+    let dir = temp_store_dir("stale-rib");
+    let old_slots = slot_index(4);
+    let store = ResultsStore::open(StoreConfig {
+        dir: dir.clone(),
+        slots: Arc::clone(&old_slots),
+    })
+    .expect("open store");
+    let mut w = sample_window();
+    w.fingerprint = old_slots.fingerprint();
+    w.num_slots = old_slots.num_slots();
+    store.write_window(&w).expect("persist window");
+    let mut s = SummaryData::empty();
+    s.merge_window(&w).expect("merge");
+    store.write_summary(&s).expect("persist summary");
+
+    // Same directory reopened under a different announced space: every
+    // read is a typed fingerprint error, not misaligned rows.
+    let new_slots = slot_index(8);
+    assert_ne!(new_slots.fingerprint(), old_slots.fingerprint());
+    let stale = ResultsStore::open(StoreConfig {
+        dir: dir.clone(),
+        slots: new_slots,
+    })
+    .expect("reopen store");
+    assert!(matches!(
+        stale.read_window(Day(42)),
+        Err(StoreError::FingerprintMismatch { .. })
+    ));
+    assert!(matches!(
+        stale.read_summary(),
+        Err(StoreError::FingerprintMismatch { .. })
+    ));
+
+    // Under the matching index both reads verify and round-trip.
+    let fresh = ResultsStore::open(StoreConfig {
+        dir: dir.clone(),
+        slots: old_slots,
+    })
+    .expect("reopen matching");
+    assert_eq!(fresh.read_window(Day(42)).expect("window reads"), w);
+    assert_eq!(fresh.read_summary().expect("summary reads"), Some(s));
+    assert_eq!(fresh.window_days().expect("scan"), vec![Day(42)]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_missing_summary_reads_as_none() {
+    let dir = temp_store_dir("no-summary");
+    let store = ResultsStore::open(StoreConfig {
+        dir: dir.clone(),
+        slots: slot_index(2),
+    })
+    .expect("open store");
+    assert!(store.read_summary().expect("no summary is fine").is_none());
+    assert!(store.window_days().expect("empty scan").is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -67,6 +67,8 @@ pub mod window;
 pub use batch::{BatchPool, RecordBatch};
 pub use collector::{ExporterSession, StreamCollector};
 pub use queue::{BoundedQueue, OverflowPolicy, PushOutcome, QueueStats};
-pub use scheduler::{CombinedReport, SchedulerConfig, WindowReport, WindowScheduler};
+pub use scheduler::{
+    ClosedWindow, CombinedReport, SchedulerConfig, WindowReport, WindowScheduler, WindowSink,
+};
 pub use service::{ExporterCounters, HealthSnapshot, StreamConfig, StreamOutput, StreamService};
 pub use window::{Gate, WindowTracker};

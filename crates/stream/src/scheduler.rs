@@ -55,6 +55,33 @@ pub struct CombinedReport {
     pub result: PipelineResult,
 }
 
+/// Everything a window sink sees when one day window closes: the
+/// window's own stats, ports, and pipeline result, plus the refreshed
+/// multi-day combination. Borrowed — persist what you need and return.
+#[derive(Debug)]
+pub struct ClosedWindow<'a> {
+    /// The window's day.
+    pub day: Day,
+    /// Records ingested into the window.
+    pub records: u64,
+    /// The window's accumulated traffic stats.
+    pub stats: &'a ShardedTrafficStats,
+    /// The window's destination-port histogram, sorted by port.
+    pub ports: &'a [(u16, u64)],
+    /// The single-day pipeline result.
+    pub window: &'a PipelineResult,
+    /// The refreshed multi-day combined result.
+    pub combined: &'a PipelineResult,
+    /// First day of the combined span.
+    pub first_day: Day,
+    /// Calendar length of the combined span in days.
+    pub span_days: u32,
+}
+
+/// Observer invoked after every window close — how the results store
+/// persists windows without the scheduler depending on mt-store.
+pub type WindowSink = Box<dyn FnMut(ClosedWindow<'_>) + Send>;
+
 /// Runs the pipeline per closed window and maintains the incremental
 /// multi-day combination.
 pub struct WindowScheduler<F> {
@@ -67,6 +94,7 @@ pub struct WindowScheduler<F> {
     last_day: Option<Day>,
     /// Next day whose RIB snapshot must be folded into the union.
     next_rib_day: Day,
+    sink: Option<WindowSink>,
 }
 
 impl<F: Fn(Day) -> PrefixTrie<Asn>> WindowScheduler<F> {
@@ -82,7 +110,14 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> WindowScheduler<F> {
             first_day: None,
             last_day: None,
             next_rib_day: Day(0),
+            sink: None,
         }
+    }
+
+    /// Installs an observer invoked after every window close with the
+    /// window's stats, ports, and both pipeline results.
+    pub fn set_sink(&mut self, sink: WindowSink) {
+        self.sink = Some(sink);
     }
 
     /// The scheduler's configuration.
@@ -108,6 +143,18 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> WindowScheduler<F> {
         day: Day,
         records: u64,
         stats: ShardedTrafficStats,
+    ) -> (WindowReport, CombinedReport) {
+        self.close_with_ports(day, records, stats, &[])
+    }
+
+    /// [`close`](Self::close), with the window's destination-port
+    /// histogram for the sink (the scheduler itself never reads it).
+    pub fn close_with_ports(
+        &mut self,
+        day: Day,
+        records: u64,
+        stats: ShardedTrafficStats,
+        ports: &[(u16, u64)],
     ) -> (WindowReport, CombinedReport) {
         if let Some(last) = self.last_day {
             assert!(day > last, "windows must close in ascending day order");
@@ -146,10 +193,15 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> WindowScheduler<F> {
             }
             self.next_rib_day = self.next_rib_day.next();
         }
+        // The first window's stats *become* the cumulative state; later
+        // windows keep theirs alive past the merge so the sink can
+        // still see the window in isolation.
+        let mut window_stats: Option<ShardedTrafficStats> = None;
         let cumulative = match self.cumulative.take() {
             None => self.cumulative.insert(stats),
             Some(mut c) => {
                 c.merge(&stats);
+                window_stats = Some(stats);
                 self.cumulative.insert(c)
             }
         };
@@ -162,6 +214,19 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> WindowScheduler<F> {
             &self.cfg.pipeline,
             self.cfg.threads,
         );
+
+        if let Some(sink) = &mut self.sink {
+            sink(ClosedWindow {
+                day,
+                records,
+                stats: window_stats.as_ref().unwrap_or(cumulative),
+                ports,
+                window: &window_result,
+                combined: &combined_result,
+                first_day: first,
+                span_days,
+            });
+        }
 
         (
             WindowReport {

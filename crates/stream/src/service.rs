@@ -24,7 +24,9 @@
 use crate::batch::{BatchPool, RecordBatch};
 use crate::collector::StreamCollector;
 use crate::queue::{BoundedQueue, OverflowPolicy, PushOutcome, QueueStats};
-use crate::scheduler::{CombinedReport, SchedulerConfig, WindowReport, WindowScheduler};
+use crate::scheduler::{
+    CombinedReport, SchedulerConfig, WindowReport, WindowScheduler, WindowSink,
+};
 use crate::window::{Gate, WindowTracker};
 use mt_core::pipeline::PipelineConfig;
 use mt_flow::{FlowRecord, ShardedTrafficStats, StatsLayout};
@@ -270,6 +272,11 @@ pub struct StreamService<F> {
     combined: Vec<CombinedReport>,
     /// Records enqueued per open window.
     window_records: FxHashMap<Day, u64>,
+    /// Destination-port packet histogram per open window; counts
+    /// exactly the records `window_records` counts (accepted pushes).
+    window_ports: FxHashMap<Day, FxHashMap<u16, u64>>,
+    /// Reusable per-batch port histogram scratch.
+    port_scratch: FxHashMap<u16, u64>,
     /// Per-exporter window-gate counters: (late, dropped).
     gate_counts: BTreeMap<String, (u64, u64)>,
     dropped_backpressure: u64,
@@ -352,6 +359,8 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> StreamService<F> {
             windows: Vec::new(),
             combined: Vec::new(),
             window_records: FxHashMap::default(),
+            window_ports: FxHashMap::default(),
+            port_scratch: FxHashMap::default(),
             gate_counts: BTreeMap::new(),
             dropped_backpressure: 0,
             rejected_closed: 0,
@@ -370,6 +379,14 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> StreamService<F> {
     /// The service configuration.
     pub fn config(&self) -> &StreamConfig {
         &self.cfg
+    }
+
+    /// Installs a window sink on the scheduler: an observer invoked
+    /// after every window close with the window's stats, port
+    /// histogram, and both pipeline results — how the results store
+    /// persists windows as they close.
+    pub fn set_window_sink(&mut self, sink: WindowSink) {
+        self.scheduler.set_sink(sink);
     }
 
     /// The per-exporter collector sessions (live counters).
@@ -447,10 +464,22 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> StreamService<F> {
         self.decode_buf = decoded;
         for (day, records) in by_day {
             let n = records.len() as u64;
+            // Tally the batch's destination ports up front: the record
+            // buffer moves into the queue, and only an accepted push
+            // may count toward the window (shed/closed batches never
+            // reach the accumulators).
+            self.port_scratch.clear();
+            for r in &records {
+                *self.port_scratch.entry(r.dst_port).or_default() += r.packets;
+            }
             match self.shared.queue.push(RecordBatch { day, records }) {
                 PushOutcome::Accepted => {
                     crate::sync::lock(&self.shared.progress).pushed += n;
                     *self.window_records.entry(day).or_default() += n;
+                    let ports = self.window_ports.entry(day).or_default();
+                    for (&port, &packets) in &self.port_scratch {
+                        *ports.entry(port).or_default() += packets;
+                    }
                 }
                 PushOutcome::Shed => self.dropped_backpressure += n,
                 PushOutcome::Closed => self.rejected_closed += n,
@@ -503,7 +532,13 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> StreamService<F> {
                 )
                 .set(load as u64);
         }
-        let (window, combined) = self.scheduler.close(day, records, stats);
+        let mut ports: Vec<(u16, u64)> = self
+            .window_ports
+            .remove(&day)
+            .map(|m| m.into_iter().collect())
+            .unwrap_or_default();
+        ports.sort_unstable();
+        let (window, combined) = self.scheduler.close_with_ports(day, records, stats, &ports);
         self.windows.push(window);
         self.combined.push(combined);
         self.windows_closed_counter.inc();

@@ -31,12 +31,25 @@ impl PortRanking {
         self.ranked.iter().map(|&(p, _)| p).collect()
     }
 
-    /// Rank of a port (1-based), if present.
+    /// Rank of a port (1-based), if present. An empty ranking has no
+    /// ranks: every port is `None`.
     pub fn rank_of(&self, port: u16) -> Option<usize> {
         self.ranked
             .iter()
             .position(|&(p, _)| p == port)
             .map(|i| i + 1)
+    }
+
+    /// Number of ranked ports (at most the `n` given to
+    /// [`top_n`](Self::top_n)).
+    pub fn len(&self) -> usize {
+        self.ranked.len()
+    }
+
+    /// True for a ranking with no entries — built from an empty
+    /// histogram or with `n == 0`.
+    pub fn is_empty(&self) -> bool {
+        self.ranked.is_empty()
     }
 }
 
@@ -75,5 +88,32 @@ mod tests {
     fn top_n_truncates() {
         let r = PortRanking::top_n("T", &counts(&[(1, 1), (2, 2), (3, 3)]), 2);
         assert_eq!(r.ranked.len(), 2);
+    }
+
+    #[test]
+    fn empty_histogram_yields_an_empty_ranking() {
+        // Pin the edge cases: no entries, no ranks, no panics.
+        let r = PortRanking::top_n("T", &counts(&[]), 10);
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.ports(), Vec::<u16>::new());
+        assert_eq!(r.rank_of(23), None);
+        assert_eq!(r.rank_of(0), None);
+    }
+
+    #[test]
+    fn top_zero_keeps_nothing_even_with_data() {
+        let r = PortRanking::top_n("T", &counts(&[(23, 50), (80, 10)]), 0);
+        assert!(r.is_empty());
+        assert_eq!(r.rank_of(23), None, "port present in input but n == 0");
+    }
+
+    #[test]
+    fn overlap_with_empty_rankings_is_zero() {
+        let empty = PortRanking::top_n("E", &counts(&[]), 5);
+        let full = PortRanking::top_n("F", &counts(&[(23, 9), (22, 8)]), 5);
+        assert_eq!(port_overlap(&empty, &full), 0);
+        assert_eq!(port_overlap(&full, &empty), 0);
+        assert_eq!(port_overlap(&empty, &empty), 0);
     }
 }

@@ -24,7 +24,12 @@
 //!   nonblocking epoll event loop accepting IPFIX over UDP and TCP into
 //!   the streaming service, `GET /health` + `GET /metrics` over a
 //!   minimal HTTP/1.1 responder, and graceful drain on shutdown. See
-//!   `DESIGN.md` §"Serving".
+//!   `DESIGN.md` §"Serving";
+//! - [`store`] — the persistent results store: closed day windows and
+//!   the running multi-day summary in a compact checksummed columnar
+//!   format, with the slot-indexed query cache behind mt-serve's
+//!   `/v1/block` and `/v1/windows` endpoints. See `DESIGN.md`
+//!   §"Results store".
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour: generate an
 //! Internet, run a day of traffic through vantage points, infer
@@ -38,6 +43,7 @@ pub use mt_flow as flow;
 pub use mt_netmodel as netmodel;
 pub use mt_obs as obs;
 pub use mt_serve as serve;
+pub use mt_store as store;
 pub use mt_stream as stream;
 pub use mt_telescope as telescope;
 pub use mt_traffic as traffic;
