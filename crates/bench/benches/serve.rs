@@ -25,8 +25,9 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream, UdpSocket};
 use std::time::{Duration, Instant};
 
-#[derive(Serialize)]
+#[derive(Serialize, Clone)]
 struct TcpFleet {
+    event_loops: usize,
     exporters: usize,
     flows: u64,
     seconds: f64,
@@ -46,12 +47,21 @@ struct UdpPath {
     delivery_rate: f64,
 }
 
+/// The event-loop scaling dimension: the same TCP fleet run at each
+/// loop count. CI validates the 4-loop throughput floor against the
+/// 1-loop baseline from these entries.
+#[derive(Serialize)]
+struct Scaling {
+    loops: Vec<TcpFleet>,
+}
+
 #[derive(Serialize)]
 struct Report {
     bench: &'static str,
     mode: &'static str,
     tcp: TcpFleet,
     udp: UdpPath,
+    scaling: Scaling,
 }
 
 struct Sizes {
@@ -77,9 +87,10 @@ const FULL: Sizes = Sizes {
 
 type RibFn = fn(Day) -> mt_types::PrefixTrie<mt_types::Asn>;
 
-fn daemon() -> (Daemon<RibFn>, ShutdownHandle) {
+fn daemon(event_loops: usize) -> (Daemon<RibFn>, ShutdownHandle) {
     let d = Daemon::bind(
         ServeConfig {
+            event_loops,
             stream: StreamConfig {
                 ingest_threads: std::thread::available_parallelism().map_or(2, |n| n.get().min(4)),
                 overflow: OverflowPolicy::Block,
@@ -106,31 +117,27 @@ fn health(http: SocketAddr) -> HealthSnapshot {
     serde_json::from_str(body).expect("health json")
 }
 
-/// Per-push ingest latency quantile from the daemon's own histogram.
+/// Per-push ingest latency quantile, merged across the per-loop
+/// `mt_serve_ingest_nanoseconds{loop=...}` series (identical bounds).
 fn ingest_quantile(out: &mt_serve::ServeOutput, q: f64) -> u64 {
     let snap = out.stream.registry.snapshot();
-    let sample = snap
-        .samples
-        .iter()
-        .find(|s| s.name == "mt_serve_ingest_nanoseconds")
+    let merged = snap
+        .merged_histogram("mt_serve_ingest_nanoseconds")
+        .expect("uniform bounds")
         .expect("ingest histogram registered");
-    match &sample.value {
-        mt_obs::SampleValue::Histogram(h) => {
-            h.quantile_upper_bound(q).expect("histogram not empty")
-        }
-        other => panic!("not a histogram: {other:?}"),
-    }
+    merged.quantile_upper_bound(q).expect("histogram not empty")
 }
 
-/// 128 concurrent TCP exporters, one day each, backpressure-paced.
-fn tcp_fleet(sizes: &Sizes) -> TcpFleet {
+/// 128 concurrent TCP exporters, one day each, backpressure-paced,
+/// against a daemon with `event_loops` sharded ingest loops.
+fn tcp_fleet(sizes: &Sizes, event_loops: usize) -> TcpFleet {
     let w = Workload {
         exporters: sizes.tcp_exporters,
         days: 1,
         flows_per_exporter_day: sizes.tcp_flows_per_exporter,
         seed: 0xF1EE7,
     };
-    let (daemon, handle) = daemon();
+    let (daemon, handle) = daemon(event_loops);
     let tcp_to = daemon.tcp_addr().expect("tcp on");
     let http = daemon.http_addr().expect("http on");
     let runner = std::thread::spawn(move || daemon.run());
@@ -163,6 +170,7 @@ fn tcp_fleet(sizes: &Sizes) -> TcpFleet {
     out.stream.health.check_invariants().expect("ledger");
 
     let fleet = TcpFleet {
+        event_loops,
         exporters: w.exporters,
         flows: w.total_flows(),
         seconds,
@@ -171,7 +179,8 @@ fn tcp_fleet(sizes: &Sizes) -> TcpFleet {
         p99_ingest_ns: ingest_quantile(&out, 0.99),
     };
     println!(
-        "tcp_fleet: {} exporters, {} flows in {:.3}s = {:.0} flows/s (ingest p50 <= {} ns, p99 <= {} ns)",
+        "tcp_fleet[{} loops]: {} exporters, {} flows in {:.3}s = {:.0} flows/s (ingest p50 <= {} ns, p99 <= {} ns)",
+        fleet.event_loops,
         fleet.exporters,
         fleet.flows,
         fleet.seconds,
@@ -191,7 +200,7 @@ fn udp_path(sizes: &Sizes) -> UdpPath {
         flows_per_exporter_day: sizes.udp_flows_per_exporter,
         seed: 0x0DD5,
     };
-    let (daemon, handle) = daemon();
+    let (daemon, handle) = daemon(1);
     let udp_to = daemon.udp_addr().expect("udp on");
     let http = daemon.http_addr().expect("http on");
     let runner = std::thread::spawn(move || daemon.run());
@@ -289,11 +298,19 @@ fn main() {
     };
     println!("serve bench ({mode} mode)");
 
+    // The scaling dimension: the same fleet at 1, 2, and 4 event
+    // loops. The 1-loop run doubles as the headline `tcp` phase; the
+    // ratio of the 4-loop entry over it is what CI's throughput floor
+    // checks (only meaningful on a multi-core runner).
+    let scaling = Scaling {
+        loops: [1, 2, 4].map(|n| tcp_fleet(&sizes, n)).into(),
+    };
     let report = Report {
         bench: "serve",
         mode,
-        tcp: tcp_fleet(&sizes),
+        tcp: scaling.loops[0].clone(),
         udp: udp_path(&sizes),
+        scaling,
     };
 
     let path = std::env::var("BENCH_SERVE_JSON").unwrap_or_else(|_| "BENCH_serve.json".into());

@@ -471,6 +471,33 @@ pub struct HistogramSample {
 }
 
 impl HistogramSample {
+    /// Merges `other` into this sample bucket-wise: per-bucket counts,
+    /// sum, and count all add. Both samples must have identical bounds
+    /// — merging histograms bucketed differently would silently smear
+    /// observations across bucket edges — so mismatched bounds are an
+    /// error, not a guess.
+    ///
+    /// This is how per-loop ingest-latency histograms (one series per
+    /// event loop) aggregate into one daemon-wide distribution for
+    /// p50/p99 reporting: the per-loop series share their bounds, so
+    /// the merged quantile estimates are exactly what one shared
+    /// histogram would have reported.
+    pub fn merge(&mut self, other: &HistogramSample) -> Result<(), String> {
+        if self.bounds != other.bounds {
+            return Err(format!(
+                "histogram bounds differ: {:?} vs {:?}",
+                self.bounds, other.bounds
+            ));
+        }
+        debug_assert_eq!(self.buckets.len(), other.buckets.len());
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+        Ok(())
+    }
+
     /// The upper bound of the bucket containing quantile `q` (0..=1) —
     /// the standard bucketed-quantile estimate. Returns `None` for an
     /// empty histogram, and the largest finite bound when the quantile
@@ -530,6 +557,27 @@ impl Snapshot {
                         .all(|((k, v), (lk, lv))| k == lk && v == lv)
             })
             .and_then(|s| s.value.as_scalar())
+    }
+
+    /// Merges every histogram series with this name (across all label
+    /// sets) into one [`HistogramSample`], bucket-wise. `None` when the
+    /// name has no histogram series; `Err` when two series disagree on
+    /// bounds. The per-loop → daemon-wide aggregation path.
+    pub fn merged_histogram(&self, name: &str) -> Result<Option<HistogramSample>, String> {
+        let mut merged: Option<HistogramSample> = None;
+        for s in &self.samples {
+            let SampleValue::Histogram(h) = &s.value else {
+                continue;
+            };
+            if s.name != name {
+                continue;
+            }
+            match &mut merged {
+                None => merged = Some(h.clone()),
+                Some(m) => m.merge(h)?,
+            }
+        }
+        Ok(merged)
     }
 
     /// Renders the snapshot in Prometheus text exposition format.
@@ -717,6 +765,55 @@ mod tests {
         // The 10th observation sits in +Inf: report the top finite bound.
         assert_eq!(s.quantile_upper_bound(0.99), Some(1000));
         assert_eq!(s.quantile_upper_bound(1.0), Some(1000));
+    }
+
+    /// Merging two per-loop samples must yield exactly the quantile
+    /// upper bounds one shared histogram over all observations reports.
+    #[test]
+    fn histogram_merge_matches_one_shared_histogram() {
+        let bounds = [10u64, 100, 1000];
+        let reg = MetricsRegistry::new();
+        let a = reg.histogram_with("mt_m_test", &[("loop", "0")], &bounds, "");
+        let b = reg.histogram_with("mt_m_test", &[("loop", "1")], &bounds, "");
+        let shared = reg.histogram("mt_m_all", &bounds, "");
+        let (loop0, loop1) = ([5u64, 50, 50, 500], [5u64, 5, 50, 5000]);
+        for v in loop0 {
+            a.observe(v);
+            shared.observe(v);
+        }
+        for v in loop1 {
+            b.observe(v);
+            shared.observe(v);
+        }
+        let snap = reg.snapshot();
+        let merged = snap.merged_histogram("mt_m_test").unwrap().unwrap();
+        assert_eq!(merged.count, 8);
+        assert_eq!(
+            merged.sum,
+            loop0.iter().sum::<u64>() + loop1.iter().sum::<u64>()
+        );
+        assert_eq!(merged.buckets, vec![3, 3, 1, 1]);
+        let one = snap.merged_histogram("mt_m_all").unwrap().unwrap();
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            assert_eq!(
+                merged.quantile_upper_bound(q),
+                one.quantile_upper_bound(q),
+                "quantile {q} diverges from the shared histogram"
+            );
+        }
+        // Pin the absolute estimates too: p50 of {5,5,5,50,50,50,500,5000}.
+        assert_eq!(merged.quantile_upper_bound(0.5), Some(100));
+        assert_eq!(merged.quantile_upper_bound(0.99), Some(1000));
+    }
+
+    #[test]
+    fn histogram_merge_rejects_mismatched_bounds() {
+        let reg = MetricsRegistry::new();
+        reg.histogram_with("mt_mm_test", &[("loop", "0")], &[10, 100], "");
+        reg.histogram_with("mt_mm_test", &[("loop", "1")], &[10, 200], "");
+        let snap = reg.snapshot();
+        assert!(snap.merged_histogram("mt_mm_test").is_err());
+        assert_eq!(snap.merged_histogram("mt_absent").unwrap(), None);
     }
 
     fn histo_sample(reg: &MetricsRegistry) -> HistogramSample {

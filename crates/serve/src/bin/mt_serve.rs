@@ -23,10 +23,25 @@ use mt_types::{RibIndex, SimDuration, Slot24Index};
 use std::net::SocketAddr;
 use std::sync::Arc;
 
+const USAGE: &str = "usage: mt-serve [OPTIONS]
+
+options:
+  --udp ADDR|off          IPFIX/UDP bind address (default 127.0.0.1:4739)
+  --tcp ADDR|off          IPFIX/TCP bind address (default 127.0.0.1:4740)
+  --http ADDR|off         HTTP bind address (default 127.0.0.1:9178)
+  --event-loops N         sharded ingest event loops; 0 = one per core (default 0)
+  --lateness-hours N      allowed watermark lateness (default 2)
+  --ingest-threads N      pipeline ingest workers (default: cores, capped at 4)
+  --max-seconds N         self-shutdown after N seconds (demos)
+  --health-json PATH      write the final health document here
+  --metrics-text PATH     write the final Prometheus exposition here
+  --store-dir PATH        persist windows to a results store and serve /v1";
+
 struct Args {
     udp: Option<SocketAddr>,
     tcp: Option<SocketAddr>,
     http: Option<SocketAddr>,
+    event_loops: usize,
     lateness_hours: u64,
     ingest_threads: usize,
     max_seconds: Option<u64>,
@@ -35,11 +50,12 @@ struct Args {
     store_dir: Option<String>,
 }
 
-fn parse_args() -> Args {
+fn parse_args() -> Result<Args, String> {
     let mut args = Args {
-        udp: Some("127.0.0.1:4739".parse().expect("default udp addr")),
-        tcp: Some("127.0.0.1:4740".parse().expect("default tcp addr")),
-        http: Some("127.0.0.1:9178".parse().expect("default http addr")),
+        udp: Some("127.0.0.1:4739".parse().map_err(|e| format!("{e}"))?),
+        tcp: Some("127.0.0.1:4740".parse().map_err(|e| format!("{e}"))?),
+        http: Some("127.0.0.1:9178".parse().map_err(|e| format!("{e}"))?),
+        event_loops: 0,
         lateness_hours: 2,
         ingest_threads: std::thread::available_parallelism().map_or(2, |n| n.get().min(4)),
         max_seconds: None,
@@ -48,49 +64,48 @@ fn parse_args() -> Args {
         store_dir: None,
     };
     let mut it = std::env::args().skip(1);
-    let addr = |v: Option<String>, what: &str| -> Option<SocketAddr> {
-        let v = v.unwrap_or_else(|| panic!("{what} needs ADDR|off"));
+    let addr = |v: Option<String>, what: &str| -> Result<Option<SocketAddr>, String> {
+        let v = v.ok_or_else(|| format!("{what} needs ADDR|off"))?;
         if v == "off" {
-            None
+            Ok(None)
         } else {
-            Some(v.parse().unwrap_or_else(|e| panic!("{what} {v}: {e}")))
+            v.parse().map(Some).map_err(|e| format!("{what} {v}: {e}"))
         }
+    };
+    fn num<T: std::str::FromStr>(v: Option<String>, what: &str) -> Result<T, String> {
+        v.ok_or_else(|| format!("{what} needs a number"))?
+            .parse()
+            .map_err(|_| format!("{what} needs a number"))
+    }
+    let path = |v: Option<String>, what: &str| -> Result<String, String> {
+        v.ok_or_else(|| format!("{what} needs PATH"))
     };
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--udp" => args.udp = addr(it.next(), "--udp"),
-            "--tcp" => args.tcp = addr(it.next(), "--tcp"),
-            "--http" => args.http = addr(it.next(), "--http"),
-            "--lateness-hours" => {
-                args.lateness_hours = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--lateness-hours N");
-            }
-            "--ingest-threads" => {
-                args.ingest_threads = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--ingest-threads N");
-            }
-            "--max-seconds" => {
-                args.max_seconds = Some(
-                    it.next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--max-seconds N"),
-                );
-            }
-            "--health-json" => args.health_json = Some(it.next().expect("--health-json PATH")),
-            "--metrics-text" => args.metrics_text = Some(it.next().expect("--metrics-text PATH")),
-            "--store-dir" => args.store_dir = Some(it.next().expect("--store-dir PATH")),
-            other => panic!("unknown argument {other}"),
+            "--udp" => args.udp = addr(it.next(), "--udp")?,
+            "--tcp" => args.tcp = addr(it.next(), "--tcp")?,
+            "--http" => args.http = addr(it.next(), "--http")?,
+            "--event-loops" => args.event_loops = num(it.next(), "--event-loops")?,
+            "--lateness-hours" => args.lateness_hours = num(it.next(), "--lateness-hours")?,
+            "--ingest-threads" => args.ingest_threads = num(it.next(), "--ingest-threads")?,
+            "--max-seconds" => args.max_seconds = Some(num(it.next(), "--max-seconds")?),
+            "--health-json" => args.health_json = Some(path(it.next(), "--health-json")?),
+            "--metrics-text" => args.metrics_text = Some(path(it.next(), "--metrics-text")?),
+            "--store-dir" => args.store_dir = Some(path(it.next(), "--store-dir")?),
+            other => return Err(format!("unknown argument {other}")),
         }
     }
-    args
+    Ok(args)
 }
 
 fn main() {
-    let args = parse_args();
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("mt-serve: {e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
     // The store's slot index must match the RIB the daemon ingests
     // under (reads are fingerprint-gated) — both come from the demo RIB.
     let store = args.store_dir.as_ref().map(|dir| StoreConfig {
@@ -101,6 +116,7 @@ fn main() {
         udp: args.udp,
         tcp: args.tcp,
         http: args.http,
+        event_loops: args.event_loops,
         catch_sigterm: true,
         stream: StreamConfig {
             ingest_threads: args.ingest_threads,
@@ -113,7 +129,14 @@ fn main() {
     };
     // The demo RIB: 20.0.0.0/8 announced by one AS. A deployment would
     // plug per-day RIBs in through the library API instead.
-    let daemon = Daemon::bind(cfg, |_| replay::default_rib()).expect("bind daemon");
+    let daemon = match Daemon::bind(cfg, |_| replay::default_rib()) {
+        Ok(daemon) => daemon,
+        Err(e) => {
+            eprintln!("mt-serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("mt-serve: {} ingest event loops", daemon.event_loops());
     for (what, bound) in [
         ("ipfix/udp", daemon.udp_addr()),
         ("ipfix/tcp", daemon.tcp_addr()),

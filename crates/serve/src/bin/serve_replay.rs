@@ -29,7 +29,18 @@ struct Args {
     records_per_message: usize,
 }
 
-fn parse_args() -> Args {
+const USAGE: &str = "usage: serve-replay (--udp ADDR | --tcp ADDR | both) [OPTIONS]
+
+options:
+  --udp ADDR                 daemon IPFIX/UDP target (even exporters)
+  --tcp ADDR                 daemon IPFIX/TCP target (odd exporters)
+  --exporters N              exporter fleet size (default 8)
+  --days N                   simulated days per exporter (default 1)
+  --flows N                  flows per exporter-day (default 5000)
+  --seed N                   workload seed (default 42)
+  --records-per-message N    IPFIX records per message (default 50)";
+
+fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         udp: None,
         tcp: None,
@@ -40,34 +51,34 @@ fn parse_args() -> Args {
         records_per_message: 50,
     };
     let mut it = std::env::args().skip(1);
+    fn num<T: std::str::FromStr>(v: Option<String>, what: &str) -> Result<T, String> {
+        v.ok_or_else(|| format!("{what} needs a number"))?
+            .parse()
+            .map_err(|_| format!("{what} needs a number"))
+    }
+    let addr = |v: Option<String>, what: &str| -> Result<SocketAddr, String> {
+        v.ok_or_else(|| format!("{what} needs ADDR"))?
+            .parse()
+            .map_err(|e| format!("{what}: {e}"))
+    };
     while let Some(a) = it.next() {
-        let mut num = |what: &str| -> u64 {
-            it.next()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| panic!("{what} needs a number"))
-        };
         match a.as_str() {
-            "--udp" => {
-                args.udp = Some(it.next().and_then(|v| v.parse().ok()).expect("--udp ADDR"));
-            }
-            "--tcp" => {
-                args.tcp = Some(it.next().and_then(|v| v.parse().ok()).expect("--tcp ADDR"));
-            }
-            "--exporters" => args.exporters = num("--exporters") as usize,
-            "--days" => args.days = num("--days") as u32,
-            "--flows" => args.flows = num("--flows") as usize,
-            "--seed" => args.seed = num("--seed"),
+            "--udp" => args.udp = Some(addr(it.next(), "--udp")?),
+            "--tcp" => args.tcp = Some(addr(it.next(), "--tcp")?),
+            "--exporters" => args.exporters = num(it.next(), "--exporters")?,
+            "--days" => args.days = num(it.next(), "--days")?,
+            "--flows" => args.flows = num(it.next(), "--flows")?,
+            "--seed" => args.seed = num(it.next(), "--seed")?,
             "--records-per-message" => {
-                args.records_per_message = num("--records-per-message") as usize;
+                args.records_per_message = num(it.next(), "--records-per-message")?;
             }
-            other => panic!("unknown argument {other}"),
+            other => return Err(format!("unknown argument {other}")),
         }
     }
-    assert!(
-        args.udp.is_some() || args.tcp.is_some(),
-        "need --udp and/or --tcp target"
-    );
-    args
+    if args.udp.is_none() && args.tcp.is_none() {
+        return Err("need --udp and/or --tcp target".to_owned());
+    }
+    Ok(args)
 }
 
 /// One exporter's whole send, on its own socket. Returns datagrams sent
@@ -111,7 +122,13 @@ fn run_exporter(
 }
 
 fn main() {
-    let args = parse_args();
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("serve-replay: {e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
     let w = Workload {
         exporters: args.exporters,
         days: args.days,

@@ -1,56 +1,73 @@
-//! The collection daemon: one epoll event loop feeding the streaming
-//! service.
+//! The collection daemon: N sharded epoll ingest loops feeding the
+//! multi-lane streaming service, plus a dedicated control loop for
+//! observability and queries.
 //!
 //! ## Architecture
 //!
-//! A single thread owns the event loop *and* is the
-//! [`StreamService`] producer — exactly the single-producer discipline
-//! the service requires, so socket delivery changes nothing about
-//! ordering or determinism. Ingest workers and per-window pipeline
-//! threads live inside the service as before. Sockets are nonblocking
-//! and level-triggered; the loop drains each readable fd to
-//! `WouldBlock` before returning to `epoll_wait`.
+//! [`ServeConfig::event_loops`] ingest threads each own a full event
+//! loop: their own [`Poller`], their own `SO_REUSEPORT` UDP socket on
+//! the shared ingest port (the kernel hashes datagrams across the
+//! sockets by 4-tuple), their own `SO_REUSEPORT` TCP listener on the
+//! shared exporter port (the kernel shards incoming connections across
+//! the accepting loops), and their own producer lane
+//! ([`mt_stream::LaneProducer`]) into the service's ingest queue. At
+//! one loop the daemon degenerates to the classic single-producer
+//! shape (plain `std` binds, no `SO_REUSEPORT` needed) — and at every
+//! loop count the results are bit-identical to in-process batch
+//! ingest, because ordering lives in the service's shared window gate,
+//! not in which loop read which byte.
 //!
-//! Backpressure is end to end: the queue's `Block` policy stalls the
-//! producer (this loop), which stops reading sockets, which fills
-//! kernel receive buffers, which stalls TCP senders. UDP exporters see
+//! Per-peer sessions stay correct without cross-loop coordination: a
+//! peer's bytes arrive on one loop at a time (UDP: the kernel's flow
+//! hash pins a source address to one socket; TCP: a connection is
+//! pinned to the loop that accepted it), and each loop keeps its own
+//! collector sessions. If a peer reconnects onto a different loop its
+//! lifetime counters keep accumulating — the health path sums sessions
+//! by exporter name across loops — while template state never crosses
+//! loops (RFC 7011 §10 keeps transport sessions separate).
+//!
+//! The *control loop* runs on the caller's thread and owns the HTTP
+//! listener: `/health`, `/metrics`, and the `/v1` store queries are
+//! answered there, never on an ingest loop, so observability stays
+//! responsive while every ingest loop is saturated.
+//!
+//! Backpressure is end to end and per lane: the queue's `Block` policy
+//! stalls only the lane that is full — that loop stops reading its
+//! sockets, its kernel buffers fill, its TCP senders stall — while the
+//! other loops (and the control loop) keep running. UDP exporters see
 //! datagram loss at the kernel buffer instead — the transport's
 //! documented trade-off.
-//!
-//! ## Session lifecycle
-//!
-//! Every peer gets its own exporter session named
-//! `udp:<addr>` / `tcp:<addr>`, so templates and decode-trouble
-//! counters never leak across peers (RFC 7011 §10 keeps transport
-//! sessions separate). A TCP connection's session outlives the
-//! connection — counters keep accumulating if the peer reconnects from
-//! the same address.
 //!
 //! ## Shutdown protocol
 //!
 //! A [`ShutdownHandle`] trigger or SIGTERM (when
-//! [`ServeConfig::catch_sigterm`] is set) wakes the loop via a
-//! self-pipe. The daemon then (1) stops accepting: listeners are
-//! deregistered and closed; (2) drains: bounded `epoll_wait` sweeps
-//! keep reading open TCP connections and the UDP socket until a full
-//! sweep makes no progress ([`ServeConfig::drain_quiet_sweeps`] times
-//! in a row); (3) finishes: [`StreamService::finish`] flushes the
-//! queue, folds the tail, closes every open window, and returns the
-//! quiescent [`mt_stream::StreamOutput`] whose ledger identities hold exactly.
+//! [`ServeConfig::catch_sigterm`] is set) wakes the control loop via a
+//! self-pipe. The control loop then broadcasts the shutdown to every
+//! ingest loop's wake pipe; each ingest loop independently (1) stops
+//! accepting: its listeners are deregistered and closed; (2) drains:
+//! bounded `epoll_wait` sweeps keep reading its open TCP connections
+//! and its UDP socket until a full sweep makes no progress
+//! ([`ServeConfig::drain_quiet_sweeps`] times in a row); (3) returns
+//! its lane. The control loop answers its in-flight HTTP requests,
+//! joins the ingest threads, and finishes the service —
+//! [`MultiStreamService::finish`] flushes the queue, folds the tail,
+//! closes every open window, and returns the quiescent
+//! [`mt_stream::StreamOutput`] whose ledger identities hold exactly.
 
 use crate::http;
 use crate::sys::{self, Interest, Poller};
 use mt_obs::{Counter, Gauge, Histogram};
 use mt_store::{QueryIndex, ResultsStore, StoreConfig, Verdicts, WindowData};
-use mt_stream::{StreamConfig, StreamService};
+use mt_stream::{LaneProducer, MultiStreamService, StreamConfig};
 use mt_types::{Asn, Block24, Day, FxHashMap, Ipv4, PrefixTrie};
 use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::net::{SocketAddr, SocketAddrV4, TcpListener, TcpStream, UdpSocket};
 use std::os::unix::io::AsRawFd;
 use std::os::unix::net::UnixStream;
 use std::str::FromStr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 
 /// Histogram bounds for per-push ingest latency, in nanoseconds: fine
 /// enough around the sub-100µs hot path for meaningful p50/p99, topping
@@ -74,8 +91,12 @@ pub const INGEST_LATENCY_BUCKETS: [u64; 16] = [
     1_000_000_000,
 ];
 
-/// Event-loop registration tokens for the daemon's own fds;
-/// connections start at [`FIRST_CONN_TOKEN`].
+/// Listen backlog for the `SO_REUSEPORT` exporter listeners.
+const TCP_BACKLOG: u32 = 1024;
+
+/// Event-loop registration tokens for a loop's own fds; connections
+/// start at [`FIRST_CONN_TOKEN`]. Each loop has its own poller, so the
+/// token spaces are independent.
 const TOK_WAKE: u64 = 0;
 const TOK_UDP: u64 = 1;
 const TOK_TCP: u64 = 2;
@@ -92,13 +113,18 @@ pub struct ServeConfig {
     pub udp: Option<SocketAddr>,
     /// IPFIX-over-TCP bind address, or `None` to disable the transport.
     pub tcp: Option<SocketAddr>,
-    /// HTTP (`/health`, `/metrics`) bind address, or `None` to disable.
+    /// HTTP (`/health`, `/metrics`, `/v1`) bind address, or `None` to
+    /// disable. Served by the control loop, never an ingest loop.
     pub http: Option<SocketAddr>,
-    /// Requested kernel receive-buffer size for the UDP socket, in
+    /// Sharded ingest event loops (0 = one per available core). Above
+    /// one, the ingest transports must bind IPv4 addresses — the
+    /// `SO_REUSEPORT` shims are IPv4-only.
+    pub event_loops: usize,
+    /// Requested kernel receive-buffer size for each UDP socket, in
     /// bytes (0 = leave the kernel default). Best-effort: the kernel
     /// clamps to `net.core.rmem_max`.
     pub udp_recv_buf: usize,
-    /// The streaming service under the loop.
+    /// The streaming service under the loops.
     pub stream: StreamConfig,
     /// Results store to persist closed windows into and serve `/v1/...`
     /// read queries from, or `None` to run without persistence.
@@ -109,8 +135,8 @@ pub struct ServeConfig {
     pub catch_sigterm: bool,
     /// Per-sweep `epoll_wait` timeout during the drain phase, in ms.
     pub drain_wait_ms: i32,
-    /// Consecutive no-progress drain sweeps before the daemon declares
-    /// the sockets quiescent and finishes.
+    /// Consecutive no-progress drain sweeps before a loop declares its
+    /// sockets quiescent.
     pub drain_quiet_sweeps: u32,
 }
 
@@ -121,6 +147,7 @@ impl Default for ServeConfig {
             udp: Some(loopback),
             tcp: Some(loopback),
             http: Some(loopback),
+            event_loops: 0,
             udp_recv_buf: 4 << 20,
             stream: StreamConfig::default(),
             store: None,
@@ -131,13 +158,21 @@ impl Default for ServeConfig {
     }
 }
 
+/// Resolves `event_loops` (0 = auto) to a concrete loop count.
+fn resolve_loops(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// Everything a finished daemon run produced.
 #[derive(Debug)]
 pub struct ServeOutput {
     /// The streaming service's full output (windows, combined reports,
     /// quiescent health snapshot, metrics registry).
     pub stream: mt_stream::StreamOutput,
-    /// UDP datagrams received.
+    /// UDP datagrams received, summed over the ingest loops.
     pub datagrams: u64,
     /// UDP datagrams rejected whole (torn / trailing garbage / bad
     /// header).
@@ -146,6 +181,8 @@ pub struct ServeOutput {
     pub tcp_connections: u64,
     /// HTTP requests answered.
     pub http_requests: u64,
+    /// Ingest event loops the daemon ran.
+    pub event_loops: usize,
 }
 
 /// A clonable-by-`try_clone` trigger that asks a running daemon to
@@ -157,9 +194,10 @@ pub struct ShutdownHandle {
 }
 
 impl ShutdownHandle {
-    /// Requests shutdown and wakes the event loop.
+    /// Requests shutdown and wakes the control loop (which broadcasts
+    /// to the ingest loops).
     pub fn shutdown(&self) {
-        // ordering: Release pairs with the loop's Acquire load; the
+        // ordering: Release pairs with the loops' Acquire loads; the
         // flag is a latch that only ever goes false→true.
         self.flag.store(true, Ordering::Release);
         let _ = (&self.wake_tx).write(b"S");
@@ -193,119 +231,286 @@ fn lock_index(m: &Mutex<QueryIndex>) -> std::sync::MutexGuard<'_, QueryIndex> {
     }
 }
 
-/// One live connection's state.
-enum Conn {
-    /// An IPFIX-over-TCP exporter stream.
-    Ipfix {
-        sock: TcpStream,
-        /// Session name, `tcp:<peer addr>`.
-        peer: String,
-    },
-    /// An HTTP probe connection: request bytes in, response bytes out.
-    Http {
-        sock: TcpStream,
-        req: Vec<u8>,
-        out: Vec<u8>,
-        sent: usize,
-        /// Whether the response has been built (request fully parsed).
-        responding: bool,
-    },
+/// One live IPFIX-over-TCP exporter connection on an ingest loop.
+struct IngestConn {
+    sock: TcpStream,
+    /// Session name, `tcp:<peer addr>`.
+    peer: String,
+}
+
+/// One live HTTP probe connection on the control loop: request bytes
+/// in, response bytes out.
+struct HttpConn {
+    sock: TcpStream,
+    req: Vec<u8>,
+    out: Vec<u8>,
+    sent: usize,
+    /// Whether the response has been built (request fully parsed).
+    responding: bool,
+}
+
+/// One sharded ingest event loop: poller, sockets, lane, connections.
+/// Runs on its own thread from [`Daemon::run`] until shutdown, drains,
+/// and returns its lane.
+struct IngestLoop<F> {
+    index: usize,
+    poller: Poller,
+    wake_rx: UnixStream,
+    shutdown: Arc<AtomicBool>,
+    udp: Option<UdpSocket>,
+    tcp: Option<TcpListener>,
+    lane: LaneProducer<F>,
+    conns: FxHashMap<u64, IngestConn>,
+    next_token: u64,
+    read_buf: Vec<u8>,
+    drain_wait_ms: i32,
+    drain_quiet_sweeps: u32,
+    // Shared counters (one handle per loop onto the same cells) …
+    datagrams: Counter,
+    datagrams_rejected: Counter,
+    tcp_conns: Counter,
+    // … and per-loop series, labeled with this loop's index.
+    open_conns: Gauge,
+    loop_events: Counter,
+    ingest_latency: Histogram,
+}
+
+impl<F: Fn(Day) -> PrefixTrie<Asn>> IngestLoop<F> {
+    /// The loop body: wait, ingest, repeat until shutdown; then drain
+    /// to quiescence and hand the lane back.
+    fn run(mut self) -> io::Result<LaneProducer<F>> {
+        let mut events = Vec::with_capacity(256);
+        'main: loop {
+            events.clear();
+            self.poller.wait(&mut events, -1)?;
+            self.loop_events.add(events.len() as u64);
+            for ev in &events {
+                match ev.token {
+                    TOK_WAKE => {
+                        self.drain_wake_pipe();
+                        break 'main;
+                    }
+                    TOK_UDP => {
+                        self.drain_udp();
+                    }
+                    TOK_TCP => self.accept_exporters()?,
+                    tok => {
+                        self.conn_event(tok);
+                    }
+                }
+            }
+            // ordering: Acquire pairs with the shutdown path's Release;
+            // a trigger racing the wake byte is still caught here.
+            if self.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+        }
+        self.drain()?;
+        Ok(self.lane)
+    }
+
+    /// Empties the wake pipe so drain sweeps see only new wakeups.
+    fn drain_wake_pipe(&mut self) {
+        let mut sink = [0u8; 64];
+        while matches!((&self.wake_rx).read(&mut sink), Ok(n) if n > 0) {}
+    }
+
+    /// Reads every queued datagram; returns how many were ingested.
+    fn drain_udp(&mut self) -> u64 {
+        let mut count = 0;
+        loop {
+            let Some(sock) = &self.udp else { return count };
+            match sock.recv_from(&mut self.read_buf) {
+                Ok((n, peer)) => {
+                    count += 1;
+                    self.datagrams.inc();
+                    let name = format!("udp:{peer}");
+                    let span = self.ingest_latency.start_span();
+                    let accepted = self.lane.push_datagram(&name, &self.read_buf[..n]);
+                    drop(span);
+                    if !accepted {
+                        self.datagrams_rejected.inc();
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return count,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return count,
+            }
+        }
+    }
+
+    /// Accepts every pending exporter connection on this loop's
+    /// listener — the kernel already sharded them to us.
+    fn accept_exporters(&mut self) -> io::Result<()> {
+        loop {
+            let Some(listener) = &self.tcp else {
+                return Ok(());
+            };
+            match listener.accept() {
+                Ok((sock, peer)) => {
+                    sock.set_nonblocking(true)?;
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    self.poller.add(sock.as_raw_fd(), token, Interest::READ)?;
+                    self.tcp_conns.inc();
+                    self.conns.insert(
+                        token,
+                        IngestConn {
+                            sock,
+                            peer: format!("tcp:{peer}"),
+                        },
+                    );
+                    self.open_conns.set(self.conns.len() as u64);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return Ok(()),
+            }
+        }
+    }
+
+    /// Handles one readiness event on a connection token. Returns
+    /// whether the event made ingest progress (used by the drain
+    /// phase's quiescence test).
+    fn conn_event(&mut self, token: u64) -> bool {
+        let Some(conn) = self.conns.remove(&token) else {
+            return false;
+        };
+        let (keep, progressed) = self.read_ipfix(&conn.sock, &conn.peer);
+        if keep {
+            self.conns.insert(token, conn);
+        } else {
+            let _ = self.poller.delete(conn.sock.as_raw_fd());
+        }
+        self.open_conns.set(self.conns.len() as u64);
+        progressed
+    }
+
+    /// Reads an IPFIX stream to `WouldBlock`/EOF, pushing each chunk
+    /// down this loop's lane. Returns `(keep_connection, made_progress)`.
+    fn read_ipfix(&mut self, sock: &TcpStream, peer: &str) -> (bool, bool) {
+        let mut progressed = false;
+        loop {
+            let mut sock = sock;
+            match sock.read(&mut self.read_buf) {
+                Ok(0) => return (false, progressed),
+                Ok(n) => {
+                    progressed = true;
+                    let span = self.ingest_latency.start_span();
+                    self.lane.push_chunk(peer, &self.read_buf[..n]);
+                    drop(span);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return (true, progressed),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return (false, progressed),
+            }
+        }
+    }
+
+    /// The per-loop drain tail: stop accepting, sweep to quiescence,
+    /// close what remains.
+    fn drain(&mut self) -> io::Result<()> {
+        if let Some(listener) = self.tcp.take() {
+            let _ = self.poller.delete(listener.as_raw_fd());
+        }
+        let mut events = Vec::with_capacity(256);
+        let mut quiet = 0;
+        while quiet < self.drain_quiet_sweeps {
+            events.clear();
+            self.poller.wait(&mut events, self.drain_wait_ms)?;
+            let mut progressed = false;
+            for ev in &events {
+                match ev.token {
+                    TOK_WAKE => self.drain_wake_pipe(),
+                    TOK_UDP => progressed |= self.drain_udp() > 0,
+                    TOK_TCP => {}
+                    tok => progressed |= self.conn_event(tok),
+                }
+            }
+            if progressed {
+                quiet = 0;
+            } else {
+                quiet += 1;
+            }
+        }
+        // Anything still open is an idle peer; close our side.
+        for (_, conn) in self.conns.drain() {
+            let _ = self.poller.delete(conn.sock.as_raw_fd());
+        }
+        self.open_conns.set(0);
+        if let Some(sock) = self.udp.take() {
+            let _ = self.poller.delete(sock.as_raw_fd());
+        }
+        Ok(())
+    }
 }
 
 /// The collection daemon. Bind with [`Daemon::bind`], then [`run`] on
 /// a dedicated thread; `run` returns when a shutdown trigger arrives
-/// and the drain completes.
+/// and every loop's drain completes.
 ///
 /// [`run`]: Daemon::run
 pub struct Daemon<F: Fn(Day) -> PrefixTrie<Asn>> {
-    cfg: ServeConfig,
+    service: MultiStreamService<F>,
+    loops: Vec<IngestLoop<F>>,
+    /// Wake pipe write ends, one per ingest loop, for the shutdown
+    /// broadcast.
+    loop_wake_tx: Vec<UnixStream>,
+    // Control loop state (runs on the caller's thread).
     poller: Poller,
     wake_rx: UnixStream,
     wake_tx: UnixStream,
     sigterm_rx: Option<UnixStream>,
     shutdown: Arc<AtomicBool>,
-    udp: Option<UdpSocket>,
-    udp_addr: Option<SocketAddr>,
-    tcp: Option<TcpListener>,
-    tcp_addr: Option<SocketAddr>,
     http: Option<TcpListener>,
+    udp_addr: Option<SocketAddr>,
+    tcp_addr: Option<SocketAddr>,
     http_addr: Option<SocketAddr>,
-    service: StreamService<F>,
     store: Option<StoreRuntime>,
-    conns: FxHashMap<u64, Conn>,
+    conns: FxHashMap<u64, HttpConn>,
     next_token: u64,
-    read_buf: Vec<u8>,
+    drain_wait_ms: i32,
+    drain_quiet_sweeps: u32,
+    // Output counters (shared with the ingest loops) and the control
+    // loop's own series.
     datagrams: Counter,
     datagrams_rejected: Counter,
     tcp_conns: Counter,
     http_conns: Counter,
     open_conns: Gauge,
+    loop_events: Counter,
     http_health: Counter,
     http_metrics: Counter,
     http_store: Counter,
     http_other: Counter,
-    ingest_latency: Histogram,
+}
+
+/// Pulls the IPv4 address out of `addr`, or explains why the sharded
+/// bind cannot use it.
+fn require_v4(addr: SocketAddr, what: &str) -> io::Result<SocketAddrV4> {
+    match addr {
+        SocketAddr::V4(v4) => Ok(v4),
+        SocketAddr::V6(_) => Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("{what}: SO_REUSEPORT sharding requires an IPv4 bind address (got {addr})"),
+        )),
+    }
 }
 
 impl<F: Fn(Day) -> PrefixTrie<Asn>> Daemon<F> {
-    /// Binds every configured socket and starts the streaming service
-    /// (ingest workers spawn here). The loop itself does not run until
-    /// [`run`](Self::run).
+    /// Binds every configured socket — one UDP socket and one TCP
+    /// listener per ingest loop, kernel-sharded via `SO_REUSEPORT` when
+    /// there is more than one loop — and starts the streaming service
+    /// (ingest workers spawn here). The loops themselves do not run
+    /// until [`run`](Self::run).
     pub fn bind(cfg: ServeConfig, rib_of: F) -> io::Result<Daemon<F>> {
-        let mut service = StreamService::start(cfg.stream.clone(), rib_of);
-        let poller = Poller::new()?;
-        let (wake_rx, wake_tx) = UnixStream::pair()?;
-        wake_rx.set_nonblocking(true)?;
-        wake_tx.set_nonblocking(true)?;
-        poller.add(wake_rx.as_raw_fd(), TOK_WAKE, Interest::READ)?;
-
-        let mut udp_addr = None;
-        let udp = match cfg.udp {
-            Some(addr) => {
-                let sock = UdpSocket::bind(addr)?;
-                sock.set_nonblocking(true)?;
-                if cfg.udp_recv_buf > 0 {
-                    // Best-effort; a clamped buffer only costs UDP loss
-                    // headroom, never correctness.
-                    let _ = sys::set_recv_buffer(sock.as_raw_fd(), cfg.udp_recv_buf);
-                }
-                poller.add(sock.as_raw_fd(), TOK_UDP, Interest::READ)?;
-                udp_addr = Some(sock.local_addr()?);
-                Some(sock)
-            }
-            None => None,
-        };
-        let mut tcp_addr = None;
-        let tcp = match cfg.tcp {
-            Some(addr) => {
-                let listener = TcpListener::bind(addr)?;
-                listener.set_nonblocking(true)?;
-                poller.add(listener.as_raw_fd(), TOK_TCP, Interest::READ)?;
-                tcp_addr = Some(listener.local_addr()?);
-                Some(listener)
-            }
-            None => None,
-        };
-        let mut http_addr = None;
-        let http = match cfg.http {
-            Some(addr) => {
-                let listener = TcpListener::bind(addr)?;
-                listener.set_nonblocking(true)?;
-                poller.add(listener.as_raw_fd(), TOK_HTTP, Interest::READ)?;
-                http_addr = Some(listener.local_addr()?);
-                Some(listener)
-            }
-            None => None,
-        };
-        let sigterm_rx = if cfg.catch_sigterm {
-            let rx = sys::install_sigterm_pipe()?;
-            poller.add(rx.as_raw_fd(), TOK_SIGTERM, Interest::READ)?;
-            Some(rx)
-        } else {
-            None
-        };
-
+        let loops = resolve_loops(cfg.event_loops);
+        let (service, lanes) = MultiStreamService::start(cfg.stream.clone(), loops, rib_of);
+        let shutdown = Arc::new(AtomicBool::new(false));
         let reg = Arc::clone(service.registry());
+
+        // Shared output counters: every loop holds a handle to the same
+        // cell, so the totals need no post-run merge.
         let datagrams = reg.counter("mt_serve_datagrams_total", "UDP datagrams received.");
         let datagrams_rejected = reg.counter(
             "mt_serve_datagrams_rejected_total",
@@ -320,10 +525,6 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> Daemon<F> {
             "mt_serve_connections_total",
             &[("transport", "http")],
             "Connections accepted, by transport.",
-        );
-        let open_conns = reg.gauge(
-            "mt_serve_open_connections",
-            "Currently open TCP and HTTP connections.",
         );
         let http_health = reg.counter_with(
             "mt_serve_http_requests_total",
@@ -345,11 +546,146 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> Daemon<F> {
             &[("endpoint", "other")],
             "HTTP requests answered, by endpoint.",
         );
-        let ingest_latency = reg.histogram(
-            "mt_serve_ingest_nanoseconds",
-            &INGEST_LATENCY_BUCKETS,
-            "Wall time to push one socket read (datagram or stream chunk) into the service.",
-        );
+
+        // Per-loop sockets. Loop 0 binds the configured address (which
+        // may carry port 0); the rest bind the concrete address it got,
+        // sharing the port through SO_REUSEPORT. At one loop the plain
+        // std bind path is used — no socket option needed.
+        let mut udp_socks: Vec<Option<UdpSocket>> = Vec::with_capacity(loops);
+        let mut udp_addr = None;
+        if let Some(addr) = cfg.udp {
+            for i in 0..loops {
+                let sock = match (loops, udp_addr) {
+                    (1, _) => UdpSocket::bind(addr)?,
+                    (_, None) => sys::bind_udp_reuseport(require_v4(addr, "udp")?)?,
+                    (_, Some(SocketAddr::V4(bound))) => sys::bind_udp_reuseport(bound)?,
+                    (_, Some(bound @ SocketAddr::V6(_))) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidInput,
+                            format!("udp: bound a V6 address ({bound}) under sharding"),
+                        ))
+                    }
+                };
+                sock.set_nonblocking(true)?;
+                if cfg.udp_recv_buf > 0 {
+                    // Best-effort; a clamped buffer only costs UDP loss
+                    // headroom, never correctness.
+                    let _ = sys::set_recv_buffer(sock.as_raw_fd(), cfg.udp_recv_buf);
+                }
+                if i == 0 {
+                    udp_addr = Some(sock.local_addr()?);
+                }
+                udp_socks.push(Some(sock));
+            }
+        } else {
+            udp_socks.resize_with(loops, || None);
+        }
+        let mut tcp_listeners: Vec<Option<TcpListener>> = Vec::with_capacity(loops);
+        let mut tcp_addr = None;
+        if let Some(addr) = cfg.tcp {
+            for i in 0..loops {
+                let listener = match (loops, tcp_addr) {
+                    (1, _) => TcpListener::bind(addr)?,
+                    (_, None) => sys::bind_tcp_reuseport(require_v4(addr, "tcp")?, TCP_BACKLOG)?,
+                    (_, Some(SocketAddr::V4(bound))) => {
+                        sys::bind_tcp_reuseport(bound, TCP_BACKLOG)?
+                    }
+                    (_, Some(bound @ SocketAddr::V6(_))) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidInput,
+                            format!("tcp: bound a V6 address ({bound}) under sharding"),
+                        ))
+                    }
+                };
+                listener.set_nonblocking(true)?;
+                if i == 0 {
+                    tcp_addr = Some(listener.local_addr()?);
+                }
+                tcp_listeners.push(Some(listener));
+            }
+        } else {
+            tcp_listeners.resize_with(loops, || None);
+        }
+
+        // Assemble one IngestLoop per lane, each with its own poller,
+        // wake pipe, and per-loop metric series.
+        let mut ingest = Vec::with_capacity(loops);
+        let mut loop_wake_tx = Vec::with_capacity(loops);
+        for (i, lane) in lanes.into_iter().enumerate() {
+            let poller = Poller::new()?;
+            let (wake_rx, wake_tx) = UnixStream::pair()?;
+            wake_rx.set_nonblocking(true)?;
+            wake_tx.set_nonblocking(true)?;
+            poller.add(wake_rx.as_raw_fd(), TOK_WAKE, Interest::READ)?;
+            let udp = udp_socks[i].take();
+            if let Some(sock) = &udp {
+                poller.add(sock.as_raw_fd(), TOK_UDP, Interest::READ)?;
+            }
+            let tcp = tcp_listeners[i].take();
+            if let Some(listener) = &tcp {
+                poller.add(listener.as_raw_fd(), TOK_TCP, Interest::READ)?;
+            }
+            let label = i.to_string();
+            ingest.push(IngestLoop {
+                index: i,
+                poller,
+                wake_rx,
+                shutdown: Arc::clone(&shutdown),
+                udp,
+                tcp,
+                lane,
+                conns: FxHashMap::default(),
+                next_token: FIRST_CONN_TOKEN,
+                read_buf: vec![0u8; 64 * 1024],
+                drain_wait_ms: cfg.drain_wait_ms,
+                drain_quiet_sweeps: cfg.drain_quiet_sweeps,
+                datagrams: datagrams.clone(),
+                datagrams_rejected: datagrams_rejected.clone(),
+                tcp_conns: tcp_conns.clone(),
+                open_conns: reg.gauge_with(
+                    "mt_serve_open_connections",
+                    &[("loop", label.as_str())],
+                    "Currently open connections, by event loop.",
+                ),
+                loop_events: reg.counter_with(
+                    "mt_serve_loop_events_total",
+                    &[("loop", label.as_str())],
+                    "Readiness events handled, by event loop.",
+                ),
+                ingest_latency: reg.histogram_with(
+                    "mt_serve_ingest_nanoseconds",
+                    &[("loop", label.as_str())],
+                    &INGEST_LATENCY_BUCKETS,
+                    "Wall time to push one socket read (datagram or stream chunk) into the service, by event loop.",
+                ),
+            });
+            loop_wake_tx.push(wake_tx);
+        }
+
+        // The control loop's own plumbing.
+        let poller = Poller::new()?;
+        let (wake_rx, wake_tx) = UnixStream::pair()?;
+        wake_rx.set_nonblocking(true)?;
+        wake_tx.set_nonblocking(true)?;
+        poller.add(wake_rx.as_raw_fd(), TOK_WAKE, Interest::READ)?;
+        let mut http_addr = None;
+        let http = match cfg.http {
+            Some(addr) => {
+                let listener = TcpListener::bind(addr)?;
+                listener.set_nonblocking(true)?;
+                poller.add(listener.as_raw_fd(), TOK_HTTP, Interest::READ)?;
+                http_addr = Some(listener.local_addr()?);
+                Some(listener)
+            }
+            None => None,
+        };
+        let sigterm_rx = if cfg.catch_sigterm {
+            let rx = sys::install_sigterm_pipe()?;
+            poller.add(rx.as_raw_fd(), TOK_SIGTERM, Interest::READ)?;
+            Some(rx)
+        } else {
+            None
+        };
 
         // A configured results store brings up the persistence sink and
         // the query cache: cold-load whatever earlier runs persisted,
@@ -424,42 +760,51 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> Daemon<F> {
         };
 
         Ok(Daemon {
-            cfg,
+            service,
+            loops: ingest,
+            loop_wake_tx,
             poller,
             wake_rx,
             wake_tx,
             sigterm_rx,
-            shutdown: Arc::new(AtomicBool::new(false)),
-            udp,
-            udp_addr,
-            tcp,
-            tcp_addr,
+            shutdown,
             http,
+            udp_addr,
+            tcp_addr,
             http_addr,
-            service,
             store,
             conns: FxHashMap::default(),
             next_token: FIRST_CONN_TOKEN,
-            read_buf: vec![0u8; 64 * 1024],
+            drain_wait_ms: cfg.drain_wait_ms,
+            drain_quiet_sweeps: cfg.drain_quiet_sweeps,
             datagrams,
             datagrams_rejected,
             tcp_conns,
             http_conns,
-            open_conns,
+            open_conns: reg.gauge_with(
+                "mt_serve_open_connections",
+                &[("loop", "control")],
+                "Currently open connections, by event loop.",
+            ),
+            loop_events: reg.counter_with(
+                "mt_serve_loop_events_total",
+                &[("loop", "control")],
+                "Readiness events handled, by event loop.",
+            ),
             http_health,
             http_metrics,
             http_store,
             http_other,
-            ingest_latency,
         })
     }
 
-    /// The UDP socket's actual bound address, if the transport is on.
+    /// The shared UDP ingest address, if the transport is on (all loops
+    /// bind the same port).
     pub fn udp_addr(&self) -> Option<SocketAddr> {
         self.udp_addr
     }
 
-    /// The TCP listener's actual bound address, if the transport is on.
+    /// The shared TCP exporter address, if the transport is on.
     pub fn tcp_addr(&self) -> Option<SocketAddr> {
         self.tcp_addr
     }
@@ -467,6 +812,11 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> Daemon<F> {
     /// The HTTP listener's actual bound address, if enabled.
     pub fn http_addr(&self) -> Option<SocketAddr> {
         self.http_addr
+    }
+
+    /// How many ingest event loops the daemon resolved to.
+    pub fn event_loops(&self) -> usize {
+        self.loops.len()
     }
 
     /// A trigger other threads can use to stop the daemon.
@@ -478,39 +828,8 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> Daemon<F> {
     }
 
     /// The live streaming service (health snapshots mid-run).
-    pub fn service(&self) -> &StreamService<F> {
+    pub fn service(&self) -> &MultiStreamService<F> {
         &self.service
-    }
-
-    /// Runs the event loop until shutdown, then drains and finishes.
-    pub fn run(mut self) -> io::Result<ServeOutput> {
-        let mut events = Vec::with_capacity(256);
-        'main: loop {
-            events.clear();
-            self.poller.wait(&mut events, -1)?;
-            for ev in &events {
-                match ev.token {
-                    TOK_WAKE | TOK_SIGTERM => {
-                        self.drain_wake_pipes();
-                        break 'main;
-                    }
-                    TOK_UDP => {
-                        self.drain_udp();
-                    }
-                    TOK_TCP => self.accept_loop(false)?,
-                    TOK_HTTP => self.accept_loop(true)?,
-                    tok => {
-                        self.conn_event(tok, ev.writable);
-                    }
-                }
-            }
-            // ordering: Acquire pairs with ShutdownHandle's Release; a
-            // racing trigger between wait() and here is still caught.
-            if self.shutdown.load(Ordering::Acquire) {
-                break;
-            }
-        }
-        self.drain_and_finish()
     }
 
     /// Empties the wake and SIGTERM pipes so later sweeps see only new
@@ -523,61 +842,29 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> Daemon<F> {
         }
     }
 
-    /// Reads every queued datagram; returns how many were ingested.
-    fn drain_udp(&mut self) -> u64 {
-        let mut count = 0;
+    /// Accepts every pending probe connection on the HTTP listener.
+    fn accept_http(&mut self) -> io::Result<()> {
         loop {
-            let Some(sock) = &self.udp else { return count };
-            match sock.recv_from(&mut self.read_buf) {
-                Ok((n, peer)) => {
-                    count += 1;
-                    self.datagrams.inc();
-                    let name = format!("udp:{peer}");
-                    let span = self.ingest_latency.start_span();
-                    let accepted = self.service.push_datagram(&name, &self.read_buf[..n]);
-                    drop(span);
-                    if !accepted {
-                        self.datagrams_rejected.inc();
-                    }
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return count,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(_) => return count,
-            }
-        }
-    }
-
-    /// Accepts every pending connection on the TCP (`http == false`)
-    /// or HTTP (`http == true`) listener.
-    fn accept_loop(&mut self, http: bool) -> io::Result<()> {
-        loop {
-            let listener = if http { &self.http } else { &self.tcp };
-            let Some(listener) = listener else {
+            let Some(listener) = &self.http else {
                 return Ok(());
             };
             match listener.accept() {
-                Ok((sock, peer)) => {
+                Ok((sock, _peer)) => {
                     sock.set_nonblocking(true)?;
                     let token = self.next_token;
                     self.next_token += 1;
                     self.poller.add(sock.as_raw_fd(), token, Interest::READ)?;
-                    let conn = if http {
-                        self.http_conns.inc();
-                        Conn::Http {
+                    self.http_conns.inc();
+                    self.conns.insert(
+                        token,
+                        HttpConn {
                             sock,
                             req: Vec::new(),
                             out: Vec::new(),
                             sent: 0,
                             responding: false,
-                        }
-                    } else {
-                        self.tcp_conns.inc();
-                        Conn::Ipfix {
-                            sock,
-                            peer: format!("tcp:{peer}"),
-                        }
-                    };
-                    self.conns.insert(token, conn);
+                        },
+                    );
                     self.open_conns.set(self.conns.len() as u64);
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
@@ -587,77 +874,27 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> Daemon<F> {
         }
     }
 
-    /// Handles one readiness event on a connection token. Returns
-    /// whether the event made ingest progress (used by the drain
-    /// phase's quiescence test).
-    fn conn_event(&mut self, token: u64, writable: bool) -> bool {
+    /// Handles one readiness event on an HTTP connection token.
+    fn http_event(&mut self, token: u64, writable: bool) {
         let Some(conn) = self.conns.remove(&token) else {
-            return false;
+            return;
         };
-        let (keep, progressed, conn) = match conn {
-            Conn::Ipfix { sock, peer } => {
-                let (keep, progressed) = self.read_ipfix(&sock, &peer);
-                (keep, progressed, Conn::Ipfix { sock, peer })
-            }
-            Conn::Http {
-                sock,
-                req,
-                out,
-                sent,
-                responding,
-            } => self.step_http(token, sock, req, out, sent, responding, writable),
-        };
+        let (keep, conn) = self.step_http(token, conn, writable);
         if keep {
             self.conns.insert(token, conn);
         } else {
-            let fd = match &conn {
-                Conn::Ipfix { sock, .. } => sock.as_raw_fd(),
-                Conn::Http { sock, .. } => sock.as_raw_fd(),
-            };
-            let _ = self.poller.delete(fd);
+            let _ = self.poller.delete(conn.sock.as_raw_fd());
         }
         self.open_conns.set(self.conns.len() as u64);
-        progressed
-    }
-
-    /// Reads an IPFIX stream to `WouldBlock`/EOF, pushing each chunk.
-    /// Returns `(keep_connection, made_progress)`.
-    fn read_ipfix(&mut self, sock: &TcpStream, peer: &str) -> (bool, bool) {
-        let mut progressed = false;
-        loop {
-            let mut sock = sock;
-            match sock.read(&mut self.read_buf) {
-                Ok(0) => return (false, progressed),
-                Ok(n) => {
-                    progressed = true;
-                    let span = self.ingest_latency.start_span();
-                    self.service.push_chunk(peer, &self.read_buf[..n]);
-                    drop(span);
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return (true, progressed),
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(_) => return (false, progressed),
-            }
-        }
     }
 
     /// Advances one HTTP connection: read until the head completes,
     /// build the response, write as far as the socket allows.
-    #[allow(clippy::too_many_arguments)]
-    fn step_http(
-        &mut self,
-        token: u64,
-        sock: TcpStream,
-        mut req: Vec<u8>,
-        mut out: Vec<u8>,
-        mut sent: usize,
-        mut responding: bool,
-        writable: bool,
-    ) -> (bool, bool, Conn) {
-        if !responding {
+    fn step_http(&mut self, token: u64, mut conn: HttpConn, writable: bool) -> (bool, HttpConn) {
+        if !conn.responding {
             let mut eof = false;
             loop {
-                let mut r = &sock;
+                let mut r = &conn.sock;
                 let mut buf = [0u8; 4096];
                 match r.read(&mut buf) {
                     Ok(0) => {
@@ -665,12 +902,12 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> Daemon<F> {
                         break;
                     }
                     Ok(n) => {
-                        req.extend_from_slice(&buf[..n]);
+                        conn.req.extend_from_slice(&buf[..n]);
                         // Keep reading only while the head is genuinely
                         // incomplete; the parser's bounds make that
                         // state unreachable past the fixed limits, so
                         // the buffer cannot grow without end.
-                        if !matches!(http::parse_request(&req), http::Parse::Incomplete) {
+                        if !matches!(http::parse_request(&conn.req), http::Parse::Incomplete) {
                             break;
                         }
                     }
@@ -682,83 +919,53 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> Daemon<F> {
                     }
                 }
             }
-            match http::parse_request(&req) {
+            match http::parse_request(&conn.req) {
                 http::Parse::Complete(r) => {
-                    out = self.respond(&r);
-                    responding = true;
+                    conn.out = self.respond(&r);
+                    conn.responding = true;
                 }
                 http::Parse::Malformed => {
                     self.http_other.inc();
-                    out = http::bad_request();
-                    responding = true;
+                    conn.out = http::bad_request();
+                    conn.responding = true;
                 }
                 http::Parse::TooLarge => {
                     self.http_other.inc();
-                    out = http::header_too_large();
-                    responding = true;
+                    conn.out = http::header_too_large();
+                    conn.responding = true;
                 }
                 http::Parse::Incomplete => {
                     if eof {
-                        return (
-                            false,
-                            false,
-                            Conn::Http {
-                                sock,
-                                req,
-                                out,
-                                sent,
-                                responding,
-                            },
-                        );
+                        return (false, conn);
                     }
                 }
             }
         }
-        if responding {
+        if conn.responding {
             let done = loop {
-                if sent >= out.len() {
+                if conn.sent >= conn.out.len() {
                     break true;
                 }
-                let mut w = &sock;
-                match w.write(&out[sent..]) {
+                let mut w = &conn.sock;
+                match w.write(&conn.out[conn.sent..]) {
                     Ok(0) => break true, // peer gone; nothing more to do
-                    Ok(n) => sent += n,
+                    Ok(n) => conn.sent += n,
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => break false,
                     Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                     Err(_) => break true,
                 }
             };
             if done {
-                return (
-                    false,
-                    false,
-                    Conn::Http {
-                        sock,
-                        req,
-                        out,
-                        sent,
-                        responding,
-                    },
-                );
+                return (false, conn);
             }
             if !writable {
                 // Partial write: also wake on writability from now on.
                 let _ = self
                     .poller
-                    .modify(sock.as_raw_fd(), token, Interest::READ_WRITE);
+                    .modify(conn.sock.as_raw_fd(), token, Interest::READ_WRITE);
             }
         }
-        (
-            true,
-            false,
-            Conn::Http {
-                sock,
-                req,
-                out,
-                sent,
-                responding,
-            },
-        )
+        (true, conn)
     }
 
     /// Builds the response for a parsed request and counts it.
@@ -856,27 +1063,27 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> Daemon<F> {
         }
     }
 
-    /// The shutdown tail: stop accepting, drain to quiescence, finish
-    /// the service, and assemble the output.
-    fn drain_and_finish(mut self) -> io::Result<ServeOutput> {
-        if let Some(listener) = self.tcp.take() {
-            let _ = self.poller.delete(listener.as_raw_fd());
-        }
+    /// The control loop's drain tail: stop accepting probes, finish
+    /// answering in-flight requests, close what remains.
+    fn drain_http(&mut self) -> io::Result<()> {
         if let Some(listener) = self.http.take() {
             let _ = self.poller.delete(listener.as_raw_fd());
         }
-        let mut events = Vec::with_capacity(256);
+        let mut events = Vec::with_capacity(64);
         let mut quiet = 0;
-        while quiet < self.cfg.drain_quiet_sweeps {
+        while quiet < self.drain_quiet_sweeps && !self.conns.is_empty() {
             events.clear();
-            self.poller.wait(&mut events, self.cfg.drain_wait_ms)?;
+            self.poller.wait(&mut events, self.drain_wait_ms)?;
             let mut progressed = false;
             for ev in &events {
                 match ev.token {
                     TOK_WAKE | TOK_SIGTERM => self.drain_wake_pipes(),
-                    TOK_UDP => progressed |= self.drain_udp() > 0,
-                    TOK_TCP | TOK_HTTP => {}
-                    tok => progressed |= self.conn_event(tok, ev.writable),
+                    TOK_HTTP => {}
+                    tok => {
+                        let before = self.conns.len();
+                        self.http_event(tok, ev.writable);
+                        progressed |= self.conns.len() != before;
+                    }
                 }
             }
             if progressed {
@@ -885,18 +1092,70 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> Daemon<F> {
                 quiet += 1;
             }
         }
-        // Anything still open is an idle peer; close our side.
         for (_, conn) in self.conns.drain() {
-            let fd = match &conn {
-                Conn::Ipfix { sock, .. } => sock.as_raw_fd(),
-                Conn::Http { sock, .. } => sock.as_raw_fd(),
-            };
-            let _ = self.poller.delete(fd);
+            let _ = self.poller.delete(conn.sock.as_raw_fd());
         }
-        if let Some(sock) = self.udp.take() {
-            let _ = self.poller.delete(sock.as_raw_fd());
+        self.open_conns.set(0);
+        Ok(())
+    }
+}
+
+impl<F: Fn(Day) -> PrefixTrie<Asn> + Send + 'static> Daemon<F> {
+    /// Runs the daemon: spawns one thread per ingest loop, serves the
+    /// control loop on the calling thread until shutdown, then drains
+    /// everything and finishes the service.
+    pub fn run(mut self) -> io::Result<ServeOutput> {
+        let event_loops = self.loops.len();
+        let threads: Vec<JoinHandle<io::Result<LaneProducer<F>>>> = self
+            .loops
+            .drain(..)
+            .map(|l| {
+                std::thread::Builder::new()
+                    .name(format!("mt-serve-loop-{}", l.index))
+                    .spawn(move || l.run())
+            })
+            .collect::<io::Result<_>>()?;
+
+        let mut events = Vec::with_capacity(256);
+        'main: loop {
+            events.clear();
+            self.poller.wait(&mut events, -1)?;
+            self.loop_events.add(events.len() as u64);
+            for ev in &events {
+                match ev.token {
+                    TOK_WAKE | TOK_SIGTERM => {
+                        self.drain_wake_pipes();
+                        break 'main;
+                    }
+                    TOK_HTTP => self.accept_http()?,
+                    tok => self.http_event(tok, ev.writable),
+                }
+            }
+            // ordering: Acquire pairs with ShutdownHandle's Release; a
+            // racing trigger between wait() and here is still caught.
+            if self.shutdown.load(Ordering::Acquire) {
+                break;
+            }
         }
-        let stream = self.service.finish();
+
+        // Broadcast the shutdown to every ingest loop (the SIGTERM path
+        // arrives here with the flag still unset).
+        // ordering: Release pairs with the ingest loops' Acquire loads.
+        self.shutdown.store(true, Ordering::Release);
+        for tx in &mut self.loop_wake_tx {
+            let _ = tx.write(b"S");
+        }
+        // Answer in-flight probes while the ingest loops drain in
+        // parallel, then collect the lanes.
+        self.drain_http()?;
+        let mut lanes = Vec::with_capacity(threads.len());
+        for t in threads {
+            let lane = t
+                .join()
+                .map_err(|_| io::Error::other("ingest loop panicked"))??;
+            lanes.push(lane);
+        }
+        let stream = self.service.finish(lanes);
         Ok(ServeOutput {
             datagrams: self.datagrams.get(),
             datagrams_rejected: self.datagrams_rejected.get(),
@@ -905,6 +1164,7 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> Daemon<F> {
                 + self.http_metrics.get()
                 + self.http_store.get()
                 + self.http_other.get(),
+            event_loops,
             stream,
         })
     }

@@ -1,15 +1,18 @@
-//! Audited syscall layer: epoll, the SIGTERM self-pipe, and one socket
-//! option — everything the event loop needs that `std` does not expose.
+//! Audited syscall layer: epoll, the SIGTERM self-pipe, and the socket
+//! options — everything the event loop needs that `std` does not
+//! expose, `SO_REUSEPORT` binding included.
 //!
 //! The container vendors no `libc` crate, so the handful of symbols are
 //! declared here directly; they resolve against the C library `std`
 //! already links. Every `unsafe` block carries a `// safety:` argument
 //! (enforced workspace-wide by mt-check's `crate_hygiene` rule), and
 //! nothing unsafe leaks out of this module: the public surface is
-//! [`Poller`]/[`Event`], [`set_recv_buffer`], and the signal helpers,
-//! all safe.
+//! [`Poller`]/[`Event`], [`set_recv_buffer`], the `SO_REUSEPORT` bind
+//! helpers ([`bind_udp_reuseport`], [`bind_tcp_reuseport`]), and the
+//! signal helpers, all safe.
 
 use std::io;
+use std::net::{SocketAddrV4, TcpListener, UdpSocket};
 use std::os::raw::{c_int, c_void};
 use std::os::unix::io::RawFd;
 use std::os::unix::net::UnixStream;
@@ -27,6 +30,12 @@ const EPOLLHUP: u32 = 0x010;
 const SIGTERM: c_int = 15;
 const SOL_SOCKET: c_int = 1;
 const SO_RCVBUF: c_int = 8;
+const SO_REUSEADDR: c_int = 2;
+const SO_REUSEPORT: c_int = 15;
+const AF_INET: c_int = 2;
+const SOCK_STREAM: c_int = 1;
+const SOCK_DGRAM: c_int = 2;
+const SOCK_CLOEXEC: c_int = 0o2000000;
 
 /// `struct epoll_event`. Packed on x86_64 (the kernel ABI packs it
 /// there so 32- and 64-bit layouts agree); natural alignment elsewhere.
@@ -56,6 +65,30 @@ extern "C" {
         optval: *const c_void,
         optlen: u32,
     ) -> c_int;
+    fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    fn bind(fd: c_int, addr: *const SockaddrIn, addrlen: u32) -> c_int;
+    fn listen(fd: c_int, backlog: c_int) -> c_int;
+}
+
+/// `struct sockaddr_in`, the kernel's IPv4 socket address. Port and
+/// address are stored big-endian as the ABI requires.
+#[repr(C)]
+struct SockaddrIn {
+    sin_family: u16,
+    sin_port: u16,
+    sin_addr: u32,
+    sin_zero: [u8; 8],
+}
+
+impl SockaddrIn {
+    fn from_v4(addr: SocketAddrV4) -> SockaddrIn {
+        SockaddrIn {
+            sin_family: AF_INET as u16,
+            sin_port: addr.port().to_be(),
+            sin_addr: u32::from(*addr.ip()).to_be(),
+            sin_zero: [0; 8],
+        }
+    }
 }
 
 /// What a registration wants to be woken for.
@@ -225,6 +258,109 @@ pub fn set_recv_buffer(fd: RawFd, bytes: usize) -> io::Result<()> {
     Ok(())
 }
 
+/// Sets a boolean socket option to 1 at the `SOL_SOCKET` level.
+fn set_sol_flag(fd: RawFd, optname: c_int) -> io::Result<()> {
+    let val: c_int = 1;
+    // safety: optval points at a live c_int of exactly optlen bytes for
+    // the duration of the call; the kernel only reads it.
+    let rc = unsafe {
+        setsockopt(
+            fd,
+            SOL_SOCKET,
+            optname,
+            (&val as *const c_int).cast::<c_void>(),
+            std::mem::size_of::<c_int>() as u32,
+        )
+    };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// Sets `SO_REUSEPORT` on `fd`: several sockets may then bind the same
+/// address, with the kernel hashing incoming datagrams (by 4-tuple) and
+/// TCP connections across them — the distribution mechanism behind the
+/// daemon's sharded event loops.
+pub fn set_reuseport(fd: RawFd) -> io::Result<()> {
+    set_sol_flag(fd, SO_REUSEPORT)
+}
+
+/// Creates an IPv4 socket of type `ty` with `SO_REUSEPORT` set and
+/// binds it to `addr`, returning the raw fd wrapped in `wrap` so every
+/// error path closes it exactly once.
+fn bound_reuseport_fd<S>(
+    addr: SocketAddrV4,
+    ty: c_int,
+    wrap: impl FnOnce(RawFd) -> S,
+) -> io::Result<S> {
+    // safety: socket(2) touches no caller memory; domain/type/protocol
+    // are valid constants and the returned fd (or -1) is checked below.
+    let fd = unsafe { socket(AF_INET, ty | SOCK_CLOEXEC, 0) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // Wrapped immediately: from here the std owner closes the fd on
+    // every early return.
+    let sock = wrap(fd);
+    set_reuseport(fd)?;
+    if ty == SOCK_STREAM {
+        // Before the bind, where it takes effect — matching std's
+        // listener bind so TIME_WAIT remnants don't block restarts.
+        set_sol_flag(fd, SO_REUSEADDR)?;
+    }
+    let sa = SockaddrIn::from_v4(addr);
+    // safety: `sa` is a live, properly-laid-out sockaddr_in for the
+    // duration of the call and addrlen is exactly its size; the kernel
+    // only reads it; fd is open and owned by `sock`.
+    let rc = unsafe { bind(fd, &sa, std::mem::size_of::<SockaddrIn>() as u32) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(sock)
+}
+
+/// Binds an IPv4 UDP socket to `addr` with `SO_REUSEPORT` set before
+/// the bind, so N event loops can each own a socket on the same port
+/// and the kernel spreads datagrams across them by flow hash.
+pub fn bind_udp_reuseport(addr: SocketAddrV4) -> io::Result<UdpSocket> {
+    bound_reuseport_fd(addr, SOCK_DGRAM, |fd| {
+        use std::os::unix::io::FromRawFd;
+        // safety: fd was created by socket(2) three lines up and has no
+        // other owner; UdpSocket takes sole ownership (closes on drop).
+        unsafe { UdpSocket::from_raw_fd(fd) }
+    })
+}
+
+/// Binds an IPv4 TCP listener to `addr` with `SO_REUSEPORT` (and
+/// `SO_REUSEADDR`, matching `std`'s listener bind) set before the bind,
+/// so N event loops can each accept on the same port with the kernel
+/// sharding incoming connections across them.
+pub fn bind_tcp_reuseport(addr: SocketAddrV4, backlog: u32) -> io::Result<TcpListener> {
+    let listener = bound_reuseport_fd(addr, SOCK_STREAM, |fd| {
+        use std::os::unix::io::FromRawFd;
+        // safety: fd was created by socket(2) in bound_reuseport_fd and
+        // has no other owner; TcpListener takes sole ownership.
+        unsafe { TcpListener::from_raw_fd(fd) }
+    })?;
+    {
+        use std::os::unix::io::AsRawFd;
+        // safety: listen(2) touches no caller memory; the fd is open,
+        // bound, and owned by `listener`; the backlog is clamped to the
+        // C int range.
+        let rc = unsafe {
+            listen(
+                listener.as_raw_fd(),
+                c_int::try_from(backlog).unwrap_or(c_int::MAX),
+            )
+        };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+    }
+    Ok(listener)
+}
+
 /// Write end of the SIGTERM self-pipe, published for the handler.
 /// -1 until [`install_sigterm_pipe`] runs.
 static SIGNAL_PIPE_WR: AtomicI32 = AtomicI32::new(-1);
@@ -323,6 +459,68 @@ mod tests {
     fn recv_buffer_request_is_accepted() {
         let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
         set_recv_buffer(sock.as_raw_fd(), 1 << 20).unwrap();
+    }
+
+    #[test]
+    fn udp_reuseport_shares_a_port_and_delivers_each_datagram_once() {
+        let a = bind_udp_reuseport("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = a.local_addr().unwrap();
+        let port_addr = match addr {
+            std::net::SocketAddr::V4(v4) => v4,
+            std::net::SocketAddr::V6(_) => unreachable!("bound V4"),
+        };
+        // Second socket on the *same* concrete port — only possible
+        // because both were bound with SO_REUSEPORT set first.
+        let b = bind_udp_reuseport(port_addr).unwrap();
+        assert_eq!(b.local_addr().unwrap(), addr);
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+
+        // Many source ports so the kernel's 4-tuple hash gets a chance
+        // to spread; each datagram must arrive on exactly one socket.
+        let n = 64;
+        for _ in 0..n {
+            let tx = UdpSocket::bind("127.0.0.1:0").unwrap();
+            tx.send_to(b"ping", addr).unwrap();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let mut buf = [0u8; 16];
+        let mut got = 0;
+        while a.recv_from(&mut buf).is_ok() {
+            got += 1;
+        }
+        while b.recv_from(&mut buf).is_ok() {
+            got += 1;
+        }
+        assert_eq!(got, n, "every datagram delivered exactly once");
+    }
+
+    #[test]
+    fn tcp_reuseport_listeners_share_a_port() {
+        let a = bind_tcp_reuseport("127.0.0.1:0".parse().unwrap(), 128).unwrap();
+        let addr = a.local_addr().unwrap();
+        let port_addr = match addr {
+            std::net::SocketAddr::V4(v4) => v4,
+            std::net::SocketAddr::V6(_) => unreachable!("bound V4"),
+        };
+        let b = bind_tcp_reuseport(port_addr, 128).unwrap();
+        assert_eq!(b.local_addr().unwrap(), addr);
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+
+        // Connections land on exactly one of the listeners.
+        let mut accepted = 0;
+        let conns: Vec<_> = (0..8)
+            .map(|_| std::net::TcpStream::connect(addr).unwrap())
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        while a.accept().is_ok() {
+            accepted += 1;
+        }
+        while b.accept().is_ok() {
+            accepted += 1;
+        }
+        assert_eq!(accepted, conns.len(), "every connection accepted once");
     }
 
     #[test]

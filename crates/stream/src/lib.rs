@@ -38,6 +38,13 @@
 //!   identities (decoded = on-time + late + dropped, accepted =
 //!   ingested + in-flight + shed + rejected) tie the whole stack
 //!   together.
+//! - [`multi`] — the multi-producer variant
+//!   [`multi::MultiStreamService`]: N event-loop *lanes*
+//!   ([`multi::LaneProducer`]) feed the same worker pool through
+//!   per-lane queue quotas and pools, rebuilding the single-producer
+//!   ordering argument around a shared gate so the sharded daemon can
+//!   ingest on every core with the same health identities and the same
+//!   batch equivalence.
 //!
 //! # Equivalence with the batch path
 //!
@@ -58,6 +65,7 @@
 
 pub mod batch;
 pub mod collector;
+pub mod multi;
 pub mod queue;
 pub mod scheduler;
 pub mod service;
@@ -66,6 +74,7 @@ pub mod window;
 
 pub use batch::{BatchPool, RecordBatch};
 pub use collector::{ExporterSession, StreamCollector};
+pub use multi::{LaneProducer, MultiStreamService};
 pub use queue::{BoundedQueue, OverflowPolicy, PushOutcome, QueueStats};
 pub use scheduler::{
     ClosedWindow, CombinedReport, SchedulerConfig, WindowReport, WindowScheduler, WindowSink,

@@ -82,33 +82,57 @@ impl QueueStats {
 }
 
 struct Inner<T> {
-    items: VecDeque<T>,
+    /// One FIFO for the consumers; each item remembers its lane so the
+    /// pop side can release the right lane's quota.
+    items: VecDeque<(usize, T)>,
+    /// In-queue item count per producer lane, against `lane_capacity`.
+    lane_depth: Vec<usize>,
     stats: QueueStats,
     closed: bool,
 }
 
 /// A bounded FIFO queue shared between producer and consumer threads.
+///
+/// # Producer lanes
+///
+/// The queue supports multiple *producer lanes*
+/// ([`with_lanes`](Self::with_lanes)): one FIFO feeds the consumers,
+/// but each lane has its own capacity quota, so under
+/// [`OverflowPolicy::Block`] a full lane stalls only its own producer —
+/// the other lanes keep pushing. This is what lets N event-loop
+/// producers share one worker pool without one slow consumer stalling
+/// every loop at once. A single-lane queue ([`new`](Self::new)) behaves
+/// exactly as before.
 pub struct BoundedQueue<T> {
     inner: Mutex<Inner<T>>,
     not_empty: Condvar,
     not_full: Condvar,
-    capacity: usize,
+    lane_capacity: usize,
     policy: OverflowPolicy,
 }
 
 impl<T> BoundedQueue<T> {
-    /// Creates a queue holding at most `capacity` items.
+    /// Creates a single-lane queue holding at most `capacity` items.
     pub fn new(capacity: usize, policy: OverflowPolicy) -> Self {
-        assert!(capacity > 0, "a zero-capacity queue cannot move items");
+        Self::with_lanes(capacity, 1, policy)
+    }
+
+    /// Creates a queue with `lanes` producer lanes, each with its own
+    /// quota of `lane_capacity` items (total bound: `lanes *
+    /// lane_capacity`).
+    pub fn with_lanes(lane_capacity: usize, lanes: usize, policy: OverflowPolicy) -> Self {
+        assert!(lane_capacity > 0, "a zero-capacity queue cannot move items");
+        assert!(lanes > 0, "a queue needs at least one producer lane");
         BoundedQueue {
             inner: Mutex::new(Inner {
-                items: VecDeque::with_capacity(capacity),
+                items: VecDeque::with_capacity(lane_capacity * lanes),
+                lane_depth: vec![0; lanes],
                 stats: QueueStats::default(),
                 closed: false,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
-            capacity,
+            lane_capacity,
             policy,
         }
     }
@@ -118,19 +142,31 @@ impl<T> BoundedQueue<T> {
         self.policy
     }
 
-    /// Enqueues one item, reporting exactly what happened as a
-    /// [`PushOutcome`]. Under [`OverflowPolicy::Block`] a full queue
-    /// makes this call wait for a consumer; if the queue closes during
-    /// that wait the item is rejected as [`PushOutcome::Closed`] and
-    /// counted in [`QueueStats::rejected_closed`].
+    /// Number of producer lanes.
+    pub fn lanes(&self) -> usize {
+        crate::sync::lock(&self.inner).lane_depth.len()
+    }
+
+    /// Enqueues one item on lane 0 — the single-producer entry point.
     pub fn push(&self, item: T) -> PushOutcome {
+        self.push_lane(0, item)
+    }
+
+    /// Enqueues one item on `lane`, reporting exactly what happened as
+    /// a [`PushOutcome`]. Under [`OverflowPolicy::Block`] a lane at its
+    /// quota makes this call wait for a consumer to drain *this lane's*
+    /// items — other lanes' fullness never blocks it; if the queue
+    /// closes during that wait the item is rejected as
+    /// [`PushOutcome::Closed`] and counted in
+    /// [`QueueStats::rejected_closed`].
+    pub fn push_lane(&self, lane: usize, item: T) -> PushOutcome {
         let mut g = crate::sync::lock(&self.inner);
         loop {
             if g.closed {
                 g.stats.rejected_closed += 1;
                 return PushOutcome::Closed;
             }
-            if g.items.len() < self.capacity {
+            if g.lane_depth[lane] < self.lane_capacity {
                 break;
             }
             match self.policy {
@@ -143,7 +179,8 @@ impl<T> BoundedQueue<T> {
                 }
             }
         }
-        g.items.push_back(item);
+        g.items.push_back((lane, item));
+        g.lane_depth[lane] += 1;
         g.stats.pushed += 1;
         let depth = g.items.len();
         if depth > g.stats.high_water_mark {
@@ -160,10 +197,14 @@ impl<T> BoundedQueue<T> {
     pub fn pop(&self) -> Option<T> {
         let mut g = crate::sync::lock(&self.inner);
         loop {
-            if let Some(item) = g.items.pop_front() {
+            if let Some((lane, item)) = g.items.pop_front() {
+                g.lane_depth[lane] -= 1;
                 g.stats.popped += 1;
                 drop(g);
-                self.not_full.notify_one();
+                // Waiters are lane-specific and the condvar is shared,
+                // so wake them all: the ones whose lane is still full
+                // re-check and park again.
+                self.not_full.notify_all();
                 return Some(item);
             }
             if g.closed {
@@ -297,6 +338,41 @@ mod tests {
         assert_eq!(s.dropped, 0);
         assert_eq!(s.rejected_closed, 3, "each parked producer is counted");
         assert_eq!(s.attempts(), 4, "no push outcome is invisible");
+    }
+
+    /// The per-lane backpressure contract: lane 0 at its quota blocks
+    /// only lane 0's producer; lane 1 keeps pushing through the same
+    /// queue the whole time.
+    #[test]
+    fn full_lane_blocks_only_its_own_producer() {
+        let q = Arc::new(BoundedQueue::with_lanes(1, 2, OverflowPolicy::Block));
+        assert!(q.push_lane(0, 100).is_accepted());
+        let blocked = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push_lane(0, 101))
+        };
+        // Give the lane-0 producer time to park on its full lane.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        // Lane 1 is unaffected: its quota is its own.
+        assert!(q.push_lane(1, 200).is_accepted());
+        assert_eq!(q.len(), 2, "lane 1 pushed past lane 0's stall");
+        // Draining releases lane 0; FIFO order is global across lanes.
+        assert_eq!(q.pop(), Some(100));
+        assert!(blocked.join().unwrap().is_accepted());
+        let mut rest = [q.pop().unwrap(), q.pop().unwrap()];
+        rest.sort_unstable();
+        assert_eq!(rest, [101, 200]);
+        assert_eq!(q.stats().pushed, 3);
+    }
+
+    #[test]
+    fn drop_newest_sheds_per_lane() {
+        let q = BoundedQueue::with_lanes(1, 2, OverflowPolicy::DropNewest);
+        assert!(q.push_lane(0, 1).is_accepted());
+        assert_eq!(q.push_lane(0, 2), PushOutcome::Shed, "lane 0 at quota");
+        assert!(q.push_lane(1, 3).is_accepted(), "lane 1 has its own quota");
+        assert_eq!(q.stats().dropped, 1);
+        assert_eq!(q.stats().attempts(), 3);
     }
 
     #[test]

@@ -598,78 +598,86 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> StreamService<F> {
     /// registry (see [`Counter::set_total`] for the monotonicity
     /// contract; every source here is a lifetime counter).
     fn republish(&self, h: &HealthSnapshot) {
-        let r = &self.registry;
-        for e in &h.exporters {
-            let labels = [("exporter", e.name.as_str())];
-            let mirror = [
-                ("mt_stream_bytes_total", e.bytes, "Bytes received."),
-                (
-                    "mt_stream_messages_total",
-                    e.messages,
-                    "IPFIX messages decoded.",
-                ),
-                ("mt_stream_flows_total", e.flows, "Flow records decoded."),
-                (
-                    "mt_stream_decode_errors_total",
-                    e.decode_errors,
-                    "Framing errors plus skipped sets/records.",
-                ),
-                (
-                    "mt_stream_late_total",
-                    e.late,
-                    "Records accepted behind the watermark.",
-                ),
-                (
-                    "mt_stream_dropped_total",
-                    e.dropped,
-                    "Records dropped at the window gate.",
-                ),
-            ];
-            for (name, value, help) in mirror {
-                r.counter_with(name, &labels, help).set_total(value);
-            }
-        }
-        r.counter("mt_window_on_time_total", "Records accepted on time.")
-            .set_total(h.on_time);
-        r.counter("mt_window_late_total", "Records accepted late.")
-            .set_total(h.late);
-        r.counter("mt_window_dropped_total", "Records dropped at the gate.")
-            .set_total(h.dropped_late);
-        r.counter(
-            "mt_queue_pushed_total",
-            "Batches accepted into the collector→ingest queue.",
-        )
-        .set_total(h.queue.pushed);
-        r.counter("mt_queue_popped_total", "Batches handed to ingest workers.")
-            .set_total(h.queue.popped);
-        r.counter(
-            "mt_queue_shed_total",
-            "Batches shed by DropNewest backpressure.",
-        )
-        .set_total(h.queue.dropped);
-        r.counter(
-            "mt_queue_rejected_closed_total",
-            "Batches rejected because the queue was closed.",
-        )
-        .set_total(h.queue.rejected_closed);
-        r.gauge("mt_queue_depth", "Current queue depth in batches.")
-            .set(h.queue_depth);
-        r.gauge("mt_queue_high_water", "Maximum queue depth ever reached.")
-            .set(h.queue.high_water_mark as u64);
-        r.counter(
-            "mt_stream_backpressure_records_total",
-            "Records shed by queue backpressure.",
-        )
-        .set_total(h.dropped_backpressure);
-        r.counter(
-            "mt_stream_rejected_closed_records_total",
-            "Records lost to a queue closed mid-push.",
-        )
-        .set_total(h.rejected_closed);
-        r.gauge("mt_window_open", "Windows currently open.")
-            .set(h.windows_open);
+        republish_health(&self.registry, h);
     }
+}
 
+/// Mirrors a [`HealthSnapshot`]'s externally maintained totals into
+/// `registry` — shared by [`StreamService`] and the multi-producer
+/// [`crate::multi::MultiStreamService`], which report the same series.
+pub(crate) fn republish_health(r: &MetricsRegistry, h: &HealthSnapshot) {
+    for e in &h.exporters {
+        let labels = [("exporter", e.name.as_str())];
+        let mirror = [
+            ("mt_stream_bytes_total", e.bytes, "Bytes received."),
+            (
+                "mt_stream_messages_total",
+                e.messages,
+                "IPFIX messages decoded.",
+            ),
+            ("mt_stream_flows_total", e.flows, "Flow records decoded."),
+            (
+                "mt_stream_decode_errors_total",
+                e.decode_errors,
+                "Framing errors plus skipped sets/records.",
+            ),
+            (
+                "mt_stream_late_total",
+                e.late,
+                "Records accepted behind the watermark.",
+            ),
+            (
+                "mt_stream_dropped_total",
+                e.dropped,
+                "Records dropped at the window gate.",
+            ),
+        ];
+        for (name, value, help) in mirror {
+            r.counter_with(name, &labels, help).set_total(value);
+        }
+    }
+    r.counter("mt_window_on_time_total", "Records accepted on time.")
+        .set_total(h.on_time);
+    r.counter("mt_window_late_total", "Records accepted late.")
+        .set_total(h.late);
+    r.counter("mt_window_dropped_total", "Records dropped at the gate.")
+        .set_total(h.dropped_late);
+    r.counter(
+        "mt_queue_pushed_total",
+        "Batches accepted into the collector→ingest queue.",
+    )
+    .set_total(h.queue.pushed);
+    r.counter("mt_queue_popped_total", "Batches handed to ingest workers.")
+        .set_total(h.queue.popped);
+    r.counter(
+        "mt_queue_shed_total",
+        "Batches shed by DropNewest backpressure.",
+    )
+    .set_total(h.queue.dropped);
+    r.counter(
+        "mt_queue_rejected_closed_total",
+        "Batches rejected because the queue was closed.",
+    )
+    .set_total(h.queue.rejected_closed);
+    r.gauge("mt_queue_depth", "Current queue depth in batches.")
+        .set(h.queue_depth);
+    r.gauge("mt_queue_high_water", "Maximum queue depth ever reached.")
+        .set(h.queue.high_water_mark as u64);
+    r.counter(
+        "mt_stream_backpressure_records_total",
+        "Records shed by queue backpressure.",
+    )
+    .set_total(h.dropped_backpressure);
+    r.counter(
+        "mt_stream_rejected_closed_records_total",
+        "Records lost to a queue closed mid-push.",
+    )
+    .set_total(h.rejected_closed);
+    r.gauge("mt_window_open", "Windows currently open.")
+        .set(h.windows_open);
+}
+
+impl<F: Fn(Day) -> PrefixTrie<Asn>> StreamService<F> {
     /// Ends the stream: flushes in-flight records, closes every
     /// remaining open window in day order, stops the workers, and
     /// returns the run's full output.
