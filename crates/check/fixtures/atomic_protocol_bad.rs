@@ -1,0 +1,16 @@
+//! atomic_protocol fixture: a Release publish nobody ever acquires.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A readiness latch with a missing reader.
+pub struct Flag {
+    ready: AtomicBool,
+}
+
+impl Flag {
+    /// Publishes readiness; no Acquire load pairs with this anywhere.
+    pub fn publish(&self) {
+        // ordering: Release publish for the (missing) Acquire reader.
+        self.ready.store(true, Ordering::Release);
+    }
+}

@@ -1,0 +1,23 @@
+//! atomic_protocol fixture: a whole Release/Acquire protocol — both
+//! sides present on the same symbol — must not fire.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A readiness latch with both halves of the protocol.
+pub struct Flag {
+    ready: AtomicBool,
+}
+
+impl Flag {
+    /// Publishes readiness.
+    pub fn publish(&self) {
+        // ordering: Release pairs with the Acquire in `is_ready`.
+        self.ready.store(true, Ordering::Release);
+    }
+
+    /// Observes the publish.
+    pub fn is_ready(&self) -> bool {
+        // ordering: Acquire pairs with the Release in `publish`.
+        self.ready.load(Ordering::Acquire)
+    }
+}

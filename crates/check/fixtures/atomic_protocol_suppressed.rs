@@ -1,0 +1,17 @@
+//! atomic_protocol fixture: the pragma'd twin of `atomic_protocol_bad.rs`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A readiness latch whose reader lives outside the workspace.
+pub struct Flag {
+    ready: AtomicBool,
+}
+
+impl Flag {
+    /// Publishes readiness for an out-of-tree reader.
+    pub fn publish(&self) {
+        // ordering: Release publish for the out-of-tree Acquire reader.
+        // check: allow(atomic_protocol, "fixture: the reader is out of tree")
+        self.ready.store(true, Ordering::Release);
+    }
+}

@@ -1,0 +1,12 @@
+//! blocking_under_lock fixture: joining a thread while holding a lock.
+
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+/// Joins the worker with the state lock still held — every other taker
+/// of `fixture.state` now waits on the worker too.
+pub fn stop(state: &Mutex<u64>, worker: JoinHandle<()>) {
+    let g = state.lock().unwrap_or_else(|e| e.into_inner()); // lock: fixture.state
+    let _ = worker.join();
+    drop(g);
+}

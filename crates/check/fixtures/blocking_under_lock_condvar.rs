@@ -1,0 +1,14 @@
+//! blocking_under_lock fixture: a condvar wait that consumes its own
+//! guard is the one blocking call that must NOT fire — atomically
+//! releasing the guard is the whole point of a condvar.
+
+use std::sync::{Condvar, Mutex};
+
+/// Blocks until the cell is nonzero.
+pub fn wait_nonzero(m: &Mutex<u64>, cv: &Condvar) -> u64 {
+    let mut g = m.lock().unwrap_or_else(|e| e.into_inner()); // lock: fixture.cell
+    while *g == 0 {
+        g = cv.wait(g).unwrap_or_else(|e| e.into_inner());
+    }
+    *g
+}

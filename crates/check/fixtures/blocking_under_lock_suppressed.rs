@@ -1,0 +1,13 @@
+//! blocking_under_lock fixture: the pragma'd twin of
+//! `blocking_under_lock_bad.rs`.
+
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+/// Joins the worker under the lock, with the hazard argued away.
+pub fn stop(state: &Mutex<u64>, worker: JoinHandle<()>) {
+    let g = state.lock().unwrap_or_else(|e| e.into_inner()); // lock: fixture.state
+    // check: allow(blocking_under_lock, "fixture: worker never takes fixture.state")
+    let _ = worker.join();
+    drop(g);
+}

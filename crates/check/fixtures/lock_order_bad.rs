@@ -1,0 +1,9 @@
+//! lock_order fixture: an acquisition with no `// lock:` name fires.
+
+use std::sync::Mutex;
+
+/// Counts things behind a lock nobody named.
+pub fn bump(m: &Mutex<u64>) {
+    let mut g = m.lock().unwrap_or_else(|e| e.into_inner());
+    *g += 1;
+}

@@ -1,0 +1,28 @@
+//! lock_order fixture: two locks taken in both orders — a textbook
+//! deadlock the cycle detector must flag exactly once.
+
+use std::sync::Mutex;
+
+/// Two locks with no agreed order.
+pub struct Pair {
+    /// First lock.
+    pub a: Mutex<u64>,
+    /// Second lock.
+    pub b: Mutex<u64>,
+}
+
+/// Takes `fixture.a` then `fixture.b`.
+pub fn ab(p: &Pair) {
+    let ga = p.a.lock().unwrap_or_else(|e| e.into_inner()); // lock: fixture.a
+    let gb = p.b.lock().unwrap_or_else(|e| e.into_inner()); // lock: fixture.b
+    drop(gb);
+    drop(ga);
+}
+
+/// Takes `fixture.b` then `fixture.a`.
+pub fn ba(p: &Pair) {
+    let gb = p.b.lock().unwrap_or_else(|e| e.into_inner()); // lock: fixture.b
+    let ga = p.a.lock().unwrap_or_else(|e| e.into_inner()); // lock: fixture.a
+    drop(ga);
+    drop(gb);
+}

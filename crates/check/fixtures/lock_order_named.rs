@@ -1,0 +1,20 @@
+//! lock_order fixture: a clean outer-then-inner nesting, fully
+//! annotated, for exercising the catalogue checks in both directions.
+
+use std::sync::Mutex;
+
+/// A pair of locks with a declared order.
+pub struct Nest {
+    /// Taken first.
+    pub outer: Mutex<u64>,
+    /// Taken second, under `outer`.
+    pub inner: Mutex<u64>,
+}
+
+/// Takes `fixture.outer` then `fixture.inner`, in that order.
+pub fn nested(n: &Nest) {
+    let go = n.outer.lock().unwrap_or_else(|e| e.into_inner()); // lock: fixture.outer
+    let gi = n.inner.lock().unwrap_or_else(|e| e.into_inner()); // lock: fixture.inner
+    drop(gi);
+    drop(go);
+}

@@ -1,0 +1,10 @@
+//! lock_order fixture: the pragma'd twin of `lock_order_bad.rs`.
+
+use std::sync::Mutex;
+
+/// Counts things behind a lock nobody named, with the omission argued.
+pub fn bump(m: &Mutex<u64>) {
+    // check: allow(lock_order, "fixture: name intentionally omitted")
+    let mut g = m.lock().unwrap_or_else(|e| e.into_inner());
+    *g += 1;
+}

@@ -35,12 +35,18 @@ pub enum TokKind {
     Ident,
     /// A lifetime such as `'a` or `'static`.
     Lifetime,
-    /// A character or byte literal: `'x'`, `'\''`, `b'\n'`.
+    /// A character literal: `'x'`, `'\''`.
     CharLit,
-    /// A string or byte-string literal: `"..."`, `b"..."`.
+    /// A byte-character literal: `b'x'`, `b'\n'`.
+    ByteCharLit,
+    /// A string literal: `"..."`.
     StrLit,
-    /// A raw (byte-)string literal: `r"..."`, `br#"..."#`.
+    /// A byte-string literal: `b"..."`.
+    ByteStrLit,
+    /// A raw string literal: `r"..."`, `r#"..."#`.
     RawStrLit,
+    /// A raw byte-string literal: `br"..."`, `br#"..."#`.
+    RawByteStrLit,
     /// A numeric literal (integer part only; `1.5` lexes as
     /// number-punct-number, which is fine for offset-preserving scans).
     Number,
@@ -320,20 +326,23 @@ fn byte_prefixed(cur: &mut Cursor<'_>) -> TokKind {
         Some('"') => {
             cur.bump();
             string_body(cur);
-            TokKind::StrLit
+            TokKind::ByteStrLit
         }
         Some('\'') => {
             cur.bump();
             // A byte literal is never a lifetime; reuse the char path
-            // but coerce the result.
+            // but coerce the result to the byte-char kind.
             match char_or_lifetime(cur) {
-                TokKind::Lifetime => TokKind::CharLit,
+                TokKind::Lifetime | TokKind::CharLit => TokKind::ByteCharLit,
                 k => k,
             }
         }
         Some('r') if matches!(cur.peek2(), Some('"' | '#')) => {
             cur.bump();
-            raw_prefixed(cur, true)
+            match raw_prefixed(cur, true) {
+                TokKind::RawStrLit => TokKind::RawByteStrLit,
+                k => k,
+            }
         }
         Some(c) if is_ident_continue(c) => {
             cur.eat_while(is_ident_continue);
@@ -419,10 +428,27 @@ mod tests {
         let src = r##"let a = b"bytes"; let b2 = b'\n'; let c = br#"raw"#; let r#type = 1;"##;
         tiles(src);
         let k = kinds(src);
-        assert!(k.contains(&(TokKind::StrLit, "b\"bytes\"")));
-        assert!(k.contains(&(TokKind::CharLit, "b'\\n'")));
-        assert!(k.contains(&(TokKind::RawStrLit, "br#\"raw\"#")));
+        assert!(k.contains(&(TokKind::ByteStrLit, "b\"bytes\"")));
+        assert!(k.contains(&(TokKind::ByteCharLit, "b'\\n'")));
+        assert!(k.contains(&(TokKind::RawByteStrLit, "br#\"raw\"#")));
         assert!(k.contains(&(TokKind::Ident, "r#type")));
+    }
+
+    #[test]
+    fn byte_literal_kinds_are_distinct_from_text_kinds() {
+        let src = r####"(b"s", "s", b'q', 'q', br"r", r"r", br##"f"##, b"x // y")"####;
+        tiles(src);
+        let k = kinds(src);
+        assert!(k.contains(&(TokKind::ByteStrLit, "b\"s\"")));
+        assert!(k.contains(&(TokKind::StrLit, "\"s\"")));
+        assert!(k.contains(&(TokKind::ByteCharLit, "b'q'")));
+        assert!(k.contains(&(TokKind::CharLit, "'q'")));
+        assert!(k.contains(&(TokKind::RawByteStrLit, "br\"r\"")));
+        assert!(k.contains(&(TokKind::RawStrLit, "r\"r\"")));
+        assert!(k.contains(&(TokKind::RawByteStrLit, "br##\"f\"##")));
+        // Comment markers inside a byte string stay string content.
+        assert!(k.contains(&(TokKind::ByteStrLit, "b\"x // y\"")));
+        assert!(!k.iter().any(|(kind, _)| *kind == TokKind::LineComment));
     }
 
     #[test]

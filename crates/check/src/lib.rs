@@ -5,11 +5,15 @@
 //! on invariants no stock lint knows about: atomics whose orderings
 //! must be argued, library code that must never panic mid-ingest,
 //! hot-path crates that must not regress to SipHash maps, pipeline
-//! code that must never read a wall clock, and a documented metric
-//! catalogue that must match what the code registers. This crate
-//! enforces all of that offline, with a hand-rolled lexer (crates.io,
-//! and therefore `syn`, is unavailable here) and no I/O beyond reading
-//! the workspace.
+//! code that must never read a wall clock, a documented metric
+//! catalogue that must match what the code registers, and — since the
+//! multi-lane rework — the concurrency protocols themselves: a
+//! machine-checked lock-order catalogue, whole release/acquire
+//! protocols, and no blocking calls under a live guard. This crate
+//! enforces all of that offline, with a hand-rolled lexer plus a
+//! lightweight brace-matched syntax layer (crates.io, and therefore
+//! `syn`, is unavailable here) and no I/O beyond reading the
+//! workspace.
 //!
 //! Three enforcement points share this library:
 //!
@@ -28,12 +32,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod concurrency;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod syntax;
 pub mod workspace;
 
-pub use report::{Report, RuleSummary, Violation};
+pub use report::{Report, RuleSummary, Suppression, Violation};
 pub use rules::{run_all, RULE_DESCRIPTIONS, RULE_IDS};
 pub use workspace::{SourceFile, Workspace};
 

@@ -3,10 +3,15 @@
 //! The JSON document follows the same validated-artifact pattern as
 //! `BENCH_hotpath.json`: a self-describing envelope (`tool`,
 //! `schema_version`), a scan summary, one entry per rule (present even
-//! at zero, so CI can assert the full rule list is live), and the flat
-//! violation list. The human rendering is `path:line:col: rule:
-//! message` — terse, clickable, and printed verbatim by the
-//! umbrella-crate enforcement test when it fails.
+//! at zero, so CI can assert the full rule list is live), the flat
+//! violation list, and — since schema version 2 — the suppression
+//! inventory: every violation a reasoned pragma silenced, with its
+//! rule, site, and stated reason, so CI artifacts can be diffed across
+//! PRs and a quietly growing pile of `check: allow`s is as visible as
+//! a failing rule. Suppressions do not affect exit codes. The human
+//! rendering is `path:line:col: rule: message` — terse, clickable, and
+//! printed verbatim by the umbrella-crate enforcement test when it
+//! fails.
 
 use crate::workspace::SourceFile;
 use serde::Serialize;
@@ -24,6 +29,20 @@ pub struct Violation {
     pub col: usize,
     /// What is wrong and what to do about it.
     pub message: String,
+}
+
+/// One violation silenced by a reasoned `// check: allow` pragma.
+#[derive(Debug, Clone, Serialize)]
+pub struct Suppression {
+    /// The rule id the pragma silenced.
+    pub rule: String,
+    /// Workspace-relative path of the suppressed site.
+    pub path: String,
+    /// 1-based line of the suppressed site (0 when the pragma is
+    /// file-scoped and the rule reports no single line).
+    pub line: usize,
+    /// The reason the pragma stated.
+    pub reason: String,
 }
 
 /// Per-rule outcome counts.
@@ -56,6 +75,8 @@ pub struct Report {
     pub rules: Vec<RuleSummary>,
     /// Every unsuppressed violation, in file/line order.
     pub violations: Vec<Violation>,
+    /// Every suppressed violation, in file/line order.
+    pub suppressions: Vec<Suppression>,
 }
 
 impl Report {
@@ -63,12 +84,13 @@ impl Report {
     pub fn new(root: &str, files_scanned: usize) -> Report {
         Report {
             tool: "mt-check".to_owned(),
-            schema_version: 1,
+            schema_version: 2,
             root: root.to_owned(),
             files_scanned,
             total_violations: 0,
             rules: crate::rules::rule_summaries(),
             violations: Vec::new(),
+            suppressions: Vec::new(),
         }
     }
 
@@ -82,8 +104,9 @@ impl Report {
         col: usize,
         message: String,
     ) {
-        if file.suppressed(rule, line) {
-            self.suppress(rule);
+        if let Some(p) = file.suppression_for(rule, line) {
+            let reason = p.reason.clone();
+            self.suppress_site(rule, &file.rel_path, line, &reason);
             return;
         }
         self.push(rule, &file.rel_path, line, col, message);
@@ -107,11 +130,18 @@ impl Report {
         self.push(rule, path, line, 1, message);
     }
 
-    /// Counts one suppressed violation for `rule`.
-    pub fn suppress(&mut self, rule: &str) {
+    /// Counts one suppressed violation for `rule` and records it in the
+    /// suppression inventory.
+    pub fn suppress_site(&mut self, rule: &str, path: &str, line: usize, reason: &str) {
         if let Some(r) = self.rules.iter_mut().find(|r| r.id == rule) {
             r.suppressed += 1;
         }
+        self.suppressions.push(Suppression {
+            rule: rule.to_owned(),
+            path: path.to_owned(),
+            line,
+            reason: reason.to_owned(),
+        });
     }
 
     fn push(&mut self, rule: &str, path: &str, line: usize, col: usize, message: String) {
@@ -133,6 +163,8 @@ impl Report {
         self.violations.sort_by(|a, b| {
             (&a.path, a.line, a.col, &a.rule).cmp(&(&b.path, b.line, b.col, &b.rule))
         });
+        self.suppressions
+            .sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
         self.total_violations = self.rules.iter().map(|r| r.violations).sum();
     }
 

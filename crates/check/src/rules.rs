@@ -1,9 +1,12 @@
-//! The seven project-specific rules.
+//! The ten project-specific rules.
 //!
 //! Each rule exists because this codebase's headline guarantee —
 //! exactness under concurrency — has already been threatened by the
 //! class of defect the rule targets (see DESIGN.md §"Static analysis"
-//! for the full rationale). Every rule honours the
+//! for the full rationale). Seven token-level rules live here; the
+//! three concurrency analyses (`lock_order`, `atomic_protocol`,
+//! `blocking_under_lock`) live in [`crate::concurrency`] because they
+//! need the [`crate::syntax`] scope/call layer. Every rule honours the
 //! `// check: allow(<rule>, <reason>)` pragma on the violating line or
 //! the line directly above; file-scoped rules accept the pragma
 //! anywhere in the file. A pragma with an empty reason never
@@ -13,7 +16,7 @@ use crate::report::{Report, RuleSummary};
 use crate::workspace::{Role, SourceFile, Workspace};
 
 /// Stable rule identifiers, as used in pragmas and the JSON report.
-pub const RULE_IDS: [&str; 7] = [
+pub const RULE_IDS: [&str; 10] = [
     "atomics_ordering",
     "no_panic",
     "crate_hygiene",
@@ -21,10 +24,13 @@ pub const RULE_IDS: [&str; 7] = [
     "determinism",
     "metric_names",
     "columnar_policy",
+    "lock_order",
+    "atomic_protocol",
+    "blocking_under_lock",
 ];
 
 /// One-line description per rule, in [`RULE_IDS`] order.
-pub const RULE_DESCRIPTIONS: [&str; 7] = [
+pub const RULE_DESCRIPTIONS: [&str; 10] = [
     "every std::sync::atomic Ordering use site carries an adjacent `// ordering:` justification",
     "no unwrap/expect/panic!/unreachable!/todo!/unimplemented! in non-test, non-bench library code",
     "crate roots declare #![warn(missing_docs)] and forbid unsafe code (or deny it with a pragma); every `unsafe` token needs an adjacent `// safety:` comment",
@@ -32,6 +38,9 @@ pub const RULE_DESCRIPTIONS: [&str; 7] = [
     "SystemTime::now/Instant::now are forbidden outside mt-obs and bench code (bit-identical replay)",
     "metric names registered in code and DESIGN.md's catalogue must match exactly, both directions",
     "u32-keyed FxHashMaps in mt-flow library code need a pragma; the columnar store is the default",
+    "every lock acquisition carries a `// lock: <name>` annotation; the nested-acquisition graph is acyclic and matches DESIGN.md's lock-order catalogue, both directions",
+    "Release/AcqRel writes and Acquire/AcqRel reads of each atomic symbol pair up workspace-wide; half-fenced protocols are flagged on the present side",
+    "no blocking call (queue push, condvar wait, io/socket syscalls, JoinHandle::join) while a lock guard is live in an enclosing scope",
 ];
 
 /// Crates whose library code must use `FxHashMap` on hot paths.
@@ -57,11 +66,12 @@ pub fn run_all(ws: &Workspace) -> Report {
         columnar_policy(file, &mut report);
     }
     metric_names(ws, &mut report);
+    crate::concurrency::check(ws, &mut report);
     report.finish();
     report
 }
 
-/// Returns the summaries for all seven rules with zero counts — the
+/// Returns the summaries for all ten rules with zero counts — the
 /// schema skeleton the report starts from.
 pub fn rule_summaries() -> Vec<RuleSummary> {
     RULE_IDS
@@ -209,8 +219,9 @@ fn crate_hygiene(file: &SourceFile, report: &mut Report) {
         return;
     }
     let mut missing_attr = |needle: &str| {
-        if file.suppressed_anywhere("crate_hygiene") {
-            report.suppress("crate_hygiene");
+        if let Some(p) = file.suppression_anywhere_for("crate_hygiene") {
+            let (line, reason) = (p.line, p.reason.clone());
+            report.suppress_site("crate_hygiene", &file.rel_path, line, &reason);
         } else {
             report.record_unsuppressable(
                 file,
@@ -227,9 +238,10 @@ fn crate_hygiene(file: &SourceFile, report: &mut Report) {
     if !crate_root_has_attr(file, "#![forbid(unsafe_code)]") {
         if !crate_root_has_attr(file, "#![deny(unsafe_code)]") {
             missing_attr("#![forbid(unsafe_code)]");
-        } else if file.suppressed_anywhere("crate_hygiene") {
+        } else if let Some(p) = file.suppression_anywhere_for("crate_hygiene") {
             // The deny-level escape hatch is deliberate and reasoned.
-            report.suppress("crate_hygiene");
+            let (line, reason) = (p.line, p.reason.clone());
+            report.suppress_site("crate_hygiene", &file.rel_path, line, &reason);
         } else {
             report.record_unsuppressable(
                 file,
@@ -407,9 +419,14 @@ fn metric_names(ws: &Workspace, report: &mut Report) {
         return;
     };
 
-    // Code side: every lexical registration site.
+    // Code side: every lexical registration site. Test-role files are
+    // skipped: a throwaway metric registered inside a test does not
+    // belong in the documented observability surface.
     let mut registered: Vec<(usize, usize, usize, String)> = Vec::new(); // (file, line, col, name)
     for (fi, file) in ws.files.iter().enumerate() {
+        if file.role == Role::Test {
+            continue;
+        }
         let code: Vec<_> = file.code_tokens().collect();
         for (i, t) in code.iter().enumerate() {
             if !REGISTRATION_METHODS.contains(&t.text(&file.text))

@@ -9,11 +9,14 @@
 //! snippet can be dropped into any crate/role without creating a real
 //! crate on disk).
 //!
-//! Only library and binary sources are scanned — `crates/*/src/**` and
-//! the umbrella `src/**`. Test, bench, and example trees are never
-//! loaded: every rule either exempts them outright or is file-scoped to
-//! `lib.rs`, so scanning them would only add noise. `vendor/` (offline
-//! stand-ins for crates.io) and `target/` are likewise out of scope.
+//! Library and binary sources are scanned — `crates/*/src/**` and the
+//! umbrella `src/**` — plus integration-test and example trees
+//! (`crates/*/tests/**`, the umbrella `tests/**` and `examples/**`),
+//! which carry the [`Role::Test`] role: `no_panic` and the registration
+//! direction of `metric_names` exempt them, but determinism, atomics
+//! discipline, and the concurrency rules apply — a test that deadlocks
+//! or races hangs CI just as hard as library code. `vendor/` (offline
+//! stand-ins for crates.io) and `target/` are out of scope.
 
 use crate::lexer::{lex, TokKind, Token};
 use std::path::{Path, PathBuf};
@@ -25,6 +28,8 @@ pub enum Role {
     Lib,
     /// A binary target (`src/bin/**` or `src/main.rs`).
     Bin,
+    /// An integration test or example (`tests/**`, `examples/**`).
+    Test,
 }
 
 /// A recognised `// check: allow(<rule>, <reason>)` pragma.
@@ -181,9 +186,22 @@ impl SourceFile {
     /// Whether any pragma in the file suppresses `rule` (for
     /// file-scoped rules such as crate hygiene).
     pub fn suppressed_anywhere(&self, rule: &str) -> bool {
+        self.suppression_anywhere_for(rule).is_some()
+    }
+
+    /// The pragma that [`SourceFile::suppressed`] would match for a
+    /// violation of `rule` at `line`, for the suppression inventory.
+    pub fn suppression_for(&self, rule: &str, line: usize) -> Option<&Pragma> {
+        self.pragmas.iter().find(|p| {
+            p.rule == rule && !p.reason.is_empty() && (p.line == line || p.line + 1 == line)
+        })
+    }
+
+    /// The first effective pragma for `rule` anywhere in the file.
+    pub fn suppression_anywhere_for(&self, rule: &str) -> Option<&Pragma> {
         self.pragmas
             .iter()
-            .any(|p| p.rule == rule && !p.reason.is_empty())
+            .find(|p| p.rule == rule && !p.reason.is_empty())
     }
 
     fn collect_pragmas(&self) -> Vec<Pragma> {
@@ -243,7 +261,9 @@ fn classify(rel_path: &str) -> (String, Role) {
     } else {
         ("metatelescope".to_owned(), &parts[..])
     };
-    let role = if in_crate.get(1) == Some(&"bin") || in_crate == ["src", "main.rs"] {
+    let role = if in_crate.first() == Some(&"tests") || in_crate.first() == Some(&"examples") {
+        Role::Test
+    } else if in_crate.get(1) == Some(&"bin") || in_crate == ["src", "main.rs"] {
         Role::Bin
     } else {
         Role::Lib
@@ -345,23 +365,28 @@ impl Workspace {
         }
     }
 
-    /// Walks a checkout: `crates/*/src/**/*.rs` plus the umbrella
-    /// `src/**/*.rs`, and `DESIGN.md`.
+    /// Walks a checkout: `crates/*/{src,tests}/**/*.rs`, the umbrella
+    /// `src/**/*.rs`, `tests/**/*.rs`, and `examples/**/*.rs`, plus
+    /// `DESIGN.md`.
     pub fn from_root(root: &Path) -> std::io::Result<Workspace> {
         let mut paths: Vec<PathBuf> = Vec::new();
         let crates_dir = root.join("crates");
         if crates_dir.is_dir() {
             for entry in std::fs::read_dir(&crates_dir)? {
                 let dir = entry?.path();
-                let src = dir.join("src");
-                if src.is_dir() {
-                    collect_rs(&src, &mut paths)?;
+                for sub in ["src", "tests"] {
+                    let tree = dir.join(sub);
+                    if tree.is_dir() {
+                        collect_rs(&tree, &mut paths)?;
+                    }
                 }
             }
         }
-        let umbrella_src = root.join("src");
-        if umbrella_src.is_dir() {
-            collect_rs(&umbrella_src, &mut paths)?;
+        for sub in ["src", "tests", "examples"] {
+            let tree = root.join(sub);
+            if tree.is_dir() {
+                collect_rs(&tree, &mut paths)?;
+            }
         }
         paths.sort();
         let mut files = Vec::with_capacity(paths.len());
@@ -412,6 +437,18 @@ mod tests {
         assert_eq!(
             classify("src/lib.rs"),
             ("metatelescope".to_owned(), Role::Lib)
+        );
+        assert_eq!(
+            classify("crates/stream/tests/queue.rs"),
+            ("stream".to_owned(), Role::Test)
+        );
+        assert_eq!(
+            classify("tests/static_analysis.rs"),
+            ("metatelescope".to_owned(), Role::Test)
+        );
+        assert_eq!(
+            classify("examples/profile.rs"),
+            ("metatelescope".to_owned(), Role::Test)
         );
     }
 

@@ -336,3 +336,178 @@ fn suppressed(report: &Report, rule: &str) -> usize {
         .find(|r| r.id == rule)
         .map_or(0, |r| r.suppressed)
 }
+
+/// A DESIGN.md stand-in whose lock-order catalogue lists `names` in
+/// the given (declared) acquisition order.
+fn design_with_lock_catalogue(names: &[&str]) -> String {
+    let rows: String = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| format!("| {} | `{n}` | fixture |\n", i + 1))
+        .collect();
+    format!(
+        "# Design\n\n<!-- mt-check:lock-catalogue:begin -->\n\n\
+         | # | Lock | Protects |\n|---|---|---|\n{rows}\n\
+         <!-- mt-check:lock-catalogue:end -->\n"
+    )
+}
+
+#[test]
+fn lock_order_fires_on_unannotated_sites_and_suppresses() {
+    let bad = check_one(
+        "crates/demo/src/a.rs",
+        include_str!("../fixtures/lock_order_bad.rs"),
+    );
+    assert_eq!(bad.count("lock_order"), 1, "{}", bad.render_human());
+
+    let sup = check_one(
+        "crates/demo/src/a.rs",
+        include_str!("../fixtures/lock_order_suppressed.rs"),
+    );
+    assert_eq!(sup.count("lock_order"), 0, "{}", sup.render_human());
+    assert_eq!(suppressed(&sup, "lock_order"), 1, "counted, not silent");
+}
+
+#[test]
+fn lock_order_flags_cycles() {
+    let report = check_one(
+        "crates/demo/src/a.rs",
+        include_str!("../fixtures/lock_order_cycle.rs"),
+    );
+    assert_eq!(
+        report.count("lock_order"),
+        1,
+        "one back edge, one potential deadlock: {}",
+        report.render_human()
+    );
+    assert!(
+        report.violations[0].message.contains("cycle"),
+        "{}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn lock_order_verifies_the_catalogue_both_directions() {
+    let code = include_str!("../fixtures/lock_order_named.rs");
+    let check = |catalogue: &[&str]| {
+        run_all(&Workspace::in_memory(
+            vec![("crates/demo/src/a.rs", code.to_owned())],
+            Some(design_with_lock_catalogue(catalogue)),
+        ))
+    };
+
+    let ok = check(&["fixture.outer", "fixture.inner"]);
+    assert_eq!(ok.count("lock_order"), 0, "{}", ok.render_human());
+
+    let reversed = check(&["fixture.inner", "fixture.outer"]);
+    assert_eq!(
+        reversed.count("lock_order"),
+        1,
+        "the observed outer→inner edge contradicts the declared order: {}",
+        reversed.render_human()
+    );
+
+    let missing = check(&["fixture.outer"]);
+    assert_eq!(
+        missing.count("lock_order"),
+        1,
+        "fixture.inner is acquired but uncatalogued: {}",
+        missing.render_human()
+    );
+
+    let stale = check(&["fixture.outer", "fixture.inner", "fixture.ghost"]);
+    assert_eq!(
+        stale.count("lock_order"),
+        1,
+        "fixture.ghost is catalogued but never acquired: {}",
+        stale.render_human()
+    );
+    assert_eq!(stale.violations[0].path, "DESIGN.md");
+}
+
+#[test]
+fn atomic_protocol_fires_and_suppresses() {
+    let bad = check_one(
+        "crates/demo/src/a.rs",
+        include_str!("../fixtures/atomic_protocol_bad.rs"),
+    );
+    assert_eq!(bad.count("atomic_protocol"), 1, "{}", bad.render_human());
+
+    let sup = check_one(
+        "crates/demo/src/a.rs",
+        include_str!("../fixtures/atomic_protocol_suppressed.rs"),
+    );
+    assert_eq!(sup.count("atomic_protocol"), 0, "{}", sup.render_human());
+    assert_eq!(
+        suppressed(&sup, "atomic_protocol"),
+        1,
+        "counted, not silent"
+    );
+
+    let ok = check_one(
+        "crates/demo/src/a.rs",
+        include_str!("../fixtures/atomic_protocol_paired.rs"),
+    );
+    assert_eq!(
+        ok.count("atomic_protocol"),
+        0,
+        "both halves present — a whole protocol: {}",
+        ok.render_human()
+    );
+}
+
+#[test]
+fn blocking_under_lock_fires_and_suppresses() {
+    let bad = check_one(
+        "crates/demo/src/a.rs",
+        include_str!("../fixtures/blocking_under_lock_bad.rs"),
+    );
+    assert_eq!(
+        bad.count("blocking_under_lock"),
+        1,
+        "{}",
+        bad.render_human()
+    );
+
+    let sup = check_one(
+        "crates/demo/src/a.rs",
+        include_str!("../fixtures/blocking_under_lock_suppressed.rs"),
+    );
+    assert_eq!(
+        sup.count("blocking_under_lock"),
+        0,
+        "{}",
+        sup.render_human()
+    );
+    assert_eq!(
+        suppressed(&sup, "blocking_under_lock"),
+        1,
+        "counted, not silent"
+    );
+
+    let ok = check_one(
+        "crates/demo/src/a.rs",
+        include_str!("../fixtures/blocking_under_lock_condvar.rs"),
+    );
+    assert_eq!(
+        ok.count("blocking_under_lock"),
+        0,
+        "a condvar wait consuming its own guard is exempt: {}",
+        ok.render_human()
+    );
+}
+
+#[test]
+fn suppression_inventory_carries_rule_site_and_reason() {
+    let sup = check_one(
+        "crates/demo/src/a.rs",
+        include_str!("../fixtures/lock_order_suppressed.rs"),
+    );
+    assert_eq!(sup.suppressions.len(), 1, "{}", sup.render_human());
+    let s = &sup.suppressions[0];
+    assert_eq!(s.rule, "lock_order");
+    assert_eq!(s.path, "crates/demo/src/a.rs");
+    assert!(s.line > 0);
+    assert_eq!(s.reason, "fixture: name intentionally omitted");
+}

@@ -26,8 +26,14 @@ const FRAGMENTS: &[&str] = &[
     "r#\"missing fence",
     "r#ident",
     "b\"bytes\"",
+    "b\"unterminated bytes",
+    "b\"esc \\\" quote\"",
     "br#\"raw bytes\"#",
+    "br##\"double fence\"##",
+    "br#\"missing byte fence",
     "b'q'",
+    "b'\\''",
+    "b'",
     "'c'",
     "'\\''",
     "'\\\\'",
@@ -97,5 +103,26 @@ proptest! {
     fn lexing_is_deterministic(indices in vec(any::<u8>(), 0..48)) {
         let src = soup(indices);
         prop_assert_eq!(lex(&src), lex(&src));
+    }
+
+    #[test]
+    fn byte_literal_kinds_carry_their_prefix(indices in vec(any::<u8>(), 0..64)) {
+        use mt_check::lexer::TokKind;
+        let src = soup(indices);
+        for t in lex(&src) {
+            let text = t.text(&src);
+            match t.kind {
+                TokKind::ByteStrLit | TokKind::ByteCharLit => {
+                    prop_assert!(text.starts_with('b'), "{text:?} lexed as a byte literal");
+                }
+                TokKind::RawByteStrLit => {
+                    prop_assert!(text.starts_with("br"), "{text:?} lexed as a raw byte string");
+                }
+                TokKind::StrLit => prop_assert!(text.starts_with('"'), "{text:?}"),
+                TokKind::RawStrLit => prop_assert!(text.starts_with('r'), "{text:?}"),
+                TokKind::CharLit => prop_assert!(text.starts_with('\''), "{text:?}"),
+                _ => {}
+            }
+        }
     }
 }

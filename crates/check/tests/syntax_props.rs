@@ -1,0 +1,149 @@
+//! Syntax-layer totality properties, mirroring the lexer proptests.
+//!
+//! The concurrency rules lean on two structural guarantees: `build`
+//! never panics on anything the lexer tokenized (which is anything at
+//! all), and the scope tree *tiles* — every byte offset has a unique
+//! innermost scope, and the set of scopes containing an offset is
+//! exactly that scope's parent chain. Both are exercised on random
+//! concatenations of adversarial fragments, not well-formed Rust: the
+//! analyzer scans files mid-edit, mid-merge-conflict, and mid-macro.
+
+use mt_check::lexer::lex;
+use mt_check::syntax::SyntaxIndex;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Fragments biased toward scope/call machinery edge cases.
+const FRAGMENTS: &[&str] = &[
+    "fn main() {}",
+    "fn f(a: u32) -> u32 { a }",
+    "fn nested() { fn inner() {} inner(); }",
+    "let x = m.lock();",
+    "let mut g = crate::sync::lock(&q.m);",
+    "drop(g);",
+    "x.a.b.c(1, 2)",
+    "v[i].push(w)",
+    "m!(not_a_call)",
+    "if (x) { y(); }",
+    "while x { { } }",
+    "match x { _ => {} }",
+    "{",
+    "}",
+    "{{{",
+    "}}}",
+    "{ } }{",
+    "(",
+    ")",
+    "(}",
+    "{)",
+    "fn unterminated(",
+    "fn bodyless();",
+    "trait T { fn m(&self); }",
+    "impl T for U { fn m(&self) {} }",
+    "\"a string with { braces } and (parens)\"",
+    "// a comment with fn fake() {\n",
+    "/* { */",
+    "'{'",
+    "b'{'",
+    "r#\"{ raw \"#",
+    "#[cfg(test)]",
+    "mod tests {",
+    "let c = || { x() };",
+    "cv.wait(g)",
+    "Ordering::Relaxed",
+    ";",
+    "=",
+    ".",
+    ": :",
+    "é{中}🦀",
+    "\n\t ",
+];
+
+fn soup(indices: Vec<u8>) -> String {
+    indices
+        .into_iter()
+        .map(|i| FRAGMENTS[i as usize % FRAGMENTS.len()])
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn build_is_total_on_fragment_soups(indices in vec(any::<u8>(), 0..64)) {
+        let src = soup(indices);
+        // Reaching the assertions at all is half the property: build
+        // must not panic on unbalanced braces, stray parens, or tokens
+        // hiding inside strings.
+        let ix = SyntaxIndex::build(&src, &lex(&src));
+
+        // Structural sanity on whatever came back.
+        prop_assert!(!ix.scopes.is_empty(), "root scope always exists");
+        prop_assert_eq!(ix.scopes[0].start, 0);
+        prop_assert_eq!(ix.scopes[0].end, src.len());
+        for (i, s) in ix.scopes.iter().enumerate().skip(1) {
+            prop_assert!(s.start < s.end.max(s.start + 1), "scope {i} is ordered");
+            let p = s.parent.expect("non-root scopes have parents");
+            prop_assert!(p < i, "parents precede children");
+            prop_assert!(
+                ix.scopes[p].start <= s.start && s.end <= ix.scopes[p].end.max(s.end),
+                "child {i} nests inside parent {p}"
+            );
+        }
+        for c in &ix.calls {
+            prop_assert!(c.idx < ix.code.len());
+            prop_assert!(c.close < ix.code.len());
+            prop_assert!(c.idx < c.close, "callee precedes its close paren");
+        }
+    }
+
+    #[test]
+    fn innermost_scope_tiles_the_file(indices in vec(any::<u8>(), 0..48)) {
+        let src = soup(indices);
+        let ix = SyntaxIndex::build(&src, &lex(&src));
+        for t in &ix.code {
+            let inner = ix.innermost_scope(t.start);
+
+            // Total: some scope claims every offset.
+            let s = ix.scopes[inner];
+            prop_assert!(
+                s.start <= t.start && t.start < s.end.max(s.start + 1),
+                "innermost scope contains the offset"
+            );
+
+            // Tiling: the scopes containing this offset are exactly the
+            // innermost scope's parent chain (including itself).
+            let mut chain = vec![inner];
+            let mut cur = inner;
+            while let Some(p) = ix.scopes[cur].parent {
+                chain.push(p);
+                cur = p;
+            }
+            let containing: Vec<usize> = ix
+                .scopes
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.start <= t.start && t.start < s.end.max(s.start + 1))
+                .map(|(i, _)| i)
+                .collect();
+            let mut chain_sorted = chain.clone();
+            chain_sorted.sort_unstable();
+            prop_assert_eq!(
+                chain_sorted, containing,
+                "containing scopes must be exactly the parent chain at {} of {:?}",
+                t.start, src
+            );
+        }
+    }
+
+    #[test]
+    fn statement_bounds_stay_in_range(indices in vec(any::<u8>(), 0..48)) {
+        let src = soup(indices);
+        let ix = SyntaxIndex::build(&src, &lex(&src));
+        for c in &ix.calls {
+            let start = ix.statement_start(c.idx, &src);
+            prop_assert!(start <= c.idx, "statement start precedes the call");
+            let end = ix.statement_end(c.close, &src);
+            prop_assert!(end <= src.len(), "statement end stays inside the file");
+            prop_assert!(c.offset(&ix) < end, "call precedes its statement end");
+        }
+    }
+}

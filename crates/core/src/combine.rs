@@ -107,6 +107,7 @@ pub fn run_pipelines_parallel(
         for (stats_chunk, result_chunk) in inputs.chunks(chunk).zip(results.chunks(chunk)) {
             scope.spawn(move |_| {
                 for (stats, slot) in stats_chunk.iter().zip(result_chunk) {
+                    // lock: core.combine_slot
                     *slot.lock() = Some(pipeline::run(*stats, rib, sampling_rate, days, config));
                 }
             });

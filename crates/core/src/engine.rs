@@ -404,6 +404,7 @@ impl PipelineEngine {
             for (shard_chunk, slot_chunk) in shards.chunks(chunk).zip(slots.chunks(chunk)) {
                 scope.spawn(move |_| {
                     for (shard, slot) in shard_chunk.iter().zip(slot_chunk) {
+                        // lock: core.engine_slot
                         *slot.lock() = Some(self.run_view_sparse(shard, env_ref, timed));
                     }
                 });

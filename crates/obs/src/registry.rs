@@ -253,7 +253,7 @@ impl std::fmt::Debug for MetricsRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let n = self
             .inner
-            .lock()
+            .lock() // lock: obs.registry
             // check: allow(no_panic, "poisoning means a registrant panicked mid-registration; re-raising is the only honest report")
             .expect("registry lock poisoned")
             .entries
@@ -290,7 +290,7 @@ impl MetricsRegistry {
             .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
             .collect();
         // check: allow(no_panic, "poisoning means a registrant panicked mid-registration; re-raising is the only honest report")
-        let mut inner = self.inner.lock().expect("registry lock poisoned");
+        let mut inner = self.inner.lock().expect("registry lock poisoned"); // lock: obs.registry
         let key = (name.to_owned(), labels.clone());
         if let Some(&i) = inner.index.get(&key) {
             let entry = &inner.entries[i];
@@ -391,7 +391,7 @@ impl MetricsRegistry {
     /// `(name, labels)` so exposition output is deterministic.
     pub fn snapshot(&self) -> Snapshot {
         // check: allow(no_panic, "poisoning means a registrant panicked mid-registration; re-raising is the only honest report")
-        let inner = self.inner.lock().expect("registry lock poisoned");
+        let inner = self.inner.lock().expect("registry lock poisoned"); // lock: obs.registry
         let mut samples: Vec<Sample> = inner
             .entries
             .iter()

@@ -189,7 +189,7 @@ pub struct ServeOutput {
 /// drain and exit; safe to fire from any thread.
 #[derive(Debug)]
 pub struct ShutdownHandle {
-    flag: Arc<AtomicBool>,
+    shutdown: Arc<AtomicBool>,
     wake_tx: UnixStream,
 }
 
@@ -199,14 +199,14 @@ impl ShutdownHandle {
     pub fn shutdown(&self) {
         // ordering: Release pairs with the loops' Acquire loads; the
         // flag is a latch that only ever goes false→true.
-        self.flag.store(true, Ordering::Release);
+        self.shutdown.store(true, Ordering::Release);
         let _ = (&self.wake_tx).write(b"S");
     }
 
     /// A second independent handle to the same daemon.
     pub fn try_clone(&self) -> io::Result<ShutdownHandle> {
         Ok(ShutdownHandle {
-            flag: Arc::clone(&self.flag),
+            shutdown: Arc::clone(&self.shutdown),
             wake_tx: self.wake_tx.try_clone()?,
         })
     }
@@ -225,6 +225,7 @@ struct StoreRuntime {
 /// Locks a mutex, recovering the data from a poisoned lock: the store
 /// cache stays serviceable even if a panic unwound mid-update.
 fn lock_index(m: &Mutex<QueryIndex>) -> std::sync::MutexGuard<'_, QueryIndex> {
+    // lock: generic
     match m.lock() {
         Ok(g) => g,
         Err(poisoned) => poisoned.into_inner(),
@@ -733,7 +734,7 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> Daemon<F> {
                         WindowData::build(w.day, w.records, w.stats, verdicts, w.ports, &slots);
                     let outcome = (|| {
                         let mut n = results.write_window(&wd)?;
-                        let mut idx = lock_index(&sink_index);
+                        let mut idx = lock_index(&sink_index); // lock: serve.index
                         idx.apply_window(&wd, w.combined)?;
                         n += results.write_summary(idx.summary())?;
                         Ok::<u64, mt_store::StoreError>(n)
@@ -822,7 +823,7 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> Daemon<F> {
     /// A trigger other threads can use to stop the daemon.
     pub fn shutdown_handle(&self) -> io::Result<ShutdownHandle> {
         Ok(ShutdownHandle {
-            flag: Arc::clone(&self.shutdown),
+            shutdown: Arc::clone(&self.shutdown),
             wake_tx: self.wake_tx.try_clone()?,
         })
     }
@@ -1022,7 +1023,7 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> Daemon<F> {
         };
         store.point_queries.inc();
         let span = store.query_latency.start_span();
-        let report = lock_index(&store.index).point(addr);
+        let report = lock_index(&store.index).point(addr); // lock: serve.index
         drop(span);
         let body = serde_json::to_string(&report).unwrap_or_else(|_| "{}".to_owned());
         http::response("200 OK", "application/json", body.as_bytes())
@@ -1052,7 +1053,7 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> Daemon<F> {
         }
         store.range_queries.inc();
         let span = store.query_latency.start_span();
-        let report = lock_index(&store.index).range(Day(day), from, to);
+        let report = lock_index(&store.index).range(Day(day), from, to); // lock: serve.index
         drop(span);
         match report {
             Some(report) => {

@@ -301,6 +301,7 @@ fn an_endless_request_line_is_rejected_with_431() {
 
 fn temp_store_dir(tag: &str) -> std::path::PathBuf {
     static SEQ: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    // ordering: a uniqueness counter; nothing is published through it.
     let n = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     std::env::temp_dir().join(format!(
         "mt-serve-store-{}-{}-{}",

@@ -551,6 +551,7 @@ fn slot_index(n: u16) -> Arc<Slot24Index> {
 
 fn temp_store_dir(tag: &str) -> std::path::PathBuf {
     static SEQ: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    // ordering: a uniqueness counter; nothing is published through it.
     let n = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     std::env::temp_dir().join(format!(
         "mt-store-roundtrip-{}-{}-{}",

@@ -46,7 +46,7 @@ impl BatchPool {
 
     /// Hands out an empty buffer, reusing a pooled one when available.
     pub fn take(&self) -> Vec<FlowRecord> {
-        crate::sync::lock(&self.free).pop().unwrap_or_default()
+        crate::sync::lock(&self.free).pop().unwrap_or_default() // lock: stream.pool
     }
 
     /// Returns a buffer to the pool. The contents are cleared; the
@@ -56,7 +56,7 @@ impl BatchPool {
         if buf.capacity() == 0 {
             return;
         }
-        let mut free = crate::sync::lock(&self.free);
+        let mut free = crate::sync::lock(&self.free); // lock: stream.pool
         if free.len() < self.max_pooled {
             free.push(buf);
         }
@@ -64,7 +64,7 @@ impl BatchPool {
 
     /// Number of idle buffers currently pooled.
     pub fn pooled(&self) -> usize {
-        crate::sync::lock(&self.free).len()
+        crate::sync::lock(&self.free).len() // lock: stream.pool
     }
 }
 

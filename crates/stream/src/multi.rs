@@ -316,12 +316,12 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> MultiStreamService<F> {
     /// Installs a window sink on the scheduler (see
     /// [`WindowSink`]); callable any time before the first close.
     pub fn set_window_sink(&self, sink: WindowSink) {
-        crate::sync::lock(&self.closer).scheduler.set_sink(sink);
+        crate::sync::lock(&self.closer).scheduler.set_sink(sink); // lock: stream.closer
     }
 
     /// Windows closed so far.
     pub fn windows_closed(&self) -> usize {
-        crate::sync::lock(&self.closer).windows.len()
+        crate::sync::lock(&self.closer).windows.len() // lock: stream.closer
     }
 
     /// Takes a [`HealthSnapshot`] of the whole stack and republishes
@@ -338,7 +338,7 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> MultiStreamService<F> {
         let ingested: u64 = self.shared.ingest_counters.iter().map(Counter::get).sum();
         let queue = self.shared.queue.stats();
         let queue_depth = self.shared.queue.len() as u64;
-        let g = crate::sync::lock(&self.shared.gate);
+        let g = crate::sync::lock(&self.shared.gate); // lock: stream.gate
         let (on_time, late, dropped_late) = (g.tracker.on_time, g.tracker.late, g.tracker.dropped);
         let windows_open = g.tracker.open_days().count() as u64;
         let (dropped_backpressure, rejected_closed) = (g.dropped_backpressure, g.rejected_closed);
@@ -360,7 +360,7 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> MultiStreamService<F> {
         }
         let mut sessions: BTreeMap<String, SessionSums> = BTreeMap::new();
         for collector in &self.collectors {
-            let c = crate::sync::lock(collector);
+            let c = crate::sync::lock(collector); // lock: stream.collector
             for (name, s) in c.sessions() {
                 let e = sessions.entry(name.to_owned()).or_default();
                 e.bytes += s.bytes;
@@ -425,13 +425,14 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> MultiStreamService<F> {
         );
         drop(lanes); // producers retired; nothing pushes from here on
         {
-            let g = crate::sync::lock(&self.shared.progress);
+            let g = crate::sync::lock(&self.shared.progress); // lock: stream.progress
             let _g = crate::sync::wait_while(&self.shared.drained, g, |p| {
                 p.total_processed < p.total_pushed
             });
         }
         let (windows, combined) = {
-            let mut closer = crate::sync::lock(&self.closer);
+            let mut closer = crate::sync::lock(&self.closer); // lock: stream.closer
+                                                              // lock: stream.gate
             let open = crate::sync::lock(&self.shared.gate).tracker.drain_open();
             for day in open {
                 close_window(
@@ -481,6 +482,7 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> LaneProducer<F> {
     pub fn push_chunk(&mut self, exporter: &str, chunk: &[u8]) {
         let mut decoded = std::mem::take(&mut self.decode_buf);
         decoded.clear();
+        // lock: stream.collector
         crate::sync::lock(&self.collector).feed_into(exporter, chunk, &mut decoded);
         self.ingest_decoded(exporter, decoded);
     }
@@ -492,6 +494,7 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> LaneProducer<F> {
         let mut decoded = std::mem::take(&mut self.decode_buf);
         decoded.clear();
         let accepted =
+            // lock: stream.collector
             crate::sync::lock(&self.collector).feed_datagram_into(exporter, datagram, &mut decoded);
         self.ingest_decoded(exporter, decoded);
         accepted
@@ -513,7 +516,7 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> LaneProducer<F> {
         type DayBatch = (Vec<FlowRecord>, Vec<(u16, u64)>);
         let mut by_day: BTreeMap<Day, DayBatch> = BTreeMap::new();
         {
-            let mut g = crate::sync::lock(&self.shared.gate);
+            let mut g = crate::sync::lock(&self.shared.gate); // lock: stream.gate
             let gs = &mut *g;
             let ex = gs.exporters.entry(exporter.to_owned()).or_default();
             ex.flows += decoded.len() as u64;
@@ -548,7 +551,7 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> LaneProducer<F> {
                 }
                 comp.extend(self.port_scratch.drain());
             }
-            let mut p = crate::sync::lock(&self.shared.progress);
+            let mut p = crate::sync::lock(&self.shared.progress); // lock: stream.progress
             for (day, (records, _)) in &by_day {
                 let n = records.len() as u64;
                 p.per_day.entry(*day).or_default().pushed += n;
@@ -581,7 +584,7 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> LaneProducer<F> {
     /// barrier always sees the ports ledger already compensated.
     fn compensate(&self, day: Day, n: u64, comp: &[(u16, u64)], closed: bool) {
         {
-            let mut g = crate::sync::lock(&self.shared.gate);
+            let mut g = crate::sync::lock(&self.shared.gate); // lock: stream.gate
             if closed {
                 g.rejected_closed += n;
             } else {
@@ -598,7 +601,7 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> LaneProducer<F> {
                 }
             }
         }
-        let mut p = crate::sync::lock(&self.shared.progress);
+        let mut p = crate::sync::lock(&self.shared.progress); // lock: stream.progress
         if let Some(dp) = p.per_day.get_mut(&day) {
             dp.pushed = dp.pushed.saturating_sub(n);
         }
@@ -613,14 +616,15 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> LaneProducer<F> {
     /// loser finds nothing left to take).
     fn maybe_close(&mut self) {
         let closable = {
-            let g = crate::sync::lock(&self.shared.gate);
+            let g = crate::sync::lock(&self.shared.gate); // lock: stream.gate
             let first_open = g.tracker.open_days().next();
             first_open.is_some_and(|d| g.tracker.is_closed(d))
         };
         if !closable {
             return;
         }
-        let mut closer = crate::sync::lock(&self.closer);
+        let mut closer = crate::sync::lock(&self.closer); // lock: stream.closer
+                                                          // lock: stream.gate
         let days = crate::sync::lock(&self.shared.gate).tracker.take_closable();
         for day in days {
             close_window(
@@ -650,7 +654,7 @@ fn close_window<F: Fn(Day) -> PrefixTrie<Asn>>(
     // worker's accumulator. `pushed` is final (the tracker already
     // rejects the day), and compensating decrements wake this wait.
     let records = {
-        let g = crate::sync::lock(&shared.progress);
+        let g = crate::sync::lock(&shared.progress); // lock: stream.progress
         let mut g = crate::sync::wait_while(&shared.drained, g, |p| {
             p.per_day
                 .get(&day)
@@ -660,7 +664,7 @@ fn close_window<F: Fn(Day) -> PrefixTrie<Asn>>(
     };
     let mut merged: Option<ShardedTrafficStats> = None;
     for w in &shared.workers {
-        let part = crate::sync::lock(w).remove(&day);
+        let part = crate::sync::lock(w).remove(&day); // lock: stream.workers
         if let Some(part) = part {
             match &mut merged {
                 None => merged = Some(part),
@@ -679,7 +683,7 @@ fn close_window<F: Fn(Day) -> PrefixTrie<Asn>>(
             )
             .set(load as u64);
     }
-    let mut ports: Vec<(u16, u64)> = crate::sync::lock(&shared.gate)
+    let mut ports: Vec<(u16, u64)> = crate::sync::lock(&shared.gate) // lock: stream.gate
         .window_ports
         .remove(&day)
         .map(|m| m.into_iter().collect())
@@ -700,7 +704,7 @@ fn ingest_worker(shared: &LaneShared, index: usize) {
     while let Some(batch) = shared.queue.pop() {
         let n = batch.records.len() as u64;
         {
-            let mut days = crate::sync::lock(&shared.workers[index]);
+            let mut days = crate::sync::lock(&shared.workers[index]); // lock: stream.workers
             let stats = days
                 .entry(batch.day)
                 .or_insert_with(|| shared.empty_stats());
@@ -713,7 +717,7 @@ fn ingest_worker(shared: &LaneShared, index: usize) {
         // (processed == pushed) also implies the ingest counters are
         // complete — health at quiescent points stays exact.
         shared.ingest_counters[index].add(n);
-        let mut p = crate::sync::lock(&shared.progress);
+        let mut p = crate::sync::lock(&shared.progress); // lock: stream.progress
         let dp = p.per_day.entry(batch.day).or_default();
         dp.processed += n;
         p.total_processed += n;

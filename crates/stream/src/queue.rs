@@ -144,7 +144,7 @@ impl<T> BoundedQueue<T> {
 
     /// Number of producer lanes.
     pub fn lanes(&self) -> usize {
-        crate::sync::lock(&self.inner).lane_depth.len()
+        crate::sync::lock(&self.inner).lane_depth.len() // lock: stream.queue
     }
 
     /// Enqueues one item on lane 0 — the single-producer entry point.
@@ -160,7 +160,7 @@ impl<T> BoundedQueue<T> {
     /// [`PushOutcome::Closed`] and counted in
     /// [`QueueStats::rejected_closed`].
     pub fn push_lane(&self, lane: usize, item: T) -> PushOutcome {
-        let mut g = crate::sync::lock(&self.inner);
+        let mut g = crate::sync::lock(&self.inner); // lock: stream.queue
         loop {
             if g.closed {
                 g.stats.rejected_closed += 1;
@@ -195,7 +195,7 @@ impl<T> BoundedQueue<T> {
     /// `None` once the queue is closed *and* drained — the consumer's
     /// shutdown signal.
     pub fn pop(&self) -> Option<T> {
-        let mut g = crate::sync::lock(&self.inner);
+        let mut g = crate::sync::lock(&self.inner); // lock: stream.queue
         loop {
             if let Some((lane, item)) = g.items.pop_front() {
                 g.lane_depth[lane] -= 1;
@@ -217,7 +217,7 @@ impl<T> BoundedQueue<T> {
     /// Closes the queue: further pushes are rejected, and consumers
     /// drain what remains before seeing `None`.
     pub fn close(&self) {
-        let mut g = crate::sync::lock(&self.inner);
+        let mut g = crate::sync::lock(&self.inner); // lock: stream.queue
         g.closed = true;
         drop(g);
         self.not_empty.notify_all();
@@ -226,7 +226,7 @@ impl<T> BoundedQueue<T> {
 
     /// Current queue depth.
     pub fn len(&self) -> usize {
-        crate::sync::lock(&self.inner).items.len()
+        crate::sync::lock(&self.inner).items.len() // lock: stream.queue
     }
 
     /// Whether the queue is currently empty.
@@ -236,7 +236,7 @@ impl<T> BoundedQueue<T> {
 
     /// A snapshot of the lifetime counters.
     pub fn stats(&self) -> QueueStats {
-        crate::sync::lock(&self.inner).stats
+        crate::sync::lock(&self.inner).stats // lock: stream.queue
     }
 }
 

@@ -474,7 +474,7 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> StreamService<F> {
             }
             match self.shared.queue.push(RecordBatch { day, records }) {
                 PushOutcome::Accepted => {
-                    crate::sync::lock(&self.shared.progress).pushed += n;
+                    crate::sync::lock(&self.shared.progress).pushed += n; // lock: stream.progress
                     *self.window_records.entry(day).or_default() += n;
                     let ports = self.window_ports.entry(day).or_default();
                     for (&port, &packets) in &self.port_scratch {
@@ -503,7 +503,7 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> StreamService<F> {
     /// Epoch barrier: waits until the workers have ingested every
     /// record pushed so far.
     fn flush(&self) {
-        let g = crate::sync::lock(&self.shared.progress);
+        let g = crate::sync::lock(&self.shared.progress); // lock: stream.progress
         let _g = crate::sync::wait_while(&self.shared.drained, g, |p| p.processed < p.pushed);
     }
 
@@ -512,7 +512,7 @@ impl<F: Fn(Day) -> PrefixTrie<Asn>> StreamService<F> {
     fn close_window(&mut self, day: Day) {
         let mut merged: Option<ShardedTrafficStats> = None;
         for w in &self.shared.workers {
-            let part = crate::sync::lock(w).remove(&day);
+            let part = crate::sync::lock(w).remove(&day); // lock: stream.workers
             if let Some(part) = part {
                 match &mut merged {
                     None => merged = Some(part),
@@ -714,7 +714,7 @@ fn ingest_worker(shared: &Shared, index: usize) {
     while let Some(batch) = shared.queue.pop() {
         let n = batch.records.len() as u64;
         {
-            let mut days = crate::sync::lock(&shared.workers[index]);
+            let mut days = crate::sync::lock(&shared.workers[index]); // lock: stream.workers
             let stats = days
                 .entry(batch.day)
                 .or_insert_with(|| shared.empty_stats());
@@ -727,7 +727,7 @@ fn ingest_worker(shared: &Shared, index: usize) {
         // (processed == pushed) also implies the ingest counters are
         // complete — health snapshots at quiescent points stay exact.
         shared.ingest_counters[index].add(n);
-        let mut p = crate::sync::lock(&shared.progress);
+        let mut p = crate::sync::lock(&shared.progress); // lock: stream.progress
         p.processed += n;
         drop(p);
         shared.drained.notify_all();

@@ -14,7 +14,7 @@ use std::sync::{Condvar, Mutex, MutexGuard};
 /// Acquires `mutex`, re-raising any panic that poisoned it.
 pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     // check: allow(no_panic, "poisoning means a holder panicked; re-raising on the next toucher is the crate-wide policy stated at module level")
-    mutex.lock().expect("stream lock poisoned")
+    mutex.lock().expect("stream lock poisoned") // lock: generic
 }
 
 /// Blocks on `condvar`, re-raising any panic that poisoned the lock.

@@ -24,3 +24,65 @@ fn workspace_is_clean_under_mt_check() {
         report.render_human()
     );
 }
+
+#[test]
+fn report_schema_carries_all_rules_and_the_suppression_inventory() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = mt_check::check_root(root).expect("workspace sources are readable");
+
+    assert_eq!(report.schema_version, 2, "schema bumps must be deliberate");
+    assert_eq!(
+        report.rules.len(),
+        mt_check::RULE_IDS.len(),
+        "every rule reports, even at zero"
+    );
+    for id in mt_check::RULE_IDS {
+        assert!(
+            report.rules.iter().any(|r| r.id == id),
+            "rule `{id}` missing from the report"
+        );
+    }
+
+    // The suppression inventory must carry a real site and a real
+    // reason for every silenced violation — that is the whole point of
+    // making suppressions diffable across PRs.
+    assert!(
+        !report.suppressions.is_empty(),
+        "this workspace carries reasoned pragmas; an empty inventory means the plumbing broke"
+    );
+    for s in &report.suppressions {
+        assert!(
+            mt_check::RULE_IDS.contains(&s.rule.as_str()),
+            "unknown rule `{}` in suppression inventory",
+            s.rule
+        );
+        assert!(!s.path.is_empty() && !s.reason.is_empty() && s.line > 0);
+    }
+    let per_rule: usize = report.rules.iter().map(|r| r.suppressed).sum();
+    assert_eq!(
+        report.suppressions.len(),
+        per_rule,
+        "inventory and per-rule counts must agree"
+    );
+
+    assert!(
+        report.render_json().contains("\"schema_version\": 2"),
+        "JSON document must carry the bumped version"
+    );
+}
+
+#[test]
+fn test_trees_are_scanned_with_the_test_role() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let ws = mt_check::Workspace::from_root(root).expect("workspace sources are readable");
+    assert!(
+        ws.files
+            .iter()
+            .any(|f| f.rel_path == "tests/static_analysis.rs"),
+        "umbrella tests/ must be scanned"
+    );
+    assert!(
+        ws.files.iter().any(|f| f.rel_path.contains("/tests/")),
+        "crates/*/tests must be scanned"
+    );
+}

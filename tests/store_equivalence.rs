@@ -153,7 +153,7 @@ fn persisted_windows_remerge_to_the_inprocess_combination() {
             let verdicts = Verdicts::from_result(w.window, &slots);
             let wd = WindowData::build(w.day, w.records, w.stats, verdicts, w.ports, &slots);
             store.write_window(&wd).expect("persist window");
-            let mut summary = live_summary.lock().expect("summary lock");
+            let mut summary = live_summary.lock().expect("summary lock"); // lock: test.summary
             summary.merge_window(&wd).expect("incremental merge");
             summary.set_verdicts(Verdicts::from_result(w.combined, &slots));
             store.write_summary(&summary).expect("persist summary");
@@ -215,7 +215,7 @@ fn persisted_windows_remerge_to_the_inprocess_combination() {
     remerged.set_verdicts(Verdicts::from_result(final_combined, &slots));
 
     // --- the keystone: disk-remerged == in-process, bit for bit ------
-    let live = live_summary.lock().expect("summary lock");
+    let live = live_summary.lock().expect("summary lock"); // lock: test.summary
     assert_eq!(
         remerged, *live,
         "summary re-merged from persisted windows differs from the in-process one"
